@@ -1,0 +1,104 @@
+//! Runtime cost of the priority-function ablations (quality is reported by
+//! `cargo run -p mps-bench --bin ablation`): F1 vs F2 pattern priority,
+//! size bonus and balancing toggles, and the span-limit sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mps::prelude::*;
+
+fn bench_pattern_priority(c: &mut Criterion) {
+    let adfg = AnalyzedDfg::new(mps::workloads::dft5());
+    let patterns = mps::select::select_patterns(
+        &adfg,
+        &SelectConfig {
+            pdef: 4,
+            span_limit: Some(1),
+            parallel: false,
+            ..Default::default()
+        },
+    )
+    .patterns;
+    let mut group = c.benchmark_group("ablation/pattern_priority");
+    for (name, pp) in [("F1", PatternPriority::F1), ("F2", PatternPriority::F2)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &pp, |b, &pp| {
+            let cfg = MultiPatternConfig {
+                pattern_priority: pp,
+                ..Default::default()
+            };
+            b.iter(|| {
+                schedule_multi_pattern(&adfg, &patterns, cfg)
+                    .unwrap()
+                    .schedule
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_selection_toggles(c: &mut Criterion) {
+    let adfg = AnalyzedDfg::new(mps::workloads::dft5());
+    let mut group = c.benchmark_group("ablation/selection_toggles");
+    group.sample_size(10);
+    let variants: [(&str, SelectConfig); 4] = [
+        ("full", SelectConfig::default()),
+        (
+            "no_size_bonus",
+            SelectConfig {
+                size_bonus: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no_balancing",
+            SelectConfig {
+                balancing: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "greedy_count",
+            SelectConfig::default(), // measured through coverage_greedy below
+        ),
+    ];
+    for (name, cfg) in variants {
+        let cfg = SelectConfig {
+            span_limit: Some(2),
+            parallel: false,
+            ..cfg
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            if name == "greedy_count" {
+                b.iter(|| mps::select::coverage_greedy(&adfg, cfg).len());
+            } else {
+                b.iter(|| mps::select::select_patterns(&adfg, cfg).patterns.len());
+            }
+        });
+    }
+    group.finish();
+}
+
+fn bench_span_sweep(c: &mut Criterion) {
+    let adfg = AnalyzedDfg::new(mps::workloads::dft5());
+    let mut group = c.benchmark_group("ablation/span_limit");
+    group.sample_size(10);
+    for limit in [0u32, 1, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(limit), &limit, |b, &limit| {
+            let cfg = SelectConfig {
+                pdef: 4,
+                span_limit: Some(limit),
+                parallel: false,
+                ..Default::default()
+            };
+            b.iter(|| mps::select::select_patterns(&adfg, &cfg).patterns.len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pattern_priority,
+    bench_selection_toggles,
+    bench_span_sweep
+);
+criterion_main!(benches);

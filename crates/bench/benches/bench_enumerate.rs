@@ -1,0 +1,90 @@
+//! Performance of span-limited antichain enumeration (the Table 5 axis):
+//! how the span limitation controls the combinatorial cost, and how
+//! enumeration scales with graph size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mps::prelude::*;
+use mps::workloads::{random_layered_dag, RandomDagConfig};
+
+fn bench_span_limits(c: &mut Criterion) {
+    let adfg = AnalyzedDfg::new(mps::workloads::fig2());
+    let mut group = c.benchmark_group("enumerate/fig2_span_limit");
+    for limit in [0u32, 1, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(limit), &limit, |b, &limit| {
+            let cfg = EnumerateConfig {
+                capacity: 5,
+                span_limit: Some(limit),
+                parallel: false,
+            };
+            b.iter(|| {
+                let mut count = 0u64;
+                mps::patterns::for_each_antichain(&adfg, cfg, |_, _| count += 1);
+                count
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumerate/random_dag_size");
+    group.sample_size(10);
+    for layers in [4usize, 6, 8] {
+        let dfg = random_layered_dag(&RandomDagConfig {
+            layers,
+            width: (4, 6),
+            seed: 7,
+            ..Default::default()
+        });
+        let adfg = AnalyzedDfg::new(dfg);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}nodes", adfg.len())),
+            &adfg,
+            |b, adfg| {
+                let cfg = EnumerateConfig {
+                    capacity: 5,
+                    span_limit: Some(1),
+                    parallel: false,
+                };
+                b.iter(|| {
+                    let mut count = 0u64;
+                    mps::patterns::for_each_antichain(adfg, cfg, |_, _| count += 1);
+                    count
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallel_vs_sequential(c: &mut Criterion) {
+    let dfg = random_layered_dag(&RandomDagConfig {
+        layers: 6,
+        width: (6, 8),
+        seed: 11,
+        ..Default::default()
+    });
+    let adfg = AnalyzedDfg::new(dfg);
+    let mut group = c.benchmark_group("enumerate/pattern_table");
+    group.sample_size(10);
+    for parallel in [false, true] {
+        let label = if parallel { "parallel" } else { "sequential" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &parallel, |b, &p| {
+            let cfg = EnumerateConfig {
+                capacity: 5,
+                span_limit: Some(2),
+                parallel: p,
+            };
+            b.iter(|| PatternTable::build(&adfg, cfg).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_span_limits,
+    bench_graph_size,
+    bench_parallel_vs_sequential
+);
+criterion_main!(benches);

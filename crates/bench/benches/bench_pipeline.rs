@@ -1,0 +1,69 @@
+//! End-to-end pipeline performance (enumerate → classify → select →
+//! schedule → replay) on the evaluation workloads — what a compiler
+//! invocation costs per kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mps::prelude::*;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/end_to_end");
+    group.sample_size(10);
+    for name in ["fig2", "dft5", "fir16", "dct8", "matmul3", "iir4"] {
+        let dfg = mps::workloads::by_name(name).expect("known workload");
+        let adfg = AnalyzedDfg::new(dfg);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &adfg, |b, adfg| {
+            let cfg = PipelineConfig {
+                select: SelectConfig {
+                    pdef: 4,
+                    span_limit: Some(1),
+                    parallel: false,
+                    ..Default::default()
+                },
+                sched: MultiPatternConfig::default(),
+            };
+            b.iter(|| select_and_schedule(adfg, &cfg).unwrap().cycles);
+        });
+    }
+    group.finish();
+}
+
+fn bench_with_replay(c: &mut Criterion) {
+    let adfg = AnalyzedDfg::new(mps::workloads::fig2());
+    let cfg = PipelineConfig {
+        select: SelectConfig {
+            pdef: 4,
+            span_limit: Some(1),
+            parallel: false,
+            ..Default::default()
+        },
+        sched: MultiPatternConfig::default(),
+    };
+    let result = select_and_schedule(&adfg, &cfg).unwrap();
+    c.bench_function("pipeline/montium_replay_fig2", |b| {
+        b.iter(|| {
+            mps::montium::execute(
+                &adfg,
+                &result.schedule,
+                &result.selection.patterns,
+                mps::montium::TileParams::default(),
+            )
+            .unwrap()
+            .config_loads
+        });
+    });
+}
+
+fn bench_random_baseline(c: &mut Criterion) {
+    let adfg = AnalyzedDfg::new(mps::workloads::fig2());
+    let mut group = c.benchmark_group("pipeline/random_baseline");
+    group.sample_size(10);
+    for trials in [10usize, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(trials), &trials, |b, &t| {
+            b.iter(|| random_baseline(&adfg, 4, 5, t, 1, MultiPatternConfig::default()).mean());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_with_replay, bench_random_baseline);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Performance of the §5.2 selection algorithm: table construction vs the
+//! greedy selection loop, and scaling in `Pdef`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mps::prelude::*;
+use mps::select::SelectConfig;
+
+fn bench_table_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection/table_build");
+    for (name, dfg) in [
+        ("fig2", mps::workloads::fig2()),
+        ("dft5", mps::workloads::dft5()),
+        ("dct8", mps::workloads::dct8()),
+    ] {
+        let adfg = AnalyzedDfg::new(dfg);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &adfg, |b, adfg| {
+            let cfg = EnumerateConfig {
+                capacity: 5,
+                span_limit: Some(1),
+                parallel: false,
+            };
+            b.iter(|| PatternTable::build(adfg, cfg).len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_selection_loop(c: &mut Criterion) {
+    let adfg = AnalyzedDfg::new(mps::workloads::dft5());
+    let table = PatternTable::build(
+        &adfg,
+        EnumerateConfig {
+            capacity: 5,
+            span_limit: Some(2),
+            parallel: false,
+        },
+    );
+    let mut group = c.benchmark_group("selection/greedy_loop");
+    for pdef in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(pdef), &pdef, |b, &pdef| {
+            let cfg = SelectConfig {
+                pdef,
+                span_limit: Some(2),
+                parallel: false,
+                ..Default::default()
+            };
+            b.iter(|| mps::select::select_patterns(&adfg, &cfg).patterns.len());
+        });
+    }
+    // The loop alone, reusing the table (what Table 7 amortizes).
+    group.bench_function("loop_only_pdef4", |b| {
+        let cfg = SelectConfig {
+            pdef: 4,
+            span_limit: Some(2),
+            parallel: false,
+            ..Default::default()
+        };
+        b.iter(|| {
+            mps::select::select_from_table(&adfg, &table, &cfg)
+                .patterns
+                .len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table_build, bench_selection_loop);
+criterion_main!(benches);

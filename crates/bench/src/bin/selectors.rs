@@ -1,0 +1,125 @@
+//! Cross-selector comparison: every pattern-selection strategy in the
+//! workspace against every workload family, by final schedule length.
+//!
+//! This is the experiment the paper's Table 7 gestures at (Eq. 8 vs
+//! random) widened to the full design space the codebase implements:
+//!
+//! * `eq8` — the paper's §5.2 selection (ε = 0.5, α = 20, Eq. 9);
+//! * `eq8+anneal` — Eq. 8 refined by simulated annealing against true
+//!   schedule cycles (the paper's "improve the priority function" future
+//!   work, taken to its endpoint);
+//! * `eq8+genetic` — Eq. 8 evolved with crossover + mutation (elitist);
+//! * `eq8+beam` — Eq. 8 patterns, schedule searched with a width-8 beam;
+//! * `scarcity` — the scarcity-weighted Eq. 8 variant;
+//! * `node-cover` — greedy node-coverage (set-cover instinct);
+//! * `max-count` — greedy raw antichain count;
+//! * `random` — mean of 10 covering random draws (the paper's baseline).
+//!
+//! ```text
+//! cargo run --release -p mps-bench --bin selectors
+//! ```
+
+use mps::prelude::*;
+use mps::scheduler::{schedule_beam, BeamConfig};
+use mps::select::{node_cover_greedy, select_and_anneal, AnnealConfig};
+
+fn main() {
+    let workloads = [
+        "fig2", "dft5", "fir16", "dct8", "matmul3", "lattice6", "cordic8", "cholesky4", "sobel4",
+    ];
+    let pdef = 4usize;
+    let base = SelectConfig {
+        pdef,
+        span_limit: Some(1),
+        ..Default::default()
+    };
+
+    let header: Vec<String> = std::iter::once("selector".to_string())
+        .chain(workloads.iter().map(|s| s.to_string()))
+        .collect();
+    let mut rows: Vec<Vec<String>> = vec![
+        vec!["eq8 (paper)".to_string()],
+        vec!["eq8+anneal".to_string()],
+        vec!["eq8+genetic".to_string()],
+        vec!["eq8+beam".to_string()],
+        vec!["scarcity".to_string()],
+        vec!["node-cover".to_string()],
+        vec!["max-count".to_string()],
+        vec!["random (mean 10)".to_string()],
+        vec!["lower bound".to_string()],
+    ];
+
+    for w in workloads {
+        let adfg = AnalyzedDfg::new(mps::workloads::by_name(w).unwrap());
+
+        let eq8 = mps::select::select_patterns(&adfg, &base).patterns;
+        let eq8_cycles = cycles(&adfg, &eq8);
+        rows[0].push(fmt(eq8_cycles));
+
+        let annealed = select_and_anneal(
+            &adfg,
+            &base,
+            AnnealConfig {
+                iterations: 300,
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        rows[1].push(annealed.cycles.to_string());
+
+        let evolved = mps::select::evolve_patterns(
+            &adfg,
+            std::slice::from_ref(&eq8),
+            &[],
+            mps::select::GeneticConfig {
+                seed: 7,
+                ..Default::default()
+            },
+            MultiPatternConfig::default(),
+        );
+        rows[2].push(evolved.cycles.to_string());
+
+        let beam = schedule_beam(
+            &adfg,
+            &eq8,
+            BeamConfig {
+                width: 8,
+                ..Default::default()
+            },
+        )
+        .map(|r| r.schedule.len());
+        rows[3].push(fmt(beam.ok()));
+
+        let scarce = mps::select::select_with_priority(&adfg, &base, mps::select::scarcity_priority);
+        rows[4].push(fmt(cycles(&adfg, &scarce)));
+
+        let ncover = node_cover_greedy(&adfg, &base).patterns;
+        rows[5].push(fmt(cycles(&adfg, &ncover)));
+
+        let maxcount = mps::select::coverage_greedy(&adfg, &base);
+        rows[6].push(fmt(cycles(&adfg, &maxcount)));
+
+        let rb = random_baseline(&adfg, pdef, 5, 10, 99, MultiPatternConfig::default());
+        rows[7].push(format!("{:.1}", rb.mean()));
+
+        // Pattern-independent floor: critical path vs ⌈n / C⌉.
+        let floor = (adfg.levels().critical_path_len() as usize)
+            .max(adfg.len().div_ceil(5));
+        rows[8].push(floor.to_string());
+    }
+
+    println!("Cross-selector comparison: schedule cycles (Pdef=4, C=5, span ≤ 1, F2)");
+    println!("{}", mps_bench::render_table(&header, &rows));
+    println!("FAIL = selected patterns strand a color. 'lower bound' is pattern-free");
+    println!("(max of critical path and ⌈n/C⌉) — no selector can beat it.");
+}
+
+fn cycles(adfg: &AnalyzedDfg, patterns: &PatternSet) -> Option<usize> {
+    schedule_multi_pattern(adfg, patterns, MultiPatternConfig::default())
+        .ok()
+        .map(|r| r.schedule.len())
+}
+
+fn fmt(c: Option<usize>) -> String {
+    c.map_or("FAIL".to_string(), |v| v.to_string())
+}

@@ -1,0 +1,32 @@
+//! Regenerate the paper's **Table 3**: clock cycles of the 3DFT under the
+//! three hand-picked 4-pattern sets (the experiment that motivates pattern
+//! selection — "the selection of patterns has a very strong influence on
+//! the scheduling results!").
+//!
+//! ```text
+//! cargo run -p mps-bench --bin table3
+//! ```
+
+use mps::prelude::*;
+
+fn main() {
+    let adfg = mps_bench::fig2_analyzed();
+    let sets = [
+        ("{a,b,c,b,c}, {b,b,b,a,b}, {b,b,b,c,b}, {b,a,b,a,a}", "abcbc bbbab bbbcb babaa", 8),
+        ("{a,b,c,b,c}, {b,c,b,c,a}, {c,b,a,b,a}, {b,b,c,c,b}", "abcbc bcbca cbaba bbccb", 9),
+        ("{a,b,c,c,c}, {a,a,b,a,c}, {c,c,c,a,a}, {a,b,a,b,b}", "abccc aabac cccaa ababb", 7),
+    ];
+
+    let header: Vec<String> = ["patterns", "paper cycles", "measured cycles"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for (label, parse, paper) in sets {
+        let ps = PatternSet::parse(parse).unwrap();
+        let cycles = mps_bench::cycles_with(&adfg, &ps);
+        rows.push(vec![label.to_string(), paper.to_string(), cycles.to_string()]);
+    }
+    println!("Table 3: number of clock cycles for the final scheduling (3DFT)");
+    println!("{}", mps_bench::render_table(&header, &rows));
+}

@@ -1,0 +1,70 @@
+//! Regenerate the paper's **Table 6**: node frequencies `h(p̄, n)` for the
+//! Fig. 4 example, plus the §5.2 worked selection (priorities 26/24/88/84,
+//! picks {aa} then {bb}).
+//!
+//! ```text
+//! cargo run -p mps-bench --bin table6
+//! ```
+
+use mps::prelude::*;
+
+fn main() {
+    let adfg = AnalyzedDfg::new(mps::workloads::fig4());
+    let table = PatternTable::build(
+        &adfg,
+        EnumerateConfig {
+            capacity: 5,
+            span_limit: None,
+            parallel: false,
+        },
+    );
+
+    let nodes = ["a1", "a2", "a3", "b4", "b5"];
+    let header: Vec<String> = std::iter::once("pattern".to_string())
+        .chain(nodes.iter().map(|s| s.to_string()))
+        .collect();
+    let mut rows = Vec::new();
+    for stats in table.iter() {
+        let mut row = vec![format!("{{{}}}", stats.pattern)];
+        for name in nodes {
+            let n = adfg.dfg().find(name).unwrap();
+            row.push(stats.freq(n).to_string());
+        }
+        rows.push(row);
+    }
+    println!("Table 6: node frequencies h(p̄, n) for Fig. 4");
+    println!("{}", mps_bench::render_table(&header, &rows));
+
+    // The worked example: first-round priorities and the two selections.
+    let out = select_patterns(
+        &adfg,
+        &SelectConfig {
+            pdef: 2,
+            parallel: false,
+            ..Default::default()
+        },
+    );
+    println!("selection rounds (ε = 0.5, α = 20):");
+    for (i, r) in out.rounds.iter().enumerate() {
+        println!(
+            "  round {}: chose {{{}}} with f = {}{}",
+            i + 1,
+            r.chosen,
+            r.priority,
+            if r.fabricated { " (fabricated)" } else { "" }
+        );
+    }
+
+    let pdef1 = select_patterns(
+        &adfg,
+        &SelectConfig {
+            pdef: 1,
+            parallel: false,
+            ..Default::default()
+        },
+    );
+    println!(
+        "Pdef = 1: fabricated pattern {{{}}} (no candidate satisfies the color number condition)",
+        pdef1.patterns.patterns()[0]
+    );
+}

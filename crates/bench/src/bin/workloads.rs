@@ -1,0 +1,48 @@
+//! Benchmark-characteristics table: the shape metrics of every workload
+//! family in the evaluation, plus the DAG width (maximum antichain) that
+//! bounds how many ALUs can ever help.
+//!
+//! ```text
+//! cargo run --release -p mps-bench --bin workloads
+//! ```
+
+use mps::prelude::*;
+
+fn main() {
+    let names = [
+        "fig2", "fig4", "dft3", "dft5", "fir16", "fir8-chain", "iir3", "dct8", "fft8",
+        "conv3", "horner5", "matmul3", "lattice6", "cordic8", "cholesky4", "sobel4",
+    ];
+
+    let header: Vec<String> = [
+        "workload", "nodes", "edges", "colors", "depth", "width", "max lvl", "avg par",
+        "mobility",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+
+    for name in names {
+        let adfg = AnalyzedDfg::new(mps::workloads::by_name(name).unwrap());
+        let s = mps::dfg::DfgStats::compute(adfg.dfg());
+        let width = mps::patterns::width(&adfg);
+        rows.push(vec![
+            name.to_string(),
+            s.nodes.to_string(),
+            s.edges.to_string(),
+            s.colors.to_string(),
+            s.critical_path.to_string(),
+            width.to_string(),
+            s.max_level_width.to_string(),
+            format!("{:.2}", s.avg_parallelism),
+            format!("{:.2}", s.mean_mobility),
+        ]);
+    }
+
+    println!("Workload characteristics:");
+    println!("{}", mps_bench::render_table(&header, &rows));
+    println!("depth = critical path (cycles); width = maximum antichain (Dilworth);");
+    println!("max lvl = largest ASAP level population; avg par = nodes/depth;");
+    println!("mobility = mean ALAP − ASAP slack per node.");
+}

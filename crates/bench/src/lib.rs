@@ -1,0 +1,78 @@
+//! Shared helpers for the table-regeneration binaries and Criterion
+//! benches. Each `src/bin/tableN.rs` reprints one table of the paper's
+//! evaluation from a fresh run of the reproduction; `benches/` measures
+//! the performance of the underlying machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mps::prelude::*;
+
+/// Render a simple aligned text table: a header row plus data rows.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(header, &widths));
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// The scheduling setup shared by every table: the paper's graph, default
+/// multi-pattern configuration, trace recording on.
+pub fn fig2_analyzed() -> AnalyzedDfg {
+    AnalyzedDfg::new(mps::workloads::fig2())
+}
+
+/// The paper's Table 2/3 helper: schedule `fig2` with an explicit pattern
+/// set and return the cycle count.
+pub fn cycles_with(adfg: &AnalyzedDfg, patterns: &PatternSet) -> usize {
+    schedule_multi_pattern(adfg, patterns, MultiPatternConfig::default())
+        .expect("pattern sets used by the paper cover all colors")
+        .schedule
+        .len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_table_aligns() {
+        let t = render_table(
+            &["x".into(), "longer".into()],
+            &[vec!["aaaa".into(), "b".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("x     "));
+        assert!(lines[2].starts_with("aaaa"));
+    }
+
+    #[test]
+    fn fig2_cycles_with_table2_patterns() {
+        let adfg = fig2_analyzed();
+        let ps = PatternSet::parse("aabcc aaacc").unwrap();
+        assert_eq!(cycles_with(&adfg, &ps), 7);
+    }
+}

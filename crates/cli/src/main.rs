@@ -1,0 +1,368 @@
+//! `mps` — command-line driver for the multi-pattern scheduling pipeline.
+//!
+//! ```text
+//! mps list                                  # available workloads
+//! mps info <workload>                       # graph statistics and levels
+//! mps dot <workload>                        # Graphviz DOT on stdout
+//! mps schedule <workload> <patterns...>     # schedule with given patterns
+//! mps select <workload> [--pdef N] [--span S] [--trace]
+//!                                           # run the paper's full pipeline
+//! ```
+
+use mps::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("info") => with_workload(&args, 2, cmd_info),
+        Some("stats") => with_workload(&args, 2, cmd_stats),
+        Some("dot") => with_workload(&args, 2, cmd_dot),
+        Some("schedule") => cmd_schedule(&args),
+        Some("select") => cmd_select(&args),
+        Some("pipeline") => cmd_pipeline(&args),
+        Some("patterns") => cmd_patterns(&args),
+        _ => {
+            eprintln!("usage: mps <list|info|dot|schedule|select|pipeline|patterns> [args]");
+            eprintln!("  (every <workload> argument also accepts a path to a");
+            eprintln!("   graph file in the `node <name> <color>` text format)");
+            eprintln!("  mps list");
+            eprintln!("  mps info <workload>");
+            eprintln!("  mps stats <workload>");
+            eprintln!("  mps dot <workload>");
+            eprintln!("  mps schedule <workload> <pattern> [pattern...]");
+            eprintln!("  mps select <workload> [--pdef N] [--span S] [--trace]");
+            eprintln!("  mps pipeline <workload> [--pdef N] [--tp]");
+            eprintln!("  mps patterns <workload> [--span S] [--dot]");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Resolve a graph argument: first as a built-in workload name, then — if a
+/// file of that name exists — as a graph in the `mps_dfg::parse_text` text
+/// format (`node <name> <color>` / `edge <from> <to>` lines).
+fn load(name: &str) -> Option<AnalyzedDfg> {
+    if let Some(d) = mps::workloads::by_name(name) {
+        return Some(AnalyzedDfg::new(d));
+    }
+    if std::path::Path::new(name).exists() {
+        let src = match std::fs::read_to_string(name) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("could not read {name}: {e}");
+                return None;
+            }
+        };
+        return match mps::dfg::parse_text(&src) {
+            Ok(g) => Some(AnalyzedDfg::new(g)),
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                None
+            }
+        };
+    }
+    eprintln!(
+        "unknown workload '{name}' (and no such file); known workloads: {}",
+        mps::workloads::workload_names().join(", ")
+    );
+    None
+}
+
+fn with_workload(args: &[String], min_len: usize, f: fn(&AnalyzedDfg) -> i32) -> i32 {
+    if args.len() < min_len {
+        eprintln!("missing workload name");
+        return 2;
+    }
+    match load(&args[1]) {
+        Some(adfg) => f(&adfg),
+        None => 2,
+    }
+}
+
+fn cmd_list() -> i32 {
+    println!("workloads (parameterized names take a number, e.g. dft5, fir16, matmul4):");
+    for name in mps::workloads::workload_names() {
+        println!("  {name}");
+    }
+    0
+}
+
+fn cmd_info(adfg: &AnalyzedDfg) -> i32 {
+    let g = adfg.dfg();
+    let l = adfg.levels();
+    println!("nodes: {}", g.len());
+    println!("edges: {}", g.edge_count());
+    println!("colors: {:?}", g.color_set());
+    let hist = g.color_histogram();
+    for (i, &count) in hist.iter().enumerate() {
+        if count > 0 {
+            println!("  color {}: {count} nodes", Color(i as u8));
+        }
+    }
+    println!("critical path: {} cycles", l.critical_path_len());
+    println!("sources: {}, sinks: {}", g.sources().len(), g.sinks().len());
+    0
+}
+
+fn cmd_stats(adfg: &AnalyzedDfg) -> i32 {
+    print!("{}", mps::dfg::DfgStats::compute(adfg.dfg()));
+    println!("DAG width (maximum antichain): {}", mps::patterns::width(adfg));
+    let mac = mps::patterns::maximum_antichain(adfg);
+    let names: Vec<&str> = mac.iter().map(|&n| adfg.dfg().name(n)).collect();
+    println!("one maximum antichain: {{{}}}", names.join(","));
+    0
+}
+
+fn cmd_dot(adfg: &AnalyzedDfg) -> i32 {
+    print!("{}", mps::dfg::dot_string(adfg.dfg(), "mps workload"));
+    0
+}
+
+fn cmd_schedule(args: &[String]) -> i32 {
+    if args.len() < 3 {
+        eprintln!("usage: mps schedule <workload> <pattern> [pattern...]");
+        return 2;
+    }
+    let Some(adfg) = load(&args[1]) else { return 2 };
+    let Some(patterns) = PatternSet::parse(&args[2..].join(" ")) else {
+        eprintln!("could not parse patterns (use lowercase letters, e.g. aabcc)");
+        return 2;
+    };
+    match schedule_multi_pattern(&adfg, &patterns, MultiPatternConfig::default()) {
+        Ok(r) => {
+            print!("{}", r.schedule);
+            println!();
+            print!("{}", mps::scheduler::render_gantt(&adfg, &r.schedule, 5));
+            0
+        }
+        Err(e) => {
+            eprintln!("scheduling failed: {e}");
+            1
+        }
+    }
+}
+
+/// Software-pipeline a kernel: select patterns (Eq. 8 or the
+/// throughput-apportioned variant with `--tp`), then find the smallest
+/// initiation interval and print the steady-state reservation table.
+fn cmd_pipeline(args: &[String]) -> i32 {
+    if args.len() < 2 {
+        eprintln!("usage: mps pipeline <workload> [--pdef N] [--tp]");
+        return 2;
+    }
+    let Some(adfg) = load(&args[1]) else { return 2 };
+    let mut pdef = 4usize;
+    let mut tp = false;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--pdef" => {
+                i += 1;
+                pdef = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(pdef);
+            }
+            "--tp" => tp = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+
+    let patterns = if tp {
+        mps::select::select_for_throughput(&adfg, 5)
+    } else {
+        select_patterns(
+            &adfg,
+            &SelectConfig {
+                pdef,
+                span_limit: Some(2),
+                ..Default::default()
+            },
+        )
+        .patterns
+    };
+    println!("patterns: {patterns}");
+
+    let flat = match schedule_multi_pattern(&adfg, &patterns, MultiPatternConfig::default()) {
+        Ok(r) => r.schedule,
+        Err(e) => {
+            eprintln!("flat scheduling failed: {e}");
+            return 1;
+        }
+    };
+    let piped = match mps::scheduler::schedule_modulo(&adfg, &patterns, Default::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("modulo scheduling failed: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "latency {} cycles; II = {} (resource bound {}); steady-state speedup {:.2}x",
+        flat.len(),
+        piped.ii,
+        piped.mii,
+        flat.len() as f64 / piped.ii as f64
+    );
+    for r in 0..piped.ii {
+        println!(
+            "  slot {r}: [{}] union bag {{{}}}",
+            piped.slot_patterns[r],
+            piped.slot_bag(&adfg, r)
+        );
+    }
+    0
+}
+
+/// Print a workload's candidate patterns (§5.1) with antichain counts,
+/// plus the subpattern lattice summary; `--dot` emits the Hasse diagram.
+fn cmd_patterns(args: &[String]) -> i32 {
+    if args.len() < 2 {
+        eprintln!("usage: mps patterns <workload> [--span S] [--dot]");
+        return 2;
+    }
+    let Some(adfg) = load(&args[1]) else { return 2 };
+    let mut span: Option<u32> = Some(1);
+    let mut dot = false;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--span" => {
+                i += 1;
+                span = match args.get(i).map(String::as_str) {
+                    Some("none") => None,
+                    Some(s) => s.parse().ok(),
+                    None => span,
+                };
+            }
+            "--dot" => dot = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+
+    let table = mps::patterns::PatternTable::build(
+        &adfg,
+        mps::patterns::EnumerateConfig {
+            span_limit: span,
+            ..Default::default()
+        },
+    );
+    let lattice = mps::patterns::SubpatternLattice::build(table.iter().map(|s| s.pattern));
+    if dot {
+        print!("{}", lattice.to_dot("candidate subpattern lattice"));
+        return 0;
+    }
+
+    println!(
+        "{} candidate patterns ({} antichains total, span limit {:?}):",
+        table.len(),
+        table.total_antichains(),
+        span
+    );
+    let maximal = lattice.maximal();
+    let mut stats: Vec<_> = table.iter().collect();
+    stats.sort_by_key(|s| std::cmp::Reverse(s.antichain_count));
+    for s in stats.iter().take(20) {
+        let idx = lattice.index_of(&s.pattern).expect("pattern is in lattice");
+        println!(
+            "  {:<8} {:>6} antichains, {} strict subpatterns{}",
+            s.pattern.to_string(),
+            s.antichain_count,
+            lattice.strict_subpatterns(idx).len(),
+            if maximal.contains(&idx) { "  [maximal]" } else { "" }
+        );
+    }
+    if stats.len() > 20 {
+        println!("  … {} more", stats.len() - 20);
+    }
+    println!(
+        "lattice: {} maximal, {} minimal, height {} (longest deletion cascade)",
+        maximal.len(),
+        lattice.minimal().len(),
+        lattice.height()
+    );
+    0
+}
+
+fn cmd_select(args: &[String]) -> i32 {
+    if args.len() < 2 {
+        eprintln!("usage: mps select <workload> [--pdef N] [--span S] [--trace]");
+        return 2;
+    }
+    let Some(adfg) = load(&args[1]) else { return 2 };
+    let mut pdef = 4usize;
+    let mut span: Option<u32> = Some(1);
+    let mut trace = false;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--pdef" => {
+                i += 1;
+                pdef = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(pdef);
+            }
+            "--span" => {
+                i += 1;
+                span = match args.get(i).map(String::as_str) {
+                    Some("none") => None,
+                    Some(s) => s.parse().ok(),
+                    None => span,
+                };
+            }
+            "--trace" => trace = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+
+    let cfg = PipelineConfig {
+        select: SelectConfig {
+            pdef,
+            span_limit: span,
+            ..Default::default()
+        },
+        sched: MultiPatternConfig {
+            record_trace: trace,
+            ..Default::default()
+        },
+    };
+    let selection = select_patterns(&adfg, &cfg.select);
+    println!("selected patterns: {}", selection.patterns);
+    for (i, r) in selection.rounds.iter().enumerate() {
+        println!(
+            "  round {}: {{{}}} f={:.2}{}",
+            i + 1,
+            r.chosen,
+            r.priority,
+            if r.fabricated { " (fabricated)" } else { "" }
+        );
+    }
+    match schedule_multi_pattern(&adfg, &selection.patterns, cfg.sched) {
+        Ok(r) => {
+            if let Some(t) = &r.trace {
+                print!("{}", t.render(&adfg, &selection.patterns));
+            }
+            print!("{}", r.schedule);
+            let bound = mps::scheduler::bounds::lower_bound(&adfg, &selection.patterns);
+            println!(
+                "{} cycles (lower bound {bound}), utilization {:.0}%",
+                r.schedule.len(),
+                r.schedule.utilization(cfg.select.capacity) * 100.0
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("scheduling failed: {e}");
+            1
+        }
+    }
+}

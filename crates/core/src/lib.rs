@@ -1,0 +1,85 @@
+//! # mps — multi-pattern scheduling for coarse-grained reconfigurable arrays
+//!
+//! A from-scratch Rust reproduction of Guo, Hoede & Smit, *"A Pattern
+//! Selection Algorithm for Multi-Pattern Scheduling"* (IPPS 2006), built as
+//! a set of focused crates and re-exported here:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`dfg`] | `mps-dfg` | colored data-flow graphs, ASAP/ALAP/height, reachability, spans |
+//! | [`patterns`] | `mps-patterns` | pattern bags, span-limited antichain enumeration, `h(p̄,n)` tables |
+//! | [`scheduler`] | `mps-scheduler` | multi-pattern list scheduling, classic + force-directed baselines |
+//! | [`select`] | `mps-select` | the Eq. 8 pattern selection algorithm and its baselines |
+//! | [`montium`] | `mps-montium` | 5-ALU / 32-config tile model with cycle-accurate replay |
+//! | [`workloads`] | `mps-workloads` | the paper's Fig. 2/Fig. 4 graphs, DFT/FIR/IIR/DCT/matmul generators |
+//! | [`par`] | `mps-par` | crossbeam-based parallel-map substrate |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mps::prelude::*;
+//!
+//! // The paper's 3DFT graph (Fig. 2).
+//! let adfg = AnalyzedDfg::new(mps::workloads::fig2());
+//!
+//! // Select 4 patterns with the paper's algorithm (ε = 0.5, α = 20)…
+//! let cfg = PipelineConfig {
+//!     select: SelectConfig::with_pdef(4),
+//!     sched: MultiPatternConfig::default(),
+//! };
+//! let result = select_and_schedule(&adfg, &cfg).unwrap();
+//!
+//! // …and replay the schedule on a Montium tile.
+//! let report = mps::montium::execute(
+//!     &adfg,
+//!     &result.schedule,
+//!     &result.selection.patterns,
+//!     mps::montium::TileParams::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(report.bindings.len(), 24);
+//! assert!(result.cycles >= 5, "critical path of the 3DFT is 5 cycles");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mps_dfg as dfg;
+pub use mps_montium as montium;
+pub use mps_par as par;
+pub use mps_patterns as patterns;
+pub use mps_scheduler as scheduler;
+pub use mps_select as select;
+pub use mps_workloads as workloads;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use mps_dfg::{AnalyzedDfg, Color, ColorSet, Dfg, DfgBuilder, Levels, NodeId, Reachability};
+    pub use mps_patterns::{
+        enumerate_antichains, span_histogram, EnumerateConfig, Pattern, PatternSet, PatternTable,
+    };
+    pub use mps_scheduler::{
+        schedule_multi_pattern, MultiPatternConfig, PatternPriority, Schedule, TieBreak,
+    };
+    pub use mps_select::{
+        random_baseline, select_and_schedule, select_patterns, PipelineConfig, SelectConfig,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_is_usable() {
+        use crate::prelude::*;
+        let adfg = AnalyzedDfg::new(mps_workloads::fig4());
+        let out = select_patterns(
+            &adfg,
+            &SelectConfig {
+                pdef: 2,
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.patterns.len(), 2);
+    }
+}

@@ -1,0 +1,226 @@
+//! ASAP / ALAP / Height level analysis (paper Eqs. 1–3).
+
+use crate::graph::Dfg;
+use crate::node::NodeId;
+
+/// Per-node level attributes of a DFG.
+///
+/// Follows the paper's conventions exactly:
+///
+/// * `ASAP(n) = 0` for sources, else `max over preds (ASAP + 1)` (Eq. 1);
+/// * `ALAP(n) = ASAPmax` for sinks, else `min over succs (ALAP − 1)`
+///   (Eq. 2) — note sinks are pinned at `ASAPmax`, not at their own
+///   earliest level;
+/// * `Height(n) = 1` for sinks, else `max over succs (Height + 1)`
+///   (Eq. 3) — heights count *nodes* on the longest downward path, so a
+///   source on the critical path of a depth-`d` graph has height `d`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Levels {
+    asap: Vec<u32>,
+    alap: Vec<u32>,
+    height: Vec<u32>,
+    asap_max: u32,
+}
+
+impl Levels {
+    /// Compute all level attributes in two passes over the topological
+    /// order (O(V + E)).
+    pub fn compute(dfg: &Dfg) -> Levels {
+        let n = dfg.len();
+        let mut asap = vec![0u32; n];
+        let mut height = vec![1u32; n];
+
+        // Forward pass: ASAP.
+        for &v in dfg.topo_order() {
+            for &u in dfg.preds(v) {
+                asap[v.index()] = asap[v.index()].max(asap[u.index()] + 1);
+            }
+        }
+        let asap_max = asap.iter().copied().max().unwrap_or(0);
+
+        // Backward pass: ALAP and Height.
+        let mut alap = vec![asap_max; n];
+        for &v in dfg.topo_order().iter().rev() {
+            for &w in dfg.succs(v) {
+                alap[v.index()] = alap[v.index()].min(alap[w.index()].saturating_sub(1));
+                height[v.index()] = height[v.index()].max(height[w.index()] + 1);
+            }
+        }
+
+        Levels {
+            asap,
+            alap,
+            height,
+            asap_max,
+        }
+    }
+
+    /// Earliest cycle of `n` (Eq. 1).
+    #[inline]
+    pub fn asap(&self, n: NodeId) -> u32 {
+        self.asap[n.index()]
+    }
+
+    /// Latest cycle of `n` (Eq. 2).
+    #[inline]
+    pub fn alap(&self, n: NodeId) -> u32 {
+        self.alap[n.index()]
+    }
+
+    /// Longest node-count distance from `n` to a sink (Eq. 3).
+    #[inline]
+    pub fn height(&self, n: NodeId) -> u32 {
+        self.height[n.index()]
+    }
+
+    /// `ASAPmax`: the largest ASAP level in the graph. The critical path
+    /// contains `asap_max + 1` nodes, so no schedule can be shorter than
+    /// `asap_max + 1` cycles.
+    #[inline]
+    pub fn asap_max(&self) -> u32 {
+        self.asap_max
+    }
+
+    /// Scheduling slack `ALAP(n) − ASAP(n)` (classic "mobility").
+    #[inline]
+    pub fn mobility(&self, n: NodeId) -> u32 {
+        self.alap[n.index()] - self.asap[n.index()]
+    }
+
+    /// Length (in cycles) of the shortest possible schedule: the critical
+    /// path, `ASAPmax + 1`.
+    #[inline]
+    pub fn critical_path_len(&self) -> u32 {
+        self.asap_max + 1
+    }
+
+    /// Number of nodes the analysis was computed for.
+    pub fn len(&self) -> usize {
+        self.asap.len()
+    }
+
+    /// `true` if computed for an empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.asap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Color;
+    use crate::graph::DfgBuilder;
+
+    fn c(ch: char) -> Color {
+        Color::from_char(ch).unwrap()
+    }
+
+    /// Chain x -> y -> z plus an independent node w.
+    fn chain_plus_isolated() -> Dfg {
+        let mut b = DfgBuilder::new();
+        let x = b.add_node("x", c('a'));
+        let y = b.add_node("y", c('a'));
+        let z = b.add_node("z", c('a'));
+        let _w = b.add_node("w", c('b'));
+        b.add_edge(x, y).unwrap();
+        b.add_edge(y, z).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_levels() {
+        let g = chain_plus_isolated();
+        let l = Levels::compute(&g);
+        let (x, y, z, w) = (
+            g.find("x").unwrap(),
+            g.find("y").unwrap(),
+            g.find("z").unwrap(),
+            g.find("w").unwrap(),
+        );
+        assert_eq!(l.asap(x), 0);
+        assert_eq!(l.asap(y), 1);
+        assert_eq!(l.asap(z), 2);
+        assert_eq!(l.asap(w), 0);
+        assert_eq!(l.asap_max(), 2);
+
+        assert_eq!(l.alap(x), 0);
+        assert_eq!(l.alap(y), 1);
+        assert_eq!(l.alap(z), 2);
+        // Sinks are pinned at ASAPmax per Eq. 2, so the isolated node has
+        // full mobility.
+        assert_eq!(l.alap(w), 2);
+        assert_eq!(l.mobility(w), 2);
+        assert_eq!(l.mobility(x), 0);
+
+        assert_eq!(l.height(x), 3);
+        assert_eq!(l.height(y), 2);
+        assert_eq!(l.height(z), 1);
+        assert_eq!(l.height(w), 1);
+        assert_eq!(l.critical_path_len(), 3);
+    }
+
+    #[test]
+    fn diamond_levels() {
+        let mut b = DfgBuilder::new();
+        let s = b.add_node("s", c('a'));
+        let l = b.add_node("l", c('b'));
+        let r = b.add_node("r", c('b'));
+        let t = b.add_node("t", c('a'));
+        b.add_edge(s, l).unwrap();
+        b.add_edge(s, r).unwrap();
+        b.add_edge(l, t).unwrap();
+        b.add_edge(r, t).unwrap();
+        let g = b.build().unwrap();
+        let lv = Levels::compute(&g);
+        assert_eq!(lv.asap(s), 0);
+        assert_eq!(lv.asap(l), 1);
+        assert_eq!(lv.asap(r), 1);
+        assert_eq!(lv.asap(t), 2);
+        assert_eq!(lv.alap(l), 1);
+        assert_eq!(lv.alap(r), 1);
+        assert_eq!(lv.height(s), 3);
+        assert_eq!(lv.height(l), 2);
+        assert_eq!(lv.height(t), 1);
+    }
+
+    #[test]
+    fn asap_never_exceeds_alap() {
+        let g = chain_plus_isolated();
+        let l = Levels::compute(&g);
+        for v in g.node_ids() {
+            assert!(l.asap(v) <= l.alap(v), "ASAP must bound ALAP for {v}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DfgBuilder::new().build().unwrap();
+        let l = Levels::compute(&g);
+        assert!(l.is_empty());
+        assert_eq!(l.asap_max(), 0);
+        assert_eq!(l.critical_path_len(), 1);
+    }
+
+    #[test]
+    fn single_node() {
+        let mut b = DfgBuilder::new();
+        let x = b.add_node("x", c('a'));
+        let g = b.build().unwrap();
+        let l = Levels::compute(&g);
+        assert_eq!(l.asap(x), 0);
+        assert_eq!(l.alap(x), 0);
+        assert_eq!(l.height(x), 1);
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn edge_implies_strictly_increasing_asap() {
+        let g = chain_plus_isolated();
+        let l = Levels::compute(&g);
+        for (u, v) in g.edges() {
+            assert!(l.asap(u) < l.asap(v));
+            assert!(l.alap(u) < l.alap(v));
+            assert!(l.height(u) > l.height(v));
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Operation colors.
+//!
+//! The paper calls the function type of a node its *color* (`l(n)`): on the
+//! Montium, "a" might be addition, "b" subtraction, "c" multiplication. A
+//! pattern is a bag of colors. We represent a color as a small integer
+//! (`u8`), displayable as a lowercase letter for the paper's notation, and
+//! provide [`ColorSet`] — a 256-bit set — for the *complete color set* `L`
+//! and *selected color set* `Ls` manipulated by the color number condition
+//! (Eq. 9).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An operation type ("color" in the paper's terminology).
+///
+/// Colors are dense small integers. For graphs written in the paper's
+/// letter notation, color 0 is `'a'`, 1 is `'b'`, … Colors ≥ 26 display as
+/// `#<index>`.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Color(pub u8);
+
+impl Color {
+    /// Color for a lowercase letter, `'a' → Color(0)`, …, `'z' → Color(25)`.
+    pub fn from_char(c: char) -> Option<Color> {
+        if c.is_ascii_lowercase() {
+            Some(Color(c as u8 - b'a'))
+        } else {
+            None
+        }
+    }
+
+    /// The letter for this color if it is within `'a'..='z'`.
+    pub fn as_char(self) -> Option<char> {
+        if self.0 < 26 {
+            Some((b'a' + self.0) as char)
+        } else {
+            None
+        }
+    }
+
+    /// Raw index of this color.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.as_char() {
+            Some(c) => write!(f, "{c}"),
+            None => write!(f, "#{}", self.0),
+        }
+    }
+}
+
+impl fmt::Debug for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Color({self})")
+    }
+}
+
+/// A set of colors, stored as a 256-bit bitset (colors are `u8`-indexed).
+///
+/// Implements the paper's `L` (complete color set), `Ls` (selected color
+/// set) and `Ln(p̄)` (new color set of a candidate pattern) with O(1) set
+/// algebra.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct ColorSet {
+    bits: [u64; 4],
+}
+
+impl ColorSet {
+    /// The empty color set.
+    pub const EMPTY: ColorSet = ColorSet { bits: [0; 4] };
+
+    /// Create an empty set.
+    pub fn new() -> ColorSet {
+        Self::EMPTY
+    }
+
+    /// Build a set from an iterator of colors.
+    #[allow(clippy::should_implement_trait)] // also provided via FromIterator
+    pub fn from_iter<I: IntoIterator<Item = Color>>(iter: I) -> ColorSet {
+        let mut s = Self::EMPTY;
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+
+    /// Insert a color. Returns `true` if it was not already present.
+    pub fn insert(&mut self, c: Color) -> bool {
+        let (w, b) = (c.index() / 64, c.index() % 64);
+        let had = self.bits[w] & (1 << b) != 0;
+        self.bits[w] |= 1 << b;
+        !had
+    }
+
+    /// Remove a color. Returns `true` if it was present.
+    pub fn remove(&mut self, c: Color) -> bool {
+        let (w, b) = (c.index() / 64, c.index() % 64);
+        let had = self.bits[w] & (1 << b) != 0;
+        self.bits[w] &= !(1 << b);
+        had
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, c: Color) -> bool {
+        let (w, b) = (c.index() / 64, c.index() % 64);
+        self.bits[w] & (1 << b) != 0
+    }
+
+    /// Number of colors in the set.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if no color is present.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &ColorSet) -> ColorSet {
+        let mut bits = self.bits;
+        for (a, b) in bits.iter_mut().zip(other.bits.iter()) {
+            *a |= b;
+        }
+        ColorSet { bits }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &ColorSet) -> ColorSet {
+        let mut bits = self.bits;
+        for (a, b) in bits.iter_mut().zip(other.bits.iter()) {
+            *a &= !b;
+        }
+        ColorSet { bits }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &ColorSet) -> ColorSet {
+        let mut bits = self.bits;
+        for (a, b) in bits.iter_mut().zip(other.bits.iter()) {
+            *a &= b;
+        }
+        ColorSet { bits }
+    }
+
+    /// `true` if every color of `self` is in `other`.
+    pub fn is_subset(&self, other: &ColorSet) -> bool {
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterate over the colors in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = Color> + '_ {
+        (0..=255u16).filter_map(move |i| {
+            let c = Color(i as u8);
+            self.contains(c).then_some(c)
+        })
+    }
+}
+
+impl fmt::Debug for ColorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Color> for ColorSet {
+    fn from_iter<I: IntoIterator<Item = Color>>(iter: I) -> Self {
+        ColorSet::from_iter(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(ch: char) -> Color {
+        Color::from_char(ch).unwrap()
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for ch in 'a'..='z' {
+            assert_eq!(c(ch).as_char(), Some(ch));
+        }
+        assert_eq!(Color::from_char('A'), None);
+        assert_eq!(Color::from_char('1'), None);
+        assert_eq!(Color(200).as_char(), None);
+    }
+
+    #[test]
+    fn display_letters_and_indices() {
+        assert_eq!(c('a').to_string(), "a");
+        assert_eq!(c('z').to_string(), "z");
+        assert_eq!(Color(30).to_string(), "#30");
+    }
+
+    #[test]
+    fn colorset_insert_remove_contains() {
+        let mut s = ColorSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(c('a')));
+        assert!(!s.insert(c('a')));
+        assert!(s.contains(c('a')));
+        assert!(!s.contains(c('b')));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(c('a')));
+        assert!(!s.remove(c('a')));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn colorset_algebra() {
+        let ab = ColorSet::from_iter([c('a'), c('b')]);
+        let bc = ColorSet::from_iter([c('b'), c('c')]);
+        assert_eq!(ab.union(&bc).len(), 3);
+        assert_eq!(ab.intersection(&bc).len(), 1);
+        assert!(ab.intersection(&bc).contains(c('b')));
+        let diff = ab.difference(&bc);
+        assert_eq!(diff.len(), 1);
+        assert!(diff.contains(c('a')));
+        assert!(ab.is_subset(&ab.union(&bc)));
+        assert!(!ab.is_subset(&bc));
+    }
+
+    #[test]
+    fn colorset_handles_high_indices() {
+        let mut s = ColorSet::new();
+        s.insert(Color(255));
+        s.insert(Color(64));
+        s.insert(Color(128));
+        assert_eq!(s.len(), 3);
+        let collected: Vec<Color> = s.iter().collect();
+        assert_eq!(collected, vec![Color(64), Color(128), Color(255)]);
+    }
+
+    #[test]
+    fn colorset_iter_ascending() {
+        let s = ColorSet::from_iter([c('c'), c('a'), c('b')]);
+        let v: Vec<char> = s.iter().map(|x| x.as_char().unwrap()).collect();
+        assert_eq!(v, vec!['a', 'b', 'c']);
+    }
+}

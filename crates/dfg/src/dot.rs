@@ -1,0 +1,69 @@
+//! Graphviz DOT export (for regenerating the paper's Figures 2 and 4).
+
+use crate::graph::Dfg;
+
+/// Render the graph in Graphviz DOT syntax.
+///
+/// Nodes are labelled with their name and grouped into fill colors by
+/// operation color so the paper's "a = addition, b = subtraction,
+/// c = multiplication" convention is visually distinguishable.
+pub fn dot_string(dfg: &Dfg, title: &str) -> String {
+    let palette = [
+        "#cde7ff", "#ffd6c9", "#d8f5d0", "#f3e0ff", "#fff3bf", "#e0e0e0",
+    ];
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", escape(title)));
+    out.push_str("  rankdir=TB;\n  node [shape=circle, style=filled, fontname=\"Helvetica\"];\n");
+    for id in dfg.node_ids() {
+        let color = dfg.color(id);
+        let fill = palette[color.index() % palette.len()];
+        out.push_str(&format!(
+            "  {} [label=\"{}\", fillcolor=\"{}\"];\n",
+            id,
+            escape(dfg.name(id)),
+            fill
+        ));
+    }
+    for (u, v) in dfg.edges() {
+        out.push_str(&format!("  {u} -> {v};\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Color;
+    use crate::graph::DfgBuilder;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut b = DfgBuilder::new();
+        let x = b.add_node("x1", Color(0));
+        let y = b.add_node("y\"q", Color(1));
+        b.add_edge(x, y).unwrap();
+        let g = b.build().unwrap();
+        let dot = dot_string(&g, "test");
+        assert!(dot.starts_with("digraph \"test\" {"));
+        assert!(dot.contains("n0 [label=\"x1\""));
+        assert!(dot.contains("label=\"y\\\"q\""), "names are escaped");
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn distinct_colors_get_distinct_fills() {
+        let mut b = DfgBuilder::new();
+        b.add_node("x", Color(0));
+        b.add_node("y", Color(1));
+        let g = b.build().unwrap();
+        let dot = dot_string(&g, "t");
+        assert!(dot.contains("#cde7ff"));
+        assert!(dot.contains("#ffd6c9"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for graph construction and validation.
+
+use crate::node::NodeId;
+use std::fmt;
+
+/// Errors produced while building or validating a [`crate::Dfg`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DfgError {
+    /// An edge endpoint refers to a node that was never added.
+    UnknownNode(NodeId),
+    /// A node depends on itself.
+    SelfLoop(NodeId),
+    /// The dependency relation contains a cycle; the payload is one node on
+    /// the cycle (a DFG must be a DAG for ASAP/ALAP to exist).
+    Cycle(NodeId),
+    /// The same edge was added more than once.
+    DuplicateEdge(NodeId, NodeId),
+}
+
+impl fmt::Display for DfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfgError::UnknownNode(n) => write!(f, "edge endpoint {n} does not exist"),
+            DfgError::SelfLoop(n) => write!(f, "node {n} depends on itself"),
+            DfgError::Cycle(n) => write!(f, "dependency cycle through node {n}"),
+            DfgError::DuplicateEdge(u, v) => write!(f, "duplicate edge {u} -> {v}"),
+        }
+    }
+}
+
+impl std::error::Error for DfgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            DfgError::UnknownNode(NodeId(5)).to_string(),
+            "edge endpoint n5 does not exist"
+        );
+        assert_eq!(
+            DfgError::SelfLoop(NodeId(1)).to_string(),
+            "node n1 depends on itself"
+        );
+        assert_eq!(
+            DfgError::Cycle(NodeId(0)).to_string(),
+            "dependency cycle through node n0"
+        );
+        assert_eq!(
+            DfgError::DuplicateEdge(NodeId(0), NodeId(1)).to_string(),
+            "duplicate edge n0 -> n1"
+        );
+    }
+}

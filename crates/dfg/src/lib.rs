@@ -1,0 +1,79 @@
+//! Data-flow-graph substrate for multi-pattern scheduling.
+//!
+//! This crate implements Section 3 of Guo, Hoede & Smit, *"A Pattern
+//! Selection Algorithm for Multi-Pattern Scheduling"* (IPPS 2006): a DFG
+//! whose nodes carry a *color* (the operation type executed by a
+//! reconfigurable ALU) and whose directed edges are data dependencies,
+//! together with the per-node level attributes the paper builds on:
+//!
+//! * **ASAP** — earliest clock cycle a node may occupy (Eq. 1),
+//! * **ALAP** — latest clock cycle a node may occupy (Eq. 2),
+//! * **Height** — longest node-count distance to a sink (Eq. 3),
+//! * the **follower** relation (transitive reachability), from which
+//!   *parallelizable* node pairs and *antichains* are defined,
+//! * the **span** of a node set (Section 5.1), with the Theorem 1 lower
+//!   bound `ASAPmax + Span(A) + 1`.
+//!
+//! # Design
+//!
+//! Graphs are built with [`DfgBuilder`] and frozen into an immutable [`Dfg`]
+//! backed by compressed adjacency (CSR) arrays — node iteration, predecessor
+//! and successor access are all contiguous slice walks. Derived analyses live
+//! in separate value types ([`Levels`], [`Reachability`]) produced from a
+//! `&Dfg`, which keeps the borrow checker out of the way: there is no
+//! interior mutation of a graph anywhere in the workspace. [`AnalyzedDfg`]
+//! bundles a graph with both analyses for the common case.
+//!
+//! # Example
+//!
+//! ```
+//! use mps_dfg::{Color, DfgBuilder};
+//!
+//! let mut b = DfgBuilder::new();
+//! let x = b.add_node("x", Color::from_char('a').unwrap());
+//! let y = b.add_node("y", Color::from_char('b').unwrap());
+//! b.add_edge(x, y).unwrap();
+//! let dfg = b.build().unwrap();
+//!
+//! let levels = mps_dfg::Levels::compute(&dfg);
+//! assert_eq!(levels.asap(x), 0);
+//! assert_eq!(levels.asap(y), 1);
+//! assert_eq!(levels.height(x), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod analyzed;
+mod color;
+mod dot;
+mod error;
+mod graph;
+mod node;
+mod parse;
+mod reach;
+mod serde_impl;
+mod smallset;
+mod span;
+mod stats;
+mod transform;
+
+pub use analysis::Levels;
+pub use analyzed::AnalyzedDfg;
+pub use color::{Color, ColorSet};
+pub use dot::dot_string;
+pub use error::DfgError;
+pub use graph::{Dfg, DfgBuilder};
+pub use node::{Node, NodeId};
+pub use parse::{parse_text, to_text, ParseError};
+pub use reach::Reachability;
+pub use smallset::SmallSet;
+pub use span::{span, theorem1_lower_bound};
+pub use stats::DfgStats;
+pub use transform::{critical_path, disjoint_union, induced_subgraph, recolor, transpose};
+
+/// An antichain as manipulated by the pattern machinery: at most `C` nodes
+/// (the Montium has `C = 5` ALUs, and we allow up to 16 for generality),
+/// stored inline without heap allocation.
+pub type Antichain = SmallSet<NodeId, 16>;

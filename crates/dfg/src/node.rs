@@ -1,0 +1,72 @@
+//! Node identifiers and payloads.
+
+use crate::color::Color;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense index of a node inside one [`crate::Dfg`].
+///
+/// `NodeId`s are assigned by [`crate::DfgBuilder::add_node`] in insertion
+/// order and are only meaningful for the graph that created them. The
+/// insertion order doubles as the deterministic tie-break order used by the
+/// scheduler, which is how the paper's Table 2 trace is reproduced exactly.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({})", self.0)
+    }
+}
+
+/// A DFG node: a named operation with a color (operation type).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Node {
+    /// Human-readable name, e.g. `"a24"` in the paper's figures.
+    pub name: String,
+    /// Operation type executed by a reconfigurable ALU.
+    pub color: Color,
+}
+
+impl Node {
+    /// Create a node.
+    pub fn new(name: impl Into<String>, color: Color) -> Node {
+        Node {
+            name: name.into(),
+            color,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_ordering_matches_index() {
+        assert!(NodeId(3) < NodeId(10));
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(NodeId(7).to_string(), "n7");
+    }
+
+    #[test]
+    fn node_construction() {
+        let n = Node::new("a24", Color::from_char('a').unwrap());
+        assert_eq!(n.name, "a24");
+        assert_eq!(n.color.as_char(), Some('a'));
+    }
+}

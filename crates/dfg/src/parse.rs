@@ -1,0 +1,410 @@
+//! A plain-text interchange format for DFGs.
+//!
+//! The workloads crate covers the paper's graphs, but a library user (or the
+//! `mps` CLI) needs a way to feed their *own* kernel into the pipeline
+//! without writing Rust. This module defines a line-oriented text format and
+//! its parser/writer:
+//!
+//! ```text
+//! # 3-node example — comments run to end of line
+//! node x a        # "node <name> <color>"; color is a letter or #<int>
+//! node y b
+//! node mul0 #30   # colors beyond 'z' use the numeric form
+//! edge x y        # "edge <producer> <consumer>", by node name
+//! edge x mul0
+//! ```
+//!
+//! * Node names are any whitespace-free string not starting with `#`.
+//! * Node order in the file fixes [`crate::NodeId`] order (and therefore the
+//!   scheduler's deterministic tie-break order), so the format round-trips
+//!   exactly: `parse_text(&to_text(&g))` reproduces `g` including ids.
+//! * All structural validation of [`crate::DfgBuilder::build`] applies:
+//!   duplicate edges, self-loops and cycles are rejected with the offending
+//!   line number where one exists.
+
+use crate::color::Color;
+use crate::error::DfgError;
+use crate::graph::{Dfg, DfgBuilder};
+use crate::node::NodeId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced by [`parse_text`], carrying the 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line whose first token is not `node` or `edge`.
+    UnknownDirective {
+        /// 1-based line number.
+        line: usize,
+        /// The offending first token.
+        token: String,
+    },
+    /// A `node` or `edge` line with the wrong number of fields.
+    WrongArity {
+        /// 1-based line number.
+        line: usize,
+        /// What the line declared (`"node"` or `"edge"`).
+        directive: &'static str,
+        /// Number of operands found (excluding the directive).
+        found: usize,
+    },
+    /// A color token that is neither a lowercase letter nor `#<0..=255>`.
+    BadColor {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// The same node name declared twice.
+    DuplicateNode {
+        /// 1-based line number of the second declaration.
+        line: usize,
+        /// The repeated name.
+        name: String,
+    },
+    /// An `edge` line referencing an undeclared node name.
+    UnknownName {
+        /// 1-based line number.
+        line: usize,
+        /// The unresolved name.
+        name: String,
+    },
+    /// Graph-level validation failed (cycle, duplicate edge, self-loop).
+    Graph(DfgError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnknownDirective { line, token } => {
+                write!(f, "line {line}: unknown directive {token:?} (expected node/edge)")
+            }
+            ParseError::WrongArity {
+                line,
+                directive,
+                found,
+            } => write!(f, "line {line}: {directive} takes 2 operands, found {found}"),
+            ParseError::BadColor { line, token } => {
+                write!(f, "line {line}: bad color {token:?} (use a..z or #<0..=255>)")
+            }
+            ParseError::DuplicateNode { line, name } => {
+                write!(f, "line {line}: node {name:?} declared twice")
+            }
+            ParseError::UnknownName { line, name } => {
+                write!(f, "line {line}: edge references unknown node {name:?}")
+            }
+            ParseError::Graph(e) => write!(f, "graph validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<DfgError> for ParseError {
+    fn from(e: DfgError) -> ParseError {
+        ParseError::Graph(e)
+    }
+}
+
+fn parse_color(tok: &str, line: usize) -> Result<Color, ParseError> {
+    if let Some(rest) = tok.strip_prefix('#') {
+        return match rest.parse::<u8>() {
+            Ok(v) => Ok(Color(v)),
+            Err(_) => Err(ParseError::BadColor {
+                line,
+                token: tok.to_string(),
+            }),
+        };
+    }
+    let mut chars = tok.chars();
+    match (chars.next(), chars.next()) {
+        (Some(c), None) => Color::from_char(c).ok_or(ParseError::BadColor {
+            line,
+            token: tok.to_string(),
+        }),
+        _ => Err(ParseError::BadColor {
+            line,
+            token: tok.to_string(),
+        }),
+    }
+}
+
+/// Render a color in the format's notation: a letter when it has one,
+/// otherwise `#<index>`.
+fn color_token(c: Color) -> String {
+    match c.as_char() {
+        Some(ch) => ch.to_string(),
+        None => format!("#{}", c.index()),
+    }
+}
+
+/// Parse the text format into a validated [`Dfg`].
+///
+/// ```
+/// let g = mps_dfg::parse_text("node x a\nnode y b\nedge x y\n").unwrap();
+/// assert_eq!(g.len(), 2);
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+pub fn parse_text(src: &str) -> Result<Dfg, ParseError> {
+    let mut builder = DfgBuilder::new();
+    let mut names: HashMap<String, NodeId> = HashMap::new();
+
+    for (i, raw) in src.lines().enumerate() {
+        let line = i + 1;
+        // Strip trailing comment, then surrounding whitespace.
+        let body = raw.split('#').next().unwrap_or("").trim();
+        // A line like "#42" would be wrongly eaten by the comment strip if
+        // it stood alone; but a bare color token is not a valid line anyway,
+        // and node/edge lines keep their color tokens only when the `#` is
+        // part of a larger token — handle that by re-splitting below.
+        if body.is_empty() {
+            // Could still be a comment-only or blank line; but also covers
+            // the case where the whole line was a comment.
+            continue;
+        }
+        // Re-tokenize from the raw line so `#N` color tokens survive: a `#`
+        // introduces a comment only when it starts a token.
+        let mut tokens: Vec<&str> = Vec::new();
+        for tok in raw.split_whitespace() {
+            if tok.starts_with('#') && !tokens.is_empty() && tokens[0] == "node" && tokens.len() == 2
+            {
+                // This is the color operand of a node line: keep it.
+                tokens.push(tok);
+            } else if tok.starts_with('#') {
+                break; // comment to end of line
+            } else {
+                tokens.push(tok);
+            }
+        }
+        if tokens.is_empty() {
+            continue;
+        }
+        match tokens[0] {
+            "node" => {
+                if tokens.len() != 3 {
+                    return Err(ParseError::WrongArity {
+                        line,
+                        directive: "node",
+                        found: tokens.len() - 1,
+                    });
+                }
+                let name = tokens[1];
+                let color = parse_color(tokens[2], line)?;
+                if names.contains_key(name) {
+                    return Err(ParseError::DuplicateNode {
+                        line,
+                        name: name.to_string(),
+                    });
+                }
+                let id = builder.add_node(name, color);
+                names.insert(name.to_string(), id);
+            }
+            "edge" => {
+                if tokens.len() != 3 {
+                    return Err(ParseError::WrongArity {
+                        line,
+                        directive: "edge",
+                        found: tokens.len() - 1,
+                    });
+                }
+                let from = *names.get(tokens[1]).ok_or_else(|| ParseError::UnknownName {
+                    line,
+                    name: tokens[1].to_string(),
+                })?;
+                let to = *names.get(tokens[2]).ok_or_else(|| ParseError::UnknownName {
+                    line,
+                    name: tokens[2].to_string(),
+                })?;
+                builder.add_edge(from, to)?;
+            }
+            other => {
+                return Err(ParseError::UnknownDirective {
+                    line,
+                    token: other.to_string(),
+                })
+            }
+        }
+    }
+    Ok(builder.build()?)
+}
+
+/// Write a graph in the text format accepted by [`parse_text`].
+///
+/// Nodes are listed in id order, then edges in `(from, to)` order, so the
+/// output is canonical: equal graphs produce equal text.
+pub fn to_text(g: &Dfg) -> String {
+    let mut out = String::with_capacity(16 * (g.len() + g.edge_count()));
+    for id in g.node_ids() {
+        out.push_str("node ");
+        out.push_str(g.name(id));
+        out.push(' ');
+        out.push_str(&color_token(g.color(id)));
+        out.push('\n');
+    }
+    for (u, v) in g.edges() {
+        out.push_str("edge ");
+        out.push_str(g.name(u));
+        out.push(' ');
+        out.push_str(g.name(v));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(ch: char) -> Color {
+        Color::from_char(ch).unwrap()
+    }
+
+    #[test]
+    fn parses_minimal_graph() {
+        let g = parse_text("node x a\nnode y b\nedge x y\n").unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.edge_count(), 1);
+        let x = g.find("x").unwrap();
+        let y = g.find("y").unwrap();
+        assert_eq!(g.color(x), c('a'));
+        assert_eq!(g.color(y), c('b'));
+        assert_eq!(g.succs(x), &[y]);
+    }
+
+    #[test]
+    fn skips_blanks_and_comments() {
+        let src = "\n# header comment\n  node x a  # trailing\n\nnode y a\nedge x y # dep\n";
+        let g = parse_text(src).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn numeric_colors_round_trip() {
+        let src = "node m #30\nnode n #255\nedge m n\n";
+        let g = parse_text(src).unwrap();
+        assert_eq!(g.color(g.find("m").unwrap()), Color(30));
+        assert_eq!(g.color(g.find("n").unwrap()), Color(255));
+        let text = to_text(&g);
+        assert_eq!(parse_text(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn node_ids_follow_file_order() {
+        let g = parse_text("node z a\nnode a a\nnode m a\n").unwrap();
+        assert_eq!(g.find("z"), Some(NodeId(0)));
+        assert_eq!(g.find("a"), Some(NodeId(1)));
+        assert_eq!(g.find("m"), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn rejects_unknown_directive() {
+        let err = parse_text("vertex x a\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::UnknownDirective {
+                line: 1,
+                token: "vertex".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        assert!(matches!(
+            parse_text("node x\n").unwrap_err(),
+            ParseError::WrongArity { line: 1, directive: "node", found: 1 }
+        ));
+        assert!(matches!(
+            parse_text("node x a extra\n").unwrap_err(),
+            ParseError::WrongArity { .. }
+        ));
+        assert!(matches!(
+            parse_text("node x a\nedge x\n").unwrap_err(),
+            ParseError::WrongArity { line: 2, directive: "edge", found: 1 }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_color() {
+        for bad in ["A", "ab", "#", "#256", "#-1", "1"] {
+            let src = format!("node x {bad}\n");
+            assert!(
+                matches!(parse_text(&src).unwrap_err(), ParseError::BadColor { .. }),
+                "color {bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_node_name() {
+        let err = parse_text("node x a\nnode x b\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::DuplicateNode {
+                line: 2,
+                name: "x".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_edge_name() {
+        let err = parse_text("node x a\nedge x ghost\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::UnknownName {
+                line: 2,
+                name: "ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn graph_validation_errors_propagate() {
+        // Cycle.
+        let err = parse_text("node x a\nnode y a\nedge x y\nedge y x\n").unwrap_err();
+        assert!(matches!(err, ParseError::Graph(DfgError::Cycle(_))));
+        // Duplicate edge.
+        let err = parse_text("node x a\nnode y a\nedge x y\nedge x y\n").unwrap_err();
+        assert!(matches!(err, ParseError::Graph(DfgError::DuplicateEdge(_, _))));
+        // Self-loop surfaces immediately from add_edge.
+        let err = parse_text("node x a\nedge x x\n").unwrap_err();
+        assert!(matches!(err, ParseError::Graph(DfgError::SelfLoop(_))));
+    }
+
+    #[test]
+    fn to_text_is_canonical_and_round_trips() {
+        let mut b = DfgBuilder::new();
+        let s = b.add_node("src", c('a'));
+        let l = b.add_node("lft", c('b'));
+        let r = b.add_node("rgt", c('b'));
+        let t = b.add_node("snk", c('c'));
+        b.add_edge(s, l).unwrap();
+        b.add_edge(s, r).unwrap();
+        b.add_edge(l, t).unwrap();
+        b.add_edge(r, t).unwrap();
+        let g = b.build().unwrap();
+
+        let text = to_text(&g);
+        let g2 = parse_text(&text).unwrap();
+        assert_eq!(g, g2);
+        // Canonical: writing again yields identical text.
+        assert_eq!(to_text(&g2), text);
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_graph() {
+        let g = parse_text("").unwrap();
+        assert!(g.is_empty());
+        assert_eq!(to_text(&g), "");
+    }
+
+    #[test]
+    fn error_messages_name_the_line() {
+        let msg = parse_text("node x a\nweird\n").unwrap_err().to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        let msg = parse_text("node x q!\n").unwrap_err().to_string();
+        assert!(msg.contains("bad color"), "{msg}");
+    }
+}

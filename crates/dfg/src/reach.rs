@@ -1,0 +1,295 @@
+//! Transitive reachability (the paper's *follower* relation) as a bitset
+//! matrix, plus the derived *parallelizable* relation.
+
+use crate::graph::Dfg;
+use crate::node::NodeId;
+
+/// Bit-matrix transitive closure of a DFG.
+///
+/// `n` is a *follower* of `m` iff there is a directed path `m ⇝ n`; two
+/// distinct nodes are *parallelizable* iff neither follows the other
+/// (paper §3). An *antichain* is a set of pairwise parallelizable nodes.
+///
+/// Rows are `u64`-packed bitsets of length `ceil(V/64)`; construction is a
+/// single reverse-topological sweep with word-wise OR, i.e. O(V·E/64).
+/// For every node we also precompute its **parallel mask** — the bitset of
+/// nodes it is parallelizable with — which lets antichain enumeration
+/// maintain candidate sets with pure word-wise ANDs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reachability {
+    words: usize,
+    /// `desc[u]` = bitset of strict descendants (followers) of `u`.
+    desc: Vec<u64>,
+    /// `anc[u]` = bitset of strict ancestors of `u`.
+    anc: Vec<u64>,
+    /// `par[u]` = bitset of nodes parallelizable with `u` (excludes `u`).
+    par: Vec<u64>,
+}
+
+impl Reachability {
+    /// Compute the closure for a graph.
+    pub fn compute(dfg: &Dfg) -> Reachability {
+        let n = dfg.len();
+        let words = n.div_ceil(64);
+        let mut desc = vec![0u64; n * words];
+        let mut anc = vec![0u64; n * words];
+
+        // Descendants: reverse topological order, OR in each successor's
+        // row plus the successor itself.
+        for &u in dfg.topo_order().iter().rev() {
+            for &v in dfg.succs(u) {
+                let (ui, vi) = (u.index() * words, v.index() * words);
+                // Split-borrow the flat matrix around the two rows.
+                if ui < vi {
+                    let (a, b) = desc.split_at_mut(vi);
+                    or_into(&mut a[ui..ui + words], &b[..words]);
+                } else {
+                    let (a, b) = desc.split_at_mut(ui);
+                    or_into(&mut b[..words], &a[vi..vi + words]);
+                }
+                set_bit(&mut desc[ui..ui + words], v.index());
+            }
+        }
+
+        // Ancestors: forward topological order.
+        for &v in dfg.topo_order() {
+            for &u in dfg.preds(v) {
+                let (vi, ui) = (v.index() * words, u.index() * words);
+                if vi < ui {
+                    let (a, b) = anc.split_at_mut(ui);
+                    or_into(&mut a[vi..vi + words], &b[..words]);
+                } else {
+                    let (a, b) = anc.split_at_mut(vi);
+                    or_into(&mut b[..words], &a[ui..ui + words]);
+                }
+                set_bit(&mut anc[vi..vi + words], u.index());
+            }
+        }
+
+        // Parallel mask: everything that is neither ancestor, descendant,
+        // nor the node itself.
+        let mut par = vec![0u64; n * words];
+        for u in 0..n {
+            let row = u * words;
+            for w in 0..words {
+                par[row + w] = !(desc[row + w] | anc[row + w]);
+            }
+            clear_bit(&mut par[row..row + words], u);
+            // Mask tail bits beyond n.
+            if !n.is_multiple_of(64) && words > 0 {
+                par[row + words - 1] &= (1u64 << (n % 64)) - 1;
+            }
+        }
+
+        Reachability {
+            words,
+            desc,
+            anc,
+            par,
+        }
+    }
+
+    /// `true` iff there is a directed path `from ⇝ to` (strict: a node does
+    /// not reach itself).
+    #[inline]
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        get_bit(self.desc_row(from), to.index())
+    }
+
+    /// The paper's follower relation: `n` is a follower of `m`.
+    #[inline]
+    pub fn is_follower(&self, n: NodeId, m: NodeId) -> bool {
+        self.reaches(m, n)
+    }
+
+    /// `true` iff the two nodes are distinct and neither follows the other.
+    #[inline]
+    pub fn parallelizable(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && get_bit(self.par_row(a), b.index())
+    }
+
+    /// Bitset row of strict descendants of `u`.
+    #[inline]
+    pub fn desc_row(&self, u: NodeId) -> &[u64] {
+        &self.desc[u.index() * self.words..(u.index() + 1) * self.words]
+    }
+
+    /// Bitset row of strict ancestors of `u`.
+    #[inline]
+    pub fn anc_row(&self, u: NodeId) -> &[u64] {
+        &self.anc[u.index() * self.words..(u.index() + 1) * self.words]
+    }
+
+    /// Bitset row of nodes parallelizable with `u`.
+    #[inline]
+    pub fn par_row(&self, u: NodeId) -> &[u64] {
+        &self.par[u.index() * self.words..(u.index() + 1) * self.words]
+    }
+
+    /// Words per bitset row.
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// `true` iff `set` is an antichain: pairwise parallelizable (singleton
+    /// and empty sets count as antichains, matching the paper).
+    pub fn is_antichain(&self, set: &[NodeId]) -> bool {
+        for (i, &a) in set.iter().enumerate() {
+            for &b in &set[i + 1..] {
+                if !self.parallelizable(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[inline]
+fn or_into(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d |= *s;
+    }
+}
+
+#[inline]
+fn set_bit(row: &mut [u64], i: usize) {
+    row[i / 64] |= 1u64 << (i % 64);
+}
+
+#[inline]
+fn clear_bit(row: &mut [u64], i: usize) {
+    row[i / 64] &= !(1u64 << (i % 64));
+}
+
+#[inline]
+fn get_bit(row: &[u64], i: usize) -> bool {
+    row[i / 64] & (1u64 << (i % 64)) != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Color;
+    use crate::graph::DfgBuilder;
+
+    fn c(ch: char) -> Color {
+        Color::from_char(ch).unwrap()
+    }
+
+    /// The paper's Fig. 4: a1 -> a2 -> b4, b5 with pred a3... precisely:
+    /// a1 -> a2, a2 -> b4, a3 -> b5.
+    fn fig4() -> (Dfg, [NodeId; 5]) {
+        let mut b = DfgBuilder::new();
+        let a1 = b.add_node("a1", c('a'));
+        let a2 = b.add_node("a2", c('a'));
+        let a3 = b.add_node("a3", c('a'));
+        let b4 = b.add_node("b4", c('b'));
+        let b5 = b.add_node("b5", c('b'));
+        b.add_edge(a1, a2).unwrap();
+        b.add_edge(a2, b4).unwrap();
+        b.add_edge(a3, b5).unwrap();
+        (b.build().unwrap(), [a1, a2, a3, b4, b5])
+    }
+
+    #[test]
+    fn reaches_transitively() {
+        let (g, [a1, a2, a3, b4, b5]) = fig4();
+        let r = Reachability::compute(&g);
+        assert!(r.reaches(a1, a2));
+        assert!(r.reaches(a1, b4), "transitive closure");
+        assert!(!r.reaches(a2, a1), "no backwards reach");
+        assert!(!r.reaches(a1, a1), "strict");
+        assert!(!r.reaches(a1, b5));
+        assert!(r.reaches(a3, b5));
+    }
+
+    #[test]
+    fn follower_matches_paper_definition() {
+        let (g, [a1, _a2, _a3, b4, _b5]) = fig4();
+        let r = Reachability::compute(&g);
+        // b4 is a follower of a1 (path a1 -> a2 -> b4).
+        assert!(r.is_follower(b4, a1));
+        assert!(!r.is_follower(a1, b4));
+    }
+
+    #[test]
+    fn parallelizable_pairs() {
+        let (g, [a1, a2, a3, b4, b5]) = fig4();
+        let r = Reachability::compute(&g);
+        assert!(r.parallelizable(a1, a3));
+        assert!(r.parallelizable(a2, a3));
+        assert!(r.parallelizable(b4, b5));
+        assert!(r.parallelizable(a1, b5));
+        assert!(!r.parallelizable(a1, a2));
+        assert!(!r.parallelizable(a1, b4));
+        assert!(!r.parallelizable(a1, a1), "a node is not parallel to itself");
+    }
+
+    #[test]
+    fn antichains_from_table4() {
+        // Table 4 lists the maximal-size-2 antichains {a1,a3}, {a2,a3},
+        // {b4,b5} for this graph.
+        let (g, [a1, a2, a3, b4, b5]) = fig4();
+        let r = Reachability::compute(&g);
+        assert!(r.is_antichain(&[a1, a3]));
+        assert!(r.is_antichain(&[a2, a3]));
+        assert!(r.is_antichain(&[b4, b5]));
+        assert!(!r.is_antichain(&[a1, a2]));
+        assert!(r.is_antichain(&[a1]), "singletons are antichains");
+        assert!(r.is_antichain(&[]), "the empty set is an antichain");
+        assert!(!r.is_antichain(&[a1, a3, b4]), "b4 follows a1");
+        assert!(r.is_antichain(&[a3, b4]));
+    }
+
+    #[test]
+    fn par_row_excludes_self_and_tail_bits() {
+        let (g, _) = fig4();
+        let r = Reachability::compute(&g);
+        for u in g.node_ids() {
+            assert!(!get_bit(r.par_row(u), u.index()));
+            // No bits set beyond the node count.
+            let row = r.par_row(u);
+            for i in g.len()..r.words() * 64 {
+                assert!(!get_bit(row, i), "tail bit {i} set for {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn large_graph_crosses_word_boundary() {
+        // A chain of 130 nodes exercises multi-word rows.
+        let mut b = DfgBuilder::new();
+        let ids: Vec<NodeId> = (0..130).map(|i| b.add_node(format!("n{i}"), c('a'))).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        let g = b.build().unwrap();
+        let r = Reachability::compute(&g);
+        assert!(r.reaches(ids[0], ids[129]));
+        assert!(r.reaches(ids[63], ids[64]));
+        assert!(!r.parallelizable(ids[0], ids[129]));
+        // Ancestor rows mirror descendant rows.
+        for i in 0..130 {
+            for j in 0..130 {
+                assert_eq!(
+                    r.reaches(ids[i], ids[j]),
+                    get_bit(r.anc_row(ids[j]), ids[i].index()),
+                    "desc/anc mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_mask_symmetry() {
+        let (g, _) = fig4();
+        let r = Reachability::compute(&g);
+        for u in g.node_ids() {
+            for v in g.node_ids() {
+                assert_eq!(r.parallelizable(u, v), r.parallelizable(v, u));
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! A tiny inline vector for antichains and patterns.
+
+use std::fmt;
+use std::ops::Deref;
+
+/// A fixed-capacity inline vector of `Copy` elements.
+///
+/// Antichains have at most `C` elements (5 on the Montium), so the
+/// enumeration hot loop must not heap-allocate per antichain. `SmallSet`
+/// stores up to `N` elements inline and is itself `Copy`.
+///
+/// Pushing beyond capacity panics — callers bound their sizes by
+/// construction (the enumerator never extends past `C`).
+#[derive(Clone, Copy)]
+pub struct SmallSet<T: Copy, const N: usize> {
+    items: [T; N],
+    len: u8,
+}
+
+impl<T: Copy + Default, const N: usize> SmallSet<T, N> {
+    /// An empty set.
+    pub fn new() -> Self {
+        assert!(N <= u8::MAX as usize, "capacity must fit in u8");
+        SmallSet {
+            items: [T::default(); N],
+            len: 0,
+        }
+    }
+
+    /// Build from a slice (panics if `slice.len() > N`).
+    pub fn from_slice(slice: &[T]) -> Self {
+        let mut s = Self::new();
+        for &x in slice {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Append an element (panics at capacity).
+    #[inline]
+    pub fn push(&mut self, x: T) {
+        assert!((self.len as usize) < N, "SmallSet capacity {N} exceeded");
+        self.items[self.len as usize] = x;
+        self.len += 1;
+    }
+
+    /// Remove and return the last element.
+    #[inline]
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            None
+        } else {
+            self.len -= 1;
+            Some(self.items[self.len as usize])
+        }
+    }
+
+    /// Current length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` if empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// View as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.items[..self.len as usize]
+    }
+
+    /// Maximum capacity `N`.
+    pub const fn capacity(&self) -> usize {
+        N
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for SmallSet<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy, const N: usize> Deref for SmallSet<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl<T: Copy + PartialEq, const N: usize> PartialEq for SmallSet<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deref() == other.deref()
+    }
+}
+
+impl<T: Copy + Eq, const N: usize> Eq for SmallSet<T, N> {}
+
+impl<T: Copy + fmt::Debug, const N: usize> fmt::Debug for SmallSet<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.deref().iter()).finish()
+    }
+}
+
+impl<T: Copy + std::hash::Hash, const N: usize> std::hash::Hash for SmallSet<T, N> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.deref().hash(state);
+    }
+}
+
+impl<T: Copy + serde::Serialize, const N: usize> serde::Serialize for SmallSet<T, N> {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.deref().iter())
+    }
+}
+
+impl<'de, T, const N: usize> serde::Deserialize<'de> for SmallSet<T, N>
+where
+    T: Copy + Default + serde::Deserialize<'de>,
+{
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(deserializer)?;
+        if items.len() > N {
+            return Err(serde::de::Error::custom(format!(
+                "SmallSet capacity {N} exceeded by {} elements",
+                items.len()
+            )));
+        }
+        Ok(SmallSet::from_slice(&items))
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for SmallSet<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_len() {
+        let mut s: SmallSet<u32, 4> = SmallSet::new();
+        assert!(s.is_empty());
+        s.push(1);
+        s.push(2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.as_slice(), &[1, 2]);
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn push_past_capacity_panics() {
+        let mut s: SmallSet<u32, 2> = SmallSet::new();
+        s.push(1);
+        s.push(2);
+        s.push(3);
+    }
+
+    #[test]
+    fn equality_ignores_spare_capacity() {
+        let a: SmallSet<u32, 4> = SmallSet::from_slice(&[1, 2]);
+        let mut b: SmallSet<u32, 4> = SmallSet::new();
+        b.push(1);
+        b.push(2);
+        b.push(99);
+        b.pop();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deref_and_iteration() {
+        let s: SmallSet<u32, 8> = (0..5).collect();
+        let sum: u32 = s.iter().sum();
+        assert_eq!(sum, 10);
+        assert_eq!(s.capacity(), 8);
+        assert_eq!(&s[1..3], &[1, 2]);
+    }
+
+    #[test]
+    fn debug_format() {
+        let s: SmallSet<u32, 4> = SmallSet::from_slice(&[7, 8]);
+        assert_eq!(format!("{s:?}"), "[7, 8]");
+    }
+}

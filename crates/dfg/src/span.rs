@@ -1,0 +1,135 @@
+//! The span of a node set and the Theorem 1 lower bound (paper §5.1).
+
+use crate::analysis::Levels;
+use crate::node::NodeId;
+
+/// `Span(A) = U(max ASAP(n) − min ALAP(n))` over `n ∈ A`, where
+/// `U(x) = max(x, 0)` (paper §5.1).
+///
+/// The span captures how far apart in schedule levels the members of an
+/// antichain sit: members that could never share a "natural" cycle have a
+/// positive span, and by Theorem 1 forcing them into one cycle stretches
+/// the whole schedule. An empty set has span 0.
+pub fn span(levels: &Levels, set: &[NodeId]) -> u32 {
+    let mut max_asap = 0u32;
+    let mut min_alap = u32::MAX;
+    for &n in set {
+        max_asap = max_asap.max(levels.asap(n));
+        min_alap = min_alap.min(levels.alap(n));
+    }
+    if set.is_empty() {
+        return 0;
+    }
+    max_asap.saturating_sub(min_alap)
+}
+
+/// Theorem 1: if all nodes of an antichain `A` are scheduled in the same
+/// clock cycle, the final schedule has at least
+/// `ASAPmax + Span(A) + 1` cycles.
+///
+/// (For `Span(A) = 0` this degenerates to the critical-path bound
+/// `ASAPmax + 1`.)
+pub fn theorem1_lower_bound(levels: &Levels, set: &[NodeId]) -> u32 {
+    levels.asap_max() + span(levels, set) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Color;
+    use crate::graph::{Dfg, DfgBuilder};
+
+    fn c(ch: char) -> Color {
+        Color::from_char(ch).unwrap()
+    }
+
+    /// A graph shaped like the paper's span example: a long chain plus an
+    /// early, flexible node.
+    ///
+    /// chain: p0 -> p1 -> p2 -> p3 -> p4 (critical path, ASAPmax = 4)
+    /// free:  q (source and sink, mobility 4)
+    /// late:  p0 -> r (ASAP 1, ALAP 4)
+    fn chain_with_extras() -> (Dfg, Vec<NodeId>) {
+        let mut b = DfgBuilder::new();
+        let p: Vec<NodeId> = (0..5).map(|i| b.add_node(format!("p{i}"), c('a'))).collect();
+        for w in p.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        let q = b.add_node("q", c('b'));
+        let r = b.add_node("r", c('b'));
+        b.add_edge(p[0], r).unwrap();
+        let mut ids = p;
+        ids.push(q);
+        ids.push(r);
+        (b.build().unwrap(), ids)
+    }
+
+    #[test]
+    fn span_of_singleton_is_zero() {
+        let (g, ids) = chain_with_extras();
+        let l = Levels::compute(&g);
+        for &n in &ids {
+            assert_eq!(span(&l, &[n]), 0, "ASAP ≤ ALAP so singleton span is 0");
+        }
+    }
+
+    #[test]
+    fn span_of_empty_set_is_zero() {
+        let (g, _) = chain_with_extras();
+        let l = Levels::compute(&g);
+        assert_eq!(span(&l, &[]), 0);
+    }
+
+    #[test]
+    fn paper_example_a24_b3() {
+        // Reproduces the §5.1 worked example: ASAP(a24)=1, ALAP(a24)=4,
+        // ASAP(b3)=0, ALAP(b3)=0 ⇒ Span = U(1−0) = 1. We model it with a
+        // minimal graph giving the same levels: b3 at (0,0), a24 at (1,4).
+        //
+        //  b3 -> x1 -> x2 -> x3 -> x4   (pins b3 to ALAP 0, ASAPmax = 4)
+        //  s  -> a24                    (pins a24 to ASAP 1, sink ⇒ ALAP 4)
+        let mut b = DfgBuilder::new();
+        let b3 = b.add_node("b3", c('b'));
+        let xs: Vec<NodeId> = (0..4).map(|i| b.add_node(format!("x{i}"), c('a'))).collect();
+        b.add_edge(b3, xs[0]).unwrap();
+        for w in xs.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        let s = b.add_node("s", c('a'));
+        let a24 = b.add_node("a24", c('a'));
+        b.add_edge(s, a24).unwrap();
+        let g = b.build().unwrap();
+        let l = Levels::compute(&g);
+        assert_eq!((l.asap(b3), l.alap(b3)), (0, 0));
+        assert_eq!((l.asap(a24), l.alap(a24)), (1, 4));
+        assert_eq!(span(&l, &[a24, b3]), 1);
+        assert_eq!(theorem1_lower_bound(&l, &[a24, b3]), 4 + 1 + 1);
+    }
+
+    #[test]
+    fn span_is_monotone_under_insertion() {
+        let (g, ids) = chain_with_extras();
+        let l = Levels::compute(&g);
+        // Adding elements can only increase (or keep) the span.
+        let mut set = Vec::new();
+        let mut prev = 0;
+        for &n in &ids {
+            set.push(n);
+            let s = span(&l, &set);
+            assert!(s >= prev, "span must be monotone, got {s} after {prev}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn late_and_early_nodes_have_positive_span() {
+        let (g, _) = chain_with_extras();
+        let l = Levels::compute(&g);
+        let p4 = g.find("p4").unwrap(); // ASAP 4, ALAP 4
+        let q = g.find("q").unwrap(); // ASAP 0, ALAP 4
+        let p0 = g.find("p0").unwrap(); // ASAP 0, ALAP 0
+        assert_eq!(span(&l, &[p4, q]), 0, "q is flexible; span stays 0");
+        assert_eq!(span(&l, &[p4, p0]), 4, "start vs end of the chain");
+        assert_eq!(theorem1_lower_bound(&l, &[p4, p0]), 4 + 4 + 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Summary statistics of a DFG — the numbers a paper's "benchmark
+//! characteristics" table reports.
+
+use crate::analysis::Levels;
+use crate::graph::Dfg;
+use serde::{Deserialize, Serialize};
+
+/// Shape metrics of a graph.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DfgStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Distinct colors.
+    pub colors: usize,
+    /// Critical path length in cycles.
+    pub critical_path: u32,
+    /// Sources (no predecessors).
+    pub sources: usize,
+    /// Sinks (no successors).
+    pub sinks: usize,
+    /// Maximum level population (nodes sharing one ASAP level) — an upper
+    /// bound on exploitable parallelism per cycle.
+    pub max_level_width: usize,
+    /// Average parallelism: `nodes / critical_path`.
+    pub avg_parallelism: f64,
+    /// Mean mobility (`ALAP − ASAP`) over all nodes.
+    pub mean_mobility: f64,
+}
+
+impl DfgStats {
+    /// Compute the statistics.
+    pub fn compute(dfg: &Dfg) -> DfgStats {
+        let levels = Levels::compute(dfg);
+        let n = dfg.len();
+        let mut width = vec![0usize; levels.asap_max() as usize + 1];
+        let mut mobility_sum = 0u64;
+        for v in dfg.node_ids() {
+            width[levels.asap(v) as usize] += 1;
+            mobility_sum += levels.mobility(v) as u64;
+        }
+        DfgStats {
+            nodes: n,
+            edges: dfg.edge_count(),
+            colors: dfg.color_set().len(),
+            critical_path: levels.critical_path_len(),
+            sources: dfg.sources().len(),
+            sinks: dfg.sinks().len(),
+            max_level_width: width.iter().copied().max().unwrap_or(0),
+            avg_parallelism: if n == 0 {
+                0.0
+            } else {
+                n as f64 / levels.critical_path_len() as f64
+            },
+            mean_mobility: if n == 0 {
+                0.0
+            } else {
+                mobility_sum as f64 / n as f64
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for DfgStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} nodes, {} edges, {} colors, critical path {}",
+            self.nodes, self.edges, self.colors, self.critical_path
+        )?;
+        writeln!(
+            f,
+            "{} sources, {} sinks, max level width {}, avg parallelism {:.2}, mean mobility {:.2}",
+            self.sources,
+            self.sinks,
+            self.max_level_width,
+            self.avg_parallelism,
+            self.mean_mobility
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Color;
+    use crate::graph::DfgBuilder;
+
+    #[test]
+    fn chain_stats() {
+        let mut b = DfgBuilder::new();
+        let x = b.add_node("x", Color(0));
+        let y = b.add_node("y", Color(1));
+        let z = b.add_node("z", Color(0));
+        b.add_edge(x, y).unwrap();
+        b.add_edge(y, z).unwrap();
+        let s = DfgStats::compute(&b.build().unwrap());
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.colors, 2);
+        assert_eq!(s.critical_path, 3);
+        assert_eq!(s.sources, 1);
+        assert_eq!(s.sinks, 1);
+        assert_eq!(s.max_level_width, 1);
+        assert!((s.avg_parallelism - 1.0).abs() < 1e-12);
+        assert_eq!(s.mean_mobility, 0.0);
+    }
+
+    #[test]
+    fn flat_stats() {
+        let mut b = DfgBuilder::new();
+        for i in 0..4 {
+            b.add_node(format!("n{i}"), Color(0));
+        }
+        let s = DfgStats::compute(&b.build().unwrap());
+        assert_eq!(s.critical_path, 1);
+        assert_eq!(s.max_level_width, 4);
+        assert!((s.avg_parallelism - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = DfgStats::compute(&DfgBuilder::new().build().unwrap());
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.avg_parallelism, 0.0);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let mut b = DfgBuilder::new();
+        b.add_node("x", Color(0));
+        let s = DfgStats::compute(&b.build().unwrap());
+        let txt = s.to_string();
+        assert!(txt.contains("1 nodes"));
+        assert!(txt.contains("critical path 1"));
+    }
+}

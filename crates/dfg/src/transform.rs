@@ -1,0 +1,194 @@
+//! Graph transformations: transpose, induced subgraphs, disjoint union,
+//! and critical-path extraction.
+//!
+//! All transformations produce fresh immutable graphs via [`DfgBuilder`] —
+//! the substrate stays mutation-free.
+
+use crate::analysis::Levels;
+use crate::color::Color;
+use crate::graph::{Dfg, DfgBuilder};
+use crate::node::NodeId;
+
+/// The transpose (edge-reversed) graph. Node ids and payloads are
+/// preserved; every edge `u → v` becomes `v → u`.
+pub fn transpose(dfg: &Dfg) -> Dfg {
+    let mut b = DfgBuilder::with_capacity(dfg.len(), dfg.edge_count());
+    for id in dfg.node_ids() {
+        b.add_node(dfg.name(id).to_string(), dfg.color(id));
+    }
+    for (u, v) in dfg.edges() {
+        b.add_edge(v, u).expect("transposed edges are valid");
+    }
+    b.build().expect("transposing a DAG yields a DAG")
+}
+
+/// The subgraph induced by `keep` (any iteration order, duplicates
+/// ignored). Returns the new graph plus the mapping `old id → new id`.
+pub fn induced_subgraph(dfg: &Dfg, keep: &[NodeId]) -> (Dfg, Vec<Option<NodeId>>) {
+    let mut mapping: Vec<Option<NodeId>> = vec![None; dfg.len()];
+    let mut b = DfgBuilder::new();
+    for &old in keep {
+        if mapping[old.index()].is_none() {
+            let new = b.add_node(dfg.name(old).to_string(), dfg.color(old));
+            mapping[old.index()] = Some(new);
+        }
+    }
+    for (u, v) in dfg.edges() {
+        if let (Some(nu), Some(nv)) = (mapping[u.index()], mapping[v.index()]) {
+            b.add_edge(nu, nv).expect("mapped edges are valid");
+        }
+    }
+    (
+        b.build().expect("induced subgraph of a DAG is a DAG"),
+        mapping,
+    )
+}
+
+/// The disjoint union of two graphs (e.g. to schedule two independent
+/// kernels on one tile). Names are prefixed to stay unique.
+pub fn disjoint_union(a: &Dfg, b_graph: &Dfg) -> Dfg {
+    let mut b = DfgBuilder::with_capacity(a.len() + b_graph.len(), a.edge_count() + b_graph.edge_count());
+    for id in a.node_ids() {
+        b.add_node(format!("l_{}", a.name(id)), a.color(id));
+    }
+    let offset = a.len() as u32;
+    for id in b_graph.node_ids() {
+        b.add_node(format!("r_{}", b_graph.name(id)), b_graph.color(id));
+    }
+    for (u, v) in a.edges() {
+        b.add_edge(u, v).expect("left edges are valid");
+    }
+    for (u, v) in b_graph.edges() {
+        b.add_edge(NodeId(u.0 + offset), NodeId(v.0 + offset))
+            .expect("right edges are valid");
+    }
+    b.build().expect("a disjoint union of DAGs is a DAG")
+}
+
+/// One critical path (a longest chain), as node ids from a source to a
+/// sink. Deterministic: the smallest-id qualifying node is taken at each
+/// step. Empty for an empty graph.
+pub fn critical_path(dfg: &Dfg) -> Vec<NodeId> {
+    if dfg.is_empty() {
+        return Vec::new();
+    }
+    let levels = Levels::compute(dfg);
+    // Start: a source with maximal height.
+    let start = dfg
+        .node_ids()
+        .filter(|&v| dfg.preds(v).is_empty())
+        .max_by_key(|&v| (levels.height(v), std::cmp::Reverse(v.0)))
+        .expect("non-empty DAG has a source");
+    let mut path = vec![start];
+    let mut cur = start;
+    while let Some(&next) = dfg
+        .succs(cur)
+        .iter()
+        .find(|&&s| levels.height(s) + 1 == levels.height(cur))
+    {
+        path.push(next);
+        cur = next;
+    }
+    path
+}
+
+/// Relabel all nodes with a new color map (e.g. to study how color
+/// distribution affects pattern selection on the same dependence shape).
+pub fn recolor(dfg: &Dfg, color_of: impl Fn(NodeId, Color) -> Color) -> Dfg {
+    let mut b = DfgBuilder::with_capacity(dfg.len(), dfg.edge_count());
+    for id in dfg.node_ids() {
+        b.add_node(dfg.name(id).to_string(), color_of(id, dfg.color(id)));
+    }
+    for (u, v) in dfg.edges() {
+        b.add_edge(u, v).expect("same edges");
+    }
+    b.build().expect("recoloring preserves the DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(ch: char) -> Color {
+        Color::from_char(ch).unwrap()
+    }
+
+    fn diamond() -> Dfg {
+        let mut b = DfgBuilder::new();
+        let s = b.add_node("s", c('a'));
+        let l = b.add_node("l", c('b'));
+        let r = b.add_node("r", c('b'));
+        let t = b.add_node("t", c('a'));
+        b.add_edge(s, l).unwrap();
+        b.add_edge(s, r).unwrap();
+        b.add_edge(l, t).unwrap();
+        b.add_edge(r, t).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = diamond();
+        let t = transpose(&g);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.edge_count(), 4);
+        assert_eq!(t.sources().len(), 1);
+        assert_eq!(t.name(t.sources()[0]), "t");
+        // Double transpose is the original.
+        assert_eq!(transpose(&t), g);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = diamond();
+        let s = g.find("s").unwrap();
+        let l = g.find("l").unwrap();
+        let (sub, map) = induced_subgraph(&g, &[s, l]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.edge_count(), 1);
+        assert!(map[s.index()].is_some());
+        assert!(map[g.find("t").unwrap().index()].is_none());
+    }
+
+    #[test]
+    fn induced_subgraph_dedups() {
+        let g = diamond();
+        let s = g.find("s").unwrap();
+        let (sub, _) = induced_subgraph(&g, &[s, s, s]);
+        assert_eq!(sub.len(), 1);
+    }
+
+    #[test]
+    fn union_is_independent() {
+        let g = diamond();
+        let u = disjoint_union(&g, &g);
+        assert_eq!(u.len(), 8);
+        assert_eq!(u.edge_count(), 8);
+        let levels = Levels::compute(&u);
+        assert_eq!(levels.critical_path_len(), 3, "no cross edges");
+        assert!(u.find("l_s").is_some());
+        assert!(u.find("r_s").is_some());
+    }
+
+    #[test]
+    fn critical_path_is_a_longest_chain() {
+        let g = diamond();
+        let path = critical_path(&g);
+        assert_eq!(path.len(), 3);
+        assert_eq!(g.name(path[0]), "s");
+        assert_eq!(g.name(path[2]), "t");
+        for w in path.windows(2) {
+            assert!(g.succs(w[0]).contains(&w[1]));
+        }
+        assert!(critical_path(&DfgBuilder::new().build().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn recolor_changes_only_colors() {
+        let g = diamond();
+        let mono = recolor(&g, |_, _| c('z'));
+        assert_eq!(mono.color_set().len(), 1);
+        assert_eq!(mono.edge_count(), g.edge_count());
+        assert_eq!(mono.name(NodeId(0)), g.name(NodeId(0)));
+    }
+}

@@ -1,0 +1,304 @@
+//! Code generation: lower a schedule to a Montium instruction stream.
+//!
+//! The last stop of the compiler flow the paper sketches (§1:
+//! Transformation → Clustering → **Scheduling** → **Allocation**). Given
+//! a graph, a schedule, the allowed patterns and the register allocation,
+//! [`lower`] emits a [`Program`]: one [`Instruction`] per cycle carrying
+//! the configuration-store index the sequencer must point at and, per
+//! busy ALU, the operation with the *physical* operand and result
+//! locations chosen by the register allocator. What the real toolchain
+//! would encode as configuration bits is kept symbolic (op color, ALU
+//! index, register/memory ids) — enough for the assembly listing, the
+//! size accounting, and for tests to verify the whole pipeline
+//! end-to-end without a bit-level ISA spec (which was never published).
+
+use crate::config_store::ConfigStore;
+use crate::error::MontiumError;
+use crate::exec::execute;
+use crate::regalloc::{allocate_registers, Location, RegFileParams};
+use crate::tile::TileParams;
+use mps_dfg::{AnalyzedDfg, NodeId};
+use mps_patterns::PatternSet;
+use mps_scheduler::Schedule;
+use std::fmt;
+
+/// One ALU operation within an instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AluOp {
+    /// ALU index executing the op.
+    pub alu: usize,
+    /// The DFG node.
+    pub node: NodeId,
+    /// Physical locations of the operands (graph predecessors, in
+    /// ascending node order). Primary inputs have no location.
+    pub operands: Vec<Location>,
+    /// Where the result value is stored, `None` if the value is never
+    /// consumed across a cycle boundary.
+    pub result: Option<Location>,
+}
+
+/// One cycle of the lowered program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Instruction {
+    /// Configuration-store slot the sequencer selects this cycle.
+    pub config: usize,
+    /// `true` when `config` differs from the previous cycle (a
+    /// configuration load is issued).
+    pub reconfigure: bool,
+    /// Operations issued on the ALUs, ascending by ALU index.
+    pub ops: Vec<AluOp>,
+}
+
+/// A lowered Montium program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    /// One instruction per schedule cycle.
+    pub instructions: Vec<Instruction>,
+    /// Number of configuration-store slots used.
+    pub configs_used: usize,
+    /// Registers used and spills taken by the allocation.
+    pub registers_used: usize,
+    /// Values parked in tile memory.
+    pub spills: usize,
+}
+
+impl Program {
+    /// Total ALU operations.
+    pub fn op_count(&self) -> usize {
+        self.instructions.iter().map(|i| i.ops.len()).sum()
+    }
+
+    /// Number of configuration loads over the run.
+    pub fn config_loads(&self) -> usize {
+        self.instructions.iter().filter(|i| i.reconfigure).count()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "; montium program: {} cycles, {} ops, {} configs, {} regs, {} spills",
+            self.instructions.len(),
+            self.op_count(),
+            self.configs_used,
+            self.registers_used,
+            self.spills
+        )?;
+        for (t, ins) in self.instructions.iter().enumerate() {
+            writeln!(
+                f,
+                "cycle {t:>3}: cfg#{}{}",
+                ins.config,
+                if ins.reconfigure { " (load)" } else { "" }
+            )?;
+            for op in &ins.ops {
+                let operands: Vec<String> = op.operands.iter().map(loc_str).collect();
+                let result = op.result.map(|l| loc_str(&l)).unwrap_or_else(|| "-".into());
+                writeln!(
+                    f,
+                    "  alu{}: {} ({}) -> {}",
+                    op.alu,
+                    op.node,
+                    operands.join(", "),
+                    result
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn loc_str(l: &Location) -> String {
+    match l {
+        Location::Reg(r) => format!("r{r}"),
+        Location::Mem(m) => format!("m{m}"),
+    }
+}
+
+/// Lower `schedule` to a [`Program`]: replay it for the ALU binding (all
+/// replay errors propagate — overflow, unknown config, operand timing),
+/// run register allocation for value locations, and stitch both into the
+/// instruction stream.
+pub fn lower(
+    adfg: &AnalyzedDfg,
+    schedule: &Schedule,
+    patterns: &PatternSet,
+    tile: TileParams,
+    regs: RegFileParams,
+) -> Result<Program, MontiumError> {
+    let store = ConfigStore::allocate(tile, patterns)?;
+    let report = execute(adfg, schedule, patterns, tile)?;
+    let alloc = allocate_registers(adfg, schedule, regs)?;
+
+    let mut instructions: Vec<Instruction> = Vec::with_capacity(schedule.len());
+    let mut last: Option<usize> = None;
+    for cyc in schedule.cycles() {
+        let config = store
+            .slot_of(&cyc.pattern)
+            .expect("execute() verified every cycle's pattern");
+        instructions.push(Instruction {
+            config,
+            reconfigure: last != Some(config),
+            ops: Vec::new(),
+        });
+        last = Some(config);
+    }
+    for b in &report.bindings {
+        let operands: Vec<Location> = adfg
+            .dfg()
+            .preds(b.node)
+            .iter()
+            .map(|p| {
+                alloc.assignments[p.index()]
+                    .expect("a consumed value always has a location")
+            })
+            .collect();
+        instructions[b.cycle].ops.push(AluOp {
+            alu: b.alu,
+            node: b.node,
+            operands,
+            result: alloc.assignments[b.node.index()],
+        });
+    }
+    for ins in &mut instructions {
+        ins.ops.sort_by_key(|op| op.alu);
+    }
+
+    Ok(Program {
+        instructions,
+        configs_used: store.configs().len(),
+        registers_used: alloc.registers_used,
+        spills: alloc.spills,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::{Color, DfgBuilder};
+    use mps_scheduler::{schedule_multi_pattern, MultiPatternConfig};
+
+    fn c(ch: char) -> Color {
+        Color::from_char(ch).unwrap()
+    }
+
+    fn lowered(adfg: &AnalyzedDfg, pats: &str) -> Program {
+        let ps = PatternSet::parse(pats).unwrap();
+        let schedule = schedule_multi_pattern(adfg, &ps, MultiPatternConfig::default())
+            .unwrap()
+            .schedule;
+        lower(
+            adfg,
+            &schedule,
+            &ps,
+            TileParams::default(),
+            RegFileParams::default(),
+        )
+        .unwrap()
+    }
+
+    fn chain3() -> AnalyzedDfg {
+        let mut b = DfgBuilder::new();
+        let x = b.add_node("x", c('a'));
+        let y = b.add_node("y", c('b'));
+        let z = b.add_node("z", c('c'));
+        b.add_edge(x, y).unwrap();
+        b.add_edge(y, z).unwrap();
+        AnalyzedDfg::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn every_node_appears_exactly_once() {
+        let adfg = AnalyzedDfg::new(mps_workloads::fig2());
+        let prog = lowered(&adfg, "aabcc aaacc");
+        assert_eq!(prog.op_count(), 24);
+        let mut seen = [false; 24];
+        for ins in &prog.instructions {
+            for op in &ins.ops {
+                assert!(!seen[op.node.index()], "{} lowered twice", op.node);
+                seen[op.node.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn operands_reference_producers_locations() {
+        let adfg = chain3();
+        let prog = lowered(&adfg, "a b c");
+        // y consumes x's value at x's allocated location; z consumes y's.
+        let y_op = prog
+            .instructions
+            .iter()
+            .flat_map(|i| &i.ops)
+            .find(|o| o.node == NodeId(1))
+            .unwrap();
+        assert_eq!(y_op.operands.len(), 1);
+        let x_op = prog
+            .instructions
+            .iter()
+            .flat_map(|i| &i.ops)
+            .find(|o| o.node == NodeId(0))
+            .unwrap();
+        assert_eq!(Some(y_op.operands[0]), x_op.result);
+    }
+
+    #[test]
+    fn reconfigure_flags_match_config_changes() {
+        let adfg = AnalyzedDfg::new(mps_workloads::fig2());
+        let prog = lowered(&adfg, "aabcc aaacc");
+        assert!(prog.instructions[0].reconfigure, "first cycle always loads");
+        let mut loads = 0;
+        let mut last = None;
+        for ins in &prog.instructions {
+            if last != Some(ins.config) {
+                assert!(ins.reconfigure);
+                loads += 1;
+            } else {
+                assert!(!ins.reconfigure);
+            }
+            last = Some(ins.config);
+        }
+        assert_eq!(prog.config_loads(), loads);
+    }
+
+    #[test]
+    fn listing_mentions_every_node_and_location() {
+        let adfg = chain3();
+        let prog = lowered(&adfg, "a b c");
+        let listing = prog.to_string();
+        for name in ["n0", "n1", "n2"] {
+            assert!(listing.contains(name), "{listing}");
+        }
+        assert!(listing.contains("-> r"), "results land in registers");
+        assert!(listing.contains("(load)"));
+    }
+
+    #[test]
+    fn ops_sorted_by_alu_within_cycle() {
+        let adfg = AnalyzedDfg::new(mps_workloads::fig2());
+        let prog = lowered(&adfg, "aabcc aaacc");
+        for ins in &prog.instructions {
+            for w in ins.ops.windows(2) {
+                assert!(w[0].alu < w[1].alu);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_errors_propagate() {
+        let adfg = chain3();
+        // Pattern set missing color 'c': lowering must fail like replay.
+        let ps = PatternSet::parse("a b").unwrap();
+        let schedule = Schedule::from_cycles(vec![]);
+        let r = lower(
+            &adfg,
+            &schedule,
+            &ps,
+            TileParams::default(),
+            RegFileParams::default(),
+        );
+        assert!(matches!(r, Err(MontiumError::IncompleteSchedule { .. })));
+    }
+}

@@ -1,0 +1,88 @@
+//! The configuration store: the ≤32 pattern configurations of a tile.
+
+use crate::error::MontiumError;
+use crate::tile::TileParams;
+use mps_patterns::{Pattern, PatternSet};
+
+/// Allocated pattern configurations of one tile.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigStore {
+    params: TileParams,
+    configs: Vec<Pattern>,
+}
+
+impl ConfigStore {
+    /// Allocate configurations for a pattern set.
+    ///
+    /// Fails if the set exceeds the store capacity or any pattern is wider
+    /// than the ALU array.
+    pub fn allocate(params: TileParams, patterns: &PatternSet) -> Result<ConfigStore, MontiumError> {
+        if patterns.len() > params.max_configs {
+            return Err(MontiumError::TooManyConfigs {
+                requested: patterns.len(),
+                capacity: params.max_configs,
+            });
+        }
+        for p in patterns.iter() {
+            if p.size() > params.alus {
+                return Err(MontiumError::PatternTooWide {
+                    width: p.size(),
+                    alus: params.alus,
+                });
+            }
+        }
+        Ok(ConfigStore {
+            params,
+            configs: patterns.iter().copied().collect(),
+        })
+    }
+
+    /// Config slot of a pattern, if stored.
+    pub fn slot_of(&self, p: &Pattern) -> Option<usize> {
+        self.configs.iter().position(|q| q == p)
+    }
+
+    /// Stored configurations in slot order.
+    pub fn configs(&self) -> &[Pattern] {
+        &self.configs
+    }
+
+    /// The tile parameters.
+    pub fn params(&self) -> TileParams {
+        self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_within_capacity() {
+        let ps = PatternSet::parse("aabcc aaacc ab").unwrap();
+        let store = ConfigStore::allocate(TileParams::default(), &ps).unwrap();
+        assert_eq!(store.configs().len(), 3);
+        assert_eq!(store.slot_of(&Pattern::parse("aaacc").unwrap()), Some(1));
+        assert_eq!(store.slot_of(&Pattern::parse("zz").unwrap()), None);
+    }
+
+    #[test]
+    fn rejects_too_many_configs() {
+        let mut ps = PatternSet::new();
+        // 33 distinct patterns: "a", "aa", ..., via mixed sizes.
+        for i in 1..=33usize {
+            let s: String = (0..=(i / 26)).map(|_| (b'a' + (i % 26) as u8) as char).collect();
+            ps.insert(Pattern::parse(&s).unwrap());
+        }
+        assert!(ps.len() == 33);
+        let err = ConfigStore::allocate(TileParams::default(), &ps).unwrap_err();
+        assert!(matches!(err, MontiumError::TooManyConfigs { requested: 33, capacity: 32 }));
+    }
+
+    #[test]
+    fn rejects_wide_patterns() {
+        let ps = PatternSet::parse("aaaaaa").unwrap(); // 6 slots on 5 ALUs
+        let err = ConfigStore::allocate(TileParams::default(), &ps).unwrap_err();
+        assert!(matches!(err, MontiumError::PatternTooWide { width: 6, alus: 5 }));
+    }
+}

@@ -1,0 +1,100 @@
+//! A coarse energy model for ranking schedules.
+
+use crate::exec::ExecReport;
+use serde::{Deserialize, Serialize};
+
+/// Energy cost parameters (arbitrary units — the model ranks schedules,
+/// it does not claim absolute Joules; the Montium's published energy
+/// figures motivate the default ratios: multiplications dominate, and
+/// reconfiguration costs roughly a handful of ALU ops).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Cost of an addition/subtraction-class op.
+    pub alu_op: f64,
+    /// Cost of a multiplication-class op (color index 2, the paper's `c`).
+    pub mul_op: f64,
+    /// Cost of loading a configuration into the sequencer.
+    pub config_load: f64,
+    /// Static cost per cycle per ALU (leakage/clock).
+    pub idle_per_alu_cycle: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            alu_op: 1.0,
+            mul_op: 3.0,
+            config_load: 5.0,
+            idle_per_alu_cycle: 0.1,
+        }
+    }
+}
+
+/// Itemized energy estimate of one replay.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyEstimate {
+    /// Dynamic energy of the executed operations.
+    pub compute: f64,
+    /// Reconfiguration energy.
+    pub reconfig: f64,
+    /// Static energy over the schedule's duration.
+    pub statics: f64,
+}
+
+impl EnergyEstimate {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.compute + self.reconfig + self.statics
+    }
+}
+
+impl EnergyModel {
+    /// Estimate the energy of a replayed schedule. Color index 2 (the
+    /// paper's `c`) is priced as a multiplication, everything else as a
+    /// plain ALU op.
+    pub fn estimate(&self, report: &ExecReport) -> EnergyEstimate {
+        let mut compute = 0.0;
+        for (ci, &ops) in report.ops_per_color.iter().enumerate() {
+            let unit = if ci == 2 { self.mul_op } else { self.alu_op };
+            compute += unit * ops as f64;
+        }
+        EnergyEstimate {
+            compute,
+            reconfig: self.config_load * report.config_loads as f64,
+            statics: self.idle_per_alu_cycle * (report.cycles * report.alu_busy.len()) as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: usize, loads: usize, ops: Vec<u64>) -> ExecReport {
+        ExecReport {
+            cycles,
+            alu_busy: vec![0; 5],
+            config_loads: loads,
+            bindings: Vec::new(),
+            ops_per_color: ops,
+        }
+    }
+
+    #[test]
+    fn itemized_costs() {
+        let m = EnergyModel::default();
+        let e = m.estimate(&report(7, 3, vec![14, 4, 6]));
+        assert_eq!(e.compute, 14.0 + 4.0 + 18.0);
+        assert_eq!(e.reconfig, 15.0);
+        assert!((e.statics - 3.5).abs() < 1e-12);
+        assert!((e.total() - (36.0 + 15.0 + 3.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fewer_reconfigs_cost_less() {
+        let m = EnergyModel::default();
+        let a = m.estimate(&report(7, 7, vec![10, 0, 0]));
+        let b = m.estimate(&report(7, 1, vec![10, 0, 0]));
+        assert!(b.total() < a.total());
+    }
+}

@@ -1,0 +1,229 @@
+//! Cycle-accurate schedule replay.
+
+use crate::config_store::ConfigStore;
+use crate::error::MontiumError;
+use crate::tile::TileParams;
+use mps_dfg::{AnalyzedDfg, NodeId};
+use mps_patterns::PatternSet;
+use mps_scheduler::Schedule;
+
+/// Binding of one node to one ALU in one cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AluSlot {
+    /// Cycle index (0-based).
+    pub cycle: usize,
+    /// ALU index within the tile.
+    pub alu: usize,
+    /// The node executed.
+    pub node: NodeId,
+}
+
+/// Replay statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecReport {
+    /// Total cycles executed.
+    pub cycles: usize,
+    /// Busy cycles of each ALU.
+    pub alu_busy: Vec<u64>,
+    /// Number of cycles whose configuration differs from the previous
+    /// cycle's (the sequencer reconfigures between them). The first cycle
+    /// counts as one load.
+    pub config_loads: usize,
+    /// Every node→ALU binding, in execution order.
+    pub bindings: Vec<AluSlot>,
+    /// Operations executed per color index.
+    pub ops_per_color: Vec<u64>,
+}
+
+impl ExecReport {
+    /// Fraction of ALU-cycles doing useful work.
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 || self.alu_busy.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.alu_busy.iter().sum();
+        busy as f64 / (self.cycles as u64 * self.alu_busy.len() as u64) as f64
+    }
+}
+
+/// Execute `schedule` for `adfg` on a tile.
+///
+/// The store is allocated from `patterns` (enforcing the ≤32 limit), then
+/// every cycle is replayed:
+///
+/// 1. the cycle's pattern must be in the store,
+/// 2. each issued node binds to a free ALU slot of its color (leftmost
+///    free slot of that color in the pattern's canonical order),
+/// 3. every operand must have been produced in a strictly earlier cycle,
+/// 4. at the end, every node must have executed.
+pub fn execute(
+    adfg: &AnalyzedDfg,
+    schedule: &Schedule,
+    patterns: &PatternSet,
+    params: TileParams,
+) -> Result<ExecReport, MontiumError> {
+    let store = ConfigStore::allocate(params, patterns)?;
+    let n = adfg.len();
+    let mut produced_at: Vec<Option<usize>> = vec![None; n];
+    let mut alu_busy = vec![0u64; params.alus];
+    let mut bindings = Vec::with_capacity(n);
+    let num_colors = adfg
+        .dfg()
+        .node_ids()
+        .map(|v| adfg.dfg().color(v).index() + 1)
+        .max()
+        .unwrap_or(0);
+    let mut ops_per_color = vec![0u64; num_colors];
+    let mut config_loads = 0usize;
+    let mut last_slot: Option<usize> = None;
+
+    for (t, cyc) in schedule.cycles().iter().enumerate() {
+        let slot = store
+            .slot_of(&cyc.pattern)
+            .ok_or(MontiumError::UnknownConfig { cycle: t })?;
+        if last_slot != Some(slot) {
+            config_loads += 1;
+            last_slot = Some(slot);
+        }
+
+        // Bind nodes to concrete ALUs: the pattern's canonical color list
+        // maps color slots to ALU indices; each node takes the leftmost
+        // free slot of its color.
+        let pattern_colors = cyc.pattern.colors();
+        let mut slot_taken = vec![false; pattern_colors.len()];
+        for &node in &cyc.nodes {
+            let color = adfg.dfg().color(node);
+            let alu = pattern_colors
+                .iter()
+                .enumerate()
+                .position(|(i, &c)| c == color && !slot_taken[i])
+                .ok_or(MontiumError::SlotOverflow { cycle: t })?;
+            slot_taken[alu] = true;
+
+            // Operand readiness: every in-graph predecessor must already
+            // have a value (produced in an earlier cycle; `produced_at` is
+            // only updated after the full cycle is bound, so same-cycle
+            // production is caught too).
+            for &p in adfg.dfg().preds(node) {
+                match produced_at[p.index()] {
+                    Some(tp) if tp < t => {}
+                    _ => return Err(MontiumError::OperandNotReady { node, cycle: t }),
+                }
+            }
+
+            alu_busy[alu] += 1;
+            ops_per_color[color.index()] += 1;
+            bindings.push(AluSlot {
+                cycle: t,
+                alu,
+                node,
+            });
+        }
+        for &node in &cyc.nodes {
+            produced_at[node.index()] = Some(t);
+        }
+    }
+
+    if let Some(missing) = (0..n).find(|&i| produced_at[i].is_none()) {
+        return Err(MontiumError::IncompleteSchedule {
+            missing: NodeId(missing as u32),
+        });
+    }
+
+    Ok(ExecReport {
+        cycles: schedule.len(),
+        alu_busy,
+        config_loads,
+        bindings,
+        ops_per_color,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_scheduler::{schedule_multi_pattern, MultiPatternConfig};
+    use mps_workloads::fig2;
+
+    fn fig2_setup() -> (AnalyzedDfg, PatternSet, Schedule) {
+        let adfg = AnalyzedDfg::new(fig2());
+        let patterns = PatternSet::parse("aabcc aaacc").unwrap();
+        let sched = schedule_multi_pattern(&adfg, &patterns, MultiPatternConfig::default())
+            .unwrap()
+            .schedule;
+        (adfg, patterns, sched)
+    }
+
+    #[test]
+    fn replays_fig2_schedule() {
+        let (adfg, patterns, sched) = fig2_setup();
+        let report = execute(&adfg, &sched, &patterns, TileParams::default()).unwrap();
+        assert_eq!(report.cycles, 7, "the Table 2 schedule is 7 cycles");
+        assert_eq!(report.bindings.len(), 24, "all 24 nodes execute");
+        assert_eq!(report.ops_per_color, vec![14, 4, 6]);
+        // 24 ops on 5 ALUs × 7 cycles.
+        assert!((report.utilization() - 24.0 / 35.0).abs() < 1e-12);
+        // Table 2's pattern sequence 1,1,1,1,2,2,1 → loads at cycles
+        // 0, 4, 6 ⇒ 3.
+        assert_eq!(report.config_loads, 3);
+    }
+
+    #[test]
+    fn rejects_unknown_pattern() {
+        let (adfg, _patterns, sched) = fig2_setup();
+        let other = PatternSet::parse("abc").unwrap();
+        let err = execute(&adfg, &sched, &other, TileParams::default()).unwrap_err();
+        assert!(matches!(err, MontiumError::UnknownConfig { cycle: 0 }));
+    }
+
+    #[test]
+    fn rejects_operand_not_ready() {
+        use mps_scheduler::ScheduledCycle;
+        let adfg = AnalyzedDfg::new(fig2());
+        let patterns = PatternSet::parse("aabcc").unwrap();
+        // b3 and its consumer a8 in the same cycle.
+        let b3 = adfg.dfg().find("b3").unwrap();
+        let a8 = adfg.dfg().find("a8").unwrap();
+        let bad = Schedule::from_cycles(vec![ScheduledCycle {
+            pattern: mps_patterns::Pattern::parse("aabcc").unwrap(),
+            nodes: vec![b3, a8],
+        }]);
+        let err = execute(&adfg, &bad, &patterns, TileParams::default()).unwrap_err();
+        assert!(matches!(err, MontiumError::OperandNotReady { .. }));
+    }
+
+    #[test]
+    fn rejects_incomplete_schedule() {
+        let adfg = AnalyzedDfg::new(fig2());
+        let patterns = PatternSet::parse("aabcc").unwrap();
+        let empty = Schedule::default();
+        let err = execute(&adfg, &empty, &patterns, TileParams::default()).unwrap_err();
+        assert!(matches!(err, MontiumError::IncompleteSchedule { .. }));
+    }
+
+    #[test]
+    fn rejects_slot_overflow() {
+        use mps_scheduler::ScheduledCycle;
+        let adfg = AnalyzedDfg::new(fig2());
+        // Pattern "abc" but two 'b' nodes issued.
+        let b3 = adfg.dfg().find("b3").unwrap();
+        let b6 = adfg.dfg().find("b6").unwrap();
+        let patterns = PatternSet::parse("abc").unwrap();
+        let bad = Schedule::from_cycles(vec![ScheduledCycle {
+            pattern: mps_patterns::Pattern::parse("abc").unwrap(),
+            nodes: vec![b3, b6],
+        }]);
+        let err = execute(&adfg, &bad, &patterns, TileParams::default()).unwrap_err();
+        assert!(matches!(err, MontiumError::SlotOverflow { cycle: 0 }));
+    }
+
+    #[test]
+    fn binding_is_injective_per_cycle() {
+        let (adfg, patterns, sched) = fig2_setup();
+        let report = execute(&adfg, &sched, &patterns, TileParams::default()).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for b in &report.bindings {
+            assert!(seen.insert((b.cycle, b.alu)), "two nodes on one ALU in cycle {}", b.cycle);
+        }
+    }
+}

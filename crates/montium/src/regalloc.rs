@@ -1,0 +1,370 @@
+//! Register allocation for scheduled values — the *allocation* phase.
+//!
+//! The Montium compiler's fourth phase (paper §1: Transformation,
+//! Clustering, Scheduling, **Allocation**) binds every value that crosses a
+//! cycle boundary to physical storage: the ALUs' register files (`Ra`–`Rd`
+//! per ALU in Fig. 1) or the tile memories (`MEM1`/`MEM2`). Scheduling
+//! fixes all lifetimes, so allocation is an interval problem; this module
+//! implements the classic **linear-scan** allocator over those intervals:
+//!
+//! * values are processed in order of production cycle;
+//! * each gets a free register if one exists;
+//! * otherwise the live value with the *furthest last use* is spilled to
+//!   memory (it blocks its register for the longest), which is optimal for
+//!   minimizing spill count on interval graphs.
+//!
+//! The point for the paper's evaluation: two schedules with equal cycle
+//! counts can differ sharply in storage footprint. [`allocate_registers`]
+//! makes that visible, and the invariant (`verify`) that no two
+//! simultaneously-live values share a register is enforced in tests.
+
+use crate::error::MontiumError;
+use mps_dfg::{AnalyzedDfg, NodeId};
+use mps_scheduler::Schedule;
+
+/// Storage parameters for allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegFileParams {
+    /// Total register slots across the tile. The published tile has four
+    /// register files (`Ra`–`Rd`) on each of 5 ALUs.
+    pub registers: usize,
+    /// Memory slots available for spills (`MEM1`/`MEM2` banks). Allocation
+    /// fails with [`MontiumError`] when even spilling cannot hold a value.
+    pub memory_slots: usize,
+}
+
+impl Default for RegFileParams {
+    /// 5 ALUs × 4 register files, two 512-word memories.
+    fn default() -> Self {
+        RegFileParams {
+            registers: 20,
+            memory_slots: 1024,
+        }
+    }
+}
+
+/// Where a value lives for its whole lifetime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Location {
+    /// Held in register `r` (tile-global register index).
+    Reg(u16),
+    /// Spilled to memory slot `m`.
+    Mem(u32),
+}
+
+/// Result of register allocation for one schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegAllocReport {
+    /// Location of each node's output value, indexed by node id. `None`
+    /// for values that never cross a cycle boundary (consumed in the same
+    /// cycle is impossible here — dependencies are strict — so `None`
+    /// only ever appears for zero-lifetime sinks of empty schedules).
+    pub assignments: Vec<Option<Location>>,
+    /// Distinct registers actually used.
+    pub registers_used: usize,
+    /// Number of values spilled to memory.
+    pub spills: usize,
+    /// Total value-cycles spent in memory (spill cost proxy).
+    pub spilled_value_cycles: u64,
+    /// Peak number of simultaneously live values (register + memory).
+    pub peak_live: usize,
+}
+
+/// A value's live interval: live during cycles `(born, dies]`.
+#[derive(Clone, Copy, Debug)]
+struct Interval {
+    node: NodeId,
+    born: usize,
+    dies: usize,
+}
+
+fn overlaps(a: &Interval, b: &Interval) -> bool {
+    a.born < b.dies && b.born < a.dies
+}
+
+/// Compute the live interval of every node under `schedule`. Sinks stay
+/// live through the final cycle (application outputs must be written out).
+fn intervals(adfg: &AnalyzedDfg, schedule: &Schedule) -> Vec<Interval> {
+    let n = adfg.len();
+    let at = schedule.node_cycles(n);
+    let cycles = schedule.len();
+    let mut out = Vec::with_capacity(n);
+    for v in adfg.dfg().node_ids() {
+        let born = at[v.index()].expect("schedule must place every node; validate first");
+        let succs = adfg.dfg().succs(v);
+        let dies = if succs.is_empty() {
+            cycles
+        } else {
+            succs
+                .iter()
+                .map(|s| at[s.index()].expect("schedule must place every node"))
+                .max()
+                .unwrap()
+        };
+        out.push(Interval { node: v, born, dies });
+    }
+    out
+}
+
+/// Linear-scan register allocation for the values of `schedule`.
+///
+/// Errors with [`MontiumError::OutOfStorage`] when registers *and* memory
+/// are exhausted at some cycle. The schedule must place every node — run
+/// [`mps_scheduler::Schedule::validate`] first.
+pub fn allocate_registers(
+    adfg: &AnalyzedDfg,
+    schedule: &Schedule,
+    params: RegFileParams,
+) -> Result<RegAllocReport, MontiumError> {
+    let mut ivs = intervals(adfg, schedule);
+    ivs.sort_by_key(|iv| (iv.born, iv.dies, iv.node.0));
+
+    let n = adfg.len();
+    let mut assignments: Vec<Option<Location>> = vec![None; n];
+    // Active register-resident intervals, kept sorted by (dies, node) so
+    // expiry and furthest-end lookups are cheap and deterministic.
+    let mut active: Vec<(Interval, u16)> = Vec::new();
+    let mut free_regs: Vec<u16> = (0..params.registers as u16).rev().collect();
+    let mut regs_high_water = 0usize;
+    let mut mem_in_use: Vec<Interval> = Vec::new();
+    let mut next_mem_slot = 0u32;
+    let mut spills = 0usize;
+    let mut spilled_cycles = 0u64;
+
+    for iv in ivs.iter().copied() {
+        if iv.dies <= iv.born {
+            // Zero-length lifetime: the value never crosses a cycle
+            // boundary (only possible for sinks in degenerate schedules).
+            continue;
+        }
+        // Expire register intervals that died at or before this birth.
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].0.dies <= iv.born {
+                free_regs.push(active[i].1);
+                active.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        mem_in_use.retain(|m| m.dies > iv.born);
+
+        if let Some(r) = free_regs.pop() {
+            assignments[iv.node.index()] = Some(Location::Reg(r));
+            active.push((iv, r));
+            regs_high_water = regs_high_water.max(params.registers - free_regs.len());
+        } else {
+            // No free register: spill whichever live value (including the
+            // incoming one) has the furthest last use.
+            let victim = active
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, (a, _))| (a.dies, a.node.0))
+                .map(|(i, _)| i);
+            let spill_iv = match victim {
+                Some(vi) if active[vi].0.dies > iv.dies => {
+                    // Steal the register from the furthest-ending value.
+                    let (old, reg) = active.remove(vi);
+                    assignments[iv.node.index()] = Some(Location::Reg(reg));
+                    active.push((iv, reg));
+                    old
+                }
+                _ => iv,
+            };
+            if mem_in_use.len() >= params.memory_slots {
+                return Err(MontiumError::OutOfStorage {
+                    cycle: spill_iv.born,
+                    live: params.registers + mem_in_use.len() + 1,
+                });
+            }
+            assignments[spill_iv.node.index()] = Some(Location::Mem(next_mem_slot));
+            next_mem_slot += 1;
+            mem_in_use.push(spill_iv);
+            spills += 1;
+            spilled_cycles += (spill_iv.dies - spill_iv.born) as u64;
+        }
+    }
+
+    // Peak simultaneous liveness over all cycles (register + memory).
+    let lt = crate::lifetime::lifetimes(adfg, schedule);
+
+    Ok(RegAllocReport {
+        assignments,
+        registers_used: regs_high_water,
+        spills,
+        spilled_value_cycles: spilled_cycles,
+        peak_live: lt.peak,
+    })
+}
+
+/// Check an allocation: no two values whose lifetimes overlap may share a
+/// register. Returns the first conflicting pair, if any. Memory slots are
+/// unique per value by construction and are not checked.
+pub fn verify(
+    adfg: &AnalyzedDfg,
+    schedule: &Schedule,
+    report: &RegAllocReport,
+) -> Option<(NodeId, NodeId)> {
+    let ivs = intervals(adfg, schedule);
+    for (i, a) in ivs.iter().enumerate() {
+        let Some(Location::Reg(ra)) = report.assignments[a.node.index()] else {
+            continue;
+        };
+        for b in ivs.iter().skip(i + 1) {
+            let Some(Location::Reg(rb)) = report.assignments[b.node.index()] else {
+                continue;
+            };
+            if ra == rb && overlaps(a, b) {
+                return Some((a.node, b.node));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::{Color, DfgBuilder};
+    use mps_patterns::PatternSet;
+    use mps_scheduler::{schedule_multi_pattern, MultiPatternConfig};
+
+    fn c(ch: char) -> Color {
+        Color::from_char(ch).unwrap()
+    }
+
+    fn schedule(adfg: &AnalyzedDfg, pats: &str) -> Schedule {
+        let ps = PatternSet::parse(pats).unwrap();
+        schedule_multi_pattern(adfg, &ps, MultiPatternConfig::default())
+            .unwrap()
+            .schedule
+    }
+
+    fn chain(len: usize) -> AnalyzedDfg {
+        let mut b = DfgBuilder::new();
+        let ids: Vec<_> = (0..len).map(|i| b.add_node(format!("n{i}"), c('a'))).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        AnalyzedDfg::new(b.build().unwrap())
+    }
+
+    /// k producers, one consumer of all.
+    fn fanin(k: usize) -> AnalyzedDfg {
+        let mut b = DfgBuilder::new();
+        let prods: Vec<_> = (0..k).map(|i| b.add_node(format!("p{i}"), c('a'))).collect();
+        let sink = b.add_node("sink", c('b'));
+        for &p in &prods {
+            b.add_edge(p, sink).unwrap();
+        }
+        AnalyzedDfg::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn chain_needs_one_register() {
+        let adfg = chain(6);
+        let s = schedule(&adfg, "a");
+        let r = allocate_registers(&adfg, &s, RegFileParams::default()).unwrap();
+        assert_eq!(r.registers_used, 1);
+        assert_eq!(r.spills, 0);
+        assert!(verify(&adfg, &s, &r).is_none());
+    }
+
+    #[test]
+    fn no_spills_when_registers_cover_peak() {
+        let adfg = fanin(6);
+        let s = schedule(&adfg, "aaab");
+        let r = allocate_registers(&adfg, &s, RegFileParams::default()).unwrap();
+        assert_eq!(r.spills, 0);
+        assert!(r.registers_used <= r.peak_live);
+        assert!(verify(&adfg, &s, &r).is_none());
+    }
+
+    #[test]
+    fn spills_under_register_pressure() {
+        let adfg = fanin(6);
+        let s = schedule(&adfg, "aaab"); // 2 producer cycles, all 6 live at sink
+        let tight = RegFileParams {
+            registers: 2,
+            memory_slots: 16,
+        };
+        let r = allocate_registers(&adfg, &s, tight).unwrap();
+        assert!(r.spills >= 1, "peak {} with 2 regs must spill", r.peak_live);
+        assert!(verify(&adfg, &s, &r).is_none());
+        assert!(r.spilled_value_cycles >= r.spills as u64);
+    }
+
+    #[test]
+    fn out_of_storage_is_an_error() {
+        let adfg = fanin(8);
+        let s = schedule(&adfg, "aaaab");
+        let starved = RegFileParams {
+            registers: 1,
+            memory_slots: 1,
+        };
+        assert!(matches!(
+            allocate_registers(&adfg, &s, starved),
+            Err(MontiumError::OutOfStorage { .. })
+        ));
+    }
+
+    #[test]
+    fn every_crossing_value_gets_a_location() {
+        let adfg = AnalyzedDfg::new(mps_workloads::fig2());
+        let s = schedule(&adfg, "aabcc aaacc");
+        let r = allocate_registers(&adfg, &s, RegFileParams::default()).unwrap();
+        for v in adfg.dfg().node_ids() {
+            assert!(
+                r.assignments[v.index()].is_some(),
+                "value of {} must be stored",
+                adfg.dfg().name(v)
+            );
+        }
+        assert!(verify(&adfg, &s, &r).is_none());
+    }
+
+    #[test]
+    fn furthest_end_spilling_beats_spilling_newcomer() {
+        // One long-lived value (lives to the end) plus a stream of
+        // short-lived ones through a single register: linear scan parks
+        // the long value in memory once and keeps the register hot.
+        let mut b = DfgBuilder::new();
+        let long = b.add_node("long", c('a'));
+        let sink = b.add_node("sink", c('b'));
+        b.add_edge(long, sink).unwrap();
+        let mut prev = None;
+        for i in 0..4 {
+            let v = b.add_node(format!("s{i}"), c('a'));
+            if let Some(p) = prev {
+                b.add_edge(p, v).unwrap();
+            }
+            prev = Some(v);
+        }
+        if let Some(p) = prev {
+            b.add_edge(p, sink).unwrap();
+        }
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        let s = schedule(&adfg, "ab");
+        let tight = RegFileParams {
+            registers: 1,
+            memory_slots: 8,
+        };
+        let r = allocate_registers(&adfg, &s, tight).unwrap();
+        assert!(verify(&adfg, &s, &r).is_none());
+        // Exactly one spill: the long-lived value.
+        assert_eq!(r.spills, 1);
+        assert!(matches!(
+            r.assignments[long.index()],
+            Some(Location::Mem(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic() {
+        let adfg = AnalyzedDfg::new(mps_workloads::fig2());
+        let s = schedule(&adfg, "aabcc aaacc");
+        let a = allocate_registers(&adfg, &s, RegFileParams::default()).unwrap();
+        let b = allocate_registers(&adfg, &s, RegFileParams::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,52 @@
+//! Tile hardware parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Architectural parameters of one Montium tile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileParams {
+    /// Number of reconfigurable ALUs (`C`). The real tile has 5.
+    pub alus: usize,
+    /// Size of the configuration store — the hard upper bound on distinct
+    /// patterns per application. The real tile allows 32.
+    pub max_configs: usize,
+}
+
+impl Default for TileParams {
+    /// The published Montium tile: 5 ALUs, 32 configurations.
+    fn default() -> Self {
+        TileParams {
+            alus: 5,
+            max_configs: 32,
+        }
+    }
+}
+
+impl TileParams {
+    /// A tile with a custom ALU count, keeping the 32-entry store.
+    pub fn with_alus(alus: usize) -> TileParams {
+        TileParams {
+            alus,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_published_tile() {
+        let t = TileParams::default();
+        assert_eq!(t.alus, 5);
+        assert_eq!(t.max_configs, 32);
+    }
+
+    #[test]
+    fn with_alus() {
+        let t = TileParams::with_alus(8);
+        assert_eq!(t.alus, 8);
+        assert_eq!(t.max_configs, 32);
+    }
+}

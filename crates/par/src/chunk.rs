@@ -1,0 +1,72 @@
+//! Static range partitioning helper.
+
+/// Split `0..len` into at most `parts` contiguous, non-empty, near-equal
+/// ranges covering the whole input.
+///
+/// The first `len % parts` ranges are one element longer than the rest, so
+/// range lengths differ by at most one. Returns an empty vector for
+/// `len == 0`, and fewer than `parts` ranges when `len < parts`.
+///
+/// ```
+/// let r = mps_par::chunk_ranges(10, 3);
+/// assert_eq!(r, vec![0..4, 4..7, 7..10]);
+/// ```
+pub fn chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_input_exactly() {
+        for len in 0..50 {
+            for parts in 1..10 {
+                let ranges = chunk_ranges(len, parts);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect, "ranges must be contiguous");
+                    assert!(!r.is_empty(), "ranges must be non-empty");
+                    expect = r.end;
+                }
+                assert_eq!(expect, len, "ranges must cover the input");
+            }
+        }
+    }
+
+    #[test]
+    fn lengths_differ_by_at_most_one() {
+        let ranges = chunk_ranges(103, 8);
+        let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        let min = lens.iter().min().unwrap();
+        let max = lens.iter().max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn zero_inputs() {
+        assert!(chunk_ranges(0, 4).is_empty());
+        assert!(chunk_ranges(4, 0).is_empty());
+    }
+
+    #[test]
+    fn more_parts_than_items() {
+        let ranges = chunk_ranges(3, 10);
+        assert_eq!(ranges.len(), 3);
+    }
+}

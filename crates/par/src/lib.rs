@@ -1,0 +1,224 @@
+//! Minimal data-parallel substrate for the MPS workspace.
+//!
+//! The multi-pattern scheduling pipeline contains two embarrassingly parallel
+//! hot spots: span-limited antichain enumeration (one independent search tree
+//! per root node) and the Monte-Carlo random-pattern baseline (independent
+//! trials). `rayon` is not part of the approved offline dependency set, so
+//! this crate provides the small slice of its functionality we need, built on
+//! [`crossbeam`]'s scoped threads:
+//!
+//! * [`par_map`] / [`par_map_indexed`] — order-preserving parallel map with
+//!   dynamic (atomic work-counter) load balancing,
+//! * [`par_reduce`] — parallel map + associative fold,
+//! * [`par_for_each`] — side-effecting variant,
+//! * [`parallelism`] — thread-count heuristic honouring `MPS_THREADS`.
+//!
+//! All entry points fall back to straight sequential execution when the input
+//! is small or only one hardware thread is available, so callers never pay
+//! thread-spawn latency for tiny inputs.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = mps_par::par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+mod chunk;
+pub use chunk::chunk_ranges;
+
+/// Inputs shorter than this are always processed sequentially: the work per
+/// item would have to be enormous to amortize thread startup below this size.
+const SEQUENTIAL_CUTOFF: usize = 2;
+
+/// Number of worker threads to use for parallel operations.
+///
+/// Resolution order:
+/// 1. the `MPS_THREADS` environment variable, if set and parseable (a value
+///    of `1` disables parallelism entirely),
+/// 2. [`std::thread::available_parallelism`],
+/// 3. `1` as a last resort.
+pub fn parallelism() -> usize {
+    if let Ok(v) = std::env::var("MPS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Order-preserving parallel map: `out[i] = f(&items[i])`.
+///
+/// Work is distributed dynamically: each worker repeatedly claims the next
+/// unprocessed index from a shared atomic counter, so heavily skewed
+/// per-item costs (common in antichain enumeration, where one root node may
+/// own a search tree orders of magnitude larger than another's) still
+/// balance well.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// Parallel map over the index range `0..len`, preserving index order.
+///
+/// This is the workhorse behind [`par_map`]; use it directly when the work
+/// items are described by an index rather than a slice element.
+pub fn par_map_indexed<U, F>(len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = parallelism().min(len.max(1));
+    if threads <= 1 || len < SEQUENTIAL_CUTOFF {
+        return (0..len).map(f).collect();
+    }
+
+    let counter = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::bounded::<(usize, U)>(threads * 4);
+
+    let mut out: Vec<Option<U>> = Vec::with_capacity(len);
+    out.resize_with(len, || None);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let counter = &counter;
+            let f = &f;
+            scope.spawn(move |_| loop {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                // An unreceivable send only happens if the collector below
+                // panicked; propagating the panic via unwrap is what we want.
+                tx.send((i, f(i))).expect("collector hung up");
+            });
+        }
+        drop(tx);
+        for (i, u) in rx.iter() {
+            out[i] = Some(u);
+        }
+    })
+    .expect("worker thread panicked");
+
+    out.into_iter()
+        .map(|o| o.expect("every index produced"))
+        .collect()
+}
+
+/// Parallel map + associative fold.
+///
+/// Computes `f` for every element, then combines the results with `fold`,
+/// starting from `identity`. `fold` must be associative and `identity` must
+/// be its neutral element; the combination order is otherwise unspecified.
+pub fn par_reduce<T, U, F, R>(items: &[T], identity: U, f: F, fold: R) -> U
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+    R: Fn(U, U) -> U,
+{
+    par_map(items, f).into_iter().fold(identity, fold)
+}
+
+/// Run `f` on every element, in parallel, for its side effects.
+///
+/// The closure only receives `&T`; shared mutable state must be synchronized
+/// by the caller (e.g. with atomics or `parking_lot` locks).
+pub fn par_for_each<T, F>(items: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(&T) + Sync,
+{
+    par_map(items, |t| {
+        f(t);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let out = par_map(&input, |&x| x * 2 + 1);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * 2 + 1);
+        }
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let out: Vec<u32> = par_map(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_map_single_element() {
+        assert_eq!(par_map(&[41u32], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn par_map_indexed_matches_sequential() {
+        let par = par_map_indexed(257, |i| i * i);
+        let seq: Vec<usize> = (0..257).map(|i| i * i).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_reduce_sums() {
+        let input: Vec<u64> = (1..=1000).collect();
+        let sum = par_reduce(&input, 0u64, |&x| x, |a, b| a + b);
+        assert_eq!(sum, 500_500);
+    }
+
+    #[test]
+    fn par_reduce_identity_on_empty() {
+        let sum = par_reduce(&[] as &[u64], 7u64, |&x| x, |a, b| a + b);
+        assert_eq!(sum, 7);
+    }
+
+    #[test]
+    fn par_for_each_visits_everything() {
+        use std::sync::atomic::AtomicU64;
+        let input: Vec<u64> = (0..500).collect();
+        let total = AtomicU64::new(0);
+        par_for_each(&input, |&x| {
+            total.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 500 * 499 / 2);
+    }
+
+    #[test]
+    fn parallelism_is_positive() {
+        assert!(parallelism() >= 1);
+    }
+
+    #[test]
+    fn skewed_work_is_balanced() {
+        // One very expensive item among many cheap ones must not break
+        // order preservation or deadlock the channel.
+        let input: Vec<u64> = (0..64).collect();
+        let out = par_map(&input, |&x| {
+            if x == 0 {
+                (0..200_000u64).sum::<u64>()
+            } else {
+                x
+            }
+        });
+        assert_eq!(out[0], 19_999_900_000);
+        assert_eq!(out[63], 63);
+    }
+}

@@ -1,0 +1,81 @@
+//! Bitset iteration helper shared by the enumerator.
+
+/// Iterator over the set bit indices of a `u64`-packed bitset.
+///
+/// ```
+/// use mps_patterns::BitIter;
+/// let words = [0b1010u64, 0b1];
+/// let idx: Vec<usize> = BitIter::new(&words).collect();
+/// assert_eq!(idx, vec![1, 3, 64]);
+/// ```
+pub struct BitIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl<'a> BitIter<'a> {
+    /// Iterate the set bits of `words`, ascending.
+    pub fn new(words: &'a [u64]) -> BitIter<'a> {
+        BitIter {
+            words,
+            word_idx: 0,
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+/// Count set bits across all words.
+#[cfg(test)]
+pub(crate) fn popcount(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterates_across_words() {
+        let mut words = vec![0u64; 3];
+        for &i in &[0usize, 63, 64, 127, 130] {
+            words[i / 64] |= 1 << (i % 64);
+        }
+        let got: Vec<usize> = BitIter::new(&words).collect();
+        assert_eq!(got, vec![0, 63, 64, 127, 130]);
+        assert_eq!(popcount(&words), 5);
+    }
+
+    #[test]
+    fn empty_bitsets() {
+        assert_eq!(BitIter::new(&[]).count(), 0);
+        assert_eq!(BitIter::new(&[0, 0]).count(), 0);
+    }
+
+    #[test]
+    fn full_word() {
+        let got: Vec<usize> = BitIter::new(&[u64::MAX]).collect();
+        assert_eq!(got.len(), 64);
+        assert_eq!(got[0], 0);
+        assert_eq!(got[63], 63);
+    }
+}

@@ -1,0 +1,241 @@
+//! The subpattern lattice (Hasse diagram) of a candidate-pattern set.
+//!
+//! §5.2's "delete the subpatterns of the selected pattern" walks the
+//! partial order of multiset inclusion over candidate patterns. This
+//! module materializes that order: covering edges (`p ⋖ q` when `p ⊂ q`
+//! with nothing strictly between), maximal/minimal elements, and per-
+//! pattern reachability — so a user can see *why* a candidate vanished
+//! from the pool and how much of the pool each pick wipes out.
+//!
+//! The lattice is also a planning tool: only **maximal** candidates can
+//! ever be the first pick of the Fig. 7 loop (anything below them is
+//! dominated at equal α-bonus cost), so `maximal()` bounds the effective
+//! branching of exhaustive selection.
+
+use crate::pattern::Pattern;
+use std::fmt::Write as _;
+
+/// The subpattern partial order over a fixed set of patterns.
+#[derive(Clone, Debug)]
+pub struct SubpatternLattice {
+    patterns: Vec<Pattern>,
+    /// `covers[i]` = indices j with `patterns[j] ⋖ patterns[i]` (immediate
+    /// subpatterns).
+    covers: Vec<Vec<usize>>,
+    /// `below[i]` = indices of *all* strict subpatterns of `patterns[i]`.
+    below: Vec<Vec<usize>>,
+}
+
+impl SubpatternLattice {
+    /// Build the lattice over `patterns` (duplicates are collapsed; the
+    /// order of first appearance is kept).
+    pub fn build<I: IntoIterator<Item = Pattern>>(patterns: I) -> SubpatternLattice {
+        let mut ps: Vec<Pattern> = Vec::new();
+        for p in patterns {
+            if !ps.contains(&p) {
+                ps.push(p);
+            }
+        }
+        let n = ps.len();
+        let mut below: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && ps[j].is_subpattern_of(&ps[i]) && ps[j] != ps[i] {
+                    below[i].push(j);
+                }
+            }
+        }
+        // Covering edges: j ⋖ i iff j ∈ below[i] and no k ∈ below[i] has
+        // j ∈ below[k].
+        let mut covers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for &j in &below[i] {
+                let skipped = below[i]
+                    .iter()
+                    .any(|&k| k != j && below[k].contains(&j));
+                if !skipped {
+                    covers[i].push(j);
+                }
+            }
+        }
+        SubpatternLattice {
+            patterns: ps,
+            covers,
+            below,
+        }
+    }
+
+    /// The deduplicated patterns, in first-appearance order.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Number of distinct patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// `true` when the lattice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Index of a pattern, if present.
+    pub fn index_of(&self, p: &Pattern) -> Option<usize> {
+        self.patterns.iter().position(|x| x == p)
+    }
+
+    /// All strict subpatterns of the pattern at `i` — exactly the set the
+    /// Fig. 7 loop deletes when `patterns[i]` is selected.
+    pub fn strict_subpatterns(&self, i: usize) -> &[usize] {
+        &self.below[i]
+    }
+
+    /// Immediate subpatterns (covering edges downward).
+    pub fn covered_by(&self, i: usize) -> &[usize] {
+        &self.covers[i]
+    }
+
+    /// Patterns with no strict superpattern in the set.
+    pub fn maximal(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| !(0..self.len()).any(|j| self.below[j].contains(&i)))
+            .collect()
+    }
+
+    /// Patterns with no strict subpattern in the set.
+    pub fn minimal(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.below[i].is_empty()).collect()
+    }
+
+    /// Longest chain length (number of patterns on it) in the order —
+    /// how many successive picks could cascade deletions at most.
+    pub fn height(&self) -> usize {
+        let n = self.len();
+        let mut memo = vec![0usize; n];
+        fn depth(i: usize, covers: &[Vec<usize>], memo: &mut [usize]) -> usize {
+            if memo[i] != 0 {
+                return memo[i];
+            }
+            let d = 1 + covers[i]
+                .iter()
+                .map(|&j| depth(j, covers, memo))
+                .max()
+                .unwrap_or(0);
+            memo[i] = d;
+            d
+        }
+        (0..n).map(|i| depth(i, &self.covers, &mut memo)).max().unwrap_or(0)
+    }
+
+    /// Graphviz DOT of the Hasse diagram (edges point subpattern →
+    /// superpattern; maximal patterns drawn as boxes).
+    pub fn to_dot(&self, title: &str) -> String {
+        let maximal: Vec<usize> = self.maximal();
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{title}\" {{");
+        let _ = writeln!(out, "  rankdir=BT;");
+        for (i, p) in self.patterns.iter().enumerate() {
+            let shape = if maximal.contains(&i) { "box" } else { "ellipse" };
+            let _ = writeln!(out, "  p{i} [label=\"{p}\", shape={shape}];");
+        }
+        for (i, cov) in self.covers.iter().enumerate() {
+            for &j in cov {
+                let _ = writeln!(out, "  p{j} -> p{i};");
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat(s: &str) -> Pattern {
+        Pattern::parse(s).unwrap()
+    }
+
+    fn chain_lattice() -> SubpatternLattice {
+        SubpatternLattice::build(["a", "aa", "aaa"].map(pat))
+    }
+
+    #[test]
+    fn chain_structure() {
+        let l = chain_lattice();
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.height(), 3);
+        assert_eq!(l.maximal(), vec![2]);
+        assert_eq!(l.minimal(), vec![0]);
+        // aaa covers aa only (a is skipped — not an immediate subpattern).
+        assert_eq!(l.covered_by(2), &[1]);
+        assert_eq!(l.covered_by(1), &[0]);
+        // But all strict subpatterns of aaa include a.
+        let mut below: Vec<usize> = l.strict_subpatterns(2).to_vec();
+        below.sort_unstable();
+        assert_eq!(below, vec![0, 1]);
+    }
+
+    #[test]
+    fn incomparable_patterns_have_no_edges() {
+        let l = SubpatternLattice::build(["ab", "cc"].map(pat));
+        assert_eq!(l.maximal().len(), 2);
+        assert_eq!(l.minimal().len(), 2);
+        assert_eq!(l.height(), 1);
+        assert!(l.covered_by(0).is_empty());
+        assert!(l.covered_by(1).is_empty());
+    }
+
+    #[test]
+    fn diamond_covering_edges() {
+        // ab above both a and b; abc above ab.
+        let l = SubpatternLattice::build(["a", "b", "ab", "abc"].map(pat));
+        let ab = l.index_of(&pat("ab")).unwrap();
+        let abc = l.index_of(&pat("abc")).unwrap();
+        let mut cov_ab: Vec<usize> = l.covered_by(ab).to_vec();
+        cov_ab.sort_unstable();
+        assert_eq!(cov_ab, vec![0, 1], "ab covers a and b");
+        assert_eq!(l.covered_by(abc), &[ab], "abc covers only ab");
+        assert_eq!(l.maximal(), vec![abc]);
+        assert_eq!(l.height(), 3);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let l = SubpatternLattice::build(["aa", "aa", "a"].map(pat));
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn multiset_inclusion_not_set_inclusion() {
+        // "ab" is NOT a subpattern of "aab"? It is: a×1 ≤ a×2, b×1 ≤ b×1.
+        // "aab" vs "abb": incomparable.
+        let l = SubpatternLattice::build(["ab", "aab", "abb"].map(pat));
+        let ab = l.index_of(&pat("ab")).unwrap();
+        let aab = l.index_of(&pat("aab")).unwrap();
+        let abb = l.index_of(&pat("abb")).unwrap();
+        assert!(l.strict_subpatterns(aab).contains(&ab));
+        assert!(l.strict_subpatterns(abb).contains(&ab));
+        assert!(!l.strict_subpatterns(aab).contains(&abb));
+        assert_eq!(l.maximal().len(), 2);
+    }
+
+    #[test]
+    fn dot_output_shape() {
+        let dot = chain_lattice().to_dot("chain");
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("p0 -> p1"));
+        assert!(dot.contains("p1 -> p2"));
+        assert!(!dot.contains("p0 -> p2"), "transitive edge must be absent");
+        assert!(dot.contains("shape=box"), "maximal pattern is boxed");
+    }
+
+    #[test]
+    fn empty_lattice() {
+        let l = SubpatternLattice::build([]);
+        assert!(l.is_empty());
+        assert_eq!(l.height(), 0);
+        assert!(l.maximal().is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! Pattern algebra and span-limited antichain enumeration.
+//!
+//! Implements §3 and §5.1 of Guo, Hoede & Smit (IPPS 2006):
+//!
+//! * [`Pattern`] — a *bag* (multiset) of operation colors with at most `C`
+//!   elements, the unit of ALU reconfiguration on the Montium;
+//! * [`PatternSet`] — an ordered, deduplicated collection of patterns (the
+//!   `Pdef` patterns handed to the scheduler);
+//! * [`enumerate_antichains`] / [`for_each_antichain`] — depth-first
+//!   enumeration of every antichain of size ≤ `C` whose span does not
+//!   exceed a limit (Theorem 1 justifies discarding high-span antichains);
+//! * [`PatternTable`] — the §5.1 classification of antichains by their
+//!   color bag, including the per-node frequencies `h(p̄, n)` that drive
+//!   the §5.2 selection priority;
+//! * [`span_histogram`] — the size × span-limit antichain counts of the
+//!   paper's Table 5.
+//!
+//! The enumerator maintains candidate sets as `u64` bitsets intersected
+//! with precomputed per-node parallel masks, so extending an antichain by
+//! one node costs O(V/64) words and no allocation; root nodes are processed
+//! in parallel via `mps-par`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bits;
+mod enumerate;
+mod hasse;
+mod pattern;
+mod pattern_set;
+mod table;
+mod width;
+
+pub use bits::BitIter;
+pub use enumerate::{enumerate_antichains, for_each_antichain, EnumerateConfig};
+pub use hasse::SubpatternLattice;
+pub use pattern::Pattern;
+pub use pattern_set::PatternSet;
+pub use table::{span_histogram, PatternStats, PatternTable, SpanHistogram};
+pub use width::{maximum_antichain, width};

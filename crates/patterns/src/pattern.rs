@@ -1,0 +1,236 @@
+//! The pattern type: a bag of operation colors.
+
+use mps_dfg::{Color, ColorSet, SmallSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum number of defined slots a pattern can carry. The Montium has
+/// `C = 5`; 16 leaves headroom for wider simulated tiles.
+pub const MAX_PATTERN_SLOTS: usize = 16;
+
+/// A pattern: an unordered bag (multiset) of operation colors.
+///
+/// "The combination of concurrent functions that can be performed on the
+/// parallel reconfigurable ALUs in one clock cycle is called a pattern"
+/// (paper §1). A pattern with fewer than `C` colors leaves the remaining
+/// ALUs as *dummies*; dummies are not stored — a pattern is exactly its
+/// defined colors, kept sorted so that equal bags compare equal.
+///
+/// ```
+/// use mps_patterns::Pattern;
+/// let p = Pattern::parse("caabc").unwrap();
+/// assert_eq!(p.to_string(), "aabcc"); // canonical (sorted) form
+/// assert_eq!(p.size(), 5);
+/// assert_eq!(p.count_of(mps_dfg::Color::from_char('c').unwrap()), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pattern {
+    colors: SmallSet<Color, MAX_PATTERN_SLOTS>,
+}
+
+impl Pattern {
+    /// The empty pattern (all dummies).
+    pub fn empty() -> Pattern {
+        Pattern {
+            colors: SmallSet::new(),
+        }
+    }
+
+    /// Build from colors; the bag is canonicalized by sorting.
+    ///
+    /// Panics if given more than [`MAX_PATTERN_SLOTS`] colors.
+    pub fn from_colors<I: IntoIterator<Item = Color>>(iter: I) -> Pattern {
+        let mut colors: SmallSet<Color, MAX_PATTERN_SLOTS> = iter.into_iter().collect();
+        let mut buf: Vec<Color> = colors.as_slice().to_vec();
+        buf.sort_unstable();
+        colors = buf.into_iter().collect();
+        Pattern { colors }
+    }
+
+    /// Parse the paper's letter notation, e.g. `"aabcc"`.
+    pub fn parse(s: &str) -> Option<Pattern> {
+        let mut colors = Vec::with_capacity(s.len());
+        for ch in s.chars() {
+            colors.push(Color::from_char(ch)?);
+        }
+        if colors.len() > MAX_PATTERN_SLOTS {
+            return None;
+        }
+        Some(Pattern::from_colors(colors))
+    }
+
+    /// Number of defined (non-dummy) slots — the paper's `|p̄|`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// `true` if the pattern has no defined slots.
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+
+    /// The colors of the bag in canonical (sorted) order, duplicates kept.
+    #[inline]
+    pub fn colors(&self) -> &[Color] {
+        self.colors.as_slice()
+    }
+
+    /// How many slots of the given color the pattern provides.
+    pub fn count_of(&self, c: Color) -> usize {
+        self.colors.iter().filter(|&&x| x == c).count()
+    }
+
+    /// The set of distinct colors.
+    pub fn color_set(&self) -> ColorSet {
+        self.colors.iter().copied().collect()
+    }
+
+    /// Distinct colors with their multiplicities, ascending by color.
+    pub fn color_counts(&self) -> Vec<(Color, usize)> {
+        let mut out: Vec<(Color, usize)> = Vec::new();
+        for &c in self.colors.iter() {
+            match out.last_mut() {
+                Some((lc, n)) if *lc == c => *n += 1,
+                _ => out.push((c, 1)),
+            }
+        }
+        out
+    }
+
+    /// Multiset inclusion: every color of `self` appears in `other` with at
+    /// least the same multiplicity. Every pattern is a subpattern of
+    /// itself; the paper's "delete the subpatterns of the selected pattern"
+    /// uses the strict form [`Pattern::is_strict_subpattern_of`] plus the
+    /// pattern itself being consumed by selection.
+    pub fn is_subpattern_of(&self, other: &Pattern) -> bool {
+        // Both sides sorted: single merge pass.
+        let (a, b) = (self.colors(), other.colors());
+        let mut j = 0;
+        for &c in a {
+            // Advance b to the first slot ≥ c.
+            while j < b.len() && b[j] < c {
+                j += 1;
+            }
+            if j >= b.len() || b[j] != c {
+                return false;
+            }
+            j += 1;
+        }
+        true
+    }
+
+    /// Proper multiset inclusion (subpattern and not equal).
+    pub fn is_strict_subpattern_of(&self, other: &Pattern) -> bool {
+        self != other && self.is_subpattern_of(other)
+    }
+
+    /// A new pattern with `c` appended (canonical order restored).
+    pub fn with_color(&self, c: Color) -> Pattern {
+        Pattern::from_colors(self.colors().iter().copied().chain(std::iter::once(c)))
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "∅");
+        }
+        for c in self.colors() {
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pattern({self})")
+    }
+}
+
+impl PartialOrd for Pattern {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Pattern {
+    /// Lexicographic on the canonical color sequence; shorter bags compare
+    /// before longer ones with the same prefix. Gives pattern collections a
+    /// stable, deterministic order.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.colors().cmp(other.colors())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Pattern {
+        Pattern::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_and_canonicalize() {
+        assert_eq!(p("caabc"), p("aabcc"));
+        assert_eq!(p("caabc").to_string(), "aabcc");
+        assert_eq!(p("a").size(), 1);
+        assert_eq!(Pattern::empty().to_string(), "∅");
+        assert!(Pattern::parse("aB").is_none());
+        assert!(Pattern::parse("aaaaaaaaaaaaaaaaa").is_none(), "17 slots");
+    }
+
+    #[test]
+    fn counts_and_sets() {
+        let q = p("aabcc");
+        assert_eq!(q.count_of(Color::from_char('a').unwrap()), 2);
+        assert_eq!(q.count_of(Color::from_char('b').unwrap()), 1);
+        assert_eq!(q.count_of(Color::from_char('z').unwrap()), 0);
+        assert_eq!(q.color_set().len(), 3);
+        assert_eq!(
+            q.color_counts(),
+            vec![
+                (Color::from_char('a').unwrap(), 2),
+                (Color::from_char('b').unwrap(), 1),
+                (Color::from_char('c').unwrap(), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn subpattern_relation() {
+        // The paper's example: {a} is a subpattern of {aa}.
+        assert!(p("a").is_subpattern_of(&p("aa")));
+        assert!(p("a").is_strict_subpattern_of(&p("aa")));
+        assert!(p("ab").is_subpattern_of(&p("aabcc")));
+        assert!(p("aa").is_subpattern_of(&p("aabcc")));
+        assert!(!p("aaa").is_subpattern_of(&p("aabcc")), "multiplicity matters");
+        assert!(!p("d").is_subpattern_of(&p("aabcc")));
+        assert!(p("aabcc").is_subpattern_of(&p("aabcc")));
+        assert!(!p("aabcc").is_strict_subpattern_of(&p("aabcc")));
+        assert!(Pattern::empty().is_subpattern_of(&p("a")));
+    }
+
+    #[test]
+    fn with_color_keeps_canonical_order() {
+        let q = p("ac").with_color(Color::from_char('b').unwrap());
+        assert_eq!(q.to_string(), "abc");
+    }
+
+    #[test]
+    fn ordering_is_deterministic() {
+        let mut v = [p("b"), p("aa"), p("a"), p("ab")];
+        v.sort();
+        let strs: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+        assert_eq!(strs, vec!["a", "aa", "ab", "b"]);
+    }
+
+    #[test]
+    fn equality_is_bag_equality() {
+        assert_eq!(p("abc"), p("cba"));
+        assert_ne!(p("aab"), p("abb"));
+        assert_ne!(p("a"), p("aa"));
+    }
+}

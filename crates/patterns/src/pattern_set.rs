@@ -1,0 +1,165 @@
+//! Ordered, deduplicated pattern collections.
+
+use crate::pattern::Pattern;
+use mps_dfg::ColorSet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The ordered set of patterns handed to the multi-pattern scheduler.
+///
+/// Order matters twice: the scheduler breaks pattern-priority ties in favor
+/// of the earliest pattern (required to reproduce the paper's Table 2), and
+/// selection appends patterns in the order it picks them. Duplicates are
+/// rejected on insert.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternSet {
+    patterns: Vec<Pattern>,
+}
+
+impl PatternSet {
+    /// An empty set.
+    pub fn new() -> PatternSet {
+        PatternSet::default()
+    }
+
+    /// Build from patterns, ignoring duplicates (first occurrence wins).
+    pub fn from_patterns<I: IntoIterator<Item = Pattern>>(iter: I) -> PatternSet {
+        let mut s = PatternSet::new();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+
+    /// Parse a whitespace- or comma-separated list of letter patterns,
+    /// e.g. `"aabcc aaacc"`.
+    pub fn parse(s: &str) -> Option<PatternSet> {
+        let mut out = PatternSet::new();
+        for tok in s.split(|c: char| c.is_whitespace() || c == ',') {
+            if tok.is_empty() {
+                continue;
+            }
+            out.insert(Pattern::parse(tok)?);
+        }
+        Some(out)
+    }
+
+    /// Append a pattern; returns `false` (and does nothing) if already
+    /// present.
+    pub fn insert(&mut self, p: Pattern) -> bool {
+        if self.patterns.contains(&p) {
+            false
+        } else {
+            self.patterns.push(p);
+            true
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, p: &Pattern) -> bool {
+        self.patterns.contains(p)
+    }
+
+    /// The patterns in insertion order.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// `true` if no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Iterate in insertion order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &Pattern> {
+        self.patterns.iter()
+    }
+
+    /// Union of all distinct colors — the paper's selected color set `Ls`.
+    pub fn color_set(&self) -> ColorSet {
+        self.patterns
+            .iter()
+            .fold(ColorSet::new(), |acc, p| acc.union(&p.color_set()))
+    }
+
+    /// `true` if some pattern in the set can host a node of every color in
+    /// `colors` — a necessary condition for any schedule to exist.
+    pub fn covers(&self, colors: &ColorSet) -> bool {
+        colors.is_subset(&self.color_set())
+    }
+}
+
+impl fmt::Display for PatternSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.patterns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Pattern> for PatternSet {
+    fn from_iter<I: IntoIterator<Item = Pattern>>(iter: I) -> Self {
+        PatternSet::from_patterns(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a PatternSet {
+    type Item = &'a Pattern;
+    type IntoIter = std::slice::Iter<'a, Pattern>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.patterns.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::Color;
+
+    #[test]
+    fn insert_dedups() {
+        let mut s = PatternSet::new();
+        assert!(s.insert(Pattern::parse("ab").unwrap()));
+        assert!(!s.insert(Pattern::parse("ba").unwrap()), "bag-equal");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn parse_list() {
+        let s = PatternSet::parse("aabcc, aaacc").unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.to_string(), "{aabcc, aaacc}");
+        assert!(PatternSet::parse("aabcc zz!").is_none());
+        assert!(PatternSet::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn preserves_insertion_order() {
+        let s = PatternSet::parse("b a c").unwrap();
+        let strs: Vec<String> = s.iter().map(|p| p.to_string()).collect();
+        assert_eq!(strs, vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn color_set_and_coverage() {
+        let s = PatternSet::parse("aab cc").unwrap();
+        let ls = s.color_set();
+        assert_eq!(ls.len(), 3);
+        let mut need = ColorSet::new();
+        need.insert(Color::from_char('a').unwrap());
+        need.insert(Color::from_char('c').unwrap());
+        assert!(s.covers(&need));
+        need.insert(Color::from_char('d').unwrap());
+        assert!(!s.covers(&need));
+    }
+}

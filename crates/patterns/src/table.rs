@@ -1,0 +1,380 @@
+//! Classification of antichains by pattern (§5.1) and the Table 5 span
+//! histogram.
+
+use crate::enumerate::{for_each_antichain_from_root, EnumerateConfig};
+use crate::pattern::Pattern;
+use mps_dfg::{Antichain, AnalyzedDfg, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Statistics of one candidate pattern: how many antichains realize it and
+/// how often each node participates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternStats {
+    /// The pattern (color bag of its antichains).
+    pub pattern: Pattern,
+    /// Total number of antichains with this color bag.
+    pub antichain_count: u64,
+    /// `node_freq[n]` = the paper's `h(p̄, n)`: the number of antichains of
+    /// this pattern that contain node `n`.
+    pub node_freq: Vec<u64>,
+}
+
+impl PatternStats {
+    /// The paper's `h(p̄, n)`.
+    #[inline]
+    pub fn freq(&self, n: NodeId) -> u64 {
+        self.node_freq[n.index()]
+    }
+}
+
+/// All candidate patterns of a DFG with their antichain statistics —
+/// the §5.1 "classified antichains", in aggregate form.
+///
+/// Only aggregates are stored (counts and per-node frequencies), because
+/// §5.2's priority function needs nothing else; the raw antichain lists are
+/// exponential and available via [`crate::enumerate_antichains`] when truly
+/// needed (e.g. to print the paper's Table 4).
+#[derive(Clone, Debug)]
+pub struct PatternTable {
+    stats: Vec<PatternStats>,
+    index: HashMap<Pattern, usize>,
+    num_nodes: usize,
+}
+
+impl PatternTable {
+    /// Enumerate all antichains of `adfg` under `cfg` and classify them by
+    /// pattern. Roots are processed in parallel when `cfg.parallel`.
+    pub fn build(adfg: &AnalyzedDfg, cfg: EnumerateConfig) -> PatternTable {
+        let n = adfg.len();
+        let roots: Vec<NodeId> = adfg.dfg().node_ids().collect();
+
+        let accumulate = |root: &NodeId| -> HashMap<Pattern, (u64, Vec<u64>)> {
+            let mut local: HashMap<Pattern, (u64, Vec<u64>)> = HashMap::new();
+            for_each_antichain_from_root(adfg, cfg, *root, |a, _span| {
+                let pat = pattern_of(adfg, a);
+                let entry = local.entry(pat).or_insert_with(|| (0, vec![0u64; n]));
+                entry.0 += 1;
+                for &node in a.iter() {
+                    entry.1[node.index()] += 1;
+                }
+            });
+            local
+        };
+
+        let locals: Vec<HashMap<Pattern, (u64, Vec<u64>)>> = if cfg.parallel {
+            mps_par::par_map(&roots, accumulate)
+        } else {
+            roots.iter().map(accumulate).collect()
+        };
+
+        let mut merged: HashMap<Pattern, (u64, Vec<u64>)> = HashMap::new();
+        for local in locals {
+            for (pat, (count, freq)) in local {
+                let entry = merged.entry(pat).or_insert_with(|| (0, vec![0u64; n]));
+                entry.0 += count;
+                for (dst, src) in entry.1.iter_mut().zip(freq.iter()) {
+                    *dst += src;
+                }
+            }
+        }
+
+        let mut stats: Vec<PatternStats> = merged
+            .into_iter()
+            .map(|(pattern, (antichain_count, node_freq))| PatternStats {
+                pattern,
+                antichain_count,
+                node_freq,
+            })
+            .collect();
+        stats.sort_by_key(|a| a.pattern);
+        let index = stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.pattern, i))
+            .collect();
+
+        PatternTable {
+            stats,
+            index,
+            num_nodes: n,
+        }
+    }
+
+    /// Statistics for a pattern, if any antichain realizes it.
+    pub fn get(&self, p: &Pattern) -> Option<&PatternStats> {
+        self.index.get(p).map(|&i| &self.stats[i])
+    }
+
+    /// All patterns with statistics, in canonical pattern order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &PatternStats> {
+        self.stats.iter()
+    }
+
+    /// Number of distinct candidate patterns.
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// `true` if the graph had no antichains (i.e. no nodes).
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// Number of nodes of the underlying graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Total antichains across all patterns.
+    pub fn total_antichains(&self) -> u64 {
+        self.stats.iter().map(|s| s.antichain_count).sum()
+    }
+}
+
+/// The color bag of an antichain.
+pub(crate) fn pattern_of(adfg: &AnalyzedDfg, a: &Antichain) -> Pattern {
+    Pattern::from_colors(a.iter().map(|&n| adfg.dfg().color(n)))
+}
+
+/// Antichain counts bucketed by size and exact span — the data behind the
+/// paper's Table 5 (which reports cumulative counts per span *limit*).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanHistogram {
+    /// `exact[span][size-1]` = number of antichains of that size with that
+    /// exact span.
+    exact: Vec<Vec<u64>>,
+    max_size: usize,
+    max_span: u32,
+}
+
+impl SpanHistogram {
+    /// Count with `Span(A) = span` exactly.
+    pub fn exact(&self, span: u32, size: usize) -> u64 {
+        if size == 0 || size > self.max_size || span > self.max_span {
+            return 0;
+        }
+        self.exact[span as usize][size - 1]
+    }
+
+    /// Count with `Span(A) ≤ span_limit` — a Table 5 cell.
+    pub fn cumulative(&self, span_limit: u32, size: usize) -> u64 {
+        (0..=span_limit.min(self.max_span))
+            .map(|s| self.exact(s, size))
+            .sum()
+    }
+
+    /// Largest antichain size tracked.
+    pub fn max_size(&self) -> usize {
+        self.max_size
+    }
+
+    /// Largest span tracked.
+    pub fn max_span(&self) -> u32 {
+        self.max_span
+    }
+}
+
+impl fmt::Display for SpanHistogram {
+    /// Renders in the paper's Table 5 layout: one row per span limit
+    /// (descending), one column per antichain size.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<14}", "size")?;
+        for size in 1..=self.max_size {
+            write!(f, "{size:>8}")?;
+        }
+        writeln!(f)?;
+        for span in (0..=self.max_span).rev() {
+            write!(f, "Span(A)<={span:<5}")?;
+            for size in 1..=self.max_size {
+                write!(f, "{:>8}", self.cumulative(span, size))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Enumerate antichains up to `max_size` with span ≤ `max_span` and bucket
+/// them by (exact span, size). Reproduces Table 5 via
+/// [`SpanHistogram::cumulative`].
+pub fn span_histogram(adfg: &AnalyzedDfg, max_size: usize, max_span: u32) -> SpanHistogram {
+    let roots: Vec<NodeId> = adfg.dfg().node_ids().collect();
+    let cfg = EnumerateConfig {
+        capacity: max_size,
+        span_limit: Some(max_span),
+        parallel: true,
+    };
+    let locals = mps_par::par_map(&roots, |&root| {
+        let mut local = vec![vec![0u64; max_size]; max_span as usize + 1];
+        for_each_antichain_from_root(adfg, cfg, root, |a, span| {
+            local[span as usize][a.len() - 1] += 1;
+        });
+        local
+    });
+    let mut exact = vec![vec![0u64; max_size]; max_span as usize + 1];
+    for local in locals {
+        for (dst_row, src_row) in exact.iter_mut().zip(local.iter()) {
+            for (d, s) in dst_row.iter_mut().zip(src_row.iter()) {
+                *d += s;
+            }
+        }
+    }
+    SpanHistogram {
+        exact,
+        max_size,
+        max_span,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::{Color, DfgBuilder};
+
+    fn c(ch: char) -> Color {
+        Color::from_char(ch).unwrap()
+    }
+
+    fn fig4() -> AnalyzedDfg {
+        let mut b = DfgBuilder::new();
+        let a1 = b.add_node("a1", c('a'));
+        let a2 = b.add_node("a2", c('a'));
+        let a3 = b.add_node("a3", c('a'));
+        let b4 = b.add_node("b4", c('b'));
+        let b5 = b.add_node("b5", c('b'));
+        b.add_edge(a1, a2).unwrap();
+        b.add_edge(a2, b4).unwrap();
+        b.add_edge(a3, b5).unwrap();
+        AnalyzedDfg::new(b.build().unwrap())
+    }
+
+    fn cfg_seq() -> EnumerateConfig {
+        EnumerateConfig {
+            capacity: 5,
+            span_limit: None,
+            parallel: false,
+        }
+    }
+
+    /// Table 4 & Table 6 of the paper restrict attention to the four
+    /// patterns {a}, {b}, {aa}, {bb} (the DFG's antichains also include
+    /// mixed pairs like {a3, b4}; the paper's tables list colors-equal
+    /// classes only as an illustration — we check the listed classes
+    /// exactly and tolerate the extra mixed classes).
+    #[test]
+    fn fig4_table4_antichain_classes() {
+        let adfg = fig4();
+        let table = PatternTable::build(&adfg, cfg_seq());
+
+        let pa = table.get(&Pattern::parse("a").unwrap()).unwrap();
+        assert_eq!(pa.antichain_count, 3, "{{a1}},{{a2}},{{a3}}");
+
+        let pb = table.get(&Pattern::parse("b").unwrap()).unwrap();
+        assert_eq!(pb.antichain_count, 2, "{{b4}},{{b5}}");
+
+        let paa = table.get(&Pattern::parse("aa").unwrap()).unwrap();
+        assert_eq!(paa.antichain_count, 2, "{{a1,a3}},{{a2,a3}}");
+
+        let pbb = table.get(&Pattern::parse("bb").unwrap()).unwrap();
+        assert_eq!(pbb.antichain_count, 1, "{{b4,b5}}");
+    }
+
+    /// Table 6: node frequencies h(p̄, n).
+    #[test]
+    fn fig4_table6_node_frequencies() {
+        let adfg = fig4();
+        let table = PatternTable::build(&adfg, cfg_seq());
+        let g = adfg.dfg();
+        let ids = ["a1", "a2", "a3", "b4", "b5"].map(|n| g.find(n).unwrap());
+
+        let freq = |pat: &str| -> Vec<u64> {
+            let s = table.get(&Pattern::parse(pat).unwrap()).unwrap();
+            ids.iter().map(|&n| s.freq(n)).collect()
+        };
+
+        assert_eq!(freq("a"), vec![1, 1, 1, 0, 0]);
+        assert_eq!(freq("b"), vec![0, 0, 0, 1, 1]);
+        assert_eq!(freq("aa"), vec![1, 1, 2, 0, 0], "a3 pairs with both a1 and a2");
+        assert_eq!(freq("bb"), vec![0, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let adfg = fig4();
+        let table = PatternTable::build(&adfg, cfg_seq());
+        // Sum of node frequencies of a pattern = count × size.
+        for s in table.iter() {
+            let total: u64 = s.node_freq.iter().sum();
+            assert_eq!(total, s.antichain_count * s.pattern.size() as u64);
+        }
+        // Total antichains equals direct enumeration.
+        let direct = crate::enumerate::enumerate_antichains(&adfg, cfg_seq()).len() as u64;
+        assert_eq!(table.total_antichains(), direct);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let adfg = fig4();
+        let seq = PatternTable::build(&adfg, cfg_seq());
+        let par = PatternTable::build(
+            &adfg,
+            EnumerateConfig {
+                parallel: true,
+                ..cfg_seq()
+            },
+        );
+        assert_eq!(seq.len(), par.len());
+        for s in seq.iter() {
+            let p = par.get(&s.pattern).expect("pattern present in parallel build");
+            assert_eq!(s.antichain_count, p.antichain_count);
+            assert_eq!(s.node_freq, p.node_freq);
+        }
+    }
+
+    #[test]
+    fn span_histogram_cumulative_rows_are_monotone() {
+        // Two parallel chains give positive-span antichains.
+        let mut b = DfgBuilder::new();
+        let xs: Vec<_> = (0..4).map(|i| b.add_node(format!("x{i}"), c('a'))).collect();
+        for w in xs.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        let ys: Vec<_> = (0..4).map(|i| b.add_node(format!("y{i}"), c('b'))).collect();
+        for w in ys.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        let h = span_histogram(&adfg, 2, 3);
+        for size in 1..=2 {
+            for span in 1..=3 {
+                assert!(
+                    h.cumulative(span, size) >= h.cumulative(span - 1, size),
+                    "cumulative counts must grow with the span limit"
+                );
+            }
+        }
+        // Singletons always have span 0.
+        assert_eq!(h.exact(0, 1), 8);
+        assert_eq!(h.exact(1, 1), 0);
+        assert_eq!(h.cumulative(3, 1), 8);
+        // Size-2 with span 0: the level-aligned cross pairs {x_i, y_i}.
+        assert_eq!(h.cumulative(0, 2), 4);
+        // All 16 cross pairs are antichains; span = |i - j|.
+        assert_eq!(h.cumulative(3, 2), 16);
+        assert_eq!(h.exact(3, 2), 2, "{{x0,y3}} and {{x3,y0}}");
+        // Display renders without panicking and mentions every span row.
+        let txt = h.to_string();
+        assert!(txt.contains("Span(A)<=3"));
+        assert!(txt.contains("Span(A)<=0"));
+    }
+
+    #[test]
+    fn get_missing_pattern_is_none() {
+        let adfg = fig4();
+        let table = PatternTable::build(&adfg, cfg_seq());
+        assert!(table.get(&Pattern::parse("zz").unwrap()).is_none());
+        assert!(!table.is_empty());
+        assert_eq!(table.num_nodes(), 5);
+    }
+}

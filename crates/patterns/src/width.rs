@@ -1,0 +1,294 @@
+//! DAG width: the size of a maximum antichain, via Dilworth's theorem.
+//!
+//! Theorem 1 and the span limitation control *which* antichains pattern
+//! generation considers; the graph's **width** — the largest antichain of
+//! all — bounds how many ALUs could ever be useful, so it is the natural
+//! yardstick for choosing the tile capacity `C`. By Dilworth's theorem the
+//! width equals the minimum number of chains covering the poset, which for
+//! a DAG reduces to maximum bipartite matching on the *transitive closure*
+//! (Fulkerson): `width = V − max_matching(closure)`.
+//!
+//! The matcher is Hopcroft–Karp, written here from scratch (no external
+//! graph crates in the workspace): O(E·√V) on the closure bipartite graph.
+
+use crate::bits::BitIter;
+use mps_dfg::{AnalyzedDfg, NodeId};
+use std::collections::VecDeque;
+
+/// Maximum-antichain size of the DAG.
+pub fn width(adfg: &AnalyzedDfg) -> usize {
+    let n = adfg.len();
+    if n == 0 {
+        return 0;
+    }
+    let matching = max_matching_on_closure(adfg);
+    n - matching
+}
+
+/// A maximum antichain (not just its size): König's theorem turns the
+/// maximum matching into a minimum vertex cover on the closure; the nodes
+/// outside every chain-cover edge-cut form a maximum antichain.
+///
+/// Returns the antichain's nodes in ascending order.
+pub fn maximum_antichain(adfg: &AnalyzedDfg) -> Vec<NodeId> {
+    let n = adfg.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let (match_left, match_right) = hopcroft_karp(adfg);
+
+    // König: alternate BFS from unmatched left vertices.
+    // Z = reachable via alternating paths; cover = (L \ Z_L) ∪ (R ∩ Z_R).
+    let mut z_left = vec![false; n];
+    let mut z_right = vec![false; n];
+    let mut queue: VecDeque<usize> = (0..n).filter(|&u| match_left[u].is_none()).collect();
+    for &u in &queue {
+        z_left[u] = true;
+    }
+    while let Some(u) = queue.pop_front() {
+        for v in BitIter::new(adfg.reach().desc_row(NodeId(u as u32))) {
+            if !z_right[v] {
+                z_right[v] = true;
+                if let Some(u2) = match_right[v] {
+                    if !z_left[u2] {
+                        z_left[u2] = true;
+                        queue.push_back(u2);
+                    }
+                }
+            }
+        }
+    }
+    // Minimum vertex cover C = (L \ Z) ∪ (R ∩ Z). In the Dilworth
+    // construction a node is *in the antichain* iff neither its left copy
+    // nor its right copy is in the cover: left copy in cover ⇔ ¬z_left,
+    // right copy in cover ⇔ z_right.
+    let antichain: Vec<NodeId> = (0..n)
+        .filter(|&i| z_left[i] && !z_right[i])
+        .map(|i| NodeId(i as u32))
+        .collect();
+    debug_assert!(adfg.reach().is_antichain(&antichain));
+    debug_assert_eq!(antichain.len(), width(adfg));
+    antichain
+}
+
+fn max_matching_on_closure(adfg: &AnalyzedDfg) -> usize {
+    let (match_left, _) = hopcroft_karp(adfg);
+    match_left.iter().filter(|m| m.is_some()).count()
+}
+
+/// Hopcroft–Karp on the bipartite graph `L = R = V`, edge `(u, v)` iff
+/// `u ⇝ v` in the transitive closure. Returns (match_left, match_right).
+#[allow(clippy::type_complexity)]
+fn hopcroft_karp(adfg: &AnalyzedDfg) -> (Vec<Option<usize>>, Vec<Option<usize>>) {
+    let n = adfg.len();
+    let mut match_left: Vec<Option<usize>> = vec![None; n];
+    let mut match_right: Vec<Option<usize>> = vec![None; n];
+    let mut dist = vec![u32::MAX; n];
+
+    loop {
+        // BFS layering from unmatched left vertices.
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for u in 0..n {
+            if match_left[u].is_none() {
+                dist[u] = 0;
+                queue.push_back(u);
+            } else {
+                dist[u] = u32::MAX;
+            }
+        }
+        let mut found_augmenting = false;
+        while let Some(u) = queue.pop_front() {
+            for v in BitIter::new(adfg.reach().desc_row(NodeId(u as u32))) {
+                match match_right[v] {
+                    None => found_augmenting = true,
+                    Some(u2) => {
+                        if dist[u2] == u32::MAX {
+                            dist[u2] = dist[u] + 1;
+                            queue.push_back(u2);
+                        }
+                    }
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+        // DFS phase: vertex-disjoint shortest augmenting paths.
+        fn try_augment(
+            u: usize,
+            adfg: &AnalyzedDfg,
+            dist: &mut [u32],
+            match_left: &mut [Option<usize>],
+            match_right: &mut [Option<usize>],
+        ) -> bool {
+            for v in BitIter::new(adfg.reach().desc_row(NodeId(u as u32))) {
+                match match_right[v] {
+                    None => {
+                        match_right[v] = Some(u);
+                        match_left[u] = Some(v);
+                        return true;
+                    }
+                    Some(u2) => {
+                        if dist[u2] == dist[u] + 1
+                            && try_augment(u2, adfg, dist, match_left, match_right)
+                        {
+                            match_right[v] = Some(u);
+                            match_left[u] = Some(v);
+                            return true;
+                        }
+                    }
+                }
+            }
+            dist[u] = u32::MAX; // dead end: prune
+            false
+        }
+        for u in 0..n {
+            if match_left[u].is_none() {
+                try_augment(u, adfg, &mut dist, &mut match_left, &mut match_right);
+            }
+        }
+    }
+    (match_left, match_right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::{Color, DfgBuilder};
+
+    fn c(ch: char) -> Color {
+        Color::from_char(ch).unwrap()
+    }
+
+    #[test]
+    fn chain_has_width_one() {
+        let mut b = DfgBuilder::new();
+        let ids: Vec<_> = (0..6).map(|i| b.add_node(format!("n{i}"), c('a'))).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        assert_eq!(width(&adfg), 1);
+        assert_eq!(maximum_antichain(&adfg).len(), 1);
+    }
+
+    #[test]
+    fn flat_graph_has_full_width() {
+        let mut b = DfgBuilder::new();
+        for i in 0..7 {
+            b.add_node(format!("n{i}"), c('a'));
+        }
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        assert_eq!(width(&adfg), 7);
+        assert_eq!(maximum_antichain(&adfg).len(), 7);
+    }
+
+    #[test]
+    fn diamond_has_width_two() {
+        let mut b = DfgBuilder::new();
+        let s = b.add_node("s", c('a'));
+        let l = b.add_node("l", c('b'));
+        let r = b.add_node("r", c('b'));
+        let t = b.add_node("t", c('a'));
+        b.add_edge(s, l).unwrap();
+        b.add_edge(s, r).unwrap();
+        b.add_edge(l, t).unwrap();
+        b.add_edge(r, t).unwrap();
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        assert_eq!(width(&adfg), 2);
+        let mac = maximum_antichain(&adfg);
+        assert_eq!(mac, vec![l, r]);
+    }
+
+    #[test]
+    fn fig2_width_matches_enumeration() {
+        // Cross-check against the brute-force largest enumerated antichain
+        // (the fig2 graph is small enough to enumerate everything).
+        let adfg = AnalyzedDfg::new(mps_workloads_fig2());
+        let w = width(&adfg);
+        let cfg = crate::enumerate::EnumerateConfig {
+            capacity: 16,
+            span_limit: None,
+            parallel: false,
+        };
+        let mut max_size = 0usize;
+        crate::enumerate::for_each_antichain(&adfg, cfg, |a, _| max_size = max_size.max(a.len()));
+        assert_eq!(w, max_size);
+        let mac = maximum_antichain(&adfg);
+        assert_eq!(mac.len(), w);
+        assert!(adfg.reach().is_antichain(&mac));
+    }
+
+    /// Local copy of the fig2 builder to avoid a dev-dependency cycle
+    /// (mps-workloads depends on mps-dfg only, but adding it here as a
+    /// dev-dependency would be fine too; the graph is pinned by tests in
+    /// `mps-workloads` anyway).
+    fn mps_workloads_fig2() -> mps_dfg::Dfg {
+        let mut b = DfgBuilder::new();
+        let names_a = [
+            "a2", "a4", "a7", "a8", "a15", "a16", "a17", "a18", "a19", "a20", "a21", "a22",
+            "a23", "a24",
+        ];
+        let names_b = ["b1", "b3", "b5", "b6"];
+        let names_c = ["c9", "c10", "c11", "c12", "c13", "c14"];
+        for n in names_a {
+            b.add_node(n, c('a'));
+        }
+        for n in names_b {
+            b.add_node(n, c('b'));
+        }
+        for n in names_c {
+            b.add_node(n, c('c'));
+        }
+        let edges = [
+            ("b3", "a8"),
+            ("b6", "a7"),
+            ("a2", "c10"),
+            ("a2", "a24"),
+            ("a4", "c11"),
+            ("a4", "a16"),
+            ("b1", "c9"),
+            ("b5", "c13"),
+            ("a8", "c14"),
+            ("a7", "c12"),
+            ("c9", "a15"),
+            ("c13", "a18"),
+            ("c10", "a20"),
+            ("c11", "a17"),
+            ("c12", "a17"),
+            ("c14", "a20"),
+            ("a15", "a19"),
+            ("a18", "a22"),
+            ("a20", "a23"),
+            ("a17", "a21"),
+        ];
+        let built = b.clone().build().unwrap();
+        for (u, v) in edges {
+            let (u, v) = (built.find(u).unwrap(), built.find(v).unwrap());
+            b.add_edge(u, v).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn empty_graph_width_zero() {
+        let adfg = AnalyzedDfg::new(DfgBuilder::new().build().unwrap());
+        assert_eq!(width(&adfg), 0);
+        assert!(maximum_antichain(&adfg).is_empty());
+    }
+
+    #[test]
+    fn two_parallel_chains_width_two() {
+        let mut b = DfgBuilder::new();
+        let xs: Vec<_> = (0..3).map(|i| b.add_node(format!("x{i}"), c('a'))).collect();
+        let ys: Vec<_> = (0..3).map(|i| b.add_node(format!("y{i}"), c('b'))).collect();
+        for w in xs.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        for w in ys.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        assert_eq!(width(&adfg), 2);
+    }
+}

@@ -1,0 +1,400 @@
+//! Beam-search multi-pattern scheduling.
+//!
+//! The paper's Fig. 3 list scheduler commits to one pattern per cycle with
+//! no lookahead; its §4.3 example shows a single F1 tie already changing the
+//! schedule. This module keeps the paper's per-cycle machinery (candidate
+//! list, node priorities, selected sets) but explores the per-cycle *pattern
+//! choice* with a beam: after each cycle the `width` most promising partial
+//! schedules survive, ranked by an admissible completion estimate. Width 1
+//! degenerates to a greedy scheduler; growing the width trades time for
+//! schedule quality and converges to the exact optimum when every branch
+//! fits in the beam.
+//!
+//! [`schedule_beam`] additionally runs the paper's greedy scheduler and
+//! returns whichever result is shorter, so it is *never worse* than Fig. 3
+//! at any width — the property the integration tests pin down.
+
+use crate::error::ScheduleError;
+use crate::multi_pattern::{schedule_multi_pattern, selected_set, MultiPatternConfig};
+use crate::priority::NodePriorities;
+use crate::schedule::{Schedule, ScheduledCycle};
+use mps_dfg::{AnalyzedDfg, NodeId};
+use mps_patterns::PatternSet;
+use std::collections::HashMap;
+
+/// Configuration of [`schedule_beam`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BeamConfig {
+    /// Number of partial schedules kept after each cycle. Width 1 is
+    /// greedy; the default of 8 explores most per-cycle pattern splits of
+    /// a 4-pattern Montium configuration without blowing up.
+    pub width: usize,
+    /// Settings of the embedded greedy passes (node priorities, tie-break,
+    /// and the greedy fallback comparison).
+    pub greedy: MultiPatternConfig,
+}
+
+impl Default for BeamConfig {
+    fn default() -> BeamConfig {
+        BeamConfig {
+            width: 8,
+            greedy: MultiPatternConfig::default(),
+        }
+    }
+}
+
+/// Outcome of a beam search.
+#[derive(Clone, Debug)]
+pub struct BeamResult {
+    /// The best schedule found (beam or greedy fallback).
+    pub schedule: Schedule,
+    /// Total partial schedules expanded, a work measure for benches.
+    pub expanded: usize,
+    /// `true` when the beam strictly improved on the greedy scheduler.
+    pub improved_on_greedy: bool,
+}
+
+/// One partial schedule in the beam.
+struct State {
+    /// Bitmask of scheduled nodes, one u64 per 64 nodes.
+    done: Vec<u64>,
+    /// Remaining-predecessor counts.
+    unscheduled_preds: Vec<u32>,
+    /// Current candidate list (nodes whose predecessors are all scheduled).
+    candidates: Vec<NodeId>,
+    /// Committed cycles.
+    cycles: Vec<ScheduledCycle>,
+    /// Number of nodes not yet scheduled.
+    remaining: usize,
+}
+
+impl State {
+    fn mark(&mut self, n: NodeId) {
+        self.done[n.index() / 64] |= 1 << (n.index() % 64);
+    }
+}
+
+/// Admissible lower bound on the cycles still needed by `st`: every
+/// unscheduled node `n` forces at least `Height(n)` further cycles (its
+/// chain to a sink), and `remaining` nodes cannot be issued faster than the
+/// widest pattern allows.
+fn completion_bound(adfg: &AnalyzedDfg, widest: usize, st: &State) -> usize {
+    let mut chain = 0usize;
+    for v in adfg.dfg().node_ids() {
+        if st.done[v.index() / 64] & (1 << (v.index() % 64)) == 0 {
+            chain = chain.max(adfg.levels().height(v) as usize);
+        }
+    }
+    chain.max(st.remaining.div_ceil(widest.max(1)))
+}
+
+/// Schedule with beam search over per-cycle pattern choices, falling back
+/// to the paper's greedy scheduler when the beam does not improve on it.
+///
+/// Errors exactly when [`schedule_multi_pattern`] errors (no patterns, or
+/// a node color no pattern provides).
+pub fn schedule_beam(
+    adfg: &AnalyzedDfg,
+    patterns: &PatternSet,
+    cfg: BeamConfig,
+) -> Result<BeamResult, ScheduleError> {
+    // The greedy baseline also performs the error checking.
+    let greedy = schedule_multi_pattern(adfg, patterns, cfg.greedy)?.schedule;
+    let n = adfg.len();
+    if n == 0 || cfg.width <= 1 {
+        return Ok(BeamResult {
+            schedule: greedy,
+            expanded: 0,
+            improved_on_greedy: false,
+        });
+    }
+
+    let prio = NodePriorities::compute(adfg);
+    let sort_key = |id: NodeId| -> (u64, u64) { (prio.f(id), id.0 as u64) };
+    let widest = patterns.iter().map(|p| p.size()).max().unwrap_or(1);
+    let words = n.div_ceil(64);
+
+    let root = State {
+        done: vec![0; words],
+        unscheduled_preds: adfg
+            .dfg()
+            .node_ids()
+            .map(|v| adfg.dfg().preds(v).len() as u32)
+            .collect(),
+        candidates: adfg
+            .dfg()
+            .node_ids()
+            .filter(|&v| adfg.dfg().preds(v).is_empty())
+            .collect(),
+        cycles: Vec::new(),
+        remaining: n,
+    };
+
+    let mut beam = vec![root];
+    let mut expanded = 0usize;
+    let greedy_len = greedy.len();
+
+    // Every state in `beam` has depth = cycles.len() = loop iteration, so
+    // the first completed child is the shortest schedule the beam can reach.
+    for depth in 0.. {
+        // Prune: a partial schedule whose optimistic completion cannot beat
+        // the greedy result is dead weight.
+        beam.retain(|st| depth + completion_bound(adfg, widest, st) < greedy_len);
+        if beam.is_empty() {
+            break;
+        }
+
+        // Expand: each state × each pattern, deduplicating children that
+        // issue the identical node set this cycle.
+        let mut children: Vec<State> = Vec::with_capacity(beam.len() * patterns.len());
+        for st in &beam {
+            let mut sorted = st.candidates.clone();
+            sorted.sort_by_key(|&x| std::cmp::Reverse(sort_key(x)));
+            let mut seen_sets: Vec<Vec<NodeId>> = Vec::with_capacity(patterns.len());
+            for pat in patterns.iter() {
+                let sel = selected_set(adfg, pat, &sorted);
+                if sel.is_empty() || seen_sets.contains(&sel) {
+                    continue;
+                }
+                seen_sets.push(sel.clone());
+                expanded += 1;
+
+                let mut child = State {
+                    done: st.done.clone(),
+                    unscheduled_preds: st.unscheduled_preds.clone(),
+                    candidates: Vec::with_capacity(st.candidates.len()),
+                    cycles: st.cycles.clone(),
+                    remaining: st.remaining - sel.len(),
+                };
+                for &u in &sel {
+                    child.mark(u);
+                }
+                // Surviving candidates + newly released successors.
+                for &v in &st.candidates {
+                    if !sel.contains(&v) {
+                        child.candidates.push(v);
+                    }
+                }
+                for &u in &sel {
+                    for &v in adfg.dfg().succs(u) {
+                        child.unscheduled_preds[v.index()] -= 1;
+                        if child.unscheduled_preds[v.index()] == 0 {
+                            child.candidates.push(v);
+                        }
+                    }
+                }
+                child.cycles.push(ScheduledCycle {
+                    pattern: *pat,
+                    nodes: sel,
+                });
+
+                if child.remaining == 0 {
+                    // depth+1 cycles — strictly better than greedy thanks to
+                    // the pruning above.
+                    let schedule = Schedule::from_cycles(child.cycles);
+                    return Ok(BeamResult {
+                        schedule,
+                        expanded,
+                        improved_on_greedy: true,
+                    });
+                }
+                children.push(child);
+            }
+        }
+
+        // Select survivors: dedupe by scheduled-set (same set ⇒ same future;
+        // keep any one) and keep the `width` best by completion estimate,
+        // tie-broken toward more scheduled nodes.
+        let mut by_mask: HashMap<Vec<u64>, State> = HashMap::with_capacity(children.len());
+        for child in children {
+            by_mask.entry(child.done.clone()).or_insert(child);
+        }
+        let mut survivors: Vec<(usize, State)> = by_mask
+            .into_values()
+            .map(|st| (completion_bound(adfg, widest, &st), st))
+            .collect();
+        survivors.sort_by_key(|(bound, st)| (*bound, st.remaining, st.done.clone()));
+        survivors.truncate(cfg.width);
+        beam = survivors.into_iter().map(|(_, st)| st).collect();
+    }
+
+    Ok(BeamResult {
+        schedule: greedy,
+        expanded,
+        improved_on_greedy: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{schedule_exact, ExactConfig};
+    use mps_dfg::{Color, DfgBuilder};
+
+    fn c(ch: char) -> Color {
+        Color::from_char(ch).unwrap()
+    }
+
+    /// A graph where greedy F2 commits to the wrong first pattern: two
+    /// equal-priority chains compete, and covering the longer tail first
+    /// wins only with lookahead.
+    fn trap_graph() -> AnalyzedDfg {
+        let mut b = DfgBuilder::new();
+        // Chain 1: a -> a -> a  (needs 'a' slots three cycles running)
+        let a0 = b.add_node("a0", c('a'));
+        let a1 = b.add_node("a1", c('a'));
+        let a2 = b.add_node("a2", c('a'));
+        b.add_edge(a0, a1).unwrap();
+        b.add_edge(a1, a2).unwrap();
+        // Independent pool of 'b' work that can fill any cycle.
+        for i in 0..3 {
+            b.add_node(format!("b{i}"), c('b'));
+        }
+        AnalyzedDfg::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn width_one_is_greedy() {
+        let adfg = trap_graph();
+        let ps = PatternSet::parse("ab bbb").unwrap();
+        let beam = schedule_beam(
+            &adfg,
+            &ps,
+            BeamConfig {
+                width: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let greedy = schedule_multi_pattern(&adfg, &ps, MultiPatternConfig::default()).unwrap();
+        assert_eq!(beam.schedule, greedy.schedule);
+        assert!(!beam.improved_on_greedy);
+        assert_eq!(beam.expanded, 0);
+    }
+
+    #[test]
+    fn beam_never_loses_to_greedy() {
+        let adfg = AnalyzedDfg::new(mps_workloads_fig2());
+        let ps = PatternSet::parse("aabcc aaacc").unwrap();
+        for width in [1usize, 2, 4, 8, 16] {
+            let beam = schedule_beam(
+                &adfg,
+                &ps,
+                BeamConfig {
+                    width,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let greedy =
+                schedule_multi_pattern(&adfg, &ps, MultiPatternConfig::default()).unwrap();
+            assert!(
+                beam.schedule.len() <= greedy.schedule.len(),
+                "width {width}: beam {} > greedy {}",
+                beam.schedule.len(),
+                greedy.schedule.len()
+            );
+            beam.schedule.validate(&adfg, Some(&ps)).unwrap();
+        }
+    }
+
+    #[test]
+    fn beam_matches_exact_on_small_graphs() {
+        let adfg = trap_graph();
+        let ps = PatternSet::parse("ab bbb").unwrap();
+        let exact = schedule_exact(&adfg, &ps, ExactConfig::default())
+            .unwrap()
+            .expect("6 nodes is well within the exact budget");
+        let beam = schedule_beam(
+            &adfg,
+            &ps,
+            BeamConfig {
+                width: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(beam.schedule.len(), exact.schedule.len());
+        beam.schedule.validate(&adfg, Some(&ps)).unwrap();
+    }
+
+    #[test]
+    fn beam_can_strictly_improve_on_greedy() {
+        // Force a pattern-order trap: F2 prefers the pattern covering more
+        // priority mass now, starving the chain. 'x' nodes are decoys that
+        // make the wide pattern attractive in cycle 1.
+        let mut b = DfgBuilder::new();
+        let a0 = b.add_node("a0", c('a'));
+        let a1 = b.add_node("a1", c('a'));
+        let a2 = b.add_node("a2", c('a'));
+        b.add_edge(a0, a1).unwrap();
+        b.add_edge(a1, a2).unwrap();
+        for i in 0..4 {
+            b.add_node(format!("x{i}"), c('x'));
+        }
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        // p1 issues 'a' plus one decoy, p2 issues only decoys. Greedy must
+        // still finish; beam may find a strictly shorter interleaving if
+        // one exists. Either way the invariant holds.
+        let ps = PatternSet::parse("ax xxxx").unwrap();
+        let beam = schedule_beam(&adfg, &ps, BeamConfig::default()).unwrap();
+        let greedy = schedule_multi_pattern(&adfg, &ps, MultiPatternConfig::default()).unwrap();
+        assert!(beam.schedule.len() <= greedy.schedule.len());
+        beam.schedule.validate(&adfg, Some(&ps)).unwrap();
+        if beam.improved_on_greedy {
+            assert!(beam.schedule.len() < greedy.schedule.len());
+        } else {
+            assert_eq!(beam.schedule.len(), greedy.schedule.len());
+        }
+    }
+
+    #[test]
+    fn errors_match_greedy() {
+        let adfg = trap_graph();
+        assert!(matches!(
+            schedule_beam(&adfg, &PatternSet::new(), BeamConfig::default()),
+            Err(ScheduleError::NoPatterns)
+        ));
+        let ps = PatternSet::parse("a").unwrap(); // 'b' uncovered
+        assert!(matches!(
+            schedule_beam(&adfg, &ps, BeamConfig::default()),
+            Err(ScheduleError::UncoveredColor(_))
+        ));
+    }
+
+    #[test]
+    fn empty_graph_is_trivial() {
+        let adfg = AnalyzedDfg::new(DfgBuilder::new().build().unwrap());
+        let r = schedule_beam(&adfg, &PatternSet::new(), BeamConfig::default()).unwrap();
+        assert!(r.schedule.is_empty());
+    }
+
+    /// The scheduler crate cannot depend on `mps-workloads` (it depends on
+    /// us), so the 3DFT graph used in tests is rebuilt here with the exact
+    /// node order and edge list of `mps-workloads::fig2`.
+    fn mps_workloads_fig2() -> mps_dfg::Dfg {
+        let mut b = DfgBuilder::new();
+        let names = [
+            ("a2", 'a'), ("a4", 'a'), ("a7", 'a'), ("a8", 'a'), ("a15", 'a'),
+            ("a16", 'a'), ("a17", 'a'), ("a18", 'a'), ("a19", 'a'), ("a20", 'a'),
+            ("a21", 'a'), ("a22", 'a'), ("a23", 'a'), ("a24", 'a'), ("b1", 'b'),
+            ("b3", 'b'), ("b5", 'b'), ("b6", 'b'), ("c9", 'c'), ("c10", 'c'),
+            ("c11", 'c'), ("c12", 'c'), ("c13", 'c'), ("c14", 'c'),
+        ];
+        let ids: std::collections::HashMap<&str, mps_dfg::NodeId> = names
+            .iter()
+            .map(|&(n, col)| (n, b.add_node(n, c(col))))
+            .collect();
+        let edges = [
+            ("b3", "a8"), ("b6", "a7"), ("a2", "c10"), ("a2", "a24"),
+            ("a4", "c11"), ("a4", "a16"), ("b1", "c9"), ("b5", "c13"),
+            ("a8", "c14"), ("a7", "c12"), ("c9", "a15"), ("c13", "a18"),
+            ("c10", "a20"), ("c11", "a17"), ("c12", "a17"), ("c14", "a20"),
+            ("a15", "a19"), ("a18", "a22"), ("a20", "a23"), ("a17", "a21"),
+        ];
+        for (u, v) in edges {
+            b.add_edge(ids[u], ids[v]).unwrap();
+        }
+        b.build().unwrap()
+    }
+}

@@ -1,0 +1,112 @@
+//! Lower bounds on schedule length, used to sanity-check heuristic results
+//! and to report optimality gaps in the benches.
+
+use mps_dfg::AnalyzedDfg;
+use mps_patterns::PatternSet;
+
+/// Critical-path bound: no schedule is shorter than `ASAPmax + 1` cycles.
+pub fn critical_path_bound(adfg: &AnalyzedDfg) -> usize {
+    if adfg.is_empty() {
+        0
+    } else {
+        adfg.levels().critical_path_len() as usize
+    }
+}
+
+/// Throughput bound: each cycle issues at most `max |p̄|` nodes (the widest
+/// pattern), so at least `ceil(V / max|p̄|)` cycles are needed.
+pub fn throughput_bound(adfg: &AnalyzedDfg, patterns: &PatternSet) -> usize {
+    let widest = patterns.iter().map(|p| p.size()).max().unwrap_or(0);
+    if widest == 0 {
+        return if adfg.is_empty() { 0 } else { usize::MAX };
+    }
+    adfg.len().div_ceil(widest)
+}
+
+/// Per-color bound: nodes of color `c` can only issue into slots of color
+/// `c`; the best single cycle offers `max over patterns count_of(c)` slots,
+/// so color `c` alone needs `ceil(N_c / best_slots_c)` cycles.
+pub fn color_bound(adfg: &AnalyzedDfg, patterns: &PatternSet) -> usize {
+    let hist = adfg.dfg().color_histogram();
+    let mut bound = 0usize;
+    for (ci, &count) in hist.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let best_slots = patterns
+            .iter()
+            .map(|p| p.count_of(mps_dfg::Color(ci as u8)))
+            .max()
+            .unwrap_or(0);
+        if best_slots == 0 {
+            return usize::MAX; // color uncovered: unschedulable
+        }
+        bound = bound.max(count.div_ceil(best_slots));
+    }
+    bound
+}
+
+/// The tightest of all implemented lower bounds.
+pub fn lower_bound(adfg: &AnalyzedDfg, patterns: &PatternSet) -> usize {
+    critical_path_bound(adfg)
+        .max(throughput_bound(adfg, patterns))
+        .max(color_bound(adfg, patterns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::{Color, DfgBuilder};
+
+    fn c(ch: char) -> Color {
+        Color::from_char(ch).unwrap()
+    }
+
+    fn graph_3a_2b_chain() -> AnalyzedDfg {
+        // Chain of 2 plus three independent 'a' and one extra 'b'.
+        let mut b = DfgBuilder::new();
+        let x = b.add_node("x", c('a'));
+        let y = b.add_node("y", c('b'));
+        b.add_edge(x, y).unwrap();
+        b.add_node("a1", c('a'));
+        b.add_node("a2", c('a'));
+        b.add_node("b1", c('b'));
+        AnalyzedDfg::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn bounds_compose() {
+        let adfg = graph_3a_2b_chain();
+        let ps = mps_patterns::PatternSet::parse("ab").unwrap();
+        assert_eq!(critical_path_bound(&adfg), 2);
+        // 5 nodes / width 2 = 3.
+        assert_eq!(throughput_bound(&adfg, &ps), 3);
+        // 3 a's with 1 slot → 3; 2 b's with 1 slot → 2.
+        assert_eq!(color_bound(&adfg, &ps), 3);
+        assert_eq!(lower_bound(&adfg, &ps), 3);
+    }
+
+    #[test]
+    fn uncovered_color_means_unschedulable() {
+        let adfg = graph_3a_2b_chain();
+        let ps = mps_patterns::PatternSet::parse("aa").unwrap();
+        assert_eq!(color_bound(&adfg, &ps), usize::MAX);
+        assert_eq!(lower_bound(&adfg, &ps), usize::MAX);
+    }
+
+    #[test]
+    fn empty_graph_bounds_are_zero() {
+        let adfg = AnalyzedDfg::new(DfgBuilder::new().build().unwrap());
+        let ps = mps_patterns::PatternSet::parse("a").unwrap();
+        assert_eq!(lower_bound(&adfg, &ps), 0);
+        assert_eq!(throughput_bound(&adfg, &mps_patterns::PatternSet::new()), 0);
+    }
+
+    #[test]
+    fn heuristic_never_beats_lower_bound() {
+        let adfg = graph_3a_2b_chain();
+        let ps = mps_patterns::PatternSet::parse("ab aabb").unwrap();
+        let r = crate::schedule_multi_pattern(&adfg, &ps, Default::default()).unwrap();
+        assert!(r.schedule.len() >= lower_bound(&adfg, &ps));
+    }
+}

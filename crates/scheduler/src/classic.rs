@@ -1,0 +1,202 @@
+//! Classic scheduling baselines (related work, paper §2).
+
+use crate::priority::NodePriorities;
+use crate::schedule::{Schedule, ScheduledCycle};
+use mps_dfg::{AnalyzedDfg, NodeId};
+use mps_patterns::Pattern;
+
+/// Unconstrained ASAP schedule: every node at its ASAP level, unlimited
+/// resources. The shortest possible schedule (critical-path length); each
+/// cycle's "pattern" is synthesized from the colors actually used, so it
+/// may be arbitrarily wide.
+pub fn asap_schedule(adfg: &AnalyzedDfg) -> Schedule {
+    let levels = adfg.levels();
+    if adfg.is_empty() {
+        return Schedule::default();
+    }
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); levels.asap_max() as usize + 1];
+    for n in adfg.dfg().node_ids() {
+        buckets[levels.asap(n) as usize].push(n);
+    }
+    Schedule::from_cycles(
+        buckets
+            .into_iter()
+            .map(|nodes| ScheduledCycle {
+                pattern: Pattern::from_colors(nodes.iter().map(|&n| adfg.dfg().color(n))),
+                nodes,
+            })
+            .collect(),
+    )
+}
+
+/// Unconstrained ALAP schedule: every node at its ALAP level. Dual of
+/// [`asap_schedule`]; same length (the critical path), but work is pushed
+/// as late as dependencies allow — the other endpoint of every node's
+/// mobility interval.
+pub fn alap_schedule(adfg: &AnalyzedDfg) -> Schedule {
+    let levels = adfg.levels();
+    if adfg.is_empty() {
+        return Schedule::default();
+    }
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); levels.asap_max() as usize + 1];
+    for n in adfg.dfg().node_ids() {
+        buckets[levels.alap(n) as usize].push(n);
+    }
+    Schedule::from_cycles(
+        buckets
+            .into_iter()
+            .map(|nodes| ScheduledCycle {
+                pattern: Pattern::from_colors(nodes.iter().map(|&n| adfg.dfg().color(n))),
+                nodes,
+            })
+            .collect(),
+    )
+}
+
+/// Classic resource-constrained list scheduling with `capacity`
+/// color-agnostic ALUs (Hu's algorithm generalized by the Eq. 4 priority):
+/// any `capacity` ready nodes may issue together regardless of color.
+///
+/// This is the "GPP-like" upper baseline: the Montium's restriction to a
+/// small set of patterns can only do worse or equal, which the ablation
+/// benches quantify.
+///
+/// Panics if `capacity == 0` on a non-empty graph; the synthesized
+/// per-cycle pattern is the bag of the issued colors (≤ capacity wide, and
+/// at most [`mps_patterns::MAX_PATTERN_SLOTS`]).
+pub fn list_schedule_uniform(adfg: &AnalyzedDfg, capacity: usize) -> Schedule {
+    if adfg.is_empty() {
+        return Schedule::default();
+    }
+    assert!(capacity > 0, "capacity must be positive");
+
+    let prio = NodePriorities::compute(adfg);
+    let mut unscheduled_preds: Vec<u32> = adfg
+        .dfg()
+        .node_ids()
+        .map(|v| adfg.dfg().preds(v).len() as u32)
+        .collect();
+    let mut candidates: Vec<NodeId> = adfg
+        .dfg()
+        .node_ids()
+        .filter(|&v| unscheduled_preds[v.index()] == 0)
+        .collect();
+    let mut cycles = Vec::new();
+    let mut remaining = adfg.len();
+
+    while remaining > 0 {
+        candidates.sort_by_key(|&x| std::cmp::Reverse((prio.f(x), x.0)));
+        let take = candidates.len().min(capacity);
+        let issued: Vec<NodeId> = candidates.drain(..take).collect();
+        for &u in &issued {
+            for &v in adfg.dfg().succs(u) {
+                unscheduled_preds[v.index()] -= 1;
+                if unscheduled_preds[v.index()] == 0 {
+                    candidates.push(v);
+                }
+            }
+        }
+        remaining -= issued.len();
+        cycles.push(ScheduledCycle {
+            pattern: Pattern::from_colors(issued.iter().map(|&n| adfg.dfg().color(n))),
+            nodes: issued,
+        });
+    }
+    Schedule::from_cycles(cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::{Color, DfgBuilder};
+
+    fn c(ch: char) -> Color {
+        Color::from_char(ch).unwrap()
+    }
+
+    fn layered(widths: &[usize]) -> AnalyzedDfg {
+        let mut b = DfgBuilder::new();
+        let mut prev: Vec<NodeId> = Vec::new();
+        for (li, &w) in widths.iter().enumerate() {
+            let layer: Vec<NodeId> = (0..w)
+                .map(|i| b.add_node(format!("l{li}_{i}"), c('a')))
+                .collect();
+            for &p in &prev {
+                for &q in &layer {
+                    b.add_edge(p, q).unwrap();
+                }
+            }
+            prev = layer;
+        }
+        AnalyzedDfg::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn asap_matches_critical_path() {
+        let adfg = layered(&[2, 3, 1]);
+        let s = asap_schedule(&adfg);
+        assert_eq!(s.len() as u32, adfg.levels().critical_path_len());
+        s.validate(&adfg, None).unwrap();
+    }
+
+    #[test]
+    fn alap_is_valid_and_same_length_as_asap() {
+        let adfg = layered(&[2, 3, 1]);
+        let asap = asap_schedule(&adfg);
+        let alap = alap_schedule(&adfg);
+        alap.validate(&adfg, None).unwrap();
+        assert_eq!(asap.len(), alap.len());
+    }
+
+    #[test]
+    fn alap_pushes_flexible_nodes_late() {
+        // A chain plus an isolated node: ASAP puts the isolated node in
+        // cycle 0; ALAP pushes it to the last cycle.
+        let mut b = DfgBuilder::new();
+        let x = b.add_node("x", c('a'));
+        let y = b.add_node("y", c('a'));
+        let z = b.add_node("z", c('a'));
+        b.add_edge(x, y).unwrap();
+        b.add_edge(y, z).unwrap();
+        let iso = b.add_node("iso", c('b'));
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        let asap = asap_schedule(&adfg);
+        let alap = alap_schedule(&adfg);
+        assert!(asap.cycles()[0].nodes.contains(&iso));
+        assert!(alap.cycles()[2].nodes.contains(&iso));
+    }
+
+    #[test]
+    fn uniform_list_respects_capacity() {
+        let adfg = layered(&[4, 4]);
+        let s = list_schedule_uniform(&adfg, 2);
+        assert!(s.cycles().iter().all(|cy| cy.nodes.len() <= 2));
+        s.validate(&adfg, None).unwrap();
+        // 8 nodes, 2 per cycle, and the second layer can't start until the
+        // first finishes: layer0 takes 2 cycles, layer1 takes 2 → 4.
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn uniform_with_huge_capacity_equals_asap() {
+        let adfg = layered(&[3, 2, 2]);
+        let lst = list_schedule_uniform(&adfg, 16);
+        let asap = asap_schedule(&adfg);
+        assert_eq!(lst.len(), asap.len());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let adfg = AnalyzedDfg::new(DfgBuilder::new().build().unwrap());
+        assert!(asap_schedule(&adfg).is_empty());
+        assert!(list_schedule_uniform(&adfg, 1).is_empty());
+    }
+
+    #[test]
+    fn capacity_one_serializes_everything() {
+        let adfg = layered(&[2, 2]);
+        let s = list_schedule_uniform(&adfg, 1);
+        assert_eq!(s.len(), 4);
+        s.validate(&adfg, None).unwrap();
+    }
+}

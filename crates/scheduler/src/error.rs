@@ -1,0 +1,94 @@
+//! Scheduling errors.
+
+use mps_dfg::{Color, NodeId};
+use std::fmt;
+
+/// Errors from scheduling or schedule validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The candidate list is non-empty but no pattern can host any
+    /// candidate: some color never appears in the pattern set, so those
+    /// nodes can never be scheduled.
+    UncoveredColor(Color),
+    /// The pattern set is empty but the graph is not.
+    NoPatterns,
+    /// Validation: a node appears in no cycle (or the schedule is for a
+    /// different graph).
+    MissingNode(NodeId),
+    /// Validation: a node appears more than once.
+    DuplicateNode(NodeId),
+    /// Validation: an edge runs from cycle `from_cycle` to an equal or
+    /// earlier cycle `to_cycle`.
+    DependencyViolation {
+        /// Producer node.
+        from: NodeId,
+        /// Consumer node.
+        to: NodeId,
+        /// Cycle the producer occupies.
+        from_cycle: usize,
+        /// Cycle the consumer occupies.
+        to_cycle: usize,
+    },
+    /// Validation: the color bag of a cycle's nodes does not fit inside the
+    /// cycle's pattern.
+    PatternOverflow {
+        /// Index of the offending cycle.
+        cycle: usize,
+    },
+    /// Validation: a cycle uses a pattern that is not in the allowed set.
+    UnknownPattern {
+        /// Index of the offending cycle.
+        cycle: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::UncoveredColor(c) => {
+                write!(f, "no pattern provides a slot of color '{c}'")
+            }
+            ScheduleError::NoPatterns => write!(f, "cannot schedule with an empty pattern set"),
+            ScheduleError::MissingNode(n) => write!(f, "node {n} is not scheduled"),
+            ScheduleError::DuplicateNode(n) => write!(f, "node {n} is scheduled twice"),
+            ScheduleError::DependencyViolation {
+                from,
+                to,
+                from_cycle,
+                to_cycle,
+            } => write!(
+                f,
+                "edge {from} -> {to} violated: producer in cycle {from_cycle}, consumer in cycle {to_cycle}"
+            ),
+            ScheduleError::PatternOverflow { cycle } => {
+                write!(f, "cycle {cycle} does not fit inside its pattern")
+            }
+            ScheduleError::UnknownPattern { cycle } => {
+                write!(f, "cycle {cycle} uses a pattern outside the allowed set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ScheduleError::DependencyViolation {
+            from: NodeId(1),
+            to: NodeId(2),
+            from_cycle: 3,
+            to_cycle: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("n1"));
+        assert!(s.contains("cycle 3"));
+        assert!(ScheduleError::UncoveredColor(Color(2))
+            .to_string()
+            .contains('c'));
+    }
+}

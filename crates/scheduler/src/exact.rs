@@ -1,0 +1,504 @@
+//! Exact (optimal) multi-pattern scheduling by memoized branch-and-bound,
+//! for small graphs.
+//!
+//! The multi-pattern scheduling problem is NP-complete (paper §2), so the
+//! paper only evaluates its heuristic. For graphs of up to ~20 nodes an
+//! exact solver is feasible and gives the heuristic an *optimality gap*
+//! instead of only baselines. The search is over "which maximal selected
+//! set to commit each cycle":
+//!
+//! * **Dominance**: if `S ⊂ S'` both fit a pattern in the same cycle,
+//!   committing `S'` is never worse — extra nodes only enable successors
+//!   earlier and consume no future resource (there are no deadlines). So
+//!   only *maximal* selected sets need exploring.
+//! * **Memoization** on the set of already-scheduled nodes (a `u32`
+//!   bitmask — hence the 32-node hard limit).
+//! * **Pruning** with `max(critical path of the remainder, per-color
+//!   bound, throughput bound)`.
+
+use crate::error::ScheduleError;
+use crate::schedule::{Schedule, ScheduledCycle};
+use mps_dfg::{AnalyzedDfg, NodeId};
+use mps_patterns::{Pattern, PatternSet};
+use std::collections::HashMap;
+
+/// Budget limits for the exact solver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExactConfig {
+    /// Refuse graphs with more nodes than this (hard cap 32).
+    pub max_nodes: usize,
+    /// Abort after this many explored states (returns `None`).
+    pub max_states: usize,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        ExactConfig {
+            max_nodes: 20,
+            max_states: 2_000_000,
+        }
+    }
+}
+
+/// Result of the exact solver.
+#[derive(Clone, Debug)]
+pub struct ExactResult {
+    /// An optimal schedule.
+    pub schedule: Schedule,
+    /// Number of memoized states explored.
+    pub states: usize,
+}
+
+struct Solver<'a> {
+    adfg: &'a AnalyzedDfg,
+    patterns: &'a PatternSet,
+    preds_mask: Vec<u32>,
+    color_of: Vec<u8>,
+    memo: HashMap<u32, u32>,
+    states: usize,
+    max_states: usize,
+    full: u32,
+}
+
+impl<'a> Solver<'a> {
+    /// Minimum number of cycles to schedule the complement of `mask`;
+    /// `u32::MAX / 2` when the state budget is exhausted. Plain memoized
+    /// DP over scheduled-set bitmasks: every memo entry is an exact value
+    /// (no alpha-beta cutoffs, which would poison the memo).
+    fn solve(&mut self, mask: u32) -> u32 {
+        if mask == self.full {
+            return 0;
+        }
+        if let Some(&v) = self.memo.get(&mask) {
+            return v;
+        }
+        self.states += 1;
+        if self.states > self.max_states {
+            return u32::MAX / 2;
+        }
+
+        // Candidates: unscheduled nodes whose predecessors are all in mask.
+        let mut cands: Vec<NodeId> = Vec::new();
+        for i in 0..self.preds_mask.len() {
+            let bit = 1u32 << i;
+            if mask & bit == 0 && self.preds_mask[i] & !mask == 0 {
+                cands.push(NodeId(i as u32));
+            }
+        }
+        debug_assert!(!cands.is_empty());
+
+        let mut best = u32::MAX / 2;
+        let mut seen_sets: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for pattern in self.patterns.iter() {
+            // Per-color candidate pools.
+            let mut pools: Vec<(usize, Vec<u32>)> = Vec::new(); // (capacity, bits)
+            for (color, cap) in pattern.color_counts() {
+                let bits: Vec<u32> = cands
+                    .iter()
+                    .filter(|n| self.color_of[n.index()] == color.0)
+                    .map(|n| 1u32 << n.0)
+                    .collect();
+                if !bits.is_empty() {
+                    pools.push((cap.min(bits.len()), bits));
+                }
+            }
+            if pools.is_empty() {
+                continue;
+            }
+            // Enumerate all maximal selections: the cartesian product of
+            // per-color "choose exactly min(cap, avail)" combinations.
+            let mut sets: Vec<u32> = vec![0];
+            for (take, bits) in &pools {
+                let combos = combinations(bits, *take);
+                let mut next = Vec::with_capacity(sets.len() * combos.len());
+                for s in &sets {
+                    for c in &combos {
+                        next.push(s | c);
+                    }
+                }
+                sets = next;
+            }
+            for set in sets {
+                if set == 0 || !seen_sets.insert(set) {
+                    continue;
+                }
+                let sub = self.solve(mask | set);
+                best = best.min(1 + sub);
+                // `lower_bound` is exact-state-independent, so once the
+                // subtree minimum hits it nothing can improve.
+                if best == self.lower_bound(mask) {
+                    break;
+                }
+            }
+            if best == self.lower_bound(mask) {
+                break;
+            }
+        }
+        self.memo.insert(mask, best);
+        best
+    }
+
+    /// Lower bound on cycles for the unscheduled remainder.
+    fn lower_bound(&self, mask: u32) -> u32 {
+        let n = self.preds_mask.len();
+        // Per-color counts of the remainder.
+        let mut counts = [0u32; 256];
+        let mut remaining = 0u32;
+        for i in 0..n {
+            if mask & (1 << i) == 0 {
+                counts[self.color_of[i] as usize] += 1;
+                remaining += 1;
+            }
+        }
+        if remaining == 0 {
+            return 0;
+        }
+        let mut bound = 1u32;
+        // Throughput.
+        let widest = self
+            .patterns
+            .iter()
+            .map(|p| p.size() as u32)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        bound = bound.max(remaining.div_ceil(widest));
+        // Per-color.
+        for (ci, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let slots = self
+                .patterns
+                .iter()
+                .map(|p| p.count_of(mps_dfg::Color(ci as u8)) as u32)
+                .max()
+                .unwrap_or(0);
+            if slots == 0 {
+                return u32::MAX / 2;
+            }
+            bound = bound.max(count.div_ceil(slots));
+        }
+        // Critical path of the remainder: longest chain among unscheduled
+        // nodes (heights restricted to the remainder would need a
+        // recomputation; the global height of the deepest unscheduled node
+        // is a valid bound only if its whole downward chain is
+        // unscheduled — which it is, because successors can never be
+        // scheduled before it).
+        let mut max_height = 0;
+        for i in 0..n {
+            if mask & (1 << i) == 0 {
+                max_height = max_height.max(self.adfg.levels().height(NodeId(i as u32)));
+            }
+        }
+        bound.max(max_height)
+    }
+}
+
+/// All `take`-subsets of `bits`, OR-ed into masks.
+fn combinations(bits: &[u32], take: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut idx: Vec<usize> = (0..take).collect();
+    if take == 0 || take > bits.len() {
+        return vec![0];
+    }
+    loop {
+        out.push(idx.iter().map(|&i| bits[i]).fold(0, |a, b| a | b));
+        // Advance the combination.
+        let mut i = take;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + bits.len() - take {
+                break;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..take {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// Solve the multi-pattern scheduling problem exactly.
+///
+/// Returns `Err` for uncovered colors (like the heuristic), `Ok(None)`
+/// when the graph exceeds `cfg.max_nodes` / the state budget, and an
+/// optimal schedule otherwise.
+pub fn schedule_exact(
+    adfg: &AnalyzedDfg,
+    patterns: &PatternSet,
+    cfg: ExactConfig,
+) -> Result<Option<ExactResult>, ScheduleError> {
+    let n = adfg.len();
+    if n == 0 {
+        return Ok(Some(ExactResult {
+            schedule: Schedule::default(),
+            states: 0,
+        }));
+    }
+    if patterns.is_empty() {
+        return Err(ScheduleError::NoPatterns);
+    }
+    let provided = patterns.color_set();
+    for id in adfg.dfg().node_ids() {
+        if !provided.contains(adfg.dfg().color(id)) {
+            return Err(ScheduleError::UncoveredColor(adfg.dfg().color(id)));
+        }
+    }
+    if n > cfg.max_nodes.min(32) {
+        return Ok(None);
+    }
+
+    let mut solver = Solver {
+        adfg,
+        patterns,
+        preds_mask: adfg
+            .dfg()
+            .node_ids()
+            .map(|v| adfg.dfg().preds(v).iter().fold(0u32, |m, p| m | (1 << p.0)))
+            .collect(),
+        color_of: adfg.dfg().node_ids().map(|v| adfg.dfg().color(v).0).collect(),
+        memo: HashMap::new(),
+        states: 0,
+        max_states: cfg.max_states,
+        full: if n == 32 { u32::MAX } else { (1u32 << n) - 1 },
+    };
+    let optimal = solver.solve(0);
+    if solver.states > solver.max_states {
+        return Ok(None);
+    }
+
+    // Reconstruct a schedule by greedy descent through the memo table.
+    let schedule = reconstruct(&mut solver, optimal)?;
+    Ok(Some(ExactResult {
+        schedule,
+        states: solver.states,
+    }))
+}
+
+fn reconstruct(solver: &mut Solver<'_>, total: u32) -> Result<Schedule, ScheduleError> {
+    let mut mask = 0u32;
+    let mut cycles: Vec<ScheduledCycle> = Vec::new();
+    let mut remaining = total;
+    while mask != solver.full {
+        // Find a pattern + maximal set whose successor state needs
+        // remaining - 1 cycles.
+        let mut cands: Vec<NodeId> = Vec::new();
+        for i in 0..solver.preds_mask.len() {
+            let bit = 1u32 << i;
+            if mask & bit == 0 && solver.preds_mask[i] & !mask == 0 {
+                cands.push(NodeId(i as u32));
+            }
+        }
+        let mut committed: Option<(Pattern, u32)> = None;
+        'outer: for pattern in solver.patterns.iter() {
+            let mut pools: Vec<(usize, Vec<u32>)> = Vec::new();
+            for (color, cap) in pattern.color_counts() {
+                let bits: Vec<u32> = cands
+                    .iter()
+                    .filter(|n| solver.color_of[n.index()] == color.0)
+                    .map(|n| 1u32 << n.0)
+                    .collect();
+                if !bits.is_empty() {
+                    pools.push((cap.min(bits.len()), bits));
+                }
+            }
+            if pools.is_empty() {
+                continue;
+            }
+            let mut sets: Vec<u32> = vec![0];
+            for (take, bits) in &pools {
+                let combos = combinations(bits, *take);
+                let mut next = Vec::with_capacity(sets.len() * combos.len());
+                for s in &sets {
+                    for c in &combos {
+                        next.push(s | c);
+                    }
+                }
+                sets = next;
+            }
+            for set in sets {
+                if set == 0 {
+                    continue;
+                }
+                let sub = solver.solve(mask | set);
+                if 1 + sub == remaining {
+                    committed = Some((*pattern, set));
+                    break 'outer;
+                }
+            }
+        }
+        let (pattern, set) =
+            committed.expect("memoized optimum must be reachable by construction");
+        let nodes: Vec<NodeId> = (0..solver.preds_mask.len() as u32)
+            .filter(|&i| set & (1 << i) != 0)
+            .map(NodeId)
+            .collect();
+        cycles.push(ScheduledCycle { pattern, nodes });
+        mask |= set;
+        remaining -= 1;
+    }
+    Ok(Schedule::from_cycles(cycles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi_pattern::{schedule_multi_pattern, MultiPatternConfig};
+    use mps_dfg::{Color, DfgBuilder};
+
+    fn c(ch: char) -> Color {
+        Color::from_char(ch).unwrap()
+    }
+
+    #[test]
+    fn chain_is_length_n() {
+        let mut b = DfgBuilder::new();
+        let ids: Vec<_> = (0..5).map(|i| b.add_node(format!("n{i}"), c('a'))).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        let ps = PatternSet::parse("aaaaa").unwrap();
+        let r = schedule_exact(&adfg, &ps, ExactConfig::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.schedule.len(), 5);
+        r.schedule.validate(&adfg, Some(&ps)).unwrap();
+    }
+
+    #[test]
+    fn flat_graph_packs_optimally() {
+        let mut b = DfgBuilder::new();
+        for i in 0..6 {
+            b.add_node(format!("a{i}"), c('a'));
+        }
+        for i in 0..2 {
+            b.add_node(format!("b{i}"), c('b'));
+        }
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        let ps = PatternSet::parse("aab aaa").unwrap();
+        let r = schedule_exact(&adfg, &ps, ExactConfig::default())
+            .unwrap()
+            .unwrap();
+        // 6 a's + 2 b's with at most (2a+1b) or 3a per cycle: 3 cycles
+        // (aab, aab, aaa... 2+2+... = 6a ✓ 2b ✓).
+        assert_eq!(r.schedule.len(), 3);
+        r.schedule.validate(&adfg, Some(&ps)).unwrap();
+    }
+
+    #[test]
+    fn exact_never_worse_than_heuristic() {
+        use mps_workloads::{random_layered_dag, RandomDagConfig};
+        for seed in 0..12u64 {
+            let dfg = random_layered_dag(&RandomDagConfig {
+                layers: 3,
+                width: (1, 4),
+                colors: 3,
+                seed,
+                ..Default::default()
+            });
+            let adfg = AnalyzedDfg::new(dfg);
+            if adfg.len() > 16 {
+                continue;
+            }
+            let ps = PatternSet::parse("aab bcc abc").unwrap();
+            let heur = schedule_multi_pattern(&adfg, &ps, MultiPatternConfig::default());
+            let exact = schedule_exact(&adfg, &ps, ExactConfig::default());
+            match (heur, exact) {
+                (Ok(h), Ok(Some(e))) => {
+                    assert!(
+                        e.schedule.len() <= h.schedule.len(),
+                        "seed {seed}: exact {} > heuristic {}",
+                        e.schedule.len(),
+                        h.schedule.len()
+                    );
+                    e.schedule.validate(&adfg, Some(&ps)).unwrap();
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                other => panic!("seed {seed}: inconsistent results {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn refuses_large_graphs() {
+        let adfg = AnalyzedDfg::new(mps_workloads::dft5());
+        let ps = PatternSet::parse("abc").unwrap();
+        assert!(schedule_exact(&adfg, &ps, ExactConfig::default())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn uncovered_color_errors() {
+        let mut b = DfgBuilder::new();
+        b.add_node("x", c('z'));
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        let ps = PatternSet::parse("a").unwrap();
+        assert!(matches!(
+            schedule_exact(&adfg, &ps, ExactConfig::default()),
+            Err(ScheduleError::UncoveredColor(_))
+        ));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let adfg = AnalyzedDfg::new(DfgBuilder::new().build().unwrap());
+        let r = schedule_exact(&adfg, &PatternSet::parse("a").unwrap(), ExactConfig::default())
+            .unwrap()
+            .unwrap();
+        assert!(r.schedule.is_empty());
+    }
+
+    #[test]
+    fn combinations_enumerate_correctly() {
+        let bits = [1u32, 2, 4, 8];
+        let pairs = combinations(&bits, 2);
+        assert_eq!(pairs.len(), 6);
+        assert!(pairs.contains(&(1 | 2)));
+        assert!(pairs.contains(&(4 | 8)));
+        assert_eq!(combinations(&bits, 0), vec![0]);
+        assert_eq!(combinations(&bits, 5), vec![0]);
+        assert_eq!(combinations(&bits, 4).len(), 1);
+    }
+
+    #[test]
+    fn exact_beats_heuristic_somewhere() {
+        // A case where greedy-by-height is suboptimal: two colors where
+        // hoarding the wrong color early costs a cycle. If no seed
+        // produces a strict win the test still passes (documenting that
+        // the heuristic is strong), but the gap counter must be sane.
+        use mps_workloads::{random_layered_dag, RandomDagConfig};
+        let mut gaps = 0usize;
+        for seed in 0..30u64 {
+            let dfg = random_layered_dag(&RandomDagConfig {
+                layers: 4,
+                width: (2, 4),
+                colors: 2,
+                seed,
+                edge_prob: 0.3,
+                long_edge_prob: 0.0,
+            });
+            let adfg = AnalyzedDfg::new(dfg);
+            if adfg.len() > 14 {
+                continue;
+            }
+            let ps = PatternSet::parse("ab aab abb").unwrap();
+            if let (Ok(h), Ok(Some(e))) = (
+                schedule_multi_pattern(&adfg, &ps, MultiPatternConfig::default()),
+                schedule_exact(&adfg, &ps, ExactConfig::default()),
+            ) {
+                if e.schedule.len() < h.schedule.len() {
+                    gaps += 1;
+                }
+                assert!(e.schedule.len() <= h.schedule.len());
+            }
+        }
+        // `gaps` is informational; the invariant is the assertion above.
+        let _ = gaps;
+    }
+}

@@ -1,0 +1,241 @@
+//! Force-directed scheduling (Paulin & Knight, 1989) — the related-work
+//! baseline the paper cites in §2.
+//!
+//! Force-directed scheduling is *latency-constrained*: given a target
+//! latency it places each node in a cycle within its time frame so that
+//! per-color concurrency (and therefore resource usage) is as balanced as
+//! possible. We implement the classic self-force formulation over per-color
+//! distribution graphs; predecessor/successor forces are approximated by
+//! re-tightening time frames after each placement, which keeps the
+//! implementation O(V²·T) and is the common practical simplification.
+//!
+//! The baseline answers a different question than multi-pattern scheduling
+//! (resources for a latency, instead of latency for fixed patterns); the
+//! ablation benches use it to report the per-color resource vector a
+//! traditional HLS scheduler would need to hit the paper's latencies.
+
+use crate::schedule::{Schedule, ScheduledCycle};
+use mps_dfg::{AnalyzedDfg, Color, NodeId};
+use mps_patterns::Pattern;
+
+/// Result of force-directed scheduling.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ForceDirectedResult {
+    /// The produced schedule (patterns synthesized per cycle).
+    pub schedule: Schedule,
+    /// `resource_usage[color_index]` = maximum number of simultaneously
+    /// busy ALUs of that color over all cycles.
+    pub resource_usage: Vec<usize>,
+}
+
+impl ForceDirectedResult {
+    /// Peak usage of one color.
+    pub fn usage_of(&self, c: Color) -> usize {
+        self.resource_usage.get(c.index()).copied().unwrap_or(0)
+    }
+
+    /// Total ALUs needed (sum of per-color peaks) — what a non-pattern
+    /// architecture would have to provision.
+    pub fn total_resources(&self) -> usize {
+        self.resource_usage.iter().sum()
+    }
+}
+
+/// Run force-directed scheduling with a target latency of `latency` cycles.
+///
+/// `latency` is clamped up to the critical-path length (a shorter target is
+/// infeasible). Deterministic: ties in force are broken by node id.
+pub fn force_directed(adfg: &AnalyzedDfg, latency: u32) -> ForceDirectedResult {
+    let n = adfg.len();
+    if n == 0 {
+        return ForceDirectedResult {
+            schedule: Schedule::default(),
+            resource_usage: Vec::new(),
+        };
+    }
+    let t_max = latency.max(adfg.levels().critical_path_len()) as usize;
+
+    // Mutable earliest/latest frames, re-tightened after every placement.
+    let mut earliest: Vec<u32> = adfg.dfg().node_ids().map(|v| adfg.levels().asap(v)).collect();
+    let mut latest: Vec<u32> = {
+        // ALAP against the *target* latency (sinks at t_max-1).
+        let mut l = vec![t_max as u32 - 1; n];
+        for &v in adfg.dfg().topo_order().iter().rev() {
+            for &w in adfg.dfg().succs(v) {
+                l[v.index()] = l[v.index()].min(l[w.index()] - 1);
+            }
+        }
+        l
+    };
+
+    let num_colors = adfg
+        .dfg()
+        .node_ids()
+        .map(|v| adfg.dfg().color(v).index() + 1)
+        .max()
+        .unwrap_or(1);
+
+    let mut fixed: Vec<Option<u32>> = vec![None; n];
+    for _round in 0..n {
+        // Distribution graphs from the current frames.
+        let mut dg = vec![vec![0f64; t_max]; num_colors];
+        for v in adfg.dfg().node_ids() {
+            let (e, l) = (earliest[v.index()], latest[v.index()]);
+            let w = (l - e + 1) as f64;
+            let ci = adfg.dfg().color(v).index();
+            for t in e..=l {
+                dg[ci][t as usize] += 1.0 / w;
+            }
+        }
+
+        // Pick the unfixed (node, cycle) with the smallest self force.
+        let mut best: Option<(f64, NodeId, u32)> = None;
+        for v in adfg.dfg().node_ids() {
+            if fixed[v.index()].is_some() {
+                continue;
+            }
+            let (e, l) = (earliest[v.index()], latest[v.index()]);
+            let ci = adfg.dfg().color(v).index();
+            let mean: f64 =
+                (e..=l).map(|t| dg[ci][t as usize]).sum::<f64>() / (l - e + 1) as f64;
+            for t in e..=l {
+                let force = dg[ci][t as usize] - mean;
+                let better = match &best {
+                    None => true,
+                    Some((bf, bv, bt)) => {
+                        force < bf - 1e-12
+                            || ((force - bf).abs() <= 1e-12 && (v.0, t) < (bv.0, *bt))
+                    }
+                };
+                if better {
+                    best = Some((force, v, t));
+                }
+            }
+        }
+        let (_, v, t) = match best {
+            Some(b) => b,
+            None => break, // everything fixed
+        };
+        fixed[v.index()] = Some(t);
+        earliest[v.index()] = t;
+        latest[v.index()] = t;
+
+        // Re-tighten frames (forward then backward constrained passes).
+        for &u in adfg.dfg().topo_order() {
+            for &w in adfg.dfg().succs(u) {
+                earliest[w.index()] = earliest[w.index()].max(earliest[u.index()] + 1);
+            }
+        }
+        for &u in adfg.dfg().topo_order().iter().rev() {
+            for &w in adfg.dfg().succs(u) {
+                latest[u.index()] = latest[u.index()].min(latest[w.index()] - 1);
+            }
+        }
+    }
+
+    // Build the schedule and the per-color peak usage.
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); t_max];
+    for v in adfg.dfg().node_ids() {
+        buckets[fixed[v.index()].expect("all nodes placed") as usize].push(v);
+    }
+    // Trailing all-empty cycles are dropped (the target latency may exceed
+    // what placement actually used); interior empties are kept.
+    while buckets.last().is_some_and(Vec::is_empty) {
+        buckets.pop();
+    }
+    let mut usage = vec![0usize; num_colors];
+    for bucket in &buckets {
+        let mut per = vec![0usize; num_colors];
+        for &v in bucket {
+            per[adfg.dfg().color(v).index()] += 1;
+        }
+        for (u, p) in usage.iter_mut().zip(per.iter()) {
+            *u = (*u).max(*p);
+        }
+    }
+    let schedule = Schedule::from_cycles(
+        buckets
+            .into_iter()
+            .map(|nodes| ScheduledCycle {
+                pattern: Pattern::from_colors(nodes.iter().map(|&x| adfg.dfg().color(x))),
+                nodes,
+            })
+            .collect(),
+    );
+    ForceDirectedResult {
+        schedule,
+        resource_usage: usage,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::DfgBuilder;
+
+    fn c(ch: char) -> Color {
+        Color::from_char(ch).unwrap()
+    }
+
+    /// Two parallel 2-chains of multiplications plus independent adds.
+    fn classic_example() -> AnalyzedDfg {
+        let mut b = DfgBuilder::new();
+        let m1 = b.add_node("m1", c('c'));
+        let m2 = b.add_node("m2", c('c'));
+        let m3 = b.add_node("m3", c('c'));
+        let m4 = b.add_node("m4", c('c'));
+        b.add_edge(m1, m2).unwrap();
+        b.add_edge(m3, m4).unwrap();
+        let a1 = b.add_node("a1", c('a'));
+        let a2 = b.add_node("a2", c('a'));
+        let _ = (a1, a2);
+        AnalyzedDfg::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn respects_latency_and_dependencies() {
+        let adfg = classic_example();
+        let r = force_directed(&adfg, 4);
+        assert!(r.schedule.len() <= 4);
+        r.schedule.validate(&adfg, None).unwrap();
+    }
+
+    #[test]
+    fn balances_multiplier_usage_given_slack() {
+        // With latency 4, the two mul chains can interleave so that only
+        // one... actually chains are independent: force balancing should
+        // avoid stacking both chain heads in cycle 0 when latency allows.
+        let adfg = classic_example();
+        let tight = force_directed(&adfg, 2);
+        let relaxed = force_directed(&adfg, 4);
+        // Tight latency forces both chains concurrent: 2 multipliers.
+        assert_eq!(tight.usage_of(c('c')), 2);
+        // Slack lets the scheduler stagger them down to 1.
+        assert!(relaxed.usage_of(c('c')) <= tight.usage_of(c('c')));
+        assert!(relaxed.total_resources() <= tight.total_resources());
+    }
+
+    #[test]
+    fn latency_below_critical_path_is_clamped() {
+        let adfg = classic_example();
+        let r = force_directed(&adfg, 0);
+        assert!(r.schedule.len() >= adfg.levels().critical_path_len() as usize);
+        r.schedule.validate(&adfg, None).unwrap();
+    }
+
+    #[test]
+    fn empty_graph() {
+        let adfg = AnalyzedDfg::new(DfgBuilder::new().build().unwrap());
+        let r = force_directed(&adfg, 5);
+        assert!(r.schedule.is_empty());
+        assert_eq!(r.total_resources(), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let adfg = classic_example();
+        let a = force_directed(&adfg, 4);
+        let b = force_directed(&adfg, 4);
+        assert_eq!(a, b);
+    }
+}

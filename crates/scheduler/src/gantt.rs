@@ -1,0 +1,161 @@
+//! ASCII Gantt chart of a schedule: one row per ALU, one column per
+//! cycle, showing which node occupies each slot and where the sequencer
+//! reconfigures.
+//!
+//! Slots bind like the Montium replay does: within a cycle, the pattern's
+//! canonical color list maps to ALU indices and each node takes the
+//! leftmost free slot of its color — so this chart agrees with
+//! `mps-montium`'s `ExecReport::bindings` cell for cell.
+
+use crate::schedule::Schedule;
+use mps_dfg::AnalyzedDfg;
+
+/// Render the ALU-occupancy chart of `schedule` for a `alus`-wide tile.
+///
+/// Cells show node names (truncated to the column width); `·` is an idle
+/// ALU, and a `|` gutter marks cycles whose pattern differs from the
+/// previous cycle (a configuration load).
+pub fn render_gantt(adfg: &AnalyzedDfg, schedule: &Schedule, alus: usize) -> String {
+    let cycles = schedule.len();
+    // Column width: longest name in the schedule, at least 2.
+    let width = adfg
+        .dfg()
+        .node_ids()
+        .map(|v| adfg.dfg().name(v).len())
+        .max()
+        .unwrap_or(2)
+        .clamp(2, 8);
+
+    // grid[alu][cycle] = name shown.
+    let mut grid: Vec<Vec<String>> = vec![vec!["·".to_string(); cycles]; alus];
+    for (t, cyc) in schedule.cycles().iter().enumerate() {
+        let pattern_colors = cyc.pattern.colors();
+        let mut taken = vec![false; pattern_colors.len()];
+        for &node in &cyc.nodes {
+            let color = adfg.dfg().color(node);
+            if let Some(slot) = pattern_colors
+                .iter()
+                .enumerate()
+                .position(|(i, &c)| c == color && !taken[i])
+            {
+                taken[slot] = true;
+                if slot < alus {
+                    let name = adfg.dfg().name(node);
+                    grid[slot][t] = name.chars().take(width).collect();
+                }
+            }
+        }
+    }
+
+    // Reconfiguration gutters.
+    let reconf: Vec<bool> = schedule
+        .cycles()
+        .iter()
+        .enumerate()
+        .map(|(t, cyc)| t == 0 || schedule.cycles()[t - 1].pattern != cyc.pattern)
+        .collect();
+
+    let mut out = String::new();
+    // Header: cycle numbers.
+    out.push_str("      ");
+    for (t, &r) in reconf.iter().enumerate() {
+        out.push(if r { '|' } else { ' ' });
+        out.push_str(&format!("{:<width$}", t + 1));
+    }
+    out.push('\n');
+    for (a, row) in grid.iter().enumerate() {
+        out.push_str(&format!("alu{a:<3}"));
+        out.push(' ');
+        for (t, cell) in row.iter().enumerate() {
+            out.push(if reconf[t] { '|' } else { ' ' });
+            out.push_str(&format!("{cell:<width$}"));
+        }
+        out.push('\n');
+    }
+    // Pattern footer.
+    out.push_str("cfg   ");
+    for (t, cyc) in schedule.cycles().iter().enumerate() {
+        out.push(if reconf[t] { '|' } else { ' ' });
+        let p: String = cyc.pattern.to_string().chars().take(width).collect();
+        out.push_str(&format!("{p:<width$}"));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi_pattern::{schedule_multi_pattern, MultiPatternConfig};
+    use mps_dfg::{Color, DfgBuilder};
+    use mps_patterns::PatternSet;
+
+    fn two_cycle() -> (AnalyzedDfg, Schedule) {
+        let mut b = DfgBuilder::new();
+        let x = b.add_node("x", Color::from_char('a').unwrap());
+        let y = b.add_node("y", Color::from_char('b').unwrap());
+        b.add_edge(x, y).unwrap();
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        let ps = PatternSet::parse("a b").unwrap();
+        let s = schedule_multi_pattern(&adfg, &ps, MultiPatternConfig::default())
+            .unwrap()
+            .schedule;
+        (adfg, s)
+    }
+
+    #[test]
+    fn chart_contains_every_scheduled_node() {
+        let (adfg, s) = two_cycle();
+        let chart = render_gantt(&adfg, &s, 5);
+        assert!(chart.contains('x'));
+        assert!(chart.contains('y'));
+        assert!(chart.contains("alu0"));
+        assert!(chart.contains("alu4"));
+        assert!(chart.contains("cfg"));
+    }
+
+    #[test]
+    fn reconfiguration_gutter_marks_pattern_changes() {
+        let (adfg, s) = two_cycle();
+        let chart = render_gantt(&adfg, &s, 2);
+        // Two single-color patterns alternate: both cycles reconfigure.
+        let header = chart.lines().next().unwrap();
+        assert_eq!(header.matches('|').count(), 2, "{chart}");
+    }
+
+    #[test]
+    fn idle_slots_render_as_dots() {
+        let (adfg, s) = two_cycle();
+        let chart = render_gantt(&adfg, &s, 3);
+        // 3 ALUs × 2 cycles, 2 busy slots → 4 idle dots.
+        assert_eq!(chart.matches('·').count(), 4, "{chart}");
+    }
+
+    #[test]
+    fn empty_schedule_renders_headers_only() {
+        let adfg = AnalyzedDfg::new(DfgBuilder::new().build().unwrap());
+        let chart = render_gantt(&adfg, &Schedule::default(), 2);
+        assert!(chart.contains("alu0"));
+        assert!(!chart.contains('·'));
+    }
+
+    #[test]
+    fn agrees_with_montium_binding_rule() {
+        // Two 'a' nodes under pattern "aa": first (higher priority or
+        // lower id in the cycle list) takes alu0, second alu1 — the same
+        // leftmost-free rule the replay uses.
+        let mut b = DfgBuilder::new();
+        b.add_node("p", Color::from_char('a').unwrap());
+        b.add_node("q", Color::from_char('a').unwrap());
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        let ps = PatternSet::parse("aa").unwrap();
+        let s = schedule_multi_pattern(&adfg, &ps, MultiPatternConfig::default())
+            .unwrap()
+            .schedule;
+        let chart = render_gantt(&adfg, &s, 2);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[1].starts_with("alu0"));
+        assert!(lines[1].contains('p') || lines[1].contains('q'));
+        assert!(lines[2].starts_with("alu1"));
+    }
+}

@@ -1,0 +1,558 @@
+//! Modulo scheduling (software pipelining) under pattern constraints.
+//!
+//! The paper schedules one kernel invocation for minimal *latency*. When
+//! the kernel runs in a loop — every DSP workload the Montium targets does
+//! — the figure of merit is *throughput*: the **initiation interval** `II`,
+//! the number of cycles between consecutive iterations entering the
+//! pipeline. A modulo schedule lets iteration `k+1` start while iteration
+//! `k` is still in flight, so at steady state the tile executes, in cycle
+//! slot `r`, the union of every node scheduled at a cycle `≡ r (mod II)` —
+//! and under the Montium's restriction that union bag must fit **one
+//! pattern**, because the sequencer configures exactly one pattern per
+//! cycle.
+//!
+//! [`schedule_modulo`] extends the paper's Fig. 3 list scheduler with a
+//! modulo reservation table: slot `r` carries the pattern chosen the first
+//! time the scheduler commits work to `r`, and later cycles mapping to `r`
+//! may only issue nodes into that pattern's *remaining* slots. Infeasible
+//! `II`s fail and the driver retries with `II + 1`, mirroring classic
+//! iterative modulo scheduling (Rau, MICRO'94) with patterns in place of a
+//! plain resource table.
+
+use crate::error::ScheduleError;
+use crate::priority::NodePriorities;
+use crate::schedule::{Schedule, ScheduledCycle};
+use mps_dfg::{AnalyzedDfg, Color, NodeId};
+use mps_patterns::{Pattern, PatternSet};
+
+/// Configuration of [`schedule_modulo`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModuloConfig {
+    /// Hard cap on the initiation interval tried. Defaults to 64 — far
+    /// beyond anything useful on a 5-ALU tile.
+    pub max_ii: usize,
+    /// Cap on the schedule depth per attempt, as a multiple of the node
+    /// count (safety valve against pathological pattern sets).
+    pub depth_factor: usize,
+}
+
+impl Default for ModuloConfig {
+    fn default() -> ModuloConfig {
+        ModuloConfig {
+            max_ii: 64,
+            depth_factor: 4,
+        }
+    }
+}
+
+/// A modulo schedule of one loop iteration.
+#[derive(Clone, Debug)]
+pub struct ModuloResult {
+    /// Achieved initiation interval: a new iteration starts every `ii`
+    /// cycles at steady state.
+    pub ii: usize,
+    /// The flat single-iteration schedule (latency = `schedule.len()`).
+    pub schedule: Schedule,
+    /// Pattern configured in each of the `ii` steady-state slots. Slot
+    /// `r` hosts every cycle `t` of the flat schedule with `t ≡ r`.
+    pub slot_patterns: Vec<Pattern>,
+    /// The throughput-bound lower limit on `II` that was computed before
+    /// searching (`ii == mii` means the result is provably optimal).
+    pub mii: usize,
+}
+
+impl ModuloResult {
+    /// `true` when the achieved `II` matches the resource lower bound.
+    pub fn is_optimal(&self) -> bool {
+        self.ii == self.mii
+    }
+
+    /// Steady-state color bag of one slot: every node of every cycle of
+    /// the flat schedule that maps onto slot `r`.
+    pub fn slot_bag(&self, adfg: &AnalyzedDfg, r: usize) -> Pattern {
+        Pattern::from_colors(
+            self.schedule
+                .cycles()
+                .iter()
+                .enumerate()
+                .filter(|(t, _)| t % self.ii == r)
+                .flat_map(|(_, cyc)| cyc.nodes.iter().map(|&n| adfg.dfg().color(n))),
+        )
+    }
+}
+
+/// Resource lower bound on the initiation interval: color `c` occurs
+/// `N_c` times and no pattern offers more than `m_c` slots of `c`, so at
+/// least `⌈N_c / m_c⌉` slot-cycles are needed. (A DAG kernel has no
+/// loop-carried recurrence, so the recurrence bound is 1.)
+pub fn modulo_mii(adfg: &AnalyzedDfg, patterns: &PatternSet) -> usize {
+    let hist = adfg.dfg().color_histogram();
+    let mut mii = 1usize;
+    for (ci, &count) in hist.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let best = patterns
+            .iter()
+            .map(|p| p.count_of(Color(ci as u8)))
+            .max()
+            .unwrap_or(0);
+        if best == 0 {
+            return usize::MAX; // uncovered color: no II works
+        }
+        mii = mii.max(count.div_ceil(best));
+    }
+    mii
+}
+
+/// Steady-state capacity check: after (hypothetically) locking `slot` to
+/// pattern `locked`, can the remaining capacity of all slots still hold
+/// every unscheduled node? Free slots count as the best any pattern
+/// offers per color; locked slots count their pattern minus what earlier
+/// cycles consumed. Pruning locks that fail this keeps the greedy from
+/// wedging on scarce colors (e.g. a 7-add chain at II = 7 must keep an
+/// 'a' slot in *every* residue class).
+#[allow(clippy::too_many_arguments)]
+fn lock_is_feasible(
+    patterns: &PatternSet,
+    slot_pattern: &[Option<usize>],
+    consumed: &[[u8; 256]],
+    unscheduled: &[u32; 256],
+    slot: usize,
+    candidate_pattern: usize,
+    best_per_color: &[u32; 256],
+) -> bool {
+    for ci in 0..256usize {
+        if unscheduled[ci] == 0 {
+            continue;
+        }
+        let mut cap = 0u32;
+        for (r, sp) in slot_pattern.iter().enumerate() {
+            let effective = if r == slot {
+                Some(candidate_pattern)
+            } else {
+                *sp
+            };
+            cap += match effective {
+                Some(pi) => {
+                    let have = patterns.patterns()[pi].count_of(mps_dfg::Color(ci as u8)) as u32;
+                    have.saturating_sub(consumed[r][ci] as u32)
+                }
+                None => best_per_color[ci],
+            };
+        }
+        if cap < unscheduled[ci] {
+            return false;
+        }
+    }
+    true
+}
+
+/// Attempt one `II`; `None` when the greedy placement wedges.
+fn try_ii(
+    adfg: &AnalyzedDfg,
+    patterns: &PatternSet,
+    ii: usize,
+    cfg: ModuloConfig,
+    prio: &NodePriorities,
+) -> Option<(Schedule, Vec<Pattern>)> {
+    let n = adfg.len();
+    // Reservation table: the pattern locked to each slot (None = free),
+    // and the capacity already consumed per color in that slot.
+    let mut slot_pattern: Vec<Option<usize>> = vec![None; ii];
+    let mut consumed: Vec<[u8; 256]> = vec![[0u8; 256]; ii];
+    // Per-color bookkeeping for the feasibility guard.
+    let mut unscheduled = [0u32; 256];
+    for v in adfg.dfg().node_ids() {
+        unscheduled[adfg.dfg().color(v).index()] += 1;
+    }
+    let mut best_per_color = [0u32; 256];
+    for p in patterns.iter() {
+        for (c, count) in p.color_counts() {
+            best_per_color[c.index()] = best_per_color[c.index()].max(count as u32);
+        }
+    }
+
+    let mut unscheduled_preds: Vec<u32> = adfg
+        .dfg()
+        .node_ids()
+        .map(|v| adfg.dfg().preds(v).len() as u32)
+        .collect();
+    let mut candidates: Vec<NodeId> = adfg
+        .dfg()
+        .node_ids()
+        .filter(|&v| unscheduled_preds[v.index()] == 0)
+        .collect();
+
+    let mut cycles: Vec<ScheduledCycle> = Vec::new();
+    let mut remaining = n;
+    let max_depth = cfg.depth_factor.max(1) * n.max(1);
+
+    while remaining > 0 {
+        let t = cycles.len();
+        if t >= max_depth {
+            return None; // wedged: some candidate never fits its slot
+        }
+        let r = t % ii;
+        candidates.sort_by_key(|&x| std::cmp::Reverse((prio.f(x), x.0 as u64)));
+
+        // Decide / reuse the slot's pattern, then fill remaining capacity.
+        let (pat_idx, sel) = match slot_pattern[r] {
+            Some(pi) => {
+                let pat = &patterns.patterns()[pi];
+                (pi, fill(adfg, pat, &consumed[r], &candidates))
+            }
+            None => {
+                // Free slot: pick the pattern with the best F2 mass over
+                // the current candidates (ties: earliest pattern), but
+                // never lock in a pattern that makes some color's
+                // steady-state demand unsatisfiable.
+                let mut best: Option<(u128, usize, Vec<NodeId>)> = None;
+                for (pi, pat) in patterns.iter().enumerate() {
+                    if !lock_is_feasible(
+                        patterns,
+                        &slot_pattern,
+                        &consumed,
+                        &unscheduled,
+                        r,
+                        pi,
+                        &best_per_color,
+                    ) {
+                        continue;
+                    }
+                    let sel = fill(adfg, pat, &consumed[r], &candidates);
+                    let mass: u128 = sel.iter().map(|&x| prio.f(x) as u128).sum();
+                    if best.as_ref().is_none_or(|(bv, _, _)| mass > *bv) {
+                        best = Some((mass, pi, sel));
+                    }
+                }
+                let Some((_, pi, sel)) = best else {
+                    return None; // every lock is infeasible: II too small
+                };
+                (pi, sel)
+            }
+        };
+
+        // Commit the cycle (possibly empty: the slot's locked pattern may
+        // not serve any current candidate — iterate to the next cycle).
+        if !sel.is_empty() {
+            slot_pattern[r] = Some(pat_idx);
+            for &u in &sel {
+                let ci = adfg.dfg().color(u).index();
+                consumed[r][ci] += 1;
+                unscheduled[ci] -= 1;
+                for &v in adfg.dfg().succs(u) {
+                    unscheduled_preds[v.index()] -= 1;
+                    if unscheduled_preds[v.index()] == 0 {
+                        candidates.push(v);
+                    }
+                }
+            }
+            let committed: std::collections::HashSet<NodeId> = sel.iter().copied().collect();
+            candidates.retain(|x| !committed.contains(x));
+            remaining -= sel.len();
+        }
+        cycles.push(ScheduledCycle {
+            pattern: patterns.patterns()[pat_idx],
+            nodes: sel,
+        });
+    }
+
+    // Trim trailing empty cycles (they carry no work and no constraint).
+    while cycles.last().is_some_and(|c| c.nodes.is_empty()) {
+        cycles.pop();
+    }
+    let slots: Vec<Pattern> = (0..ii)
+        .map(|r| match slot_pattern[r] {
+            Some(pi) => patterns.patterns()[pi],
+            None => Pattern::empty(),
+        })
+        .collect();
+    Some((Schedule::from_cycles(cycles), slots))
+}
+
+/// Nodes from the priority-sorted candidate list that fit the pattern's
+/// capacity *minus what earlier cycles of the same slot already consumed*.
+fn fill(
+    adfg: &AnalyzedDfg,
+    pattern: &Pattern,
+    consumed: &[u8; 256],
+    sorted_cl: &[NodeId],
+) -> Vec<NodeId> {
+    let mut cap = [0u8; 256];
+    for &c in pattern.colors() {
+        cap[c.index()] += 1;
+    }
+    for (cap_c, &used) in cap.iter_mut().zip(consumed.iter()) {
+        *cap_c = cap_c.saturating_sub(used);
+    }
+    let mut out = Vec::new();
+    for &n in sorted_cl {
+        let ci = adfg.dfg().color(n).index();
+        if cap[ci] > 0 {
+            cap[ci] -= 1;
+            out.push(n);
+        }
+    }
+    out
+}
+
+/// Find the smallest feasible initiation interval and its modulo schedule.
+///
+/// Errors like the flat scheduler on empty/uncovering pattern sets;
+/// returns the first `II ≤ cfg.max_ii` the greedy placement manages
+/// (retrying upward from the resource bound [`modulo_mii`]).
+pub fn schedule_modulo(
+    adfg: &AnalyzedDfg,
+    patterns: &PatternSet,
+    cfg: ModuloConfig,
+) -> Result<ModuloResult, ScheduleError> {
+    let n = adfg.len();
+    if patterns.is_empty() {
+        return Err(ScheduleError::NoPatterns);
+    }
+    let provided = patterns.color_set();
+    for id in adfg.dfg().node_ids() {
+        let c = adfg.dfg().color(id);
+        if !provided.contains(c) {
+            return Err(ScheduleError::UncoveredColor(c));
+        }
+    }
+    if n == 0 {
+        return Ok(ModuloResult {
+            ii: 1,
+            schedule: Schedule::default(),
+            slot_patterns: vec![Pattern::empty()],
+            mii: 1,
+        });
+    }
+
+    let prio = NodePriorities::compute(adfg);
+    let mii = modulo_mii(adfg, patterns);
+    debug_assert_ne!(mii, usize::MAX, "coverage was checked above");
+    for ii in mii..=cfg.max_ii.max(mii) {
+        if let Some((schedule, slot_patterns)) = try_ii(adfg, patterns, ii, cfg, &prio) {
+            let result = ModuloResult {
+                ii,
+                schedule,
+                slot_patterns,
+                mii,
+            };
+            debug_assert!(validate_modulo(adfg, &result).is_ok());
+            return Ok(result);
+        }
+    }
+    // Guaranteed fallback: a flat schedule *is* a modulo schedule with
+    // II = its length (every slot hosts exactly one cycle, so every slot
+    // bag trivially fits its cycle's pattern). The retry loop normally
+    // reaches a feasible II long before this, but pathological pattern
+    // sets that wedge the greedy at every II ≤ max_ii still get a
+    // correct, if unpipelined, answer.
+    let flat = crate::multi_pattern::schedule_multi_pattern(
+        adfg,
+        patterns,
+        crate::multi_pattern::MultiPatternConfig::default(),
+    )?
+    .schedule;
+    let slot_patterns: Vec<Pattern> = flat.cycles().iter().map(|c| c.pattern).collect();
+    let result = ModuloResult {
+        ii: flat.len(),
+        schedule: flat,
+        slot_patterns,
+        mii,
+    };
+    debug_assert!(validate_modulo(adfg, &result).is_ok());
+    Ok(result)
+}
+
+/// Validate a modulo schedule: flat-schedule correctness (dependencies,
+/// one placement per node) plus the steady-state constraint that every
+/// slot's union color bag fits the slot's single pattern.
+pub fn validate_modulo(adfg: &AnalyzedDfg, result: &ModuloResult) -> Result<(), ScheduleError> {
+    // Flat correctness (pattern membership is checked per slot instead).
+    result.schedule.validate(adfg, None)?;
+    for r in 0..result.ii {
+        let bag = result.slot_bag(adfg, r);
+        let slot = &result.slot_patterns[r];
+        if !bag.is_subpattern_of(slot) {
+            return Err(ScheduleError::PatternOverflow { cycle: r });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::DfgBuilder;
+
+    fn c(ch: char) -> Color {
+        Color::from_char(ch).unwrap()
+    }
+
+    fn chain(len: usize) -> AnalyzedDfg {
+        let mut b = DfgBuilder::new();
+        let ids: Vec<_> = (0..len).map(|i| b.add_node(format!("n{i}"), c('a'))).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        AnalyzedDfg::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn chain_pipelines_to_ii_matching_capacity() {
+        // 6-deep 'a' chain. With an "aa" pattern, steady state packs two
+        // chain stages (from different iterations) per cycle: II = 3.
+        let adfg = chain(6);
+        let ps = PatternSet::parse("aa").unwrap();
+        let r = schedule_modulo(&adfg, &ps, ModuloConfig::default()).unwrap();
+        assert_eq!(r.mii, 3);
+        assert_eq!(r.ii, 3, "6 'a' nodes / 2 slots per cycle");
+        assert!(r.is_optimal());
+        validate_modulo(&adfg, &r).unwrap();
+        // Latency stays 6 (the chain cannot be shortened)…
+        assert_eq!(r.schedule.len(), 6);
+        // …but throughput triples relative to latency-only execution.
+        assert!(r.ii < r.schedule.len());
+    }
+
+    #[test]
+    fn ii_one_needs_a_pattern_holding_everything() {
+        let adfg = chain(4);
+        let wide = PatternSet::parse("aaaa").unwrap();
+        let r = schedule_modulo(&adfg, &wide, ModuloConfig::default()).unwrap();
+        assert_eq!(r.ii, 1, "one pattern holds all four stages");
+        validate_modulo(&adfg, &r).unwrap();
+        let bag = r.slot_bag(&adfg, 0);
+        assert_eq!(bag.size(), 4);
+    }
+
+    #[test]
+    fn mii_accounts_for_scarcest_color() {
+        let mut b = DfgBuilder::new();
+        for i in 0..6 {
+            b.add_node(format!("c{i}"), c('c'));
+        }
+        b.add_node("a0", c('a'));
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        // Patterns offer at most 2 'c' slots → MII = ⌈6/2⌉ = 3.
+        let ps = PatternSet::parse("acc").unwrap();
+        assert_eq!(modulo_mii(&adfg, &ps), 3);
+        let r = schedule_modulo(&adfg, &ps, ModuloConfig::default()).unwrap();
+        assert_eq!(r.ii, 3);
+        validate_modulo(&adfg, &r).unwrap();
+    }
+
+    #[test]
+    fn uncovered_color_is_an_error() {
+        let adfg = chain(3);
+        let ps = PatternSet::parse("b").unwrap();
+        assert!(matches!(
+            schedule_modulo(&adfg, &ps, ModuloConfig::default()),
+            Err(ScheduleError::UncoveredColor(_))
+        ));
+        assert_eq!(modulo_mii(&adfg, &ps), usize::MAX);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty = AnalyzedDfg::new(DfgBuilder::new().build().unwrap());
+        let ps = PatternSet::parse("a").unwrap();
+        let r = schedule_modulo(&empty, &ps, ModuloConfig::default()).unwrap();
+        assert_eq!(r.ii, 1);
+        assert!(r.schedule.is_empty());
+        assert!(matches!(
+            schedule_modulo(&empty, &PatternSet::new(), ModuloConfig::default()),
+            Err(ScheduleError::NoPatterns)
+        ));
+    }
+
+    #[test]
+    fn modulo_ii_never_exceeds_flat_latency() {
+        // A flat schedule is trivially a modulo schedule with II = length,
+        // so the search must always do at least as well.
+        let adfg = chain(5);
+        for pats in ["a", "aa", "aaa"] {
+            let ps = PatternSet::parse(pats).unwrap();
+            let flat = crate::multi_pattern::schedule_multi_pattern(
+                &adfg,
+                &ps,
+                crate::multi_pattern::MultiPatternConfig::default(),
+            )
+            .unwrap()
+            .schedule;
+            let r = schedule_modulo(&adfg, &ps, ModuloConfig::default()).unwrap();
+            assert!(
+                r.ii <= flat.len(),
+                "{pats}: II {} > flat latency {}",
+                r.ii,
+                flat.len()
+            );
+            validate_modulo(&adfg, &r).unwrap();
+        }
+    }
+
+    #[test]
+    fn two_color_kernel_interleaves_slots() {
+        // Layered a→b kernel: slots must alternate colors or use mixed
+        // patterns; either way the steady state validates.
+        let mut b = DfgBuilder::new();
+        let mut prev: Option<NodeId> = None;
+        for i in 0..4 {
+            let x = b.add_node(format!("a{i}"), c('a'));
+            let y = b.add_node(format!("b{i}"), c('b'));
+            b.add_edge(x, y).unwrap();
+            if let Some(p) = prev {
+                b.add_edge(p, x).unwrap();
+            }
+            prev = Some(y);
+        }
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        let ps = PatternSet::parse("ab aabb").unwrap();
+        let r = schedule_modulo(&adfg, &ps, ModuloConfig::default()).unwrap();
+        validate_modulo(&adfg, &r).unwrap();
+        assert!(r.ii >= r.mii);
+        assert_eq!(r.schedule.scheduled_nodes(), 8);
+    }
+
+    #[test]
+    fn exhausted_search_falls_back_to_flat() {
+        // a→b→a→b chain with single-color patterns: II = 1 is infeasible
+        // (one slot cannot hold both colors), and max_ii = 1 forbids the
+        // feasible II = 2, so the flat fallback must fire.
+        let mut b = DfgBuilder::new();
+        let n0 = b.add_node("a0", c('a'));
+        let n1 = b.add_node("b0", c('b'));
+        let n2 = b.add_node("a1", c('a'));
+        let n3 = b.add_node("b1", c('b'));
+        b.add_edge(n0, n1).unwrap();
+        b.add_edge(n1, n2).unwrap();
+        b.add_edge(n2, n3).unwrap();
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        let ps = PatternSet::parse("aa bb").unwrap();
+        let r = schedule_modulo(
+            &adfg,
+            &ps,
+            ModuloConfig {
+                max_ii: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.ii, r.schedule.len(), "fallback is the flat schedule");
+        assert_eq!(r.ii, 4);
+        validate_modulo(&adfg, &r).unwrap();
+        // Without the cap the search finds the real II.
+        let free = schedule_modulo(&adfg, &ps, ModuloConfig::default()).unwrap();
+        assert_eq!(free.ii, 2);
+    }
+
+    #[test]
+    fn slot_bag_reports_steady_state_union() {
+        let adfg = chain(4);
+        let ps = PatternSet::parse("aa").unwrap();
+        let r = schedule_modulo(&adfg, &ps, ModuloConfig::default()).unwrap();
+        let total: usize = (0..r.ii).map(|s| r.slot_bag(&adfg, s).size()).sum();
+        assert_eq!(total, 4, "every node lands in exactly one slot bag");
+    }
+}

@@ -1,0 +1,394 @@
+//! The multi-pattern list scheduling algorithm (paper Fig. 3).
+
+use crate::error::ScheduleError;
+use crate::priority::NodePriorities;
+use crate::schedule::{Schedule, ScheduledCycle};
+use crate::trace::{ScheduleTrace, TraceRow};
+use mps_dfg::{AnalyzedDfg, NodeId};
+use mps_patterns::{Pattern, PatternSet};
+
+/// Which pattern priority function ranks patterns each cycle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PatternPriority {
+    /// `F1(p, CL) = |S(p, CL)|` — count of covered candidates (Eq. 6).
+    F1,
+    /// `F2(p, CL) = Σ f(n) over S(p, CL)` — sum of node priorities
+    /// (Eq. 7). The paper's preferred variant; resolves F1 ties toward
+    /// high-priority nodes (its §4.3 example: prefer covering `b3` over
+    /// `a16`).
+    #[default]
+    F2,
+}
+
+/// Deterministic tie-break between equal-priority candidate nodes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Lower-ASAP node first (it has been ready longer), then the
+    /// later-inserted (higher id) node. Reproduces the paper's Table 2
+    /// trace on the Fig. 2 graph **exactly**, every cell: the cycle-6 tie
+    /// between `a22` and `a23` needs the ASAP key (paper picks `a22`,
+    /// ASAP 3 < 4), while the cycle-2 tie between `a24` and `a16` has
+    /// equal ASAPs and needs the higher-id key (paper picks `a24`).
+    #[default]
+    AsapThenHigherId,
+    /// Later-inserted (higher id) node first.
+    HigherId,
+    /// Earlier-inserted node first.
+    LowerId,
+}
+
+/// Configuration of the multi-pattern scheduler.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MultiPatternConfig {
+    /// Pattern ranking function.
+    pub pattern_priority: PatternPriority,
+    /// Node tie-break.
+    pub tie_break: TieBreak,
+    /// Record a per-cycle [`ScheduleTrace`] (the paper's Table 2).
+    pub record_trace: bool,
+}
+
+/// Output of the multi-pattern scheduler.
+#[derive(Clone, Debug)]
+pub struct MultiPatternResult {
+    /// The schedule (validated against the input pattern set by tests; the
+    /// construction guarantees it by design).
+    pub schedule: Schedule,
+    /// Per-cycle trace, when requested.
+    pub trace: Option<ScheduleTrace>,
+}
+
+/// Compute the *selected set* `S(p, CL)` (paper §4): walk the candidate
+/// list in priority order and greedily take each node whose color still
+/// has a free slot in the pattern.
+///
+/// `sorted_cl` must already be sorted by descending priority.
+pub fn selected_set(adfg: &AnalyzedDfg, pattern: &Pattern, sorted_cl: &[NodeId]) -> Vec<NodeId> {
+    // Remaining capacity per color; colors are u8-indexed.
+    let mut cap = [0u8; 256];
+    for &c in pattern.colors() {
+        cap[c.index()] += 1;
+    }
+    let mut out = Vec::new();
+    for &n in sorted_cl {
+        let ci = adfg.dfg().color(n).index();
+        if cap[ci] > 0 {
+            cap[ci] -= 1;
+            out.push(n);
+        }
+    }
+    out
+}
+
+/// Run the multi-pattern list scheduling algorithm of the paper's Fig. 3.
+///
+/// Each iteration sorts the candidate list by node priority, computes the
+/// selected set of every pattern, commits the pattern with the highest
+/// pattern priority (ties: earliest pattern in `patterns`), and releases
+/// newly enabled candidates for the *next* cycle.
+///
+/// Errors with [`ScheduleError::UncoveredColor`] if some node's color never
+/// appears in `patterns` (such a node can never be issued).
+pub fn schedule_multi_pattern(
+    adfg: &AnalyzedDfg,
+    patterns: &PatternSet,
+    config: MultiPatternConfig,
+) -> Result<MultiPatternResult, ScheduleError> {
+    let n = adfg.len();
+    if n == 0 {
+        return Ok(MultiPatternResult {
+            schedule: Schedule::default(),
+            trace: config.record_trace.then(ScheduleTrace::default),
+        });
+    }
+    if patterns.is_empty() {
+        return Err(ScheduleError::NoPatterns);
+    }
+    // Fail fast on colors that no pattern provides.
+    let provided = patterns.color_set();
+    for id in adfg.dfg().node_ids() {
+        let c = adfg.dfg().color(id);
+        if !provided.contains(c) {
+            return Err(ScheduleError::UncoveredColor(c));
+        }
+    }
+
+    let prio = NodePriorities::compute(adfg);
+    // Sort key, descending: priority first, then the tie-break chain.
+    let sort_key = |id: NodeId| -> (u64, u64, u64) {
+        match config.tie_break {
+            TieBreak::AsapThenHigherId => (
+                prio.f(id),
+                u64::MAX - adfg.levels().asap(id) as u64, // lower ASAP first
+                id.0 as u64,
+            ),
+            TieBreak::HigherId => (prio.f(id), 0, id.0 as u64),
+            TieBreak::LowerId => (prio.f(id), 0, u64::MAX - id.0 as u64),
+        }
+    };
+
+    let mut unscheduled_preds: Vec<u32> = adfg
+        .dfg()
+        .node_ids()
+        .map(|v| adfg.dfg().preds(v).len() as u32)
+        .collect();
+    let mut candidates: Vec<NodeId> = adfg
+        .dfg()
+        .node_ids()
+        .filter(|&v| unscheduled_preds[v.index()] == 0)
+        .collect();
+
+    let mut cycles: Vec<ScheduledCycle> = Vec::new();
+    let mut trace_rows: Vec<TraceRow> = Vec::new();
+    let mut remaining = n;
+
+    while remaining > 0 {
+        debug_assert!(!candidates.is_empty(), "acyclic graph always has candidates");
+        // Sort by descending priority (then tie-break).
+        candidates.sort_by_key(|&x| std::cmp::Reverse(sort_key(x)));
+
+        // Evaluate every pattern on the sorted candidate list.
+        let mut best: Option<(u128, usize, Vec<NodeId>)> = None;
+        let mut per_pattern: Vec<Vec<NodeId>> = Vec::with_capacity(patterns.len());
+        for (pi, pat) in patterns.iter().enumerate() {
+            let sel = selected_set(adfg, pat, &candidates);
+            let value: u128 = match config.pattern_priority {
+                PatternPriority::F1 => sel.len() as u128,
+                PatternPriority::F2 => sel.iter().map(|&x| prio.f(x) as u128).sum(),
+            };
+            // Strict `>` keeps the earliest pattern on ties.
+            if best.as_ref().is_none_or(|(bv, _, _)| value > *bv) {
+                best = Some((value, pi, sel.clone()));
+            }
+            per_pattern.push(sel);
+        }
+        let (_, chosen_idx, chosen_nodes) = best.expect("at least one pattern");
+        if chosen_nodes.is_empty() {
+            // All candidate colors are covered globally (checked above), so
+            // an empty best selected set is impossible: every candidate's
+            // color exists in some pattern, whose selected set would be
+            // non-empty.
+            unreachable!("non-empty candidate list but empty selected set");
+        }
+
+        if config.record_trace {
+            trace_rows.push(TraceRow {
+                cycle: cycles.len() + 1,
+                candidates: candidates.clone(),
+                per_pattern,
+                chosen: chosen_idx,
+            });
+        }
+
+        // Commit the cycle.
+        let committed: std::collections::HashSet<NodeId> = chosen_nodes.iter().copied().collect();
+        candidates.retain(|x| !committed.contains(x));
+        for &u in &chosen_nodes {
+            for &v in adfg.dfg().succs(u) {
+                unscheduled_preds[v.index()] -= 1;
+                if unscheduled_preds[v.index()] == 0 {
+                    candidates.push(v);
+                }
+            }
+        }
+        remaining -= chosen_nodes.len();
+        cycles.push(ScheduledCycle {
+            pattern: *patterns.patterns().get(chosen_idx).expect("chosen pattern"),
+            nodes: chosen_nodes,
+        });
+    }
+
+    Ok(MultiPatternResult {
+        schedule: Schedule::from_cycles(cycles),
+        trace: config.record_trace.then(|| ScheduleTrace::new(trace_rows)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::{Color, DfgBuilder};
+
+    fn c(ch: char) -> Color {
+        Color::from_char(ch).unwrap()
+    }
+
+    /// Independent nodes: three 'a', two 'b'.
+    fn flat_graph() -> AnalyzedDfg {
+        let mut b = DfgBuilder::new();
+        for i in 0..3 {
+            b.add_node(format!("a{i}"), c('a'));
+        }
+        for i in 0..2 {
+            b.add_node(format!("b{i}"), c('b'));
+        }
+        AnalyzedDfg::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn selected_set_respects_color_capacity() {
+        let adfg = flat_graph();
+        let cl: Vec<NodeId> = adfg.dfg().node_ids().collect();
+        let pat = Pattern::parse("aab").unwrap();
+        let sel = selected_set(&adfg, &pat, &cl);
+        assert_eq!(sel.len(), 3);
+        let colors: Vec<char> = sel
+            .iter()
+            .map(|&n| adfg.dfg().color(n).as_char().unwrap())
+            .collect();
+        assert_eq!(colors.iter().filter(|&&x| x == 'a').count(), 2);
+        assert_eq!(colors.iter().filter(|&&x| x == 'b').count(), 1);
+    }
+
+    #[test]
+    fn schedules_flat_graph_in_bag_capacity_steps() {
+        let adfg = flat_graph();
+        let patterns = PatternSet::parse("aab").unwrap();
+        let r = schedule_multi_pattern(&adfg, &patterns, MultiPatternConfig::default()).unwrap();
+        // 3 a's with 2 slots/cycle and 2 b's with 1 slot/cycle → 2 cycles.
+        assert_eq!(r.schedule.len(), 2);
+        r.schedule.validate(&adfg, Some(&patterns)).unwrap();
+    }
+
+    #[test]
+    fn respects_dependencies() {
+        let mut b = DfgBuilder::new();
+        let x = b.add_node("x", c('a'));
+        let y = b.add_node("y", c('a'));
+        let z = b.add_node("z", c('a'));
+        b.add_edge(x, y).unwrap();
+        b.add_edge(y, z).unwrap();
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        let patterns = PatternSet::parse("aaaaa").unwrap();
+        let r = schedule_multi_pattern(&adfg, &patterns, MultiPatternConfig::default()).unwrap();
+        assert_eq!(r.schedule.len(), 3, "a chain cannot be compressed");
+        r.schedule.validate(&adfg, Some(&patterns)).unwrap();
+    }
+
+    #[test]
+    fn uncovered_color_is_an_error() {
+        let adfg = flat_graph();
+        let patterns = PatternSet::parse("aaa").unwrap();
+        let err = schedule_multi_pattern(&adfg, &patterns, MultiPatternConfig::default())
+            .unwrap_err();
+        assert_eq!(err, ScheduleError::UncoveredColor(c('b')));
+    }
+
+    #[test]
+    fn empty_pattern_set_is_an_error() {
+        let adfg = flat_graph();
+        assert!(matches!(
+            schedule_multi_pattern(&adfg, &PatternSet::new(), MultiPatternConfig::default()),
+            Err(ScheduleError::NoPatterns)
+        ));
+    }
+
+    #[test]
+    fn empty_graph_gives_empty_schedule() {
+        let adfg = AnalyzedDfg::new(DfgBuilder::new().build().unwrap());
+        let r = schedule_multi_pattern(
+            &adfg,
+            &PatternSet::new(),
+            MultiPatternConfig {
+                record_trace: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(r.schedule.is_empty());
+        assert!(r.trace.unwrap().rows().is_empty());
+    }
+
+    #[test]
+    fn f1_vs_f2_can_differ() {
+        // Two candidates of different priority compete for one slot; a
+        // second pattern covers the same *count* but lower priority mass.
+        // F2 must prefer covering the high-priority node.
+        let mut b = DfgBuilder::new();
+        // hi: height 2 chain head; lo: isolated (height 1).
+        let hi = b.add_node("hi", c('a'));
+        let tail = b.add_node("tail", c('b'));
+        let _lo = b.add_node("lo", c('c'));
+        b.add_edge(hi, tail).unwrap();
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        // p0 covers lo only; p1 covers hi only. F1 ties (1 node each) and
+        // keeps p0 (earlier); F2 prefers p1 (higher mass).
+        let patterns = PatternSet::parse("cb ab").unwrap();
+
+        let f1 = schedule_multi_pattern(
+            &adfg,
+            &patterns,
+            MultiPatternConfig {
+                pattern_priority: PatternPriority::F1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let f2 = schedule_multi_pattern(
+            &adfg,
+            &patterns,
+            MultiPatternConfig {
+                pattern_priority: PatternPriority::F2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // First committed cycle differs in chosen pattern.
+        assert_eq!(f1.schedule.cycles()[0].pattern, Pattern::parse("cb").unwrap());
+        assert_eq!(f2.schedule.cycles()[0].pattern, Pattern::parse("ab").unwrap());
+        f1.schedule.validate(&adfg, Some(&patterns)).unwrap();
+        f2.schedule.validate(&adfg, Some(&patterns)).unwrap();
+    }
+
+    #[test]
+    fn trace_rows_cover_every_cycle() {
+        let adfg = flat_graph();
+        let patterns = PatternSet::parse("aab").unwrap();
+        let r = schedule_multi_pattern(
+            &adfg,
+            &patterns,
+            MultiPatternConfig {
+                record_trace: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let trace = r.trace.unwrap();
+        assert_eq!(trace.rows().len(), r.schedule.len());
+        for (i, row) in trace.rows().iter().enumerate() {
+            assert_eq!(row.cycle, i + 1);
+            assert_eq!(row.per_pattern.len(), patterns.len());
+            assert!(row.chosen < patterns.len());
+        }
+    }
+
+    #[test]
+    fn tie_break_changes_node_choice() {
+        // Two identical-priority 'a' nodes, capacity 1.
+        let mut b = DfgBuilder::new();
+        let first = b.add_node("first", c('a'));
+        let second = b.add_node("second", c('a'));
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        let patterns = PatternSet::parse("a").unwrap();
+        let hi = schedule_multi_pattern(
+            &adfg,
+            &patterns,
+            MultiPatternConfig {
+                tie_break: TieBreak::HigherId,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let lo = schedule_multi_pattern(
+            &adfg,
+            &patterns,
+            MultiPatternConfig {
+                tie_break: TieBreak::LowerId,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(hi.schedule.cycles()[0].nodes, vec![second]);
+        assert_eq!(lo.schedule.cycles()[0].nodes, vec![first]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Node priority function (paper Eqs. 4–5).
+
+use mps_dfg::{AnalyzedDfg, NodeId};
+
+/// The weights `s` and `t` of the literal priority formula
+/// `f(n) = s·height + t·#direct_successors + #all_successors` (Eq. 4).
+///
+/// Eq. 5 requires
+/// `s ≥ max(t·#direct + #all)` and `t ≥ max(#all)`, which makes the three
+/// factors lexicographic: height dominates, then direct-successor count,
+/// then total-successor count. [`PriorityWeights::derive`] picks the
+/// smallest such weights for a given graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PriorityWeights {
+    /// Weight of the height term.
+    pub s: u64,
+    /// Weight of the direct-successor term.
+    pub t: u64,
+}
+
+impl PriorityWeights {
+    /// Smallest weights satisfying Eq. 5 for this graph.
+    pub fn derive(adfg: &AnalyzedDfg) -> PriorityWeights {
+        let mut max_all = 0u64;
+        let mut max_combined = 0u64;
+        let t_candidates: Vec<(u64, u64)> = adfg
+            .dfg()
+            .node_ids()
+            .map(|n| {
+                let direct = adfg.dfg().succs(n).len() as u64;
+                let all = count_bits(adfg.reach().desc_row(n));
+                (direct, all)
+            })
+            .collect();
+        for &(_, all) in &t_candidates {
+            max_all = max_all.max(all);
+        }
+        let t = max_all + 1;
+        for &(direct, all) in &t_candidates {
+            max_combined = max_combined.max(t * direct + all);
+        }
+        let s = max_combined + 1;
+        PriorityWeights { s, t }
+    }
+}
+
+/// Precomputed node priorities of a graph.
+///
+/// Stores both the literal Eq. 4 value (`f(n)`, used for pattern priority
+/// `F2` which *sums* priorities) and the raw `(height, #direct, #all)`
+/// triple (used for documentation and cross-checks). Comparing literal
+/// values is equivalent to comparing the triples lexicographically — this
+/// is asserted by tests and follows from Eq. 5.
+#[derive(Clone, Debug)]
+pub struct NodePriorities {
+    weights: PriorityWeights,
+    f: Vec<u64>,
+    triple: Vec<(u32, u32, u64)>,
+}
+
+impl NodePriorities {
+    /// Compute priorities for every node.
+    pub fn compute(adfg: &AnalyzedDfg) -> NodePriorities {
+        let weights = PriorityWeights::derive(adfg);
+        let mut f = Vec::with_capacity(adfg.len());
+        let mut triple = Vec::with_capacity(adfg.len());
+        for n in adfg.dfg().node_ids() {
+            let height = adfg.levels().height(n);
+            let direct = adfg.dfg().succs(n).len() as u32;
+            let all = count_bits(adfg.reach().desc_row(n));
+            triple.push((height, direct, all));
+            f.push(weights.s * height as u64 + weights.t * direct as u64 + all);
+        }
+        NodePriorities { weights, f, triple }
+    }
+
+    /// The literal Eq. 4 priority `f(n)`.
+    #[inline]
+    pub fn f(&self, n: NodeId) -> u64 {
+        self.f[n.index()]
+    }
+
+    /// `(height, #direct successors, #all successors)` of `n`.
+    #[inline]
+    pub fn triple(&self, n: NodeId) -> (u32, u32, u64) {
+        self.triple[n.index()]
+    }
+
+    /// The derived weights.
+    pub fn weights(&self) -> PriorityWeights {
+        self.weights
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.f.len()
+    }
+
+    /// `true` for an empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.f.is_empty()
+    }
+}
+
+fn count_bits(row: &[u64]) -> u64 {
+    row.iter().map(|w| w.count_ones() as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::{Color, DfgBuilder};
+
+    fn c(ch: char) -> Color {
+        Color::from_char(ch).unwrap()
+    }
+
+    /// s → {l, r}; l → t; r → t; plus isolated i.
+    fn diamond_plus() -> AnalyzedDfg {
+        let mut b = DfgBuilder::new();
+        let s = b.add_node("s", c('a'));
+        let l = b.add_node("l", c('b'));
+        let r = b.add_node("r", c('b'));
+        let t = b.add_node("t", c('a'));
+        let _i = b.add_node("i", c('c'));
+        b.add_edge(s, l).unwrap();
+        b.add_edge(s, r).unwrap();
+        b.add_edge(l, t).unwrap();
+        b.add_edge(r, t).unwrap();
+        AnalyzedDfg::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn triples_are_correct() {
+        let adfg = diamond_plus();
+        let p = NodePriorities::compute(&adfg);
+        let g = adfg.dfg();
+        assert_eq!(p.triple(g.find("s").unwrap()), (3, 2, 3));
+        assert_eq!(p.triple(g.find("l").unwrap()), (2, 1, 1));
+        assert_eq!(p.triple(g.find("t").unwrap()), (1, 0, 0));
+        assert_eq!(p.triple(g.find("i").unwrap()), (1, 0, 0));
+    }
+
+    #[test]
+    fn weights_satisfy_eq5() {
+        let adfg = diamond_plus();
+        let p = NodePriorities::compute(&adfg);
+        let w = p.weights();
+        for n in adfg.dfg().node_ids() {
+            let (_, direct, all) = p.triple(n);
+            assert!(w.t >= all, "t >= max #all");
+            assert!(w.s >= w.t * direct as u64 + all, "s >= max(t·direct + all)");
+        }
+    }
+
+    #[test]
+    fn literal_f_orders_lexicographically() {
+        let adfg = diamond_plus();
+        let p = NodePriorities::compute(&adfg);
+        for a in adfg.dfg().node_ids() {
+            for b in adfg.dfg().node_ids() {
+                let lex = p.triple(a).cmp(&p.triple(b));
+                let lit = p.f(a).cmp(&p.f(b));
+                assert_eq!(lex, lit, "Eq.5 must make f lexicographic ({a} vs {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn higher_height_always_wins() {
+        let adfg = diamond_plus();
+        let p = NodePriorities::compute(&adfg);
+        let g = adfg.dfg();
+        assert!(p.f(g.find("s").unwrap()) > p.f(g.find("l").unwrap()));
+        assert!(p.f(g.find("l").unwrap()) > p.f(g.find("t").unwrap()));
+        assert_eq!(p.f(g.find("t").unwrap()), p.f(g.find("i").unwrap()));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let adfg = AnalyzedDfg::new(DfgBuilder::new().build().unwrap());
+        let p = NodePriorities::compute(&adfg);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+}

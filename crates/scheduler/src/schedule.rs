@@ -1,0 +1,296 @@
+//! The schedule value type and its validator.
+
+use crate::error::ScheduleError;
+use mps_dfg::{AnalyzedDfg, NodeId};
+use mps_patterns::{Pattern, PatternSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One clock cycle of a schedule: the pattern configured for that cycle and
+/// the nodes issued on its ALUs.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledCycle {
+    /// The pattern the tile is configured with during this cycle.
+    pub pattern: Pattern,
+    /// Nodes issued in this cycle (their color bag fits in `pattern`).
+    pub nodes: Vec<NodeId>,
+}
+
+/// A complete schedule: an assignment of every DFG node to a clock cycle.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    cycles: Vec<ScheduledCycle>,
+}
+
+impl Schedule {
+    /// Create from cycles.
+    pub fn from_cycles(cycles: Vec<ScheduledCycle>) -> Schedule {
+        Schedule { cycles }
+    }
+
+    /// Number of clock cycles — the paper's quality metric.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// `true` if the schedule has no cycles.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// The cycles in time order.
+    pub fn cycles(&self) -> &[ScheduledCycle] {
+        &self.cycles
+    }
+
+    /// Cycle index of each node (`None` for unscheduled nodes), indexed by
+    /// node id. `num_nodes` sizes the table.
+    pub fn node_cycles(&self, num_nodes: usize) -> Vec<Option<usize>> {
+        let mut at = vec![None; num_nodes];
+        for (t, cyc) in self.cycles.iter().enumerate() {
+            for &n in &cyc.nodes {
+                if n.index() < num_nodes {
+                    at[n.index()] = Some(t);
+                }
+            }
+        }
+        at
+    }
+
+    /// Total number of scheduled node slots (counting duplicates, which
+    /// [`Schedule::validate`] would reject).
+    pub fn scheduled_nodes(&self) -> usize {
+        self.cycles.iter().map(|c| c.nodes.len()).sum()
+    }
+
+    /// Fraction of ALU slots doing useful work, given `capacity` ALUs.
+    pub fn utilization(&self, capacity: usize) -> f64 {
+        if self.cycles.is_empty() || capacity == 0 {
+            return 0.0;
+        }
+        self.scheduled_nodes() as f64 / (self.cycles.len() * capacity) as f64
+    }
+
+    /// Check that this schedule is a correct execution of `adfg` under
+    /// `allowed` patterns:
+    ///
+    /// * every node scheduled exactly once,
+    /// * every dependency crosses strictly increasing cycles,
+    /// * every cycle's color bag is a subpattern of its configured pattern,
+    /// * every configured pattern belongs to `allowed` (skipped when
+    ///   `allowed` is `None`, for baselines that synthesize patterns).
+    pub fn validate(
+        &self,
+        adfg: &AnalyzedDfg,
+        allowed: Option<&PatternSet>,
+    ) -> Result<(), ScheduleError> {
+        let n = adfg.len();
+        let at = self.node_cycles(n);
+
+        // Exactly once.
+        let mut seen = vec![false; n];
+        for cyc in &self.cycles {
+            for &node in &cyc.nodes {
+                if node.index() >= n {
+                    return Err(ScheduleError::MissingNode(node));
+                }
+                if seen[node.index()] {
+                    return Err(ScheduleError::DuplicateNode(node));
+                }
+                seen[node.index()] = true;
+            }
+        }
+        if let Some(missing) = (0..n).find(|&i| !seen[i]) {
+            return Err(ScheduleError::MissingNode(NodeId(missing as u32)));
+        }
+
+        // Dependencies strictly increase.
+        for (u, v) in adfg.dfg().edges() {
+            let (cu, cv) = (at[u.index()].unwrap(), at[v.index()].unwrap());
+            if cu >= cv {
+                return Err(ScheduleError::DependencyViolation {
+                    from: u,
+                    to: v,
+                    from_cycle: cu,
+                    to_cycle: cv,
+                });
+            }
+        }
+
+        // Per-cycle pattern fit and membership.
+        for (t, cyc) in self.cycles.iter().enumerate() {
+            let bag = Pattern::from_colors(cyc.nodes.iter().map(|&x| adfg.dfg().color(x)));
+            if !bag.is_subpattern_of(&cyc.pattern) {
+                return Err(ScheduleError::PatternOverflow { cycle: t });
+            }
+            if let Some(set) = allowed {
+                if !set.contains(&cyc.pattern) {
+                    return Err(ScheduleError::UnknownPattern { cycle: t });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "schedule ({} cycles):", self.len())?;
+        for (t, cyc) in self.cycles.iter().enumerate() {
+            write!(f, "  cycle {:>3} [{}]:", t + 1, cyc.pattern)?;
+            for n in &cyc.nodes {
+                write!(f, " {n}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::{Color, DfgBuilder};
+
+    fn two_node_graph() -> AnalyzedDfg {
+        let mut b = DfgBuilder::new();
+        let x = b.add_node("x", Color(0));
+        let y = b.add_node("y", Color(1));
+        b.add_edge(x, y).unwrap();
+        AnalyzedDfg::new(b.build().unwrap())
+    }
+
+    fn pat(s: &str) -> Pattern {
+        Pattern::parse(s).unwrap()
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let adfg = two_node_graph();
+        let sched = Schedule::from_cycles(vec![
+            ScheduledCycle {
+                pattern: pat("ab"),
+                nodes: vec![NodeId(0)],
+            },
+            ScheduledCycle {
+                pattern: pat("ab"),
+                nodes: vec![NodeId(1)],
+            },
+        ]);
+        let allowed = PatternSet::parse("ab").unwrap();
+        sched.validate(&adfg, Some(&allowed)).unwrap();
+        assert_eq!(sched.len(), 2);
+        assert_eq!(sched.scheduled_nodes(), 2);
+        assert!((sched.utilization(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_missing_node() {
+        let adfg = two_node_graph();
+        let sched = Schedule::from_cycles(vec![ScheduledCycle {
+            pattern: pat("a"),
+            nodes: vec![NodeId(0)],
+        }]);
+        assert_eq!(
+            sched.validate(&adfg, None),
+            Err(ScheduleError::MissingNode(NodeId(1)))
+        );
+    }
+
+    #[test]
+    fn detects_duplicate_node() {
+        let adfg = two_node_graph();
+        let sched = Schedule::from_cycles(vec![
+            ScheduledCycle {
+                pattern: pat("ab"),
+                nodes: vec![NodeId(0), NodeId(1)],
+            },
+            ScheduledCycle {
+                pattern: pat("a"),
+                nodes: vec![NodeId(0)],
+            },
+        ]);
+        assert_eq!(
+            sched.validate(&adfg, None),
+            Err(ScheduleError::DuplicateNode(NodeId(0)))
+        );
+    }
+
+    #[test]
+    fn detects_dependency_violation() {
+        let adfg = two_node_graph();
+        let sched = Schedule::from_cycles(vec![ScheduledCycle {
+            pattern: pat("ab"),
+            nodes: vec![NodeId(0), NodeId(1)],
+        }]);
+        assert!(matches!(
+            sched.validate(&adfg, None),
+            Err(ScheduleError::DependencyViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_pattern_overflow() {
+        let adfg = two_node_graph();
+        let sched = Schedule::from_cycles(vec![
+            ScheduledCycle {
+                pattern: pat("a"),
+                nodes: vec![NodeId(0)],
+            },
+            ScheduledCycle {
+                // y has color 'b' but the pattern only provides 'a'.
+                pattern: pat("a"),
+                nodes: vec![NodeId(1)],
+            },
+        ]);
+        assert_eq!(
+            sched.validate(&adfg, None),
+            Err(ScheduleError::PatternOverflow { cycle: 1 })
+        );
+    }
+
+    #[test]
+    fn detects_unknown_pattern() {
+        let adfg = two_node_graph();
+        let sched = Schedule::from_cycles(vec![
+            ScheduledCycle {
+                pattern: pat("ab"),
+                nodes: vec![NodeId(0)],
+            },
+            ScheduledCycle {
+                pattern: pat("b"),
+                nodes: vec![NodeId(1)],
+            },
+        ]);
+        let allowed = PatternSet::parse("ab").unwrap();
+        assert_eq!(
+            sched.validate(&adfg, Some(&allowed)),
+            Err(ScheduleError::UnknownPattern { cycle: 1 })
+        );
+    }
+
+    #[test]
+    fn display_lists_cycles() {
+        let sched = Schedule::from_cycles(vec![ScheduledCycle {
+            pattern: pat("ab"),
+            nodes: vec![NodeId(0)],
+        }]);
+        let s = sched.to_string();
+        assert!(s.contains("cycle   1 [ab]: n0"));
+    }
+
+    #[test]
+    fn node_cycles_table() {
+        let sched = Schedule::from_cycles(vec![
+            ScheduledCycle {
+                pattern: pat("a"),
+                nodes: vec![NodeId(1)],
+            },
+            ScheduledCycle {
+                pattern: pat("a"),
+                nodes: vec![NodeId(0)],
+            },
+        ]);
+        assert_eq!(sched.node_cycles(3), vec![Some(1), Some(0), None]);
+    }
+}

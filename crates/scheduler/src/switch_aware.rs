@@ -1,0 +1,317 @@
+//! Reconfiguration-aware multi-pattern scheduling.
+//!
+//! On the Montium, changing the active pattern between cycles costs a
+//! sequencer configuration load — the tile's energy model charges every
+//! switch, and `mps-montium`'s replay counts them (`config_loads`). The
+//! paper's Fig. 3 scheduler ignores this: it re-ranks patterns from scratch
+//! each cycle, happily alternating between two patterns whose priorities
+//! seesaw.
+//!
+//! [`schedule_switch_aware`] keeps the Fig. 3 loop but biases the per-cycle
+//! pattern choice toward the pattern configured in the previous cycle:
+//! the incumbent is kept whenever its priority is within `keep_factor` of
+//! the best challenger. `keep_factor = 1.0` changes nothing except pure
+//! ties (which already preferred the incumbent only by list order);
+//! lowering it trades cycles for fewer reconfigurations — the
+//! `mps-bench --bin reconfig` sweep quantifies the frontier.
+
+use crate::error::ScheduleError;
+use crate::multi_pattern::{selected_set, MultiPatternConfig, PatternPriority, TieBreak};
+use crate::priority::NodePriorities;
+use crate::schedule::{Schedule, ScheduledCycle};
+use mps_dfg::{AnalyzedDfg, NodeId};
+use mps_patterns::PatternSet;
+
+/// Configuration of [`schedule_switch_aware`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SwitchAwareConfig {
+    /// Base scheduler settings (pattern priority function, tie-break).
+    pub base: MultiPatternConfig,
+    /// Keep the previous cycle's pattern whenever
+    /// `priority(incumbent) ≥ keep_factor · priority(best)`. Must be in
+    /// `(0, 1]`: `1.0` keeps only on exact ties, `0.5` tolerates covering
+    /// half the priority mass to save a reconfiguration.
+    pub keep_factor: f64,
+}
+
+impl Default for SwitchAwareConfig {
+    fn default() -> SwitchAwareConfig {
+        SwitchAwareConfig {
+            base: MultiPatternConfig::default(),
+            keep_factor: 1.0,
+        }
+    }
+}
+
+/// Result of switch-aware scheduling.
+#[derive(Clone, Debug)]
+pub struct SwitchAwareResult {
+    /// The schedule.
+    pub schedule: Schedule,
+    /// Number of pattern changes between consecutive cycles (the first
+    /// cycle's configuration load is not counted — any schedule pays it).
+    pub switches: usize,
+}
+
+/// Count pattern changes between consecutive cycles of any schedule.
+pub fn count_switches(schedule: &Schedule) -> usize {
+    schedule
+        .cycles()
+        .windows(2)
+        .filter(|w| w[0].pattern != w[1].pattern)
+        .count()
+}
+
+/// Fig. 3 scheduling with an incumbent-pattern bias (see module docs).
+pub fn schedule_switch_aware(
+    adfg: &AnalyzedDfg,
+    patterns: &PatternSet,
+    cfg: SwitchAwareConfig,
+) -> Result<SwitchAwareResult, ScheduleError> {
+    assert!(
+        cfg.keep_factor > 0.0 && cfg.keep_factor <= 1.0,
+        "keep_factor must be in (0, 1]"
+    );
+    let n = adfg.len();
+    if n == 0 {
+        return Ok(SwitchAwareResult {
+            schedule: Schedule::default(),
+            switches: 0,
+        });
+    }
+    if patterns.is_empty() {
+        return Err(ScheduleError::NoPatterns);
+    }
+    let provided = patterns.color_set();
+    for id in adfg.dfg().node_ids() {
+        let c = adfg.dfg().color(id);
+        if !provided.contains(c) {
+            return Err(ScheduleError::UncoveredColor(c));
+        }
+    }
+
+    let prio = NodePriorities::compute(adfg);
+    let sort_key = |id: NodeId| -> (u64, u64, u64) {
+        match cfg.base.tie_break {
+            TieBreak::AsapThenHigherId => (
+                prio.f(id),
+                u64::MAX - adfg.levels().asap(id) as u64,
+                id.0 as u64,
+            ),
+            TieBreak::HigherId => (prio.f(id), 0, id.0 as u64),
+            TieBreak::LowerId => (prio.f(id), 0, u64::MAX - id.0 as u64),
+        }
+    };
+
+    let mut unscheduled_preds: Vec<u32> = adfg
+        .dfg()
+        .node_ids()
+        .map(|v| adfg.dfg().preds(v).len() as u32)
+        .collect();
+    let mut candidates: Vec<NodeId> = adfg
+        .dfg()
+        .node_ids()
+        .filter(|&v| unscheduled_preds[v.index()] == 0)
+        .collect();
+
+    let mut cycles: Vec<ScheduledCycle> = Vec::new();
+    let mut remaining = n;
+    let mut incumbent: Option<usize> = None;
+    let mut switches = 0usize;
+
+    while remaining > 0 {
+        candidates.sort_by_key(|&x| std::cmp::Reverse(sort_key(x)));
+
+        let mut best: Option<(u128, usize, Vec<NodeId>)> = None;
+        let mut incumbent_choice: Option<(u128, Vec<NodeId>)> = None;
+        for (pi, pat) in patterns.iter().enumerate() {
+            let sel = selected_set(adfg, pat, &candidates);
+            let value: u128 = match cfg.base.pattern_priority {
+                PatternPriority::F1 => sel.len() as u128,
+                PatternPriority::F2 => sel.iter().map(|&x| prio.f(x) as u128).sum(),
+            };
+            if Some(pi) == incumbent {
+                incumbent_choice = Some((value, sel.clone()));
+            }
+            if best.as_ref().is_none_or(|(bv, _, _)| value > *bv) {
+                best = Some((value, pi, sel));
+            }
+        }
+        let (best_value, best_idx, best_nodes) = best.expect("at least one pattern");
+
+        // Prefer the incumbent when it covers enough priority mass.
+        let (chosen_idx, chosen_nodes) = match (incumbent, incumbent_choice) {
+            (Some(pi), Some((iv, isel)))
+                if !isel.is_empty()
+                    && iv as f64 >= cfg.keep_factor * best_value as f64 =>
+            {
+                (pi, isel)
+            }
+            _ => (best_idx, best_nodes),
+        };
+        debug_assert!(!chosen_nodes.is_empty(), "coverage was checked upfront");
+
+        if incumbent.is_some_and(|pi| pi != chosen_idx) {
+            switches += 1;
+        }
+        incumbent = Some(chosen_idx);
+
+        let committed: std::collections::HashSet<NodeId> = chosen_nodes.iter().copied().collect();
+        candidates.retain(|x| !committed.contains(x));
+        for &u in &chosen_nodes {
+            for &v in adfg.dfg().succs(u) {
+                unscheduled_preds[v.index()] -= 1;
+                if unscheduled_preds[v.index()] == 0 {
+                    candidates.push(v);
+                }
+            }
+        }
+        remaining -= chosen_nodes.len();
+        cycles.push(ScheduledCycle {
+            pattern: *patterns.patterns().get(chosen_idx).expect("chosen pattern"),
+            nodes: chosen_nodes,
+        });
+    }
+
+    let schedule = Schedule::from_cycles(cycles);
+    debug_assert_eq!(switches, count_switches(&schedule));
+    Ok(SwitchAwareResult { schedule, switches })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi_pattern::schedule_multi_pattern;
+    use mps_dfg::{Color, DfgBuilder};
+
+    fn c(ch: char) -> Color {
+        Color::from_char(ch).unwrap()
+    }
+
+    /// Alternating workload: layers of 'a' work and 'b' work that a
+    /// switch-oblivious scheduler serves by ping-ponging patterns.
+    fn ping_pong() -> AnalyzedDfg {
+        let mut b = DfgBuilder::new();
+        let mut prev: Vec<mps_dfg::NodeId> = Vec::new();
+        for layer in 0..6 {
+            let col = if layer % 2 == 0 { c('a') } else { c('b') };
+            let n0 = b.add_node(format!("l{layer}x"), col);
+            let n1 = b.add_node(format!("l{layer}y"), col);
+            for &p in &prev {
+                b.add_edge(p, n0).unwrap();
+                b.add_edge(p, n1).unwrap();
+            }
+            prev = vec![n0, n1];
+        }
+        AnalyzedDfg::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn keep_factor_one_matches_greedy_cycles() {
+        let adfg = ping_pong();
+        let ps = PatternSet::parse("aab abb").unwrap();
+        let aware = schedule_switch_aware(&adfg, &ps, SwitchAwareConfig::default()).unwrap();
+        let greedy = schedule_multi_pattern(&adfg, &ps, MultiPatternConfig::default()).unwrap();
+        // With keep_factor = 1.0 the incumbent only wins exact ties, which
+        // cannot lengthen the schedule relative to "earliest pattern wins".
+        assert_eq!(aware.schedule.len(), greedy.schedule.len());
+        aware.schedule.validate(&adfg, Some(&ps)).unwrap();
+    }
+
+    #[test]
+    fn low_keep_factor_reduces_switches() {
+        let adfg = ping_pong();
+        // Both patterns can execute either color, at different widths, so
+        // the relaxed scheduler has real slack to exploit.
+        let ps = PatternSet::parse("aabb ab").unwrap();
+        let strict = schedule_switch_aware(
+            &adfg,
+            &ps,
+            SwitchAwareConfig {
+                keep_factor: 1.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let relaxed = schedule_switch_aware(
+            &adfg,
+            &ps,
+            SwitchAwareConfig {
+                keep_factor: 0.4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            relaxed.switches <= strict.switches,
+            "relaxed {} > strict {}",
+            relaxed.switches,
+            strict.switches
+        );
+        relaxed.schedule.validate(&adfg, Some(&ps)).unwrap();
+    }
+
+    #[test]
+    fn switch_count_matches_helper() {
+        let adfg = ping_pong();
+        let ps = PatternSet::parse("aa bb").unwrap();
+        let r = schedule_switch_aware(&adfg, &ps, SwitchAwareConfig::default()).unwrap();
+        assert_eq!(r.switches, count_switches(&r.schedule));
+        // Alternating layers with disjoint single-color patterns must
+        // switch every layer boundary.
+        assert!(r.switches >= 5);
+    }
+
+    #[test]
+    fn incumbent_must_make_progress() {
+        // After 'a' work dries up, an incumbent "aaaa" selects nothing and
+        // must be abandoned even at tiny keep factors.
+        let mut b = DfgBuilder::new();
+        b.add_node("a0", c('a'));
+        let b0 = b.add_node("b0", c('b'));
+        let b1 = b.add_node("b1", c('b'));
+        b.add_edge(b0, b1).unwrap();
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        let ps = PatternSet::parse("aaaa b").unwrap();
+        let r = schedule_switch_aware(
+            &adfg,
+            &ps,
+            SwitchAwareConfig {
+                keep_factor: 0.01,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        r.schedule.validate(&adfg, Some(&ps)).unwrap();
+        assert_eq!(r.schedule.scheduled_nodes(), 3);
+    }
+
+    #[test]
+    fn errors_and_empty_graph() {
+        let adfg = ping_pong();
+        assert!(matches!(
+            schedule_switch_aware(&adfg, &PatternSet::new(), SwitchAwareConfig::default()),
+            Err(ScheduleError::NoPatterns)
+        ));
+        let empty = AnalyzedDfg::new(DfgBuilder::new().build().unwrap());
+        let r = schedule_switch_aware(&empty, &PatternSet::new(), SwitchAwareConfig::default())
+            .unwrap();
+        assert!(r.schedule.is_empty());
+        assert_eq!(r.switches, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_factor")]
+    fn rejects_bad_keep_factor() {
+        let adfg = ping_pong();
+        let ps = PatternSet::parse("ab").unwrap();
+        let _ = schedule_switch_aware(
+            &adfg,
+            &ps,
+            SwitchAwareConfig {
+                keep_factor: 0.0,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Per-cycle scheduling trace (the paper's Table 2).
+
+use mps_dfg::{AnalyzedDfg, NodeId};
+use mps_patterns::PatternSet;
+use std::fmt;
+
+/// One row of the scheduling trace: the state of one clock cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRow {
+    /// 1-based clock cycle.
+    pub cycle: usize,
+    /// Candidate list at the start of the cycle, in the priority order the
+    /// scheduler used.
+    pub candidates: Vec<NodeId>,
+    /// The selected set `S(p_i, CL)` of every pattern, in pattern order.
+    pub per_pattern: Vec<Vec<NodeId>>,
+    /// Index of the committed pattern.
+    pub chosen: usize,
+}
+
+/// A full scheduling trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScheduleTrace {
+    rows: Vec<TraceRow>,
+}
+
+impl ScheduleTrace {
+    /// Wrap trace rows.
+    pub fn new(rows: Vec<TraceRow>) -> ScheduleTrace {
+        ScheduleTrace { rows }
+    }
+
+    /// The rows in cycle order.
+    pub fn rows(&self) -> &[TraceRow] {
+        &self.rows
+    }
+
+    /// Render in the paper's Table 2 layout (candidate list, one column
+    /// per pattern, selected pattern), using node names from `adfg`.
+    pub fn render(&self, adfg: &AnalyzedDfg, patterns: &PatternSet) -> String {
+        let name_list = |nodes: &[NodeId]| -> String {
+            let mut names: Vec<&str> = nodes.iter().map(|&n| adfg.dfg().name(n)).collect();
+            names.sort_unstable();
+            names.join(",")
+        };
+        let mut out = String::new();
+        out.push_str(&format!("{:<6} {:<34}", "cycle", "candidate list"));
+        for p in patterns.iter() {
+            out.push_str(&format!(" {:<28}", format!("pattern \"{p}\"")));
+        }
+        out.push_str(" selected\n");
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<6} {:<34}",
+                row.cycle,
+                name_list(&row.candidates)
+            ));
+            for sel in &row.per_pattern {
+                out.push_str(&format!(" {:<28}", name_list(sel)));
+            }
+            out.push_str(&format!(" {}\n", row.chosen + 1));
+        }
+        out
+    }
+}
+
+impl fmt::Display for ScheduleTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.rows {
+            write!(f, "cycle {}: CL=[", row.cycle)?;
+            for (i, n) in row.candidates.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{n}")?;
+            }
+            writeln!(f, "] chose pattern {}", row.chosen + 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi_pattern::{schedule_multi_pattern, MultiPatternConfig};
+    use mps_dfg::{Color, DfgBuilder};
+
+    #[test]
+    fn render_contains_names_and_choices() {
+        let mut b = DfgBuilder::new();
+        b.add_node("x", Color::from_char('a').unwrap());
+        b.add_node("y", Color::from_char('b').unwrap());
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        let patterns = PatternSet::parse("a b").unwrap();
+        let r = schedule_multi_pattern(
+            &adfg,
+            &patterns,
+            MultiPatternConfig {
+                record_trace: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let trace = r.trace.unwrap();
+        let txt = trace.render(&adfg, &patterns);
+        assert!(txt.contains("pattern \"a\""));
+        assert!(txt.contains("x,y") || txt.contains("x") && txt.contains("y"));
+        let disp = trace.to_string();
+        assert!(disp.contains("cycle 1"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Simulated-annealing refinement of a pattern set.
+//!
+//! The paper closes with "in our future work we will go on working on the
+//! priority function to improve the performance" — Eq. 8 is a one-shot
+//! greedy heuristic scored by a *proxy* (antichain coverage), not by the
+//! quantity the evaluation reports (schedule cycles). This module searches
+//! the pattern-set space directly against the real objective: start from
+//! any covering set (by default the Eq. 8 selection), propose local edits,
+//! keep them with the Metropolis rule, and return the best set ever seen.
+//!
+//! Because the incumbent is returned whenever no proposal improves on it,
+//! [`anneal_patterns`] is *never worse* than its starting point — making it
+//! both a practical post-pass and an upper-bound probe for how much cycle
+//! count the Eq. 8 proxy leaves on the table.
+
+use crate::config::SelectConfig;
+use mps_dfg::AnalyzedDfg;
+use mps_patterns::{Pattern, PatternSet, PatternTable};
+use mps_scheduler::{schedule_multi_pattern, MultiPatternConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the annealing search.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AnnealConfig {
+    /// Number of proposals evaluated. Each proposal costs one scheduling
+    /// run, so the default keeps small-graph searches near-instant.
+    pub iterations: usize,
+    /// Initial temperature, in cycles: a move that is `t0` cycles worse is
+    /// accepted with probability `1/e` at the start.
+    pub initial_temp: f64,
+    /// Multiplicative cooling per iteration.
+    pub cooling: f64,
+    /// RNG seed — the whole search is deterministic per seed.
+    pub seed: u64,
+    /// Scheduler settings used to evaluate every candidate set.
+    pub sched: MultiPatternConfig,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> AnnealConfig {
+        AnnealConfig {
+            iterations: 400,
+            initial_temp: 2.0,
+            cooling: 0.99,
+            seed: 0x5eed,
+            sched: MultiPatternConfig::default(),
+        }
+    }
+}
+
+/// Outcome of [`anneal_patterns`].
+#[derive(Clone, Debug)]
+pub struct AnnealResult {
+    /// The best pattern set found.
+    pub patterns: PatternSet,
+    /// Its schedule length.
+    pub cycles: usize,
+    /// Schedule length of the starting set, for improvement reporting.
+    pub initial_cycles: usize,
+    /// Proposals that were accepted (moved the incumbent).
+    pub accepted: usize,
+    /// Proposals whose schedule was evaluated.
+    pub evaluated: usize,
+}
+
+impl AnnealResult {
+    /// Cycles shaved off the starting set.
+    pub fn improvement(&self) -> usize {
+        self.initial_cycles.saturating_sub(self.cycles)
+    }
+}
+
+/// Evaluate a pattern set; uncoverable sets rank as unusable.
+fn cost(adfg: &AnalyzedDfg, set: &PatternSet, sched: MultiPatternConfig) -> usize {
+    match schedule_multi_pattern(adfg, set, sched) {
+        Ok(r) => r.schedule.len(),
+        Err(_) => usize::MAX,
+    }
+}
+
+/// Propose a neighbour of `set`: either swap one member for a random table
+/// candidate, or mutate one slot of one member to a random graph color.
+/// The proposal never leaves a color uncovered (such sets cost `MAX` and
+/// would be rejected anyway, but filtering here saves scheduling runs).
+fn propose(
+    adfg: &AnalyzedDfg,
+    set: &PatternSet,
+    candidates: &[Pattern],
+    rng: &mut StdRng,
+) -> Option<PatternSet> {
+    let members: Vec<Pattern> = set.patterns().to_vec();
+    if members.is_empty() {
+        return None;
+    }
+    let victim = rng.gen_range(0..members.len());
+    let replacement = if !candidates.is_empty() && rng.gen_bool(0.5) {
+        // Swap move.
+        candidates[rng.gen_range(0..candidates.len())]
+    } else {
+        // Slot mutation move.
+        let palette: Vec<mps_dfg::Color> = adfg.dfg().color_set().iter().collect();
+        let mut colors: Vec<mps_dfg::Color> = members[victim].colors().to_vec();
+        if colors.is_empty() {
+            return None;
+        }
+        let slot = rng.gen_range(0..colors.len());
+        colors[slot] = palette[rng.gen_range(0..palette.len())];
+        Pattern::from_colors(colors)
+    };
+    let mut next: Vec<Pattern> = members;
+    next[victim] = replacement;
+    let set = PatternSet::from_patterns(next);
+    set.covers(&adfg.dfg().color_set()).then_some(set)
+}
+
+/// Refine `initial` by simulated annealing against true schedule length.
+///
+/// `candidates` supplies swap targets; passing the patterns of a
+/// [`PatternTable`] keeps proposals inside the §5.1 candidate space, while
+/// an empty slice restricts the search to slot mutations.
+pub fn anneal_patterns(
+    adfg: &AnalyzedDfg,
+    initial: &PatternSet,
+    candidates: &[Pattern],
+    cfg: AnnealConfig,
+) -> AnnealResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let initial_cycles = cost(adfg, initial, cfg.sched);
+    let mut current = initial.clone();
+    let mut current_cost = initial_cycles;
+    let mut best = current.clone();
+    let mut best_cost = current_cost;
+    let mut temp = cfg.initial_temp;
+    let (mut accepted, mut evaluated) = (0usize, 0usize);
+
+    for _ in 0..cfg.iterations {
+        if let Some(next) = propose(adfg, &current, candidates, &mut rng) {
+            evaluated += 1;
+            let next_cost = cost(adfg, &next, cfg.sched);
+            let delta = next_cost as f64 - current_cost as f64;
+            let accept = delta <= 0.0
+                || (next_cost != usize::MAX
+                    && rng.gen_bool((-delta / temp.max(1e-9)).exp().clamp(0.0, 1.0)));
+            if accept {
+                current = next;
+                current_cost = next_cost;
+                accepted += 1;
+                if current_cost < best_cost {
+                    best = current.clone();
+                    best_cost = current_cost;
+                }
+            }
+        }
+        temp *= cfg.cooling;
+    }
+
+    AnnealResult {
+        patterns: best,
+        cycles: best_cost,
+        initial_cycles,
+        accepted,
+        evaluated,
+    }
+}
+
+/// Convenience wrapper: run the paper's Eq. 8 selection, then anneal it
+/// using the §5.1 candidate patterns as the swap pool.
+pub fn select_and_anneal(
+    adfg: &AnalyzedDfg,
+    select: &SelectConfig,
+    anneal: AnnealConfig,
+) -> AnnealResult {
+    let table = PatternTable::build(adfg, select.enumerate_config());
+    let outcome = crate::select::select_from_table(adfg, &table, select);
+    let candidates: Vec<Pattern> = table.iter().map(|s| s.pattern).collect();
+    anneal_patterns(adfg, &outcome.patterns, &candidates, anneal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_workloads::{fig2, fig4};
+
+    fn quick() -> AnnealConfig {
+        AnnealConfig {
+            iterations: 120,
+            seed: 11,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn never_worse_than_initial() {
+        let adfg = AnalyzedDfg::new(fig2());
+        for pdef in [1usize, 2, 3] {
+            let r = select_and_anneal(&adfg, &SelectConfig {
+                pdef,
+                span_limit: Some(1),
+                parallel: false,
+                ..Default::default()
+            }, quick());
+            assert!(
+                r.cycles <= r.initial_cycles,
+                "pdef {pdef}: annealed {} > initial {}",
+                r.cycles,
+                r.initial_cycles
+            );
+            assert!(r.patterns.covers(&adfg.dfg().color_set()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let adfg = AnalyzedDfg::new(fig2());
+        let cfg = SelectConfig {
+            pdef: 2,
+            span_limit: Some(1),
+            parallel: false,
+            ..Default::default()
+        };
+        let a = select_and_anneal(&adfg, &cfg, quick());
+        let b = select_and_anneal(&adfg, &cfg, quick());
+        assert_eq!(a.patterns, b.patterns);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn improves_a_bad_starting_set() {
+        // Start from a deliberately poor covering set for the Fig. 4 graph
+        // (single pattern {ab} per cycle ⇒ 5 cycles); annealing with the
+        // table candidates should find something at least as good.
+        let adfg = AnalyzedDfg::new(fig4());
+        let bad = PatternSet::parse("ab ab").unwrap(); // dup collapses to 1
+        let table = PatternTable::build(
+            &adfg,
+            mps_patterns::EnumerateConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        let candidates: Vec<Pattern> = table.iter().map(|s| s.pattern).collect();
+        let r = anneal_patterns(&adfg, &bad, &candidates, quick());
+        assert!(r.cycles <= r.initial_cycles);
+        assert!(r.patterns.covers(&adfg.dfg().color_set()));
+    }
+
+    #[test]
+    fn empty_candidate_pool_still_works() {
+        let adfg = AnalyzedDfg::new(fig4());
+        let start = PatternSet::parse("ab").unwrap();
+        let r = anneal_patterns(&adfg, &start, &[], quick());
+        assert!(r.cycles <= r.initial_cycles);
+        assert!(r.patterns.covers(&adfg.dfg().color_set()));
+    }
+
+    #[test]
+    fn reports_accounting() {
+        let adfg = AnalyzedDfg::new(fig4());
+        let start = PatternSet::parse("ab").unwrap();
+        let r = anneal_patterns(&adfg, &start, &[], quick());
+        assert!(r.evaluated <= 120);
+        assert!(r.accepted <= r.evaluated);
+        assert_eq!(r.improvement(), r.initial_cycles - r.cycles);
+    }
+}

@@ -1,0 +1,110 @@
+//! Frequency-greedy baseline selector.
+
+use crate::config::SelectConfig;
+use mps_dfg::AnalyzedDfg;
+use mps_patterns::{Pattern, PatternSet, PatternTable};
+
+/// Greedy max-count selection: each round picks the surviving pattern with
+/// the most antichains (ties: larger pattern, then canonical order), with
+/// the same subpattern deletion and color-coverage backstop as the real
+/// algorithm but **no balancing and no size bonus**.
+///
+/// This is the natural "just take the most frequent patterns" strawman the
+/// paper's Eq. 8 improves on; the ablation benches quantify the gap.
+pub fn coverage_greedy(adfg: &AnalyzedDfg, cfg: &SelectConfig) -> PatternSet {
+    let table = PatternTable::build(adfg, cfg.enumerate_config());
+    let stats: Vec<&mps_patterns::PatternStats> = table.iter().collect();
+    let mut alive = vec![true; stats.len()];
+    let complete = adfg.dfg().color_set();
+    let mut selected = PatternSet::new();
+
+    for round in 0..cfg.pdef {
+        let remaining_after = cfg.pdef - round - 1;
+        let selected_colors = selected.color_set();
+        let mut best: Option<(u64, usize, usize)> = None; // (count, size, idx)
+        for (i, s) in stats.iter().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            // Keep the coverage backstop, otherwise the baseline frequently
+            // produces unschedulable sets and the comparison is vacuous.
+            let new_colors = s.pattern.color_set().difference(&selected_colors).len() as i64;
+            let uncovered =
+                (complete.len() - complete.intersection(&selected_colors).len()) as i64;
+            if new_colors < uncovered - (cfg.capacity as i64) * (remaining_after as i64) {
+                continue;
+            }
+            let key = (s.antichain_count, s.pattern.size(), i);
+            let better = match best {
+                None => true,
+                Some((bc, bs, bi)) => {
+                    (key.0, key.1) > (bc, bs) || ((key.0, key.1) == (bc, bs) && i < bi)
+                }
+            };
+            if better {
+                best = Some(key);
+            }
+        }
+        match best {
+            Some((_, _, idx)) => {
+                let chosen = stats[idx].pattern;
+                selected.insert(chosen);
+                for (i, s) in stats.iter().enumerate() {
+                    if alive[i] && s.pattern.is_subpattern_of(&chosen) {
+                        alive[i] = false;
+                    }
+                }
+            }
+            None => {
+                let uncovered: Vec<mps_dfg::Color> = complete
+                    .difference(&selected.color_set())
+                    .iter()
+                    .take(cfg.capacity)
+                    .collect();
+                if uncovered.is_empty() {
+                    break;
+                }
+                selected.insert(Pattern::from_colors(uncovered));
+            }
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_workloads::{fig2, fig4};
+
+    fn cfg(pdef: usize) -> SelectConfig {
+        SelectConfig {
+            pdef,
+            parallel: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn covers_all_colors() {
+        for pdef in 1..=4 {
+            let adfg = AnalyzedDfg::new(fig2());
+            let set = coverage_greedy(&adfg, &cfg(pdef));
+            assert!(set.covers(&adfg.dfg().color_set()), "pdef={pdef}");
+        }
+    }
+
+    #[test]
+    fn fig4_greedy_prefers_raw_count() {
+        let adfg = AnalyzedDfg::new(fig4());
+        // Counts: {a}=3, {b}=2, {aa}=2, {bb}=1. Greedy takes {a} first —
+        // exactly the myopia Eq. 8's size bonus avoids.
+        let set = coverage_greedy(&adfg, &cfg(2));
+        assert_eq!(set.patterns()[0].to_string(), "a");
+    }
+
+    #[test]
+    fn deterministic() {
+        let adfg = AnalyzedDfg::new(fig2());
+        assert_eq!(coverage_greedy(&adfg, &cfg(3)), coverage_greedy(&adfg, &cfg(3)));
+    }
+}

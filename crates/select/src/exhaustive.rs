@@ -1,0 +1,147 @@
+//! Exact pattern selection by exhaustive search (tiny instances only).
+
+use crate::config::SelectConfig;
+use mps_dfg::AnalyzedDfg;
+use mps_patterns::{Pattern, PatternSet, PatternTable};
+use mps_scheduler::{schedule_multi_pattern, MultiPatternConfig};
+
+/// Result of the exhaustive search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExhaustiveResult {
+    /// The best pattern set found.
+    pub patterns: PatternSet,
+    /// Its schedule length in cycles.
+    pub cycles: usize,
+    /// Number of candidate subsets evaluated.
+    pub evaluated: usize,
+}
+
+/// Try **every** subset of ≤ `cfg.pdef` candidate patterns (completed with
+/// a fabricated coverage pattern when colors are missing), schedule each,
+/// and return the best. Exponential — callers must keep the candidate pool
+/// tiny; the function refuses more than `max_candidates` candidates.
+///
+/// Used to measure the §5.2 heuristic's optimality gap on small graphs.
+pub fn exhaustive_best(
+    adfg: &AnalyzedDfg,
+    cfg: &SelectConfig,
+    sched: MultiPatternConfig,
+    max_candidates: usize,
+) -> Option<ExhaustiveResult> {
+    let table = PatternTable::build(adfg, cfg.enumerate_config());
+    let candidates: Vec<Pattern> = table.iter().map(|s| s.pattern).collect();
+    if candidates.len() > max_candidates {
+        return None;
+    }
+    let complete = adfg.dfg().color_set();
+
+    let mut best: Option<ExhaustiveResult> = None;
+    let mut evaluated = 0usize;
+    // Iterate subsets of size 0..=pdef by index masks (pool is tiny).
+    let pool = candidates.len();
+    let mut chosen_idx: Vec<usize> = Vec::new();
+    subsets(pool, cfg.pdef, &mut chosen_idx, &mut |idxs| {
+        let mut set = PatternSet::from_patterns(idxs.iter().map(|&i| candidates[i]));
+        // Complete coverage with a fabricated pattern if needed and if a
+        // slot remains.
+        if !set.covers(&complete) {
+            if set.len() >= cfg.pdef {
+                return;
+            }
+            let missing: Vec<mps_dfg::Color> = complete
+                .difference(&set.color_set())
+                .iter()
+                .take(cfg.capacity)
+                .collect();
+            if missing.len() < complete.difference(&set.color_set()).len() {
+                return; // cannot cover within capacity
+            }
+            set.insert(Pattern::from_colors(missing));
+        }
+        if set.is_empty() {
+            return;
+        }
+        evaluated += 1;
+        if let Ok(r) = schedule_multi_pattern(adfg, &set, sched) {
+            let cycles = r.schedule.len();
+            let better = best.as_ref().is_none_or(|b| cycles < b.cycles);
+            if better {
+                best = Some(ExhaustiveResult {
+                    patterns: set,
+                    cycles,
+                    evaluated: 0,
+                });
+            }
+        }
+    });
+    best.map(|mut b| {
+        b.evaluated = evaluated;
+        b
+    })
+}
+
+/// Enumerate all subsets of `{0..pool}` with at most `max` elements.
+fn subsets(pool: usize, max: usize, prefix: &mut Vec<usize>, visit: &mut impl FnMut(&[usize])) {
+    visit(prefix);
+    if prefix.len() == max {
+        return;
+    }
+    let start = prefix.last().map_or(0, |&l| l + 1);
+    for i in start..pool {
+        prefix.push(i);
+        subsets(pool, max, prefix, visit);
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::select_patterns;
+    use mps_workloads::fig4;
+
+    fn cfg(pdef: usize) -> SelectConfig {
+        SelectConfig {
+            pdef,
+            parallel: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn finds_optimum_on_fig4() {
+        let adfg = AnalyzedDfg::new(fig4());
+        let best = exhaustive_best(&adfg, &cfg(2), Default::default(), 32).unwrap();
+        assert!(best.evaluated > 1);
+        // The heuristic should match the optimum on this toy graph.
+        let heur = select_patterns(&adfg, &cfg(2));
+        let heur_cycles = schedule_multi_pattern(&adfg, &heur.patterns, Default::default())
+            .unwrap()
+            .schedule
+            .len();
+        assert_eq!(best.cycles, heur_cycles, "heuristic is optimal on fig4");
+    }
+
+    #[test]
+    fn refuses_large_pools() {
+        let adfg = AnalyzedDfg::new(fig4());
+        assert!(exhaustive_best(&adfg, &cfg(2), Default::default(), 1).is_none());
+    }
+
+    #[test]
+    fn pdef1_still_covers_by_fabrication() {
+        let adfg = AnalyzedDfg::new(fig4());
+        let best = exhaustive_best(&adfg, &cfg(1), Default::default(), 32).unwrap();
+        assert!(best
+            .patterns
+            .covers(&adfg.dfg().color_set()));
+    }
+
+    #[test]
+    fn subsets_counts() {
+        let mut count = 0usize;
+        subsets(4, 2, &mut Vec::new(), &mut |_| count += 1);
+        // {} + 4 singletons + 6 pairs.
+        assert_eq!(count, 11);
+    }
+}

@@ -1,0 +1,198 @@
+//! Pattern-merging post-pass — an extension beyond the paper.
+//!
+//! The §5.2 algorithm only ever considers patterns *realized by a single
+//! antichain*. That misses pattern sets whose value comes from serving
+//! *different* cycles with one configuration: e.g. a graph whose adds and
+//! subs are never parallelizable still profits from one `{a,a,b,b}`
+//! configuration used by an all-add cycle here and an all-sub cycle there
+//! (no `aabb` antichain exists, so Eq. 8 can never propose it).
+//!
+//! [`merge_pass`] repairs this after selection: while two selected
+//! patterns fit together within the tile capacity `C`, try replacing them
+//! by their bag-union, freeing a configuration slot for the next-best
+//! candidate (or simply shrinking the config store). A merge is kept only
+//! if the re-scheduled cycle count does not regress — so the pass is
+//! monotone by construction.
+
+use crate::config::SelectConfig;
+use mps_dfg::AnalyzedDfg;
+use mps_patterns::{Pattern, PatternSet};
+use mps_scheduler::{schedule_multi_pattern, MultiPatternConfig};
+
+/// Outcome of the merge pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// The (possibly improved) pattern set.
+    pub patterns: PatternSet,
+    /// Cycles with the final set.
+    pub cycles: usize,
+    /// Number of accepted merges.
+    pub merges: usize,
+}
+
+/// Bag-union of two patterns (concatenation of their color bags).
+fn union(a: &Pattern, b: &Pattern) -> Pattern {
+    Pattern::from_colors(a.colors().iter().chain(b.colors().iter()).copied())
+}
+
+/// Greedy merge pass over a selected pattern set.
+///
+/// Repeatedly evaluates every pair whose union fits in `cfg.capacity`,
+/// accepts the pair whose merged set yields the fewest cycles (strictly
+/// fewer or equal with a smaller store), and stops when no pair helps.
+/// The scheduler runs with `sched` for every evaluation, so keep the
+/// graph small or the pattern count moderate.
+pub fn merge_pass(
+    adfg: &AnalyzedDfg,
+    selected: &PatternSet,
+    cfg: &SelectConfig,
+    sched: MultiPatternConfig,
+) -> MergeOutcome {
+    let baseline = schedule_multi_pattern(adfg, selected, sched)
+        .map(|r| r.schedule.len())
+        .unwrap_or(usize::MAX);
+    let mut current: Vec<Pattern> = selected.iter().copied().collect();
+    let mut cycles = baseline;
+    let mut merges = 0usize;
+
+    loop {
+        let mut best: Option<(usize, usize, usize, Pattern)> = None; // (cycles, i, j, merged)
+        for i in 0..current.len() {
+            for j in i + 1..current.len() {
+                let merged = union(&current[i], &current[j]);
+                if merged.size() > cfg.capacity {
+                    continue;
+                }
+                let mut candidate: Vec<Pattern> = Vec::with_capacity(current.len() - 1);
+                for (k, p) in current.iter().enumerate() {
+                    if k != i && k != j {
+                        candidate.push(*p);
+                    }
+                }
+                candidate.push(merged);
+                let set = PatternSet::from_patterns(candidate);
+                if let Ok(r) = schedule_multi_pattern(adfg, &set, sched) {
+                    let c = r.schedule.len();
+                    // Merging shrinks the config store, so equal cycles
+                    // still count as an improvement.
+                    if c <= cycles && best.as_ref().is_none_or(|(bc, ..)| c < *bc) {
+                        best = Some((c, i, j, merged));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((c, i, j, merged)) => {
+                // Remove j first (j > i) to keep indices valid.
+                current.remove(j);
+                current.remove(i);
+                current.push(merged);
+                cycles = c;
+                merges += 1;
+            }
+            None => break,
+        }
+    }
+
+    MergeOutcome {
+        patterns: PatternSet::from_patterns(current),
+        cycles,
+        merges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::select_patterns;
+    use mps_dfg::{Color, DfgBuilder};
+
+    fn c(ch: char) -> Color {
+        Color::from_char(ch).unwrap()
+    }
+
+    /// Adds strictly before subs: no mixed antichain exists, so plain
+    /// selection can never propose {aabb}-style patterns — the merge pass
+    /// must find them.
+    fn phased_graph() -> AnalyzedDfg {
+        let mut b = DfgBuilder::new();
+        let adds: Vec<_> = (0..4).map(|i| b.add_node(format!("a{i}"), c('a'))).collect();
+        let subs: Vec<_> = (0..4).map(|i| b.add_node(format!("b{i}"), c('b'))).collect();
+        for &u in &adds {
+            for &v in &subs {
+                b.add_edge(u, v).unwrap();
+            }
+        }
+        AnalyzedDfg::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn merge_never_regresses() {
+        for name in ["fig2", "dft5", "dct8"] {
+            let adfg = AnalyzedDfg::new(mps_workloads::by_name(name).unwrap());
+            let cfg = SelectConfig {
+                pdef: 3,
+                span_limit: Some(1),
+                parallel: false,
+                ..Default::default()
+            };
+            let out = select_patterns(&adfg, &cfg);
+            let before = schedule_multi_pattern(&adfg, &out.patterns, Default::default())
+                .unwrap()
+                .schedule
+                .len();
+            let merged = merge_pass(&adfg, &out.patterns, &cfg, Default::default());
+            assert!(merged.cycles <= before, "{name}");
+            assert!(merged.patterns.covers(&adfg.dfg().color_set()), "{name}");
+        }
+    }
+
+    #[test]
+    fn merge_finds_cross_phase_pattern() {
+        let adfg = phased_graph();
+        let cfg = SelectConfig {
+            pdef: 2,
+            parallel: false,
+            ..Default::default()
+        };
+        let out = select_patterns(&adfg, &cfg);
+        let merged = merge_pass(&adfg, &out.patterns, &cfg, Default::default());
+        // Selection alone: candidates are all-a or all-b patterns (plus a
+        // possible fabrication); the merged set must do at least as well
+        // and usually collapses to a single wide mixed pattern.
+        let before = schedule_multi_pattern(&adfg, &out.patterns, Default::default())
+            .unwrap()
+            .schedule
+            .len();
+        assert!(merged.cycles <= before);
+        if merged.merges > 0 {
+            assert!(merged.patterns.len() < out.patterns.len());
+        }
+    }
+
+    #[test]
+    fn merge_respects_capacity() {
+        let adfg = phased_graph();
+        let cfg = SelectConfig {
+            pdef: 2,
+            capacity: 5,
+            parallel: false,
+            ..Default::default()
+        };
+        let out = select_patterns(&adfg, &cfg);
+        let merged = merge_pass(&adfg, &out.patterns, &cfg, Default::default());
+        assert!(merged.patterns.iter().all(|p| p.size() <= 5));
+    }
+
+    #[test]
+    fn empty_selection_is_noop() {
+        let adfg = AnalyzedDfg::new(DfgBuilder::new().build().unwrap());
+        let merged = merge_pass(
+            &adfg,
+            &PatternSet::new(),
+            &SelectConfig::default(),
+            Default::default(),
+        );
+        assert_eq!(merged.merges, 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Joint pattern selection across several kernels.
+//!
+//! The Montium's 32-configuration budget is per *application*; real
+//! applications bundle kernels (FFT + FIR + CORDIC in one radio). Running
+//! the paper's §5.2 selection per kernel and unioning the picks both
+//! overspends the store (duplicates, dominated subpatterns) and
+//! underserves each kernel (the multi-kernel experiment shows patterns
+//! chosen for one kernel often *improve* another — Eq. 8's greedy never
+//! proposed them).
+//!
+//! [`select_joint`] runs the Fig. 7 loop once over the **combined**
+//! candidate pool: each pattern's priority is the *sum* of its Eq. 8
+//! priorities in every kernel (zero where the pattern has no antichains),
+//! the balancing denominators are tracked per kernel, and the color
+//! number condition is enforced against the union color set so every
+//! kernel stays schedulable.
+
+use crate::config::SelectConfig;
+use crate::priority::eq8_priority;
+use mps_dfg::AnalyzedDfg;
+use mps_patterns::{Pattern, PatternSet, PatternStats, PatternTable};
+
+/// Result of joint selection.
+#[derive(Clone, Debug)]
+pub struct JointOutcome {
+    /// The selected patterns, in pick order.
+    pub patterns: PatternSet,
+    /// `true` for picks that were fabricated from uncovered colors.
+    pub fabricated: Vec<bool>,
+}
+
+/// Select one shared pattern set for several kernels (see module docs).
+///
+/// `cfg.pdef` is the *shared* budget. Panics on an empty kernel list;
+/// empty graphs contribute nothing and are tolerated.
+pub fn select_joint(kernels: &[&AnalyzedDfg], cfg: &SelectConfig) -> JointOutcome {
+    assert!(!kernels.is_empty(), "need at least one kernel");
+    let tables: Vec<PatternTable> = kernels
+        .iter()
+        .map(|k| PatternTable::build(k, cfg.enumerate_config()))
+        .collect();
+
+    // Combined candidate pool, with per-kernel stats where they exist.
+    let mut pool: Vec<Pattern> = Vec::new();
+    for t in &tables {
+        for s in t.iter() {
+            if !pool.contains(&s.pattern) {
+                pool.push(s.pattern);
+            }
+        }
+    }
+    pool.sort();
+    let per_kernel: Vec<Vec<Option<&PatternStats>>> = tables
+        .iter()
+        .map(|t| pool.iter().map(|p| t.get(p)).collect())
+        .collect();
+
+    // Union color set (the joint `L`).
+    let mut complete = mps_dfg::ColorSet::new();
+    for k in kernels {
+        complete = complete.union(&k.dfg().color_set());
+    }
+
+    let mut selected_colors = mps_dfg::ColorSet::new();
+    let mut selected = PatternSet::new();
+    let mut fabricated = Vec::new();
+    // Per-kernel balancing denominators (Σ_{Ps} h over that kernel).
+    let mut selected_freq: Vec<Vec<u64>> =
+        kernels.iter().map(|k| vec![0u64; k.len()]).collect();
+    let mut alive = vec![true; pool.len()];
+
+    for _round in 0..cfg.pdef {
+        let remaining_after_this = cfg.pdef - selected.len() - 1;
+
+        let mut best: Option<(f64, usize)> = None;
+        for (i, p) in pool.iter().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            if cfg.color_condition {
+                let new_colors = p.color_set().difference(&selected_colors).len() as i64;
+                let uncovered =
+                    (complete.len() - complete.intersection(&selected_colors).len()) as i64;
+                let rhs = uncovered - (cfg.capacity as i64) * (remaining_after_this as i64);
+                if new_colors < rhs {
+                    continue;
+                }
+            }
+            // Joint priority: the α·|p̄|² size bonus is charged once (one
+            // store slot), the antichain mass sums over kernels.
+            let mut f = 0.0f64;
+            let mut any = false;
+            for (ki, stats) in per_kernel.iter().enumerate() {
+                if let Some(s) = stats[i] {
+                    let with_bonus = eq8_priority(s, &selected_freq[ki], cfg);
+                    let bonus = if cfg.size_bonus {
+                        cfg.alpha * (s.pattern.size() as f64) * (s.pattern.size() as f64)
+                    } else {
+                        0.0
+                    };
+                    f += with_bonus - if any { bonus } else { 0.0 };
+                    any = true;
+                }
+            }
+            if !any || f <= 0.0 {
+                continue;
+            }
+            if best.is_none_or(|(bf, _)| f > bf) {
+                best = Some((f, i));
+            }
+        }
+
+        match best {
+            Some((_, idx)) => {
+                let chosen = pool[idx];
+                for (ki, stats) in per_kernel.iter().enumerate() {
+                    if let Some(s) = stats[idx] {
+                        for (dst, &h) in selected_freq[ki].iter_mut().zip(s.node_freq.iter()) {
+                            *dst += h;
+                        }
+                    }
+                }
+                selected_colors = selected_colors.union(&chosen.color_set());
+                selected.insert(chosen);
+                fabricated.push(false);
+                for (i, p) in pool.iter().enumerate() {
+                    if alive[i] && p.is_subpattern_of(&chosen) {
+                        alive[i] = false;
+                    }
+                }
+            }
+            None => {
+                let slots: Vec<mps_dfg::Color> = complete
+                    .difference(&selected_colors)
+                    .iter()
+                    .take(cfg.capacity)
+                    .collect();
+                if slots.is_empty() {
+                    break;
+                }
+                let fab = Pattern::from_colors(slots);
+                selected_colors = selected_colors.union(&fab.color_set());
+                selected.insert(fab);
+                fabricated.push(true);
+                for (i, p) in pool.iter().enumerate() {
+                    if alive[i] && p.is_subpattern_of(&fab) {
+                        alive[i] = false;
+                    }
+                }
+            }
+        }
+    }
+
+    JointOutcome {
+        patterns: selected,
+        fabricated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_scheduler::{schedule_multi_pattern, MultiPatternConfig};
+    use mps_workloads::{cordic, fig2, fig4, lattice};
+
+    fn cfg(pdef: usize) -> SelectConfig {
+        SelectConfig {
+            pdef,
+            span_limit: Some(1),
+            parallel: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_kernel_matches_per_kernel_selection() {
+        let adfg = AnalyzedDfg::new(fig4());
+        let joint = select_joint(&[&adfg], &cfg(2));
+        let solo = crate::select::select_patterns(&adfg, &cfg(2));
+        assert_eq!(joint.patterns, solo.patterns);
+    }
+
+    #[test]
+    fn joint_set_schedules_every_kernel() {
+        let a = AnalyzedDfg::new(fig2());
+        let b = AnalyzedDfg::new(lattice(4));
+        let c = AnalyzedDfg::new(cordic(4));
+        let joint = select_joint(&[&a, &b, &c], &cfg(6));
+        for (name, k) in [("fig2", &a), ("lattice", &b), ("cordic", &c)] {
+            let r = schedule_multi_pattern(k, &joint.patterns, MultiPatternConfig::default())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            r.schedule.validate(k, Some(&joint.patterns)).unwrap();
+        }
+    }
+
+    #[test]
+    fn union_colors_force_fabrication_when_budget_tight() {
+        // fig2 uses a,b,c; cordic uses a,b,f. One shared pattern must
+        // carry 4 colors — only fabrication provides it.
+        let a = AnalyzedDfg::new(fig2());
+        let b = AnalyzedDfg::new(cordic(3));
+        let joint = select_joint(&[&a, &b], &cfg(1));
+        assert_eq!(joint.patterns.len(), 1);
+        assert!(joint.fabricated[0]);
+        let mut union = a.dfg().color_set();
+        union = union.union(&b.dfg().color_set());
+        assert!(joint.patterns.covers(&union));
+    }
+
+    #[test]
+    fn budget_is_shared_not_per_kernel() {
+        let a = AnalyzedDfg::new(fig2());
+        let b = AnalyzedDfg::new(lattice(4));
+        let joint = select_joint(&[&a, &b], &cfg(3));
+        assert!(joint.patterns.len() <= 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = AnalyzedDfg::new(fig2());
+        let b = AnalyzedDfg::new(lattice(4));
+        let x = select_joint(&[&a, &b], &cfg(4));
+        let y = select_joint(&[&a, &b], &cfg(4));
+        assert_eq!(x.patterns, y.patterns);
+    }
+
+    #[test]
+    fn joint_never_starves_a_small_kernel() {
+        // fig4 (5 nodes) next to fig2 (24 nodes): the balancing
+        // denominator is per kernel, so fig4's colors still get served.
+        let big = AnalyzedDfg::new(fig2());
+        let small = AnalyzedDfg::new(fig4());
+        let joint = select_joint(&[&big, &small], &cfg(4));
+        let r = schedule_multi_pattern(&small, &joint.patterns, MultiPatternConfig::default())
+            .expect("small kernel must stay schedulable");
+        r.schedule.validate(&small, Some(&joint.patterns)).unwrap();
+    }
+}

@@ -1,0 +1,206 @@
+//! Node-coverage greedy selection, a set-cover-flavoured baseline.
+//!
+//! Eq. 8 maximizes *antichain mass* with a balancing denominator; a simpler
+//! instinct is classic greedy set cover over **nodes**: each round, pick the
+//! pattern whose antichains touch the most nodes that no selected pattern
+//! touches yet. Once every node is touched the tie-breaks take over (total
+//! antichain count, then canonical order). The paper's color number
+//! condition (Eq. 9) and the Fig. 7 fabrication fallback are kept, so the
+//! result is always schedulable.
+//!
+//! This baseline separates two effects that Eq. 8 mixes: *where* patterns
+//! apply (node coverage) and *how often* they apply (antichain counts). The
+//! cross-selector bench (`mps-bench --bin selectors`) quantifies what the
+//! mixing buys.
+
+use crate::config::SelectConfig;
+use crate::select::SelectionOutcome;
+use crate::select::RoundInfo;
+use mps_dfg::AnalyzedDfg;
+use mps_patterns::{Pattern, PatternSet, PatternTable};
+
+/// Greedy node-coverage selection against a prebuilt pattern table.
+pub fn node_cover_from_table(
+    adfg: &AnalyzedDfg,
+    table: &PatternTable,
+    cfg: &SelectConfig,
+) -> SelectionOutcome {
+    let num_nodes = adfg.len();
+    let complete_colors = adfg.dfg().color_set();
+    let mut selected_colors = mps_dfg::ColorSet::new();
+    let mut selected = PatternSet::new();
+    let mut covered = vec![false; num_nodes]; // nodes touched by Ps
+    let mut alive: Vec<bool> = vec![true; table.len()];
+    let stats: Vec<&mps_patterns::PatternStats> = table.iter().collect();
+    let mut rounds = Vec::with_capacity(cfg.pdef);
+
+    for _round in 0..cfg.pdef {
+        let remaining_after_this = cfg.pdef - selected.len() - 1;
+        let alive_count = alive.iter().filter(|&&a| a).count();
+
+        let mut best: Option<((u64, u64), usize)> = None;
+        for (i, s) in stats.iter().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            if cfg.color_condition
+                && !color_condition_holds(
+                    &s.pattern,
+                    &complete_colors,
+                    &selected_colors,
+                    cfg.capacity,
+                    remaining_after_this,
+                )
+            {
+                continue;
+            }
+            let new_nodes = s
+                .node_freq
+                .iter()
+                .zip(covered.iter())
+                .filter(|(&h, &c)| h > 0 && !c)
+                .count() as u64;
+            let key = (new_nodes, s.antichain_count);
+            if best.is_none_or(|(bk, _)| key > bk) {
+                best = Some((key, i));
+            }
+        }
+
+        match best {
+            Some(((new_nodes, _), idx)) => {
+                let chosen = stats[idx].pattern;
+                for (c, &h) in covered.iter_mut().zip(stats[idx].node_freq.iter()) {
+                    *c |= h > 0;
+                }
+                selected_colors = selected_colors.union(&chosen.color_set());
+                selected.insert(chosen);
+                for (i, s) in stats.iter().enumerate() {
+                    if alive[i] && s.pattern.is_subpattern_of(&chosen) {
+                        alive[i] = false;
+                    }
+                }
+                rounds.push(RoundInfo {
+                    chosen,
+                    priority: new_nodes as f64,
+                    fabricated: false,
+                    candidates_alive: alive_count,
+                });
+            }
+            None => {
+                let slots: Vec<mps_dfg::Color> = complete_colors
+                    .difference(&selected_colors)
+                    .iter()
+                    .take(cfg.capacity)
+                    .collect();
+                if slots.is_empty() {
+                    break;
+                }
+                let fab = Pattern::from_colors(slots);
+                selected_colors = selected_colors.union(&fab.color_set());
+                selected.insert(fab);
+                for (i, s) in stats.iter().enumerate() {
+                    if alive[i] && s.pattern.is_subpattern_of(&fab) {
+                        alive[i] = false;
+                    }
+                }
+                rounds.push(RoundInfo {
+                    chosen: fab,
+                    priority: 0.0,
+                    fabricated: true,
+                    candidates_alive: alive_count,
+                });
+            }
+        }
+    }
+
+    SelectionOutcome {
+        patterns: selected,
+        rounds,
+    }
+}
+
+/// Eq. 9 — same rule the main selector enforces.
+fn color_condition_holds(
+    pattern: &Pattern,
+    complete: &mps_dfg::ColorSet,
+    selected: &mps_dfg::ColorSet,
+    capacity: usize,
+    remaining_after_this: usize,
+) -> bool {
+    let new_colors = pattern.color_set().difference(selected).len() as i64;
+    let uncovered = (complete.len() - complete.intersection(selected).len()) as i64;
+    let rhs = uncovered - (capacity as i64) * (remaining_after_this as i64);
+    new_colors >= rhs
+}
+
+/// Enumerate, classify, and select by greedy node coverage.
+pub fn node_cover_greedy(adfg: &AnalyzedDfg, cfg: &SelectConfig) -> SelectionOutcome {
+    let table = PatternTable::build(adfg, cfg.enumerate_config());
+    node_cover_from_table(adfg, &table, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_workloads::{fig2, fig4};
+
+    fn cfg(pdef: usize) -> SelectConfig {
+        SelectConfig {
+            pdef,
+            parallel: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn covers_all_colors() {
+        let adfg = AnalyzedDfg::new(fig2());
+        for pdef in 1..=5 {
+            let out = node_cover_greedy(&adfg, &cfg(pdef));
+            assert!(out.patterns.covers(&adfg.dfg().color_set()), "pdef {pdef}");
+            assert!(out.patterns.len() <= pdef);
+        }
+    }
+
+    #[test]
+    fn fig4_first_pick_touches_most_nodes() {
+        // {aa} touches a1,a2,a3 (3 nodes); {bb} touches 2; singletons tie
+        // with their superpatterns on nodes but lose on antichain count...
+        // {a} also touches 3 nodes with 3 antichains vs {aa}'s 2. Node
+        // cover prefers {a} by count tie then antichain count 3 > 2.
+        let adfg = AnalyzedDfg::new(fig4());
+        let out = node_cover_greedy(&adfg, &cfg(2));
+        assert_eq!(out.rounds[0].chosen.to_string(), "a");
+        assert!(out.patterns.covers(&adfg.dfg().color_set()));
+    }
+
+    #[test]
+    fn pdef1_fabricates_like_the_paper() {
+        let adfg = AnalyzedDfg::new(fig4());
+        let out = node_cover_greedy(&adfg, &cfg(1));
+        assert_eq!(out.patterns.patterns()[0].to_string(), "ab");
+        assert!(out.rounds[0].fabricated);
+    }
+
+    #[test]
+    fn schedulable_end_to_end() {
+        let adfg = AnalyzedDfg::new(fig2());
+        let out = node_cover_greedy(&adfg, &cfg(3));
+        let r = mps_scheduler::schedule_multi_pattern(
+            &adfg,
+            &out.patterns,
+            mps_scheduler::MultiPatternConfig::default(),
+        )
+        .unwrap();
+        r.schedule.validate(&adfg, Some(&out.patterns)).unwrap();
+    }
+
+    #[test]
+    fn deterministic() {
+        let adfg = AnalyzedDfg::new(fig2());
+        assert_eq!(
+            node_cover_greedy(&adfg, &cfg(3)).patterns,
+            node_cover_greedy(&adfg, &cfg(3)).patterns
+        );
+    }
+}

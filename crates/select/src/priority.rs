@@ -1,0 +1,110 @@
+//! The Eq. 8 selection priority.
+
+use crate::config::SelectConfig;
+use mps_patterns::PatternStats;
+
+/// Compute the Eq. 8 priority of a candidate pattern.
+///
+/// `selected_freq[n]` must hold `Σ_{p̄_i ∈ Ps} h(p̄_i, n)` — the number of
+/// antichains covering node `n` across the already-selected patterns.
+///
+/// With `cfg.balancing` off the denominator is the constant `ε`; with
+/// `cfg.size_bonus` off the `α·|p̄|²` term is dropped.
+pub fn eq8_priority(stats: &PatternStats, selected_freq: &[u64], cfg: &SelectConfig) -> f64 {
+    let mut sum = 0.0;
+    for (n, &h) in stats.node_freq.iter().enumerate() {
+        if h == 0 {
+            continue;
+        }
+        let denom = if cfg.balancing {
+            selected_freq[n] as f64 + cfg.epsilon
+        } else {
+            cfg.epsilon
+        };
+        sum += h as f64 / denom;
+    }
+    if cfg.size_bonus {
+        let size = stats.pattern.size() as f64;
+        sum += cfg.alpha * size * size;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_patterns::Pattern;
+
+    fn stats(pattern: &str, freq: Vec<u64>) -> PatternStats {
+        PatternStats {
+            pattern: Pattern::parse(pattern).unwrap(),
+            antichain_count: freq.iter().sum::<u64>() / pattern.len().max(1) as u64,
+            node_freq: freq,
+        }
+    }
+
+    /// The paper's §5.2 first-round worked example on Fig. 4:
+    /// f(p̄1)=26, f(p̄2)=24, f(p̄3)=88, f(p̄4)=84.
+    #[test]
+    fn paper_first_round_values() {
+        let cfg = SelectConfig::default();
+        let none = vec![0u64; 5];
+        assert_eq!(eq8_priority(&stats("a", vec![1, 1, 1, 0, 0]), &none, &cfg), 26.0);
+        assert_eq!(eq8_priority(&stats("b", vec![0, 0, 0, 1, 1]), &none, &cfg), 24.0);
+        assert_eq!(eq8_priority(&stats("aa", vec![1, 1, 2, 0, 0]), &none, &cfg), 88.0);
+        assert_eq!(eq8_priority(&stats("bb", vec![0, 0, 0, 1, 1]), &none, &cfg), 84.0);
+    }
+
+    /// Second round after selecting p̄3 = {aa}: the a-nodes are covered
+    /// (frequencies 1,1,2) but p̄2/p̄4 only touch b-nodes, so their values
+    /// keep the old value (the paper makes this exact observation).
+    #[test]
+    fn paper_second_round_values() {
+        let cfg = SelectConfig::default();
+        let after_p3 = vec![1u64, 1, 2, 0, 0];
+        assert_eq!(
+            eq8_priority(&stats("b", vec![0, 0, 0, 1, 1]), &after_p3, &cfg),
+            24.0
+        );
+        assert_eq!(
+            eq8_priority(&stats("bb", vec![0, 0, 0, 1, 1]), &after_p3, &cfg),
+            84.0
+        );
+        // A hypothetical second a-pattern *is* damped.
+        let damped = eq8_priority(&stats("a", vec![1, 1, 1, 0, 0]), &after_p3, &cfg);
+        assert!(damped < 26.0);
+        assert_eq!(damped, 1.0 / 1.5 + 1.0 / 1.5 + 1.0 / 2.5 + 20.0);
+    }
+
+    #[test]
+    fn without_size_bonus_b_and_bb_tie() {
+        // The paper: "If α·|p̄|² is not part of the priority function, both
+        // f(p̄2) and f(p̄4) will be 4."
+        let cfg = SelectConfig {
+            size_bonus: false,
+            ..Default::default()
+        };
+        let none = vec![0u64; 5];
+        assert_eq!(eq8_priority(&stats("b", vec![0, 0, 0, 1, 1]), &none, &cfg), 4.0);
+        assert_eq!(eq8_priority(&stats("bb", vec![0, 0, 0, 1, 1]), &none, &cfg), 4.0);
+    }
+
+    #[test]
+    fn without_balancing_no_damping() {
+        let cfg = SelectConfig {
+            balancing: false,
+            size_bonus: false,
+            ..Default::default()
+        };
+        let heavy = vec![100u64, 100, 100, 100, 100];
+        let s = stats("a", vec![1, 1, 1, 0, 0]);
+        assert_eq!(eq8_priority(&s, &heavy, &cfg), 6.0, "ignores selected coverage");
+    }
+
+    #[test]
+    fn zero_frequency_pattern_scores_only_bonus() {
+        let cfg = SelectConfig::default();
+        let s = stats("ab", vec![0, 0, 0, 0, 0]);
+        assert_eq!(eq8_priority(&s, &[0; 5], &cfg), 20.0 * 4.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! The paper's "Random" baseline: uniformly random patterns.
+
+use mps_dfg::ColorSet;
+use mps_patterns::{Pattern, PatternSet};
+use rand::Rng;
+
+/// Draw `pdef` random patterns of `capacity` slots each, colors uniform
+/// over `colors`, re-drawn until the set jointly covers every color (an
+/// uncovered color would make *any* schedule impossible, so the paper's
+/// random baseline necessarily produced covering sets).
+///
+/// After 1000 failed draws the last set is patched deterministically by
+/// overwriting slots of the first pattern(s) with the missing colors —
+/// only relevant for adversarial color counts (e.g. more colors than
+/// `pdef·capacity` makes coverage impossible and triggers a panic).
+pub fn random_patterns<R: Rng>(
+    colors: &ColorSet,
+    pdef: usize,
+    capacity: usize,
+    rng: &mut R,
+) -> PatternSet {
+    assert!(pdef >= 1 && capacity >= 1, "need at least one slot");
+    let palette: Vec<mps_dfg::Color> = colors.iter().collect();
+    assert!(!palette.is_empty(), "the color set must be non-empty");
+    assert!(
+        palette.len() <= pdef * capacity,
+        "{} colors cannot fit in {pdef} patterns of {capacity} slots",
+        palette.len()
+    );
+
+    for _attempt in 0..1000 {
+        let mut slots: Vec<Vec<mps_dfg::Color>> = (0..pdef)
+            .map(|_| {
+                (0..capacity)
+                    .map(|_| palette[rng.gen_range(0..palette.len())])
+                    .collect()
+            })
+            .collect();
+        let union: ColorSet = slots.iter().flatten().copied().collect();
+        if !colors.is_subset(&union) {
+            continue;
+        }
+        // Dedup check: PatternSet::insert drops duplicates, which would
+        // silently shrink the set below pdef; re-draw instead.
+        let set = PatternSet::from_patterns(
+            slots.drain(..).map(Pattern::from_colors),
+        );
+        if set.len() == pdef {
+            return set;
+        }
+    }
+
+    // Deterministic patch fallback: fill patterns round-robin with the
+    // whole palette first, then random colors.
+    let mut slots: Vec<Vec<mps_dfg::Color>> = vec![Vec::with_capacity(capacity); pdef];
+    for (i, &c) in palette.iter().enumerate() {
+        slots[i % pdef].push(c);
+    }
+    for (pi, s) in slots.iter_mut().enumerate() {
+        while s.len() < capacity {
+            s.push(palette[(pi + s.len()) % palette.len()]);
+        }
+    }
+    PatternSet::from_patterns(slots.into_iter().map(Pattern::from_colors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::Color;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn abc() -> ColorSet {
+        ColorSet::from_iter([Color(0), Color(1), Color(2)])
+    }
+
+    #[test]
+    fn always_covers_all_colors() {
+        let colors = abc();
+        for seed in 0..50 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let set = random_patterns(&colors, 2, 5, &mut rng);
+            assert!(set.covers(&colors), "seed {seed}");
+            assert_eq!(set.len(), 2);
+            assert!(set.iter().all(|p| p.size() == 5));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let colors = abc();
+        let a = random_patterns(&colors, 3, 5, &mut StdRng::seed_from_u64(7));
+        let b = random_patterns(&colors, 3, 5, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_pattern_must_hold_everything() {
+        let colors = abc();
+        let mut rng = StdRng::seed_from_u64(1);
+        let set = random_patterns(&colors, 1, 5, &mut rng);
+        assert!(set.covers(&colors));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn impossible_coverage_panics() {
+        let colors: ColorSet = (0..6).map(Color).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        random_patterns(&colors, 1, 5, &mut rng);
+    }
+
+    #[test]
+    fn tight_fit_uses_patch_path() {
+        // 10 colors into exactly 2×5 slots: rejection sampling virtually
+        // never covers, so the patch path must fire and still cover.
+        let colors: ColorSet = (0..10).map(Color).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let set = random_patterns(&colors, 2, 5, &mut rng);
+        assert!(set.covers(&colors));
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,305 @@
+//! The pattern selection loop (paper Fig. 7).
+
+use crate::config::SelectConfig;
+use crate::priority::eq8_priority;
+use mps_dfg::AnalyzedDfg;
+use mps_patterns::{Pattern, PatternSet, PatternTable};
+
+/// What happened in one selection round.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundInfo {
+    /// The pattern chosen this round.
+    pub chosen: Pattern,
+    /// Its Eq. 8 priority at selection time (0.0 for fabricated patterns).
+    pub priority: f64,
+    /// `true` if the pattern was fabricated from uncovered colors because
+    /// no candidate had nonzero priority (Fig. 7, line 3).
+    pub fabricated: bool,
+    /// Candidates still alive when the round started.
+    pub candidates_alive: usize,
+}
+
+/// Result of pattern selection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectionOutcome {
+    /// The selected patterns, in selection order (≤ `Pdef`; fewer only if
+    /// the candidate pool ran dry *and* every color was already covered).
+    pub patterns: PatternSet,
+    /// Per-round details, for inspection and the worked-example tests.
+    pub rounds: Vec<RoundInfo>,
+}
+
+impl SelectionOutcome {
+    /// Number of fabricated patterns.
+    pub fn fabricated_count(&self) -> usize {
+        self.rounds.iter().filter(|r| r.fabricated).count()
+    }
+}
+
+/// Run the §5.2 selection algorithm against a prebuilt pattern table.
+///
+/// Exposed separately from [`select_patterns`] so callers can reuse one
+/// (expensive) enumeration across many `Pdef` values, as Table 7 does.
+pub fn select_from_table(
+    adfg: &AnalyzedDfg,
+    table: &PatternTable,
+    cfg: &SelectConfig,
+) -> SelectionOutcome {
+    let num_nodes = adfg.len();
+    let complete_colors = adfg.dfg().color_set(); // the paper's L
+    let mut selected_colors = mps_dfg::ColorSet::new(); // Ls
+    let mut selected = PatternSet::new(); // Ps
+    let mut selected_freq = vec![0u64; num_nodes]; // Σ_{Ps} h(p̄_i, ·)
+    let mut alive: Vec<bool> = vec![true; table.len()];
+    let stats: Vec<&mps_patterns::PatternStats> = table.iter().collect();
+    let mut rounds = Vec::with_capacity(cfg.pdef);
+
+    for _round in 0..cfg.pdef {
+        let remaining_after_this = cfg.pdef - selected.len() - 1;
+        let alive_count = alive.iter().filter(|&&a| a).count();
+
+        // Find the best candidate with nonzero priority.
+        let mut best: Option<(f64, usize)> = None;
+        for (i, s) in stats.iter().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            if cfg.color_condition
+                && !color_condition_holds(
+                    &s.pattern,
+                    &complete_colors,
+                    &selected_colors,
+                    cfg.capacity,
+                    remaining_after_this,
+                )
+            {
+                continue; // priority forced to zero (Eq. 9 violated)
+            }
+            let f = eq8_priority(s, &selected_freq, cfg);
+            if f <= 0.0 {
+                continue;
+            }
+            // Strict `>` keeps the earliest (canonical-order) pattern on
+            // exact ties, making selection deterministic.
+            if best.is_none_or(|(bf, _)| f > bf) {
+                best = Some((f, i));
+            }
+        }
+
+        match best {
+            Some((f, idx)) => {
+                let chosen = stats[idx].pattern;
+                for (dst, &h) in selected_freq.iter_mut().zip(stats[idx].node_freq.iter()) {
+                    *dst += h;
+                }
+                selected_colors = selected_colors.union(&chosen.color_set());
+                selected.insert(chosen);
+                // Delete the chosen pattern and all its subpatterns.
+                for (i, s) in stats.iter().enumerate() {
+                    if alive[i] && s.pattern.is_subpattern_of(&chosen) {
+                        alive[i] = false;
+                    }
+                }
+                rounds.push(RoundInfo {
+                    chosen,
+                    priority: f,
+                    fabricated: false,
+                    candidates_alive: alive_count,
+                });
+            }
+            None => {
+                // Fabricate from uncovered colors (Fig. 7 line 3).
+                let mut slots: Vec<mps_dfg::Color> = complete_colors
+                    .difference(&selected_colors)
+                    .iter()
+                    .take(cfg.capacity)
+                    .collect();
+                if slots.is_empty() {
+                    // Everything is covered and no candidate adds value:
+                    // selecting more patterns cannot help. Stop early.
+                    break;
+                }
+                if cfg.pad_fabricated {
+                    pad_to_capacity(&mut slots, cfg.capacity, adfg);
+                }
+                let fab = Pattern::from_colors(slots);
+                selected_colors = selected_colors.union(&fab.color_set());
+                selected.insert(fab);
+                for (i, s) in stats.iter().enumerate() {
+                    if alive[i] && s.pattern.is_subpattern_of(&fab) {
+                        alive[i] = false;
+                    }
+                }
+                rounds.push(RoundInfo {
+                    chosen: fab,
+                    priority: 0.0,
+                    fabricated: true,
+                    candidates_alive: alive_count,
+                });
+            }
+        }
+    }
+
+    SelectionOutcome {
+        patterns: selected,
+        rounds,
+    }
+}
+
+/// Fill `slots` up to `capacity` by repeatedly granting the next slot to
+/// the color with the highest remaining demand per slot (the per-color
+/// lower-bound heuristic): color `c` with `N_c` nodes and `k_c` slots so
+/// far needs at least `⌈N_c / k_c⌉` cycles, so the padder always grows the
+/// current bottleneck.
+fn pad_to_capacity(slots: &mut Vec<mps_dfg::Color>, capacity: usize, adfg: &AnalyzedDfg) {
+    let hist = adfg.dfg().color_histogram();
+    while slots.len() < capacity {
+        let best = slots
+            .iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .max_by_key(|&&c| {
+                let count = hist.get(c.index()).copied().unwrap_or(0);
+                let k = slots.iter().filter(|&&x| x == c).count();
+                // ceil(count / k) scaled to avoid float; k ≥ 1 here.
+                count.div_ceil(k)
+            })
+            .copied();
+        match best {
+            Some(c) => slots.push(c),
+            None => break,
+        }
+    }
+}
+
+/// Eq. 9: `|Ln(p̄)| ≥ |L| − |Ls| − C·(Pdef − |Ps| − 1)`.
+fn color_condition_holds(
+    pattern: &Pattern,
+    complete: &mps_dfg::ColorSet,
+    selected: &mps_dfg::ColorSet,
+    capacity: usize,
+    remaining_after_this: usize,
+) -> bool {
+    let new_colors = pattern.color_set().difference(selected).len() as i64;
+    let uncovered = (complete.len() - complete.intersection(selected).len()) as i64;
+    let rhs = uncovered - (capacity as i64) * (remaining_after_this as i64);
+    new_colors >= rhs
+}
+
+/// Enumerate antichains, classify them, and select `Pdef` patterns — the
+/// complete §5 algorithm.
+pub fn select_patterns(adfg: &AnalyzedDfg, cfg: &SelectConfig) -> SelectionOutcome {
+    let table = PatternTable::build(adfg, cfg.enumerate_config());
+    select_from_table(adfg, &table, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_workloads::{fig2, fig4};
+
+    fn cfg(pdef: usize) -> SelectConfig {
+        SelectConfig {
+            pdef,
+            parallel: false,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's §5.2 worked example, both rounds: select {aa} (f=88),
+    /// delete its subpattern {a}, then select {bb} (f=84).
+    #[test]
+    fn fig4_pdef2_selects_aa_then_bb() {
+        let adfg = AnalyzedDfg::new(fig4());
+        let out = select_patterns(&adfg, &cfg(2));
+        let strs: Vec<String> = out.patterns.iter().map(|p| p.to_string()).collect();
+        assert_eq!(strs, vec!["aa", "bb"]);
+        assert_eq!(out.rounds[0].priority, 88.0);
+        assert_eq!(out.rounds[1].priority, 84.0);
+        assert_eq!(out.fabricated_count(), 0);
+    }
+
+    /// The paper's Pdef = 1 example: no single-color candidate satisfies
+    /// the color number condition, so {ab} is fabricated.
+    #[test]
+    fn fig4_pdef1_fabricates_ab() {
+        let adfg = AnalyzedDfg::new(fig4());
+        let out = select_patterns(&adfg, &cfg(1));
+        assert_eq!(out.patterns.len(), 1);
+        assert_eq!(out.patterns.patterns()[0].to_string(), "ab");
+        assert!(out.rounds[0].fabricated);
+    }
+
+    #[test]
+    fn without_color_condition_pdef1_picks_aa_and_strands_b() {
+        let adfg = AnalyzedDfg::new(fig4());
+        let out = select_patterns(
+            &adfg,
+            &SelectConfig {
+                color_condition: false,
+                ..cfg(1)
+            },
+        );
+        assert_eq!(out.patterns.patterns()[0].to_string(), "aa");
+        // …which would make scheduling fail: the ablation benches measure
+        // exactly this failure mode.
+        assert!(!out.patterns.covers(&adfg.dfg().color_set()));
+    }
+
+    #[test]
+    fn selected_patterns_always_cover_all_colors() {
+        for pdef in 1..=5 {
+            let adfg = AnalyzedDfg::new(fig2());
+            let out = select_patterns(&adfg, &cfg(pdef));
+            assert!(
+                out.patterns.covers(&adfg.dfg().color_set()),
+                "Pdef={pdef}: colors must be covered"
+            );
+            assert!(out.patterns.len() <= pdef);
+        }
+    }
+
+    #[test]
+    fn subpatterns_are_deleted() {
+        let adfg = AnalyzedDfg::new(fig4());
+        let out = select_patterns(&adfg, &cfg(4));
+        // {a} ⊑ {aa} and {b} ⊑ {bb} can never be selected after their
+        // superpatterns.
+        let strs: Vec<String> = out.patterns.iter().map(|p| p.to_string()).collect();
+        assert!(!strs.contains(&"a".to_string()));
+        assert!(!strs.contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn early_stop_when_pool_dry_and_covered() {
+        // Fig. 4 has only 4 candidate patterns, 2 survive subpattern
+        // deletion; with Pdef = 4 selection stops after exhausting them.
+        let adfg = AnalyzedDfg::new(fig4());
+        let out = select_patterns(&adfg, &cfg(4));
+        assert_eq!(out.patterns.len(), 2);
+        assert!(out.patterns.covers(&adfg.dfg().color_set()));
+    }
+
+    #[test]
+    fn deterministic() {
+        let adfg = AnalyzedDfg::new(fig2());
+        let a = select_patterns(&adfg, &cfg(3));
+        let b = select_patterns(&adfg, &cfg(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn span_limit_changes_candidates_not_coverage() {
+        let adfg = AnalyzedDfg::new(fig2());
+        for limit in [0u32, 1, 2] {
+            let out = select_patterns(
+                &adfg,
+                &SelectConfig {
+                    span_limit: Some(limit),
+                    ..cfg(4)
+                },
+            );
+            assert!(out.patterns.covers(&adfg.dfg().color_set()), "limit={limit}");
+        }
+    }
+}

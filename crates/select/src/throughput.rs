@@ -1,0 +1,210 @@
+//! Throughput-aware pattern selection for software-pipelined kernels.
+//!
+//! The Eq. 8 selector optimizes for *latency*: it buys the antichains that
+//! let many ready nodes issue together. A pipelined loop cares about the
+//! *initiation interval* instead, and there the steady-state slot bags mix
+//! colors from different pipeline stages — `mps-scheduler`'s modulo
+//! scheduler shows Eq. 8's fragmented picks (e.g. `{ac, cc, aa}` on a
+//! lattice filter) serving every slot badly.
+//!
+//! For throughput the right pattern is simply the one whose color mix
+//! matches the *whole graph's* color histogram: if the kernel is 50%
+//! multiplies, half the ALU slots should multiply, every cycle. This
+//! module computes that pattern by bottleneck apportionment:
+//!
+//! 1. give every color one slot (coverage),
+//! 2. repeatedly grant the next slot to the color with the highest
+//!    remaining per-slot demand `⌈N_c / k_c⌉`,
+//! 3. stop at `C` slots.
+//!
+//! The resulting single-pattern set has reconfiguration cost zero and an
+//! initiation interval of `max_c ⌈N_c / k_c⌉`, which is within one slot
+//! of the unconstrained resource bound `⌈N / C⌉` whenever the histogram
+//! is not too skewed. Kernels with more colors than ALUs fall back to
+//! grouping colors over several patterns.
+
+use mps_dfg::{AnalyzedDfg, Color};
+use mps_patterns::{Pattern, PatternSet};
+
+/// Apportion `capacity` slots over the graph's colors proportionally to
+/// their node counts (bottleneck rule), producing the single pattern a
+/// modulo scheduler wants in every slot.
+///
+/// Requires the graph to have at least one node and at most `capacity`
+/// distinct colors (use [`select_for_throughput`] for the general case).
+pub fn throughput_pattern(adfg: &AnalyzedDfg, capacity: usize) -> Pattern {
+    let hist = adfg.dfg().color_histogram();
+    let colors: Vec<Color> = adfg.dfg().color_set().iter().collect();
+    assert!(!colors.is_empty(), "graph must have nodes");
+    assert!(
+        colors.len() <= capacity,
+        "{} colors exceed {capacity} slots; use select_for_throughput",
+        colors.len()
+    );
+    apportion(&colors, &hist, capacity)
+}
+
+/// Bottleneck apportionment of `capacity` slots over `colors`.
+fn apportion(colors: &[Color], hist: &[usize], capacity: usize) -> Pattern {
+    let mut slots: Vec<(Color, usize)> = colors.iter().map(|&c| (c, 1usize)).collect();
+    let mut used = colors.len();
+    while used < capacity {
+        // Grant a slot to the color whose per-slot demand is largest.
+        let (_, k) = slots
+            .iter_mut()
+            .max_by_key(|(c, k)| (hist[c.index()].div_ceil(*k), hist[c.index()]))
+            .expect("at least one color");
+        *k += 1;
+        used += 1;
+    }
+    Pattern::from_colors(
+        slots
+            .iter()
+            .flat_map(|&(c, k)| std::iter::repeat_n(c, k)),
+    )
+}
+
+/// The initiation interval the pattern supports when configured in every
+/// slot: `max_c ⌈N_c / slots_of_c⌉`.
+pub fn pattern_ii_bound(adfg: &AnalyzedDfg, pattern: &Pattern) -> usize {
+    let hist = adfg.dfg().color_histogram();
+    let mut ii = 1usize;
+    for (ci, &count) in hist.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let k = pattern.count_of(Color(ci as u8));
+        if k == 0 {
+            return usize::MAX;
+        }
+        ii = ii.max(count.div_ceil(k));
+    }
+    ii
+}
+
+/// Throughput-oriented selection for any graph: one apportioned pattern
+/// when the colors fit a single pattern, otherwise colors are split into
+/// `⌈L / C⌉` groups (largest node count first, round-robin so groups
+/// balance) and each group gets its own apportioned pattern.
+///
+/// The returned set always covers every color, so both the flat and the
+/// modulo scheduler accept it. At most `⌈L / C⌉` patterns are produced —
+/// independent of `Pdef`, since extra patterns cannot lower the II bound
+/// of a one-pattern-per-slot steady state.
+pub fn select_for_throughput(adfg: &AnalyzedDfg, capacity: usize) -> PatternSet {
+    assert!(capacity >= 1, "need at least one ALU");
+    let hist = adfg.dfg().color_histogram();
+    let mut colors: Vec<Color> = adfg.dfg().color_set().iter().collect();
+    if colors.is_empty() {
+        return PatternSet::new();
+    }
+    if colors.len() <= capacity {
+        return PatternSet::from_patterns([throughput_pattern(adfg, capacity)]);
+    }
+    // Round-robin heavy colors across groups so per-group demand balances.
+    colors.sort_by_key(|c| std::cmp::Reverse(hist[c.index()]));
+    let groups = colors.len().div_ceil(capacity);
+    let mut buckets: Vec<Vec<Color>> = vec![Vec::new(); groups];
+    for (i, c) in colors.into_iter().enumerate() {
+        buckets[i % groups].push(c);
+    }
+    PatternSet::from_patterns(
+        buckets
+            .into_iter()
+            .map(|group| apportion(&group, &hist, capacity)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_workloads::{cholesky, cordic, lattice, sobel};
+
+    #[test]
+    fn lattice_gets_a_balanced_mixed_pattern() {
+        // 10 adds + 10 muls on a 5-slot tile: 2/3 or 3/2 split, II = 5.
+        let adfg = AnalyzedDfg::new(lattice(5));
+        let p = throughput_pattern(&adfg, 5);
+        assert_eq!(p.size(), 5);
+        let a = mps_dfg::Color::from_char('a').unwrap();
+        let c = mps_dfg::Color::from_char('c').unwrap();
+        assert!(p.count_of(a) >= 2 && p.count_of(c) >= 2);
+        assert_eq!(pattern_ii_bound(&adfg, &p), 5);
+    }
+
+    #[test]
+    fn skewed_histogram_gets_skewed_slots() {
+        // Sobel: 12 muls vs 11 adds per pixel — nearly even; fir-like
+        // check with a 4:1 mix instead.
+        let adfg = AnalyzedDfg::new(mps_workloads::fir(12, 1, mps_workloads::AdderShape::Tree));
+        // 12 muls, 11 adds on 5 slots: apportionment lands 2–3 per color.
+        let p = throughput_pattern(&adfg, 5);
+        assert_eq!(p.size(), 5);
+        let ii = pattern_ii_bound(&adfg, &p);
+        // ⌈23/5⌉ = 5 is the absolute floor; apportionment reaches 6.
+        assert!(ii <= 6, "ii = {ii}");
+    }
+
+    #[test]
+    fn covers_many_color_graphs_with_multiple_patterns() {
+        // Cholesky has 4 colors (fits), CORDIC 3; force the multi-pattern
+        // path with a tiny capacity.
+        let adfg = AnalyzedDfg::new(cholesky(4));
+        let set = select_for_throughput(&adfg, 2);
+        assert!(set.covers(&adfg.dfg().color_set()));
+        assert!(set.len() == 2, "4 colors / 2 slots = 2 patterns");
+        for p in set.iter() {
+            assert!(p.size() <= 2);
+        }
+    }
+
+    #[test]
+    fn single_color_graph_gets_full_width() {
+        let adfg = AnalyzedDfg::new(mps_workloads::fir(1, 6, mps_workloads::AdderShape::Tree));
+        // 6 independent muls.
+        let p = throughput_pattern(&adfg, 5);
+        assert_eq!(p.to_string(), "ccccc");
+        assert_eq!(pattern_ii_bound(&adfg, &p), 2);
+    }
+
+    #[test]
+    fn modulo_ii_improves_over_eq8_on_lattice() {
+        // The headline motivation: Eq. 8's latency-oriented picks leave
+        // throughput on the table; the apportioned pattern halves the II.
+        let adfg = AnalyzedDfg::new(lattice(5));
+        let eq8 = crate::select::select_patterns(
+            &adfg,
+            &crate::SelectConfig {
+                pdef: 4,
+                span_limit: Some(2),
+                parallel: false,
+                ..Default::default()
+            },
+        )
+        .patterns;
+        let tp = select_for_throughput(&adfg, 5);
+        let ii_eq8 = mps_scheduler::schedule_modulo(&adfg, &eq8, Default::default())
+            .unwrap()
+            .ii;
+        let ii_tp = mps_scheduler::schedule_modulo(&adfg, &tp, Default::default())
+            .unwrap()
+            .ii;
+        assert!(ii_tp < ii_eq8, "throughput {ii_tp} !< eq8 {ii_eq8}");
+        assert_eq!(ii_tp, 5, "the apportioned pattern reaches its bound");
+    }
+
+    #[test]
+    fn throughput_set_still_schedules_flat() {
+        for g in [lattice(4), cordic(5), sobel(2), cholesky(3)] {
+            let adfg = AnalyzedDfg::new(g);
+            let set = select_for_throughput(&adfg, 5);
+            let r = mps_scheduler::schedule_multi_pattern(
+                &adfg,
+                &set,
+                mps_scheduler::MultiPatternConfig::default(),
+            )
+            .unwrap();
+            r.schedule.validate(&adfg, Some(&set)).unwrap();
+        }
+    }
+}

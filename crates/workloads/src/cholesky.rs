@@ -1,0 +1,144 @@
+//! Cholesky factorization DFG.
+//!
+//! `A = L·Lᵀ` for a dense symmetric positive-definite `n×n` matrix,
+//! right-looking scalar form. Unlike the DSP kernels, the dependency
+//! structure is *triangular*: column `j` cannot start until the diagonal
+//! of every earlier column is resolved, and the operation mix includes
+//! divisions and square roots — colors the Fourier workloads never use.
+//! This stresses the color number condition (Eq. 9): `sqrt` appears only
+//! `n` times, so a selector that chases frequent patterns can easily
+//! strand it.
+
+use crate::{DIV, MUL, SQRT, SUB};
+use mps_dfg::{Dfg, DfgBuilder, NodeId};
+
+/// Build the Cholesky factorization DFG for an `n×n` SPD matrix.
+///
+/// Per column `j`: `j` square-multiplies and subtractions update the
+/// diagonal, one `sqrt` produces `L[j][j]`; each subdiagonal entry
+/// `L[i][j]` (`i > j`) needs `j` multiply/subtract pairs and one division
+/// by `L[j][j]`.
+///
+/// Node colors: `c` = multiply, `b` = subtract, `d` = divide, `e` = sqrt.
+pub fn cholesky(n: usize) -> Dfg {
+    assert!(n >= 1, "need at least a 1×1 matrix");
+    let mut b = DfgBuilder::new();
+    // l[i][j] = the node producing L[i][j] (i ≥ j).
+    let mut l: Vec<Vec<Option<NodeId>>> = vec![vec![None; n]; n];
+
+    for j in 0..n {
+        // Diagonal: a_jj − Σ_{k<j} L[j][k]² , then sqrt.
+        let mut acc: Option<NodeId> = None; // running subtraction chain
+        for (k, slot) in l[j][..j].to_vec().iter().enumerate() {
+            let ljk = slot.expect("column k < j is complete");
+            let sq = b.add_node(format!("sq_{j}_{k}"), MUL);
+            b.add_edge(ljk, sq).unwrap();
+            let sub = b.add_node(format!("dsub_{j}_{k}"), SUB);
+            if let Some(prev) = acc {
+                b.add_edge(prev, sub).unwrap();
+            }
+            b.add_edge(sq, sub).unwrap();
+            acc = Some(sub);
+        }
+        let sqrt = b.add_node(format!("sqrt_{j}"), SQRT);
+        if let Some(prev) = acc {
+            b.add_edge(prev, sqrt).unwrap();
+        }
+        l[j][j] = Some(sqrt);
+
+        // Row j of L, needed by every row below; copied out so the loop
+        // over later rows can borrow `l` mutably.
+        let row_j: Vec<NodeId> = l[j][..j]
+            .iter()
+            .map(|v| v.expect("column complete"))
+            .collect();
+        let ljj = l[j][j].unwrap();
+
+        // Subdiagonal: (a_ij − Σ_{k<j} L[i][k]·L[j][k]) / L[j][j].
+        for (i, row) in l.iter_mut().enumerate().skip(j + 1) {
+            let mut acc: Option<NodeId> = None;
+            for k in 0..j {
+                let lik = row[k].expect("column k < j is complete");
+                let mul = b.add_node(format!("m_{i}_{j}_{k}"), MUL);
+                b.add_edge(lik, mul).unwrap();
+                b.add_edge(row_j[k], mul).unwrap();
+                let sub = b.add_node(format!("ssub_{i}_{j}_{k}"), SUB);
+                if let Some(prev) = acc {
+                    b.add_edge(prev, sub).unwrap();
+                }
+                b.add_edge(mul, sub).unwrap();
+                acc = Some(sub);
+            }
+            let div = b.add_node(format!("div_{i}_{j}"), DIV);
+            if let Some(prev) = acc {
+                b.add_edge(prev, div).unwrap();
+            }
+            b.add_edge(ljj, div).unwrap();
+            row[j] = Some(div);
+        }
+    }
+
+    b.build().expect("Cholesky is a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::Levels;
+
+    #[test]
+    fn one_by_one_is_a_single_sqrt() {
+        let g = cholesky(1);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.color(g.node_ids().next().unwrap()), SQRT);
+    }
+
+    #[test]
+    fn node_counts_follow_closed_forms() {
+        for n in [2usize, 3, 4, 5] {
+            let g = cholesky(n);
+            let h = g.color_histogram();
+            // sqrt: one per diagonal; div: one per subdiagonal entry.
+            assert_eq!(h[SQRT.index()], n, "n={n}");
+            assert_eq!(h[DIV.index()], n * (n - 1) / 2, "n={n}");
+            // muls: j per diagonal j plus j per subdiagonal (i, j).
+            let muls: usize = (0..n).map(|j| j * (1 + n - j - 1)).sum();
+            assert_eq!(h[MUL.index()], muls, "n={n}");
+            assert_eq!(h[SUB.index()], muls, "one sub per mul, n={n}");
+        }
+    }
+
+    #[test]
+    fn column_order_forces_depth() {
+        // Column j+1 depends on column j's diagonal: depth grows with n.
+        let d3 = Levels::compute(&cholesky(3)).critical_path_len();
+        let d5 = Levels::compute(&cholesky(5)).critical_path_len();
+        assert!(d5 > d3);
+        // n = 2: sqrt0 → div_1_0 → sq_1_0(MUL) → dsub → sqrt1 = 5 ops.
+        assert_eq!(Levels::compute(&cholesky(2)).critical_path_len(), 5);
+    }
+
+    #[test]
+    fn four_colors_present() {
+        let colors = cholesky(3).color_set();
+        for c in [SUB, MUL, DIV, SQRT] {
+            assert!(colors.contains(c));
+        }
+    }
+
+    #[test]
+    fn acyclic_and_connected_columns() {
+        // build() already proves acyclicity; additionally every non-first
+        // column must depend (transitively) on the previous diagonal.
+        let g = cholesky(4);
+        let adfg = mps_dfg::AnalyzedDfg::new(g);
+        let s0 = adfg.dfg().find("sqrt_0").unwrap();
+        for j in 1..4 {
+            let sj = adfg.dfg().find(&format!("sqrt_{j}")).unwrap();
+            assert!(
+                adfg.reach().reaches(s0, sj),
+                "sqrt_0 must precede sqrt_{j}"
+            );
+        }
+    }
+}

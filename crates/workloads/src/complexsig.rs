@@ -1,0 +1,301 @@
+//! Signed-signal bookkeeping for building arithmetic DFGs.
+//!
+//! Fast-transform algorithms (Winograd DFTs, DCT factorizations) are full
+//! of terms like `−sin(u)·v` and `m3 − m4` where negations should fold
+//! into neighbouring operations instead of materializing as extra nodes —
+//! real datapaths fold them into the following adder (turning it into a
+//! subtractor) or into the multiplier constant. [`Sig`] carries a node
+//! reference plus a sign; [`ComplexBuilder`] implements complex arithmetic
+//! over signed signals, emitting exactly one `a`/`b`/`c` node per real
+//! operation.
+
+use crate::{ADD, MUL, SUB};
+use mps_dfg::{Dfg, DfgBuilder, DfgError, NodeId};
+
+/// A real-valued signal: a node plus a sign to be folded into its consumer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sig {
+    /// Producing node.
+    pub node: NodeId,
+    /// `true` if the consumer should read `−value`.
+    pub neg: bool,
+}
+
+impl Sig {
+    /// A positive signal.
+    pub fn pos(node: NodeId) -> Sig {
+        Sig { node, neg: false }
+    }
+
+    /// The negated signal (no node is emitted; the sign folds downstream).
+    pub fn negate(self) -> Sig {
+        Sig {
+            node: self.node,
+            neg: !self.neg,
+        }
+    }
+}
+
+/// A complex-valued signal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ComplexSig {
+    /// Real part.
+    pub re: Sig,
+    /// Imaginary part.
+    pub im: Sig,
+}
+
+impl ComplexSig {
+    /// Negate both parts (sign-fold, no nodes emitted).
+    pub fn negate(self) -> ComplexSig {
+        ComplexSig {
+            re: self.re.negate(),
+            im: self.im.negate(),
+        }
+    }
+
+    /// Multiply by `j` (swap parts, negate the new real part); emits no
+    /// nodes.
+    pub fn mul_j(self) -> ComplexSig {
+        ComplexSig {
+            re: self.im.negate(),
+            im: self.re,
+        }
+    }
+}
+
+/// Builder for complex-arithmetic DFGs over signed signals.
+///
+/// Wraps a [`DfgBuilder`]; each real addition/subtraction/multiplication
+/// becomes one colored node. Signs are normalized so that every emitted
+/// node computes a positive quantity where possible: `(−x) + (−y)` becomes
+/// `−(x + y)` (one `a` node with a negative output sign) rather than two
+/// negations.
+pub struct ComplexBuilder {
+    builder: DfgBuilder,
+    counter: usize,
+}
+
+impl ComplexBuilder {
+    /// Start with an empty graph.
+    pub fn new() -> ComplexBuilder {
+        ComplexBuilder {
+            builder: DfgBuilder::new(),
+            counter: 0,
+        }
+    }
+
+    /// Introduce a primary input as a complex signal (emits no nodes until
+    /// used; inputs are represented by source nodes of color `a`? No —
+    /// inputs live in memory on the Montium, so they are *not* DFG nodes;
+    /// the first arithmetic touching them becomes a source).
+    ///
+    /// Implementation detail: we still need stable `Sig`s for inputs, so an
+    /// input is a pair of phantom signals resolved lazily; callers obtain
+    /// them via [`ComplexBuilder::input`], and the first consuming
+    /// operation simply has fewer in-graph predecessors.
+    pub fn input(&mut self) -> ComplexSig {
+        // Inputs are phantom: a reserved id space marked by u32::MAX - k
+        // would complicate edge creation, so instead inputs are represented
+        // as *absent* predecessors: the signal's node is a sentinel that
+        // add_edge skips. See `Sig::INPUT`.
+        ComplexSig {
+            re: Sig {
+                node: INPUT_SENTINEL,
+                neg: false,
+            },
+            im: Sig {
+                node: INPUT_SENTINEL,
+                neg: false,
+            },
+        }
+    }
+
+    fn fresh_name(&mut self, prefix: char) -> String {
+        self.counter += 1;
+        format!("{prefix}{}", self.counter)
+    }
+
+    fn emit(&mut self, color: mps_dfg::Color, prefix: char, operands: &[Sig]) -> Result<NodeId, DfgError> {
+        let name = self.fresh_name(prefix);
+        let id = self.builder.add_node(name, color);
+        for s in operands {
+            if s.node != INPUT_SENTINEL {
+                self.builder.add_edge(s.node, id)?;
+            }
+        }
+        Ok(id)
+    }
+
+    /// Real addition `x + y`, sign-folded:
+    /// * `x + y` → `a` node;
+    /// * `x + (−y)` → `b` node computing `x − y`;
+    /// * `(−x) + y` → `b` node computing `y − x`;
+    /// * `(−x) + (−y)` → `a` node with negated output.
+    pub fn add(&mut self, x: Sig, y: Sig) -> Sig {
+        let (color, prefix, neg) = match (x.neg, y.neg) {
+            (false, false) => (ADD, 'a', false),
+            (true, true) => (ADD, 'a', true),
+            _ => (SUB, 'b', false),
+        };
+        let id = self.emit(color, prefix, &[x, y]).expect("valid operands");
+        Sig { node: id, neg }
+    }
+
+    /// Real subtraction `x − y` (= `x + (−y)`).
+    pub fn sub(&mut self, x: Sig, y: Sig) -> Sig {
+        self.add(x, y.negate())
+    }
+
+    /// Real multiplication by a compile-time constant: one `c` node; the
+    /// constant's sign folds into the output sign.
+    pub fn mul_const(&mut self, x: Sig, const_negative: bool) -> Sig {
+        let id = self.emit(MUL, 'c', &[x]).expect("valid operand");
+        Sig {
+            node: id,
+            neg: x.neg ^ const_negative,
+        }
+    }
+
+    /// Complex addition: two real ops.
+    pub fn cadd(&mut self, x: ComplexSig, y: ComplexSig) -> ComplexSig {
+        ComplexSig {
+            re: self.add(x.re, y.re),
+            im: self.add(x.im, y.im),
+        }
+    }
+
+    /// Complex subtraction: two real ops.
+    pub fn csub(&mut self, x: ComplexSig, y: ComplexSig) -> ComplexSig {
+        ComplexSig {
+            re: self.sub(x.re, y.re),
+            im: self.sub(x.im, y.im),
+        }
+    }
+
+    /// Multiply by a *real* constant `k` (`|k|` folded into the node,
+    /// `sign(k)` into the signal): two `c` nodes.
+    pub fn cmul_real(&mut self, x: ComplexSig, negative: bool) -> ComplexSig {
+        ComplexSig {
+            re: self.mul_const(x.re, negative),
+            im: self.mul_const(x.im, negative),
+        }
+    }
+
+    /// Multiply by an *imaginary* constant `j·k`: two `c` nodes plus a
+    /// part swap (`(a+bj)·jk = −kb + kaj`).
+    pub fn cmul_imag(&mut self, x: ComplexSig, negative: bool) -> ComplexSig {
+        let scaled = self.cmul_real(x, negative);
+        scaled.mul_j()
+    }
+
+    /// Multiply by a general complex constant `(kr + j·ki)`: the classic
+    /// 4-multiply form — 4 `c` nodes, 1 `a`/`b` pair.
+    ///
+    /// `re = kr·xr − ki·xi`, `im = kr·xi + ki·xr`; constant signs are given
+    /// as `(kr_negative, ki_negative)`.
+    pub fn cmul_full(&mut self, x: ComplexSig, kr_neg: bool, ki_neg: bool) -> ComplexSig {
+        let rr = self.mul_const(x.re, kr_neg);
+        let ii = self.mul_const(x.im, ki_neg);
+        let ri = self.mul_const(x.im, kr_neg);
+        let ir = self.mul_const(x.re, ki_neg);
+        ComplexSig {
+            re: self.sub(rr, ii),
+            im: self.add(ri, ir),
+        }
+    }
+
+    /// Finish: validate and freeze the graph.
+    pub fn build(self) -> Result<Dfg, DfgError> {
+        self.builder.build()
+    }
+
+    /// Nodes emitted so far.
+    pub fn node_count(&self) -> usize {
+        self.builder.node_count()
+    }
+}
+
+impl Default for ComplexBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Sentinel for primary inputs (values living in Montium memories, not in
+/// the DFG). `add_edge` is skipped for operands carrying it.
+const INPUT_SENTINEL: NodeId = NodeId(u32::MAX);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_of_two_positives_is_an_a_node() {
+        let mut b = ComplexBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let s = b.add(x.re, y.re);
+        assert!(!s.neg);
+        let g = b.build().unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.color(s.node), ADD);
+    }
+
+    #[test]
+    fn sign_folding_turns_adds_into_subs() {
+        let mut b = ComplexBuilder::new();
+        let x = b.input().re;
+        let y = b.input().re;
+        // x + (−y) must become a subtraction node, positive output.
+        let s = b.add(x, y.negate());
+        assert!(!s.neg);
+        // (−x) + (−y) must stay an addition, negative output.
+        let t = b.add(x.negate(), y.negate());
+        assert!(t.neg);
+        let g = b.build().unwrap();
+        assert_eq!(g.color(s.node), SUB);
+        assert_eq!(g.color(t.node), ADD);
+    }
+
+    #[test]
+    fn mul_j_swaps_without_nodes() {
+        let mut b = ComplexBuilder::new();
+        let x = b.input();
+        let first = b.add(x.re, x.im); // materialize something
+        let v = ComplexSig {
+            re: first,
+            im: first,
+        };
+        let before = b.node_count();
+        let j = v.mul_j();
+        assert_eq!(b.node_count(), before, "mul_j is free");
+        assert!(j.re.neg);
+        assert!(!j.im.neg);
+    }
+
+    #[test]
+    fn cmul_full_emits_4c_1a_1b() {
+        let mut b = ComplexBuilder::new();
+        let x = b.input();
+        let seed = b.cadd(x, x); // 2 'a' sources
+        let _ = b.cmul_full(seed, false, false);
+        let g = b.build().unwrap();
+        let hist = g.color_histogram();
+        assert_eq!(hist[MUL.index()], 4);
+        assert_eq!(hist[ADD.index()], 2 + 1);
+        assert_eq!(hist[SUB.index()], 1);
+    }
+
+    #[test]
+    fn dependencies_are_recorded() {
+        let mut b = ComplexBuilder::new();
+        let x = b.input();
+        let u = b.cadd(x, x);
+        let v = b.cmul_real(u, false);
+        let g = b.build().unwrap();
+        assert!(g
+            .succs(u.re.node)
+            .contains(&v.re.node));
+    }
+}

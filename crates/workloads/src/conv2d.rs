@@ -1,0 +1,70 @@
+//! 2-D convolution (image filtering) DFGs.
+
+use crate::{ADD, MUL};
+use mps_dfg::{Dfg, DfgBuilder, NodeId};
+
+/// A `k × k` convolution applied to an `out_h × out_w` output tile: each
+/// output pixel is `k²` multiplications reduced by a balanced adder tree.
+/// Pixels are independent, so the graph is `out_h · out_w` replicas of a
+/// multiply-accumulate cone — wide, multiplication-heavy, and the typical
+/// "streaming DSP" shape the Montium targets.
+pub fn conv2d(k: usize, out_h: usize, out_w: usize) -> Dfg {
+    assert!(k >= 1, "kernel must be at least 1x1");
+    assert!(out_h >= 1 && out_w >= 1, "output tile must be non-empty");
+    let mut b = DfgBuilder::new();
+    for y in 0..out_h {
+        for x in 0..out_w {
+            let taps: Vec<NodeId> = (0..k * k)
+                .map(|t| b.add_node(format!("c_y{y}x{x}t{t}"), MUL))
+                .collect();
+            let mut level = taps;
+            let mut li = 0;
+            while level.len() > 1 {
+                let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                for (pi, pair) in level.chunks(2).enumerate() {
+                    if pair.len() == 2 {
+                        let a = b.add_node(format!("a_y{y}x{x}l{li}_{pi}"), ADD);
+                        b.add_edge(pair[0], a).unwrap();
+                        b.add_edge(pair[1], a).unwrap();
+                        next.push(a);
+                    } else {
+                        next.push(pair[0]);
+                    }
+                }
+                level = next;
+                li += 1;
+            }
+        }
+    }
+    b.build().expect("conv graphs are valid DAGs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::Levels;
+
+    #[test]
+    fn node_counts() {
+        let g = conv2d(3, 2, 2);
+        let h = g.color_histogram();
+        assert_eq!(h[MUL.index()], 4 * 9);
+        assert_eq!(h[ADD.index()], 4 * 8, "k²−1 adds per pixel");
+    }
+
+    #[test]
+    fn pixels_are_independent() {
+        let g = conv2d(3, 1, 4);
+        assert_eq!(g.sinks().len(), 4);
+        let depth = Levels::compute(&g).critical_path_len();
+        // 9 products → tree depth ceil(log2 9) = 4, plus the product: 5.
+        assert_eq!(depth, 5);
+    }
+
+    #[test]
+    fn one_by_one_kernel_is_a_multiply() {
+        let g = conv2d(1, 2, 2);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! CORDIC rotation DFG.
+//!
+//! CORDIC computes sin/cos/atan with shift-and-add only — exactly the
+//! operation mix a coarse-grained array without a fast multiplier would
+//! run. Iteration `i` of the rotation mode:
+//!
+//! ```text
+//! x_{i+1} = x_i − d_i · (y_i >> i)
+//! y_{i+1} = y_i + d_i · (x_i >> i)
+//! z_{i+1} = z_i − d_i · atan(2^−i)      (angle accumulator)
+//! ```
+//!
+//! Per iteration: two barrel shifts (`f`), one add (`a`), one subtract
+//! (`b`), plus the angle-accumulator subtract. Three tightly-coupled
+//! recurrences of three different colors — small patterns, long critical
+//! path, and a color (`shift`) that no other workload in the suite uses.
+
+use crate::{ADD, SHIFT, SUB};
+use mps_dfg::{Dfg, DfgBuilder};
+
+/// Build `iterations` CORDIC rotation iterations.
+///
+/// `5·iterations` nodes, depth `2·iterations` (shift then add/sub per
+/// iteration; the z-chain is depth `iterations` and never critical).
+pub fn cordic(iterations: usize) -> Dfg {
+    assert!(iterations >= 1, "need at least one CORDIC iteration");
+    let mut b = DfgBuilder::new();
+    let mut x_prev = None;
+    let mut y_prev = None;
+    let mut z_prev = None;
+
+    for i in 0..iterations {
+        let shx = b.add_node(format!("shx{i}"), SHIFT); // x_i >> i
+        let shy = b.add_node(format!("shy{i}"), SHIFT); // y_i >> i
+        if let Some(x) = x_prev {
+            b.add_edge(x, shx).unwrap();
+        }
+        if let Some(y) = y_prev {
+            b.add_edge(y, shy).unwrap();
+        }
+        let xn = b.add_node(format!("x{i}"), SUB); // x − d·(y>>i)
+        let yn = b.add_node(format!("y{i}"), ADD); // y + d·(x>>i)
+        if let Some(x) = x_prev {
+            b.add_edge(x, xn).unwrap();
+        }
+        b.add_edge(shy, xn).unwrap();
+        if let Some(y) = y_prev {
+            b.add_edge(y, yn).unwrap();
+        }
+        b.add_edge(shx, yn).unwrap();
+        let zn = b.add_node(format!("z{i}"), SUB); // z − d·atan(2^−i)
+        if let Some(z) = z_prev {
+            b.add_edge(z, zn).unwrap();
+        }
+        x_prev = Some(xn);
+        y_prev = Some(yn);
+        z_prev = Some(zn);
+    }
+
+    b.build().expect("CORDIC is a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::Levels;
+
+    #[test]
+    fn node_counts() {
+        for it in [1usize, 4, 12] {
+            let g = cordic(it);
+            assert_eq!(g.len(), 5 * it);
+            let h = g.color_histogram();
+            assert_eq!(h[SHIFT.index()], 2 * it);
+            assert_eq!(h[ADD.index()], it);
+            assert_eq!(h[SUB.index()], 2 * it, "x-chain plus z-chain");
+        }
+    }
+
+    #[test]
+    fn depth_two_per_iteration() {
+        for it in [1usize, 3, 8] {
+            assert_eq!(Levels::compute(&cordic(it)).critical_path_len() as usize, 2 * it);
+        }
+    }
+
+    #[test]
+    fn xy_recurrences_cross() {
+        let adfg = mps_dfg::AnalyzedDfg::new(cordic(3));
+        // y0 feeds shy1 feeds x1: the x-chain depends on the y-chain.
+        let y0 = adfg.dfg().find("y0").unwrap();
+        let x1 = adfg.dfg().find("x1").unwrap();
+        assert!(adfg.reach().reaches(y0, x1));
+    }
+
+    #[test]
+    fn z_chain_is_never_critical() {
+        let adfg = mps_dfg::AnalyzedDfg::new(cordic(4));
+        let levels = adfg.levels();
+        let z3 = adfg.dfg().find("z3").unwrap();
+        // The angle accumulator has slack: its ALAP exceeds its ASAP.
+        assert!(levels.alap(z3) > levels.asap(z3));
+    }
+}

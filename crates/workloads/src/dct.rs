@@ -1,0 +1,90 @@
+//! 8-point DCT-II DFG (even/odd butterfly factorization).
+
+use crate::complexsig::{ComplexBuilder, Sig};
+use mps_dfg::Dfg;
+
+/// An 8-point DCT-II using the first butterfly stage of the classic
+/// even/odd factorization:
+///
+/// * stage 1: `s_i = x_i + x_{7−i}`, `d_i = x_i − x_{7−i}` (4 adds,
+///   4 subs);
+/// * even outputs from a 4-point DCT of `s` (recursively butterflied);
+/// * odd outputs as 4×4 constant-matrix products of `d` (rotations kept as
+///   plain multiply-accumulate).
+///
+/// Mixes `a`/`b`/`c` colors with both tree and butterfly structure —
+/// a denser color mix than the DFTs, exercising pattern selection with
+/// balanced per-color demand.
+pub fn dct8() -> Dfg {
+    let mut b = ComplexBuilder::new();
+    // Real-valued: use only the `re` lane of inputs.
+    let x: Vec<Sig> = (0..8).map(|_| b.input().re).collect();
+
+    // Stage 1 butterflies.
+    let s: Vec<Sig> = (0..4).map(|i| b.add(x[i], x[7 - i])).collect();
+    let d: Vec<Sig> = (0..4).map(|i| b.sub(x[i], x[7 - i])).collect();
+
+    // Even half: 4-point DCT of s via another butterfly stage.
+    let ss0 = b.add(s[0], s[3]);
+    let ss1 = b.add(s[1], s[2]);
+    let sd0 = b.sub(s[0], s[3]);
+    let sd1 = b.sub(s[1], s[2]);
+    // X0 = c·(ss0+ss1), X4 = c·(ss0−ss1).
+    let e0 = b.add(ss0, ss1);
+    let e1 = b.sub(ss0, ss1);
+    let _x0 = b.mul_const(e0, false);
+    let _x4 = b.mul_const(e1, false);
+    // X2, X6: rotations of (sd0, sd1): each 2 products + 1 add/sub.
+    let p0 = b.mul_const(sd0, false);
+    let p1 = b.mul_const(sd1, false);
+    let p2 = b.mul_const(sd0, false);
+    let p3 = b.mul_const(sd1, false);
+    let _x2 = b.add(p0, p1);
+    let _x6 = b.sub(p2, p3);
+
+    // Odd half: each output X_{2k+1} = Σ_i k_{ki}·d_i (4 products + adder
+    // tree of 3).
+    for _k in 0..4 {
+        let prods: Vec<Sig> = d.iter().map(|&di| b.mul_const(di, false)).collect();
+        let t0 = b.add(prods[0], prods[1]);
+        let t1 = b.add(prods[2], prods[3]);
+        let _xo = b.add(t0, t1);
+    }
+
+    b.build().expect("DCT graphs are valid DAGs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ADD, MUL, SUB};
+    use mps_dfg::Levels;
+
+    #[test]
+    fn node_counts() {
+        let g = dct8();
+        let h = g.color_histogram();
+        // adds: 4 (stage1) + 2 (ss) + 1 (e0) + 1 (X2) + 4×3 (odd trees) = 20
+        assert_eq!(h[ADD.index()], 20);
+        // subs: 4 (stage1) + 2 (sd) + 1 (e1) + 1 (X6) = 8
+        assert_eq!(h[SUB.index()], 8);
+        // muls: 2 (X0,X4) + 4 (X2,X6 rotations) + 16 (odd) = 22
+        assert_eq!(h[MUL.index()], 22);
+        assert_eq!(g.len(), 50);
+    }
+
+    #[test]
+    fn depth() {
+        let g = dct8();
+        let l = Levels::compute(&g);
+        // stage1(1) → ss(2) → e0(3) → X0(4); odd: d(1) → prod(2) → t(3) →
+        // X(4). Longest: stage1 → ss → sd? sd(2) → p(3) → X2(4).
+        assert_eq!(l.critical_path_len(), 4);
+    }
+
+    #[test]
+    fn eight_outputs() {
+        let g = dct8();
+        assert_eq!(g.sinks().len(), 8);
+    }
+}

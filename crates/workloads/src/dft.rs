@@ -1,0 +1,246 @@
+//! N-point DFT graph generators.
+//!
+//! The paper evaluates on "3DFT" and "5DFT" — 3- and 5-point fast Fourier
+//! transforms. The exact arithmetic decomposition the authors compiled is
+//! not printed (only the 3-point result, reproduced verbatim in
+//! [`crate::fig2`]); for the parameterized generator we use the standard
+//! Winograd small-N DFT factorizations for N ∈ {2, 3, 4, 5} and the direct
+//! (twiddle-matrix) DFT for other sizes. All arithmetic is expanded to
+//! real operations via [`crate::ComplexBuilder`], with negations and
+//! multiplications by ±1/±j folded away as a real datapath would.
+
+use crate::complexsig::{ComplexBuilder, ComplexSig};
+use mps_dfg::Dfg;
+
+/// Which decomposition [`dft`] uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DftStyle {
+    /// Winograd factorization where available (N ∈ {2, 3, 4, 5}), direct
+    /// otherwise.
+    #[default]
+    Auto,
+    /// Force the direct (dense twiddle) form.
+    Direct,
+}
+
+/// Build the DFG of an `n`-point complex DFT (`n ≥ 2`).
+pub fn dft(n: usize, style: DftStyle) -> Dfg {
+    assert!(n >= 2, "a DFT needs at least 2 points");
+    let mut b = ComplexBuilder::new();
+    let inputs: Vec<ComplexSig> = (0..n).map(|_| b.input()).collect();
+    match (style, n) {
+        (DftStyle::Auto, 2) => winograd2(&mut b, &inputs),
+        (DftStyle::Auto, 3) => winograd3(&mut b, &inputs),
+        (DftStyle::Auto, 4) => radix4(&mut b, &inputs),
+        (DftStyle::Auto, 5) => winograd5(&mut b, &inputs),
+        _ => direct(&mut b, &inputs),
+    }
+    b.build().expect("generated DFT graphs are valid DAGs")
+}
+
+/// The 3-point DFT (Winograd factorization, 16 nodes).
+pub fn dft3() -> Dfg {
+    dft(3, DftStyle::Auto)
+}
+
+/// The 5-point DFT (Winograd factorization, 44 nodes) — the paper's 5DFT
+/// workload.
+pub fn dft5() -> Dfg {
+    dft(5, DftStyle::Auto)
+}
+
+fn winograd2(b: &mut ComplexBuilder, x: &[ComplexSig]) {
+    let _x0 = b.cadd(x[0], x[1]);
+    let _x1 = b.csub(x[0], x[1]);
+}
+
+/// Winograd 3-point DFT:
+/// `u = x1+x2; v = x1−x2; X0 = x0+u; m1 = (cos(2π/3)−1)·u;
+///  m2 = j·sin(2π/3)·v; s = X0+m1; X1 = s+m2; X2 = s−m2.`
+fn winograd3(b: &mut ComplexBuilder, x: &[ComplexSig]) {
+    let u = b.cadd(x[1], x[2]);
+    let v = b.csub(x[1], x[2]);
+    let x0 = b.cadd(x[0], u);
+    let m1 = b.cmul_real(u, true); // cos(2π/3) − 1 < 0
+    let m2 = b.cmul_imag(v, false); // j·sin(2π/3)
+    let s = b.cadd(x0, m1);
+    let _x1 = b.cadd(s, m2);
+    let _x2 = b.csub(s, m2);
+}
+
+/// Radix-2 4-point DFT (multiplication-free: twiddles are ±1, ±j).
+fn radix4(b: &mut ComplexBuilder, x: &[ComplexSig]) {
+    let t0 = b.cadd(x[0], x[2]);
+    let t1 = b.csub(x[0], x[2]);
+    let t2 = b.cadd(x[1], x[3]);
+    let t3 = b.csub(x[1], x[3]);
+    let _x0 = b.cadd(t0, t2);
+    let _x2 = b.csub(t0, t2);
+    let jt3 = t3.mul_j();
+    let _x1 = b.csub(t1, jt3);
+    let _x3 = b.cadd(t1, jt3);
+}
+
+/// Winograd 5-point DFT (10 real multiplications):
+///
+/// ```text
+/// t1 = x1+x4   t2 = x2+x3   t3 = x1−x4   t4 = x2−x3   t5 = t1+t2
+/// X0 = x0+t5
+/// m1 = ((cos u + cos 2u)/2 − 1)·t5              (u = 2π/5)
+/// m2 = ((cos u − cos 2u)/2)·(t1−t2)
+/// m3 = −j·sin(u)·(t3+t4)
+/// m4 = −j·(sin u + sin 2u)·t4
+/// m5 =  j·(sin u − sin 2u)·t3
+/// s1 = X0+m1   s2 = s1+m2   s3 = m3−m4   s4 = s1−m2   s5 = m3+m5
+/// X1 = s2+s3   X2 = s4+s5   X3 = s4−s5   X4 = s2−s3
+/// ```
+fn winograd5(b: &mut ComplexBuilder, x: &[ComplexSig]) {
+    let t1 = b.cadd(x[1], x[4]);
+    let t2 = b.cadd(x[2], x[3]);
+    let t3 = b.csub(x[1], x[4]);
+    let t4 = b.csub(x[2], x[3]);
+    let t5 = b.cadd(t1, t2);
+    let x0 = b.cadd(x[0], t5);
+    let m1 = b.cmul_real(t5, true); // (cos u + cos 2u)/2 − 1 < 0
+    let t12 = b.csub(t1, t2);
+    let m2 = b.cmul_real(t12, false);
+    let t34 = b.cadd(t3, t4);
+    let m3 = b.cmul_imag(t34, true); // −j·sin u
+    let m4 = b.cmul_imag(t4, true); // −j·(sin u + sin 2u)
+    let m5 = b.cmul_imag(t3, false); // j·(sin u − sin 2u)
+    let s1 = b.cadd(x0, m1);
+    let s2 = b.cadd(s1, m2);
+    let s3 = b.csub(m3, m4);
+    let s4 = b.csub(s1, m2);
+    let s5 = b.cadd(m3, m5);
+    let _x1 = b.cadd(s2, s3);
+    let _x2 = b.cadd(s4, s5);
+    let _x3 = b.csub(s4, s5);
+    let _x4 = b.csub(s2, s3);
+}
+
+/// Direct DFT: `X_k = Σ_n x_n·W^{nk}` with trivial twiddles (±1, ±j)
+/// folded and general twiddles expanded to the 4-multiply complex product.
+fn direct(b: &mut ComplexBuilder, x: &[ComplexSig]) {
+    let n = x.len();
+    for k in 0..n {
+        let mut acc: Option<ComplexSig> = None;
+        for (i, &xi) in x.iter().enumerate() {
+            let e = (i * k) % n; // twiddle exponent
+            let term = apply_twiddle(b, xi, e, n);
+            acc = Some(match acc {
+                None => term,
+                Some(a) => b.cadd(a, term),
+            });
+        }
+        let _xk = acc.expect("n >= 2");
+    }
+}
+
+/// Multiply by `W_n^e = exp(−2πj·e/n)`, folding the trivial cases.
+fn apply_twiddle(b: &mut ComplexBuilder, x: ComplexSig, e: usize, n: usize) -> ComplexSig {
+    // 4e/n classifies the quarter turns exactly when 4e % n == 0.
+    if e == 0 {
+        return x;
+    }
+    if (4 * e).is_multiple_of(n) {
+        return match 4 * e / n {
+            1 => x.mul_j().negate(), // W^{n/4} = −j
+            2 => x.negate(),         // W^{n/2} = −1
+            3 => x.mul_j(),          // W^{3n/4} = +j
+            _ => x,
+        };
+    }
+    // General twiddle: cos − j·sin with both parts nonzero.
+    b.cmul_full(x, false, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ADD, MUL, SUB};
+    use mps_dfg::Levels;
+
+    fn hist(g: &Dfg) -> (usize, usize, usize) {
+        let h = g.color_histogram();
+        (
+            h.get(ADD.index()).copied().unwrap_or(0),
+            h.get(SUB.index()).copied().unwrap_or(0),
+            h.get(MUL.index()).copied().unwrap_or(0),
+        )
+    }
+
+    #[test]
+    fn dft2_is_one_butterfly() {
+        let g = dft(2, DftStyle::Auto);
+        assert_eq!(hist(&g), (2, 2, 0));
+    }
+
+    #[test]
+    fn winograd3_counts() {
+        let g = dft3();
+        // 6 complex additions/subtractions = 12 real a/b nodes; the
+        // negative constant in m1 and the j in m2 fold signs, so the
+        // exact a/b split is (6, 6); 2 constant mults × 2 parts = 4 c.
+        assert_eq!(hist(&g), (6, 6, 4));
+        assert_eq!(g.len(), 16);
+    }
+
+    #[test]
+    fn radix4_is_multiplication_free() {
+        let g = dft(4, DftStyle::Auto);
+        let (_, _, muls) = hist(&g);
+        assert_eq!(muls, 0);
+        assert_eq!(g.len(), 16, "8 complex add/sub = 16 real ops");
+    }
+
+    #[test]
+    fn winograd5_counts() {
+        let g = dft5();
+        let (a, b, c) = hist(&g);
+        assert_eq!(c, 10, "Winograd 5-point uses 10 real multiplications");
+        assert_eq!(a + b, 34, "the canonical 34 real additions/subtractions");
+        assert_eq!(g.len(), 44);
+    }
+
+    #[test]
+    fn direct_dft_has_quadratic_growth() {
+        let g5 = dft(5, DftStyle::Direct);
+        let g7 = dft(7, DftStyle::Direct);
+        assert!(g7.len() > g5.len());
+        let (_, _, muls5) = hist(&g5);
+        // Direct 5-point: 16 nontrivial twiddles × 4 mults = 64.
+        assert_eq!(muls5, 64);
+    }
+
+    #[test]
+    fn all_variants_are_dags_with_sensible_depth() {
+        for n in 2..=8 {
+            for style in [DftStyle::Auto, DftStyle::Direct] {
+                let g = dft(n, style);
+                let l = Levels::compute(&g);
+                // dft2 is a single butterfly: depth 1.
+                assert!(l.critical_path_len() >= if n == 2 { 1 } else { 2 }, "n={n} {style:?}");
+                assert!(
+                    l.critical_path_len() as usize <= g.len(),
+                    "depth bounded by size"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn winograd5_depth_is_shallow() {
+        let g = dft5();
+        let l = Levels::compute(&g);
+        // t(1) t5/x0(2) m(3)... longest chain: t1→t5→x0→... count: t1, t5,
+        // x0|m1, s1, s2, X1 ⇒ 6 levels.
+        assert_eq!(l.critical_path_len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn dft1_rejected() {
+        dft(1, DftStyle::Auto);
+    }
+}

@@ -1,0 +1,111 @@
+//! Full power-of-two FFTs by recursive radix-2 decimation in time.
+//!
+//! [`crate::dft`] builds the small Winograd kernels the paper evaluates;
+//! this module composes them into the *N*-point FFTs a real Montium
+//! application would run (N = 8…64), producing graphs an order of
+//! magnitude larger with log-depth butterfly structure — the scaling
+//! workload for the benches.
+
+use crate::complexsig::{ComplexBuilder, ComplexSig};
+use mps_dfg::Dfg;
+
+/// An `n`-point radix-2 DIT FFT (`n` a power of two, `n ≥ 2`).
+pub fn fft_radix2(n: usize) -> Dfg {
+    assert!(n >= 2 && n.is_power_of_two(), "n must be a power of two >= 2");
+    let mut b = ComplexBuilder::new();
+    let inputs: Vec<ComplexSig> = (0..n).map(|_| b.input()).collect();
+    let _outputs = rec(&mut b, &inputs, n);
+    b.build().expect("FFT graphs are valid DAGs")
+}
+
+/// Recursive decimation in time; `stride_n` is the total size at this
+/// level (for twiddle classification).
+fn rec(b: &mut ComplexBuilder, x: &[ComplexSig], _total: usize) -> Vec<ComplexSig> {
+    let n = x.len();
+    if n == 1 {
+        return vec![x[0]];
+    }
+    let evens: Vec<ComplexSig> = x.iter().copied().step_by(2).collect();
+    let odds: Vec<ComplexSig> = x.iter().copied().skip(1).step_by(2).collect();
+    let e = rec(b, &evens, _total);
+    let o = rec(b, &odds, _total);
+
+    let mut out = vec![None; n];
+    for k in 0..n / 2 {
+        // W_n^k · o[k], folding the trivial cases.
+        let t = twiddle(b, o[k], k, n);
+        out[k] = Some(b.cadd(e[k], t));
+        out[k + n / 2] = Some(b.csub(e[k], t));
+    }
+    out.into_iter().map(Option::unwrap).collect()
+}
+
+fn twiddle(b: &mut ComplexBuilder, x: ComplexSig, k: usize, n: usize) -> ComplexSig {
+    if k == 0 {
+        return x;
+    }
+    if (4 * k).is_multiple_of(n) {
+        return match 4 * k / n {
+            1 => x.mul_j().negate(), // W^{n/4} = −j
+            2 => x.negate(),
+            _ => x.mul_j(),
+        };
+    }
+    b.cmul_full(x, false, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MUL;
+    use mps_dfg::Levels;
+
+    #[test]
+    fn fft2_is_one_butterfly() {
+        let g = fft_radix2(2);
+        assert_eq!(g.len(), 4, "one complex add + one complex sub");
+    }
+
+    #[test]
+    fn fft4_is_multiplication_free() {
+        let g = fft_radix2(4);
+        let h = g.color_histogram();
+        assert_eq!(h.get(MUL.index()).copied().unwrap_or(0), 0);
+        assert_eq!(g.len(), 16);
+    }
+
+    #[test]
+    fn fft8_counts() {
+        let g = fft_radix2(8);
+        let h = g.color_histogram();
+        // Stage twiddles: only W8^1 and W8^3 are non-trivial → 2 full
+        // complex mults → 8 real muls + their 2 add/sub combiners each.
+        assert_eq!(h[MUL.index()], 8);
+        // 12 butterflies × (2a + 2b) + 2×(1a + 1b) from the complex mults.
+        assert_eq!(g.len(), 12 * 4 + 8 + 4);
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        let d8 = Levels::compute(&fft_radix2(8)).critical_path_len();
+        let d32 = Levels::compute(&fft_radix2(32)).critical_path_len();
+        assert!((3..=6).contains(&d8), "got {d8}");
+        assert!(d32 > d8);
+        assert!(d32 <= 12, "log-depth structure, got {d32}");
+    }
+
+    #[test]
+    fn size_grows_n_log_n() {
+        let s8 = fft_radix2(8).len();
+        let s16 = fft_radix2(16).len();
+        let s32 = fft_radix2(32).len();
+        assert!(s16 > 2 * s8 - 8);
+        assert!(s32 > 2 * s16 - 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        fft_radix2(6);
+    }
+}

@@ -1,0 +1,173 @@
+//! The paper's Fig. 2: the 3-point DFT data-flow graph.
+
+use crate::{ADD, MUL, SUB};
+use mps_dfg::{Dfg, DfgBuilder};
+
+/// The 24-node 3DFT graph of the paper's Fig. 2.
+///
+/// The figure itself is not machine-readable, so the edge set was
+/// reconstructed from two independent sources of truth printed in the
+/// paper:
+///
+/// 1. **Table 1** fixes `(ASAP, ALAP, Height)` for 22 of the 24 nodes;
+/// 2. **Table 2** (the full scheduling trace with patterns `aabcc` and
+///    `aaacc`) fixes, cycle by cycle, when each node *becomes a candidate*
+///    — i.e. when its last predecessor was scheduled — which pins down the
+///    dependencies, including those of the two nodes (`c12`, `c14`)
+///    Table 1 omits. Their forced levels are ASAP = ALAP = 2, Height = 3.
+///
+/// The reconstruction reproduces Table 1 **exactly** (asserted by tests)
+/// and, with [`mps_scheduler`]'s default `F2`/higher-id-tie-break
+/// configuration, reproduces the Table 2 trace **exactly**.
+///
+/// Node insertion order is `(letter, number)`-sorted — `a2, a4, a7, a8,
+/// a15, …, a24, b1, b3, b5, b6, c9, …, c14` — because the scheduler's
+/// deterministic tie-break (higher insertion id first) must order
+/// same-priority same-color nodes as the paper's trace does (`b6` before
+/// `b3` in cycle 1, `a24` before `a16` in cycle 2, `b5` before `b1` in
+/// cycle 3).
+pub fn fig2() -> Dfg {
+    let mut b = DfgBuilder::with_capacity(24, 20);
+
+    let a2 = b.add_node("a2", ADD);
+    let a4 = b.add_node("a4", ADD);
+    let a7 = b.add_node("a7", ADD);
+    let a8 = b.add_node("a8", ADD);
+    let a15 = b.add_node("a15", ADD);
+    let a16 = b.add_node("a16", ADD);
+    let a17 = b.add_node("a17", ADD);
+    let a18 = b.add_node("a18", ADD);
+    let a19 = b.add_node("a19", ADD);
+    let a20 = b.add_node("a20", ADD);
+    let a21 = b.add_node("a21", ADD);
+    let a22 = b.add_node("a22", ADD);
+    let a23 = b.add_node("a23", ADD);
+    let a24 = b.add_node("a24", ADD);
+    let b1 = b.add_node("b1", SUB);
+    let b3 = b.add_node("b3", SUB);
+    let b5 = b.add_node("b5", SUB);
+    let b6 = b.add_node("b6", SUB);
+    let c9 = b.add_node("c9", MUL);
+    let c10 = b.add_node("c10", MUL);
+    let c11 = b.add_node("c11", MUL);
+    let c12 = b.add_node("c12", MUL);
+    let c13 = b.add_node("c13", MUL);
+    let c14 = b.add_node("c14", MUL);
+
+    for (u, v) in [
+        (b3, a8),
+        (b6, a7),
+        (a2, c10),
+        (a2, a24),
+        (a4, c11),
+        (a4, a16),
+        (b1, c9),
+        (b5, c13),
+        (a8, c14),
+        (a7, c12),
+        (c9, a15),
+        (c13, a18),
+        (c10, a20),
+        (c11, a17),
+        (c12, a17),
+        (c14, a20),
+        (a15, a19),
+        (a18, a22),
+        (a20, a23),
+        (a17, a21),
+    ] {
+        b.add_edge(u, v).expect("static edge list is valid");
+    }
+
+    b.build().expect("fig2 is a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::{AnalyzedDfg, Levels};
+
+    #[test]
+    fn shape() {
+        let g = fig2();
+        assert_eq!(g.len(), 24);
+        assert_eq!(g.edge_count(), 20);
+        let hist = g.color_histogram();
+        assert_eq!(hist[ADD.index()], 14, "14 additions");
+        assert_eq!(hist[SUB.index()], 4, "4 subtractions");
+        assert_eq!(hist[MUL.index()], 6, "6 multiplications");
+    }
+
+    /// The paper's Table 1, verbatim (22 rows), plus the two nodes whose
+    /// levels are forced by the Table 2 trace.
+    #[test]
+    fn levels_match_table1_exactly() {
+        let g = fig2();
+        let l = Levels::compute(&g);
+        let expect = [
+            ("b3", 0, 0, 5),
+            ("b6", 0, 0, 5),
+            ("b1", 0, 1, 4),
+            ("b5", 0, 1, 4),
+            ("a4", 0, 1, 4),
+            ("a2", 0, 1, 4),
+            ("a8", 1, 1, 4),
+            ("a7", 1, 1, 4),
+            ("c9", 1, 2, 3),
+            ("c13", 1, 2, 3),
+            ("c11", 1, 2, 3),
+            ("c10", 1, 2, 3),
+            ("a24", 1, 4, 1),
+            ("a16", 1, 4, 1),
+            ("a15", 2, 3, 2),
+            ("a18", 2, 3, 2),
+            ("a20", 3, 3, 2),
+            ("a17", 3, 3, 2),
+            ("a19", 3, 4, 1),
+            ("a22", 3, 4, 1),
+            ("a23", 4, 4, 1),
+            ("a21", 4, 4, 1),
+            // Not in Table 1; forced by the Table 2 trace:
+            ("c12", 2, 2, 3),
+            ("c14", 2, 2, 3),
+        ];
+        for (name, asap, alap, height) in expect {
+            let n = g.find(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(l.asap(n), asap, "ASAP({name})");
+            assert_eq!(l.alap(n), alap, "ALAP({name})");
+            assert_eq!(l.height(n), height, "Height({name})");
+        }
+        assert_eq!(l.asap_max(), 4);
+    }
+
+    #[test]
+    fn six_sinks_matching_three_complex_outputs() {
+        let g = fig2();
+        let mut sinks: Vec<&str> = g.sinks().into_iter().map(|n| g.name(n)).collect();
+        sinks.sort_unstable();
+        assert_eq!(sinks, vec!["a16", "a19", "a21", "a22", "a23", "a24"]);
+    }
+
+    #[test]
+    fn a1_a3_span_example() {
+        // §5.1 worked example: Span({a24, b3}) = 1.
+        let g = fig2();
+        let adfg = AnalyzedDfg::new(g);
+        let a24 = adfg.dfg().find("a24").unwrap();
+        let b3 = adfg.dfg().find("b3").unwrap();
+        assert!(adfg.reach().parallelizable(a24, b3));
+        assert_eq!(adfg.span(&[a24, b3]), 1);
+    }
+
+    #[test]
+    fn a19_b3_parallelizable_but_far() {
+        // §5.1: "node a19 and node b3 are unlikely to be scheduled in the
+        // same clock cycle although they are parallelizable."
+        let g = fig2();
+        let adfg = AnalyzedDfg::new(g);
+        let a19 = adfg.dfg().find("a19").unwrap();
+        let b3 = adfg.dfg().find("b3").unwrap();
+        assert!(adfg.reach().parallelizable(a19, b3));
+        assert_eq!(adfg.span(&[a19, b3]), 3, "ASAP(a19)=3 vs ALAP(b3)=0");
+    }
+}

@@ -1,0 +1,86 @@
+//! The paper's Fig. 4: the small pattern-selection example.
+
+use crate::{ADD, SUB};
+use mps_dfg::{Dfg, DfgBuilder};
+
+/// The 5-node example graph of the paper's Fig. 4 (used by Tables 4 and 6
+/// and both §5.2 worked examples).
+///
+/// Structure (reconstructed from the paper's statements):
+///
+/// * the antichains are exactly `{a1}`, `{a2}`, `{a3}`, `{b4}`, `{b5}`,
+///   `{a1,a3}`, `{a2,a3}`, `{b4,b5}` (Table 4), and
+/// * "there is no antichain with color set `{a, b}`" (§5.2, the `Pdef = 1`
+///   discussion), so every addition must precede every subtraction.
+///
+/// The unique minimal DAG with these properties (up to symmetry):
+/// `a1 → a2`, `a2 → {b4, b5}`, `a3 → {b4, b5}`.
+pub fn fig4() -> Dfg {
+    let mut b = DfgBuilder::with_capacity(5, 5);
+    let a1 = b.add_node("a1", ADD);
+    let a2 = b.add_node("a2", ADD);
+    let a3 = b.add_node("a3", ADD);
+    let b4 = b.add_node("b4", SUB);
+    let b5 = b.add_node("b5", SUB);
+    b.add_edge(a1, a2).unwrap();
+    b.add_edge(a2, b4).unwrap();
+    b.add_edge(a2, b5).unwrap();
+    b.add_edge(a3, b4).unwrap();
+    b.add_edge(a3, b5).unwrap();
+    b.build().expect("fig4 is a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::AnalyzedDfg;
+
+    #[test]
+    fn shape() {
+        let g = fig4();
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.color_set().len(), 2);
+    }
+
+    #[test]
+    fn antichains_match_table4() {
+        let adfg = AnalyzedDfg::new(fig4());
+        let g = adfg.dfg();
+        let n = |s: &str| g.find(s).unwrap();
+        let r = adfg.reach();
+        // The three listed size-2 antichains exist…
+        assert!(r.is_antichain(&[n("a1"), n("a3")]));
+        assert!(r.is_antichain(&[n("a2"), n("a3")]));
+        assert!(r.is_antichain(&[n("b4"), n("b5")]));
+        // …and no mixed-color pair is parallelizable (§5.2: "there is no
+        // antichain with color set {a, b}").
+        for a in ["a1", "a2", "a3"] {
+            for b in ["b4", "b5"] {
+                assert!(
+                    !r.parallelizable(n(a), n(b)),
+                    "{a} and {b} must be ordered"
+                );
+            }
+        }
+        // a1 → a2 are ordered.
+        assert!(!r.parallelizable(n("a1"), n("a2")));
+    }
+
+    #[test]
+    fn no_triple_antichains() {
+        let adfg = AnalyzedDfg::new(fig4());
+        let g = adfg.dfg();
+        let ids: Vec<_> = g.node_ids().collect();
+        for i in 0..ids.len() {
+            for j in i + 1..ids.len() {
+                for k in j + 1..ids.len() {
+                    assert!(
+                        !adfg.reach().is_antichain(&[ids[i], ids[j], ids[k]]),
+                        "Table 4 lists no antichain of size 3"
+                    );
+                }
+            }
+        }
+    }
+}

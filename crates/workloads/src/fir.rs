@@ -1,0 +1,120 @@
+//! FIR filter DFGs.
+
+use crate::{ADD, MUL};
+use mps_dfg::{Dfg, DfgBuilder, NodeId};
+
+/// How the products of a FIR tap line are accumulated.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdderShape {
+    /// Balanced binary adder tree — depth `⌈log2(taps)⌉`, maximally
+    /// parallel.
+    #[default]
+    Tree,
+    /// Sequential accumulator chain — depth `taps − 1`, minimally parallel
+    /// (the classic transposed-form accumulation).
+    Chain,
+}
+
+/// `y[n] = Σ_k b_k · x[n−k]` for `samples` consecutive output samples.
+///
+/// Each output sample contributes `taps` multiplications (`c`) feeding an
+/// adder structure of `taps − 1` additions (`a`). Samples are independent,
+/// so `samples > 1` widens the graph without deepening it — a good stress
+/// test for pattern selection on multiplication-heavy workloads.
+pub fn fir(taps: usize, samples: usize, shape: AdderShape) -> Dfg {
+    assert!(taps >= 1, "a FIR filter needs at least one tap");
+    assert!(samples >= 1, "need at least one output sample");
+    let mut b = DfgBuilder::new();
+    for s in 0..samples {
+        let products: Vec<NodeId> = (0..taps)
+            .map(|k| b.add_node(format!("c_s{s}t{k}"), MUL))
+            .collect();
+        reduce(&mut b, &products, shape, &format!("s{s}"));
+    }
+    b.build().expect("FIR graphs are valid DAGs")
+}
+
+/// Reduce `inputs` to one value with `a` nodes of the requested shape;
+/// returns the root (or the single input).
+fn reduce(b: &mut DfgBuilder, inputs: &[NodeId], shape: AdderShape, tag: &str) -> NodeId {
+    match shape {
+        AdderShape::Chain => {
+            let mut acc = inputs[0];
+            for (i, &p) in inputs.iter().enumerate().skip(1) {
+                let n = b.add_node(format!("a_{tag}_{i}"), ADD);
+                b.add_edge(acc, n).unwrap();
+                b.add_edge(p, n).unwrap();
+                acc = n;
+            }
+            acc
+        }
+        AdderShape::Tree => {
+            let mut level: Vec<NodeId> = inputs.to_vec();
+            let mut li = 0;
+            while level.len() > 1 {
+                let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                for (pi, pair) in level.chunks(2).enumerate() {
+                    if pair.len() == 2 {
+                        let n = b.add_node(format!("a_{tag}_l{li}_{pi}"), ADD);
+                        b.add_edge(pair[0], n).unwrap();
+                        b.add_edge(pair[1], n).unwrap();
+                        next.push(n);
+                    } else {
+                        next.push(pair[0]);
+                    }
+                }
+                level = next;
+                li += 1;
+            }
+            level[0]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::Levels;
+
+    #[test]
+    fn node_counts() {
+        for taps in [1usize, 2, 7, 16] {
+            for shape in [AdderShape::Tree, AdderShape::Chain] {
+                let g = fir(taps, 1, shape);
+                let h = g.color_histogram();
+                assert_eq!(h[MUL.index()], taps);
+                if taps > 1 {
+                    assert_eq!(h[ADD.index()], taps - 1, "taps={taps} {shape:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_is_shallower_than_chain() {
+        let tree = fir(16, 1, AdderShape::Tree);
+        let chain = fir(16, 1, AdderShape::Chain);
+        let dt = Levels::compute(&tree).critical_path_len();
+        let dc = Levels::compute(&chain).critical_path_len();
+        assert_eq!(dt, 1 + 4, "mults + log2(16) adds");
+        assert_eq!(dc, 1 + 15, "mults + 15 sequential adds");
+        assert!(dt < dc);
+    }
+
+    #[test]
+    fn samples_widen_not_deepen() {
+        let one = fir(8, 1, AdderShape::Tree);
+        let four = fir(8, 4, AdderShape::Tree);
+        assert_eq!(four.len(), 4 * one.len());
+        assert_eq!(
+            Levels::compute(&one).critical_path_len(),
+            Levels::compute(&four).critical_path_len()
+        );
+    }
+
+    #[test]
+    fn single_tap_is_just_a_multiply() {
+        let g = fir(1, 1, AdderShape::Tree);
+        assert_eq!(g.len(), 1);
+    }
+}

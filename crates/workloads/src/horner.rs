@@ -1,0 +1,64 @@
+//! Horner-rule polynomial evaluation DFGs.
+
+use crate::{ADD, MUL};
+use mps_dfg::{Dfg, DfgBuilder, NodeId};
+
+/// Evaluate a degree-`degree` polynomial by Horner's rule at `points`
+/// independent points: `(((c_n·x + c_{n−1})·x + …)·x + c_0)`.
+///
+/// Each point is a strictly serial multiply-add chain — the pathological
+/// zero-parallelism case *within* a point, with all parallelism *across*
+/// points. Sweeping `points` from 1 to C trades the two against each
+/// other, which makes this the cleanest workload for studying how pattern
+/// selection handles mixed serial/parallel structure.
+pub fn horner(degree: usize, points: usize) -> Dfg {
+    assert!(degree >= 1, "need a polynomial of degree >= 1");
+    assert!(points >= 1, "need at least one evaluation point");
+    let mut b = DfgBuilder::new();
+    for p in 0..points {
+        let mut acc: Option<NodeId> = None;
+        for d in 0..degree {
+            let mul = b.add_node(format!("c_p{p}d{d}"), MUL);
+            if let Some(prev) = acc {
+                b.add_edge(prev, mul).unwrap();
+            }
+            let add = b.add_node(format!("a_p{p}d{d}"), ADD);
+            b.add_edge(mul, add).unwrap();
+            acc = Some(add);
+        }
+    }
+    b.build().expect("horner graphs are valid DAGs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::Levels;
+
+    #[test]
+    fn node_counts_and_depth() {
+        let g = horner(4, 1);
+        assert_eq!(g.len(), 8);
+        assert_eq!(Levels::compute(&g).critical_path_len(), 8, "fully serial");
+    }
+
+    #[test]
+    fn points_add_parallelism_not_depth() {
+        let one = horner(4, 1);
+        let four = horner(4, 4);
+        assert_eq!(four.len(), 4 * one.len());
+        assert_eq!(
+            Levels::compute(&one).critical_path_len(),
+            Levels::compute(&four).critical_path_len()
+        );
+        assert_eq!(four.sinks().len(), 4);
+    }
+
+    #[test]
+    fn alternating_colors() {
+        let g = horner(3, 1);
+        let h = g.color_histogram();
+        assert_eq!(h[MUL.index()], 3);
+        assert_eq!(h[ADD.index()], 3);
+    }
+}

@@ -1,0 +1,82 @@
+//! IIR biquad cascade DFGs.
+
+use crate::{ADD, MUL};
+use mps_dfg::{Dfg, DfgBuilder, NodeId};
+
+/// A cascade of direct-form-II biquad sections.
+///
+/// Each section computes
+/// `w = x + a1·w1 + a2·w2; y = b0·w + b1·w1 + b2·w2`
+/// (5 multiplications, 4 additions); the output of section `i` is the
+/// input of section `i+1`, giving the long serial dependency chains that
+/// make IIR filters the worst case for parallel scheduling — useful as the
+/// low-parallelism end of the workload spectrum.
+pub fn iir_biquad_cascade(sections: usize) -> Dfg {
+    assert!(sections >= 1, "need at least one biquad section");
+    let mut b = DfgBuilder::new();
+    let mut carry: Option<NodeId> = None;
+    for s in 0..sections {
+        // Feedback products a1·w1, a2·w2 (state lives in memory: sources).
+        let a1w1 = b.add_node(format!("c_s{s}_a1"), MUL);
+        let a2w2 = b.add_node(format!("c_s{s}_a2"), MUL);
+        // w = x + a1w1 + a2w2.
+        let sum1 = b.add_node(format!("a_s{s}_w0"), ADD);
+        if let Some(prev) = carry {
+            b.add_edge(prev, sum1).unwrap();
+        }
+        b.add_edge(a1w1, sum1).unwrap();
+        let w = b.add_node(format!("a_s{s}_w1"), ADD);
+        b.add_edge(sum1, w).unwrap();
+        b.add_edge(a2w2, w).unwrap();
+        // Feedforward products.
+        let b0w = b.add_node(format!("c_s{s}_b0"), MUL);
+        b.add_edge(w, b0w).unwrap();
+        let b1w1 = b.add_node(format!("c_s{s}_b1"), MUL);
+        let b2w2 = b.add_node(format!("c_s{s}_b2"), MUL);
+        // y = b0w + b1w1 + b2w2.
+        let sum2 = b.add_node(format!("a_s{s}_y0"), ADD);
+        b.add_edge(b0w, sum2).unwrap();
+        b.add_edge(b1w1, sum2).unwrap();
+        let y = b.add_node(format!("a_s{s}_y1"), ADD);
+        b.add_edge(sum2, y).unwrap();
+        b.add_edge(b2w2, y).unwrap();
+        carry = Some(y);
+    }
+    b.build().expect("IIR graphs are valid DAGs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::Levels;
+
+    #[test]
+    fn node_counts_per_section() {
+        for sections in [1usize, 2, 5] {
+            let g = iir_biquad_cascade(sections);
+            assert_eq!(g.len(), sections * 9);
+            let h = g.color_histogram();
+            assert_eq!(h[MUL.index()], sections * 5);
+            assert_eq!(h[ADD.index()], sections * 4);
+        }
+    }
+
+    #[test]
+    fn cascade_depth_grows_linearly() {
+        let d1 = Levels::compute(&iir_biquad_cascade(1)).critical_path_len();
+        let d3 = Levels::compute(&iir_biquad_cascade(3)).critical_path_len();
+        // Section: a1w1 → sum1 → w → b0w → sum2 → y = 6 levels… minus the
+        // source products. Cascading adds 5 per section (y feeds sum1).
+        assert_eq!(d1, 6);
+        assert_eq!(d3, 6 + 2 * 5);
+    }
+
+    #[test]
+    fn sections_are_serially_dependent() {
+        let g = iir_biquad_cascade(2);
+        let adfg = mps_dfg::AnalyzedDfg::new(g);
+        let y0 = adfg.dfg().find("a_s0_y1").unwrap();
+        let y1 = adfg.dfg().find("a_s1_y1").unwrap();
+        assert!(adfg.reach().reaches(y0, y1));
+    }
+}

@@ -1,0 +1,106 @@
+//! Lattice (ladder) filter DFG.
+//!
+//! The order-`m` lattice filter is the standard structure for adaptive
+//! prediction (LPC speech coding runs one per frame). Per stage `i`:
+//!
+//! ```text
+//! f_i = f_{i−1} + k_i · g_{i−1}
+//! g_i = g_{i−1} + k_i · f_{i−1}
+//! ```
+//!
+//! The two recurrences cross-couple, so the graph is *narrow and deep*:
+//! at most two multiplies and two adds are ever ready at once, the polar
+//! opposite of the FIR tap line. Pattern selection on this shape must
+//! prefer small mixed patterns over wide single-color ones — a useful
+//! counterweight in the cross-selector comparison.
+
+use crate::{ADD, MUL};
+use mps_dfg::{Dfg, DfgBuilder};
+
+/// Build an order-`stages` lattice filter section for one sample.
+///
+/// Node colors: `c` = multiply (by the reflection coefficient `k_i`),
+/// `a` = add. `4·stages` nodes, depth `2·stages`.
+pub fn lattice(stages: usize) -> Dfg {
+    assert!(stages >= 1, "need at least one lattice stage");
+    let mut b = DfgBuilder::new();
+    let mut f_prev = None; // f_0 and g_0 are graph inputs (not nodes)
+    let mut g_prev = None;
+
+    for i in 0..stages {
+        let mul_f = b.add_node(format!("mf{i}"), MUL); // k_i · g_{i−1}
+        let mul_g = b.add_node(format!("mg{i}"), MUL); // k_i · f_{i−1}
+        if let Some(g) = g_prev {
+            b.add_edge(g, mul_f).unwrap();
+        }
+        if let Some(f) = f_prev {
+            b.add_edge(f, mul_g).unwrap();
+        }
+        let add_f = b.add_node(format!("af{i}"), ADD); // f_i
+        let add_g = b.add_node(format!("ag{i}"), ADD); // g_i
+        if let Some(f) = f_prev {
+            b.add_edge(f, add_f).unwrap();
+        }
+        b.add_edge(mul_f, add_f).unwrap();
+        if let Some(g) = g_prev {
+            b.add_edge(g, add_g).unwrap();
+        }
+        b.add_edge(mul_g, add_g).unwrap();
+        f_prev = Some(add_f);
+        g_prev = Some(add_g);
+    }
+
+    b.build().expect("lattice is a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::Levels;
+
+    #[test]
+    fn node_and_edge_counts() {
+        for m in [1usize, 3, 8] {
+            let g = lattice(m);
+            assert_eq!(g.len(), 4 * m, "stages={m}");
+            let h = g.color_histogram();
+            assert_eq!(h[MUL.index()], 2 * m);
+            assert_eq!(h[ADD.index()], 2 * m);
+            // Stage 0 has only its two mul→add edges; each later stage
+            // adds 2 mul→add plus 4 cross edges.
+            assert_eq!(g.edge_count(), 2 + 6 * (m - 1));
+        }
+    }
+
+    #[test]
+    fn depth_is_two_per_stage() {
+        for m in [1usize, 4, 6] {
+            let g = lattice(m);
+            assert_eq!(Levels::compute(&g).critical_path_len() as usize, 2 * m);
+        }
+    }
+
+    #[test]
+    fn narrow_width() {
+        // At most two nodes of each color are ever parallel.
+        let adfg = mps_dfg::AnalyzedDfg::new(lattice(5));
+        let levels = adfg.levels();
+        for asap in 0..levels.critical_path_len() as usize {
+            let at_level = adfg
+                .dfg()
+                .node_ids()
+                .filter(|&v| levels.asap(v) as usize == asap)
+                .count();
+            assert!(at_level <= 2, "level {asap} has {at_level} nodes");
+        }
+    }
+
+    #[test]
+    fn cross_coupling_exists() {
+        // f-path and g-path must interleave: mg1 depends on af0.
+        let adfg = mps_dfg::AnalyzedDfg::new(lattice(2));
+        let af0 = adfg.dfg().find("af0").unwrap();
+        let ag1 = adfg.dfg().find("ag1").unwrap();
+        assert!(adfg.reach().reaches(af0, ag1));
+    }
+}

@@ -1,0 +1,71 @@
+//! DFG workload generators for the multi-pattern scheduling evaluation.
+//!
+//! Contains the two graphs printed in the paper —
+//!
+//! * [`fig2`] — the 24-node 3-point DFT of Fig. 2, reverse-engineered so
+//!   that its ASAP/ALAP/Height table *is* the paper's Table 1 and the
+//!   multi-pattern scheduler's trace *is* Table 2,
+//! * [`fig4`] — the 5-node pattern-selection example of Fig. 4 (Tables 4
+//!   and 6),
+//!
+//! — plus parameterized generators for the broader evaluation: Winograd
+//! and direct N-point DFTs ([`dft`], giving the paper's 5DFT), FIR filters,
+//! IIR biquad cascades, an 8-point DCT-II, dense matrix multiply, and
+//! seeded random layered DAGs.
+//!
+//! Color convention (the paper's): `a` = addition, `b` = subtraction,
+//! `c` = multiplication.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cholesky;
+mod complexsig;
+mod conv2d;
+mod cordic;
+mod dct;
+mod dft;
+mod fft_radix2;
+mod horner;
+mod fig2;
+mod fig4;
+mod fir;
+mod iir;
+mod lattice;
+mod matmul;
+mod random_dag;
+mod registry;
+mod series_parallel;
+mod stencil;
+
+pub use cholesky::cholesky;
+pub use complexsig::{ComplexBuilder, ComplexSig, Sig};
+pub use conv2d::conv2d;
+pub use cordic::cordic;
+pub use dct::dct8;
+pub use dft::{dft, dft3, dft5, DftStyle};
+pub use fft_radix2::fft_radix2;
+pub use horner::horner;
+pub use fig2::fig2;
+pub use fig4::fig4;
+pub use fir::{fir, AdderShape};
+pub use iir::iir_biquad_cascade;
+pub use lattice::lattice;
+pub use matmul::matmul;
+pub use random_dag::{random_layered_dag, RandomDagConfig};
+pub use registry::{by_name, workload_names};
+pub use series_parallel::{random_series_parallel, SpConfig};
+pub use stencil::sobel;
+
+/// The color used for additions (`'a'`).
+pub const ADD: mps_dfg::Color = mps_dfg::Color(0);
+/// The color used for subtractions (`'b'`).
+pub const SUB: mps_dfg::Color = mps_dfg::Color(1);
+/// The color used for multiplications (`'c'`).
+pub const MUL: mps_dfg::Color = mps_dfg::Color(2);
+/// The color used for divisions (`'d'`; Cholesky only).
+pub const DIV: mps_dfg::Color = mps_dfg::Color(3);
+/// The color used for square roots (`'e'`; Cholesky only).
+pub const SQRT: mps_dfg::Color = mps_dfg::Color(4);
+/// The color used for barrel shifts (`'f'`; CORDIC only).
+pub const SHIFT: mps_dfg::Color = mps_dfg::Color(5);

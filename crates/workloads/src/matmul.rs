@@ -1,0 +1,72 @@
+//! Dense matrix-multiply DFGs.
+
+use crate::{ADD, MUL};
+use mps_dfg::{Dfg, DfgBuilder, NodeId};
+
+/// `C = A·B` for `n × n` matrices: each of the `n²` output elements is `n`
+/// multiplications (`c`) reduced by a balanced adder tree (`a`).
+///
+/// Embarrassingly wide and perfectly regular — the high-parallelism end of
+/// the workload spectrum, where pattern selection matters least and the
+/// throughput bound dominates.
+pub fn matmul(n: usize) -> Dfg {
+    assert!(n >= 1, "matrix dimension must be positive");
+    let mut b = DfgBuilder::new();
+    for i in 0..n {
+        for j in 0..n {
+            let prods: Vec<NodeId> = (0..n)
+                .map(|k| b.add_node(format!("c_{i}{j}k{k}"), MUL))
+                .collect();
+            // Balanced reduction.
+            let mut level = prods;
+            let mut li = 0;
+            while level.len() > 1 {
+                let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                for (pi, pair) in level.chunks(2).enumerate() {
+                    if pair.len() == 2 {
+                        let a = b.add_node(format!("a_{i}{j}l{li}_{pi}"), ADD);
+                        b.add_edge(pair[0], a).unwrap();
+                        b.add_edge(pair[1], a).unwrap();
+                        next.push(a);
+                    } else {
+                        next.push(pair[0]);
+                    }
+                }
+                level = next;
+                li += 1;
+            }
+        }
+    }
+    b.build().expect("matmul graphs are valid DAGs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::Levels;
+
+    #[test]
+    fn node_counts() {
+        for n in [1usize, 2, 3, 4] {
+            let g = matmul(n);
+            let h = g.color_histogram();
+            assert_eq!(h[MUL.index()], n * n * n);
+            if n > 1 {
+                assert_eq!(h[ADD.index()], n * n * (n - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        let g = matmul(4);
+        let l = Levels::compute(&g);
+        assert_eq!(l.critical_path_len(), 1 + 2, "mult + log2(4) adds");
+    }
+
+    #[test]
+    fn outputs_are_independent() {
+        let g = matmul(2);
+        assert_eq!(g.sinks().len(), 4);
+    }
+}

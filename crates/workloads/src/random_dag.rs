@@ -1,0 +1,145 @@
+//! Seeded random layered DAGs for property tests and scaling benches.
+
+use mps_dfg::{Color, Dfg, DfgBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the random layered DAG generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RandomDagConfig {
+    /// Number of layers (≥ 1). Edges only go from earlier to later layers.
+    pub layers: usize,
+    /// Inclusive range of nodes per layer.
+    pub width: (usize, usize),
+    /// Probability of an edge from a node to a node in the *next* layer.
+    pub edge_prob: f64,
+    /// Probability of a long-range edge (to any later layer).
+    pub long_edge_prob: f64,
+    /// Number of distinct colors (uniform over `Color(0..colors)`).
+    pub colors: u8,
+    /// RNG seed — equal configs generate equal graphs.
+    pub seed: u64,
+}
+
+impl Default for RandomDagConfig {
+    fn default() -> Self {
+        RandomDagConfig {
+            layers: 6,
+            width: (3, 8),
+            edge_prob: 0.35,
+            long_edge_prob: 0.05,
+            colors: 3,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Generate a random layered DAG.
+///
+/// Every non-first-layer node receives at least one predecessor from the
+/// previous layer, so depth equals the layer count and the graph has no
+/// spurious sources — the shape profile of real DSP kernels.
+pub fn random_layered_dag(cfg: &RandomDagConfig) -> Dfg {
+    assert!(cfg.layers >= 1, "need at least one layer");
+    assert!(cfg.width.0 >= 1 && cfg.width.0 <= cfg.width.1, "bad width range");
+    assert!(cfg.colors >= 1, "need at least one color");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = DfgBuilder::new();
+    let mut layers: Vec<Vec<NodeId>> = Vec::with_capacity(cfg.layers);
+
+    for li in 0..cfg.layers {
+        let w = rng.gen_range(cfg.width.0..=cfg.width.1);
+        let layer: Vec<NodeId> = (0..w)
+            .map(|i| {
+                let color = Color(rng.gen_range(0..cfg.colors));
+                b.add_node(format!("n{li}_{i}"), color)
+            })
+            .collect();
+        layers.push(layer);
+    }
+
+    for li in 1..cfg.layers {
+        // Split the borrow: previous layers are read-only.
+        let (prev_part, cur_part) = layers.split_at(li);
+        let prev = &prev_part[li - 1];
+        for &v in &cur_part[0] {
+            let mut has_pred = false;
+            for &u in prev {
+                if rng.gen_bool(cfg.edge_prob) {
+                    b.add_edge(u, v).unwrap();
+                    has_pred = true;
+                }
+            }
+            if !has_pred {
+                let u = prev[rng.gen_range(0..prev.len())];
+                b.add_edge(u, v).unwrap();
+            }
+            // Long-range edges from any earlier layer but the previous.
+            for earlier in prev_part.iter().take(li.saturating_sub(1)) {
+                for &u in earlier {
+                    if rng.gen_bool(cfg.long_edge_prob) {
+                        b.add_edge(u, v).unwrap();
+                    }
+                }
+            }
+        }
+    }
+
+    b.build().expect("layered construction cannot create cycles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::Levels;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let cfg = RandomDagConfig::default();
+        let a = random_layered_dag(&cfg);
+        let b = random_layered_dag(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_layered_dag(&RandomDagConfig::default());
+        let b = random_layered_dag(&RandomDagConfig {
+            seed: 999,
+            ..Default::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn depth_equals_layer_count() {
+        let cfg = RandomDagConfig {
+            layers: 7,
+            ..Default::default()
+        };
+        let g = random_layered_dag(&cfg);
+        assert_eq!(Levels::compute(&g).critical_path_len(), 7);
+    }
+
+    #[test]
+    fn colors_within_range() {
+        let cfg = RandomDagConfig {
+            colors: 2,
+            ..Default::default()
+        };
+        let g = random_layered_dag(&cfg);
+        for n in g.node_ids() {
+            assert!(g.color(n).0 < 2);
+        }
+    }
+
+    #[test]
+    fn single_layer_has_no_edges() {
+        let cfg = RandomDagConfig {
+            layers: 1,
+            ..Default::default()
+        };
+        let g = random_layered_dag(&cfg);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Name-based workload lookup for the CLI and benches.
+
+use crate::{
+    cholesky, conv2d, cordic, dct8, dft, fft_radix2, fig2, fig4, fir, horner,
+    iir_biquad_cascade, lattice, matmul, random_layered_dag, sobel, AdderShape, DftStyle,
+    RandomDagConfig,
+};
+use mps_dfg::Dfg;
+
+/// The names [`by_name`] understands.
+pub fn workload_names() -> Vec<&'static str> {
+    vec![
+        "fig2",
+        "fig4",
+        "dft3",
+        "dft5",
+        "dft<N>",
+        "dft<N>-direct",
+        "fir<T>",
+        "fir<T>-chain",
+        "iir<S>",
+        "dct8",
+        "matmul<N>",
+        "fft<N>",
+        "conv<K>",
+        "horner<D>",
+        "cholesky<N>",
+        "lattice<M>",
+        "cordic<I>",
+        "sobel<P>",
+        "random<SEED>",
+    ]
+}
+
+/// Build a workload by name. Parameterized names embed their parameter,
+/// e.g. `dft5`, `fir16`, `fir16-chain`, `iir4`, `matmul4`, `random42`,
+/// `dft8-direct`.
+pub fn by_name(name: &str) -> Option<Dfg> {
+    match name {
+        "fig2" => return Some(fig2()),
+        "fig4" => return Some(fig4()),
+        "dct8" => return Some(dct8()),
+        _ => {}
+    }
+    if let Some(rest) = name.strip_prefix("dft") {
+        let (num, style) = match rest.strip_suffix("-direct") {
+            Some(n) => (n, DftStyle::Direct),
+            None => (rest, DftStyle::Auto),
+        };
+        let n: usize = num.parse().ok()?;
+        if n < 2 {
+            return None;
+        }
+        return Some(dft(n, style));
+    }
+    if let Some(rest) = name.strip_prefix("fir") {
+        let (num, shape) = match rest.strip_suffix("-chain") {
+            Some(n) => (n, AdderShape::Chain),
+            None => (rest, AdderShape::Tree),
+        };
+        let taps: usize = num.parse().ok()?;
+        if taps < 1 {
+            return None;
+        }
+        return Some(fir(taps, 1, shape));
+    }
+    if let Some(rest) = name.strip_prefix("iir") {
+        let sections: usize = rest.parse().ok()?;
+        if sections < 1 {
+            return None;
+        }
+        return Some(iir_biquad_cascade(sections));
+    }
+    if let Some(rest) = name.strip_prefix("fft") {
+        let n: usize = rest.parse().ok()?;
+        if n < 2 || !n.is_power_of_two() {
+            return None;
+        }
+        return Some(fft_radix2(n));
+    }
+    if let Some(rest) = name.strip_prefix("conv") {
+        let k: usize = rest.parse().ok()?;
+        if k < 1 {
+            return None;
+        }
+        return Some(conv2d(k, 2, 2));
+    }
+    if let Some(rest) = name.strip_prefix("horner") {
+        let d: usize = rest.parse().ok()?;
+        if d < 1 {
+            return None;
+        }
+        return Some(horner(d, 4));
+    }
+    if let Some(rest) = name.strip_prefix("matmul") {
+        let n: usize = rest.parse().ok()?;
+        if n < 1 {
+            return None;
+        }
+        return Some(matmul(n));
+    }
+    if let Some(rest) = name.strip_prefix("cholesky") {
+        let n: usize = rest.parse().ok()?;
+        if n < 1 {
+            return None;
+        }
+        return Some(cholesky(n));
+    }
+    if let Some(rest) = name.strip_prefix("lattice") {
+        let m: usize = rest.parse().ok()?;
+        if m < 1 {
+            return None;
+        }
+        return Some(lattice(m));
+    }
+    if let Some(rest) = name.strip_prefix("cordic") {
+        let it: usize = rest.parse().ok()?;
+        if it < 1 {
+            return None;
+        }
+        return Some(cordic(it));
+    }
+    if let Some(rest) = name.strip_prefix("sobel") {
+        let px: usize = rest.parse().ok()?;
+        if px < 1 {
+            return None;
+        }
+        return Some(sobel(px));
+    }
+    if let Some(rest) = name.strip_prefix("random") {
+        let seed: u64 = rest.parse().ok()?;
+        return Some(random_layered_dag(&RandomDagConfig {
+            seed,
+            ..Default::default()
+        }));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_names_resolve() {
+        for name in ["fig2", "fig4", "dft3", "dft5", "dct8", "fir8", "fir8-chain", "iir3", "matmul3", "random7", "dft6-direct", "fft8", "fft16", "conv3", "horner5", "cholesky4", "lattice6", "cordic8", "sobel4"] {
+            assert!(by_name(name).is_some(), "{name} must resolve");
+        }
+    }
+
+    #[test]
+    fn bad_names_do_not_resolve() {
+        for name in ["", "nope", "dft1", "dftx", "fir0", "matmul0", "randomx", "fft6", "fft1", "conv0", "horner0", "cholesky0", "lattice0", "cordic0", "sobel0", "sobelx"] {
+            assert!(by_name(name).is_none(), "{name} must not resolve");
+        }
+    }
+
+    #[test]
+    fn names_list_is_nonempty() {
+        assert!(workload_names().len() >= 10);
+    }
+}

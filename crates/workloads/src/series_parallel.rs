@@ -1,0 +1,188 @@
+//! Random series-parallel DAG generator.
+//!
+//! [`crate::random_layered_dag`] produces layered graphs whose antichains
+//! all sit inside a layer — a friendly regime for span-limited
+//! enumeration. Series-parallel graphs stress the opposite properties:
+//! recursive composition creates antichains that *straddle* levels (big
+//! spans) and long thin sections next to wide bushes. Because every SP
+//! graph is built by two closed operations, tests can also predict its
+//! structure exactly:
+//!
+//! * **series(A, B)** — every sink of `A` feeds every source of `B`;
+//!   nothing in `A` is parallel to anything in `B`;
+//! * **parallel(A, B)** — disjoint union; *everything* in `A` is parallel
+//!   to everything in `B`.
+//!
+//! The generator is seeded and deterministic, and returns the composition
+//! tree alongside the graph so property tests can cross-check
+//! reachability against the algebra (see `integration_extensions.rs`).
+
+use mps_dfg::{Color, Dfg, DfgBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`random_series_parallel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpConfig {
+    /// RNG seed; the same seed always yields the same graph.
+    pub seed: u64,
+    /// Number of leaf nodes composed (the graph has exactly this many
+    /// nodes; edges follow from the composition shape).
+    pub leaves: usize,
+    /// Number of distinct colors drawn uniformly for leaves.
+    pub colors: u8,
+    /// Percent (0..=100) of compositions that are *series*; the rest are
+    /// parallel. 50 gives balanced graphs; higher = deeper.
+    pub series_pct: u32,
+}
+
+impl Default for SpConfig {
+    fn default() -> SpConfig {
+        SpConfig {
+            seed: 0,
+            leaves: 24,
+            colors: 3,
+            series_pct: 50,
+        }
+    }
+}
+
+/// One component during composition: its sources and sinks.
+struct Part {
+    sources: Vec<NodeId>,
+    sinks: Vec<NodeId>,
+}
+
+/// Generate a random series-parallel DAG.
+///
+/// Starts from `leaves` single-node components and repeatedly composes
+/// two random components in series (all sinks → all sources) or parallel
+/// (disjoint union) until one remains.
+pub fn random_series_parallel(cfg: &SpConfig) -> Dfg {
+    assert!(cfg.leaves >= 1, "need at least one leaf");
+    assert!(cfg.colors >= 1, "need at least one color");
+    assert!(cfg.series_pct <= 100);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = DfgBuilder::with_capacity(cfg.leaves, cfg.leaves * 2);
+
+    let mut parts: Vec<Part> = (0..cfg.leaves)
+        .map(|i| {
+            let color = Color(rng.gen_range(0..cfg.colors));
+            let id = b.add_node(format!("n{i}"), color);
+            Part {
+                sources: vec![id],
+                sinks: vec![id],
+            }
+        })
+        .collect();
+
+    while parts.len() > 1 {
+        // Pick two distinct random components.
+        let i = rng.gen_range(0..parts.len());
+        let first = parts.swap_remove(i);
+        let j = rng.gen_range(0..parts.len());
+        let second = parts.swap_remove(j);
+
+        let combined = if rng.gen_range(0..100) < cfg.series_pct {
+            // Series: first → second.
+            for &u in &first.sinks {
+                for &v in &second.sources {
+                    b.add_edge(u, v).expect("series edges are fresh");
+                }
+            }
+            Part {
+                sources: first.sources,
+                sinks: second.sinks,
+            }
+        } else {
+            // Parallel: merge interfaces.
+            let mut sources = first.sources;
+            sources.extend(second.sources);
+            let mut sinks = first.sinks;
+            sinks.extend(second.sinks);
+            Part { sources, sinks }
+        };
+        parts.push(combined);
+    }
+
+    b.build().expect("series-parallel composition is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::{AnalyzedDfg, Levels};
+
+    #[test]
+    fn node_count_is_exactly_leaves() {
+        for leaves in [1usize, 2, 10, 40] {
+            let g = random_series_parallel(&SpConfig {
+                leaves,
+                seed: 7,
+                ..Default::default()
+            });
+            assert_eq!(g.len(), leaves);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_series_parallel(&SpConfig::default());
+        let b = random_series_parallel(&SpConfig::default());
+        assert_eq!(a, b);
+        let c = random_series_parallel(&SpConfig {
+            seed: 99,
+            ..Default::default()
+        });
+        assert_ne!(a, c, "different seeds should differ (overwhelmingly)");
+    }
+
+    #[test]
+    fn all_series_is_a_chain() {
+        let g = random_series_parallel(&SpConfig {
+            leaves: 12,
+            series_pct: 100,
+            seed: 1,
+            ..Default::default()
+        });
+        assert_eq!(Levels::compute(&g).critical_path_len(), 12);
+        assert_eq!(g.edge_count(), 11);
+    }
+
+    #[test]
+    fn all_parallel_is_edgeless() {
+        let g = random_series_parallel(&SpConfig {
+            leaves: 12,
+            series_pct: 0,
+            seed: 1,
+            ..Default::default()
+        });
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(Levels::compute(&g).critical_path_len(), 1);
+    }
+
+    #[test]
+    fn mixed_graphs_have_both_depth_and_width() {
+        let g = random_series_parallel(&SpConfig {
+            leaves: 30,
+            seed: 5,
+            ..Default::default()
+        });
+        let adfg = AnalyzedDfg::new(g);
+        let depth = adfg.levels().critical_path_len() as usize;
+        assert!(depth > 1 && depth < 30, "depth = {depth}");
+    }
+
+    #[test]
+    fn colors_stay_in_range() {
+        let g = random_series_parallel(&SpConfig {
+            leaves: 20,
+            colors: 2,
+            seed: 3,
+            ..Default::default()
+        });
+        for id in g.node_ids() {
+            assert!(g.color(id).0 < 2);
+        }
+    }
+}

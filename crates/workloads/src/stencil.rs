@@ -1,0 +1,97 @@
+//! Sobel edge-detection stencil DFG.
+//!
+//! The classic image-processing kernel the Montium's application domain
+//! (mobile multimedia) actually ships: per output pixel, two 3×3
+//! gradient convolutions (six non-zero taps each — the middle column/row
+//! of the Sobel masks is zero) and a gradient-magnitude combine. Pixels
+//! are independent, so the graph is *embarrassingly wide* with a shallow
+//! fixed depth — the opposite extreme from [`crate::lattice`], and a
+//! stress test for pattern selection when one color (multiply) dominates
+//! 12 : 11.
+
+use crate::{ADD, MUL};
+use mps_dfg::{Dfg, DfgBuilder, NodeId};
+
+/// Build a Sobel stencil over `pixels` independent output pixels.
+///
+/// Per pixel: 6 multiplies + 5-add tree per gradient (`Gx`, `Gy`), then
+/// one add for `|Gx| + |Gy|` — 23 nodes, depth 5.
+pub fn sobel(pixels: usize) -> Dfg {
+    assert!(pixels >= 1, "need at least one output pixel");
+    let mut b = DfgBuilder::new();
+    for p in 0..pixels {
+        let gx = gradient(&mut b, p, "x");
+        let gy = gradient(&mut b, p, "y");
+        let mag = b.add_node(format!("mag_p{p}"), ADD);
+        b.add_edge(gx, mag).unwrap();
+        b.add_edge(gy, mag).unwrap();
+    }
+    b.build().expect("sobel is a valid DAG")
+}
+
+/// One 6-tap gradient: 6 muls reduced by a balanced 5-add tree.
+fn gradient(b: &mut DfgBuilder, pixel: usize, axis: &str) -> NodeId {
+    let taps: Vec<NodeId> = (0..6)
+        .map(|t| b.add_node(format!("m{axis}_p{pixel}_t{t}"), MUL))
+        .collect();
+    let mut level = taps;
+    let mut li = 0;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for (pi, pair) in level.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                let n = b.add_node(format!("a{axis}_p{pixel}_l{li}_{pi}"), ADD);
+                b.add_edge(pair[0], n).unwrap();
+                b.add_edge(pair[1], n).unwrap();
+                next.push(n);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+        li += 1;
+    }
+    level[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::Levels;
+
+    #[test]
+    fn per_pixel_counts() {
+        for px in [1usize, 4, 9] {
+            let g = sobel(px);
+            assert_eq!(g.len(), 23 * px);
+            let h = g.color_histogram();
+            assert_eq!(h[MUL.index()], 12 * px);
+            assert_eq!(h[ADD.index()], 11 * px);
+        }
+    }
+
+    #[test]
+    fn fixed_depth_any_width() {
+        // 6 taps: tree levels 6→3→2→1 (3 adds deep), plus mul, plus mag.
+        for px in [1usize, 8] {
+            assert_eq!(Levels::compute(&sobel(px)).critical_path_len(), 5);
+        }
+    }
+
+    #[test]
+    fn pixels_are_independent() {
+        let adfg = mps_dfg::AnalyzedDfg::new(sobel(2));
+        let m0 = adfg.dfg().find("mag_p0").unwrap();
+        let m1 = adfg.dfg().find("mag_p1").unwrap();
+        assert!(!adfg.reach().reaches(m0, m1));
+        assert!(!adfg.reach().reaches(m1, m0));
+    }
+
+    #[test]
+    fn gradients_join_only_at_magnitude() {
+        let adfg = mps_dfg::AnalyzedDfg::new(sobel(1));
+        let mag = adfg.dfg().find("mag_p0").unwrap();
+        assert_eq!(adfg.dfg().preds(mag).len(), 2);
+        assert!(adfg.dfg().succs(mag).is_empty());
+    }
+}

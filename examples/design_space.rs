@@ -1,0 +1,69 @@
+//! Design-space exploration: how schedule length responds to the two knobs
+//! the paper exposes — the number of allowed patterns (`Pdef`, bounded by
+//! the 32-entry configuration store) and the span limitation of pattern
+//! generation (Theorem 1 / Table 5).
+//!
+//! ```text
+//! cargo run --release --example design_space [workload]
+//! ```
+
+use mps::prelude::*;
+
+fn main() {
+    let workload = std::env::args().nth(1).unwrap_or_else(|| "dft5".to_string());
+    let dfg = mps::workloads::by_name(&workload).unwrap_or_else(|| {
+        eprintln!(
+            "unknown workload '{workload}'; known: {:?}",
+            mps::workloads::workload_names()
+        );
+        std::process::exit(1);
+    });
+    let adfg = AnalyzedDfg::new(dfg);
+    println!(
+        "workload {workload}: {} nodes, critical path {} cycles\n",
+        adfg.len(),
+        adfg.levels().critical_path_len()
+    );
+
+    let span_limits: [Option<u32>; 5] = [Some(0), Some(1), Some(2), Some(4), None];
+    print!("{:>6}", "Pdef");
+    for limit in &span_limits {
+        match limit {
+            Some(s) => print!("{:>10}", format!("span<={s}")),
+            None => print!("{:>10}", "no limit"),
+        }
+    }
+    println!("{:>10}", "bound");
+    for pdef in 1..=8usize {
+        print!("{pdef:>6}");
+        let mut best_patterns: Option<PatternSet> = None;
+        let mut best = usize::MAX;
+        for limit in &span_limits {
+            let r = select_and_schedule(
+                &adfg,
+                &PipelineConfig {
+                    select: SelectConfig {
+                        pdef,
+                        span_limit: *limit,
+                        ..Default::default()
+                    },
+                    sched: MultiPatternConfig::default(),
+                },
+            )
+            .expect("coverage guaranteed");
+            if r.cycles < best {
+                best = r.cycles;
+                best_patterns = Some(r.selection.patterns.clone());
+            }
+            print!("{:>10}", r.cycles);
+        }
+        let bound = best_patterns
+            .map(|p| mps::scheduler::bounds::lower_bound(&adfg, &p))
+            .unwrap_or(0);
+        println!("{bound:>10}");
+    }
+    println!(
+        "\n'bound' = max(critical path, throughput, per-color) lower bound for the best\n\
+         pattern set in the row — the gap to it is the heuristic's remaining slack."
+    );
+}

@@ -1,0 +1,71 @@
+//! Montium tile replay: run the paper's Table 2 schedule cycle by cycle on
+//! the simulated 5-ALU tile, print the ALU occupancy map, configuration
+//! loads, and an energy estimate; then demonstrate the 32-configuration
+//! hardware limit.
+//!
+//! ```text
+//! cargo run --example montium_replay
+//! ```
+
+use mps::montium::{execute, ConfigStore, EnergyModel, TileParams};
+use mps::prelude::*;
+
+fn main() {
+    let adfg = AnalyzedDfg::new(mps::workloads::fig2());
+    let patterns = PatternSet::parse("aabcc aaacc").unwrap();
+    let result = schedule_multi_pattern(&adfg, &patterns, MultiPatternConfig::default())
+        .expect("the paper's patterns cover all colors");
+
+    let report = execute(&adfg, &result.schedule, &patterns, TileParams::default())
+        .expect("the scheduler's output always replays");
+
+    // ALU occupancy map: rows = cycles, columns = ALUs.
+    println!("3DFT on the Montium tile with patterns {{aabcc, aaacc}}:\n");
+    println!("cycle  pattern  ALU0     ALU1     ALU2     ALU3     ALU4");
+    for (t, cyc) in result.schedule.cycles().iter().enumerate() {
+        let mut slots = vec!["--".to_string(); 5];
+        for b in report.bindings.iter().filter(|b| b.cycle == t) {
+            slots[b.alu] = adfg.dfg().name(b.node).to_string();
+        }
+        println!(
+            "{:>5}  {:<7}  {:<8} {:<8} {:<8} {:<8} {:<8}",
+            t + 1,
+            cyc.pattern.to_string(),
+            slots[0],
+            slots[1],
+            slots[2],
+            slots[3],
+            slots[4]
+        );
+    }
+    println!(
+        "\n{} cycles, {} config loads, ALU utilization {:.0}%",
+        report.cycles,
+        report.config_loads,
+        report.utilization() * 100.0
+    );
+    for (i, busy) in report.alu_busy.iter().enumerate() {
+        println!("  ALU{i}: busy {busy}/{} cycles", report.cycles);
+    }
+
+    let energy = EnergyModel::default().estimate(&report);
+    println!(
+        "energy estimate: compute {:.1} + reconfig {:.1} + static {:.1} = {:.1} units",
+        energy.compute,
+        energy.reconfig,
+        energy.statics,
+        energy.total()
+    );
+
+    // The hardware limit: a 33-pattern application does not fit.
+    let mut too_many = PatternSet::new();
+    for i in 0..33usize {
+        let letter = (b'a' + (i % 26) as u8) as char;
+        let reps = 1 + i / 26;
+        too_many.insert(Pattern::parse(&letter.to_string().repeat(reps)).unwrap());
+    }
+    match ConfigStore::allocate(TileParams::default(), &too_many) {
+        Err(e) => println!("\nconfiguration store check: {e}"),
+        Ok(_) => unreachable!("33 configs must not fit"),
+    }
+}

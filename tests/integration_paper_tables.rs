@@ -1,0 +1,343 @@
+//! Integration tests pinning the reproduction to the paper's printed
+//! numbers: every table is either reproduced exactly or asserted to have
+//! the paper's shape, with the measured values recorded in EXPERIMENTS.md.
+
+use mps::prelude::*;
+
+fn fig2() -> AnalyzedDfg {
+    AnalyzedDfg::new(mps::workloads::fig2())
+}
+
+fn names(adfg: &AnalyzedDfg, nodes: &[mps::dfg::NodeId]) -> Vec<String> {
+    let mut v: Vec<String> = nodes.iter().map(|&n| adfg.dfg().name(n).to_string()).collect();
+    v.sort_unstable();
+    v
+}
+
+/// **Table 1** (exact): ASAP/ALAP/Height of every 3DFT node.
+#[test]
+fn table1_levels_exact() {
+    let adfg = fig2();
+    let l = adfg.levels();
+    let rows = [
+        ("b3", 0, 0, 5),
+        ("b6", 0, 0, 5),
+        ("b1", 0, 1, 4),
+        ("b5", 0, 1, 4),
+        ("a4", 0, 1, 4),
+        ("a2", 0, 1, 4),
+        ("a8", 1, 1, 4),
+        ("a7", 1, 1, 4),
+        ("c9", 1, 2, 3),
+        ("c13", 1, 2, 3),
+        ("c11", 1, 2, 3),
+        ("c10", 1, 2, 3),
+        ("a24", 1, 4, 1),
+        ("a16", 1, 4, 1),
+        ("a15", 2, 3, 2),
+        ("a18", 2, 3, 2),
+        ("a20", 3, 3, 2),
+        ("a17", 3, 3, 2),
+        ("a19", 3, 4, 1),
+        ("a22", 3, 4, 1),
+        ("a23", 4, 4, 1),
+        ("a21", 4, 4, 1),
+    ];
+    for (name, asap, alap, height) in rows {
+        let n = adfg.dfg().find(name).unwrap();
+        assert_eq!((l.asap(n), l.alap(n), l.height(n)), (asap, alap, height), "{name}");
+    }
+}
+
+/// **Table 2** (exact): the complete scheduling trace of the 3DFT with
+/// pattern1 = aabcc, pattern2 = aaacc — candidate lists, both selected
+/// sets, and the committed pattern of all seven cycles.
+#[test]
+fn table2_trace_exact() {
+    let adfg = fig2();
+    let patterns = PatternSet::parse("aabcc aaacc").unwrap();
+    let result = schedule_multi_pattern(
+        &adfg,
+        &patterns,
+        MultiPatternConfig {
+            record_trace: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(result.schedule.len(), 7, "the paper's schedule is 7 cycles");
+
+    type Row<'a> = (&'a [&'a str], &'a [&'a str], &'a [&'a str], usize);
+    let expected: [Row; 7] = [
+        (
+            &["a2", "a4", "b1", "b3", "b5", "b6"],
+            &["a2", "a4", "b6"],
+            &["a2", "a4"],
+            0,
+        ),
+        (
+            &["a16", "a24", "a7", "b1", "b3", "b5", "c10", "c11"],
+            &["a24", "a7", "b3", "c10", "c11"],
+            &["a16", "a24", "a7", "c10", "c11"],
+            0,
+        ),
+        (
+            &["a16", "a8", "b1", "b5", "c12"],
+            &["a16", "a8", "b5", "c12"],
+            &["a16", "a8", "c12"],
+            0,
+        ),
+        (
+            &["a17", "b1", "c13", "c14"],
+            &["a17", "b1", "c13", "c14"],
+            &["a17", "c13", "c14"],
+            0,
+        ),
+        (
+            &["a18", "a20", "a21", "c9"],
+            &["a18", "a20", "c9"],
+            &["a18", "a20", "a21", "c9"],
+            1,
+        ),
+        (
+            &["a15", "a22", "a23"],
+            &["a15", "a22"],
+            &["a15", "a22", "a23"],
+            1,
+        ),
+        (&["a19"], &["a19"], &["a19"], 0),
+    ];
+
+    let trace = result.trace.unwrap();
+    assert_eq!(trace.rows().len(), 7);
+    for (row, (cl, p1, p2, chosen)) in trace.rows().iter().zip(expected.iter()) {
+        assert_eq!(
+            names(&adfg, &row.candidates),
+            cl.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            "candidate list, cycle {}",
+            row.cycle
+        );
+        assert_eq!(
+            names(&adfg, &row.per_pattern[0]),
+            p1.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            "pattern1 selected set, cycle {}",
+            row.cycle
+        );
+        assert_eq!(
+            names(&adfg, &row.per_pattern[1]),
+            p2.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            "pattern2 selected set, cycle {}",
+            row.cycle
+        );
+        assert_eq!(row.chosen, *chosen, "committed pattern, cycle {}", row.cycle);
+    }
+}
+
+/// **Table 3** (shape + pinned measured values): the three hand-picked
+/// pattern sets. Paper: 8 / 9 / 7 cycles; our reconstructed Fig. 2 graph
+/// gives 8 / 8 / 6 — the first row exact, and the same quality ordering
+/// (the third set is the best).
+#[test]
+fn table3_pattern_sets() {
+    let adfg = fig2();
+    let sets = ["abcbc bbbab bbbcb babaa", "abcbc bcbca cbaba bbccb", "abccc aabac cccaa ababb"];
+    let measured: Vec<usize> = sets
+        .iter()
+        .map(|s| {
+            let ps = PatternSet::parse(s).unwrap();
+            let r = schedule_multi_pattern(&adfg, &ps, MultiPatternConfig::default()).unwrap();
+            r.schedule.validate(&adfg, Some(&ps)).unwrap();
+            r.schedule.len()
+        })
+        .collect();
+    assert_eq!(measured, vec![8, 8, 6], "pinned measured values");
+    // The paper's point: strong sensitivity to the chosen patterns, with
+    // the third set clearly best.
+    assert!(measured[2] < measured[0]);
+    assert!(measured[2] < measured[1]);
+}
+
+/// **Table 4** (exact): antichain classification of the Fig. 4 graph.
+#[test]
+fn table4_antichains_exact() {
+    let adfg = AnalyzedDfg::new(mps::workloads::fig4());
+    let cfg = EnumerateConfig {
+        capacity: 5,
+        span_limit: None,
+        parallel: false,
+    };
+    let table = PatternTable::build(&adfg, cfg);
+    assert_eq!(table.len(), 4, "exactly the four patterns of Table 4");
+    let count = |p: &str| table.get(&Pattern::parse(p).unwrap()).unwrap().antichain_count;
+    assert_eq!(count("a"), 3);
+    assert_eq!(count("b"), 2);
+    assert_eq!(count("aa"), 2);
+    assert_eq!(count("bb"), 1);
+}
+
+/// **Table 5** (shape): cumulative antichain counts grow with the span
+/// limit; all 24 singletons appear in every row. Measured absolute values
+/// are pinned and recorded in EXPERIMENTS.md next to the paper's.
+#[test]
+fn table5_span_histogram() {
+    let adfg = fig2();
+    let h = mps::patterns::span_histogram(&adfg, 5, 4);
+    for span in 0..=4u32 {
+        assert_eq!(h.cumulative(span, 1), 24, "singletons are span-0");
+    }
+    for size in 1..=5usize {
+        for span in 1..=4u32 {
+            assert!(h.cumulative(span, size) >= h.cumulative(span - 1, size));
+        }
+    }
+    // Pinned measured values for the loosest and tightest rows.
+    let top: Vec<u64> = (1..=5).map(|s| h.cumulative(4, s)).collect();
+    let bottom: Vec<u64> = (1..=5).map(|s| h.cumulative(0, s)).collect();
+    assert_eq!(top, vec![24, 232, 1158, 3184, 4776]);
+    assert_eq!(bottom, vec![24, 126, 318, 464, 412]);
+    // Paper's corresponding rows: 24/224/1034/2500/3104 and
+    // 24/124/304/425/356 — same magnitudes; the residual is an artifact of
+    // the reconstructed edge set.
+}
+
+/// **Table 6 + §5.2 worked example** (exact): node frequencies, the four
+/// first-round priorities 26/24/88/84, the picks {aa} then {bb}, and the
+/// Pdef = 1 fabrication of {ab}.
+#[test]
+fn table6_and_worked_example_exact() {
+    let adfg = AnalyzedDfg::new(mps::workloads::fig4());
+    let cfg = EnumerateConfig {
+        capacity: 5,
+        span_limit: None,
+        parallel: false,
+    };
+    let table = PatternTable::build(&adfg, cfg);
+    let ids: Vec<_> = ["a1", "a2", "a3", "b4", "b5"]
+        .iter()
+        .map(|n| adfg.dfg().find(n).unwrap())
+        .collect();
+    let freq = |p: &str| -> Vec<u64> {
+        let s = table.get(&Pattern::parse(p).unwrap()).unwrap();
+        ids.iter().map(|&n| s.freq(n)).collect()
+    };
+    assert_eq!(freq("a"), vec![1, 1, 1, 0, 0]);
+    assert_eq!(freq("b"), vec![0, 0, 0, 1, 1]);
+    assert_eq!(freq("aa"), vec![1, 1, 2, 0, 0]);
+    assert_eq!(freq("bb"), vec![0, 0, 0, 1, 1]);
+
+    // First-round priorities.
+    let sel_cfg = SelectConfig {
+        pdef: 2,
+        parallel: false,
+        ..Default::default()
+    };
+    let none = vec![0u64; 5];
+    let prio = |p: &str| {
+        mps::select::eq8_priority(table.get(&Pattern::parse(p).unwrap()).unwrap(), &none, &sel_cfg)
+    };
+    assert_eq!(prio("a"), 26.0);
+    assert_eq!(prio("b"), 24.0);
+    assert_eq!(prio("aa"), 88.0);
+    assert_eq!(prio("bb"), 84.0);
+
+    // The two picks.
+    let out = select_patterns(&adfg, &sel_cfg);
+    let picks: Vec<String> = out.patterns.iter().map(|p| p.to_string()).collect();
+    assert_eq!(picks, vec!["aa", "bb"]);
+
+    // Pdef = 1 fabricates {ab}.
+    let one = select_patterns(
+        &adfg,
+        &SelectConfig {
+            pdef: 1,
+            parallel: false,
+            ..Default::default()
+        },
+    );
+    assert_eq!(one.patterns.patterns()[0].to_string(), "ab");
+    assert!(one.rounds[0].fabricated);
+}
+
+/// **Table 7** (shape + one exact column): with the Theorem-1-motivated
+/// span limit of 1 the 3DFT selected column reproduces the paper exactly
+/// (8, 7, 7, 7, 6); both workloads show the paper's two observations —
+/// more patterns help, and selected beats the random mean where pattern
+/// choice matters.
+#[test]
+fn table7_shape() {
+    let three = fig2();
+    let five = AnalyzedDfg::new(mps::workloads::dft5());
+
+    // Exact 3DFT selected column with span <= 1.
+    let sel3: Vec<usize> = (1..=5)
+        .map(|pdef| {
+            select_and_schedule(
+                &three,
+                &PipelineConfig {
+                    select: SelectConfig {
+                        pdef,
+                        span_limit: Some(1),
+                        ..Default::default()
+                    },
+                    sched: MultiPatternConfig::default(),
+                },
+            )
+            .unwrap()
+            .cycles
+        })
+        .collect();
+    assert_eq!(sel3, vec![8, 7, 7, 7, 6], "paper's 3DFT selected column");
+
+    // Monotone non-increasing in Pdef (paper's observation 1).
+    for w in sel3.windows(2) {
+        assert!(w[1] <= w[0]);
+    }
+
+    // 5DFT with unlimited span: non-increasing; never worse than the
+    // random mean by more than one cycle; strictly better for the small
+    // pattern budgets where selection matters most.
+    let sel5: Vec<usize> = (1..=5)
+        .map(|pdef| {
+            select_and_schedule(
+                &five,
+                &PipelineConfig {
+                    select: SelectConfig {
+                        pdef,
+                        span_limit: None,
+                        ..Default::default()
+                    },
+                    sched: MultiPatternConfig::default(),
+                },
+            )
+            .unwrap()
+            .cycles
+        })
+        .collect();
+    for w in sel5.windows(2) {
+        assert!(w[1] <= w[0]);
+    }
+    for (i, &sel) in sel5.iter().enumerate() {
+        let rb = random_baseline(&five, i + 1, 5, 10, 2006, MultiPatternConfig::default());
+        assert!(
+            (sel as f64) <= rb.mean() + 1.0,
+            "Pdef={}: selected {sel} vs random mean {}",
+            i + 1,
+            rb.mean()
+        );
+    }
+    for pdef in [1usize, 2, 3] {
+        let rb = random_baseline(&five, pdef, 5, 10, 2006, MultiPatternConfig::default());
+        assert!((sel5[pdef - 1] as f64) <= rb.mean());
+    }
+}
+
+/// **Theorem 1** on the paper's own example: Span({a24, b3}) = 1, so
+/// co-scheduling them forces >= ASAPmax + 2 cycles.
+#[test]
+fn theorem1_paper_example() {
+    let adfg = fig2();
+    let a24 = adfg.dfg().find("a24").unwrap();
+    let b3 = adfg.dfg().find("b3").unwrap();
+    assert_eq!(adfg.span(&[a24, b3]), 1);
+    assert_eq!(mps::dfg::theorem1_lower_bound(adfg.levels(), &[a24, b3]), 6);
+}
