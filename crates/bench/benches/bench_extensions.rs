@@ -27,25 +27,21 @@ fn bench_beam_width(c: &mut Criterion) {
     let mut group = c.benchmark_group("extensions/beam_width");
     let (adfg, patterns) = setup("dct8");
     for width in [1usize, 2, 4, 8, 16] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(width),
-            &width,
-            |b, &width| {
-                b.iter(|| {
-                    schedule_beam(
-                        &adfg,
-                        &patterns,
-                        BeamConfig {
-                            width,
-                            ..Default::default()
-                        },
-                    )
-                    .unwrap()
-                    .schedule
-                    .len()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &width| {
+            b.iter(|| {
+                schedule_beam(
+                    &adfg,
+                    &patterns,
+                    BeamConfig {
+                        width,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+                .schedule
+                .len()
+            })
+        });
     }
     group.finish();
 }

@@ -65,5 +65,10 @@ fn bench_random_baseline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_end_to_end, bench_with_replay, bench_random_baseline);
+criterion_group!(
+    benches,
+    bench_end_to_end,
+    bench_with_replay,
+    bench_random_baseline
+);
 criterion_main!(benches);

@@ -100,5 +100,10 @@ fn bench_vs_baselines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_graph_size, bench_pattern_count, bench_vs_baselines);
+criterion_group!(
+    benches,
+    bench_graph_size,
+    bench_pattern_count,
+    bench_vs_baselines
+);
 criterion_main!(benches);

@@ -11,7 +11,11 @@
 use mps::prelude::*;
 use mps::scheduler::ScheduleError;
 
-fn cycles(adfg: &AnalyzedDfg, patterns: &PatternSet, pp: PatternPriority) -> Result<usize, ScheduleError> {
+fn cycles(
+    adfg: &AnalyzedDfg,
+    patterns: &PatternSet,
+    pp: PatternPriority,
+) -> Result<usize, ScheduleError> {
     Ok(schedule_multi_pattern(
         adfg,
         patterns,
@@ -104,7 +108,8 @@ fn main() {
     let mut merge_row = vec!["Eq.8 + merge pass (ext)".to_string()];
     for w in workloads {
         let adfg = AnalyzedDfg::new(mps::workloads::by_name(w).unwrap());
-        let scarce = mps::select::select_with_priority(&adfg, &base, mps::select::scarcity_priority);
+        let scarce =
+            mps::select::select_with_priority(&adfg, &base, mps::select::scarcity_priority);
         scarcity_row.push(fmt(cycles(&adfg, &scarce, PatternPriority::F2)));
         let plain = mps::select::select_patterns(&adfg, &base).patterns;
         let merged = mps::select::merge_pass(&adfg, &plain, &base, Default::default());

@@ -110,10 +110,17 @@ fn merge_and_scarcity() {
 /// pressure of the produced schedules.
 fn width_and_pressure() {
     println!("Width and register pressure (Pdef = 4, span <= 1):");
-    let header: Vec<String> = ["graph", "nodes", "width", "cycles", "peak live", "value-cycles"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "graph",
+        "nodes",
+        "width",
+        "cycles",
+        "peak live",
+        "value-cycles",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for name in ["fig2", "dft5", "dct8", "fft8", "iir4", "horner5"] {
         let adfg = AnalyzedDfg::new(mps::workloads::by_name(name).unwrap());

@@ -6,8 +6,8 @@
 //! cargo run -p mps-bench --bin figures [out_dir]
 //! ```
 
-use mps::prelude::*;
 use mps::dfg::dot_string;
+use mps::prelude::*;
 
 fn main() {
     let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
@@ -17,8 +17,11 @@ fn main() {
     let fig4 = mps::workloads::fig4();
     std::fs::write(out.join("fig2.dot"), dot_string(&fig2, "3DFT (Fig. 2)"))
         .expect("write fig2.dot");
-    std::fs::write(out.join("fig4.dot"), dot_string(&fig4, "small example (Fig. 4)"))
-        .expect("write fig4.dot");
+    std::fs::write(
+        out.join("fig4.dot"),
+        dot_string(&fig4, "small example (Fig. 4)"),
+    )
+    .expect("write fig4.dot");
     println!("wrote {}/fig2.dot and {}/fig4.dot", out_dir, out_dir);
 
     // Fig. 5 is the span illustration: print the Theorem 1 quantities for

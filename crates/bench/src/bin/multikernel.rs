@@ -18,13 +18,28 @@ use mps::scheduler::ScheduleError;
 
 fn main() {
     let kernels = [
-        "fig2", "dft5", "fir16", "dct8", "iir3", "lattice6", "cordic8", "cholesky4", "sobel4",
-        "fft8", "matmul3", "horner5",
+        "fig2",
+        "dft5",
+        "fir16",
+        "dct8",
+        "iir3",
+        "lattice6",
+        "cordic8",
+        "cholesky4",
+        "sobel4",
+        "fft8",
+        "matmul3",
+        "horner5",
     ];
 
     println!("Configuration-store budget as kernels accumulate (Pdef = 4 each, C = 5):\n");
     let header: Vec<String> = [
-        "+ kernel", "cycles", "own pats", "union", "after subpat dedupe", "fits 32?",
+        "+ kernel",
+        "cycles",
+        "own pats",
+        "union",
+        "after subpat dedupe",
+        "fits 32?",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -69,9 +84,8 @@ fn main() {
     // Verify the dedupe claim end-to-end: every kernel still schedules
     // with only the maximal patterns of the final union.
     let lattice = mps::patterns::SubpatternLattice::build(union.iter().copied());
-    let shared = PatternSet::from_patterns(
-        lattice.maximal().into_iter().map(|i| lattice.patterns()[i]),
-    );
+    let shared =
+        PatternSet::from_patterns(lattice.maximal().into_iter().map(|i| lattice.patterns()[i]));
     println!(
         "\nshared store: {} maximal patterns serve all {} kernels:",
         shared.len(),

@@ -17,8 +17,17 @@ use mps::select::{pattern_ii_bound, select_for_throughput};
 
 fn main() {
     let workloads = [
-        "fig2", "dft5", "fir16", "fir8-chain", "dct8", "iir3", "lattice6", "cordic8",
-        "cholesky4", "sobel4", "matmul3",
+        "fig2",
+        "dft5",
+        "fir16",
+        "fir8-chain",
+        "dct8",
+        "iir3",
+        "lattice6",
+        "cordic8",
+        "cholesky4",
+        "sobel4",
+        "matmul3",
     ];
 
     let header: Vec<String> = [

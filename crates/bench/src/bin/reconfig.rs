@@ -94,9 +94,7 @@ fn estimate(
     let report = mps::montium::execute(
         adfg,
         schedule,
-        &mps::patterns::PatternSet::from_patterns(
-            schedule.cycles().iter().map(|c| c.pattern),
-        ),
+        &mps::patterns::PatternSet::from_patterns(schedule.cycles().iter().map(|c| c.pattern)),
         mps::montium::TileParams::default(),
     )
     .expect("valid schedules replay");

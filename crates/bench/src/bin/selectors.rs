@@ -25,7 +25,15 @@ use mps::select::{node_cover_greedy, select_and_anneal, AnnealConfig};
 
 fn main() {
     let workloads = [
-        "fig2", "dft5", "fir16", "dct8", "matmul3", "lattice6", "cordic8", "cholesky4", "sobel4",
+        "fig2",
+        "dft5",
+        "fir16",
+        "dct8",
+        "matmul3",
+        "lattice6",
+        "cordic8",
+        "cholesky4",
+        "sobel4",
     ];
     let pdef = 4usize;
     let base = SelectConfig {
@@ -90,7 +98,8 @@ fn main() {
         .map(|r| r.schedule.len());
         rows[3].push(fmt(beam.ok()));
 
-        let scarce = mps::select::select_with_priority(&adfg, &base, mps::select::scarcity_priority);
+        let scarce =
+            mps::select::select_with_priority(&adfg, &base, mps::select::scarcity_priority);
         rows[4].push(fmt(cycles(&adfg, &scarce)));
 
         let ncover = node_cover_greedy(&adfg, &base).patterns;
@@ -103,8 +112,7 @@ fn main() {
         rows[7].push(format!("{:.1}", rb.mean()));
 
         // Pattern-independent floor: critical path vs ⌈n / C⌉.
-        let floor = (adfg.levels().critical_path_len() as usize)
-            .max(adfg.len().div_ceil(5));
+        let floor = (adfg.levels().critical_path_len() as usize).max(adfg.len().div_ceil(5));
         rows[8].push(floor.to_string());
     }
 

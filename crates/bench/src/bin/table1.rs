@@ -29,10 +29,12 @@ fn main() {
         ("c12", "c14"), // omitted from the paper's table; levels forced by Table 2
     ];
 
-    let header: Vec<String> = ["node", "asap", "alap", "height", "node", "asap", "alap", "height"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "node", "asap", "alap", "height", "node", "asap", "alap", "height",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for (left, right) in order {
         let mut row = Vec::new();

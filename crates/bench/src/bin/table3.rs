@@ -12,9 +12,21 @@ use mps::prelude::*;
 fn main() {
     let adfg = mps_bench::fig2_analyzed();
     let sets = [
-        ("{a,b,c,b,c}, {b,b,b,a,b}, {b,b,b,c,b}, {b,a,b,a,a}", "abcbc bbbab bbbcb babaa", 8),
-        ("{a,b,c,b,c}, {b,c,b,c,a}, {c,b,a,b,a}, {b,b,c,c,b}", "abcbc bcbca cbaba bbccb", 9),
-        ("{a,b,c,c,c}, {a,a,b,a,c}, {c,c,c,a,a}, {a,b,a,b,b}", "abccc aabac cccaa ababb", 7),
+        (
+            "{a,b,c,b,c}, {b,b,b,a,b}, {b,b,b,c,b}, {b,a,b,a,a}",
+            "abcbc bbbab bbbcb babaa",
+            8,
+        ),
+        (
+            "{a,b,c,b,c}, {b,c,b,c,a}, {c,b,a,b,a}, {b,b,c,c,b}",
+            "abcbc bcbca cbaba bbccb",
+            9,
+        ),
+        (
+            "{a,b,c,c,c}, {a,a,b,a,c}, {c,c,c,a,a}, {a,b,a,b,b}",
+            "abccc aabac cccaa ababb",
+            7,
+        ),
     ];
 
     let header: Vec<String> = ["patterns", "paper cycles", "measured cycles"]
@@ -25,7 +37,11 @@ fn main() {
     for (label, parse, paper) in sets {
         let ps = PatternSet::parse(parse).unwrap();
         let cycles = mps_bench::cycles_with(&adfg, &ps);
-        rows.push(vec![label.to_string(), paper.to_string(), cycles.to_string()]);
+        rows.push(vec![
+            label.to_string(),
+            paper.to_string(),
+            cycles.to_string(),
+        ]);
     }
     println!("Table 3: number of clock cycles for the final scheduling (3DFT)");
     println!("{}", mps_bench::render_table(&header, &rows));

@@ -29,7 +29,10 @@ fn main() {
     }
 
     println!("Table 4: patterns and antichains in the DFG of Fig. 4");
-    let header: Vec<String> = ["pattern", "antichains"].iter().map(|s| s.to_string()).collect();
+    let header: Vec<String> = ["pattern", "antichains"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let rows: Vec<Vec<String>> = by_pattern
         .iter()
         .map(|(p, chains)| vec![format!("{{{p}}}"), chains.join(", ")])

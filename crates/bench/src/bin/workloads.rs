@@ -10,13 +10,26 @@ use mps::prelude::*;
 
 fn main() {
     let names = [
-        "fig2", "fig4", "dft3", "dft5", "fir16", "fir8-chain", "iir3", "dct8", "fft8",
-        "conv3", "horner5", "matmul3", "lattice6", "cordic8", "cholesky4", "sobel4",
+        "fig2",
+        "fig4",
+        "dft3",
+        "dft5",
+        "fir16",
+        "fir8-chain",
+        "iir3",
+        "dct8",
+        "fft8",
+        "conv3",
+        "horner5",
+        "matmul3",
+        "lattice6",
+        "cordic8",
+        "cholesky4",
+        "sobel4",
     ];
 
     let header: Vec<String> = [
-        "workload", "nodes", "edges", "colors", "depth", "width", "max lvl", "avg par",
-        "mobility",
+        "workload", "nodes", "edges", "colors", "depth", "width", "max lvl", "avg par", "mobility",
     ]
     .iter()
     .map(|s| s.to_string())

@@ -108,7 +108,10 @@ fn cmd_info(adfg: &AnalyzedDfg) -> i32 {
 
 fn cmd_stats(adfg: &AnalyzedDfg) -> i32 {
     print!("{}", mps::dfg::DfgStats::compute(adfg.dfg()));
-    println!("DAG width (maximum antichain): {}", mps::patterns::width(adfg));
+    println!(
+        "DAG width (maximum antichain): {}",
+        mps::patterns::width(adfg)
+    );
     let mac = mps::patterns::maximum_antichain(adfg);
     let names: Vec<&str> = mac.iter().map(|&n| adfg.dfg().name(n)).collect();
     println!("one maximum antichain: {{{}}}", names.join(","));
@@ -276,7 +279,11 @@ fn cmd_patterns(args: &[String]) -> i32 {
             s.pattern.to_string(),
             s.antichain_count,
             lattice.strict_subpatterns(idx).len(),
-            if maximal.contains(&idx) { "  [maximal]" } else { "" }
+            if maximal.contains(&idx) {
+                "  [maximal]"
+            } else {
+                ""
+            }
         );
     }
     if stats.len() > 20 {

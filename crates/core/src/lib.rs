@@ -54,7 +54,9 @@ pub use mps_workloads as workloads;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use mps_dfg::{AnalyzedDfg, Color, ColorSet, Dfg, DfgBuilder, Levels, NodeId, Reachability};
+    pub use mps_dfg::{
+        AnalyzedDfg, Color, ColorSet, Dfg, DfgBuilder, Levels, NodeId, Reachability,
+    };
     pub use mps_patterns::{
         enumerate_antichains, span_histogram, EnumerateConfig, Pattern, PatternSet, PatternTable,
     };

@@ -265,12 +265,16 @@ impl Dfg {
 
     /// Nodes with no predecessors.
     pub fn sources(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&v| self.preds(v).is_empty()).collect()
+        self.node_ids()
+            .filter(|&v| self.preds(v).is_empty())
+            .collect()
     }
 
     /// Nodes with no successors.
     pub fn sinks(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&v| self.succs(v).is_empty()).collect()
+        self.node_ids()
+            .filter(|&v| self.succs(v).is_empty())
+            .collect()
     }
 }
 
@@ -337,7 +341,10 @@ mod tests {
             p
         };
         for (u, v) in g.edges() {
-            assert!(pos[u.index()] < pos[v.index()], "edge {u}->{v} violates topo");
+            assert!(
+                pos[u.index()] < pos[v.index()],
+                "edge {u}->{v} violates topo"
+            );
         }
     }
 

@@ -77,15 +77,24 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::UnknownDirective { line, token } => {
-                write!(f, "line {line}: unknown directive {token:?} (expected node/edge)")
+                write!(
+                    f,
+                    "line {line}: unknown directive {token:?} (expected node/edge)"
+                )
             }
             ParseError::WrongArity {
                 line,
                 directive,
                 found,
-            } => write!(f, "line {line}: {directive} takes 2 operands, found {found}"),
+            } => write!(
+                f,
+                "line {line}: {directive} takes 2 operands, found {found}"
+            ),
             ParseError::BadColor { line, token } => {
-                write!(f, "line {line}: bad color {token:?} (use a..z or #<0..=255>)")
+                write!(
+                    f,
+                    "line {line}: bad color {token:?} (use a..z or #<0..=255>)"
+                )
             }
             ParseError::DuplicateNode { line, name } => {
                 write!(f, "line {line}: node {name:?} declared twice")
@@ -166,7 +175,10 @@ pub fn parse_text(src: &str) -> Result<Dfg, ParseError> {
         // introduces a comment only when it starts a token.
         let mut tokens: Vec<&str> = Vec::new();
         for tok in raw.split_whitespace() {
-            if tok.starts_with('#') && !tokens.is_empty() && tokens[0] == "node" && tokens.len() == 2
+            if tok.starts_with('#')
+                && !tokens.is_empty()
+                && tokens[0] == "node"
+                && tokens.len() == 2
             {
                 // This is the color operand of a node line: keep it.
                 tokens.push(tok);
@@ -207,14 +219,18 @@ pub fn parse_text(src: &str) -> Result<Dfg, ParseError> {
                         found: tokens.len() - 1,
                     });
                 }
-                let from = *names.get(tokens[1]).ok_or_else(|| ParseError::UnknownName {
-                    line,
-                    name: tokens[1].to_string(),
-                })?;
-                let to = *names.get(tokens[2]).ok_or_else(|| ParseError::UnknownName {
-                    line,
-                    name: tokens[2].to_string(),
-                })?;
+                let from = *names
+                    .get(tokens[1])
+                    .ok_or_else(|| ParseError::UnknownName {
+                        line,
+                        name: tokens[1].to_string(),
+                    })?;
+                let to = *names
+                    .get(tokens[2])
+                    .ok_or_else(|| ParseError::UnknownName {
+                        line,
+                        name: tokens[2].to_string(),
+                    })?;
                 builder.add_edge(from, to)?;
             }
             other => {
@@ -313,7 +329,11 @@ mod tests {
     fn rejects_bad_arity() {
         assert!(matches!(
             parse_text("node x\n").unwrap_err(),
-            ParseError::WrongArity { line: 1, directive: "node", found: 1 }
+            ParseError::WrongArity {
+                line: 1,
+                directive: "node",
+                found: 1
+            }
         ));
         assert!(matches!(
             parse_text("node x a extra\n").unwrap_err(),
@@ -321,7 +341,11 @@ mod tests {
         ));
         assert!(matches!(
             parse_text("node x a\nedge x\n").unwrap_err(),
-            ParseError::WrongArity { line: 2, directive: "edge", found: 1 }
+            ParseError::WrongArity {
+                line: 2,
+                directive: "edge",
+                found: 1
+            }
         ));
     }
 
@@ -367,7 +391,10 @@ mod tests {
         assert!(matches!(err, ParseError::Graph(DfgError::Cycle(_))));
         // Duplicate edge.
         let err = parse_text("node x a\nnode y a\nedge x y\nedge x y\n").unwrap_err();
-        assert!(matches!(err, ParseError::Graph(DfgError::DuplicateEdge(_, _))));
+        assert!(matches!(
+            err,
+            ParseError::Graph(DfgError::DuplicateEdge(_, _))
+        ));
         // Self-loop surfaces immediately from add_edge.
         let err = parse_text("node x a\nedge x x\n").unwrap_err();
         assert!(matches!(err, ParseError::Graph(DfgError::SelfLoop(_))));

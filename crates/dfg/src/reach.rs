@@ -224,7 +224,10 @@ mod tests {
         assert!(r.parallelizable(a1, b5));
         assert!(!r.parallelizable(a1, a2));
         assert!(!r.parallelizable(a1, b4));
-        assert!(!r.parallelizable(a1, a1), "a node is not parallel to itself");
+        assert!(
+            !r.parallelizable(a1, a1),
+            "a node is not parallel to itself"
+        );
     }
 
     #[test]
@@ -261,7 +264,9 @@ mod tests {
     fn large_graph_crosses_word_boundary() {
         // A chain of 130 nodes exercises multi-word rows.
         let mut b = DfgBuilder::new();
-        let ids: Vec<NodeId> = (0..130).map(|i| b.add_node(format!("n{i}"), c('a'))).collect();
+        let ids: Vec<NodeId> = (0..130)
+            .map(|i| b.add_node(format!("n{i}"), c('a')))
+            .collect();
         for w in ids.windows(2) {
             b.add_edge(w[0], w[1]).unwrap();
         }

@@ -51,7 +51,9 @@ mod tests {
     /// late:  p0 -> r (ASAP 1, ALAP 4)
     fn chain_with_extras() -> (Dfg, Vec<NodeId>) {
         let mut b = DfgBuilder::new();
-        let p: Vec<NodeId> = (0..5).map(|i| b.add_node(format!("p{i}"), c('a'))).collect();
+        let p: Vec<NodeId> = (0..5)
+            .map(|i| b.add_node(format!("p{i}"), c('a')))
+            .collect();
         for w in p.windows(2) {
             b.add_edge(w[0], w[1]).unwrap();
         }
@@ -90,7 +92,9 @@ mod tests {
         //  s  -> a24                    (pins a24 to ASAP 1, sink ⇒ ALAP 4)
         let mut b = DfgBuilder::new();
         let b3 = b.add_node("b3", c('b'));
-        let xs: Vec<NodeId> = (0..4).map(|i| b.add_node(format!("x{i}"), c('a'))).collect();
+        let xs: Vec<NodeId> = (0..4)
+            .map(|i| b.add_node(format!("x{i}"), c('a')))
+            .collect();
         b.add_edge(b3, xs[0]).unwrap();
         for w in xs.windows(2) {
             b.add_edge(w[0], w[1]).unwrap();

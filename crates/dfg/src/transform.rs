@@ -47,7 +47,10 @@ pub fn induced_subgraph(dfg: &Dfg, keep: &[NodeId]) -> (Dfg, Vec<Option<NodeId>>
 /// The disjoint union of two graphs (e.g. to schedule two independent
 /// kernels on one tile). Names are prefixed to stay unique.
 pub fn disjoint_union(a: &Dfg, b_graph: &Dfg) -> Dfg {
-    let mut b = DfgBuilder::with_capacity(a.len() + b_graph.len(), a.edge_count() + b_graph.edge_count());
+    let mut b = DfgBuilder::with_capacity(
+        a.len() + b_graph.len(),
+        a.edge_count() + b_graph.edge_count(),
+    );
     for id in a.node_ids() {
         b.add_node(format!("l_{}", a.name(id)), a.color(id));
     }

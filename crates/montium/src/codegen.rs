@@ -149,10 +149,7 @@ pub fn lower(
             .dfg()
             .preds(b.node)
             .iter()
-            .map(|p| {
-                alloc.assignments[p.index()]
-                    .expect("a consumed value always has a location")
-            })
+            .map(|p| alloc.assignments[p.index()].expect("a consumed value always has a location"))
             .collect();
         instructions[b.cycle].ops.push(AluOp {
             alu: b.alu,

@@ -16,7 +16,10 @@ impl ConfigStore {
     ///
     /// Fails if the set exceeds the store capacity or any pattern is wider
     /// than the ALU array.
-    pub fn allocate(params: TileParams, patterns: &PatternSet) -> Result<ConfigStore, MontiumError> {
+    pub fn allocate(
+        params: TileParams,
+        patterns: &PatternSet,
+    ) -> Result<ConfigStore, MontiumError> {
         if patterns.len() > params.max_configs {
             return Err(MontiumError::TooManyConfigs {
                 requested: patterns.len(),
@@ -71,18 +74,29 @@ mod tests {
         let mut ps = PatternSet::new();
         // 33 distinct patterns: "a", "aa", ..., via mixed sizes.
         for i in 1..=33usize {
-            let s: String = (0..=(i / 26)).map(|_| (b'a' + (i % 26) as u8) as char).collect();
+            let s: String = (0..=(i / 26))
+                .map(|_| (b'a' + (i % 26) as u8) as char)
+                .collect();
             ps.insert(Pattern::parse(&s).unwrap());
         }
         assert!(ps.len() == 33);
         let err = ConfigStore::allocate(TileParams::default(), &ps).unwrap_err();
-        assert!(matches!(err, MontiumError::TooManyConfigs { requested: 33, capacity: 32 }));
+        assert!(matches!(
+            err,
+            MontiumError::TooManyConfigs {
+                requested: 33,
+                capacity: 32
+            }
+        ));
     }
 
     #[test]
     fn rejects_wide_patterns() {
         let ps = PatternSet::parse("aaaaaa").unwrap(); // 6 slots on 5 ALUs
         let err = ConfigStore::allocate(TileParams::default(), &ps).unwrap_err();
-        assert!(matches!(err, MontiumError::PatternTooWide { width: 6, alus: 5 }));
+        assert!(matches!(
+            err,
+            MontiumError::PatternTooWide { width: 6, alus: 5 }
+        ));
     }
 }

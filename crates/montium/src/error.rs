@@ -79,7 +79,10 @@ impl fmt::Display for MontiumError {
                 write!(f, "node {missing} never executes")
             }
             MontiumError::OutOfStorage { cycle, live } => {
-                write!(f, "cycle {cycle}: {live} live values exceed registers + memory")
+                write!(
+                    f,
+                    "cycle {cycle}: {live} live values exceed registers + memory"
+                )
             }
         }
     }

@@ -223,7 +223,11 @@ mod tests {
         let report = execute(&adfg, &sched, &patterns, TileParams::default()).unwrap();
         let mut seen = std::collections::HashSet::new();
         for b in &report.bindings {
-            assert!(seen.insert((b.cycle, b.alu)), "two nodes on one ALU in cycle {}", b.cycle);
+            assert!(
+                seen.insert((b.cycle, b.alu)),
+                "two nodes on one ALU in cycle {}",
+                b.cycle
+            );
         }
     }
 }

@@ -44,5 +44,7 @@ pub use energy::{EnergyEstimate, EnergyModel};
 pub use error::MontiumError;
 pub use exec::{execute, AluSlot, ExecReport};
 pub use lifetime::{lifetimes, LifetimeReport};
-pub use regalloc::{allocate_registers, verify as verify_allocation, Location, RegAllocReport, RegFileParams};
+pub use regalloc::{
+    allocate_registers, verify as verify_allocation, Location, RegAllocReport, RegFileParams,
+};
 pub use tile::TileParams;

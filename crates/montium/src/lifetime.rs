@@ -82,7 +82,9 @@ mod tests {
     #[test]
     fn chain_has_pressure_one() {
         let mut b = DfgBuilder::new();
-        let ids: Vec<_> = (0..4).map(|i| b.add_node(format!("n{i}"), c('a'))).collect();
+        let ids: Vec<_> = (0..4)
+            .map(|i| b.add_node(format!("n{i}"), c('a')))
+            .collect();
         for w in ids.windows(2) {
             b.add_edge(w[0], w[1]).unwrap();
         }
@@ -104,7 +106,9 @@ mod tests {
     fn wide_producer_creates_pressure() {
         // 4 independent producers, one consumer of all of them.
         let mut b = DfgBuilder::new();
-        let prods: Vec<_> = (0..4).map(|i| b.add_node(format!("p{i}"), c('a'))).collect();
+        let prods: Vec<_> = (0..4)
+            .map(|i| b.add_node(format!("p{i}"), c('a')))
+            .collect();
         let sink = b.add_node("sink", c('b'));
         for &p in &prods {
             b.add_edge(p, sink).unwrap();

@@ -101,7 +101,11 @@ fn intervals(adfg: &AnalyzedDfg, schedule: &Schedule) -> Vec<Interval> {
                 .max()
                 .unwrap()
         };
-        out.push(Interval { node: v, born, dies });
+        out.push(Interval {
+            node: v,
+            born,
+            dies,
+        });
     }
     out
 }
@@ -242,7 +246,9 @@ mod tests {
 
     fn chain(len: usize) -> AnalyzedDfg {
         let mut b = DfgBuilder::new();
-        let ids: Vec<_> = (0..len).map(|i| b.add_node(format!("n{i}"), c('a'))).collect();
+        let ids: Vec<_> = (0..len)
+            .map(|i| b.add_node(format!("n{i}"), c('a')))
+            .collect();
         for w in ids.windows(2) {
             b.add_edge(w[0], w[1]).unwrap();
         }
@@ -252,7 +258,9 @@ mod tests {
     /// k producers, one consumer of all.
     fn fanin(k: usize) -> AnalyzedDfg {
         let mut b = DfgBuilder::new();
-        let prods: Vec<_> = (0..k).map(|i| b.add_node(format!("p{i}"), c('a'))).collect();
+        let prods: Vec<_> = (0..k)
+            .map(|i| b.add_node(format!("p{i}"), c('a')))
+            .collect();
         let sink = b.add_node("sink", c('b'));
         for &p in &prods {
             b.add_edge(p, sink).unwrap();

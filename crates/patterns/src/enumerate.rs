@@ -1,7 +1,7 @@
 //! Span-limited antichain enumeration (paper §5.1).
 
 use crate::bits::BitIter;
-use mps_dfg::{Antichain, AnalyzedDfg, NodeId};
+use mps_dfg::{AnalyzedDfg, Antichain, NodeId};
 
 /// Parameters of the antichain enumeration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -237,7 +237,11 @@ mod tests {
         let adfg = fig4();
         let all = enumerate_antichains(&adfg, EnumerateConfig::default());
         for a in &all {
-            assert!(adfg.reach().is_antichain(a.as_slice()), "{:?}", names(&adfg, a));
+            assert!(
+                adfg.reach().is_antichain(a.as_slice()),
+                "{:?}",
+                names(&adfg, a)
+            );
         }
     }
 
@@ -259,7 +263,9 @@ mod tests {
     fn span_limit_prunes() {
         // Chain p0→p1→p2→p3 plus a free node q (span(q, p_i) grows with i).
         let mut b = DfgBuilder::new();
-        let p: Vec<_> = (0..4).map(|i| b.add_node(format!("p{i}"), c('a'))).collect();
+        let p: Vec<_> = (0..4)
+            .map(|i| b.add_node(format!("p{i}"), c('a')))
+            .collect();
         for w in p.windows(2) {
             b.add_edge(w[0], w[1]).unwrap();
         }

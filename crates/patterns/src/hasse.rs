@@ -50,9 +50,7 @@ impl SubpatternLattice {
         let mut covers: Vec<Vec<usize>> = vec![Vec::new(); n];
         for i in 0..n {
             for &j in &below[i] {
-                let skipped = below[i]
-                    .iter()
-                    .any(|&k| k != j && below[k].contains(&j));
+                let skipped = below[i].iter().any(|&k| k != j && below[k].contains(&j));
                 if !skipped {
                     covers[i].push(j);
                 }
@@ -105,7 +103,9 @@ impl SubpatternLattice {
 
     /// Patterns with no strict subpattern in the set.
     pub fn minimal(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.below[i].is_empty()).collect()
+        (0..self.len())
+            .filter(|&i| self.below[i].is_empty())
+            .collect()
     }
 
     /// Longest chain length (number of patterns on it) in the order —
@@ -125,7 +125,10 @@ impl SubpatternLattice {
             memo[i] = d;
             d
         }
-        (0..n).map(|i| depth(i, &self.covers, &mut memo)).max().unwrap_or(0)
+        (0..n)
+            .map(|i| depth(i, &self.covers, &mut memo))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Graphviz DOT of the Hasse diagram (edges point subpattern →
@@ -136,7 +139,11 @@ impl SubpatternLattice {
         let _ = writeln!(out, "digraph \"{title}\" {{");
         let _ = writeln!(out, "  rankdir=BT;");
         for (i, p) in self.patterns.iter().enumerate() {
-            let shape = if maximal.contains(&i) { "box" } else { "ellipse" };
+            let shape = if maximal.contains(&i) {
+                "box"
+            } else {
+                "ellipse"
+            };
             let _ = writeln!(out, "  p{i} [label=\"{p}\", shape={shape}];");
         }
         for (i, cov) in self.covers.iter().enumerate() {

@@ -206,7 +206,10 @@ mod tests {
         assert!(p("a").is_strict_subpattern_of(&p("aa")));
         assert!(p("ab").is_subpattern_of(&p("aabcc")));
         assert!(p("aa").is_subpattern_of(&p("aabcc")));
-        assert!(!p("aaa").is_subpattern_of(&p("aabcc")), "multiplicity matters");
+        assert!(
+            !p("aaa").is_subpattern_of(&p("aabcc")),
+            "multiplicity matters"
+        );
         assert!(!p("d").is_subpattern_of(&p("aabcc")));
         assert!(p("aabcc").is_subpattern_of(&p("aabcc")));
         assert!(!p("aabcc").is_strict_subpattern_of(&p("aabcc")));

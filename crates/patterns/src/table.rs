@@ -3,7 +3,7 @@
 
 use crate::enumerate::{for_each_antichain_from_root, EnumerateConfig};
 use crate::pattern::Pattern;
-use mps_dfg::{Antichain, AnalyzedDfg, NodeId};
+use mps_dfg::{AnalyzedDfg, Antichain, NodeId};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -295,7 +295,11 @@ mod tests {
 
         assert_eq!(freq("a"), vec![1, 1, 1, 0, 0]);
         assert_eq!(freq("b"), vec![0, 0, 0, 1, 1]);
-        assert_eq!(freq("aa"), vec![1, 1, 2, 0, 0], "a3 pairs with both a1 and a2");
+        assert_eq!(
+            freq("aa"),
+            vec![1, 1, 2, 0, 0],
+            "a3 pairs with both a1 and a2"
+        );
         assert_eq!(freq("bb"), vec![0, 0, 0, 1, 1]);
     }
 
@@ -326,7 +330,9 @@ mod tests {
         );
         assert_eq!(seq.len(), par.len());
         for s in seq.iter() {
-            let p = par.get(&s.pattern).expect("pattern present in parallel build");
+            let p = par
+                .get(&s.pattern)
+                .expect("pattern present in parallel build");
             assert_eq!(s.antichain_count, p.antichain_count);
             assert_eq!(s.node_freq, p.node_freq);
         }
@@ -336,11 +342,15 @@ mod tests {
     fn span_histogram_cumulative_rows_are_monotone() {
         // Two parallel chains give positive-span antichains.
         let mut b = DfgBuilder::new();
-        let xs: Vec<_> = (0..4).map(|i| b.add_node(format!("x{i}"), c('a'))).collect();
+        let xs: Vec<_> = (0..4)
+            .map(|i| b.add_node(format!("x{i}"), c('a')))
+            .collect();
         for w in xs.windows(2) {
             b.add_edge(w[0], w[1]).unwrap();
         }
-        let ys: Vec<_> = (0..4).map(|i| b.add_node(format!("y{i}"), c('b'))).collect();
+        let ys: Vec<_> = (0..4)
+            .map(|i| b.add_node(format!("y{i}"), c('b')))
+            .collect();
         for w in ys.windows(2) {
             b.add_edge(w[0], w[1]).unwrap();
         }

@@ -163,7 +163,9 @@ mod tests {
     #[test]
     fn chain_has_width_one() {
         let mut b = DfgBuilder::new();
-        let ids: Vec<_> = (0..6).map(|i| b.add_node(format!("n{i}"), c('a'))).collect();
+        let ids: Vec<_> = (0..6)
+            .map(|i| b.add_node(format!("n{i}"), c('a')))
+            .collect();
         for w in ids.windows(2) {
             b.add_edge(w[0], w[1]).unwrap();
         }
@@ -226,8 +228,8 @@ mod tests {
     fn mps_workloads_fig2() -> mps_dfg::Dfg {
         let mut b = DfgBuilder::new();
         let names_a = [
-            "a2", "a4", "a7", "a8", "a15", "a16", "a17", "a18", "a19", "a20", "a21", "a22",
-            "a23", "a24",
+            "a2", "a4", "a7", "a8", "a15", "a16", "a17", "a18", "a19", "a20", "a21", "a22", "a23",
+            "a24",
         ];
         let names_b = ["b1", "b3", "b5", "b6"];
         let names_c = ["c9", "c10", "c11", "c12", "c13", "c14"];
@@ -280,8 +282,12 @@ mod tests {
     #[test]
     fn two_parallel_chains_width_two() {
         let mut b = DfgBuilder::new();
-        let xs: Vec<_> = (0..3).map(|i| b.add_node(format!("x{i}"), c('a'))).collect();
-        let ys: Vec<_> = (0..3).map(|i| b.add_node(format!("y{i}"), c('b'))).collect();
+        let xs: Vec<_> = (0..3)
+            .map(|i| b.add_node(format!("x{i}"), c('a')))
+            .collect();
+        let ys: Vec<_> = (0..3)
+            .map(|i| b.add_node(format!("y{i}"), c('b')))
+            .collect();
         for w in xs.windows(2) {
             b.add_edge(w[0], w[1]).unwrap();
         }

@@ -286,8 +286,7 @@ mod tests {
                 },
             )
             .unwrap();
-            let greedy =
-                schedule_multi_pattern(&adfg, &ps, MultiPatternConfig::default()).unwrap();
+            let greedy = schedule_multi_pattern(&adfg, &ps, MultiPatternConfig::default()).unwrap();
             assert!(
                 beam.schedule.len() <= greedy.schedule.len(),
                 "width {width}: beam {} > greedy {}",
@@ -375,22 +374,56 @@ mod tests {
     fn mps_workloads_fig2() -> mps_dfg::Dfg {
         let mut b = DfgBuilder::new();
         let names = [
-            ("a2", 'a'), ("a4", 'a'), ("a7", 'a'), ("a8", 'a'), ("a15", 'a'),
-            ("a16", 'a'), ("a17", 'a'), ("a18", 'a'), ("a19", 'a'), ("a20", 'a'),
-            ("a21", 'a'), ("a22", 'a'), ("a23", 'a'), ("a24", 'a'), ("b1", 'b'),
-            ("b3", 'b'), ("b5", 'b'), ("b6", 'b'), ("c9", 'c'), ("c10", 'c'),
-            ("c11", 'c'), ("c12", 'c'), ("c13", 'c'), ("c14", 'c'),
+            ("a2", 'a'),
+            ("a4", 'a'),
+            ("a7", 'a'),
+            ("a8", 'a'),
+            ("a15", 'a'),
+            ("a16", 'a'),
+            ("a17", 'a'),
+            ("a18", 'a'),
+            ("a19", 'a'),
+            ("a20", 'a'),
+            ("a21", 'a'),
+            ("a22", 'a'),
+            ("a23", 'a'),
+            ("a24", 'a'),
+            ("b1", 'b'),
+            ("b3", 'b'),
+            ("b5", 'b'),
+            ("b6", 'b'),
+            ("c9", 'c'),
+            ("c10", 'c'),
+            ("c11", 'c'),
+            ("c12", 'c'),
+            ("c13", 'c'),
+            ("c14", 'c'),
         ];
         let ids: std::collections::HashMap<&str, mps_dfg::NodeId> = names
             .iter()
             .map(|&(n, col)| (n, b.add_node(n, c(col))))
             .collect();
         let edges = [
-            ("b3", "a8"), ("b6", "a7"), ("a2", "c10"), ("a2", "a24"),
-            ("a4", "c11"), ("a4", "a16"), ("b1", "c9"), ("b5", "c13"),
-            ("a8", "c14"), ("a7", "c12"), ("c9", "a15"), ("c13", "a18"),
-            ("c10", "a20"), ("c11", "a17"), ("c12", "a17"), ("c14", "a20"),
-            ("a15", "a19"), ("a18", "a22"), ("a20", "a23"), ("a17", "a21"),
+            ("b3", "a8"),
+            ("b6", "a7"),
+            ("a2", "c10"),
+            ("a2", "a24"),
+            ("a4", "c11"),
+            ("a4", "a16"),
+            ("b1", "c9"),
+            ("b5", "c13"),
+            ("a8", "c14"),
+            ("a7", "c12"),
+            ("c9", "a15"),
+            ("c13", "a18"),
+            ("c10", "a20"),
+            ("c11", "a17"),
+            ("c12", "a17"),
+            ("c14", "a20"),
+            ("a15", "a19"),
+            ("a18", "a22"),
+            ("a20", "a23"),
+            ("a17", "a21"),
         ];
         for (u, v) in edges {
             b.add_edge(ids[u], ids[v]).unwrap();

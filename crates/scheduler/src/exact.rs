@@ -260,7 +260,11 @@ pub fn schedule_exact(
             .node_ids()
             .map(|v| adfg.dfg().preds(v).iter().fold(0u32, |m, p| m | (1 << p.0)))
             .collect(),
-        color_of: adfg.dfg().node_ids().map(|v| adfg.dfg().color(v).0).collect(),
+        color_of: adfg
+            .dfg()
+            .node_ids()
+            .map(|v| adfg.dfg().color(v).0)
+            .collect(),
         memo: HashMap::new(),
         states: 0,
         max_states: cfg.max_states,
@@ -331,8 +335,7 @@ fn reconstruct(solver: &mut Solver<'_>, total: u32) -> Result<Schedule, Schedule
                 }
             }
         }
-        let (pattern, set) =
-            committed.expect("memoized optimum must be reachable by construction");
+        let (pattern, set) = committed.expect("memoized optimum must be reachable by construction");
         let nodes: Vec<NodeId> = (0..solver.preds_mask.len() as u32)
             .filter(|&i| set & (1 << i) != 0)
             .map(NodeId)
@@ -357,7 +360,9 @@ mod tests {
     #[test]
     fn chain_is_length_n() {
         let mut b = DfgBuilder::new();
-        let ids: Vec<_> = (0..5).map(|i| b.add_node(format!("n{i}"), c('a'))).collect();
+        let ids: Vec<_> = (0..5)
+            .map(|i| b.add_node(format!("n{i}"), c('a')))
+            .collect();
         for w in ids.windows(2) {
             b.add_edge(w[0], w[1]).unwrap();
         }
@@ -448,9 +453,13 @@ mod tests {
     #[test]
     fn empty_graph() {
         let adfg = AnalyzedDfg::new(DfgBuilder::new().build().unwrap());
-        let r = schedule_exact(&adfg, &PatternSet::parse("a").unwrap(), ExactConfig::default())
-            .unwrap()
-            .unwrap();
+        let r = schedule_exact(
+            &adfg,
+            &PatternSet::parse("a").unwrap(),
+            ExactConfig::default(),
+        )
+        .unwrap()
+        .unwrap();
         assert!(r.schedule.is_empty());
     }
 

@@ -56,7 +56,11 @@ pub fn force_directed(adfg: &AnalyzedDfg, latency: u32) -> ForceDirectedResult {
     let t_max = latency.max(adfg.levels().critical_path_len()) as usize;
 
     // Mutable earliest/latest frames, re-tightened after every placement.
-    let mut earliest: Vec<u32> = adfg.dfg().node_ids().map(|v| adfg.levels().asap(v)).collect();
+    let mut earliest: Vec<u32> = adfg
+        .dfg()
+        .node_ids()
+        .map(|v| adfg.levels().asap(v))
+        .collect();
     let mut latest: Vec<u32> = {
         // ALAP against the *target* latency (sinks at t_max-1).
         let mut l = vec![t_max as u32 - 1; n];
@@ -96,8 +100,7 @@ pub fn force_directed(adfg: &AnalyzedDfg, latency: u32) -> ForceDirectedResult {
             }
             let (e, l) = (earliest[v.index()], latest[v.index()]);
             let ci = adfg.dfg().color(v).index();
-            let mean: f64 =
-                (e..=l).map(|t| dg[ci][t as usize]).sum::<f64>() / (l - e + 1) as f64;
+            let mean: f64 = (e..=l).map(|t| dg[ci][t as usize]).sum::<f64>() / (l - e + 1) as f64;
             for t in e..=l {
                 let force = dg[ci][t as usize] - mean;
                 let better = match &best {

@@ -46,9 +46,7 @@ mod trace;
 pub use beam::{schedule_beam, BeamConfig, BeamResult};
 pub use error::ScheduleError;
 pub use gantt::render_gantt;
-pub use modulo::{
-    modulo_mii, schedule_modulo, validate_modulo, ModuloConfig, ModuloResult,
-};
+pub use modulo::{modulo_mii, schedule_modulo, validate_modulo, ModuloConfig, ModuloResult};
 pub use multi_pattern::{
     schedule_multi_pattern, selected_set, MultiPatternConfig, MultiPatternResult, PatternPriority,
     TieBreak,

@@ -392,7 +392,9 @@ mod tests {
 
     fn chain(len: usize) -> AnalyzedDfg {
         let mut b = DfgBuilder::new();
-        let ids: Vec<_> = (0..len).map(|i| b.add_node(format!("n{i}"), c('a'))).collect();
+        let ids: Vec<_> = (0..len)
+            .map(|i| b.add_node(format!("n{i}"), c('a')))
+            .collect();
         for w in ids.windows(2) {
             b.add_edge(w[0], w[1]).unwrap();
         }

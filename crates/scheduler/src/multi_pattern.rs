@@ -143,7 +143,10 @@ pub fn schedule_multi_pattern(
     let mut remaining = n;
 
     while remaining > 0 {
-        debug_assert!(!candidates.is_empty(), "acyclic graph always has candidates");
+        debug_assert!(
+            !candidates.is_empty(),
+            "acyclic graph always has candidates"
+        );
         // Sort by descending priority (then tie-break).
         candidates.sort_by_key(|&x| std::cmp::Reverse(sort_key(x)));
 
@@ -269,8 +272,8 @@ mod tests {
     fn uncovered_color_is_an_error() {
         let adfg = flat_graph();
         let patterns = PatternSet::parse("aaa").unwrap();
-        let err = schedule_multi_pattern(&adfg, &patterns, MultiPatternConfig::default())
-            .unwrap_err();
+        let err =
+            schedule_multi_pattern(&adfg, &patterns, MultiPatternConfig::default()).unwrap_err();
         assert_eq!(err, ScheduleError::UncoveredColor(c('b')));
     }
 
@@ -334,8 +337,14 @@ mod tests {
         )
         .unwrap();
         // First committed cycle differs in chosen pattern.
-        assert_eq!(f1.schedule.cycles()[0].pattern, Pattern::parse("cb").unwrap());
-        assert_eq!(f2.schedule.cycles()[0].pattern, Pattern::parse("ab").unwrap());
+        assert_eq!(
+            f1.schedule.cycles()[0].pattern,
+            Pattern::parse("cb").unwrap()
+        );
+        assert_eq!(
+            f2.schedule.cycles()[0].pattern,
+            Pattern::parse("ab").unwrap()
+        );
         f1.schedule.validate(&adfg, Some(&patterns)).unwrap();
         f2.schedule.validate(&adfg, Some(&patterns)).unwrap();
     }

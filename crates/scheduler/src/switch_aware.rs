@@ -142,8 +142,7 @@ pub fn schedule_switch_aware(
         // Prefer the incumbent when it covers enough priority mass.
         let (chosen_idx, chosen_nodes) = match (incumbent, incumbent_choice) {
             (Some(pi), Some((iv, isel)))
-                if !isel.is_empty()
-                    && iv as f64 >= cfg.keep_factor * best_value as f64 =>
+                if !isel.is_empty() && iv as f64 >= cfg.keep_factor * best_value as f64 =>
             {
                 (pi, isel)
             }

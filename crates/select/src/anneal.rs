@@ -194,12 +194,16 @@ mod tests {
     fn never_worse_than_initial() {
         let adfg = AnalyzedDfg::new(fig2());
         for pdef in [1usize, 2, 3] {
-            let r = select_and_anneal(&adfg, &SelectConfig {
-                pdef,
-                span_limit: Some(1),
-                parallel: false,
-                ..Default::default()
-            }, quick());
+            let r = select_and_anneal(
+                &adfg,
+                &SelectConfig {
+                    pdef,
+                    span_limit: Some(1),
+                    parallel: false,
+                    ..Default::default()
+                },
+                quick(),
+            );
             assert!(
                 r.cycles <= r.initial_cycles,
                 "pdef {pdef}: annealed {} > initial {}",

@@ -92,7 +92,10 @@ mod tests {
         assert_eq!(c.alpha, 20.0);
         assert_eq!(c.capacity, 5);
         assert!(c.size_bonus && c.balancing && c.color_condition);
-        assert!(!c.pad_fabricated, "padding is a documented extension, off by default");
+        assert!(
+            !c.pad_fabricated,
+            "padding is a documented extension, off by default"
+        );
     }
 
     #[test]

@@ -29,8 +29,7 @@ pub fn coverage_greedy(adfg: &AnalyzedDfg, cfg: &SelectConfig) -> PatternSet {
             // Keep the coverage backstop, otherwise the baseline frequently
             // produces unschedulable sets and the comparison is vacuous.
             let new_colors = s.pattern.color_set().difference(&selected_colors).len() as i64;
-            let uncovered =
-                (complete.len() - complete.intersection(&selected_colors).len()) as i64;
+            let uncovered = (complete.len() - complete.intersection(&selected_colors).len()) as i64;
             if new_colors < uncovered - (cfg.capacity as i64) * (remaining_after as i64) {
                 continue;
             }
@@ -105,6 +104,9 @@ mod tests {
     #[test]
     fn deterministic() {
         let adfg = AnalyzedDfg::new(fig2());
-        assert_eq!(coverage_greedy(&adfg, &cfg(3)), coverage_greedy(&adfg, &cfg(3)));
+        assert_eq!(
+            coverage_greedy(&adfg, &cfg(3)),
+            coverage_greedy(&adfg, &cfg(3))
+        );
     }
 }

@@ -132,9 +132,7 @@ mod tests {
     fn pdef1_still_covers_by_fabrication() {
         let adfg = AnalyzedDfg::new(fig4());
         let best = exhaustive_best(&adfg, &cfg(1), Default::default(), 32).unwrap();
-        assert!(best
-            .patterns
-            .covers(&adfg.dfg().color_set()));
+        assert!(best.patterns.covers(&adfg.dfg().color_set()));
     }
 
     #[test]

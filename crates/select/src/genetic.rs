@@ -73,12 +73,7 @@ fn fitness(adfg: &AnalyzedDfg, set: &PatternSet, sched: MultiPatternConfig) -> u
 /// Uniform crossover: each member slot takes a pattern from either
 /// parent; repairs coverage by appending a parent pattern holding a
 /// missing color when needed.
-fn crossover(
-    adfg: &AnalyzedDfg,
-    a: &PatternSet,
-    b: &PatternSet,
-    rng: &mut StdRng,
-) -> PatternSet {
+fn crossover(adfg: &AnalyzedDfg, a: &PatternSet, b: &PatternSet, rng: &mut StdRng) -> PatternSet {
     let n = a.len().max(b.len()).max(1);
     let mut members: Vec<Pattern> = Vec::with_capacity(n);
     for i in 0..n {
@@ -187,7 +182,7 @@ pub fn evolve_patterns(
             };
             let (pa, pb) = (pick(&mut rng), pick(&mut rng));
             let mut child = crossover(adfg, &pop[pa].1, &pop[pb].1, &mut rng);
-            if rng.gen_range(0..100) < cfg.mutation_pct {
+            if rng.gen_range(0..100u32) < cfg.mutation_pct {
                 child = mutate(adfg, &child, candidates, &mut rng);
             }
             let f = fitness(adfg, &child, sched);
@@ -247,7 +242,13 @@ mod tests {
     fn deterministic_per_seed() {
         let adfg = AnalyzedDfg::new(fig4());
         let seed = eq8(&adfg, 2);
-        let a = evolve_patterns(&adfg, std::slice::from_ref(&seed), &[], quick(), Default::default());
+        let a = evolve_patterns(
+            &adfg,
+            std::slice::from_ref(&seed),
+            &[],
+            quick(),
+            Default::default(),
+        );
         let b = evolve_patterns(&adfg, &[seed], &[], quick(), Default::default());
         assert_eq!(a.patterns, b.patterns);
         assert_eq!(a.cycles, b.cycles);
@@ -261,8 +262,10 @@ mod tests {
         let s2 = PatternSet::parse("abc abc").unwrap(); // collapses to 1
         let r = evolve_patterns(&adfg, &[s1.clone(), s2], &[], quick(), Default::default());
         // Best seed is s1; elitism keeps the result at least that good.
-        let s1_cycles =
-            schedule_multi_pattern(&adfg, &s1, Default::default()).unwrap().schedule.len();
+        let s1_cycles = schedule_multi_pattern(&adfg, &s1, Default::default())
+            .unwrap()
+            .schedule
+            .len();
         assert!(r.cycles <= s1_cycles);
     }
 

@@ -116,8 +116,12 @@ mod tests {
     /// must find them.
     fn phased_graph() -> AnalyzedDfg {
         let mut b = DfgBuilder::new();
-        let adds: Vec<_> = (0..4).map(|i| b.add_node(format!("a{i}"), c('a'))).collect();
-        let subs: Vec<_> = (0..4).map(|i| b.add_node(format!("b{i}"), c('b'))).collect();
+        let adds: Vec<_> = (0..4)
+            .map(|i| b.add_node(format!("a{i}"), c('a')))
+            .collect();
+        let subs: Vec<_> = (0..4)
+            .map(|i| b.add_node(format!("b{i}"), c('b')))
+            .collect();
         for &u in &adds {
             for &v in &subs {
                 b.add_edge(u, v).unwrap();

@@ -65,8 +65,7 @@ pub fn select_joint(kernels: &[&AnalyzedDfg], cfg: &SelectConfig) -> JointOutcom
     let mut selected = PatternSet::new();
     let mut fabricated = Vec::new();
     // Per-kernel balancing denominators (Σ_{Ps} h over that kernel).
-    let mut selected_freq: Vec<Vec<u64>> =
-        kernels.iter().map(|k| vec![0u64; k.len()]).collect();
+    let mut selected_freq: Vec<Vec<u64>> = kernels.iter().map(|k| vec![0u64; k.len()]).collect();
     let mut alive = vec![true; pool.len()];
 
     for _round in 0..cfg.pdef {

@@ -14,8 +14,8 @@
 //! mixing buys.
 
 use crate::config::SelectConfig;
-use crate::select::SelectionOutcome;
 use crate::select::RoundInfo;
+use crate::select::SelectionOutcome;
 use mps_dfg::AnalyzedDfg;
 use mps_patterns::{Pattern, PatternSet, PatternTable};
 

@@ -49,10 +49,22 @@ mod tests {
     fn paper_first_round_values() {
         let cfg = SelectConfig::default();
         let none = vec![0u64; 5];
-        assert_eq!(eq8_priority(&stats("a", vec![1, 1, 1, 0, 0]), &none, &cfg), 26.0);
-        assert_eq!(eq8_priority(&stats("b", vec![0, 0, 0, 1, 1]), &none, &cfg), 24.0);
-        assert_eq!(eq8_priority(&stats("aa", vec![1, 1, 2, 0, 0]), &none, &cfg), 88.0);
-        assert_eq!(eq8_priority(&stats("bb", vec![0, 0, 0, 1, 1]), &none, &cfg), 84.0);
+        assert_eq!(
+            eq8_priority(&stats("a", vec![1, 1, 1, 0, 0]), &none, &cfg),
+            26.0
+        );
+        assert_eq!(
+            eq8_priority(&stats("b", vec![0, 0, 0, 1, 1]), &none, &cfg),
+            24.0
+        );
+        assert_eq!(
+            eq8_priority(&stats("aa", vec![1, 1, 2, 0, 0]), &none, &cfg),
+            88.0
+        );
+        assert_eq!(
+            eq8_priority(&stats("bb", vec![0, 0, 0, 1, 1]), &none, &cfg),
+            84.0
+        );
     }
 
     /// Second round after selecting p̄3 = {aa}: the a-nodes are covered
@@ -85,8 +97,14 @@ mod tests {
             ..Default::default()
         };
         let none = vec![0u64; 5];
-        assert_eq!(eq8_priority(&stats("b", vec![0, 0, 0, 1, 1]), &none, &cfg), 4.0);
-        assert_eq!(eq8_priority(&stats("bb", vec![0, 0, 0, 1, 1]), &none, &cfg), 4.0);
+        assert_eq!(
+            eq8_priority(&stats("b", vec![0, 0, 0, 1, 1]), &none, &cfg),
+            4.0
+        );
+        assert_eq!(
+            eq8_priority(&stats("bb", vec![0, 0, 0, 1, 1]), &none, &cfg),
+            4.0
+        );
     }
 
     #[test]
@@ -98,7 +116,11 @@ mod tests {
         };
         let heavy = vec![100u64, 100, 100, 100, 100];
         let s = stats("a", vec![1, 1, 1, 0, 0]);
-        assert_eq!(eq8_priority(&s, &heavy, &cfg), 6.0, "ignores selected coverage");
+        assert_eq!(
+            eq8_priority(&s, &heavy, &cfg),
+            6.0,
+            "ignores selected coverage"
+        );
     }
 
     #[test]

@@ -42,9 +42,7 @@ pub fn random_patterns<R: Rng>(
         }
         // Dedup check: PatternSet::insert drops duplicates, which would
         // silently shrink the set below pdef; re-draw instead.
-        let set = PatternSet::from_patterns(
-            slots.drain(..).map(Pattern::from_colors),
-        );
+        let set = PatternSet::from_patterns(slots.drain(..).map(Pattern::from_colors));
         if set.len() == pdef {
             return set;
         }

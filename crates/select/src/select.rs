@@ -299,7 +299,10 @@ mod tests {
                     ..cfg(4)
                 },
             );
-            assert!(out.patterns.covers(&adfg.dfg().color_set()), "limit={limit}");
+            assert!(
+                out.patterns.covers(&adfg.dfg().color_set()),
+                "limit={limit}"
+            );
         }
     }
 }

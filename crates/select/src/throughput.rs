@@ -57,11 +57,7 @@ fn apportion(colors: &[Color], hist: &[usize], capacity: usize) -> Pattern {
         *k += 1;
         used += 1;
     }
-    Pattern::from_colors(
-        slots
-            .iter()
-            .flat_map(|&(c, k)| std::iter::repeat_n(c, k)),
-    )
+    Pattern::from_colors(slots.iter().flat_map(|&(c, k)| std::iter::repeat_n(c, k)))
 }
 
 /// The initiation interval the pattern supports when configured in every

@@ -135,10 +135,7 @@ mod tests {
         let s0 = adfg.dfg().find("sqrt_0").unwrap();
         for j in 1..4 {
             let sj = adfg.dfg().find(&format!("sqrt_{j}")).unwrap();
-            assert!(
-                adfg.reach().reaches(s0, sj),
-                "sqrt_0 must precede sqrt_{j}"
-            );
+            assert!(adfg.reach().reaches(s0, sj), "sqrt_0 must precede sqrt_{j}");
         }
     }
 }

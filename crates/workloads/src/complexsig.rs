@@ -116,7 +116,12 @@ impl ComplexBuilder {
         format!("{prefix}{}", self.counter)
     }
 
-    fn emit(&mut self, color: mps_dfg::Color, prefix: char, operands: &[Sig]) -> Result<NodeId, DfgError> {
+    fn emit(
+        &mut self,
+        color: mps_dfg::Color,
+        prefix: char,
+        operands: &[Sig],
+    ) -> Result<NodeId, DfgError> {
         let name = self.fresh_name(prefix);
         let id = self.builder.add_node(name, color);
         for s in operands {
@@ -294,8 +299,6 @@ mod tests {
         let u = b.cadd(x, x);
         let v = b.cmul_real(u, false);
         let g = b.build().unwrap();
-        assert!(g
-            .succs(u.re.node)
-            .contains(&v.re.node));
+        assert!(g.succs(u.re.node).contains(&v.re.node));
     }
 }

@@ -80,7 +80,10 @@ mod tests {
     #[test]
     fn depth_two_per_iteration() {
         for it in [1usize, 3, 8] {
-            assert_eq!(Levels::compute(&cordic(it)).critical_path_len() as usize, 2 * it);
+            assert_eq!(
+                Levels::compute(&cordic(it)).critical_path_len() as usize,
+                2 * it
+            );
         }
     }
 

@@ -220,7 +220,10 @@ mod tests {
                 let g = dft(n, style);
                 let l = Levels::compute(&g);
                 // dft2 is a single butterfly: depth 1.
-                assert!(l.critical_path_len() >= if n == 2 { 1 } else { 2 }, "n={n} {style:?}");
+                assert!(
+                    l.critical_path_len() >= if n == 2 { 1 } else { 2 },
+                    "n={n} {style:?}"
+                );
                 assert!(
                     l.critical_path_len() as usize <= g.len(),
                     "depth bounded by size"

@@ -11,7 +11,10 @@ use mps_dfg::Dfg;
 
 /// An `n`-point radix-2 DIT FFT (`n` a power of two, `n ≥ 2`).
 pub fn fft_radix2(n: usize) -> Dfg {
-    assert!(n >= 2 && n.is_power_of_two(), "n must be a power of two >= 2");
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "n must be a power of two >= 2"
+    );
     let mut b = ComplexBuilder::new();
     let inputs: Vec<ComplexSig> = (0..n).map(|_| b.input()).collect();
     let _outputs = rec(&mut b, &inputs, n);

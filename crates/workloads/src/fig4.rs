@@ -57,10 +57,7 @@ mod tests {
         // antichain with color set {a, b}").
         for a in ["a1", "a2", "a3"] {
             for b in ["b4", "b5"] {
-                assert!(
-                    !r.parallelizable(n(a), n(b)),
-                    "{a} and {b} must be ordered"
-                );
+                assert!(!r.parallelizable(n(a), n(b)), "{a} and {b} must be ordered");
             }
         }
         // a1 → a2 are ordered.

@@ -26,10 +26,10 @@ mod cordic;
 mod dct;
 mod dft;
 mod fft_radix2;
-mod horner;
 mod fig2;
 mod fig4;
 mod fir;
+mod horner;
 mod iir;
 mod lattice;
 mod matmul;
@@ -45,10 +45,10 @@ pub use cordic::cordic;
 pub use dct::dct8;
 pub use dft::{dft, dft3, dft5, DftStyle};
 pub use fft_radix2::fft_radix2;
-pub use horner::horner;
 pub use fig2::fig2;
 pub use fig4::fig4;
 pub use fir::{fir, AdderShape};
+pub use horner::horner;
 pub use iir::iir_biquad_cascade;
 pub use lattice::lattice;
 pub use matmul::matmul;

@@ -41,7 +41,10 @@ impl Default for RandomDagConfig {
 /// spurious sources — the shape profile of real DSP kernels.
 pub fn random_layered_dag(cfg: &RandomDagConfig) -> Dfg {
     assert!(cfg.layers >= 1, "need at least one layer");
-    assert!(cfg.width.0 >= 1 && cfg.width.0 <= cfg.width.1, "bad width range");
+    assert!(
+        cfg.width.0 >= 1 && cfg.width.0 <= cfg.width.1,
+        "bad width range"
+    );
     assert!(cfg.colors >= 1, "need at least one color");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut b = DfgBuilder::new();
@@ -85,7 +88,8 @@ pub fn random_layered_dag(cfg: &RandomDagConfig) -> Dfg {
         }
     }
 
-    b.build().expect("layered construction cannot create cycles")
+    b.build()
+        .expect("layered construction cannot create cycles")
 }
 
 #[cfg(test)]

@@ -1,9 +1,8 @@
 //! Name-based workload lookup for the CLI and benches.
 
 use crate::{
-    cholesky, conv2d, cordic, dct8, dft, fft_radix2, fig2, fig4, fir, horner,
-    iir_biquad_cascade, lattice, matmul, random_layered_dag, sobel, AdderShape, DftStyle,
-    RandomDagConfig,
+    cholesky, conv2d, cordic, dct8, dft, fft_radix2, fig2, fig4, fir, horner, iir_biquad_cascade,
+    lattice, matmul, random_layered_dag, sobel, AdderShape, DftStyle, RandomDagConfig,
 };
 use mps_dfg::Dfg;
 
@@ -143,14 +142,51 @@ mod tests {
 
     #[test]
     fn known_names_resolve() {
-        for name in ["fig2", "fig4", "dft3", "dft5", "dct8", "fir8", "fir8-chain", "iir3", "matmul3", "random7", "dft6-direct", "fft8", "fft16", "conv3", "horner5", "cholesky4", "lattice6", "cordic8", "sobel4"] {
+        for name in [
+            "fig2",
+            "fig4",
+            "dft3",
+            "dft5",
+            "dct8",
+            "fir8",
+            "fir8-chain",
+            "iir3",
+            "matmul3",
+            "random7",
+            "dft6-direct",
+            "fft8",
+            "fft16",
+            "conv3",
+            "horner5",
+            "cholesky4",
+            "lattice6",
+            "cordic8",
+            "sobel4",
+        ] {
             assert!(by_name(name).is_some(), "{name} must resolve");
         }
     }
 
     #[test]
     fn bad_names_do_not_resolve() {
-        for name in ["", "nope", "dft1", "dftx", "fir0", "matmul0", "randomx", "fft6", "fft1", "conv0", "horner0", "cholesky0", "lattice0", "cordic0", "sobel0", "sobelx"] {
+        for name in [
+            "",
+            "nope",
+            "dft1",
+            "dftx",
+            "fir0",
+            "matmul0",
+            "randomx",
+            "fft6",
+            "fft1",
+            "conv0",
+            "horner0",
+            "cholesky0",
+            "lattice0",
+            "cordic0",
+            "sobel0",
+            "sobelx",
+        ] {
             assert!(by_name(name).is_none(), "{name} must not resolve");
         }
     }

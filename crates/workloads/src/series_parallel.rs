@@ -83,7 +83,7 @@ pub fn random_series_parallel(cfg: &SpConfig) -> Dfg {
         let j = rng.gen_range(0..parts.len());
         let second = parts.swap_remove(j);
 
-        let combined = if rng.gen_range(0..100) < cfg.series_pct {
+        let combined = if rng.gen_range(0..100u32) < cfg.series_pct {
             // Series: first → second.
             for &u in &first.sinks {
                 for &v in &second.sources {

@@ -57,9 +57,10 @@ fn main() {
     println!("selected patterns: {}", selection.patterns);
 
     // Phase 2: multi-pattern scheduling (Fig. 3).
-    let schedule = schedule_multi_pattern(&adfg, &selection.patterns, MultiPatternConfig::default())
-        .expect("selection covers all colors")
-        .schedule;
+    let schedule =
+        schedule_multi_pattern(&adfg, &selection.patterns, MultiPatternConfig::default())
+            .expect("selection covers all colors")
+            .schedule;
     schedule
         .validate(&adfg, Some(&selection.patterns))
         .expect("scheduler output is valid by construction");

@@ -52,7 +52,10 @@ fn main() {
 
     // Sweep Pdef, the paper's main knob (its Table 7 rows).
     println!("\nPdef sweep (paper's §5.2 selection, F2 scheduling):");
-    println!("{:>5} {:>22} {:>7} {:>12}", "Pdef", "patterns", "cycles", "peak live");
+    println!(
+        "{:>5} {:>22} {:>7} {:>12}",
+        "Pdef", "patterns", "cycles", "peak live"
+    );
     for pdef in 1..=4 {
         let result = select_and_schedule(
             &adfg,

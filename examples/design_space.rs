@@ -10,7 +10,9 @@
 use mps::prelude::*;
 
 fn main() {
-    let workload = std::env::args().nth(1).unwrap_or_else(|| "dft5".to_string());
+    let workload = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "dft5".to_string());
     let dfg = mps::workloads::by_name(&workload).unwrap_or_else(|| {
         eprintln!(
             "unknown workload '{workload}'; known: {:?}",

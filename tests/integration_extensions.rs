@@ -13,8 +13,22 @@ use proptest::prelude::*;
 /// Workloads that exercise every generator family, kept small enough that
 /// the whole file runs in seconds.
 const SUITE: &[&str] = &[
-    "fig2", "fig4", "dft3", "dft5", "fir8", "fir8-chain", "iir3", "dct8", "matmul3", "fft8",
-    "conv3", "horner5", "lattice5", "cordic6", "cholesky4", "sobel3",
+    "fig2",
+    "fig4",
+    "dft3",
+    "dft5",
+    "fir8",
+    "fir8-chain",
+    "iir3",
+    "dct8",
+    "matmul3",
+    "fft8",
+    "conv3",
+    "horner5",
+    "lattice5",
+    "cordic6",
+    "cholesky4",
+    "sobel3",
 ];
 
 fn load(name: &str) -> AnalyzedDfg {
@@ -295,8 +309,7 @@ fn modulo_schedules_validate_on_suite() {
             continue;
         }
         let patterns = mps::select::select_patterns(&adfg, &base_select(4)).patterns;
-        let r = mps::scheduler::schedule_modulo(&adfg, &patterns, Default::default())
-            .expect(name);
+        let r = mps::scheduler::schedule_modulo(&adfg, &patterns, Default::default()).expect(name);
         mps::scheduler::validate_modulo(&adfg, &r).expect(name);
         assert!(r.ii >= r.mii, "{name}: II below the resource bound");
         // A flat schedule is a modulo schedule with II = latency, so the
@@ -304,7 +317,12 @@ fn modulo_schedules_validate_on_suite() {
         let flat = schedule_multi_pattern(&adfg, &patterns, MultiPatternConfig::default())
             .unwrap()
             .schedule;
-        assert!(r.ii <= flat.len(), "{name}: II {} > latency {}", r.ii, flat.len());
+        assert!(
+            r.ii <= flat.len(),
+            "{name}: II {} > latency {}",
+            r.ii,
+            flat.len()
+        );
     }
 }
 

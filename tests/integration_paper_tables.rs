@@ -9,7 +9,10 @@ fn fig2() -> AnalyzedDfg {
 }
 
 fn names(adfg: &AnalyzedDfg, nodes: &[mps::dfg::NodeId]) -> Vec<String> {
-    let mut v: Vec<String> = nodes.iter().map(|&n| adfg.dfg().name(n).to_string()).collect();
+    let mut v: Vec<String> = nodes
+        .iter()
+        .map(|&n| adfg.dfg().name(n).to_string())
+        .collect();
     v.sort_unstable();
     v
 }
@@ -45,7 +48,11 @@ fn table1_levels_exact() {
     ];
     for (name, asap, alap, height) in rows {
         let n = adfg.dfg().find(name).unwrap();
-        assert_eq!((l.asap(n), l.alap(n), l.height(n)), (asap, alap, height), "{name}");
+        assert_eq!(
+            (l.asap(n), l.alap(n), l.height(n)),
+            (asap, alap, height),
+            "{name}"
+        );
     }
 }
 
@@ -129,7 +136,11 @@ fn table2_trace_exact() {
             "pattern2 selected set, cycle {}",
             row.cycle
         );
-        assert_eq!(row.chosen, *chosen, "committed pattern, cycle {}", row.cycle);
+        assert_eq!(
+            row.chosen, *chosen,
+            "committed pattern, cycle {}",
+            row.cycle
+        );
     }
 }
 
@@ -140,7 +151,11 @@ fn table2_trace_exact() {
 #[test]
 fn table3_pattern_sets() {
     let adfg = fig2();
-    let sets = ["abcbc bbbab bbbcb babaa", "abcbc bcbca cbaba bbccb", "abccc aabac cccaa ababb"];
+    let sets = [
+        "abcbc bbbab bbbcb babaa",
+        "abcbc bcbca cbaba bbccb",
+        "abccc aabac cccaa ababb",
+    ];
     let measured: Vec<usize> = sets
         .iter()
         .map(|s| {
@@ -168,7 +183,12 @@ fn table4_antichains_exact() {
     };
     let table = PatternTable::build(&adfg, cfg);
     assert_eq!(table.len(), 4, "exactly the four patterns of Table 4");
-    let count = |p: &str| table.get(&Pattern::parse(p).unwrap()).unwrap().antichain_count;
+    let count = |p: &str| {
+        table
+            .get(&Pattern::parse(p).unwrap())
+            .unwrap()
+            .antichain_count
+    };
     assert_eq!(count("a"), 3);
     assert_eq!(count("b"), 2);
     assert_eq!(count("aa"), 2);
@@ -233,7 +253,11 @@ fn table6_and_worked_example_exact() {
     };
     let none = vec![0u64; 5];
     let prio = |p: &str| {
-        mps::select::eq8_priority(table.get(&Pattern::parse(p).unwrap()).unwrap(), &none, &sel_cfg)
+        mps::select::eq8_priority(
+            table.get(&Pattern::parse(p).unwrap()).unwrap(),
+            &none,
+            &sel_cfg,
+        )
     };
     assert_eq!(prio("a"), 26.0);
     assert_eq!(prio("b"), 24.0);

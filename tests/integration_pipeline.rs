@@ -22,7 +22,16 @@ fn pipeline_cfg(pdef: usize) -> PipelineConfig {
 #[test]
 fn every_workload_schedules_validates_and_replays() {
     let workloads = [
-        "fig2", "fig4", "dft3", "dft4", "dft5", "fir8", "fir8-chain", "dct8", "matmul3", "iir3",
+        "fig2",
+        "fig4",
+        "dft3",
+        "dft4",
+        "dft5",
+        "fir8",
+        "fir8-chain",
+        "dct8",
+        "matmul3",
+        "iir3",
         "random42",
     ];
     for name in workloads {
@@ -42,7 +51,11 @@ fn every_workload_schedules_validates_and_replays() {
                 TileParams::default(),
             )
             .unwrap_or_else(|e| panic!("{name}/pdef{pdef}: {e}"));
-            assert_eq!(report.bindings.len(), adfg.len(), "{name}: every node executes");
+            assert_eq!(
+                report.bindings.len(),
+                adfg.len(),
+                "{name}: every node executes"
+            );
             // Never beats the lower bound.
             assert!(
                 r.cycles >= bounds::lower_bound(&adfg, &r.selection.patterns),
@@ -272,7 +285,10 @@ fn width_bounds_every_cycle_occupancy() {
         )
         .unwrap();
         for cyc in r.schedule.cycles() {
-            assert!(cyc.nodes.len() <= w, "{name}: a cycle wider than the DAG width");
+            assert!(
+                cyc.nodes.len() <= w,
+                "{name}: a cycle wider than the DAG width"
+            );
         }
     }
 }
@@ -298,7 +314,10 @@ fn register_pressure_is_consistent() {
         assert_eq!(lt.live.len(), r.cycles, "{name}");
         assert!(lt.peak <= adfg.len(), "{name}");
         // Outputs are all live in the final cycle.
-        assert!(*lt.live.last().unwrap() >= adfg.dfg().sinks().len(), "{name}");
+        assert!(
+            *lt.live.last().unwrap() >= adfg.dfg().sinks().len(),
+            "{name}"
+        );
     }
 }
 
@@ -322,7 +341,9 @@ fn transforms_compose_with_the_pipeline() {
         },
     )
     .unwrap();
-    r.schedule.validate(&adfg, Some(&r.selection.patterns)).unwrap();
+    r.schedule
+        .validate(&adfg, Some(&r.selection.patterns))
+        .unwrap();
     // Fusing cannot be slower than running the kernels back to back.
     let solo = |name: &str| {
         let g = AnalyzedDfg::new(mps::workloads::by_name(name).unwrap());

@@ -1,0 +1,37 @@
+//! Guards the workspace wiring itself: the `mps` facade crate must keep
+//! re-exporting the types every downstream binary and bench is written
+//! against. A regression here breaks tier-1 instead of (only) the bins.
+
+use mps::prelude::*;
+
+/// `mps::prelude` exposes the whole pipeline vocabulary by name. This is a
+/// compile-time guarantee; the function bodies just pin the paths.
+#[test]
+fn prelude_reexports_pipeline_vocabulary() {
+    // Type paths resolve (compile-time check, spelled as value-level uses).
+    let _build: fn() -> AnalyzedDfg = || AnalyzedDfg::new(mps::workloads::fig2());
+    let _select_cfg: SelectConfig = SelectConfig::with_pdef(4);
+    let _sched_cfg: MultiPatternConfig = MultiPatternConfig::default();
+    let _pipe_cfg: PipelineConfig = PipelineConfig {
+        select: SelectConfig::with_pdef(4),
+        sched: MultiPatternConfig::default(),
+    };
+    // `select_and_schedule` is callable through the prelude re-export.
+    let adfg = AnalyzedDfg::new(mps::workloads::fig2());
+    let result = select_and_schedule(&adfg, &_pipe_cfg).expect("fig2 pipeline runs");
+    assert!(result.cycles >= 5, "critical path of the 3DFT is 5 cycles");
+}
+
+/// Every sub-crate is reachable through the facade's module aliases.
+#[test]
+fn facade_exposes_every_subcrate() {
+    let dfg = mps::workloads::fig4();
+    let adfg = mps::dfg::AnalyzedDfg::new(dfg);
+    let pats =
+        mps::patterns::enumerate_antichains(&adfg, mps::patterns::EnumerateConfig::default());
+    assert!(!pats.is_empty(), "fig4 has at least one candidate pattern");
+
+    // mps::par is the crossbeam substrate the selector fans out over.
+    let doubled = mps::par::par_map(&[1usize, 2, 3], |x| x * 2);
+    assert_eq!(doubled, vec![2, 4, 6]);
+}

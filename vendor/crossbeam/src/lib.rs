@@ -1,0 +1,157 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no registry access, so this crate vendors the
+//! two pieces the workspace uses — [`thread::scope`] and
+//! [`channel::bounded`] — as thin wrappers over `std`: scoped threads exist
+//! in std since 1.63, and a bounded MPSC channel is `sync_channel`. The
+//! wrappers keep crossbeam's call shapes (spawn closures receive a `&Scope`
+//! argument, `scope` returns a `thread::Result`) so callers compile
+//! unchanged against either implementation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped threads with crossbeam's API shape over [`std::thread::scope`].
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// The result of a [`scope`] call: `Err` carries a panic payload from a
+    /// worker (or the scope body).
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A handle for spawning threads tied to the enclosing [`scope`] call.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker. As in crossbeam, the closure receives the scope
+        /// back so workers can spawn further workers.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope handle; every spawned worker is joined before
+    /// this returns. A panic in any worker (or in `f`) surfaces as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+/// Bounded channels with crossbeam's API shape over [`std::sync::mpsc`].
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::SendError;
+
+    /// The sending half of a bounded channel. Cloneable, blocking on full.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send, blocking while the channel is full. Errors only after every
+        /// receiver is dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; `Err` once the channel is empty and all senders
+        /// are gone.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.0.recv()
+        }
+
+        /// Iterate until the channel is empty and all senders are gone.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.iter()
+        }
+    }
+
+    /// Create a bounded channel of the given capacity.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let total = std::sync::atomic::AtomicU64::new(0);
+        let out = super::thread::scope(|s| {
+            for i in 0..8u64 {
+                let total = &total;
+                s.spawn(move |_| {
+                    total.fetch_add(i, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 28);
+    }
+
+    #[test]
+    fn worker_panic_is_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| 7u32);
+            });
+        });
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn bounded_channel_round_trip() {
+        let (tx, rx) = super::channel::bounded::<u32>(2);
+        let tx2 = tx.clone();
+        std::thread::spawn(move || {
+            for i in 0..10 {
+                tx2.send(i).unwrap();
+            }
+        });
+        drop(tx);
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,329 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this crate vendors the
+//! subset of proptest the workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), [`Strategy`]
+//! with `prop_map`, range / tuple / [`collection::vec`] / [`option::of`] /
+//! [`any`] strategies, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberately accepted for a test-only
+//! stub: no shrinking (a failing case reports its case index and the
+//! values' Debug output is up to the assert message), and case generation
+//! is deterministic per test function (seeded from the test's module
+//! path), so failures reproduce exactly across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[doc(hidden)]
+pub use rand::rngs::StdRng as __StdRng;
+#[doc(hidden)]
+pub use rand::SeedableRng as __SeedableRng;
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: usize,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: usize) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A recipe for generating random values of an associated type.
+pub trait Strategy {
+    /// The type this strategy produces.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Produce one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                // Full-width draw from the generator's raw words.
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategies over `Option`.
+pub mod option {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// The strategy returned by [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_bool(0.5) {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `None` half the time, `Some` of the inner strategy otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of `element` values with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// FNV-1a over a string: the per-test seed. `const` so it can run in a
+/// `static` context if ever needed.
+#[doc(hidden)]
+pub const fn fnv1a(s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        i += 1;
+    }
+    hash
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Assert inside a property test (no shrinking: behaves like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Assert equality inside a property test (behaves like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over random cases.
+#[macro_export]
+macro_rules! proptest {
+    // Internal: config threaded through.
+    (@cfg ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::__SeedableRng as _;
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::__StdRng::seed_from_u64($crate::fnv1a(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            )));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                // The closure gives `prop_assume!`'s `return` a place to
+                // skip to; a panic inside reports the case index.
+                let run = move || $body;
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest (offline stub): {} failed at case {case}/{} — \
+                         deterministic seed, rerun reproduces",
+                        stringify!($name),
+                        config.cases,
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        use crate::Strategy;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let (a, b) = (1usize..5, 0u8..3).generate(&mut rng);
+            assert!((1..5).contains(&a) && b < 3);
+            let v = crate::collection::vec(0u32..4, 1..6).generate(&mut rng);
+            assert!((1..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+            let mapped = (0u32..10).prop_map(|x| x * 2).generate(&mut rng);
+            assert!(mapped % 2 == 0 && mapped < 20);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: args bind, assume skips, asserts run.
+        #[test]
+        fn macro_end_to_end(x in 0u32..100, flag in any::<bool>(), opt in crate::option::of(0u32..3)) {
+            prop_assume!(x != 99);
+            prop_assert!(x < 99);
+            if let Some(o) = opt {
+                prop_assert!(o < 3);
+            }
+            let _ = flag;
+            prop_assert_eq!(x + 1, 1 + x);
+        }
+    }
+}

@@ -1,0 +1,512 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this workspace has no registry access, so this
+//! crate vendors the *subset* of serde's API that the workspace actually
+//! uses: the `Serialize`/`Deserialize` traits, `Serializer`/`Deserializer`
+//! with `collect_seq`, `de::Error::custom`, and derive macros (via the
+//! `derive` feature, provided by the sibling `serde_derive` stub).
+//!
+//! Instead of serde's visitor-based streaming data model, everything routes
+//! through a self-describing [`Value`] tree. That keeps the trait surface
+//! source-compatible for this workspace's impls while staying small enough
+//! to audit. Formats can be layered on top of [`Value`] (see
+//! [`to_value`] / [`from_value`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value: the data model of this mini-serde.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// The unit value `()`.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// Any unsigned integer (widened to 64 bits).
+    U64(u64),
+    /// Any signed integer (widened to 64 bits).
+    I64(i64),
+    /// Any float (widened to 64 bits).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (Vec, slice, array, tuple, multi-field tuple struct).
+    Seq(Vec<Value>),
+    /// A struct / map: ordered field-name → value pairs.
+    Map(Vec<(String, Value)>),
+}
+
+/// Error type shared by the value serializer and deserializer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ValueError(String);
+
+impl Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+/// Serialization-side error machinery.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// The trait every [`crate::Serializer::Error`] must implement.
+    pub trait Error: Sized + Display {
+        /// Build an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error machinery.
+pub mod de {
+    use std::fmt::Display;
+
+    /// The trait every [`crate::Deserializer::Error`] must implement.
+    pub trait Error: Sized + Display {
+        /// Build an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+impl ser::Error for ValueError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// A data structure that can be serialized.
+pub trait Serialize {
+    /// Serialize `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink for serialized data.
+///
+/// Unlike real serde this is value-based: implementors receive one complete
+/// [`Value`] tree. `collect_seq` is provided on top of it because the
+/// workspace's manual impls call it.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error: ser::Error;
+
+    /// Consume a complete value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize the items of an iterator as a sequence.
+    fn collect_seq<I>(self, iter: I) -> Result<Self::Ok, Self::Error>
+    where
+        I: IntoIterator,
+        I::Item: Serialize,
+    {
+        let items = iter.into_iter().map(|item| to_value(&item)).collect();
+        self.serialize_value(Value::Seq(items))
+    }
+}
+
+/// A source of serialized data, handing out one complete [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: de::Error;
+
+    /// Take the complete value tree out of this deserializer.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A data structure that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A type deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// The serializer behind [`to_value`]: captures the value tree verbatim.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// The deserializer behind [`from_value`]: hands out a stored value tree.
+#[derive(Clone, Debug)]
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn take_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Serialize any value into a [`Value`] tree. Infallible for every impl in
+/// this workspace (the only fallible step is a final format sink).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    match value.serialize(ValueSerializer) {
+        Ok(v) => v,
+        Err(e) => Value::Str(format!("<serialize error: {e}>")),
+    }
+}
+
+/// Deserialize any owned value from a [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+fn unexpected<E: de::Error>(expected: &str, got: &Value) -> E {
+    E::custom(format!("expected {expected}, got {got:?}"))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types used by the workspace.
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::U64(*self as u64))
+            }
+        }
+    )*};
+}
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::I64(*self as i64))
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::F64(*self as f64))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::F64(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Unit)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Value::Unit),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::Seq(vec![$(to_value(&self.$idx)),+]))
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types used by the workspace.
+// ---------------------------------------------------------------------------
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_value()? {
+                    Value::U64(n) => <$t>::try_from(n)
+                        .map_err(|_| de::Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(n)
+                        .map_err(|_| de::Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    other => Err(unexpected("integer", &other)),
+                }
+            }
+        }
+    )*};
+}
+deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::F64(x) => Ok(x),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            other => Err(unexpected("float", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|x| x as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(unexpected("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Unit => Ok(()),
+            other => Err(unexpected("unit", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(unexpected("string", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| T::deserialize(ValueDeserializer(v)).map_err(de::Error::custom))
+                .collect(),
+            other => Err(unexpected("sequence", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(deserializer)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| de::Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Unit => Ok(None),
+            v => T::deserialize(ValueDeserializer(v))
+                .map(Some)
+                .map_err(de::Error::custom),
+        }
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal; $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+                match deserializer.take_value()? {
+                    Value::Seq(items) => {
+                        if items.len() != $len {
+                            return Err(de::Error::custom(format!(
+                                "expected tuple of length {}, got {}", $len, items.len()
+                            )));
+                        }
+                        let mut it = items.into_iter();
+                        Ok(($(
+                            $name::deserialize(ValueDeserializer(
+                                it.next().expect("length checked above"),
+                            ))
+                            .map_err(de::Error::custom)?,
+                        )+))
+                    }
+                    other => Err(unexpected("tuple sequence", &other)),
+                }
+            }
+        }
+    )*};
+}
+deserialize_tuple! {
+    (1; A)
+    (2; A, B)
+    (3; A, B, C)
+    (4; A, B, C, D)
+}
+
+/// Support code for the derive macros. Not part of the public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{de, from_value, DeserializeOwned, Value};
+
+    /// Extract a required named field from a struct's map representation.
+    pub fn field<T: DeserializeOwned, E: de::Error>(
+        map: &mut Vec<(String, Value)>,
+        strct: &str,
+        name: &str,
+    ) -> Result<T, E> {
+        let pos = map
+            .iter()
+            .position(|(k, _)| k == name)
+            .ok_or_else(|| E::custom(format!("missing field `{name}` in {strct}")))?;
+        let (_, v) = map.swap_remove(pos);
+        from_value(v).map_err(|e| E::custom(format!("field `{name}` of {strct}: {e}")))
+    }
+
+    /// Unwrap a [`Value::Map`], or error with the struct name.
+    pub fn expect_map<E: de::Error>(value: Value, strct: &str) -> Result<Vec<(String, Value)>, E> {
+        match value {
+            Value::Map(m) => Ok(m),
+            other => Err(E::custom(format!(
+                "expected map for struct {strct}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Unwrap a [`Value::Seq`] of an exact length, or error with the struct name.
+    pub fn expect_seq<E: de::Error>(
+        value: Value,
+        strct: &str,
+        len: usize,
+    ) -> Result<Vec<Value>, E> {
+        match value {
+            Value::Seq(items) if items.len() == len => Ok(items),
+            Value::Seq(items) => Err(E::custom(format!(
+                "expected {len} elements for tuple struct {strct}, got {}",
+                items.len()
+            ))),
+            other => Err(E::custom(format!(
+                "expected sequence for tuple struct {strct}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Deserialize one positional element, or error with the struct name.
+    pub fn element<T: DeserializeOwned, E: de::Error>(
+        value: Value,
+        strct: &str,
+        index: usize,
+    ) -> Result<T, E> {
+        from_value(value).map_err(|e| E::custom(format!("element {index} of {strct}: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(from_value::<u32>(to_value(&7u32)).unwrap(), 7);
+        assert_eq!(from_value::<i64>(to_value(&-3i64)).unwrap(), -3);
+        assert_eq!(from_value::<f64>(to_value(&1.5f64)).unwrap(), 1.5);
+        assert!(from_value::<bool>(to_value(&true)).unwrap());
+        assert_eq!(
+            from_value::<String>(to_value("hello")).unwrap(),
+            "hello".to_string()
+        );
+    }
+
+    #[test]
+    fn compound_round_trip() {
+        let v: Vec<(String, u32)> = vec![("a".into(), 1), ("b".into(), 2)];
+        let round: Vec<(String, u32)> = from_value(to_value(&v)).unwrap();
+        assert_eq!(round, v);
+
+        let arr = [1u64, 2, 3, 4];
+        let round: [u64; 4] = from_value(to_value(&arr)).unwrap();
+        assert_eq!(round, arr);
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        assert!(from_value::<u32>(Value::Str("nope".into())).is_err());
+        assert!(from_value::<[u64; 4]>(to_value(&vec![1u64, 2])).is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled derive macros (no `syn`/`quote` — the build environment has
+//! no registry access) covering exactly the shapes this workspace derives
+//! on: non-generic structs with named fields and tuple structs. Enums,
+//! generics, and `#[serde(...)]` attributes are rejected with a clear
+//! compile error rather than silently mis-handled.
+//!
+//! The generated code targets the value-tree data model of the sibling
+//! `serde` stub: named structs become [`Value::Map`]s keyed by field name,
+//! newtype structs serialize as their inner value, and wider tuple structs
+//! become [`Value::Seq`]s.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The derivable shape of a struct.
+enum Shape {
+    /// `struct S { a: T, b: U }` — the listed field names.
+    Named(Vec<String>),
+    /// `struct S(T, U);` — the field count.
+    Tuple(usize),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derive `serde::Serialize` for a plain struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_struct(input, "Serialize");
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(::std::string::String::from(\"{f}\"), ::serde::to_value(&self.{f}))")
+                })
+                .collect();
+            format!(
+                "__serializer.serialize_value(::serde::Value::Map(::std::vec![{}]))",
+                pairs.join(", ")
+            )
+        }
+        Shape::Tuple(1) => "__serializer.serialize_value(::serde::to_value(&self.0))".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "__serializer.serialize_value(::serde::Value::Seq(::std::vec![{}]))",
+                items.join(", ")
+            )
+        }
+    };
+    let name = &input.name;
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+             {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` for a plain struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_struct(input, "Deserialize");
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::__private::field::<_, __D::Error>(&mut __map, \"{name}\", \"{f}\")?"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __map = ::serde::__private::expect_map::<__D::Error>(\n\
+                     __deserializer.take_value()?, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::__private::element::<_, __D::Error>(\n\
+                 __deserializer.take_value()?, \"{name}\", 0)?))"
+        ),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::__private::element::<_, __D::Error>(__it.next().expect(\"length checked\"), \"{name}\", {i})?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __items = ::serde::__private::expect_seq::<__D::Error>(\n\
+                     __deserializer.take_value()?, \"{name}\", {n})?;\n\
+                 let mut __it = __items.into_iter();\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::std::result::Result<Self, __D::Error> {{\n\
+             {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+/// Parse `[attrs] [pub] struct Name { ... }` / `struct Name(...)` out of the
+/// derive input, panicking (→ compile error) on unsupported shapes.
+fn parse_struct(input: TokenStream, derive: &str) -> Input {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.next() {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {}
+        Some(TokenTree::Ident(kw)) => {
+            panic!("#[derive({derive})] (offline stub) supports only structs, found `{kw}`")
+        }
+        other => panic!("#[derive({derive})]: unexpected input {other:?}"),
+    }
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("#[derive({derive})]: expected struct name, found {other:?}"),
+    };
+
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+            name,
+            shape: Shape::Named(named_fields(g.stream())),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Input {
+            name,
+            shape: Shape::Tuple(tuple_arity(g.stream())),
+        },
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("#[derive({derive})] (offline stub) does not support generic structs ({name})")
+        }
+        other => panic!("#[derive({derive})] on {name}: unexpected {other:?}"),
+    }
+}
+
+/// Collect field names from the body of a braced struct.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes (incl. doc comments) and visibility before the name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("offline serde derive: expected field name, found {other:?}"),
+        }
+        // Consume `: Type` up to the next top-level comma. Angle brackets are
+        // plain puncts in token streams, so track their depth to avoid
+        // splitting on the comma in e.g. `SmallSet<Color, MAX_SLOTS>`.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for tok in body {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    arity += 1;
+                    saw_token = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        arity += 1;
+    }
+    arity
+}
