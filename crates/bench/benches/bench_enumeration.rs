@@ -1,0 +1,100 @@
+//! Enumeration + classification throughput — the perf trajectory planted
+//! by PR 2 (allocation-free enumerator + interned patterns).
+//!
+//! Measures, on the paper's DFT workload and a complexsig-built FFT:
+//!
+//! * `enumeration/*` — raw antichains/second of [`for_each_antichain`]
+//!   across the Table 5 span limits (0, 1, 2, ∞);
+//! * `classify/*` — [`PatternTable::build`] end to end (enumerate +
+//!   interned classification), sequential so the comparison is per-core;
+//! * `classify_reference/*` — the retained seed path
+//!   [`PatternTable::build_reference`], same configs. The ratio
+//!   `classify_reference / classify` is the speedup the PR claims
+//!   (`scripts/bench_snapshot.sh` records it in `BENCH_2.json`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mps::prelude::*;
+
+fn graphs() -> Vec<(&'static str, AnalyzedDfg)> {
+    vec![
+        ("dft5", AnalyzedDfg::new(mps::workloads::dft5())),
+        ("fft8", AnalyzedDfg::new(mps::workloads::fft_radix2(8))),
+    ]
+}
+
+const SPAN_LIMITS: [Option<u32>; 4] = [Some(0), Some(1), Some(2), None];
+
+fn span_label(limit: Option<u32>) -> String {
+    match limit {
+        Some(l) => format!("span{l}"),
+        None => "span_unlimited".to_string(),
+    }
+}
+
+fn cfg(limit: Option<u32>) -> EnumerateConfig {
+    EnumerateConfig {
+        capacity: 5,
+        span_limit: limit,
+        parallel: false,
+    }
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    for (name, adfg) in graphs() {
+        let mut group = c.benchmark_group(format!("enumeration/{name}"));
+        for limit in SPAN_LIMITS {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(span_label(limit)),
+                &limit,
+                |b, &limit| {
+                    b.iter(|| {
+                        let mut count = 0u64;
+                        mps::patterns::for_each_antichain(&adfg, cfg(limit), |_, _| count += 1);
+                        count
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_classification(c: &mut Criterion) {
+    for (name, adfg) in graphs() {
+        let mut group = c.benchmark_group(format!("classify/{name}"));
+        for limit in SPAN_LIMITS {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(span_label(limit)),
+                &limit,
+                |b, &limit| {
+                    b.iter(|| PatternTable::build(&adfg, cfg(limit)).len());
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_classification_reference(c: &mut Criterion) {
+    for (name, adfg) in graphs() {
+        let mut group = c.benchmark_group(format!("classify_reference/{name}"));
+        for limit in SPAN_LIMITS {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(span_label(limit)),
+                &limit,
+                |b, &limit| {
+                    b.iter(|| PatternTable::build_reference(&adfg, cfg(limit)).len());
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_enumeration,
+    bench_classification,
+    bench_classification_reference
+);
+criterion_main!(benches);

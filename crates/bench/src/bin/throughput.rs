@@ -1,0 +1,263 @@
+//! Enumeration/classification throughput snapshots — the numbers behind
+//! the repo's `BENCH_*.json` perf trajectory — plus a pinned-count smoke
+//! check for CI.
+//!
+//! ```text
+//! throughput            human-readable table on stdout
+//! throughput --json     machine-readable snapshot (scripts/bench_snapshot.sh)
+//! throughput --smoke    fast semantic check: antichain counts on small
+//!                       graphs must equal pinned values (exit 1 otherwise)
+//! ```
+//!
+//! All timed sections run sequentially (`parallel: false`) so the
+//! fast-vs-reference ratio is a per-core comparison; one parallel build is
+//! timed separately to show the substrate's scaling on top.
+
+use mps::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Workloads measured by the snapshot: the paper's 3- and 5-point DFTs
+/// plus a complexsig-built FFT butterfly one size up. (Larger FFTs scale
+/// fine but make the seed-path baseline runs take minutes; `fft_radix2(16)`
+/// already enumerates 675M antichains.)
+fn workloads() -> Vec<(&'static str, AnalyzedDfg)> {
+    vec![
+        ("dft3", AnalyzedDfg::new(mps::workloads::dft3())),
+        ("dft5", AnalyzedDfg::new(mps::workloads::dft5())),
+        ("fft8", AnalyzedDfg::new(mps::workloads::fft_radix2(8))),
+    ]
+}
+
+const SPAN_LIMITS: [Option<u32>; 4] = [Some(0), Some(1), Some(2), None];
+
+/// Pinned antichain counts guarding the enumerator's semantics: if a perf
+/// refactor changes any of these, the smoke check (run by CI and
+/// scripts/smoke.sh) fails loudly.
+const SMOKE_PINS: [(&str, Option<u32>, u64); 3] = [
+    ("fig2", None, 9374),
+    ("fig4", None, 8),
+    ("dft5", Some(1), 32054),
+];
+
+fn cfg(limit: Option<u32>) -> EnumerateConfig {
+    EnumerateConfig {
+        capacity: 5,
+        span_limit: limit,
+        parallel: false,
+    }
+}
+
+/// Time `f`, calibrating the iteration count to fill ~200 ms, and return
+/// (seconds per iteration, the last result).
+fn time_per_iter<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let target = Duration::from_millis(200);
+    let start = Instant::now();
+    let mut result = f();
+    let once = start.elapsed();
+    let iters = if once >= target {
+        1
+    } else {
+        ((target.as_secs_f64() / once.as_secs_f64().max(1e-9)).ceil() as u64).clamp(1, 100_000)
+    };
+    let start = Instant::now();
+    for _ in 0..iters {
+        result = f();
+    }
+    (start.elapsed().as_secs_f64() / iters as f64, result)
+}
+
+struct Row {
+    workload: &'static str,
+    nodes: usize,
+    span_limit: Option<u32>,
+    antichains: u64,
+    distinct_patterns: usize,
+    enumerate_sec: f64,
+    classify_sec: f64,
+    classify_reference_sec: f64,
+    classify_parallel_sec: f64,
+}
+
+impl Row {
+    fn antichains_per_sec(&self) -> f64 {
+        self.antichains as f64 / self.enumerate_sec
+    }
+
+    fn classify_antichains_per_sec(&self) -> f64 {
+        self.antichains as f64 / self.classify_sec
+    }
+
+    fn speedup_vs_reference(&self) -> f64 {
+        self.classify_reference_sec / self.classify_sec
+    }
+}
+
+fn measure(workload: &'static str, adfg: &AnalyzedDfg, span_limit: Option<u32>) -> Row {
+    let (enumerate_sec, antichains) = time_per_iter(|| {
+        let mut count = 0u64;
+        mps::patterns::for_each_antichain(adfg, cfg(span_limit), |_, _| count += 1);
+        count
+    });
+    let (classify_sec, table) = time_per_iter(|| PatternTable::build(adfg, cfg(span_limit)));
+    let (classify_reference_sec, reference) =
+        time_per_iter(|| PatternTable::build_reference(adfg, cfg(span_limit)));
+    let (classify_parallel_sec, _) = time_per_iter(|| {
+        PatternTable::build(
+            adfg,
+            EnumerateConfig {
+                parallel: true,
+                ..cfg(span_limit)
+            },
+        )
+    });
+    assert_eq!(
+        table.total_antichains(),
+        antichains,
+        "classification must account for every enumerated antichain"
+    );
+    assert_eq!(
+        reference.total_antichains(),
+        antichains,
+        "reference path must agree with the enumeration"
+    );
+    Row {
+        workload,
+        nodes: adfg.len(),
+        span_limit,
+        antichains,
+        distinct_patterns: table.len(),
+        enumerate_sec,
+        classify_sec,
+        classify_reference_sec,
+        classify_parallel_sec,
+    }
+}
+
+fn span_str(limit: Option<u32>) -> String {
+    match limit {
+        Some(l) => l.to_string(),
+        None => "unlimited".to_string(),
+    }
+}
+
+fn print_json(rows: &[Row], pr: u32) {
+    println!("{{");
+    println!("  \"pr\": {pr},");
+    println!("  \"bench\": \"enumeration+classification throughput\",");
+    println!("  \"binary\": \"throughput\",");
+    println!("  \"units\": {{");
+    println!("    \"antichains_per_sec\": \"for_each_antichain visits per second (sequential)\",");
+    println!(
+        "    \"classify_antichains_per_sec\": \"PatternTable::build antichains per second (sequential)\","
+    );
+    println!("    \"speedup_vs_reference\": \"classify_reference_sec / classify_sec, same core\"");
+    println!("  }},");
+    println!("  \"threads_available\": {},", mps::par::parallelism());
+    println!(
+        "  \"seed_baseline\": \"speedup_vs_reference compares against the in-tree \
+         build_reference path, which already uses the PR 2 allocation-free enumerator; \
+         the full seed path (git 43bed70) is slower still — see README § Performance \
+         for the git-referenced measurement\","
+    );
+    println!("  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        println!(
+            "    {{\"workload\": \"{}\", \"nodes\": {}, \"span_limit\": \"{}\", \
+             \"antichains\": {}, \"distinct_patterns\": {}, \
+             \"antichains_per_sec\": {:.0}, \"classify_sec\": {:.6}, \
+             \"classify_antichains_per_sec\": {:.0}, \"classify_reference_sec\": {:.6}, \
+             \"speedup_vs_reference\": {:.2}, \"classify_parallel_sec\": {:.6}}}{}",
+            r.workload,
+            r.nodes,
+            span_str(r.span_limit),
+            r.antichains,
+            r.distinct_patterns,
+            r.antichains_per_sec(),
+            r.classify_sec,
+            r.classify_antichains_per_sec(),
+            r.classify_reference_sec,
+            r.speedup_vs_reference(),
+            r.classify_parallel_sec,
+            comma
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}
+
+fn print_table(rows: &[Row]) {
+    println!(
+        "{:<9} {:>5} {:>9} {:>11} {:>9} {:>14} {:>14} {:>9}",
+        "workload", "nodes", "span", "antichains", "patterns", "enum/s", "classify/s", "speedup"
+    );
+    for r in rows {
+        println!(
+            "{:<9} {:>5} {:>9} {:>11} {:>9} {:>14.0} {:>14.0} {:>8.1}x",
+            r.workload,
+            r.nodes,
+            span_str(r.span_limit),
+            r.antichains,
+            r.distinct_patterns,
+            r.antichains_per_sec(),
+            r.classify_antichains_per_sec(),
+            r.speedup_vs_reference(),
+        );
+    }
+}
+
+fn smoke() -> i32 {
+    let mut failures = 0;
+    for (name, span_limit, expected) in SMOKE_PINS {
+        let dfg = mps::workloads::by_name(name).expect("smoke workload exists");
+        let adfg = AnalyzedDfg::new(dfg);
+        let mut count = 0u64;
+        mps::patterns::for_each_antichain(&adfg, cfg(span_limit), |_, _| count += 1);
+        let table = PatternTable::build(&adfg, cfg(span_limit));
+        let status = if count == expected && table.total_antichains() == expected {
+            "ok"
+        } else {
+            failures += 1;
+            "MISMATCH"
+        };
+        println!(
+            "smoke {name} span={}: antichains={count} classified={} expected={expected} … {status}",
+            span_str(span_limit),
+            table.total_antichains(),
+        );
+    }
+    if failures > 0 {
+        eprintln!("throughput --smoke: {failures} pinned count(s) changed — enumeration semantics drifted");
+        1
+    } else {
+        println!("throughput --smoke: all pinned counts match");
+        0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        std::process::exit(smoke());
+    }
+    let json = args.iter().any(|a| a == "--json");
+    // `--pr N`: which BENCH_<N>.json snapshot this run is labeled as
+    // (bench_snapshot.sh passes its PR argument through).
+    let pr = args
+        .iter()
+        .position(|a| a == "--pr")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let mut rows = Vec::new();
+    for (name, adfg) in workloads() {
+        for limit in SPAN_LIMITS {
+            rows.push(measure(name, &adfg, limit));
+        }
+    }
+    if json {
+        print_json(&rows, pr);
+    } else {
+        print_table(&rows);
+    }
+}

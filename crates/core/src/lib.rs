@@ -58,7 +58,8 @@ pub mod prelude {
         AnalyzedDfg, Color, ColorSet, Dfg, DfgBuilder, Levels, NodeId, Reachability,
     };
     pub use mps_patterns::{
-        enumerate_antichains, span_histogram, EnumerateConfig, Pattern, PatternSet, PatternTable,
+        enumerate_antichains, span_histogram, AntichainEnumerator, EnumerateConfig, Pattern,
+        PatternId, PatternSet, PatternTable,
     };
     pub use mps_scheduler::{
         schedule_multi_pattern, MultiPatternConfig, PatternPriority, Schedule, TieBreak,

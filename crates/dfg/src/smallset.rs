@@ -79,6 +79,27 @@ impl<T: Copy + Default, const N: usize> SmallSet<T, N> {
     }
 }
 
+impl<T: Copy + Default + Ord, const N: usize> SmallSet<T, N> {
+    /// Insert `x` before the first element greater than it, shifting the
+    /// tail right — one insertion-sort step, entirely on the stack.
+    ///
+    /// If the contents are sorted (non-decreasing) before the call, they
+    /// are sorted after it; duplicates are kept, with the new element
+    /// placed after existing equals. Panics at capacity, like
+    /// [`SmallSet::push`].
+    #[inline]
+    pub fn insert_sorted(&mut self, x: T) {
+        assert!((self.len as usize) < N, "SmallSet capacity {N} exceeded");
+        let mut i = self.len as usize;
+        while i > 0 && self.items[i - 1] > x {
+            self.items[i] = self.items[i - 1];
+            i -= 1;
+        }
+        self.items[i] = x;
+        self.len += 1;
+    }
+}
+
 impl<T: Copy + Default, const N: usize> Default for SmallSet<T, N> {
     fn default() -> Self {
         Self::new()
@@ -188,6 +209,24 @@ mod tests {
         assert_eq!(sum, 10);
         assert_eq!(s.capacity(), 8);
         assert_eq!(&s[1..3], &[1, 2]);
+    }
+
+    #[test]
+    fn insert_sorted_keeps_order() {
+        let mut s: SmallSet<u32, 8> = SmallSet::new();
+        for x in [5u32, 1, 3, 3, 2, 9, 0] {
+            s.insert_sorted(x);
+        }
+        assert_eq!(s.as_slice(), &[0, 1, 2, 3, 3, 5, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn insert_sorted_past_capacity_panics() {
+        let mut s: SmallSet<u32, 2> = SmallSet::new();
+        s.insert_sorted(2);
+        s.insert_sorted(1);
+        s.insert_sorted(3);
     }
 
     #[test]

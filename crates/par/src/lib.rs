@@ -7,8 +7,13 @@
 //! this crate provides the small slice of its functionality we need, built on
 //! [`crossbeam`]'s scoped threads:
 //!
-//! * [`par_map`] / [`par_map_indexed`] — order-preserving parallel map with
-//!   dynamic (atomic work-counter) load balancing,
+//! * [`par_map`] / [`par_map_indexed`] — order-preserving parallel map.
+//!   Workers claim contiguous index chunks from a shared atomic counter and
+//!   write results directly into their final slots of the output buffer:
+//!   no channel, no per-item message, no `Vec<Option<U>>` re-collect.
+//! * [`par_fold`] — per-worker local accumulators merged once at the end,
+//!   so reductions combine `T` thread-locals instead of one partial per
+//!   item (the pattern-table builder's hot path).
 //! * [`par_reduce`] — parallel map + associative fold,
 //! * [`par_for_each`] — side-effecting variant,
 //! * [`parallelism`] — thread-count heuristic honouring `MPS_THREADS`.
@@ -17,6 +22,9 @@
 //! is small or only one hardware thread is available, so callers never pay
 //! thread-spawn latency for tiny inputs.
 //!
+//! The only `unsafe` in the crate is the disjoint-chunk output write in
+//! [`fill`]; everything else is `#[deny(unsafe_code)]`-clean.
+//!
 //! # Example
 //!
 //! ```
@@ -24,17 +32,40 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 mod chunk;
+#[allow(unsafe_code)] // isolated disjoint-chunk writes; see module docs
+mod fill;
 pub use chunk::chunk_ranges;
 
-/// Inputs shorter than this are always processed sequentially: the work per
-/// item would have to be enormous to amortize thread startup below this size.
+/// Inputs shorter than this are always processed sequentially. Two is the
+/// smallest input that can be split at all; anything at or above it may be
+/// worth threads because items can be arbitrarily expensive (one
+/// enumeration root can own a search tree orders of magnitude larger than
+/// another's), and per-item dispatch overhead is already amortized by
+/// chunked claiming rather than by this cutoff.
 const SEQUENTIAL_CUTOFF: usize = 2;
+
+/// Target number of chunks each worker gets to claim over a run. Higher
+/// values balance skewed per-item costs better; lower values reduce shared
+/// counter traffic. 8 keeps the slowest worker within ~1/8 of a chunk of
+/// the others for uniform items while costing only `8 × threads` atomic
+/// increments in total.
+const CHUNKS_PER_WORKER: usize = 8;
+
+/// Upper bound on the chunk size, so enormous inputs still rebalance.
+const MAX_CHUNK: usize = 1024;
+
+/// How many items a worker claims per trip to the shared counter.
+///
+/// `len / (workers × CHUNKS_PER_WORKER)`, clamped to `1..=MAX_CHUNK`.
+fn chunk_size(len: usize, workers: usize) -> usize {
+    (len / (workers * CHUNKS_PER_WORKER).max(1)).clamp(1, MAX_CHUNK)
+}
 
 /// Number of worker threads to use for parallel operations.
 ///
@@ -57,10 +88,10 @@ pub fn parallelism() -> usize {
 /// Order-preserving parallel map: `out[i] = f(&items[i])`.
 ///
 /// Work is distributed dynamically: each worker repeatedly claims the next
-/// unprocessed index from a shared atomic counter, so heavily skewed
-/// per-item costs (common in antichain enumeration, where one root node may
-/// own a search tree orders of magnitude larger than another's) still
-/// balance well.
+/// unprocessed chunk of indices from a shared atomic counter, so heavily
+/// skewed per-item costs (common in antichain enumeration, where one root
+/// node may own a search tree orders of magnitude larger than another's)
+/// still balance well.
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
@@ -73,48 +104,85 @@ where
 /// Parallel map over the index range `0..len`, preserving index order.
 ///
 /// This is the workhorse behind [`par_map`]; use it directly when the work
-/// items are described by an index rather than a slice element.
+/// items are described by an index rather than a slice element. Results are
+/// written straight into their final slots of the output vector (see
+/// [`fill`]), so the only coordination cost is one atomic increment per
+/// claimed chunk.
 pub fn par_map_indexed<U, F>(len: usize, f: F) -> Vec<U>
 where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
-    let threads = parallelism().min(len.max(1));
-    if threads <= 1 || len < SEQUENTIAL_CUTOFF {
+    let workers = parallelism().min(len.max(1));
+    if workers <= 1 || len < SEQUENTIAL_CUTOFF {
         return (0..len).map(f).collect();
     }
+    fill::fill_indexed(len, workers, chunk_size(len, workers), f)
+}
 
-    let counter = AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::bounded::<(usize, U)>(threads * 4);
-
-    let mut out: Vec<Option<U>> = Vec::with_capacity(len);
-    out.resize_with(len, || None);
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            let tx = tx.clone();
-            let counter = &counter;
-            let f = &f;
-            scope.spawn(move |_| loop {
-                let i = counter.fetch_add(1, Ordering::Relaxed);
-                if i >= len {
-                    break;
-                }
-                // An unreceivable send only happens if the collector below
-                // panicked; propagating the panic via unwrap is what we want.
-                tx.send((i, f(i))).expect("collector hung up");
-            });
+/// Parallel fold: one private accumulator per worker, merged at the end.
+///
+/// Every worker builds an accumulator with `make`, folds each item of the
+/// chunks it claims into it with `fold`, and the per-worker accumulators
+/// are combined pairwise with `merge` once all items are consumed. Only
+/// `T` partials are ever merged (T = worker count), independent of the
+/// item count — the right shape for reductions whose accumulator is big
+/// (histograms, frequency tables) where per-item partials would dominate.
+///
+/// Which items land in which accumulator depends on scheduling, so
+/// `fold`/`merge` must be insensitive to grouping and order (counting,
+/// summing and histogram merges are; appending to an ordered list is not).
+/// `make` must return a neutral accumulator: `merge(make(), a) ≡ a`.
+pub fn par_fold<T, A, M, F, R>(items: &[T], make: M, fold: F, merge: R) -> A
+where
+    T: Sync,
+    A: Send,
+    M: Fn() -> A + Sync,
+    F: Fn(&mut A, &T) + Sync,
+    R: Fn(A, A) -> A,
+{
+    let workers = parallelism().min(items.len().max(1));
+    if workers <= 1 || items.len() < SEQUENTIAL_CUTOFF {
+        let mut acc = make();
+        for item in items {
+            fold(&mut acc, item);
         }
-        drop(tx);
-        for (i, u) in rx.iter() {
-            out[i] = Some(u);
-        }
+        return acc;
+    }
+    let chunk = chunk_size(items.len(), workers);
+    let next = AtomicUsize::new(0);
+    let locals: Vec<A> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (next, make, fold) = (&next, &make, &fold);
+                scope.spawn(move |_| {
+                    let mut acc = make();
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        for item in &items[start..(start + chunk).min(items.len())] {
+                            fold(&mut acc, item);
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(acc) => acc,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
     })
     .expect("worker thread panicked");
-
-    out.into_iter()
-        .map(|o| o.expect("every index produced"))
-        .collect()
+    locals
+        .into_iter()
+        .reduce(merge)
+        .expect("at least one worker ran")
 }
 
 /// Parallel map + associative fold.
@@ -178,6 +246,26 @@ mod tests {
     }
 
     #[test]
+    fn par_map_non_copy_values() {
+        // Heap-owning results exercise the move-into-slot write path.
+        let out = par_map_indexed(1000, |i| format!("item-{i}"));
+        assert_eq!(out.len(), 1000);
+        assert_eq!(out[0], "item-0");
+        assert_eq!(out[999], "item-999");
+    }
+
+    #[test]
+    fn par_map_around_chunk_boundaries() {
+        // Lengths straddling worker/chunk boundaries must still cover every
+        // index exactly once.
+        for len in [1usize, 2, 3, 7, 8, 9, 63, 64, 65, 1023, 1024, 1025] {
+            let out = par_map_indexed(len, |i| i);
+            let seq: Vec<usize> = (0..len).collect();
+            assert_eq!(out, seq, "len={len}");
+        }
+    }
+
+    #[test]
     fn par_reduce_sums() {
         let input: Vec<u64> = (1..=1000).collect();
         let sum = par_reduce(&input, 0u64, |&x| x, |a, b| a + b);
@@ -188,6 +276,46 @@ mod tests {
     fn par_reduce_identity_on_empty() {
         let sum = par_reduce(&[] as &[u64], 7u64, |&x| x, |a, b| a + b);
         assert_eq!(sum, 7);
+    }
+
+    #[test]
+    fn par_fold_sums_like_sequential() {
+        let items: Vec<u64> = (0..5000).collect();
+        let total = par_fold(&items, || 0u64, |acc, &x| *acc += x, |a, b| a + b);
+        assert_eq!(total, 5000 * 4999 / 2);
+    }
+
+    #[test]
+    fn par_fold_histogram_merges() {
+        let items: Vec<u64> = (0..997).collect();
+        let hist = par_fold(
+            &items,
+            || [0u64; 7],
+            |h, &x| h[(x % 7) as usize] += 1,
+            |mut a, b| {
+                for (d, s) in a.iter_mut().zip(b.iter()) {
+                    *d += s;
+                }
+                a
+            },
+        );
+        let mut expect = [0u64; 7];
+        for x in 0..997u64 {
+            expect[(x % 7) as usize] += 1;
+        }
+        assert_eq!(hist, expect);
+    }
+
+    #[test]
+    fn par_fold_empty_returns_neutral() {
+        let acc = par_fold(&[] as &[u64], || 42u64, |a, &x| *a += x, |a, b| a + b);
+        assert_eq!(acc, 42);
+    }
+
+    #[test]
+    fn par_fold_single_item() {
+        let acc = par_fold(&[5u64], || 0u64, |a, &x| *a += x, |a, b| a + b);
+        assert_eq!(acc, 5);
     }
 
     #[test]
@@ -207,9 +335,26 @@ mod tests {
     }
 
     #[test]
+    fn chunk_size_is_sane() {
+        // Never zero, never above MAX_CHUNK, sequentializes nothing.
+        for len in [1usize, 2, 10, 1000, 1_000_000] {
+            for workers in [1usize, 2, 8, 64] {
+                let c = chunk_size(len, workers);
+                assert!((1..=MAX_CHUNK).contains(&c), "len={len} workers={workers}");
+            }
+        }
+        // Small inputs get single-item chunks for best balance…
+        assert_eq!(chunk_size(64, 8), 1);
+        // …large inputs amortize counter traffic…
+        assert_eq!(chunk_size(10_000, 8), 10_000 / (8 * CHUNKS_PER_WORKER));
+        // …and huge inputs stay bounded so late rebalancing still happens.
+        assert_eq!(chunk_size(100_000_000, 4), MAX_CHUNK);
+    }
+
+    #[test]
     fn skewed_work_is_balanced() {
         // One very expensive item among many cheap ones must not break
-        // order preservation or deadlock the channel.
+        // order preservation.
         let input: Vec<u64> = (0..64).collect();
         let out = par_map(&input, |&x| {
             if x == 0 {

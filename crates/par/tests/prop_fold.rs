@@ -1,0 +1,36 @@
+//! Property test: `par_fold` is equivalent to a sequential fold for
+//! grouping-insensitive accumulators, regardless of item count, worker
+//! scheduling, or chunk boundaries.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn par_fold_matches_sequential_fold(
+        items in proptest::collection::vec(0u64..10_000, 0..700),
+    ) {
+        // Histogram + sum accumulator: commutative and associative under
+        // merge, so any chunking must produce the sequential answer.
+        let make = || ([0u64; 13], 0u64);
+        let fold = |acc: &mut ([u64; 13], u64), &x: &u64| {
+            acc.0[(x % 13) as usize] += 1;
+            acc.1 += x;
+        };
+        let merge = |mut a: ([u64; 13], u64), b: ([u64; 13], u64)| {
+            for (d, s) in a.0.iter_mut().zip(b.0.iter()) {
+                *d += s;
+            }
+            a.1 += b.1;
+            a
+        };
+
+        let mut seq = make();
+        for x in &items {
+            fold(&mut seq, x);
+        }
+        let par = mps_par::par_fold(&items, make, fold, merge);
+        prop_assert_eq!(par, seq);
+    }
+}

@@ -40,33 +40,61 @@ impl EnumerateConfig {
     }
 }
 
-/// Per-root DFS state, reused across the whole enumeration to stay
-/// allocation-free in the hot loop.
-struct Dfs<'a> {
+/// Reusable DFS state for span-limited antichain enumeration.
+///
+/// All working storage is allocated once in [`AntichainEnumerator::new`]:
+/// the per-depth candidate bitsets `cand[d]` and the per-depth index
+/// scratch stacks `scratch[d]`, each sized for the whole graph up front.
+/// [`AntichainEnumerator::enumerate_root`] therefore performs **no heap
+/// allocation**, no matter how many antichains it visits — the property
+/// [`crate::PatternTable::build`] relies on when one worker reuses a
+/// single enumerator for every root it claims.
+///
+/// # Scratch-stack invariants
+///
+/// * `scratch[d]` holds a snapshot of the set bits of `cand[d]`, taken at
+///   the top of the depth-`d` loop frame. The frame iterates the snapshot
+///   while `cand[d + 1]` (and deeper) are overwritten per candidate;
+///   recursion into depth `d + 1` never touches `cand[d]` or
+///   `scratch[≤ d]`, so the snapshot stays valid for the whole frame.
+/// * Each `scratch[d]` is `mem::take`n for the duration of its frame and
+///   restored on exit, so its buffer (and capacity) survives into the next
+///   visit of depth `d`. Capacity is pre-reserved for every node, so even
+///   the first frame never reallocates.
+pub struct AntichainEnumerator<'a> {
     adfg: &'a AnalyzedDfg,
     cfg: EnumerateConfig,
     words: usize,
     /// `cand[d]` = candidate bitset at depth `d` (nodes that are greater
     /// than every chosen node and parallelizable with all of them).
     cand: Vec<Vec<u64>>,
+    /// `scratch[d]` = the indices of `cand[d]`, snapshotted per frame.
+    scratch: Vec<Vec<u32>>,
     current: Antichain,
     max_asap: Vec<u32>,
     min_alap: Vec<u32>,
 }
 
-impl<'a> Dfs<'a> {
-    fn new(adfg: &'a AnalyzedDfg, cfg: EnumerateConfig) -> Self {
+impl<'a> AntichainEnumerator<'a> {
+    /// Allocate enumeration state for `adfg` under `cfg`.
+    ///
+    /// Panics unless `cfg.capacity` is in `1..=16`.
+    pub fn new(adfg: &'a AnalyzedDfg, cfg: EnumerateConfig) -> Self {
         assert!(
             (1..=16).contains(&cfg.capacity),
             "capacity must be in 1..=16, got {}",
             cfg.capacity
         );
         let words = adfg.reach().words();
-        Dfs {
+        let nodes = adfg.len();
+        AntichainEnumerator {
             adfg,
             cfg,
             words,
             cand: vec![vec![0u64; words]; cfg.capacity + 1],
+            scratch: (0..=cfg.capacity)
+                .map(|_| Vec::with_capacity(nodes))
+                .collect(),
             current: Antichain::new(),
             max_asap: vec![0; cfg.capacity + 1],
             min_alap: vec![0; cfg.capacity + 1],
@@ -75,6 +103,10 @@ impl<'a> Dfs<'a> {
 
     /// Enumerate every antichain whose smallest element is `root`, calling
     /// `visit(antichain, span)` for each (including the singleton).
+    pub fn enumerate_root<F: FnMut(&Antichain, u32)>(&mut self, root: NodeId, mut visit: F) {
+        self.run(root, &mut visit);
+    }
+
     fn run<F: FnMut(&Antichain, u32)>(&mut self, root: NodeId, visit: &mut F) {
         let levels = self.adfg.levels();
         self.current = Antichain::new();
@@ -108,11 +140,18 @@ impl<'a> Dfs<'a> {
     /// candidate at `cand[depth]`.
     fn extend<F: FnMut(&Antichain, u32)>(&mut self, depth: usize, visit: &mut F) {
         let levels = self.adfg.levels();
-        // Candidates are iterated out of a scratch copy because `self.cand`
-        // is re-borrowed mutably for the child depth.
-        let cand_indices: Vec<usize> = BitIter::new(&self.cand[depth]).collect();
-        for vi in cand_indices {
-            let v = NodeId(vi as u32);
+        // Candidates are iterated out of the depth's scratch snapshot
+        // because `self.cand` is re-borrowed mutably for the child depth.
+        // `mem::take` detaches the preallocated buffer from `self` for the
+        // duration of the frame (no allocation: the empty `Vec` that takes
+        // its place is never grown) and the restore at the bottom keeps
+        // its capacity for the next frame at this depth.
+        let mut cands = std::mem::take(&mut self.scratch[depth]);
+        cands.clear();
+        cands.extend(BitIter::new(&self.cand[depth]).map(|i| i as u32));
+        for &cand in &cands {
+            let vi = cand as usize;
+            let v = NodeId(cand);
             let new_max = self.max_asap[depth].max(levels.asap(v));
             let new_min = self.min_alap[depth].min(levels.alap(v));
             let span = new_max.saturating_sub(new_min);
@@ -147,6 +186,7 @@ impl<'a> Dfs<'a> {
             }
             self.current.pop();
         }
+        self.scratch[depth] = cands;
     }
 }
 
@@ -158,7 +198,7 @@ pub fn for_each_antichain<F: FnMut(&Antichain, u32)>(
     cfg: EnumerateConfig,
     mut visit: F,
 ) {
-    let mut dfs = Dfs::new(adfg, cfg);
+    let mut dfs = AntichainEnumerator::new(adfg, cfg);
     for root in adfg.dfg().node_ids() {
         dfs.run(root, &mut visit);
     }
@@ -166,13 +206,17 @@ pub fn for_each_antichain<F: FnMut(&Antichain, u32)>(
 
 /// Visit every antichain whose minimum node id is `root` (the unit of
 /// parallelism used by [`crate::table::PatternTable`]).
+///
+/// Convenience wrapper that builds a fresh [`AntichainEnumerator`] for the
+/// one root; callers visiting many roots should construct the enumerator
+/// once and call [`AntichainEnumerator::enumerate_root`] per root instead.
 pub fn for_each_antichain_from_root<F: FnMut(&Antichain, u32)>(
     adfg: &AnalyzedDfg,
     cfg: EnumerateConfig,
     root: NodeId,
     mut visit: F,
 ) {
-    let mut dfs = Dfs::new(adfg, cfg);
+    let mut dfs = AntichainEnumerator::new(adfg, cfg);
     dfs.run(root, &mut visit);
 }
 
@@ -261,21 +305,8 @@ mod tests {
 
     #[test]
     fn span_limit_prunes() {
-        // Chain p0→p1→p2→p3 plus a free node q (span(q, p_i) grows with i).
-        let mut b = DfgBuilder::new();
-        let p: Vec<_> = (0..4)
-            .map(|i| b.add_node(format!("p{i}"), c('a')))
-            .collect();
-        for w in p.windows(2) {
-            b.add_edge(w[0], w[1]).unwrap();
-        }
-        let _q = b.add_node("q", c('a'));
-        let adfg = AnalyzedDfg::new(b.build().unwrap());
-        // q: ASAP 0, ALAP 3. Pair {p_i, q}: span = U(asap_i − 3)... always 0!
-        // Instead pin q early: add r with q → r chain to drop q's ALAP.
-        // Simpler assertion: unlimited vs limit-0 counts differ on a graph
-        // with positive-span antichains. Build: x(0,0) in chain of 3 and
-        // y with ASAP 2: s0→s1→y gives pair {x?...}
+        // Two parallel chains of three: {x0, y2} has span 2, {x0, y0} has
+        // span 0, so unlimited vs limit-0 counts must differ.
         let mut b = DfgBuilder::new();
         let x0 = b.add_node("x0", c('a'));
         let x1 = b.add_node("x1", c('a'));
@@ -287,10 +318,10 @@ mod tests {
         let y2 = b.add_node("y2", c('a'));
         b.add_edge(y0, y1).unwrap();
         b.add_edge(y1, y2).unwrap();
-        let adfg2 = AnalyzedDfg::new(b.build().unwrap());
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
         // {x0, y2} has span U(2-0) = 2; {x0,y0} span 0.
         let unlimited = enumerate_antichains(
-            &adfg2,
+            &adfg,
             EnumerateConfig {
                 capacity: 2,
                 span_limit: None,
@@ -298,7 +329,7 @@ mod tests {
             },
         );
         let tight = enumerate_antichains(
-            &adfg2,
+            &adfg,
             EnumerateConfig {
                 capacity: 2,
                 span_limit: Some(0),
@@ -311,7 +342,6 @@ mod tests {
         assert_eq!(pairs0, 3, "exactly the level-aligned cross pairs");
         let pairs_all = unlimited.iter().filter(|a| a.len() == 2).count();
         assert_eq!(pairs_all, 9, "all cross pairs are antichains");
-        drop(adfg);
     }
 
     #[test]
@@ -349,6 +379,21 @@ mod tests {
             for_each_antichain_from_root(&adfg, cfg, root, |_, _| by_roots += 1);
         }
         assert_eq!(full, by_roots);
+    }
+
+    #[test]
+    fn enumerator_is_reusable_across_roots() {
+        // One enumerator driven over every root visits exactly the full
+        // enumeration (state fully resets between roots).
+        let adfg = fig4();
+        let cfg = EnumerateConfig::default();
+        let full = enumerate_antichains(&adfg, cfg).len();
+        let mut en = AntichainEnumerator::new(&adfg, cfg);
+        let mut count = 0usize;
+        for root in adfg.dfg().node_ids() {
+            en.enumerate_root(root, |_, _| count += 1);
+        }
+        assert_eq!(count, full);
     }
 
     #[test]

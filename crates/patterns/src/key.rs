@@ -1,0 +1,282 @@
+//! Packed pattern keys: the §5.1 classification fast path.
+//!
+//! A [`Pattern`] is a bag of at most [`MAX_PATTERN_SLOTS`] colors. When
+//! every color index is below [`MAX_PACKED_COLOR`] (the paper's `a`–`z`
+//! alphabet), the whole bag packs into one `u128`: bits `4c..4c+4` hold
+//! the multiplicity of color `c` and bits `104..` the bag size. Building
+//! the key of an antichain is then a handful of integer additions — no
+//! sorting, no heap — and bag equality is `u128` equality, which is what
+//! [`crate::PatternTable::build`] hashes on via [`KeyInterner`].
+//!
+//! # Injectivity
+//!
+//! With per-color counts ≤ 15 the low 104 bits are the exact base-16 digit
+//! string of the count vector, so keys are injective and the size field is
+//! redundant. A nibble can only overflow when one color fills all 16 slots
+//! (the bag has ≤ 16 slots in total), i.e. the pattern is `16×c` for a
+//! single color `c`; then:
+//!
+//! * `c < 25`: the low bits carry into color `c + 1`'s nibble and read as
+//!   the single-slot bag `{c+1}` — but that bag stores size 1 while `16×c`
+//!   stores size 16, so the size field disambiguates;
+//! * `c = 25` (`z`): the carry lands in the size field itself, which then
+//!   reads 17 — a value no carry-free key can produce (true sizes are
+//!   ≤ 16), so it uniquely denotes `16×z`.
+
+use crate::pattern::{Pattern, MAX_PATTERN_SLOTS};
+use mps_dfg::Color;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Colors with index below this pack into a [`PatternKey`] (26 nibbles of
+/// 4 bits each fit under the size field at bit 104).
+pub(crate) const MAX_PACKED_COLOR: usize = 26;
+
+/// Bit offset of the bag-size field.
+const SIZE_SHIFT: u32 = 104;
+
+/// A pattern bag packed into a `u128` (see the module docs for the
+/// encoding and its injectivity argument).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct PatternKey(pub(crate) u128);
+
+impl PatternKey {
+    /// The empty bag.
+    pub(crate) const EMPTY: PatternKey = PatternKey(0);
+
+    /// The additive contribution of one slot of color `c`, or `None` when
+    /// the color is outside the packable alphabet.
+    #[inline]
+    pub(crate) fn delta(c: Color) -> Option<u128> {
+        (c.index() < MAX_PACKED_COLOR)
+            .then(|| (1u128 << (4 * c.index() as u32)) + (1u128 << SIZE_SHIFT))
+    }
+
+    /// The key with one more slot whose [`PatternKey::delta`] is `delta`.
+    #[inline]
+    pub(crate) fn plus(self, delta: u128) -> PatternKey {
+        PatternKey(self.0 + delta)
+    }
+
+    /// Pack an existing pattern; `None` if any color is unpackable.
+    /// (Production code builds keys incrementally from node deltas; this
+    /// whole-pattern packer exists for the round-trip tests.)
+    #[cfg(test)]
+    pub(crate) fn from_pattern(p: &Pattern) -> Option<PatternKey> {
+        let mut key = PatternKey::EMPTY;
+        for &c in p.colors() {
+            key = key.plus(Self::delta(c)?);
+        }
+        Some(key)
+    }
+
+    /// Unpack into the canonical (sorted) pattern.
+    pub(crate) fn to_pattern(self) -> Pattern {
+        let size = (self.0 >> SIZE_SHIFT) as usize;
+        let mut counts = [0usize; MAX_PACKED_COLOR];
+        let mut sum = 0usize;
+        for (c, cnt) in counts.iter_mut().enumerate() {
+            *cnt = ((self.0 >> (4 * c as u32)) & 0xF) as usize;
+            sum += *cnt;
+        }
+        if size == MAX_PATTERN_SLOTS + 1 {
+            // 16 z's: the count nibble carried into the size field.
+            counts = [0; MAX_PACKED_COLOR];
+            counts[MAX_PACKED_COLOR - 1] = MAX_PATTERN_SLOTS;
+        } else if sum != size {
+            // 16 of one color: its nibble carried into the next color's,
+            // so the low bits read as a single slot of color `spill`.
+            debug_assert_eq!(size, MAX_PATTERN_SLOTS);
+            debug_assert_eq!(sum, 1);
+            let spill = (self.0 & ((1u128 << SIZE_SHIFT) - 1)).trailing_zeros() as usize / 4;
+            counts = [0; MAX_PACKED_COLOR];
+            counts[spill - 1] = MAX_PATTERN_SLOTS;
+        }
+        Pattern::from_colors(
+            counts.iter().enumerate().flat_map(|(c, &k)| {
+                std::iter::repeat_n(Color(u8::try_from(c).expect("c < 26")), k)
+            }),
+        )
+    }
+}
+
+/// Hasher for `u128` pattern keys: one splitmix64-style mix instead of
+/// SipHash. Keys are dense, well-distributed small integers produced by
+/// our own enumeration (not attacker-controlled), so a statistical mixer
+/// is safe and several times cheaper.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by u128 keys): FNV-1a.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        let mut h = (v as u64) ^ ((v >> 64) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = h ^ (h >> 31);
+    }
+}
+
+/// Assigns dense ids (`0, 1, 2, …` in first-seen order) to pattern keys.
+///
+/// Each table-builder worker owns one interner, so interning is a single
+/// uncontended hash-map probe on a `u128`; the per-worker id spaces are
+/// reconciled by key when thread-locals merge.
+pub(crate) struct KeyInterner {
+    map: HashMap<u128, u32, BuildHasherDefault<KeyHasher>>,
+    keys: Vec<u128>,
+}
+
+impl KeyInterner {
+    pub(crate) fn new() -> KeyInterner {
+        KeyInterner {
+            map: HashMap::default(),
+            keys: Vec::new(),
+        }
+    }
+
+    /// Dense id of `key`, allocating the next id on first sight.
+    #[inline]
+    pub(crate) fn intern(&mut self, key: PatternKey) -> u32 {
+        *self.map.entry(key.0).or_insert_with(|| {
+            let id = u32::try_from(self.keys.len()).expect("fewer than 2^32 patterns");
+            self.keys.push(key.0);
+            id
+        })
+    }
+
+    /// All interned keys, indexed by id.
+    pub(crate) fn keys(&self) -> &[u128] {
+        &self.keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Pattern {
+        Pattern::parse(s).unwrap()
+    }
+
+    #[test]
+    fn round_trips_simple_bags() {
+        for s in ["a", "z", "aabcc", "abcde", "zzzz", "aaaaabbbbbcccccd"] {
+            let pat = p(s);
+            let key = PatternKey::from_pattern(&pat).unwrap();
+            assert_eq!(key.to_pattern(), pat, "{s}");
+        }
+        assert_eq!(
+            PatternKey::from_pattern(&Pattern::empty())
+                .unwrap()
+                .to_pattern(),
+            Pattern::empty()
+        );
+    }
+
+    #[test]
+    fn round_trips_full_single_color_bags() {
+        // 16 equal slots overflow a nibble; the size field disambiguates.
+        for ch in ['a', 'b', 'y', 'z'] {
+            let pat = Pattern::from_colors(std::iter::repeat_n(
+                Color::from_char(ch).unwrap(),
+                MAX_PATTERN_SLOTS,
+            ));
+            let key = PatternKey::from_pattern(&pat).unwrap();
+            assert_eq!(key.to_pattern(), pat, "16×{ch}");
+        }
+    }
+
+    #[test]
+    fn adversarial_carry_pairs_do_not_collide() {
+        // {16×a} carries into b's nibble; {b} must still key differently.
+        let full_a = Pattern::from_colors(std::iter::repeat_n(
+            Color::from_char('a').unwrap(),
+            MAX_PATTERN_SLOTS,
+        ));
+        let ka = PatternKey::from_pattern(&full_a).unwrap();
+        let kb = PatternKey::from_pattern(&p("b")).unwrap();
+        assert_ne!(ka, kb);
+        // {16×z} carries into the size field; {z} and 15×z must differ.
+        let full_z = Pattern::from_colors(std::iter::repeat_n(
+            Color::from_char('z').unwrap(),
+            MAX_PATTERN_SLOTS,
+        ));
+        let kz16 = PatternKey::from_pattern(&full_z).unwrap();
+        assert_ne!(kz16, PatternKey::from_pattern(&p("z")).unwrap());
+        assert_ne!(
+            kz16,
+            PatternKey::from_pattern(&p("zzzzzzzzzzzzzzz")).unwrap()
+        );
+    }
+
+    #[test]
+    fn keys_are_order_insensitive() {
+        let k1 = PatternKey::from_pattern(&p("caabc")).unwrap();
+        let k2 = PatternKey::from_pattern(&p("aabcc")).unwrap();
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn delta_rejects_unpackable_colors() {
+        assert!(PatternKey::delta(Color(25)).is_some());
+        assert!(PatternKey::delta(Color(26)).is_none());
+        assert!(PatternKey::delta(Color(255)).is_none());
+    }
+
+    #[test]
+    fn all_small_bags_are_injective() {
+        // Exhaustive over bags of ≤ 3 slots from a 6-color alphabet, plus
+        // every full single-color bag: distinct bags ⇒ distinct keys.
+        let mut seen: HashMap<u128, Pattern> = HashMap::new();
+        let mut check = |pat: Pattern| {
+            let key = PatternKey::from_pattern(&pat).unwrap();
+            if let Some(prev) = seen.insert(key.0, pat) {
+                assert_eq!(prev, pat, "key collision: {prev} vs {pat}");
+            }
+            assert_eq!(key.to_pattern(), pat);
+        };
+        let colors: Vec<Color> = (0..6).map(Color).collect();
+        check(Pattern::empty());
+        for &a in &colors {
+            check(Pattern::from_colors([a]));
+            for &b in &colors {
+                check(Pattern::from_colors([a, b]));
+                for &c in &colors {
+                    check(Pattern::from_colors([a, b, c]));
+                }
+            }
+        }
+        for c in 0..MAX_PACKED_COLOR {
+            check(Pattern::from_colors(std::iter::repeat_n(
+                Color(c as u8),
+                MAX_PATTERN_SLOTS,
+            )));
+        }
+    }
+
+    #[test]
+    fn interner_assigns_dense_first_seen_ids() {
+        let mut interner = KeyInterner::new();
+        let ka = PatternKey::from_pattern(&p("a")).unwrap();
+        let kb = PatternKey::from_pattern(&p("ab")).unwrap();
+        assert_eq!(interner.intern(ka), 0);
+        assert_eq!(interner.intern(kb), 1);
+        assert_eq!(interner.intern(ka), 0, "re-interning is stable");
+        assert_eq!(interner.keys(), &[ka.0, kb.0]);
+    }
+}

@@ -17,8 +17,13 @@
 //!
 //! The enumerator maintains candidate sets as `u64` bitsets intersected
 //! with precomputed per-node parallel masks, so extending an antichain by
-//! one node costs O(V/64) words and no allocation; root nodes are processed
-//! in parallel via `mps-par`.
+//! one node costs O(V/64) words and no allocation ([`AntichainEnumerator`]
+//! preallocates every per-depth buffer and is reusable across roots).
+//! Classification packs each antichain's color bag into a `u128` key —
+//! per-color nibble counts, no sorting — and interns keys into dense
+//! [`PatternId`]s, so the table builder's hot loop is integer adds plus
+//! one hash-map probe per antichain; root nodes are processed in parallel
+//! via `mps-par` with one accumulator per worker.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,15 +31,19 @@
 mod bits;
 mod enumerate;
 mod hasse;
+mod key;
 mod pattern;
 mod pattern_set;
 mod table;
 mod width;
 
 pub use bits::BitIter;
-pub use enumerate::{enumerate_antichains, for_each_antichain, EnumerateConfig};
+pub use enumerate::{
+    enumerate_antichains, for_each_antichain, for_each_antichain_from_root, AntichainEnumerator,
+    EnumerateConfig,
+};
 pub use hasse::SubpatternLattice;
 pub use pattern::Pattern;
 pub use pattern_set::PatternSet;
-pub use table::{span_histogram, PatternStats, PatternTable, SpanHistogram};
+pub use table::{span_histogram, PatternId, PatternStats, PatternTable, SpanHistogram};
 pub use width::{maximum_antichain, width};

@@ -38,12 +38,16 @@ impl Pattern {
 
     /// Build from colors; the bag is canonicalized by sorting.
     ///
+    /// Each color is insertion-sorted into the inline buffer as it
+    /// arrives, so the whole build stays on the stack — no intermediate
+    /// `Vec`, no separate sort pass.
+    ///
     /// Panics if given more than [`MAX_PATTERN_SLOTS`] colors.
     pub fn from_colors<I: IntoIterator<Item = Color>>(iter: I) -> Pattern {
-        let mut colors: SmallSet<Color, MAX_PATTERN_SLOTS> = iter.into_iter().collect();
-        let mut buf: Vec<Color> = colors.as_slice().to_vec();
-        buf.sort_unstable();
-        colors = buf.into_iter().collect();
+        let mut colors: SmallSet<Color, MAX_PATTERN_SLOTS> = SmallSet::new();
+        for c in iter {
+            colors.insert_sorted(c);
+        }
         Pattern { colors }
     }
 

@@ -1,7 +1,8 @@
 //! Classification of antichains by pattern (§5.1) and the Table 5 span
 //! histogram.
 
-use crate::enumerate::{for_each_antichain_from_root, EnumerateConfig};
+use crate::enumerate::{for_each_antichain_from_root, AntichainEnumerator, EnumerateConfig};
+use crate::key::{KeyInterner, PatternKey};
 use crate::pattern::Pattern;
 use mps_dfg::{AnalyzedDfg, Antichain, NodeId};
 use std::collections::HashMap;
@@ -28,6 +29,21 @@ impl PatternStats {
     }
 }
 
+/// Dense index of a pattern inside a [`PatternTable`]: its position in the
+/// canonical (sorted) pattern order, usable to index
+/// [`PatternTable::stats`] directly — the allocation- and hash-free way to
+/// refer to a pattern in hot loops like §5.2 selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatternId(pub u32);
+
+impl PatternId {
+    /// The id as a `usize` index into [`PatternTable::stats`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// All candidate patterns of a DFG with their antichain statistics —
 /// the §5.1 "classified antichains", in aggregate form.
 ///
@@ -42,10 +58,216 @@ pub struct PatternTable {
     num_nodes: usize,
 }
 
+/// "No child interned yet" sentinel in the transition cache.
+const NO_ID: u32 = u32::MAX;
+
+/// Per-worker classification state: a private key interner plus dense,
+/// id-indexed aggregates. `freqs` is one flat row-major buffer (stride =
+/// node count), so recording an antichain touches only its own row and
+/// merging thread-locals is a straight indexed sum.
+///
+/// The id of a visited antichain's pattern is almost never resolved by
+/// hashing: the enumerator visits every antichain immediately after its
+/// length − 1 prefix, so the prefix's id sits in `id_stack` and the full
+/// id is one lookup in the dense `(parent pattern, added color)` →
+/// `child pattern` transition cache. The interner (one `u128` probe) is
+/// only consulted the first time a transition is taken.
+struct LocalTable {
+    interner: KeyInterner,
+    counts: Vec<u64>,
+    freqs: Vec<u64>,
+    num_nodes: usize,
+    /// Packed color index of every node (all < [`crate::key`]'s alphabet).
+    colors: Vec<u8>,
+    /// Per-node key deltas (see [`PatternKey::delta`]).
+    deltas: Vec<u128>,
+    /// `transitions[slot][c]` = id of (pattern of `slot`) + color `c`, or
+    /// [`NO_ID`]. Slot 0 is the empty pattern; slot `id + 1` is pattern
+    /// `id`, so a row is appended whenever an id is interned.
+    transitions: Vec<[u32; 26]>,
+    /// `id_stack[len]` = interned id of the current DFS antichain's prefix
+    /// of length `len` (valid because prefixes are visited first).
+    id_stack: [u32; 17],
+    /// `key_stack[len]` = packed key of that prefix (`key_stack[0]` is the
+    /// empty bag), maintained so the transition-miss path needs no re-fold.
+    key_stack: [PatternKey; 17],
+}
+
+impl LocalTable {
+    fn new(num_nodes: usize, colors: &[u8], deltas: &[u128]) -> LocalTable {
+        LocalTable {
+            interner: KeyInterner::new(),
+            counts: Vec::new(),
+            freqs: Vec::new(),
+            num_nodes,
+            colors: colors.to_vec(),
+            deltas: deltas.to_vec(),
+            transitions: vec![[NO_ID; 26]],
+            id_stack: [NO_ID; 17],
+            key_stack: [PatternKey::EMPTY; 17],
+        }
+    }
+
+    /// Allocate aggregate storage (and a transition row) for a fresh id.
+    fn grow_to(&mut self, id: u32) {
+        if id as usize == self.counts.len() {
+            self.counts.push(0);
+            self.freqs.resize(self.freqs.len() + self.num_nodes, 0);
+            self.transitions.push([NO_ID; 26]);
+        }
+    }
+
+    /// First traversal of a transition: intern the key, memoize the edge.
+    #[cold]
+    fn intern_miss(&mut self, slot: usize, color: usize, key: PatternKey) -> u32 {
+        let id = self.interner.intern(key);
+        self.grow_to(id);
+        self.transitions[slot][color] = id;
+        id
+    }
+
+    /// Count one antichain (visited by the enumerator in prefix order).
+    /// Sparse update: only the antichain's own ≤ C nodes of the pattern's
+    /// frequency row are touched.
+    #[inline]
+    fn record(&mut self, a: &Antichain) {
+        let len = a.len();
+        let node = a.as_slice()[len - 1].index();
+        let color = self.colors[node] as usize;
+        let key = self.key_stack[len - 1].plus(self.deltas[node]);
+        self.key_stack[len] = key;
+        let slot = if len == 1 {
+            0
+        } else {
+            self.id_stack[len - 1] as usize + 1
+        };
+        let mut id = self.transitions[slot][color];
+        if id == NO_ID {
+            id = self.intern_miss(slot, color, key);
+        }
+        self.id_stack[len] = id;
+        let id = id as usize;
+        self.counts[id] += 1;
+        let row = &mut self.freqs[id * self.num_nodes..(id + 1) * self.num_nodes];
+        for &n in a.iter() {
+            row[n.index()] += 1;
+        }
+    }
+
+    /// Fold `other` into `self`, reconciling the two id spaces by key.
+    fn merge(&mut self, other: LocalTable) {
+        for (other_id, &key) in other.interner.keys().iter().enumerate() {
+            let id = self.interner.intern(PatternKey(key));
+            self.grow_to(id);
+            let id = id as usize;
+            self.counts[id] += other.counts[other_id];
+            let dst = &mut self.freqs[id * self.num_nodes..(id + 1) * self.num_nodes];
+            let src = &other.freqs[other_id * self.num_nodes..(other_id + 1) * self.num_nodes];
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Unpack into the final sorted, `Pattern`-indexed table.
+    fn finish(self) -> PatternTable {
+        let n = self.num_nodes;
+        let mut stats: Vec<PatternStats> = self
+            .interner
+            .keys()
+            .iter()
+            .enumerate()
+            .map(|(id, &key)| PatternStats {
+                pattern: PatternKey(key).to_pattern(),
+                antichain_count: self.counts[id],
+                node_freq: self.freqs[id * n..(id + 1) * n].to_vec(),
+            })
+            .collect();
+        stats.sort_by_key(|s| s.pattern);
+        let index = stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.pattern, i))
+            .collect();
+        PatternTable {
+            stats,
+            index,
+            num_nodes: n,
+        }
+    }
+}
+
 impl PatternTable {
     /// Enumerate all antichains of `adfg` under `cfg` and classify them by
     /// pattern. Roots are processed in parallel when `cfg.parallel`.
+    ///
+    /// The hot path is allocation-free: each worker reuses one
+    /// [`AntichainEnumerator`] and classifies every visited antichain into
+    /// a dense id-indexed [`LocalTable`] — via its transition cache in the
+    /// common case, via one packed-[`PatternKey`] interner probe on the
+    /// first sight of a pattern extension — and the per-worker tables
+    /// merge once at the end. Graphs whose colors fall outside the
+    /// packable alphabet (index ≥ 26) take
+    /// [`PatternTable::build_reference`] instead.
     pub fn build(adfg: &AnalyzedDfg, cfg: EnumerateConfig) -> PatternTable {
+        let deltas: Option<Vec<u128>> = adfg
+            .dfg()
+            .node_ids()
+            .map(|nd| PatternKey::delta(adfg.dfg().color(nd)))
+            .collect();
+        let Some(deltas) = deltas else {
+            return Self::build_reference(adfg, cfg);
+        };
+        let n = adfg.len();
+        let colors: Vec<u8> = adfg
+            .dfg()
+            .node_ids()
+            .map(|nd| adfg.dfg().color(nd).index() as u8)
+            .collect();
+        let roots: Vec<NodeId> = adfg.dfg().node_ids().collect();
+        let (colors, deltas) = (&colors, &deltas);
+        let classify = |en: &mut AntichainEnumerator<'_>, local: &mut LocalTable, root: NodeId| {
+            en.enumerate_root(root, |a, _span| local.record(a));
+        };
+
+        let merged: LocalTable = if cfg.parallel {
+            mps_par::par_fold(
+                &roots,
+                || {
+                    (
+                        AntichainEnumerator::new(adfg, cfg),
+                        LocalTable::new(n, colors, deltas),
+                    )
+                },
+                |acc, &root| {
+                    let (en, local) = acc;
+                    classify(en, local, root);
+                },
+                |mut a, b| {
+                    a.1.merge(b.1);
+                    a
+                },
+            )
+            .1
+        } else {
+            let mut en = AntichainEnumerator::new(adfg, cfg);
+            let mut local = LocalTable::new(n, colors, deltas);
+            for &root in &roots {
+                classify(&mut en, &mut local, root);
+            }
+            local
+        };
+        merged.finish()
+    }
+
+    /// The pre-interner (seed) build path: classify through full
+    /// [`Pattern`] values into per-root hash maps merged at the end.
+    ///
+    /// Kept for three reasons: it is the fallback for graphs with colors
+    /// outside the packable alphabet, the oracle the equivalence tests
+    /// compare [`PatternTable::build`] against, and the baseline the
+    /// `bench_enumeration` bench measures speedups over.
+    pub fn build_reference(adfg: &AnalyzedDfg, cfg: EnumerateConfig) -> PatternTable {
         let n = adfg.len();
         let roots: Vec<NodeId> = adfg.dfg().node_ids().collect();
 
@@ -102,8 +324,29 @@ impl PatternTable {
     }
 
     /// Statistics for a pattern, if any antichain realizes it.
+    ///
+    /// A thin shim over [`PatternTable::id_of`]; hot loops should resolve
+    /// the id once and index [`PatternTable::stats`] instead.
     pub fn get(&self, p: &Pattern) -> Option<&PatternStats> {
-        self.index.get(p).map(|&i| &self.stats[i])
+        self.id_of(p).map(|id| &self.stats[id.index()])
+    }
+
+    /// The dense id of a pattern, if any antichain realizes it.
+    pub fn id_of(&self, p: &Pattern) -> Option<PatternId> {
+        self.index.get(p).map(|&i| PatternId(i as u32))
+    }
+
+    /// All statistics in canonical pattern order, indexable by
+    /// [`PatternId`].
+    pub fn stats(&self) -> &[PatternStats] {
+        &self.stats
+    }
+
+    /// Statistics of the pattern with the given id.
+    ///
+    /// Panics if the id is out of range for this table.
+    pub fn stats_of(&self, id: PatternId) -> &PatternStats {
+        &self.stats[id.index()]
     }
 
     /// All patterns with statistics, in canonical pattern order.
@@ -198,6 +441,9 @@ impl fmt::Display for SpanHistogram {
 /// Enumerate antichains up to `max_size` with span ≤ `max_span` and bucket
 /// them by (exact span, size). Reproduces Table 5 via
 /// [`SpanHistogram::cumulative`].
+///
+/// Workers fold into flat per-thread histograms (one reusable enumerator
+/// each); `T` thread-locals are merged instead of one partial per root.
 pub fn span_histogram(adfg: &AnalyzedDfg, max_size: usize, max_span: u32) -> SpanHistogram {
     let roots: Vec<NodeId> = adfg.dfg().node_ids().collect();
     let cfg = EnumerateConfig {
@@ -205,21 +451,30 @@ pub fn span_histogram(adfg: &AnalyzedDfg, max_size: usize, max_span: u32) -> Spa
         span_limit: Some(max_span),
         parallel: true,
     };
-    let locals = mps_par::par_map(&roots, |&root| {
-        let mut local = vec![vec![0u64; max_size]; max_span as usize + 1];
-        for_each_antichain_from_root(adfg, cfg, root, |a, span| {
-            local[span as usize][a.len() - 1] += 1;
-        });
-        local
-    });
-    let mut exact = vec![vec![0u64; max_size]; max_span as usize + 1];
-    for local in locals {
-        for (dst_row, src_row) in exact.iter_mut().zip(local.iter()) {
-            for (d, s) in dst_row.iter_mut().zip(src_row.iter()) {
+    let rows = max_span as usize + 1;
+    let flat = mps_par::par_fold(
+        &roots,
+        || {
+            (
+                AntichainEnumerator::new(adfg, cfg),
+                vec![0u64; rows * max_size],
+            )
+        },
+        |acc, &root| {
+            let (en, hist) = acc;
+            en.enumerate_root(root, |a, span| {
+                hist[span as usize * max_size + (a.len() - 1)] += 1;
+            });
+        },
+        |mut a, b| {
+            for (d, s) in a.1.iter_mut().zip(b.1.iter()) {
                 *d += s;
             }
-        }
-    }
+            a
+        },
+    )
+    .1;
+    let exact = flat.chunks(max_size).map(|r| r.to_vec()).collect();
     SpanHistogram {
         exact,
         max_size,
@@ -254,6 +509,24 @@ mod tests {
             capacity: 5,
             span_limit: None,
             parallel: false,
+        }
+    }
+
+    fn assert_tables_equal(a: &PatternTable, b: &PatternTable, what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: pattern count");
+        assert_eq!(a.num_nodes(), b.num_nodes(), "{what}: node count");
+        for (sa, sb) in a.iter().zip(b.iter()) {
+            assert_eq!(sa.pattern, sb.pattern, "{what}: pattern order");
+            assert_eq!(
+                sa.antichain_count, sb.antichain_count,
+                "{what}: count of {}",
+                sa.pattern
+            );
+            assert_eq!(
+                sa.node_freq, sb.node_freq,
+                "{what}: freqs of {}",
+                sa.pattern
+            );
         }
     }
 
@@ -328,14 +601,62 @@ mod tests {
                 ..cfg_seq()
             },
         );
-        assert_eq!(seq.len(), par.len());
-        for s in seq.iter() {
-            let p = par
-                .get(&s.pattern)
-                .expect("pattern present in parallel build");
-            assert_eq!(s.antichain_count, p.antichain_count);
-            assert_eq!(s.node_freq, p.node_freq);
+        assert_tables_equal(&seq, &par, "parallel vs sequential");
+    }
+
+    /// Acceptance gate of the interner rewrite: the fast path must be
+    /// byte-identical to the seed path on the paper's Fig. 4 graph, in
+    /// both execution modes and across span limits.
+    #[test]
+    fn build_matches_reference_on_fig4() {
+        let adfg = fig4();
+        for parallel in [false, true] {
+            for span_limit in [None, Some(0), Some(1), Some(3)] {
+                let cfg = EnumerateConfig {
+                    capacity: 5,
+                    span_limit,
+                    parallel,
+                };
+                let fast = PatternTable::build(&adfg, cfg);
+                let slow = PatternTable::build_reference(&adfg, cfg);
+                assert_tables_equal(
+                    &fast,
+                    &slow,
+                    &format!("parallel={parallel} span={span_limit:?}"),
+                );
+            }
         }
+    }
+
+    /// Colors outside the packable alphabet (index ≥ 26) must transparently
+    /// fall back to the reference path and still classify correctly.
+    #[test]
+    fn unpackable_colors_fall_back_to_reference() {
+        let mut b = DfgBuilder::new();
+        let n1 = b.add_node("n1", Color(30));
+        let n2 = b.add_node("n2", Color(30));
+        let n3 = b.add_node("n3", Color(99));
+        b.add_edge(n1, n3).unwrap();
+        let _ = n2;
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        let table = PatternTable::build(&adfg, cfg_seq());
+        let reference = PatternTable::build_reference(&adfg, cfg_seq());
+        assert_tables_equal(&table, &reference, "exotic colors");
+        let pair = Pattern::from_colors([Color(30), Color(30)]);
+        assert_eq!(table.get(&pair).unwrap().antichain_count, 1, "{{n1,n2}}");
+    }
+
+    #[test]
+    fn pattern_ids_index_stats() {
+        let adfg = fig4();
+        let table = PatternTable::build(&adfg, cfg_seq());
+        for (i, s) in table.stats().iter().enumerate() {
+            let id = table.id_of(&s.pattern).unwrap();
+            assert_eq!(id, PatternId(i as u32));
+            assert_eq!(table.stats_of(id), s);
+            assert_eq!(table.get(&s.pattern), Some(s));
+        }
+        assert!(table.id_of(&Pattern::parse("zz").unwrap()).is_none());
     }
 
     #[test]

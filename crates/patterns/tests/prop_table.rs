@@ -1,0 +1,104 @@
+//! Property tests for the interned classification fast path: on random
+//! DAGs, [`PatternTable::build`] must agree exactly — counts and per-node
+//! frequencies — with a naive reference built from [`enumerate_antichains`]
+//! into a `BTreeMap`, and with the retained seed path
+//! [`PatternTable::build_reference`], for every span limit the paper
+//! exercises and in both execution modes.
+
+use mps_dfg::{AnalyzedDfg, Color, DfgBuilder};
+use mps_patterns::{enumerate_antichains, EnumerateConfig, Pattern, PatternTable};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const MAX_NODES: usize = 24;
+
+/// Build a DAG from proptest raw material: node `i` gets `colors[i]`, and
+/// a forward edge `i → j` (for `i < j`) exists where the corresponding
+/// `edges` bit is set. Forward-only edges guarantee acyclicity.
+fn build_dag(n: usize, colors: &[u8], edges: &[bool]) -> AnalyzedDfg {
+    let mut b = DfgBuilder::new();
+    let ids: Vec<_> = (0..n)
+        .map(|i| b.add_node(format!("n{i}"), Color(colors[i])))
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if edges[i * MAX_NODES + j] {
+                b.add_edge(ids[i], ids[j]).unwrap();
+            }
+        }
+    }
+    AnalyzedDfg::new(b.build().unwrap())
+}
+
+/// Third, independent implementation of §5.1 classification: collect every
+/// antichain, bag its colors, aggregate in a `BTreeMap`.
+fn naive_table(adfg: &AnalyzedDfg, cfg: EnumerateConfig) -> BTreeMap<Pattern, (u64, Vec<u64>)> {
+    let mut map: BTreeMap<Pattern, (u64, Vec<u64>)> = BTreeMap::new();
+    for a in enumerate_antichains(adfg, cfg) {
+        let pat = Pattern::from_colors(a.iter().map(|&nd| adfg.dfg().color(nd)));
+        let entry = map
+            .entry(pat)
+            .or_insert_with(|| (0, vec![0u64; adfg.len()]));
+        entry.0 += 1;
+        for &nd in a.iter() {
+            entry.1[nd.index()] += 1;
+        }
+    }
+    map
+}
+
+fn assert_table_matches_naive(adfg: &AnalyzedDfg, cfg: EnumerateConfig, what: &str) {
+    let naive = naive_table(adfg, cfg);
+    for (label, table) in [
+        ("build", PatternTable::build(adfg, cfg)),
+        ("build_reference", PatternTable::build_reference(adfg, cfg)),
+    ] {
+        assert_eq!(table.len(), naive.len(), "{what}/{label}: pattern count");
+        // BTreeMap iterates in Pattern order — the table's canonical order.
+        for (s, (pat, (count, freq))) in table.iter().zip(naive.iter()) {
+            assert_eq!(&s.pattern, pat, "{what}/{label}: pattern order");
+            assert_eq!(&s.antichain_count, count, "{what}/{label}: count of {pat}");
+            assert_eq!(&s.node_freq, freq, "{what}/{label}: freqs of {pat}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The acceptance property of the interner rewrite: optimized and
+    /// reference tables are identical on random DAGs for the paper's span
+    /// limits, sequentially and in parallel.
+    #[test]
+    fn table_matches_naive_reference(
+        n in 1usize..=MAX_NODES,
+        colors in proptest::collection::vec(0u8..6, MAX_NODES..(MAX_NODES + 1)),
+        edges in proptest::collection::vec(any::<bool>(), (MAX_NODES * MAX_NODES)..(MAX_NODES * MAX_NODES + 1)),
+    ) {
+        let adfg = build_dag(n, &colors, &edges);
+        for span_limit in [None, Some(0), Some(1), Some(3)] {
+            for parallel in [false, true] {
+                let cfg = EnumerateConfig { capacity: 5, span_limit, parallel };
+                assert_table_matches_naive(
+                    &adfg,
+                    cfg,
+                    &format!("n={n} span={span_limit:?} parallel={parallel}"),
+                );
+            }
+        }
+    }
+
+    /// Colors at and above the packable-alphabet boundary (index ≥ 26)
+    /// route through the reference fallback — results must be identical to
+    /// the naive oracle there too.
+    #[test]
+    fn table_matches_naive_reference_with_exotic_colors(
+        n in 1usize..=12,
+        colors in proptest::collection::vec(24u8..30, MAX_NODES..(MAX_NODES + 1)),
+        edges in proptest::collection::vec(any::<bool>(), (MAX_NODES * MAX_NODES)..(MAX_NODES * MAX_NODES + 1)),
+    ) {
+        let adfg = build_dag(n, &colors, &edges);
+        let cfg = EnumerateConfig { capacity: 5, span_limit: Some(2), parallel: false };
+        assert_table_matches_naive(&adfg, cfg, &format!("exotic n={n}"));
+    }
+}

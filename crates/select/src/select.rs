@@ -3,7 +3,7 @@
 use crate::config::SelectConfig;
 use crate::priority::eq8_priority;
 use mps_dfg::AnalyzedDfg;
-use mps_patterns::{Pattern, PatternSet, PatternTable};
+use mps_patterns::{Pattern, PatternId, PatternSet, PatternStats, PatternTable};
 
 /// What happened in one selection round.
 #[derive(Clone, Debug, PartialEq)]
@@ -50,8 +50,10 @@ pub fn select_from_table(
     let mut selected_colors = mps_dfg::ColorSet::new(); // Ls
     let mut selected = PatternSet::new(); // Ps
     let mut selected_freq = vec![0u64; num_nodes]; // Σ_{Ps} h(p̄_i, ·)
+                                                   // Candidate liveness and statistics, both indexed by `PatternId` — the
+                                                   // round loop below never touches a hash map.
     let mut alive: Vec<bool> = vec![true; table.len()];
-    let stats: Vec<&mps_patterns::PatternStats> = table.iter().collect();
+    let stats: &[PatternStats] = table.stats();
     let mut rounds = Vec::with_capacity(cfg.pdef);
 
     for _round in 0..cfg.pdef {
@@ -59,7 +61,7 @@ pub fn select_from_table(
         let alive_count = alive.iter().filter(|&&a| a).count();
 
         // Find the best candidate with nonzero priority.
-        let mut best: Option<(f64, usize)> = None;
+        let mut best: Option<(f64, PatternId)> = None;
         for (i, s) in stats.iter().enumerate() {
             if !alive[i] {
                 continue;
@@ -82,14 +84,15 @@ pub fn select_from_table(
             // Strict `>` keeps the earliest (canonical-order) pattern on
             // exact ties, making selection deterministic.
             if best.is_none_or(|(bf, _)| f > bf) {
-                best = Some((f, i));
+                best = Some((f, PatternId(i as u32)));
             }
         }
 
         match best {
-            Some((f, idx)) => {
-                let chosen = stats[idx].pattern;
-                for (dst, &h) in selected_freq.iter_mut().zip(stats[idx].node_freq.iter()) {
+            Some((f, id)) => {
+                let winner = &stats[id.index()];
+                let chosen = winner.pattern;
+                for (dst, &h) in selected_freq.iter_mut().zip(winner.node_freq.iter()) {
                     *dst += h;
                 }
                 selected_colors = selected_colors.union(&chosen.color_set());

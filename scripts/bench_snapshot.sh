@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerate the repo's perf-trajectory snapshot: builds the release
+# `throughput` binary and writes its JSON report to BENCH_<PR>.json at the
+# repo root. Run on an otherwise idle machine; takes a couple of minutes
+# (the seed-style reference path is measured too, and it is ~5× slower).
+#
+# Usage:  scripts/bench_snapshot.sh [PR_NUMBER]     (default: 2)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PR="${1:-2}"
+OUT="BENCH_${PR}.json"
+
+cargo build --release -p mps-bench --bin throughput
+./target/release/throughput --smoke
+./target/release/throughput --json --pr "$PR" > "$OUT"
+echo "wrote $OUT" >&2

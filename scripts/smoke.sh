@@ -30,4 +30,9 @@ run "$BIN_DIR/mps" pipeline fir16
 # One table binary: Table 1 reprints Fig. 2's ASAP/ALAP/height levels.
 run "$BIN_DIR/table1"
 
+# Enumeration semantics guard: antichain counts on small graphs must match
+# the values pinned in the throughput binary, so perf refactors of the
+# enumerator/classifier cannot silently change what is being counted.
+run "$BIN_DIR/throughput" --smoke
+
 echo "smoke: all commands exited 0"

@@ -20,6 +20,18 @@ fn prelude_reexports_pipeline_vocabulary() {
     let adfg = AnalyzedDfg::new(mps::workloads::fig2());
     let result = select_and_schedule(&adfg, &_pipe_cfg).expect("fig2 pipeline runs");
     assert!(result.cycles >= 5, "critical path of the 3DFT is 5 cycles");
+
+    // PR 2 vocabulary: the reusable enumerator and dense pattern ids.
+    let mut en = AntichainEnumerator::new(&adfg, EnumerateConfig::default());
+    let mut count = 0u64;
+    for root in adfg.dfg().node_ids() {
+        en.enumerate_root(root, |_, _| count += 1);
+    }
+    let table = PatternTable::build(&adfg, EnumerateConfig::default());
+    assert_eq!(table.total_antichains(), count);
+    let first = &table.stats()[0];
+    assert_eq!(table.id_of(&first.pattern), Some(PatternId(0)));
+    assert_eq!(table.stats_of(PatternId(0)), first);
 }
 
 /// Every sub-crate is reachable through the facade's module aliases.
