@@ -1,0 +1,63 @@
+//! Skewed-tree parallel table builds: depth-1 branch splitting vs the
+//! one-root-per-work-unit baseline.
+//!
+//! Groups:
+//!
+//! * `skew/<graph>/split/<workers>` — [`PatternTable::build_with_workers`]
+//!   (the shipping path: heavy roots split into per-branch units,
+//!   scheduled via `mps_par::par_fold_irregular`);
+//! * `skew/<graph>/root_granular/<workers>` —
+//!   [`PatternTable::build_root_granular`] (the pre-splitting
+//!   decomposition, same enumerator and classifier).
+//!
+//! On `star<N>` the hub root owns a combinatorially dominant share of the
+//! search volume, so with real cores the split path should win from 2
+//! workers up; `broom<N>` stresses scheduling overhead (one moderately
+//! heavy hub over hundreds of trivial roots). Worker counts are forced
+//! explicitly, so the sweep is meaningful regardless of `MPS_THREADS` —
+//! but wall-clock separation of course needs the machine to actually have
+//! that many cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mps::prelude::*;
+
+fn graphs() -> Vec<(&'static str, AnalyzedDfg)> {
+    vec![
+        ("star32", AnalyzedDfg::new(mps::workloads::star(32))),
+        ("broom512", AnalyzedDfg::new(mps::workloads::broom(512))),
+    ]
+}
+
+fn cfg() -> EnumerateConfig {
+    EnumerateConfig {
+        capacity: 5,
+        span_limit: None,
+        parallel: false, // worker counts are forced per measurement below
+    }
+}
+
+fn bench_skew(c: &mut Criterion) {
+    for (name, adfg) in graphs() {
+        let mut group = c.benchmark_group(format!("skew/{name}"));
+        for workers in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new("split", workers),
+                &workers,
+                |b, &workers| {
+                    b.iter(|| PatternTable::build_with_workers(&adfg, cfg(), workers));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("root_granular", workers),
+                &workers,
+                |b, &workers| {
+                    b.iter(|| PatternTable::build_root_granular(&adfg, cfg(), workers));
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_skew);
+criterion_main!(benches);

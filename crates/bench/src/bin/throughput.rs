@@ -32,11 +32,17 @@ const SPAN_LIMITS: [Option<u32>; 4] = [Some(0), Some(1), Some(2), None];
 
 /// Pinned antichain counts guarding the enumerator's semantics: if a perf
 /// refactor changes any of these, the smoke check (run by CI and
-/// scripts/smoke.sh) fails loudly.
-const SMOKE_PINS: [(&str, Option<u32>, u64); 3] = [
+/// scripts/smoke.sh) fails loudly. `star16` / `broom64` are the skewed
+/// graphs whose hub roots force the depth-1 branch splitter onto the
+/// parallel path, so every CI push exercises split scheduling end to end
+/// (star16: C(16,1..5) leaf sets + hub(+leaf) sets + sink pair = 9403;
+/// broom64: 2·64 + 1).
+const SMOKE_PINS: [(&str, Option<u32>, u64); 5] = [
     ("fig2", None, 9374),
     ("fig4", None, 8),
     ("dft5", Some(1), 32054),
+    ("star16", None, 9403),
+    ("broom64", None, 129),
 ];
 
 fn cfg(limit: Option<u32>) -> EnumerateConfig {
@@ -133,6 +139,59 @@ fn measure(workload: &'static str, adfg: &AnalyzedDfg, span_limit: Option<u32>) 
     }
 }
 
+/// One cell of the skewed-tree scheduling comparison: the split parallel
+/// build vs the one-root-per-unit baseline, same worker count.
+struct SkewRow {
+    workload: &'static str,
+    nodes: usize,
+    antichains: u64,
+    workers: usize,
+    split_sec: f64,
+    root_granular_sec: f64,
+}
+
+impl SkewRow {
+    fn speedup_vs_root_granular(&self) -> f64 {
+        self.root_granular_sec / self.split_sec
+    }
+}
+
+/// Skewed graphs for the scheduling comparison: a hub root owning a
+/// combinatorially dominant share of the search volume (`star32`) and a
+/// "1 moderately heavy + hundreds of trivial" root list (`broom512`).
+fn skew_workloads() -> Vec<(&'static str, AnalyzedDfg)> {
+    vec![
+        ("star32", AnalyzedDfg::new(mps::workloads::star(32))),
+        ("broom512", AnalyzedDfg::new(mps::workloads::broom(512))),
+    ]
+}
+
+fn measure_skew() -> Vec<SkewRow> {
+    let mut rows = Vec::new();
+    for (workload, adfg) in skew_workloads() {
+        for workers in [1usize, 2, 4] {
+            let (split_sec, table) =
+                time_per_iter(|| PatternTable::build_with_workers(&adfg, cfg(None), workers));
+            let (root_granular_sec, granular) =
+                time_per_iter(|| PatternTable::build_root_granular(&adfg, cfg(None), workers));
+            assert_eq!(
+                table.total_antichains(),
+                granular.total_antichains(),
+                "split and root-granular builds must classify identically"
+            );
+            rows.push(SkewRow {
+                workload,
+                nodes: adfg.len(),
+                antichains: table.total_antichains(),
+                workers,
+                split_sec,
+                root_granular_sec,
+            });
+        }
+    }
+    rows
+}
+
 fn span_str(limit: Option<u32>) -> String {
     match limit {
         Some(l) => l.to_string(),
@@ -140,7 +199,7 @@ fn span_str(limit: Option<u32>) -> String {
     }
 }
 
-fn print_json(rows: &[Row], pr: u32) {
+fn print_json(rows: &[Row], skew: &[SkewRow], pr: u32) {
     println!("{{");
     println!("  \"pr\": {pr},");
     println!("  \"bench\": \"enumeration+classification throughput\",");
@@ -182,11 +241,35 @@ fn print_json(rows: &[Row], pr: u32) {
             comma
         );
     }
+    println!("  ],");
+    println!(
+        "  \"skew_note\": \"split (branch-split scheduling, PatternTable::build_with_workers) \
+         vs root_granular (one root per work unit, the pre-split decomposition); worker counts \
+         are forced per row, so speedups require the machine to really have that many cores — \
+         compare workers to threads_available above\","
+    );
+    println!("  \"skew_rows\": [");
+    for (i, r) in skew.iter().enumerate() {
+        let comma = if i + 1 == skew.len() { "" } else { "," };
+        println!(
+            "    {{\"workload\": \"{}\", \"nodes\": {}, \"antichains\": {}, \"workers\": {}, \
+             \"split_sec\": {:.6}, \"root_granular_sec\": {:.6}, \
+             \"split_speedup_vs_root_granular\": {:.2}}}{}",
+            r.workload,
+            r.nodes,
+            r.antichains,
+            r.workers,
+            r.split_sec,
+            r.root_granular_sec,
+            r.speedup_vs_root_granular(),
+            comma
+        );
+    }
     println!("  ]");
     println!("}}");
 }
 
-fn print_table(rows: &[Row]) {
+fn print_table(rows: &[Row], skew: &[SkewRow]) {
     println!(
         "{:<9} {:>5} {:>9} {:>11} {:>9} {:>14} {:>14} {:>9}",
         "workload", "nodes", "span", "antichains", "patterns", "enum/s", "classify/s", "speedup"
@@ -204,6 +287,23 @@ fn print_table(rows: &[Row]) {
             r.speedup_vs_reference(),
         );
     }
+    println!();
+    println!(
+        "{:<10} {:>5} {:>11} {:>8} {:>12} {:>14} {:>9}",
+        "skewed", "nodes", "antichains", "workers", "split_sec", "granular_sec", "speedup"
+    );
+    for r in skew {
+        println!(
+            "{:<10} {:>5} {:>11} {:>8} {:>12.6} {:>14.6} {:>8.2}x",
+            r.workload,
+            r.nodes,
+            r.antichains,
+            r.workers,
+            r.split_sec,
+            r.root_granular_sec,
+            r.speedup_vs_root_granular(),
+        );
+    }
 }
 
 fn smoke() -> i32 {
@@ -214,16 +314,28 @@ fn smoke() -> i32 {
         let mut count = 0u64;
         mps::patterns::for_each_antichain(&adfg, cfg(span_limit), |_, _| count += 1);
         let table = PatternTable::build(&adfg, cfg(span_limit));
-        let status = if count == expected && table.total_antichains() == expected {
+        // Force multi-worker scheduling so the depth-1 branch splitter and
+        // the root-granular baseline both run (and agree) on every push,
+        // even when CI lands on a single-core runner.
+        let split = PatternTable::build_with_workers(&adfg, cfg(span_limit), 4);
+        let granular = PatternTable::build_root_granular(&adfg, cfg(span_limit), 4);
+        let status = if count == expected
+            && table.total_antichains() == expected
+            && split.total_antichains() == expected
+            && granular.total_antichains() == expected
+        {
             "ok"
         } else {
             failures += 1;
             "MISMATCH"
         };
         println!(
-            "smoke {name} span={}: antichains={count} classified={} expected={expected} … {status}",
+            "smoke {name} span={}: antichains={count} classified={} split={} granular={} \
+             expected={expected} … {status}",
             span_str(span_limit),
             table.total_antichains(),
+            split.total_antichains(),
+            granular.total_antichains(),
         );
     }
     if failures > 0 {
@@ -255,9 +367,10 @@ fn main() {
             rows.push(measure(name, &adfg, limit));
         }
     }
+    let skew = measure_skew();
     if json {
-        print_json(&rows, pr);
+        print_json(&rows, &skew, pr);
     } else {
-        print_table(&rows);
+        print_table(&rows, &skew);
     }
 }

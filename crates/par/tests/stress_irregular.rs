@@ -1,0 +1,142 @@
+//! Stress and property tests for the irregular-work scheduling path:
+//! heavily skewed item lists (one huge item among thousands of tiny ones)
+//! must produce identical, deterministic merged output across worker
+//! counts, with every item folded exactly once.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Simulated work: item `w` spins for `w` steps and contributes a checksum,
+/// so a "huge" item really does occupy its worker for a while.
+fn spin(w: u64) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..w {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+/// One huge item + many tiny ones, the shape a skewed enumeration root
+/// produces: identical histogram + checksum for every worker count.
+#[test]
+fn one_huge_many_tiny_is_deterministic() {
+    let heavy: Vec<u64> = vec![200_000];
+    let light: Vec<u64> = (0..3000).map(|i| i % 17).collect();
+
+    let run = |workers: usize| {
+        mps_par::par_fold_irregular_in(
+            workers,
+            &heavy,
+            &light,
+            || (0u64, [0u64; 17], 0u64),
+            |acc, &w| {
+                acc.0 = acc.0.wrapping_add(spin(w));
+                acc.1[(w % 17) as usize] += 1;
+                acc.2 += 1;
+            },
+            |mut a, b| {
+                a.0 = a.0.wrapping_add(b.0);
+                for (d, s) in a.1.iter_mut().zip(b.1.iter()) {
+                    *d += s;
+                }
+                a.2 += b.2;
+                a
+            },
+        )
+    };
+
+    let reference = run(1);
+    assert_eq!(reference.2, (heavy.len() + light.len()) as u64);
+    for workers in [2usize, 8] {
+        assert_eq!(run(workers), reference, "workers={workers}");
+    }
+}
+
+/// Every item is folded exactly once, whichever section it sits in.
+#[test]
+fn each_item_folded_exactly_once() {
+    const N: usize = 2048;
+    let heavy: Vec<usize> = (0..7).collect();
+    let light: Vec<usize> = (7..N).collect();
+    for workers in [1usize, 2, 8] {
+        let seen: Vec<AtomicU64> = (0..N).map(|_| AtomicU64::new(0)).collect();
+        mps_par::par_fold_irregular_in(
+            workers,
+            &heavy,
+            &light,
+            || (),
+            |(), &i| {
+                seen[i].fetch_add(1, Ordering::Relaxed);
+            },
+            |(), ()| (),
+        );
+        for (i, s) in seen.iter().enumerate() {
+            assert_eq!(s.load(Ordering::Relaxed), 1, "item {i} workers={workers}");
+        }
+    }
+}
+
+/// The huge item may sit anywhere in the heavy section (or even be
+/// misclassified as light) without breaking equivalence — classification
+/// only affects scheduling, never the result.
+#[test]
+fn misclassified_items_still_merge_identically() {
+    let items: Vec<u64> = std::iter::once(100_000)
+        .chain((0..500).map(|i| i % 11))
+        .collect();
+    let fold = |acc: &mut u64, &w: &u64| *acc = acc.wrapping_add(spin(w));
+    let reference = {
+        let mut acc = 0u64;
+        for w in &items {
+            fold(&mut acc, w);
+        }
+        acc
+    };
+    for split_at in [0usize, 1, 250, items.len()] {
+        let (heavy, light) = items.split_at(split_at);
+        for workers in [1usize, 2, 8] {
+            let got = mps_par::par_fold_irregular_in(
+                workers,
+                heavy,
+                light,
+                || 0u64,
+                fold,
+                |a, b| a.wrapping_add(b),
+            );
+            assert_eq!(got, reference, "split_at={split_at} workers={workers}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random heavy/light lists, random worker counts: the irregular fold
+    /// always equals the sequential fold for grouping-insensitive
+    /// accumulators.
+    #[test]
+    fn irregular_fold_matches_sequential_fold(
+        heavy in proptest::collection::vec(0u64..10_000, 0..40),
+        light in proptest::collection::vec(0u64..10_000, 0..600),
+        workers in 0usize..16,
+    ) {
+        let make = || ([0u64; 13], 0u64);
+        let fold = |acc: &mut ([u64; 13], u64), &x: &u64| {
+            acc.0[(x % 13) as usize] += 1;
+            acc.1 += x;
+        };
+        let merge = |mut a: ([u64; 13], u64), b: ([u64; 13], u64)| {
+            for (d, s) in a.0.iter_mut().zip(b.0.iter()) {
+                *d += s;
+            }
+            a.1 += b.1;
+            a
+        };
+        let mut seq = make();
+        for x in heavy.iter().chain(light.iter()) {
+            fold(&mut seq, x);
+        }
+        let par = mps_par::par_fold_irregular_in(workers, &heavy, &light, make, fold, merge);
+        prop_assert_eq!(par, seq);
+    }
+}

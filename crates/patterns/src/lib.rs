@@ -18,14 +18,24 @@
 //! The enumerator maintains candidate sets as `u64` bitsets intersected
 //! with precomputed per-node parallel masks, so extending an antichain by
 //! one node costs O(V/64) words and no allocation ([`AntichainEnumerator`]
-//! preallocates every per-depth buffer and is reusable across roots).
-//! Classification packs each antichain's color bag into a `u128` key —
-//! per-color nibble counts, no sorting — and interns keys into dense
-//! [`PatternId`]s, so the table builder's hot loop is integer adds plus
-//! one hash-map probe per antichain; root nodes are processed in parallel
-//! via `mps-par` with one accumulator per worker.
+//! preallocates every per-depth buffer and is reusable across roots). The
+//! intersection runs through the widened [`and_above`] kernel (4-lane
+//! unrolled u64, runtime-gated AVX2 on `x86_64`, with [`and_above_scalar`]
+//! as the oracle). Classification packs each antichain's color bag into a
+//! `u128` key — per-color nibble counts, no sorting — and interns keys
+//! into dense [`PatternId`]s, so the table builder's hot loop is integer
+//! adds plus one hash-map probe per antichain. Parallel builds schedule at
+//! *(root, depth-1 branch)* granularity: skewed roots (found by the
+//! [`depth1_branch_count`] estimator under the [`split_threshold`] policy)
+//! are split across their depth-1 branches
+//! ([`AntichainEnumerator::enumerate_branch`]) so one hub root cannot
+//! serialize the build, with one accumulator per `mps-par` worker merged
+//! at the end.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one sanctioned exception is the AVX2 variant
+// of the enumerator's word kernel in [`bits`], which scopes an
+// `#[allow(unsafe_code)]` around the runtime-gated intrinsics.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bits;
@@ -37,10 +47,10 @@ mod pattern_set;
 mod table;
 mod width;
 
-pub use bits::BitIter;
+pub use bits::{and_above, and_above_scalar, count_above, BitIter};
 pub use enumerate::{
-    enumerate_antichains, for_each_antichain, for_each_antichain_from_root, AntichainEnumerator,
-    EnumerateConfig,
+    depth1_branch_count, enumerate_antichains, for_each_antichain, for_each_antichain_from_root,
+    for_each_depth1_branch, split_threshold, AntichainEnumerator, EnumerateConfig,
 };
 pub use hasse::SubpatternLattice;
 pub use pattern::Pattern;

@@ -1,7 +1,10 @@
 //! Classification of antichains by pattern (§5.1) and the Table 5 span
 //! histogram.
 
-use crate::enumerate::{for_each_antichain_from_root, AntichainEnumerator, EnumerateConfig};
+use crate::enumerate::{
+    depth1_branch_count, for_each_antichain_from_root, for_each_depth1_branch, split_threshold,
+    AntichainEnumerator, EnumerateConfig,
+};
 use crate::key::{KeyInterner, PatternKey};
 use crate::pattern::Pattern;
 use mps_dfg::{AnalyzedDfg, Antichain, NodeId};
@@ -154,6 +157,26 @@ impl LocalTable {
         }
     }
 
+    /// Prime the prefix stacks as if the singleton `{root}` had just been
+    /// recorded — without counting it. Required before replaying a
+    /// depth-1 branch unit: its first visit is a length-2 antichain, and
+    /// [`LocalTable::record`] resolves it through the length-1 prefix's
+    /// interned id and key. The actual singleton count is recorded by
+    /// whichever worker claims the root's singleton work item; interning
+    /// here can at most create a zero-count entry for a pattern the
+    /// singleton item is guaranteed to count anyway.
+    fn seed_prefix(&mut self, root: NodeId) {
+        let node = root.index();
+        let color = self.colors[node] as usize;
+        let key = PatternKey::EMPTY.plus(self.deltas[node]);
+        self.key_stack[1] = key;
+        let mut id = self.transitions[0][color];
+        if id == NO_ID {
+            id = self.intern_miss(0, color, key);
+        }
+        self.id_stack[1] = id;
+    }
+
     /// Fold `other` into `self`, reconciling the two id spaces by key.
     fn merge(&mut self, other: LocalTable) {
         for (other_id, &key) in other.interner.keys().iter().enumerate() {
@@ -197,67 +220,173 @@ impl LocalTable {
     }
 }
 
+/// One unit of enumeration+classification work in the split parallel
+/// build: a whole root's tree, a split root's bare singleton, or one
+/// depth-1 branch of a split root.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WorkItem {
+    /// Enumerate everything rooted at the node (unsplit root).
+    Root(NodeId),
+    /// Count only the singleton `{node}` of a split root.
+    Singleton(NodeId),
+    /// Enumerate the depth-1 branch `(root, branch)` of a split root.
+    Branch(NodeId, NodeId),
+}
+
+/// Packed per-node classification inputs (colors + key deltas), or `None`
+/// when some color falls outside the packable alphabet.
+fn packed_inputs(adfg: &AnalyzedDfg) -> Option<(Vec<u8>, Vec<u128>)> {
+    let deltas: Option<Vec<u128>> = adfg
+        .dfg()
+        .node_ids()
+        .map(|nd| PatternKey::delta(adfg.dfg().color(nd)))
+        .collect();
+    let colors = adfg
+        .dfg()
+        .node_ids()
+        .map(|nd| adfg.dfg().color(nd).index() as u8)
+        .collect();
+    Some((colors, deltas?))
+}
+
+/// Partition the roots into `(heavy, light)` work-item lists for
+/// [`mps_par::par_fold_irregular`]: roots whose depth-1 branch count
+/// reaches [`split_threshold`] are split into one
+/// [`WorkItem::Singleton`] (light) plus one [`WorkItem::Branch`] per
+/// depth-1 branch (heavy, claimed one at a time); everything else stays a
+/// single [`WorkItem::Root`] (light, claimed in chunks). With capacity 1
+/// no root has branches, so nothing splits.
+fn plan_work_items(
+    adfg: &AnalyzedDfg,
+    cfg: EnumerateConfig,
+    workers: usize,
+) -> (Vec<WorkItem>, Vec<WorkItem>) {
+    let weights: Vec<usize> = adfg
+        .dfg()
+        .node_ids()
+        .map(|root| depth1_branch_count(adfg, root))
+        .collect();
+    let threshold = if cfg.capacity > 1 {
+        split_threshold(weights.iter().sum(), workers)
+    } else {
+        usize::MAX
+    };
+    let mut heavy = Vec::new();
+    let mut light = Vec::new();
+    for (root, &weight) in adfg.dfg().node_ids().zip(weights.iter()) {
+        if weight >= threshold {
+            light.push(WorkItem::Singleton(root));
+            for_each_depth1_branch(adfg, root, |b| heavy.push(WorkItem::Branch(root, b)));
+        } else {
+            light.push(WorkItem::Root(root));
+        }
+    }
+    (heavy, light)
+}
+
 impl PatternTable {
     /// Enumerate all antichains of `adfg` under `cfg` and classify them by
-    /// pattern. Roots are processed in parallel when `cfg.parallel`.
+    /// pattern. When `cfg.parallel`, work is distributed at *(root,
+    /// depth-1 branch)* granularity: skewed roots — whose search tree
+    /// would otherwise serialize a whole worker — are split across their
+    /// depth-1 branches (see [`split_threshold`] and
+    /// [`AntichainEnumerator::enumerate_branch`]) and scheduled through
+    /// [`mps_par::par_fold_irregular`], branch units claimed one at a
+    /// time, unsplit roots in chunks.
     ///
     /// The hot path is allocation-free: each worker reuses one
     /// [`AntichainEnumerator`] and classifies every visited antichain into
     /// a dense id-indexed [`LocalTable`] — via its transition cache in the
     /// common case, via one packed-[`PatternKey`] interner probe on the
     /// first sight of a pattern extension — and the per-worker tables
-    /// merge once at the end. Graphs whose colors fall outside the
-    /// packable alphabet (index ≥ 26) take
+    /// merge once at the end. The merged table is identical whatever the
+    /// worker count or split decisions: counts commute, and the final
+    /// table is sorted into canonical pattern order. Graphs whose colors
+    /// fall outside the packable alphabet (index ≥ 26) take
     /// [`PatternTable::build_reference`] instead.
     pub fn build(adfg: &AnalyzedDfg, cfg: EnumerateConfig) -> PatternTable {
-        let deltas: Option<Vec<u128>> = adfg
-            .dfg()
-            .node_ids()
-            .map(|nd| PatternKey::delta(adfg.dfg().color(nd)))
-            .collect();
-        let Some(deltas) = deltas else {
+        let workers = if cfg.parallel {
+            mps_par::parallelism()
+        } else {
+            1
+        };
+        Self::build_with_workers(adfg, cfg, workers)
+    }
+
+    /// [`PatternTable::build`] with an explicit worker count instead of
+    /// [`mps_par::parallelism`]'s heuristic (`cfg.parallel` is ignored;
+    /// `workers <= 1` means sequential). The split/schedule decisions
+    /// follow `workers`, so benches and tests can sweep thread counts
+    /// deterministically without touching the `MPS_THREADS` environment.
+    pub fn build_with_workers(
+        adfg: &AnalyzedDfg,
+        cfg: EnumerateConfig,
+        workers: usize,
+    ) -> PatternTable {
+        Self::build_impl(adfg, cfg, workers, true)
+    }
+
+    /// The split-free parallel build: one whole root per work unit — the
+    /// scheduling granularity this crate shipped before branch splitting.
+    /// `workers` as in [`PatternTable::build_with_workers`].
+    ///
+    /// Kept because it is the honest baseline for the splitter's benches
+    /// (same enumerator, same classifier, only the work decomposition
+    /// differs) and an extra equivalence oracle for the split path. On
+    /// balanced graphs it performs identically to [`PatternTable::build`];
+    /// on skewed graphs (a hub root owning most of the search volume) it
+    /// serializes on the hub while the split build keeps all workers busy.
+    pub fn build_root_granular(
+        adfg: &AnalyzedDfg,
+        cfg: EnumerateConfig,
+        workers: usize,
+    ) -> PatternTable {
+        Self::build_impl(adfg, cfg, workers, false)
+    }
+
+    fn build_impl(
+        adfg: &AnalyzedDfg,
+        cfg: EnumerateConfig,
+        workers: usize,
+        split: bool,
+    ) -> PatternTable {
+        let Some((colors, deltas)) = packed_inputs(adfg) else {
             return Self::build_reference(adfg, cfg);
         };
         let n = adfg.len();
-        let colors: Vec<u8> = adfg
-            .dfg()
-            .node_ids()
-            .map(|nd| adfg.dfg().color(nd).index() as u8)
-            .collect();
-        let roots: Vec<NodeId> = adfg.dfg().node_ids().collect();
         let (colors, deltas) = (&colors, &deltas);
-        let classify = |en: &mut AntichainEnumerator<'_>, local: &mut LocalTable, root: NodeId| {
-            en.enumerate_root(root, |a, _span| local.record(a));
-        };
-
-        let merged: LocalTable = if cfg.parallel {
-            mps_par::par_fold(
-                &roots,
-                || {
-                    (
-                        AntichainEnumerator::new(adfg, cfg),
-                        LocalTable::new(n, colors, deltas),
-                    )
-                },
-                |acc, &root| {
-                    let (en, local) = acc;
-                    classify(en, local, root);
-                },
-                |mut a, b| {
-                    a.1.merge(b.1);
-                    a
-                },
-            )
-            .1
+        let (heavy, light) = if split && workers > 1 {
+            plan_work_items(adfg, cfg, workers)
         } else {
-            let mut en = AntichainEnumerator::new(adfg, cfg);
-            let mut local = LocalTable::new(n, colors, deltas);
-            for &root in &roots {
-                classify(&mut en, &mut local, root);
-            }
-            local
+            // Sequential or split-free: every root is one (light) unit.
+            let roots = adfg.dfg().node_ids().map(WorkItem::Root).collect();
+            (Vec::new(), roots)
         };
-        merged.finish()
+        mps_par::par_fold_irregular_in(
+            workers,
+            &heavy,
+            &light,
+            || {
+                (
+                    AntichainEnumerator::new(adfg, cfg),
+                    LocalTable::new(n, colors, deltas),
+                )
+            },
+            |(en, local), &item| match item {
+                WorkItem::Root(root) => en.enumerate_root(root, |a, _| local.record(a)),
+                WorkItem::Singleton(root) => en.enumerate_singleton(root, |a, _| local.record(a)),
+                WorkItem::Branch(root, branch) => {
+                    local.seed_prefix(root);
+                    en.enumerate_branch(root, branch, |a, _| local.record(a));
+                }
+            },
+            |mut a, b| {
+                a.1.merge(b.1);
+                a
+            },
+        )
+        .1
+        .finish()
     }
 
     /// The pre-interner (seed) build path: classify through full
@@ -657,6 +786,131 @@ mod tests {
             assert_eq!(table.get(&s.pattern), Some(s));
         }
         assert!(table.id_of(&Pattern::parse("zz").unwrap()).is_none());
+    }
+
+    /// A skewed graph: a hub (node 0, parallel to everything) over two
+    /// mutually-sequential chains, so the hub owns a disproportionate
+    /// share of the enumeration and *must* be split under the planner.
+    fn skewed() -> AnalyzedDfg {
+        let mut b = DfgBuilder::new();
+        let _hub = b.add_node("hub", c('c'));
+        let xs: Vec<_> = (0..8)
+            .map(|i| b.add_node(format!("x{i}"), c('a')))
+            .collect();
+        for w in xs.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        let ys: Vec<_> = (0..8)
+            .map(|i| b.add_node(format!("y{i}"), c('b')))
+            .collect();
+        for w in ys.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        AnalyzedDfg::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn split_build_matches_reference_across_worker_counts() {
+        for adfg in [fig4(), skewed()] {
+            for span_limit in [None, Some(0), Some(1)] {
+                let cfg = EnumerateConfig {
+                    capacity: 5,
+                    span_limit,
+                    parallel: false,
+                };
+                let reference = PatternTable::build_reference(&adfg, cfg);
+                for workers in [1usize, 2, 3, 8] {
+                    let split = PatternTable::build_with_workers(&adfg, cfg, workers);
+                    assert_tables_equal(
+                        &split,
+                        &reference,
+                        &format!("split workers={workers} span={span_limit:?}"),
+                    );
+                    let granular = PatternTable::build_root_granular(&adfg, cfg, workers);
+                    assert_tables_equal(
+                        &granular,
+                        &reference,
+                        &format!("root-granular workers={workers} span={span_limit:?}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planner_splits_the_hub_and_only_the_hub() {
+        let adfg = skewed();
+        let cfg = cfg_seq();
+        let hub = adfg.dfg().find("hub").unwrap();
+        // Weights: hub = 16 (parallel to every chain node), each x-chain
+        // node = 8 (the y nodes after it), y nodes = 0; total 80. At 2
+        // workers the threshold is 80/(2×4) = 10, so exactly the hub
+        // splits; more workers lower the threshold and split more roots.
+        let (heavy, light) = plan_work_items(&adfg, cfg, 2);
+        assert_eq!(heavy.len(), 16);
+        assert!(heavy
+            .iter()
+            .all(|i| matches!(i, WorkItem::Branch(r, _) if *r == hub)));
+        // Light list: the hub's singleton + every unsplit root, exactly
+        // one item per root overall.
+        assert_eq!(light.len(), adfg.len());
+        assert_eq!(
+            light
+                .iter()
+                .filter(|i| matches!(i, WorkItem::Singleton(r) if *r == hub))
+                .count(),
+            1
+        );
+        assert!(light.iter().all(|i| !matches!(i, WorkItem::Branch(_, _))));
+        // More workers → lower threshold → the chain heads split too.
+        let (heavy8, _) = plan_work_items(&adfg, cfg, 8);
+        assert_eq!(heavy8.len(), 80, "hub (16) + eight x-roots (8 each)");
+        // One worker: nothing splits, every root is a light unit.
+        let (heavy1, light1) = plan_work_items(&adfg, cfg, 1);
+        assert!(heavy1.is_empty());
+        assert_eq!(light1.len(), adfg.len());
+        assert!(light1.iter().all(|i| matches!(i, WorkItem::Root(_))));
+        // Capacity 1: trees are bare singletons — nothing to split.
+        let cap1 = EnumerateConfig { capacity: 1, ..cfg };
+        let (heavy_c1, _) = plan_work_items(&adfg, cap1, 8);
+        assert!(heavy_c1.is_empty());
+    }
+
+    /// The deterministic form of the "split beats root-granular with ≥ 2
+    /// threads" claim: on the skewed graph, the heaviest work unit after
+    /// splitting is less than half the heaviest root-granular unit (the
+    /// hub's whole tree), so 2 workers can actually divide the hub's
+    /// volume. Wall-clock confirmation lives in the `bench_skew` bench,
+    /// where the machine has real cores.
+    #[test]
+    fn splitting_halves_the_heaviest_work_unit() {
+        let adfg = skewed();
+        let cfg = cfg_seq();
+        let mut en = AntichainEnumerator::new(&adfg, cfg);
+        let unit_visits = |en: &mut AntichainEnumerator<'_>, item: &WorkItem| {
+            let mut n = 0u64;
+            match *item {
+                WorkItem::Root(r) => en.enumerate_root(r, |_, _| n += 1),
+                WorkItem::Singleton(r) => en.enumerate_singleton(r, |_, _| n += 1),
+                WorkItem::Branch(r, b) => {
+                    en.enumerate_branch(r, b, |_, _| n += 1);
+                }
+            }
+            n
+        };
+        let roots: Vec<WorkItem> = adfg.dfg().node_ids().map(WorkItem::Root).collect();
+        let heaviest_root = roots.iter().map(|i| unit_visits(&mut en, i)).max().unwrap();
+        let (heavy, light) = plan_work_items(&adfg, cfg, 2);
+        let heaviest_split = heavy
+            .iter()
+            .chain(light.iter())
+            .map(|i| unit_visits(&mut en, i))
+            .max()
+            .unwrap();
+        assert!(
+            heaviest_split * 2 < heaviest_root,
+            "split max {heaviest_split} vs root max {heaviest_root}"
+        );
     }
 
     #[test]

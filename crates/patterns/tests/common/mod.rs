@@ -1,0 +1,23 @@
+//! Shared random-DAG recipe for the patterns property suites
+//! (`prop_table.rs`, `prop_split.rs`).
+
+use mps_dfg::{AnalyzedDfg, Color, DfgBuilder};
+
+/// Build a DAG from proptest raw material: node `i` gets `colors[i]`, and
+/// a forward edge `i → j` (for `i < j`) exists where
+/// `edges[i * stride + j]` is set (`stride` = the suite's `MAX_NODES`).
+/// Forward-only edges guarantee acyclicity.
+pub fn build_dag(n: usize, colors: &[u8], edges: &[bool], stride: usize) -> AnalyzedDfg {
+    let mut b = DfgBuilder::new();
+    let ids: Vec<_> = (0..n)
+        .map(|i| b.add_node(format!("n{i}"), Color(colors[i])))
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if edges[i * stride + j] {
+                b.add_edge(ids[i], ids[j]).unwrap();
+            }
+        }
+    }
+    AnalyzedDfg::new(b.build().unwrap())
+}

@@ -36,6 +36,7 @@ mod matmul;
 mod random_dag;
 mod registry;
 mod series_parallel;
+mod skew;
 mod stencil;
 
 pub use cholesky::cholesky;
@@ -55,6 +56,7 @@ pub use matmul::matmul;
 pub use random_dag::{random_layered_dag, RandomDagConfig};
 pub use registry::{by_name, workload_names};
 pub use series_parallel::{random_series_parallel, SpConfig};
+pub use skew::{broom, star};
 pub use stencil::sobel;
 
 /// The color used for additions (`'a'`).

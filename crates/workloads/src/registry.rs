@@ -1,8 +1,9 @@
 //! Name-based workload lookup for the CLI and benches.
 
 use crate::{
-    cholesky, conv2d, cordic, dct8, dft, fft_radix2, fig2, fig4, fir, horner, iir_biquad_cascade,
-    lattice, matmul, random_layered_dag, sobel, AdderShape, DftStyle, RandomDagConfig,
+    broom, cholesky, conv2d, cordic, dct8, dft, fft_radix2, fig2, fig4, fir, horner,
+    iir_biquad_cascade, lattice, matmul, random_layered_dag, sobel, star, AdderShape, DftStyle,
+    RandomDagConfig,
 };
 use mps_dfg::Dfg;
 
@@ -27,6 +28,8 @@ pub fn workload_names() -> Vec<&'static str> {
         "lattice<M>",
         "cordic<I>",
         "sobel<P>",
+        "star<N>",
+        "broom<N>",
         "random<SEED>",
     ]
 }
@@ -126,6 +129,20 @@ pub fn by_name(name: &str) -> Option<Dfg> {
         }
         return Some(sobel(px));
     }
+    if let Some(rest) = name.strip_prefix("star") {
+        let leaves: usize = rest.parse().ok()?;
+        if leaves < 1 {
+            return None;
+        }
+        return Some(star(leaves));
+    }
+    if let Some(rest) = name.strip_prefix("broom") {
+        let n: usize = rest.parse().ok()?;
+        if n < 1 {
+            return None;
+        }
+        return Some(broom(n));
+    }
     if let Some(rest) = name.strip_prefix("random") {
         let seed: u64 = rest.parse().ok()?;
         return Some(random_layered_dag(&RandomDagConfig {
@@ -162,6 +179,8 @@ mod tests {
             "lattice6",
             "cordic8",
             "sobel4",
+            "star16",
+            "broom64",
         ] {
             assert!(by_name(name).is_some(), "{name} must resolve");
         }
@@ -186,6 +205,10 @@ mod tests {
             "cordic0",
             "sobel0",
             "sobelx",
+            "star0",
+            "starx",
+            "broom0",
+            "broomy",
         ] {
             assert!(by_name(name).is_none(), "{name} must not resolve");
         }

@@ -1,0 +1,177 @@
+//! Skewed enumeration stress graphs: `star` and `broom`.
+//!
+//! Real kernels hand the antichain enumerator heavily skewed root trees —
+//! a broadcast constant or a reduction fan-in is parallel to most of the
+//! graph, so one root owns a search tree orders of magnitude larger than
+//! the rest and a one-root-per-work-unit parallel build serializes on it.
+//! These two generators distill that shape to its essence, giving the
+//! depth-1 branch splitter something to chew on in tests, benches, and the
+//! CI smoke pins:
+//!
+//! * [`star`] — one hub parallel to `n` mutually parallel leaves feeding a
+//!   reduction sink: the hub *and* the early leaves own combinatorially
+//!   large trees (the worst case for root-granular scheduling);
+//! * [`broom`] — one hub parallel to an `n`-node chain: the hub owns
+//!   `n + 1` of the `2n + 1` antichains while every other root is trivial
+//!   (the "1 huge + many tiny" work-list shape).
+
+use crate::{ADD, MUL, SUB};
+use mps_dfg::{Dfg, DfgBuilder};
+
+/// The `star<N>` workload: a hub node parallel to `leaves` mutually
+/// parallel leaf nodes, all feeding one reduction sink.
+///
+/// Node 0 is the hub (a broadcast constant: no edges, so it is
+/// parallelizable with every other node). Nodes `1..=leaves` are the
+/// leaves (no edges among them), and the last node is the sink with one
+/// incoming edge per leaf — making the sink sequential to every leaf and
+/// parallel only to the hub. Leaves alternate between addition and
+/// subtraction colors so classification sees mixed bags.
+///
+/// With capacity `C` and no span limit the antichain count is
+/// `Σ_{s=1..C} C(n,s)  +  1 + Σ_{s=1..C-1} C(n,s)  +  2`
+/// (leaf-only sets; hub alone and hub+leaf sets; sink and {hub, sink}) —
+/// combinatorially dominated by the hub and the first few leaf roots,
+/// which is exactly the skew the branch splitter targets.
+///
+/// Panics if `leaves == 0`.
+pub fn star(leaves: usize) -> Dfg {
+    assert!(leaves >= 1, "star needs at least one leaf");
+    let mut b = DfgBuilder::with_capacity(leaves + 2, leaves);
+    b.add_node("hub", MUL);
+    let leaf_ids: Vec<_> = (0..leaves)
+        .map(|i| b.add_node(format!("leaf{i}"), if i % 2 == 0 { ADD } else { SUB }))
+        .collect();
+    let sink = b.add_node("sink", ADD);
+    for leaf in leaf_ids {
+        b.add_edge(leaf, sink).unwrap();
+    }
+    b.build().expect("star is a valid DAG")
+}
+
+/// The `broom<N>` workload: a hub node parallel to an `n`-node chain.
+///
+/// Node 0 is the hub (no edges); nodes `1..=n` form a dependency chain.
+/// Every antichain is a singleton or a `{hub, chain node}` pair, so with
+/// capacity ≥ 2 the count is exactly `2n + 1` — but the hub root owns
+/// `n + 1` of those while every chain root owns exactly one. At the
+/// depth-1 estimate the hub weighs `n` and everything else weighs 0: the
+/// sharpest possible test that the splitter (a) finds the hub and (b)
+/// leaves the trivial roots alone.
+///
+/// Panics if `n == 0`.
+pub fn broom(n: usize) -> Dfg {
+    assert!(n >= 1, "broom needs at least one chain node");
+    let mut b = DfgBuilder::with_capacity(n + 1, n.saturating_sub(1));
+    b.add_node("hub", MUL);
+    let chain: Vec<_> = (0..n).map(|i| b.add_node(format!("c{i}"), ADD)).collect();
+    for w in chain.windows(2) {
+        b.add_edge(w[0], w[1]).unwrap();
+    }
+    b.build().expect("broom is a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::AnalyzedDfg;
+
+    fn binom(n: u64, k: u64) -> u64 {
+        if k > n {
+            return 0;
+        }
+        (1..=k).fold(1u64, |acc, i| acc * (n - i + 1) / i)
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6);
+        assert_eq!(g.len(), 8);
+        let adfg = AnalyzedDfg::new(g);
+        let hub = adfg.dfg().find("hub").unwrap();
+        let sink = adfg.dfg().find("sink").unwrap();
+        // Hub is parallel to everything; sink only to the hub.
+        for n in adfg.dfg().node_ids() {
+            if n != hub {
+                assert!(adfg.reach().parallelizable(hub, n));
+            }
+        }
+        assert!(adfg.reach().parallelizable(hub, sink));
+        let leaf0 = adfg.dfg().find("leaf0").unwrap();
+        assert!(!adfg.reach().parallelizable(leaf0, sink));
+    }
+
+    #[test]
+    fn star_antichain_count_formula() {
+        for leaves in [1usize, 4, 9] {
+            let adfg = AnalyzedDfg::new(star(leaves));
+            let n = leaves as u64;
+            let cap = 5u64;
+            let leaf_sets: u64 = (1..=cap).map(|s| binom(n, s)).sum();
+            let hub_sets: u64 = 1 + (1..=cap - 1).map(|s| binom(n, s)).sum::<u64>();
+            let expect = leaf_sets + hub_sets + 2; // + {sink}, {hub, sink}
+            let got = mps_patterns_count(&adfg);
+            assert_eq!(got, expect, "leaves={leaves}");
+        }
+    }
+
+    #[test]
+    fn broom_antichain_count_is_2n_plus_1() {
+        for n in [1usize, 5, 12] {
+            let adfg = AnalyzedDfg::new(broom(n));
+            assert_eq!(mps_patterns_count(&adfg), 2 * n as u64 + 1, "n={n}");
+        }
+    }
+
+    /// Count antichains at the Montium defaults without depending on the
+    /// patterns crate (workloads sits below it): brute force over node
+    /// subsets, which is fine at test sizes.
+    fn mps_patterns_count(adfg: &AnalyzedDfg) -> u64 {
+        let n = adfg.len();
+        assert!(n <= 16, "brute force only for small test graphs");
+        let ids: Vec<_> = adfg.dfg().node_ids().collect();
+        let mut count = 0u64;
+        for mask in 1u64..(1 << n) {
+            if mask.count_ones() > 5 {
+                continue;
+            }
+            let set: Vec<_> = (0..n)
+                .filter(|&i| mask >> i & 1 == 1)
+                .map(|i| ids[i])
+                .collect();
+            if adfg.reach().is_antichain(&set) {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn broom_shape() {
+        let g = broom(4);
+        assert_eq!(g.len(), 5);
+        let adfg = AnalyzedDfg::new(g);
+        let hub = adfg.dfg().find("hub").unwrap();
+        for n in adfg.dfg().node_ids() {
+            if n != hub {
+                assert!(adfg.reach().parallelizable(hub, n));
+            }
+        }
+        // Chain nodes are mutually sequential.
+        let c0 = adfg.dfg().find("c0").unwrap();
+        let c3 = adfg.dfg().find("c3").unwrap();
+        assert!(!adfg.reach().parallelizable(c0, c3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn star_zero_rejected() {
+        star(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chain node")]
+    fn broom_zero_rejected() {
+        broom(0);
+    }
+}

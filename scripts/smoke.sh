@@ -21,6 +21,12 @@ fi
 run "$BIN_DIR/mps" list
 run "$BIN_DIR/mps" info fig2
 
+# Skewed stress graphs: their hub roots force the depth-1 branch splitter
+# onto the parallel table-build path (pinned counts checked below by
+# `throughput --smoke`).
+run "$BIN_DIR/mps" info star16
+run "$BIN_DIR/mps" info broom64
+
 # The paper's selection algorithm on the 5-point DFT with Pdef = 4.
 run "$BIN_DIR/mps" select dft5 --pdef 4
 
