@@ -31,7 +31,7 @@ fn main() {
             eprintln!("  mps stats <workload>");
             eprintln!("  mps dot <workload>");
             eprintln!("  mps schedule <workload> <pattern> [pattern...]");
-            eprintln!("  mps select <workload> [--pdef N] [--span S] [--trace]");
+            eprintln!("  mps select <workload> [--pdef N] [--span S] [--trace] [--engine cover|reference]");
             eprintln!("  mps pipeline <workload> [--pdef N] [--tp]");
             eprintln!("  mps patterns <workload> [--span S] [--dot]");
             2
@@ -300,13 +300,14 @@ fn cmd_patterns(args: &[String]) -> i32 {
 
 fn cmd_select(args: &[String]) -> i32 {
     if args.len() < 2 {
-        eprintln!("usage: mps select <workload> [--pdef N] [--span S] [--trace]");
+        eprintln!("usage: mps select <workload> [--pdef N] [--span S] [--trace] [--engine E]");
         return 2;
     }
     let Some(adfg) = load(&args[1]) else { return 2 };
     let mut pdef = 4usize;
     let mut span: Option<u32> = Some(1);
     let mut trace = false;
+    let mut reference = false;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -323,6 +324,21 @@ fn cmd_select(args: &[String]) -> i32 {
                 };
             }
             "--trace" => trace = true,
+            // `cover` (default) runs §5.2 on the CoverMatrix engine;
+            // `reference` runs the retained full-rescore oracle — the two
+            // are decision-identical, so this is an A/B switch for timing
+            // and for confidence-checking a surprising selection.
+            "--engine" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("cover") => reference = false,
+                    Some("reference") => reference = true,
+                    other => {
+                        eprintln!("--engine takes 'cover' or 'reference', got {other:?}");
+                        return 2;
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 return 2;
@@ -342,7 +358,12 @@ fn cmd_select(args: &[String]) -> i32 {
             ..Default::default()
         },
     };
-    let selection = select_patterns(&adfg, &cfg.select);
+    let selection = if reference {
+        let table = mps::patterns::PatternTable::build(&adfg, cfg.select.enumerate_config());
+        mps::select::select_from_table_reference(&adfg, &table, &cfg.select)
+    } else {
+        select_patterns(&adfg, &cfg.select)
+    };
     println!("selected patterns: {}", selection.patterns);
     for (i, r) in selection.rounds.iter().enumerate() {
         println!(

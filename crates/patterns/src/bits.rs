@@ -159,6 +159,28 @@ pub fn count_above(words: &[u64], idx: usize) -> usize {
         .sum()
 }
 
+/// Count the set bits of `a & b` at bit indices strictly greater than
+/// `idx` — [`and_above`] fused with a popcount and no destination write.
+/// This is the per-branch step of the split planner's *second-order* work
+/// estimate: for a candidate root it sums, over every depth-1 branch, the
+/// number of depth-2 candidates that branch would open.
+pub fn and_above_count(a: &[u64], b: &[u64], idx: usize) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    let iw = idx / 64;
+    a.iter()
+        .zip(b.iter())
+        .enumerate()
+        .skip(iw)
+        .map(|(w, (&x, &y))| {
+            let mut word = x & y;
+            if w == iw {
+                word &= high_mask(idx);
+            }
+            word.count_ones() as usize
+        })
+        .sum()
+}
+
 /// The AVX2 variant and its runtime gate (`x86_64` only). The only
 /// `unsafe` in the crate; confined here so the safety argument stays next
 /// to the intrinsics.
@@ -366,6 +388,23 @@ mod tests {
                 and_above_scalar(&mut masked, &words, &words, idx);
                 assert_eq!(
                     count_above(&words, idx),
+                    popcount(&masked),
+                    "n={n} idx={idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn and_above_count_matches_kernel() {
+        for n in [1usize, 2, 5, 9] {
+            let a = rng_words(n as u64 + 3, n);
+            let b = rng_words(n as u64 + 77, n);
+            for idx in 0..n * 64 {
+                let mut masked = vec![0u64; n];
+                and_above_scalar(&mut masked, &a, &b, idx);
+                assert_eq!(
+                    and_above_count(&a, &b, idx),
                     popcount(&masked),
                     "n={n} idx={idx}"
                 );

@@ -1,0 +1,221 @@
+//! The cover matrix: per-pattern node-incidence bitsets.
+//!
+//! §5.2 selection repeatedly asks "which nodes does this pattern's
+//! antichain population touch?" — for the Eq. 8 rescoring set, for greedy
+//! node coverage, and for the color/coverage backstops. The per-node
+//! frequency rows `h(p̄, n)` already answer it, but at one `u64` load and
+//! branch per node per candidate per round. A [`CoverMatrix`] stores the
+//! same incidence as packed `u64` bitset rows — bit `n` of row `p` is set
+//! iff `h(p̄_p, n) > 0` — in a single arena allocated once per
+//! [`crate::PatternTable`] build, with rows indexed by [`PatternId`] so
+//! selection's hot loops are word-wide AND/ANDNOT/popcount instead of
+//! per-node scans.
+//!
+//! The matrix is derived as the build finishes, in one pass over the
+//! merged frequency rows — `O(patterns × nodes)`, noise next to the
+//! enumeration — so the classifier's per-antichain record loop pays
+//! nothing for it.
+
+use crate::table::{PatternId, PatternStats};
+
+/// Packed pattern→node incidence rows (one per table pattern, indexed by
+/// [`PatternId`]), backing store for the selection engines in
+/// `mps-select`.
+///
+/// Invariant (checked by the table equivalence tests): bit `n` of
+/// [`CoverMatrix::row`]`(p)` is set exactly when
+/// `stats[p].node_freq[n] > 0`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoverMatrix {
+    bits: Vec<u64>,
+    words_per_row: usize,
+    num_nodes: usize,
+}
+
+/// Words needed for one row over `num_nodes` bit positions (at least one,
+/// so `row()` never returns an empty slice and word loops stay branch-free
+/// on empty graphs).
+#[inline]
+pub(crate) fn row_words(num_nodes: usize) -> usize {
+    num_nodes.div_ceil(64).max(1)
+}
+
+impl CoverMatrix {
+    /// An empty matrix with storage for `rows` rows (all zero) over
+    /// `num_nodes` node bits.
+    pub(crate) fn zeroed(rows: usize, num_nodes: usize) -> CoverMatrix {
+        let words_per_row = row_words(num_nodes);
+        CoverMatrix {
+            bits: vec![0u64; rows * words_per_row],
+            words_per_row,
+            num_nodes,
+        }
+    }
+
+    /// Derive the matrix from finished statistics rows — both table build
+    /// paths call this once, after their stats are sorted.
+    pub(crate) fn from_stats(num_nodes: usize, stats: &[PatternStats]) -> CoverMatrix {
+        let mut m = CoverMatrix::zeroed(stats.len(), num_nodes);
+        for (r, s) in stats.iter().enumerate() {
+            let row = m.row_mut(r);
+            for (n, &h) in s.node_freq.iter().enumerate() {
+                if h > 0 {
+                    row[n / 64] |= 1u64 << (n % 64);
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of `u64` words in each row.
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Number of rows (= table patterns).
+    pub fn num_rows(&self) -> usize {
+        self.bits.len() / self.words_per_row
+    }
+
+    /// Number of node bit positions each row covers.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The incidence row of a pattern: bit `n` set iff some antichain of
+    /// the pattern contains node `n`.
+    #[inline]
+    pub fn row(&self, id: PatternId) -> &[u64] {
+        let w = self.words_per_row;
+        &self.bits[id.index() * w..(id.index() + 1) * w]
+    }
+
+    #[inline]
+    pub(crate) fn row_mut(&mut self, idx: usize) -> &mut [u64] {
+        let w = self.words_per_row;
+        &mut self.bits[idx * w..(idx + 1) * w]
+    }
+
+    /// A zeroed coverage accumulator sized for these rows — the `covered`
+    /// bitset the greedy selection engines fold rows into.
+    pub fn blank_cover(&self) -> Vec<u64> {
+        vec![0u64; self.words_per_row]
+    }
+
+    /// Nodes the pattern touches that are *not* yet in `covered` — greedy
+    /// node cover's gain function, as words-wide ANDNOT + popcount.
+    #[inline]
+    pub fn count_uncovered(&self, id: PatternId, covered: &[u64]) -> usize {
+        debug_assert_eq!(covered.len(), self.words_per_row);
+        self.row(id)
+            .iter()
+            .zip(covered.iter())
+            .map(|(&r, &c)| (r & !c).count_ones() as usize)
+            .sum()
+    }
+
+    /// OR the pattern's row into `covered` (the incremental update after a
+    /// pattern is selected).
+    #[inline]
+    pub fn cover_with(&self, id: PatternId, covered: &mut [u64]) {
+        debug_assert_eq!(covered.len(), self.words_per_row);
+        for (c, &r) in covered.iter_mut().zip(self.row(id).iter()) {
+            *c |= r;
+        }
+    }
+
+    /// `true` if the pattern's row shares any node with `other` — the test
+    /// deciding which cached candidate scores a selection round must
+    /// refresh.
+    #[inline]
+    pub fn intersects(&self, id: PatternId, other: &[u64]) -> bool {
+        debug_assert_eq!(other.len(), self.words_per_row);
+        self.row(id)
+            .iter()
+            .zip(other.iter())
+            .any(|(&r, &o)| r & o != 0)
+    }
+
+    /// Copy the pattern's row into `out` (scratch snapshot for borrowing
+    /// around mutation).
+    pub fn copy_row_into(&self, id: PatternId, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(self.row(id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+
+    fn stats(freqs: &[&[u64]]) -> Vec<PatternStats> {
+        freqs
+            .iter()
+            .map(|f| PatternStats {
+                pattern: Pattern::parse("a").unwrap(),
+                antichain_count: f.iter().sum(),
+                node_freq: f.to_vec(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rows_mirror_nonzero_frequencies() {
+        let s = stats(&[&[0, 2, 0, 1], &[5, 0, 0, 0], &[0, 0, 0, 0]]);
+        let m = CoverMatrix::from_stats(4, &s);
+        assert_eq!(m.num_rows(), 3);
+        assert_eq!(m.words_per_row(), 1);
+        assert_eq!(m.num_nodes(), 4);
+        assert_eq!(m.row(PatternId(0)), &[0b1010]);
+        assert_eq!(m.row(PatternId(1)), &[0b0001]);
+        assert_eq!(m.row(PatternId(2)), &[0]);
+    }
+
+    #[test]
+    fn uncovered_counts_and_cover_updates() {
+        let s = stats(&[&[1, 1, 0, 1], &[0, 1, 1, 0]]);
+        let m = CoverMatrix::from_stats(4, &s);
+        let mut covered = m.blank_cover();
+        assert_eq!(m.count_uncovered(PatternId(0), &covered), 3);
+        m.cover_with(PatternId(0), &mut covered);
+        assert_eq!(covered, vec![0b1011]);
+        assert_eq!(m.count_uncovered(PatternId(1), &covered), 1, "only n2");
+        assert_eq!(m.count_uncovered(PatternId(0), &covered), 0);
+    }
+
+    #[test]
+    fn intersection_tests() {
+        let s = stats(&[&[1, 0, 0, 0], &[0, 0, 1, 0], &[1, 0, 1, 0]]);
+        let m = CoverMatrix::from_stats(4, &s);
+        let mut row0 = Vec::new();
+        m.copy_row_into(PatternId(0), &mut row0);
+        assert!(!m.intersects(PatternId(1), &row0));
+        assert!(m.intersects(PatternId(2), &row0));
+        assert!(m.intersects(PatternId(0), &row0));
+    }
+
+    #[test]
+    fn multi_word_rows() {
+        let mut freq = vec![0u64; 130];
+        freq[0] = 1;
+        freq[64] = 3;
+        freq[129] = 7;
+        let s = stats(&[&freq]);
+        let m = CoverMatrix::from_stats(130, &s);
+        assert_eq!(m.words_per_row(), 3);
+        assert_eq!(m.row(PatternId(0)), &[1, 1, 0b10]);
+        let mut covered = m.blank_cover();
+        covered[1] = 1;
+        assert_eq!(m.count_uncovered(PatternId(0), &covered), 2);
+    }
+
+    #[test]
+    fn empty_graph_rows_have_one_word() {
+        let m = CoverMatrix::zeroed(2, 0);
+        assert_eq!(m.words_per_row(), 1);
+        assert_eq!(m.row(PatternId(1)), &[0]);
+        assert_eq!(m.blank_cover(), vec![0]);
+    }
+}

@@ -1,6 +1,6 @@
 //! Span-limited antichain enumeration (paper §5.1).
 
-use crate::bits::{and_above, count_above, BitIter};
+use crate::bits::{and_above, and_above_count, count_above, BitIter};
 use mps_dfg::{AnalyzedDfg, Antichain, NodeId};
 
 /// Parameters of the antichain enumeration.
@@ -304,10 +304,41 @@ pub fn for_each_depth1_branch<F: FnMut(NodeId)>(adfg: &AnalyzedDfg, root: NodeId
     }
 }
 
+/// Second-order work estimate of a root's enumeration tree: the number of
+/// depth-1 branches plus, for each branch, the number of depth-2
+/// candidates choosing it would open (`popcount(par(root) ∩ par(branch))`
+/// above the branch, via [`and_above_count`]).
+///
+/// The depth-1 proxy ([`depth1_branch_count`]) is linear while subtree
+/// sizes grow combinatorially, so it systematically over-rates *sparse*
+/// hubs — a broom's hub is parallel to `n` chain nodes but every one of
+/// its branches is a leaf, and splitting it buys `n` units of bookkeeping
+/// for `n` visits of work. The second-order estimate counts exactly the
+/// size-≤ 2 prefix of the tree (each branch contributes itself plus its
+/// depth-2 candidate count), so dense roots — whose branches open real
+/// subtrees — score combinatorially higher than sparse ones of equal
+/// branch count, and the planner splits fewer, heavier roots.
+///
+/// With `capacity` ≤ 2 no depth-2 node is ever enumerated, so the
+/// first-order count *is* exact there; callers should pass the enumeration
+/// capacity via [`EnumerateConfig`] and use
+/// [`root_weight_estimate`]`(adfg, root)` only when `capacity > 2`.
+pub fn root_weight_estimate(adfg: &AnalyzedDfg, root: NodeId) -> usize {
+    let par_root = adfg.reach().par_row(root);
+    let ri = root.index();
+    let mut weight = 0usize;
+    for b in BitIter::new(par_root) {
+        if b > ri {
+            weight += 1 + and_above_count(par_root, adfg.reach().par_row(NodeId(b as u32)), b);
+        }
+    }
+    weight
+}
+
 /// Fewest depth-1 branches a root must have before splitting it can pay
 /// for the per-branch overhead (each branch unit re-derives its depth-2
 /// candidate row and re-primes the classifier's prefix stack).
-const MIN_SPLIT_BRANCHES: usize = 4;
+pub(crate) const MIN_SPLIT_BRANCHES: usize = 4;
 
 /// Branch-count threshold at or above which a root is *heavy* and worth
 /// splitting into per-branch work units.
@@ -600,6 +631,40 @@ mod tests {
             }
             assert!(listed.windows(2).all(|w| w[0].index() < w[1].index()));
         }
+    }
+
+    #[test]
+    fn second_order_estimate_separates_dense_from_sparse_hubs() {
+        // Two hubs with *equal* depth-1 branch counts: one over 6 mutually
+        // parallel leaves (dense — every branch opens a real subtree), one
+        // over a 6-node chain (sparse — every branch is a leaf). The
+        // first-order proxy cannot tell them apart; the second-order one
+        // rates the dense hub combinatorially heavier.
+        let mut b = DfgBuilder::new();
+        let _dense_hub = b.add_node("dh", c('a'));
+        for i in 0..6 {
+            b.add_node(format!("p{i}"), c('b'));
+        }
+        let dense = AnalyzedDfg::new(b.build().unwrap());
+        let dh = dense.dfg().find("dh").unwrap();
+
+        let mut b = DfgBuilder::new();
+        let _sparse_hub = b.add_node("sh", c('a'));
+        let chain: Vec<_> = (0..6)
+            .map(|i| b.add_node(format!("q{i}"), c('b')))
+            .collect();
+        for w in chain.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        let sparse = AnalyzedDfg::new(b.build().unwrap());
+        let sh = sparse.dfg().find("sh").unwrap();
+
+        assert_eq!(depth1_branch_count(&dense, dh), 6);
+        assert_eq!(depth1_branch_count(&sparse, sh), 6, "first-order ties");
+        // Dense: branch leaf_i opens the 5−i leaves after it → 6 + 15.
+        assert_eq!(root_weight_estimate(&dense, dh), 21);
+        // Sparse: chain nodes are mutually sequential → leaves only.
+        assert_eq!(root_weight_estimate(&sparse, sh), 6);
     }
 
     #[test]

@@ -135,7 +135,10 @@ impl Hasher for KeyHasher {
 ///
 /// Each table-builder worker owns one interner, so interning is a single
 /// uncontended hash-map probe on a `u128`; the per-worker id spaces are
-/// reconciled by key when thread-locals merge.
+/// reconciled by key when thread-locals merge. `Clone` exists so a warmed
+/// prototype interner (seeded with the hot transitions before the parallel
+/// build) can be copied into every worker.
+#[derive(Clone)]
 pub(crate) struct KeyInterner {
     map: HashMap<u128, u32, BuildHasherDefault<KeyHasher>>,
     keys: Vec<u128>,

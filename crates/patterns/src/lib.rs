@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod bits;
+mod cover;
 mod enumerate;
 mod hasse;
 mod key;
@@ -47,10 +48,12 @@ mod pattern_set;
 mod table;
 mod width;
 
-pub use bits::{and_above, and_above_scalar, count_above, BitIter};
+pub use bits::{and_above, and_above_count, and_above_scalar, count_above, BitIter};
+pub use cover::CoverMatrix;
 pub use enumerate::{
     depth1_branch_count, enumerate_antichains, for_each_antichain, for_each_antichain_from_root,
-    for_each_depth1_branch, split_threshold, AntichainEnumerator, EnumerateConfig,
+    for_each_depth1_branch, root_weight_estimate, split_threshold, AntichainEnumerator,
+    EnumerateConfig,
 };
 pub use hasse::SubpatternLattice;
 pub use pattern::Pattern;

@@ -1,9 +1,11 @@
 //! Classification of antichains by pattern (§5.1) and the Table 5 span
 //! histogram.
 
+use crate::cover::CoverMatrix;
 use crate::enumerate::{
-    depth1_branch_count, for_each_antichain_from_root, for_each_depth1_branch, split_threshold,
-    AntichainEnumerator, EnumerateConfig,
+    depth1_branch_count, for_each_antichain_from_root, for_each_depth1_branch,
+    root_weight_estimate, split_threshold, AntichainEnumerator, EnumerateConfig,
+    MIN_SPLIT_BRANCHES,
 };
 use crate::key::{KeyInterner, PatternKey};
 use crate::pattern::Pattern;
@@ -59,6 +61,7 @@ pub struct PatternTable {
     stats: Vec<PatternStats>,
     index: HashMap<Pattern, usize>,
     num_nodes: usize,
+    cover: CoverMatrix,
 }
 
 /// "No child interned yet" sentinel in the transition cache.
@@ -75,6 +78,7 @@ const NO_ID: u32 = u32::MAX;
 /// id is one lookup in the dense `(parent pattern, added color)` →
 /// `child pattern` transition cache. The interner (one `u128` probe) is
 /// only consulted the first time a transition is taken.
+#[derive(Clone)]
 struct LocalTable {
     interner: KeyInterner,
     counts: Vec<u64>,
@@ -192,7 +196,28 @@ impl LocalTable {
         }
     }
 
-    /// Unpack into the final sorted, `Pattern`-indexed table.
+    /// Warm one `(singleton, color)` transition: intern the pair pattern
+    /// `{prefix root, branch}` and memoize the edge, without counting
+    /// anything. Requires [`LocalTable::seed_prefix`] for the root to have
+    /// just run (it leaves the root's key and id on the prefix stacks).
+    /// Sound for the same reason `seed_prefix` is: the caller only warms
+    /// pairs the full enumeration is guaranteed to visit, so a warmed
+    /// zero-count entry is always recounted.
+    fn warm_pair(&mut self, branch: NodeId) {
+        let node = branch.index();
+        let color = self.colors[node] as usize;
+        let slot = self.id_stack[1] as usize + 1;
+        if self.transitions[slot][color] == NO_ID {
+            let key = self.key_stack[1].plus(self.deltas[node]);
+            self.intern_miss(slot, color, key);
+        }
+    }
+
+    /// Unpack into the final sorted, `Pattern`-indexed table. The cover
+    /// matrix is derived here, in one pass over the merged frequency rows
+    /// — O(patterns × nodes), noise next to the enumeration itself — so
+    /// the per-antichain record loop stays exactly as tight as before the
+    /// matrix existed.
     fn finish(self) -> PatternTable {
         let n = self.num_nodes;
         let mut stats: Vec<PatternStats> = self
@@ -207,6 +232,7 @@ impl LocalTable {
             })
             .collect();
         stats.sort_by_key(|s| s.pattern);
+        let cover = CoverMatrix::from_stats(n, &stats);
         let index = stats
             .iter()
             .enumerate()
@@ -216,6 +242,7 @@ impl LocalTable {
             stats,
             index,
             num_nodes: n,
+            cover,
         }
     }
 }
@@ -249,39 +276,150 @@ fn packed_inputs(adfg: &AnalyzedDfg) -> Option<(Vec<u8>, Vec<u128>)> {
     Some((colors, deltas?))
 }
 
-/// Partition the roots into `(heavy, light)` work-item lists for
-/// [`mps_par::par_fold_irregular`]: roots whose depth-1 branch count
-/// reaches [`split_threshold`] are split into one
+/// Total-estimate floor below which a split parallel build runs
+/// sequentially instead: the whole enumeration is at most a few thousand
+/// size-≤ 2 visits, which a single core finishes in tens of microseconds —
+/// less than spawning the worker threads costs, let alone the per-branch
+/// split bookkeeping. (`broom512` is the canonical case: 1 025 antichains
+/// total, where the pre-floor split build paid thread spawn + 512 branch
+/// claims to parallelize ~30 µs of work and *lost* to the root-granular
+/// baseline — the `BENCH_3.json` 0.79–0.87× regression.)
+const MIN_PARALLEL_ESTIMATE: usize = 4096;
+
+/// The work decomposition of one parallel table build.
+struct WorkPlan {
+    /// Per-branch units of split roots (claimed one at a time).
+    heavy: Vec<WorkItem>,
+    /// Unsplit roots and split roots' singletons (claimed in chunks).
+    light: Vec<WorkItem>,
+    /// Per-root [`root_weight_estimate`]s (or exact pair counts when
+    /// `capacity ≤ 2`), indexed by node — reused for the warm-up pass.
+    weights: Vec<usize>,
+    /// Estimated total visits: every singleton plus the size-≤ 2 tree
+    /// prefix of every root (`adfg.len() + Σ weights`).
+    total_estimate: usize,
+}
+
+/// Partition the roots into heavy/light work-item lists for
+/// [`mps_par::par_fold_irregular`]. A root is split into one
 /// [`WorkItem::Singleton`] (light) plus one [`WorkItem::Branch`] per
-/// depth-1 branch (heavy, claimed one at a time); everything else stays a
-/// single [`WorkItem::Root`] (light, claimed in chunks). With capacity 1
-/// no root has branches, so nothing splits.
-fn plan_work_items(
-    adfg: &AnalyzedDfg,
-    cfg: EnumerateConfig,
-    workers: usize,
-) -> (Vec<WorkItem>, Vec<WorkItem>) {
-    let weights: Vec<usize> = adfg
+/// depth-1 branch (heavy, claimed one at a time) when all of:
+///
+/// * its weight — the second-order [`root_weight_estimate`] (exact pair
+///   count for `capacity ≤ 2`) — reaches [`split_threshold`], so it is
+///   heavy *relative to the whole graph*;
+/// * it has at least [`MIN_SPLIT_BRANCHES`] branches to split into;
+/// * its weight is at least twice its branch count, i.e. the average
+///   branch opens at least one depth-2 candidate. Without real subtrees
+///   behind the branches (a broom hub: many branches, every one a leaf)
+///   each split unit is a single visit and the per-unit bookkeeping
+///   exceeds the work being distributed.
+///
+/// Everything else stays a single [`WorkItem::Root`] (light, claimed in
+/// chunks). With capacity 1 no root has branches, so nothing splits.
+fn plan_work_items(adfg: &AnalyzedDfg, cfg: EnumerateConfig, workers: usize) -> WorkPlan {
+    let second_order = cfg.capacity > 2;
+    let d1: Vec<usize> = adfg
         .dfg()
         .node_ids()
         .map(|root| depth1_branch_count(adfg, root))
         .collect();
+    let weights: Vec<usize> = if second_order {
+        adfg.dfg()
+            .node_ids()
+            .map(|root| root_weight_estimate(adfg, root))
+            .collect()
+    } else {
+        d1.clone()
+    };
+    let total_weight: usize = weights.iter().sum();
     let threshold = if cfg.capacity > 1 {
-        split_threshold(weights.iter().sum(), workers)
+        split_threshold(total_weight, workers)
     } else {
         usize::MAX
     };
     let mut heavy = Vec::new();
     let mut light = Vec::new();
-    for (root, &weight) in adfg.dfg().node_ids().zip(weights.iter()) {
-        if weight >= threshold {
+    for (i, root) in adfg.dfg().node_ids().enumerate() {
+        let split =
+            weights[i] >= threshold && d1[i] >= MIN_SPLIT_BRANCHES && weights[i] >= 2 * d1[i];
+        if split {
             light.push(WorkItem::Singleton(root));
             for_each_depth1_branch(adfg, root, |b| heavy.push(WorkItem::Branch(root, b)));
         } else {
             light.push(WorkItem::Root(root));
         }
     }
-    (heavy, light)
+    WorkPlan {
+        heavy,
+        light,
+        total_estimate: adfg.len() + total_weight,
+        weights,
+    }
+}
+
+/// Depth-1 `(singleton, color)` transitions warmed per build. The warm-up
+/// is duplicated sequential work, so it stays a small fixed fraction of
+/// any build big enough to parallelize.
+const WARM_PAIR_BUDGET: usize = 1024;
+
+/// The shared classification warm-up (built once, cloned into every
+/// worker): a [`LocalTable`] whose transition cache already holds the
+/// hottest edges — every root's `(∅, color)` singleton transition, plus
+/// the `(singleton, color)` depth-1 pair transitions of the heaviest
+/// roots, up to [`WARM_PAIR_BUDGET`]. Workers therefore start with the
+/// top of the transition graph memoized instead of each paying the
+/// interner-probe cold misses again; on short-lived workers (small claims
+/// of a skewed work list) those misses are a measurable fraction of the
+/// whole claim.
+///
+/// Everything interned here has zero counts and is guaranteed to be
+/// recounted by the full build — singletons are always visited, and pairs
+/// are only warmed when they pass the same span check
+/// [`AntichainEnumerator::enumerate_branch`] applies — so the merged table
+/// is bit-identical with or without warming.
+fn warm_prototype(
+    adfg: &AnalyzedDfg,
+    cfg: EnumerateConfig,
+    colors: &[u8],
+    deltas: &[u128],
+    weights: &[usize],
+) -> LocalTable {
+    let n = adfg.len();
+    let mut proto = LocalTable::new(n, colors, deltas);
+    for root in adfg.dfg().node_ids() {
+        proto.seed_prefix(root);
+    }
+    if cfg.capacity >= 2 {
+        let levels = adfg.levels();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
+        let mut budget = WARM_PAIR_BUDGET;
+        for &ri in &order {
+            if weights[ri] == 0 || budget == 0 {
+                break;
+            }
+            let root = NodeId(ri as u32);
+            proto.seed_prefix(root);
+            let (r_asap, r_alap) = (levels.asap(root), levels.alap(root));
+            for_each_depth1_branch(adfg, root, |b| {
+                if budget == 0 {
+                    return;
+                }
+                // Mirror the enumerator's span pruning: a pair over the
+                // limit is never visited, so warming it would leak a
+                // zero-count pattern into the table.
+                let span = r_asap
+                    .max(levels.asap(b))
+                    .saturating_sub(r_alap.min(levels.alap(b)));
+                if cfg.span_limit.is_none_or(|limit| span <= limit) {
+                    proto.warm_pair(b);
+                    budget -= 1;
+                }
+            });
+        }
+    }
+    proto
 }
 
 impl PatternTable {
@@ -355,13 +493,33 @@ impl PatternTable {
         };
         let n = adfg.len();
         let (colors, deltas) = (&colors, &deltas);
+        let mut workers = workers;
+        // The split path plans its work list and, when the whole job is
+        // estimated too small to amortize thread spawn and split
+        // bookkeeping (see [`MIN_PARALLEL_ESTIMATE`]), degrades to a
+        // fully sequential build; workers then start from a shared warmed
+        // transition cache instead of all-cold ones. The root-granular
+        // path (`split == false`) keeps the unplanned, unwarmed PR-2
+        // behavior — it is the baseline the skew benches compare against.
+        let mut proto = None;
         let (heavy, light) = if split && workers > 1 {
-            plan_work_items(adfg, cfg, workers)
+            let plan = plan_work_items(adfg, cfg, workers);
+            if plan.total_estimate < MIN_PARALLEL_ESTIMATE {
+                workers = 1;
+                (
+                    Vec::new(),
+                    adfg.dfg().node_ids().map(WorkItem::Root).collect(),
+                )
+            } else {
+                proto = Some(warm_prototype(adfg, cfg, colors, deltas, &plan.weights));
+                (plan.heavy, plan.light)
+            }
         } else {
             // Sequential or split-free: every root is one (light) unit.
             let roots = adfg.dfg().node_ids().map(WorkItem::Root).collect();
             (Vec::new(), roots)
         };
+        let proto = &proto;
         mps_par::par_fold_irregular_in(
             workers,
             &heavy,
@@ -369,7 +527,10 @@ impl PatternTable {
             || {
                 (
                     AntichainEnumerator::new(adfg, cfg),
-                    LocalTable::new(n, colors, deltas),
+                    match proto {
+                        Some(p) => p.clone(),
+                        None => LocalTable::new(n, colors, deltas),
+                    },
                 )
             },
             |(en, local), &item| match item {
@@ -444,11 +605,13 @@ impl PatternTable {
             .enumerate()
             .map(|(i, s)| (s.pattern, i))
             .collect();
+        let cover = CoverMatrix::from_stats(n, &stats);
 
         PatternTable {
             stats,
             index,
             num_nodes: n,
+            cover,
         }
     }
 
@@ -469,6 +632,15 @@ impl PatternTable {
     /// [`PatternId`].
     pub fn stats(&self) -> &[PatternStats] {
         &self.stats
+    }
+
+    /// The pattern→node incidence bitsets of this table, rows indexed by
+    /// [`PatternId`] — the backing store of the `mps-select` cover
+    /// engines. Derived once as the build finishes (a single arena, one
+    /// pass over the frequency rows): bit `n` of row `p` is set exactly
+    /// when `stats()[p].node_freq[n] > 0`.
+    pub fn cover(&self) -> &CoverMatrix {
+        &self.cover
     }
 
     /// Statistics of the pattern with the given id.
@@ -657,6 +829,22 @@ mod tests {
                 sa.pattern
             );
         }
+        assert_eq!(a.cover(), b.cover(), "{what}: cover matrices");
+        assert_cover_invariant(a, what);
+    }
+
+    /// The [`CoverMatrix`] contract: bit `n` of row `p` ⇔ `h(p̄, n) > 0`.
+    fn assert_cover_invariant(t: &PatternTable, what: &str) {
+        let m = t.cover();
+        assert_eq!(m.num_rows(), t.len(), "{what}: cover rows");
+        assert_eq!(m.num_nodes(), t.num_nodes(), "{what}: cover node bits");
+        for (i, s) in t.iter().enumerate() {
+            let row = m.row(PatternId(i as u32));
+            for (n, &h) in s.node_freq.iter().enumerate() {
+                let bit = row[n / 64] >> (n % 64) & 1 == 1;
+                assert_eq!(bit, h > 0, "{what}: cover bit {n} of {}", s.pattern);
+            }
+        }
     }
 
     /// Table 4 & Table 6 of the paper restrict attention to the four
@@ -842,38 +1030,109 @@ mod tests {
         let adfg = skewed();
         let cfg = cfg_seq();
         let hub = adfg.dfg().find("hub").unwrap();
-        // Weights: hub = 16 (parallel to every chain node), each x-chain
-        // node = 8 (the y nodes after it), y nodes = 0; total 80. At 2
-        // workers the threshold is 80/(2×4) = 10, so exactly the hub
-        // splits; more workers lower the threshold and split more roots.
-        let (heavy, light) = plan_work_items(&adfg, cfg, 2);
-        assert_eq!(heavy.len(), 16);
-        assert!(heavy
+        // Second-order weights: the hub has 16 branches, and each x-branch
+        // opens the 8 y-nodes at depth 2 → 16 + 8×8 = 80. Each x-root has
+        // the 8 y-branches, all leaves at depth 2 → 8; y-roots weigh 0.
+        // Total 144; at 2 workers the threshold is 144/(2×4) = 18, so
+        // exactly the hub splits.
+        let plan = plan_work_items(&adfg, cfg, 2);
+        assert_eq!(plan.weights[hub.index()], 80);
+        assert_eq!(plan.total_estimate, adfg.len() + 144);
+        assert_eq!(plan.heavy.len(), 16);
+        assert!(plan
+            .heavy
             .iter()
             .all(|i| matches!(i, WorkItem::Branch(r, _) if *r == hub)));
         // Light list: the hub's singleton + every unsplit root, exactly
         // one item per root overall.
-        assert_eq!(light.len(), adfg.len());
+        assert_eq!(plan.light.len(), adfg.len());
         assert_eq!(
-            light
+            plan.light
                 .iter()
                 .filter(|i| matches!(i, WorkItem::Singleton(r) if *r == hub))
                 .count(),
             1
         );
-        assert!(light.iter().all(|i| !matches!(i, WorkItem::Branch(_, _))));
-        // More workers → lower threshold → the chain heads split too.
-        let (heavy8, _) = plan_work_items(&adfg, cfg, 8);
-        assert_eq!(heavy8.len(), 80, "hub (16) + eight x-roots (8 each)");
+        assert!(plan
+            .light
+            .iter()
+            .all(|i| !matches!(i, WorkItem::Branch(_, _))));
+        // More workers lower the threshold below the x-roots' weight (8),
+        // but their branches are all depth-2 leaves (weight = branch
+        // count), so the subtree gate keeps them whole: only the hub — the
+        // one root whose branches carry real subtrees — ever splits.
+        let plan8 = plan_work_items(&adfg, cfg, 8);
+        assert_eq!(plan8.heavy.len(), 16, "still only the hub's branches");
         // One worker: nothing splits, every root is a light unit.
-        let (heavy1, light1) = plan_work_items(&adfg, cfg, 1);
-        assert!(heavy1.is_empty());
-        assert_eq!(light1.len(), adfg.len());
-        assert!(light1.iter().all(|i| matches!(i, WorkItem::Root(_))));
+        let plan1 = plan_work_items(&adfg, cfg, 1);
+        assert!(plan1.heavy.is_empty());
+        assert_eq!(plan1.light.len(), adfg.len());
+        assert!(plan1.light.iter().all(|i| matches!(i, WorkItem::Root(_))));
         // Capacity 1: trees are bare singletons — nothing to split.
         let cap1 = EnumerateConfig { capacity: 1, ..cfg };
-        let (heavy_c1, _) = plan_work_items(&adfg, cap1, 8);
-        assert!(heavy_c1.is_empty());
+        assert!(plan_work_items(&adfg, cap1, 8).heavy.is_empty());
+    }
+
+    /// A broom-shaped hub (many branches, every one a depth-2 leaf) must
+    /// never split: its second-order weight equals its branch count, so
+    /// the average split unit would be a single visit — all bookkeeping,
+    /// no distributable work. This is the `BENCH_3.json` `broom512`
+    /// regression, pinned at planner level.
+    #[test]
+    fn broom_hubs_never_split() {
+        let mut b = DfgBuilder::new();
+        let _hub = b.add_node("hub", c('c'));
+        let chain: Vec<_> = (0..40)
+            .map(|i| b.add_node(format!("c{i}"), c('a')))
+            .collect();
+        for w in chain.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        let hub = adfg.dfg().find("hub").unwrap();
+        for workers in [2usize, 4, 64] {
+            let plan = plan_work_items(&adfg, cfg_seq(), workers);
+            assert!(plan.heavy.is_empty(), "workers={workers}");
+            assert_eq!(plan.weights[hub.index()], 40, "all branches are leaves");
+        }
+        // The whole build is also below the parallel floor, so the split
+        // build path runs it sequentially outright.
+        assert!(plan_work_items(&adfg, cfg_seq(), 2).total_estimate < MIN_PARALLEL_ESTIMATE);
+    }
+
+    /// The warm-up prototype interns the hot transitions with zero counts
+    /// — and warmed builds stay bit-identical to the reference (the dense
+    /// graph here is over the parallel floor, so `build_with_workers`
+    /// really takes the warmed split path).
+    #[test]
+    fn warm_prototype_is_countless_and_build_stays_exact() {
+        // A hub over 32 mutually parallel leaves: estimate 528 (hub) +
+        // 5 456 (leaf roots) + 34 singletons ≫ the floor.
+        let mut b = DfgBuilder::new();
+        let _hub = b.add_node("hub", c('c'));
+        for i in 0..32 {
+            b.add_node(format!("leaf{i}"), if i % 2 == 0 { c('a') } else { c('b') });
+        }
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        let cfg = cfg_seq();
+        let plan = plan_work_items(&adfg, cfg, 4);
+        assert!(plan.total_estimate >= MIN_PARALLEL_ESTIMATE);
+        let (colors, deltas) = packed_inputs(&adfg).unwrap();
+        let proto = warm_prototype(&adfg, cfg, &colors, &deltas, &plan.weights);
+        assert!(
+            proto.interner.keys().len() >= 3,
+            "singletons a, b, c at minimum"
+        );
+        assert!(
+            proto.counts.iter().all(|&c| c == 0),
+            "warm-up counts nothing"
+        );
+        assert!(proto.freqs.iter().all(|&f| f == 0));
+        let reference = PatternTable::build_reference(&adfg, cfg);
+        for workers in [2usize, 4] {
+            let warmed = PatternTable::build_with_workers(&adfg, cfg, workers);
+            assert_tables_equal(&warmed, &reference, &format!("warmed workers={workers}"));
+        }
     }
 
     /// The deterministic form of the "split beats root-granular with ≥ 2
@@ -900,10 +1159,11 @@ mod tests {
         };
         let roots: Vec<WorkItem> = adfg.dfg().node_ids().map(WorkItem::Root).collect();
         let heaviest_root = roots.iter().map(|i| unit_visits(&mut en, i)).max().unwrap();
-        let (heavy, light) = plan_work_items(&adfg, cfg, 2);
-        let heaviest_split = heavy
+        let plan = plan_work_items(&adfg, cfg, 2);
+        let heaviest_split = plan
+            .heavy
             .iter()
-            .chain(light.iter())
+            .chain(plan.light.iter())
             .map(|i| unit_visits(&mut en, i))
             .max()
             .unwrap();

@@ -48,6 +48,16 @@ fn assert_table_matches_naive(adfg: &AnalyzedDfg, cfg: EnumerateConfig, what: &s
             assert_eq!(&s.antichain_count, count, "{what}/{label}: count of {pat}");
             assert_eq!(&s.node_freq, freq, "{what}/{label}: freqs of {pat}");
         }
+        // The cover matrix rows must mirror the nonzero frequency entries,
+        // whether recorded during the build or derived by the reference.
+        let cover = table.cover();
+        for (i, s) in table.iter().enumerate() {
+            let row = cover.row(mps_patterns::PatternId(i as u32));
+            for (n, &h) in s.node_freq.iter().enumerate() {
+                let bit = row[n / 64] >> (n % 64) & 1 == 1;
+                assert_eq!(bit, h > 0, "{what}/{label}: cover bit {n} of {}", s.pattern);
+            }
+        }
     }
 }
 

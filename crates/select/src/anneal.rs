@@ -62,6 +62,10 @@ pub struct AnnealResult {
     pub accepted: usize,
     /// Proposals whose schedule was evaluated.
     pub evaluated: usize,
+    /// Scheduling runs actually performed — `evaluated` minus the cost-
+    /// cache hits (the walk revisits sets constantly, so this is usually
+    /// much smaller).
+    pub scheduling_runs: usize,
 }
 
 impl AnnealResult {
@@ -76,6 +80,39 @@ fn cost(adfg: &AnalyzedDfg, set: &PatternSet, sched: MultiPatternConfig) -> usiz
     match schedule_multi_pattern(adfg, set, sched) {
         Ok(r) => r.schedule.len(),
         Err(_) => usize::MAX,
+    }
+}
+
+/// Memoized [`cost`]: the Metropolis walk revisits pattern sets constantly
+/// (swap moves draw from a small candidate pool, and rejected moves leave
+/// the incumbent in place), so one scheduling run per *distinct* set
+/// serves the whole chain. Scheduling is deterministic, so memoization
+/// cannot change any decision — only skip redundant runs; the cache key is
+/// the set's canonical (sorted, deduplicated) member slice.
+struct CostCache {
+    sched: MultiPatternConfig,
+    seen: std::collections::HashMap<Vec<Pattern>, usize>,
+    /// Scheduling runs actually performed (cache misses).
+    runs: usize,
+}
+
+impl CostCache {
+    fn new(sched: MultiPatternConfig) -> CostCache {
+        CostCache {
+            sched,
+            seen: std::collections::HashMap::new(),
+            runs: 0,
+        }
+    }
+
+    fn cost(&mut self, adfg: &AnalyzedDfg, set: &PatternSet) -> usize {
+        if let Some(&c) = self.seen.get(set.patterns()) {
+            return c;
+        }
+        let c = cost(adfg, set, self.sched);
+        self.runs += 1;
+        self.seen.insert(set.patterns().to_vec(), c);
+        c
     }
 }
 
@@ -126,7 +163,8 @@ pub fn anneal_patterns(
     cfg: AnnealConfig,
 ) -> AnnealResult {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let initial_cycles = cost(adfg, initial, cfg.sched);
+    let mut cache = CostCache::new(cfg.sched);
+    let initial_cycles = cache.cost(adfg, initial);
     let mut current = initial.clone();
     let mut current_cost = initial_cycles;
     let mut best = current.clone();
@@ -137,7 +175,7 @@ pub fn anneal_patterns(
     for _ in 0..cfg.iterations {
         if let Some(next) = propose(adfg, &current, candidates, &mut rng) {
             evaluated += 1;
-            let next_cost = cost(adfg, &next, cfg.sched);
+            let next_cost = cache.cost(adfg, &next);
             let delta = next_cost as f64 - current_cost as f64;
             let accept = delta <= 0.0
                 || (next_cost != usize::MAX
@@ -161,6 +199,7 @@ pub fn anneal_patterns(
         initial_cycles,
         accepted,
         evaluated,
+        scheduling_runs: cache.runs,
     }
 }
 
@@ -266,6 +305,25 @@ mod tests {
         let r = anneal_patterns(&adfg, &start, &[], quick());
         assert!(r.evaluated <= 120);
         assert!(r.accepted <= r.evaluated);
+        assert!(
+            r.scheduling_runs <= r.evaluated + 1,
+            "+1 for the initial set"
+        );
         assert_eq!(r.improvement(), r.initial_cycles - r.cycles);
+    }
+
+    #[test]
+    fn cost_cache_agrees_with_direct_cost() {
+        let adfg = AnalyzedDfg::new(fig4());
+        let mut cache = CostCache::new(Default::default());
+        for s in ["ab", "aa bb", "ab", "aabb", "aa bb"] {
+            let set = PatternSet::parse(s).unwrap();
+            assert_eq!(
+                cache.cost(&adfg, &set),
+                cost(&adfg, &set, Default::default()),
+                "{s}"
+            );
+        }
+        assert_eq!(cache.runs, 3, "two of five lookups were cache hits");
     }
 }

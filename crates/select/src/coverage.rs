@@ -11,8 +11,78 @@ use mps_patterns::{Pattern, PatternSet, PatternTable};
 ///
 /// This is the natural "just take the most frequent patterns" strawman the
 /// paper's Eq. 8 improves on; the ablation benches quantify the gap.
+///
+/// The selection runs on the compacted-candidate engine
+/// ([`coverage_greedy_from_table`]); its scoring key is round-invariant,
+/// so unlike the Eq. 8 and node-cover engines there is nothing to cache —
+/// the win is that dead candidates leave the scan entirely instead of
+/// being skipped one `alive[i]` test at a time.
 pub fn coverage_greedy(adfg: &AnalyzedDfg, cfg: &SelectConfig) -> PatternSet {
     let table = PatternTable::build(adfg, cfg.enumerate_config());
+    coverage_greedy_from_table(adfg, &table, cfg)
+}
+
+/// [`coverage_greedy`] against a prebuilt table (decision-identical to
+/// [`coverage_greedy_from_table_reference`]).
+pub fn coverage_greedy_from_table(
+    adfg: &AnalyzedDfg,
+    table: &PatternTable,
+    cfg: &SelectConfig,
+) -> PatternSet {
+    let stats = table.stats();
+    let complete = adfg.dfg().color_set();
+    let mut selected = PatternSet::new();
+    let mut alive: Vec<u32> = (0..stats.len() as u32).collect();
+
+    for round in 0..cfg.pdef {
+        let remaining_after = cfg.pdef - round - 1;
+        let selected_colors = selected.color_set();
+        let mut best: Option<((u64, usize), u32)> = None;
+        for &i in &alive {
+            let s = &stats[i as usize];
+            // Keep the coverage backstop, otherwise the baseline frequently
+            // produces unschedulable sets and the comparison is vacuous.
+            let new_colors = s.pattern.color_set().difference(&selected_colors).len() as i64;
+            let uncovered = (complete.len() - complete.intersection(&selected_colors).len()) as i64;
+            if new_colors < uncovered - (cfg.capacity as i64) * (remaining_after as i64) {
+                continue;
+            }
+            let key = (s.antichain_count, s.pattern.size());
+            if best.is_none_or(|(bk, _)| key > bk) {
+                best = Some((key, i));
+            }
+        }
+        match best {
+            Some((_, idx)) => {
+                let chosen = stats[idx as usize].pattern;
+                selected.insert(chosen);
+                alive.retain(|&i| !stats[i as usize].pattern.is_subpattern_of(&chosen));
+            }
+            None => {
+                let uncovered: Vec<mps_dfg::Color> = complete
+                    .difference(&selected.color_set())
+                    .iter()
+                    .take(cfg.capacity)
+                    .collect();
+                if uncovered.is_empty() {
+                    break;
+                }
+                // Note: like the original, fabrication does *not* delete
+                // subpatterns — the strawman only prunes after real picks.
+                selected.insert(Pattern::from_colors(uncovered));
+            }
+        }
+    }
+    selected
+}
+
+/// The original dense-scan loop (full `alive` bitmap walk per round),
+/// kept as the decision oracle for [`coverage_greedy_from_table`].
+pub fn coverage_greedy_from_table_reference(
+    adfg: &AnalyzedDfg,
+    table: &PatternTable,
+    cfg: &SelectConfig,
+) -> PatternSet {
     let stats: Vec<&mps_patterns::PatternStats> = table.iter().collect();
     let mut alive = vec![true; stats.len()];
     let complete = adfg.dfg().color_set();
@@ -26,8 +96,6 @@ pub fn coverage_greedy(adfg: &AnalyzedDfg, cfg: &SelectConfig) -> PatternSet {
             if !alive[i] {
                 continue;
             }
-            // Keep the coverage backstop, otherwise the baseline frequently
-            // produces unschedulable sets and the comparison is vacuous.
             let new_colors = s.pattern.color_set().difference(&selected_colors).len() as i64;
             let uncovered = (complete.len() - complete.intersection(&selected_colors).len()) as i64;
             if new_colors < uncovered - (cfg.capacity as i64) * (remaining_after as i64) {
@@ -108,5 +176,26 @@ mod tests {
             coverage_greedy(&adfg, &cfg(3)),
             coverage_greedy(&adfg, &cfg(3))
         );
+    }
+
+    #[test]
+    fn engine_matches_reference() {
+        for dfg in [fig2(), fig4()] {
+            let adfg = AnalyzedDfg::new(dfg);
+            let table = PatternTable::build(
+                &adfg,
+                mps_patterns::EnumerateConfig {
+                    parallel: false,
+                    ..Default::default()
+                },
+            );
+            for pdef in 1..=6 {
+                assert_eq!(
+                    coverage_greedy_from_table(&adfg, &table, &cfg(pdef)),
+                    coverage_greedy_from_table_reference(&adfg, &table, &cfg(pdef)),
+                    "pdef={pdef}"
+                );
+            }
+        }
     }
 }

@@ -21,8 +21,73 @@ pub struct ExhaustiveResult {
 /// and return the best. Exponential — callers must keep the candidate pool
 /// tiny; the function refuses more than `max_candidates` candidates.
 ///
+/// The candidate subsets are generated in fixed-size batches (so memory
+/// stays bounded however large the pool a caller allows) and the
+/// expensive part — one scheduling run per subset — fans out over
+/// [`mps_par::par_map`] when `cfg.parallel`; the winner is still the
+/// first subset in generation order to reach the minimum cycle count,
+/// exactly as the sequential [`exhaustive_best_reference`] picks it.
+///
 /// Used to measure the §5.2 heuristic's optimality gap on small graphs.
 pub fn exhaustive_best(
+    adfg: &AnalyzedDfg,
+    cfg: &SelectConfig,
+    sched: MultiPatternConfig,
+    max_candidates: usize,
+) -> Option<ExhaustiveResult> {
+    /// Subsets scheduled per [`mps_par::par_map`] batch.
+    const BATCH: usize = 1024;
+
+    let table = PatternTable::build(adfg, cfg.enumerate_config());
+    let candidates: Vec<Pattern> = table.iter().map(|s| s.pattern).collect();
+    if candidates.len() > max_candidates {
+        return None;
+    }
+    let complete = adfg.dfg().color_set();
+
+    let mut evaluated = 0usize;
+    let mut best: Option<ExhaustiveResult> = None;
+    let mut batch: Vec<PatternSet> = Vec::with_capacity(BATCH);
+    let flush = |batch: &mut Vec<PatternSet>, best: &mut Option<ExhaustiveResult>| {
+        let cycles: Vec<Option<usize>> = if cfg.parallel {
+            mps_par::par_map(batch, |set| schedule_cycles(adfg, set, sched))
+        } else {
+            batch
+                .iter()
+                .map(|set| schedule_cycles(adfg, set, sched))
+                .collect()
+        };
+        for (set, c) in batch.drain(..).zip(cycles) {
+            let Some(cycles) = c else { continue };
+            if best.as_ref().is_none_or(|b| cycles < b.cycles) {
+                *best = Some(ExhaustiveResult {
+                    patterns: set,
+                    cycles,
+                    evaluated: 0,
+                });
+            }
+        }
+    };
+    let mut chosen_idx: Vec<usize> = Vec::new();
+    subsets(candidates.len(), cfg.pdef, &mut chosen_idx, &mut |idxs| {
+        if let Some(set) = completed_set(cfg, &complete, &candidates, idxs) {
+            evaluated += 1;
+            batch.push(set);
+            if batch.len() == BATCH {
+                flush(&mut batch, &mut best);
+            }
+        }
+    });
+    flush(&mut batch, &mut best);
+    best.map(|mut b| {
+        b.evaluated = evaluated;
+        b
+    })
+}
+
+/// The original single-pass sequential search, kept as the decision
+/// oracle for [`exhaustive_best`].
+pub fn exhaustive_best_reference(
     adfg: &AnalyzedDfg,
     cfg: &SelectConfig,
     sched: MultiPatternConfig,
@@ -33,37 +98,19 @@ pub fn exhaustive_best(
     if candidates.len() > max_candidates {
         return None;
     }
-    let complete = adfg.dfg().color_set();
 
+    let complete = adfg.dfg().color_set();
     let mut best: Option<ExhaustiveResult> = None;
     let mut evaluated = 0usize;
     // Iterate subsets of size 0..=pdef by index masks (pool is tiny).
     let pool = candidates.len();
     let mut chosen_idx: Vec<usize> = Vec::new();
     subsets(pool, cfg.pdef, &mut chosen_idx, &mut |idxs| {
-        let mut set = PatternSet::from_patterns(idxs.iter().map(|&i| candidates[i]));
-        // Complete coverage with a fabricated pattern if needed and if a
-        // slot remains.
-        if !set.covers(&complete) {
-            if set.len() >= cfg.pdef {
-                return;
-            }
-            let missing: Vec<mps_dfg::Color> = complete
-                .difference(&set.color_set())
-                .iter()
-                .take(cfg.capacity)
-                .collect();
-            if missing.len() < complete.difference(&set.color_set()).len() {
-                return; // cannot cover within capacity
-            }
-            set.insert(Pattern::from_colors(missing));
-        }
-        if set.is_empty() {
+        let Some(set) = completed_set(cfg, &complete, &candidates, idxs) else {
             return;
-        }
+        };
         evaluated += 1;
-        if let Ok(r) = schedule_multi_pattern(adfg, &set, sched) {
-            let cycles = r.schedule.len();
+        if let Some(cycles) = schedule_cycles(adfg, &set, sched) {
             let better = best.as_ref().is_none_or(|b| cycles < b.cycles);
             if better {
                 best = Some(ExhaustiveResult {
@@ -78,6 +125,48 @@ pub fn exhaustive_best(
         b.evaluated = evaluated;
         b
     })
+}
+
+/// Build the candidate subset `idxs`, completing coverage with a
+/// fabricated pattern when colors are missing and a `Pdef` slot remains;
+/// `None` when the subset cannot be made schedulable (or is empty).
+/// `complete` is the graph's color set, hoisted out of the subset loop.
+fn completed_set(
+    cfg: &SelectConfig,
+    complete: &mps_dfg::ColorSet,
+    candidates: &[Pattern],
+    idxs: &[usize],
+) -> Option<PatternSet> {
+    let mut set = PatternSet::from_patterns(idxs.iter().map(|&i| candidates[i]));
+    if !set.covers(complete) {
+        if set.len() >= cfg.pdef {
+            return None;
+        }
+        let missing: Vec<mps_dfg::Color> = complete
+            .difference(&set.color_set())
+            .iter()
+            .take(cfg.capacity)
+            .collect();
+        if missing.len() < complete.difference(&set.color_set()).len() {
+            return None; // cannot cover within capacity
+        }
+        set.insert(Pattern::from_colors(missing));
+    }
+    if set.is_empty() {
+        return None;
+    }
+    Some(set)
+}
+
+/// Schedule length of `set`, or `None` when the set is unschedulable.
+fn schedule_cycles(
+    adfg: &AnalyzedDfg,
+    set: &PatternSet,
+    sched: MultiPatternConfig,
+) -> Option<usize> {
+    schedule_multi_pattern(adfg, set, sched)
+        .ok()
+        .map(|r| r.schedule.len())
 }
 
 /// Enumerate all subsets of `{0..pool}` with at most `max` elements.
@@ -126,6 +215,7 @@ mod tests {
     fn refuses_large_pools() {
         let adfg = AnalyzedDfg::new(fig4());
         assert!(exhaustive_best(&adfg, &cfg(2), Default::default(), 1).is_none());
+        assert!(exhaustive_best_reference(&adfg, &cfg(2), Default::default(), 1).is_none());
     }
 
     #[test]
@@ -141,5 +231,21 @@ mod tests {
         subsets(4, 2, &mut Vec::new(), &mut |_| count += 1);
         // {} + 4 singletons + 6 pairs.
         assert_eq!(count, 11);
+    }
+
+    #[test]
+    fn matches_reference_in_both_modes() {
+        let adfg = AnalyzedDfg::new(fig4());
+        for pdef in [1usize, 2, 3] {
+            let slow = exhaustive_best_reference(&adfg, &cfg(pdef), Default::default(), 32);
+            for parallel in [false, true] {
+                let c = SelectConfig {
+                    parallel,
+                    ..cfg(pdef)
+                };
+                let fast = exhaustive_best(&adfg, &c, Default::default(), 32);
+                assert_eq!(fast, slow, "pdef={pdef} parallel={parallel}");
+            }
+        }
     }
 }

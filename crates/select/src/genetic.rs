@@ -36,6 +36,11 @@ pub struct GeneticConfig {
     pub mutation_pct: u32,
     /// RNG seed; the whole search is deterministic per seed.
     pub seed: u64,
+    /// Evaluate each generation's fitness batch on multiple threads.
+    /// Genome generation stays sequential (it drives the RNG), so the
+    /// search is deterministic per seed in both modes — fitness is a pure
+    /// function of the individual.
+    pub parallel: bool,
 }
 
 impl Default for GeneticConfig {
@@ -46,6 +51,7 @@ impl Default for GeneticConfig {
             tournament: 3,
             mutation_pct: 30,
             seed: 0xbeef,
+            parallel: true,
         }
     }
 }
@@ -67,6 +73,22 @@ fn fitness(adfg: &AnalyzedDfg, set: &PatternSet, sched: MultiPatternConfig) -> u
     match schedule_multi_pattern(adfg, set, sched) {
         Ok(r) => r.schedule.len(),
         Err(_) => usize::MAX,
+    }
+}
+
+/// Fitness of a whole batch — the per-generation scoring inner loop. Each
+/// evaluation is an independent scheduling run, so the batch fans out over
+/// [`mps_par::par_map`] when asked to; results are identical either way.
+fn fitness_batch(
+    adfg: &AnalyzedDfg,
+    sets: &[PatternSet],
+    sched: MultiPatternConfig,
+    parallel: bool,
+) -> Vec<usize> {
+    if parallel {
+        mps_par::par_map(sets, |set| fitness(adfg, set, sched))
+    } else {
+        sets.iter().map(|set| fitness(adfg, set, sched)).collect()
     }
 }
 
@@ -149,19 +171,21 @@ pub fn evolve_patterns(
     let mut evaluated = 0usize;
 
     // Seed population: the given seeds cycled, mutated past the first
-    // copy so the population starts diverse.
-    let mut pop: Vec<(usize, PatternSet)> = Vec::with_capacity(cfg.population);
-    for i in 0..cfg.population {
-        let base = &seeds[i % seeds.len()];
-        let ind = if i < seeds.len() {
-            base.clone()
-        } else {
-            mutate(adfg, base, candidates, &mut rng)
-        };
-        let f = fitness(adfg, &ind, sched);
-        evaluated += 1;
-        pop.push((f, ind));
-    }
+    // copy so the population starts diverse. Genomes first (sequential —
+    // they drive the RNG), then one fitness batch.
+    let individuals: Vec<PatternSet> = (0..cfg.population)
+        .map(|i| {
+            let base = &seeds[i % seeds.len()];
+            if i < seeds.len() {
+                base.clone()
+            } else {
+                mutate(adfg, base, candidates, &mut rng)
+            }
+        })
+        .collect();
+    let fits = fitness_batch(adfg, &individuals, sched, cfg.parallel);
+    evaluated += individuals.len();
+    let mut pop: Vec<(usize, PatternSet)> = fits.into_iter().zip(individuals).collect();
     let initial_cycles = pop
         .iter()
         .take(seeds.len())
@@ -171,24 +195,27 @@ pub fn evolve_patterns(
 
     for _gen in 0..cfg.generations {
         pop.sort_by_key(|(f, _)| *f);
+        let pick = |rng: &mut StdRng| -> usize {
+            (0..cfg.tournament)
+                .map(|_| rng.gen_range(0..pop.len()))
+                .min()
+                .expect("tournament ≥ 1")
+        };
+        let children: Vec<PatternSet> = (1..cfg.population)
+            .map(|_| {
+                let (pa, pb) = (pick(&mut rng), pick(&mut rng));
+                let mut child = crossover(adfg, &pop[pa].1, &pop[pb].1, &mut rng);
+                if rng.gen_range(0..100u32) < cfg.mutation_pct {
+                    child = mutate(adfg, &child, candidates, &mut rng);
+                }
+                child
+            })
+            .collect();
+        let fits = fitness_batch(adfg, &children, sched, cfg.parallel);
+        evaluated += children.len();
         let mut next: Vec<(usize, PatternSet)> = Vec::with_capacity(cfg.population);
         next.push(pop[0].clone()); // elitism
-        while next.len() < cfg.population {
-            let pick = |rng: &mut StdRng| -> usize {
-                (0..cfg.tournament)
-                    .map(|_| rng.gen_range(0..pop.len()))
-                    .min()
-                    .expect("tournament ≥ 1")
-            };
-            let (pa, pb) = (pick(&mut rng), pick(&mut rng));
-            let mut child = crossover(adfg, &pop[pa].1, &pop[pb].1, &mut rng);
-            if rng.gen_range(0..100u32) < cfg.mutation_pct {
-                child = mutate(adfg, &child, candidates, &mut rng);
-            }
-            let f = fitness(adfg, &child, sched);
-            evaluated += 1;
-            next.push((f, child));
-        }
+        next.extend(fits.into_iter().zip(children));
         pop = next;
     }
 
@@ -279,6 +306,37 @@ mod tests {
             let child = crossover(&adfg, &a, &b, &mut rng);
             assert!(child.covers(&adfg.dfg().color_set()));
         }
+    }
+
+    #[test]
+    fn parallel_fitness_changes_nothing() {
+        // Genome generation is rng-sequential in both modes and fitness is
+        // pure, so the whole search must be mode-invariant.
+        let adfg = AnalyzedDfg::new(fig2());
+        let seed = eq8(&adfg, 3);
+        let seq = evolve_patterns(
+            &adfg,
+            std::slice::from_ref(&seed),
+            &[],
+            GeneticConfig {
+                parallel: false,
+                ..quick()
+            },
+            Default::default(),
+        );
+        let par = evolve_patterns(
+            &adfg,
+            &[seed],
+            &[],
+            GeneticConfig {
+                parallel: true,
+                ..quick()
+            },
+            Default::default(),
+        );
+        assert_eq!(seq.patterns, par.patterns);
+        assert_eq!(seq.cycles, par.cycles);
+        assert_eq!(seq.evaluated, par.evaluated);
     }
 
     #[test]

@@ -45,18 +45,22 @@ mod variants;
 
 pub use anneal::{anneal_patterns, select_and_anneal, AnnealConfig, AnnealResult};
 pub use config::SelectConfig;
-pub use coverage::coverage_greedy;
-pub use exhaustive::{exhaustive_best, ExhaustiveResult};
+pub use coverage::{
+    coverage_greedy, coverage_greedy_from_table, coverage_greedy_from_table_reference,
+};
+pub use exhaustive::{exhaustive_best, exhaustive_best_reference, ExhaustiveResult};
 pub use genetic::{evolve_patterns, GeneticConfig, GeneticResult};
 pub use merge::{merge_pass, MergeOutcome};
 pub use multi_kernel::{select_joint, JointOutcome};
-pub use node_cover::{node_cover_from_table, node_cover_greedy};
+pub use node_cover::{node_cover_from_table, node_cover_from_table_reference, node_cover_greedy};
 pub use pipeline::{
     random_baseline, select_and_schedule, PipelineConfig, PipelineResult, RandomBaseline,
 };
 pub use priority::eq8_priority;
 pub use random::random_patterns;
-pub use select::{select_from_table, select_patterns, RoundInfo, SelectionOutcome};
+pub use select::{
+    select_from_table, select_from_table_reference, select_patterns, RoundInfo, SelectionOutcome,
+};
 pub use throughput::{pattern_ii_bound, select_for_throughput, throughput_pattern};
 pub use variants::{
     eq8_variant, scarcity_priority, select_with_priority, PriorityFn, ScarcityWeights,

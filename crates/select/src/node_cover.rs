@@ -12,15 +12,190 @@
 //! apply (node coverage) and *how often* they apply (antichain counts). The
 //! cross-selector bench (`mps-bench --bin selectors`) quantifies what the
 //! mixing buys.
+//!
+//! [`node_cover_from_table`] is the cover-engine implementation: the
+//! covered-node set is a packed bitset and a candidate's gain is one
+//! ANDNOT+popcount over its [`mps_patterns::CoverMatrix`] row. Gains are
+//! monotone non-increasing (the covered set only grows), so — like the
+//! Eq. 8 cover engine — the per-round argmax runs lazily over a max-heap
+//! of cached gains, recomputing a candidate only when a previous winner's
+//! row intersected its own. [`node_cover_from_table_reference`] keeps the
+//! original per-node scan as the decision oracle.
 
 use crate::config::SelectConfig;
-use crate::select::RoundInfo;
-use crate::select::SelectionOutcome;
+use crate::select::{color_condition_holds, RoundInfo, SelectionOutcome, PAR_SCORE_CUTOFF};
 use mps_dfg::AnalyzedDfg;
-use mps_patterns::{Pattern, PatternSet, PatternTable};
+use mps_patterns::{Pattern, PatternId, PatternSet, PatternTable};
 
-/// Greedy node-coverage selection against a prebuilt pattern table.
+/// Max-heap entry: highest `(gain, count)` first, ties toward the
+/// smallest id — the reference scan's strict-`>` tie-break.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct GainEntry {
+    gain: u64,
+    count: u64,
+    id: u32,
+}
+
+impl PartialOrd for GainEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for GainEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.gain, self.count)
+            .cmp(&(other.gain, other.count))
+            .then(other.id.cmp(&self.id))
+    }
+}
+
+/// Greedy node-coverage selection against a prebuilt pattern table — the
+/// cover engine (decision-identical to
+/// [`node_cover_from_table_reference`]).
 pub fn node_cover_from_table(
+    adfg: &AnalyzedDfg,
+    table: &PatternTable,
+    cfg: &SelectConfig,
+) -> SelectionOutcome {
+    let complete_colors = adfg.dfg().color_set();
+    let stats = table.stats();
+    let cover = table.cover();
+    let mut selected_colors = mps_dfg::ColorSet::new();
+    let mut selected = PatternSet::new();
+    let mut covered = cover.blank_cover(); // nodes touched by Ps, packed
+    let mut rounds = Vec::with_capacity(cfg.pdef);
+
+    // Gains only fall (the covered set only grows; fabrication covers
+    // nothing), so cached gains are upper bounds and the lazy-greedy heap
+    // argmax of the Eq. 8 engine applies verbatim — with the round-
+    // invariant antichain count as the secondary key.
+    let gain_one = |i: u32, covered: &[u64]| cover.count_uncovered(PatternId(i), covered) as u64;
+    let initial: Vec<u64> = if cfg.parallel && stats.len() >= PAR_SCORE_CUTOFF {
+        let ids: Vec<u32> = (0..stats.len() as u32).collect();
+        mps_par::par_map(&ids, |&i| gain_one(i, &covered))
+    } else {
+        (0..stats.len() as u32)
+            .map(|i| gain_one(i, &covered))
+            .collect()
+    };
+    let mut gains = initial;
+    let mut heap = std::collections::BinaryHeap::with_capacity(stats.len());
+    for (i, &g) in gains.iter().enumerate() {
+        heap.push(GainEntry {
+            gain: g,
+            count: stats[i].antichain_count,
+            id: i as u32,
+        });
+    }
+    let mut dirty = vec![false; stats.len()];
+    let mut dead = vec![false; stats.len()];
+    let mut alive: Vec<u32> = (0..stats.len() as u32).collect();
+    let mut winner_row: Vec<u64> = Vec::new();
+    let mut aside: Vec<GainEntry> = Vec::new();
+
+    for _round in 0..cfg.pdef {
+        let remaining_after_this = cfg.pdef - selected.len() - 1;
+        let alive_count = alive.len();
+
+        let mut best: Option<(u64, PatternId)> = None;
+        while let Some(entry) = heap.pop() {
+            let i = entry.id as usize;
+            if dead[i] || entry.gain != gains[i] {
+                continue; // deleted, or superseded by a fresher entry
+            }
+            if dirty[i] {
+                let g = gain_one(entry.id, &covered);
+                dirty[i] = false;
+                gains[i] = g;
+                heap.push(GainEntry { gain: g, ..entry });
+                continue;
+            }
+            if cfg.color_condition
+                && !color_condition_holds(
+                    &stats[i].pattern,
+                    &complete_colors,
+                    &selected_colors,
+                    cfg.capacity,
+                    remaining_after_this,
+                )
+            {
+                aside.push(entry); // Eq. 9 violated this round only
+                continue;
+            }
+            best = Some((entry.gain, PatternId(entry.id)));
+            break;
+        }
+        heap.extend(aside.drain(..));
+
+        match best {
+            Some((new_nodes, id)) => {
+                let chosen = stats[id.index()].pattern;
+                cover.cover_with(id, &mut covered);
+                selected_colors = selected_colors.union(&chosen.color_set());
+                selected.insert(chosen);
+                alive.retain(|&i| {
+                    let gone = stats[i as usize].pattern.is_subpattern_of(&chosen);
+                    if gone {
+                        dead[i as usize] = true;
+                    }
+                    !gone
+                });
+                cover.copy_row_into(id, &mut winner_row);
+                for &i in &alive {
+                    if cover.intersects(PatternId(i), &winner_row) {
+                        dirty[i as usize] = true;
+                    }
+                }
+                rounds.push(RoundInfo {
+                    chosen,
+                    priority: new_nodes as f64,
+                    fabricated: false,
+                    candidates_alive: alive_count,
+                });
+            }
+            None => {
+                let slots: Vec<mps_dfg::Color> = complete_colors
+                    .difference(&selected_colors)
+                    .iter()
+                    .take(cfg.capacity)
+                    .collect();
+                if slots.is_empty() {
+                    break;
+                }
+                let fab = Pattern::from_colors(slots);
+                selected_colors = selected_colors.union(&fab.color_set());
+                selected.insert(fab);
+                alive.retain(|&i| {
+                    let gone = stats[i as usize].pattern.is_subpattern_of(&fab);
+                    if gone {
+                        dead[i as usize] = true;
+                    }
+                    !gone
+                });
+                // Fabrication covers no antichains: `covered` is unchanged
+                // and every cached gain stays valid.
+                rounds.push(RoundInfo {
+                    chosen: fab,
+                    priority: 0.0,
+                    fabricated: true,
+                    candidates_alive: alive_count,
+                });
+            }
+        }
+    }
+
+    SelectionOutcome {
+        patterns: selected,
+        rounds,
+    }
+}
+
+/// The pre-cover-engine implementation: every round rescans every alive
+/// candidate's dense frequency row against a `Vec<bool>` covered map.
+/// Kept as the decision oracle for [`node_cover_from_table`] and the
+/// baseline of the `throughput` bench's selection rows.
+pub fn node_cover_from_table_reference(
     adfg: &AnalyzedDfg,
     table: &PatternTable,
     cfg: &SelectConfig,
@@ -119,20 +294,6 @@ pub fn node_cover_from_table(
     }
 }
 
-/// Eq. 9 — same rule the main selector enforces.
-fn color_condition_holds(
-    pattern: &Pattern,
-    complete: &mps_dfg::ColorSet,
-    selected: &mps_dfg::ColorSet,
-    capacity: usize,
-    remaining_after_this: usize,
-) -> bool {
-    let new_colors = pattern.color_set().difference(selected).len() as i64;
-    let uncovered = (complete.len() - complete.intersection(selected).len()) as i64;
-    let rhs = uncovered - (capacity as i64) * (remaining_after_this as i64);
-    new_colors >= rhs
-}
-
 /// Enumerate, classify, and select by greedy node coverage.
 pub fn node_cover_greedy(adfg: &AnalyzedDfg, cfg: &SelectConfig) -> SelectionOutcome {
     let table = PatternTable::build(adfg, cfg.enumerate_config());
@@ -202,5 +363,38 @@ mod tests {
             node_cover_greedy(&adfg, &cfg(3)).patterns,
             node_cover_greedy(&adfg, &cfg(3)).patterns
         );
+    }
+
+    /// Cover engine vs dense oracle on the worked examples, with and
+    /// without the color condition, both execution modes.
+    #[test]
+    fn engine_matches_reference() {
+        for dfg in [fig2(), fig4()] {
+            let adfg = AnalyzedDfg::new(dfg);
+            let table = mps_patterns::PatternTable::build(
+                &adfg,
+                mps_patterns::EnumerateConfig {
+                    parallel: false,
+                    ..Default::default()
+                },
+            );
+            for pdef in [1usize, 2, 3, 5] {
+                for color_condition in [true, false] {
+                    for parallel in [false, true] {
+                        let scfg = SelectConfig {
+                            pdef,
+                            color_condition,
+                            parallel,
+                            ..Default::default()
+                        };
+                        assert_eq!(
+                            node_cover_from_table(&adfg, &table, &scfg),
+                            node_cover_from_table_reference(&adfg, &table, &scfg),
+                            "pdef={pdef} cond={color_condition} par={parallel}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

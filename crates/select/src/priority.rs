@@ -129,4 +129,22 @@ mod tests {
         let s = stats("ab", vec![0, 0, 0, 0, 0]);
         assert_eq!(eq8_priority(&s, &[0; 5], &cfg), 20.0 * 4.0);
     }
+
+    /// Eq. 8 is monotone non-increasing in the selected frequencies — the
+    /// invariant the cover engine's lazy-greedy argmax rests on (cached
+    /// scores are upper bounds): growing any denominator cannot raise the
+    /// priority.
+    #[test]
+    fn priority_is_monotone_in_selected_freq() {
+        let s = stats("aab", vec![3, 0, 7, 1, 0, 0, 2]);
+        let cfg = SelectConfig::default();
+        let mut freq = vec![0u64; 7];
+        let mut last = eq8_priority(&s, &freq, &cfg);
+        for step in [(0usize, 2u64), (2, 1), (6, 10), (3, 1), (0, 5)] {
+            freq[step.0] += step.1;
+            let now = eq8_priority(&s, &freq, &cfg);
+            assert!(now <= last, "after bumping node {}: {now} > {last}", step.0);
+            last = now;
+        }
+    }
 }

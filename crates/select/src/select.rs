@@ -1,4 +1,21 @@
 //! The pattern selection loop (paper Fig. 7).
+//!
+//! Two implementations live here:
+//!
+//! * [`select_from_table`] — the **cover engine**. Eq. 8 priorities only
+//!   fall as selection proceeds (the balancing denominators only grow),
+//!   so cached scores are upper bounds — exact until a winner's
+//!   [`mps_patterns::CoverMatrix`] row intersects the candidate's own
+//!   (`dirty`, one word-wise AND). Each round seeds the scan with the
+//!   highest cached bound and then sweeps the survivors: a candidate
+//!   whose bound cannot beat the running best is settled by one float
+//!   compare, and only genuine contenders are rescored. The initial full
+//!   scoring fans out over [`mps_par::par_map`], and fabricated rounds
+//!   invalidate nothing.
+//! * [`select_from_table_reference`] — the full-rescore, dense-walk loop
+//!   this crate shipped first, kept as the decision oracle (the property
+//!   suite asserts outcome equality, priorities included bit-for-bit) and
+//!   as the baseline the `throughput` bench's `select_rows` measure.
 
 use crate::config::SelectConfig;
 use crate::priority::eq8_priority;
@@ -36,11 +53,231 @@ impl SelectionOutcome {
     }
 }
 
-/// Run the §5.2 selection algorithm against a prebuilt pattern table.
+/// Rescore batches at least this large fan out over [`mps_par::par_map`]
+/// (when the config asks for parallelism at all). Small enough that the
+/// parallel path is exercised by ordinary test tables, large enough that
+/// trivial rounds skip the thread-spawn cost.
+pub(crate) const PAR_SCORE_CUTOFF: usize = 32;
+
+/// Run the §5.2 selection algorithm against a prebuilt pattern table —
+/// the cover engine (see the module docs; decision-identical to
+/// [`select_from_table_reference`]).
 ///
 /// Exposed separately from [`select_patterns`] so callers can reuse one
 /// (expensive) enumeration across many `Pdef` values, as Table 7 does.
 pub fn select_from_table(
+    adfg: &AnalyzedDfg,
+    table: &PatternTable,
+    cfg: &SelectConfig,
+) -> SelectionOutcome {
+    let num_nodes = adfg.len();
+    let stats: &[PatternStats] = table.stats();
+    let cover = table.cover();
+    let complete_colors = adfg.dfg().color_set(); // the paper's L
+    let mut selected_colors = mps_dfg::ColorSet::new(); // Ls
+    let mut selected = PatternSet::new(); // Ps
+    let mut selected_freq = vec![0u64; num_nodes]; // Σ_{Ps} h(p̄_i, ·)
+    let mut rounds = Vec::with_capacity(cfg.pdef);
+
+    // Eq. 8 priorities are monotone non-increasing over a run: selection
+    // only ever *grows* the balancing denominators (fabrication changes
+    // nothing), so a score cached in an earlier round is an **upper
+    // bound** on the candidate's current value — exact unless a later
+    // winner touched one of its nodes (`dirty`, detected in words over
+    // the cover rows). The per-round argmax therefore scans cached
+    // scores and recomputes a candidate only when its bound still beats
+    // the best exact value found so far: the true maximum can never be
+    // skipped (its bound dominates every exact value), most candidates
+    // fall to one float compare, and rescoring uses the reference's own
+    // [`eq8_priority`], so the winning priorities are bit-identical by
+    // construction.
+    let mut scores: Vec<f64> = if cfg.parallel && stats.len() >= PAR_SCORE_CUTOFF {
+        let ids: Vec<u32> = (0..stats.len() as u32).collect();
+        mps_par::par_map(&ids, |&i| {
+            eq8_priority(&stats[i as usize], &selected_freq, cfg)
+        })
+    } else {
+        stats
+            .iter()
+            .map(|s| eq8_priority(s, &selected_freq, cfg))
+            .collect()
+    };
+    let mut dirty = vec![false; stats.len()];
+    // Alive candidates, ascending (kept sorted by `retain`): scan order
+    // matches the reference's, so "strict `>` keeps the earliest" applies
+    // verbatim.
+    let mut alive: Vec<u32> = (0..stats.len() as u32).collect();
+    let mut winner_row: Vec<u64> = Vec::new();
+    // The next round's seed: a candidate holding the maximum cached bound
+    // among the alive, maintained by the post-selection bookkeeping pass
+    // (cached bounds only change inside sweeps, so it stays valid).
+    let mut next_seed: Option<u32> = alive
+        .iter()
+        .copied()
+        .max_by(|&a, &b| scores[a as usize].total_cmp(&scores[b as usize]));
+
+    for _round in 0..cfg.pdef {
+        let remaining_after_this = cfg.pdef - selected.len() - 1;
+        let alive_count = alive.len();
+
+        // One candidate at a time: `settle` resolves a candidate exactly —
+        // rescore if dirty, then replace the running best under the
+        // reference's rule (strictly greater, or equal with a smaller id:
+        // the "earliest on ties" order), gated by the Eq. 9 filter.
+        struct Scan<'a> {
+            scores: &'a mut [f64],
+            dirty: &'a mut [bool],
+            best: Option<(f64, PatternId)>,
+        }
+        let mut scan = Scan {
+            scores: &mut scores,
+            dirty: &mut dirty,
+            best: None,
+        };
+        let settle = |scan: &mut Scan, iu: u32| {
+            let i = iu as usize;
+            if scan.dirty[i] {
+                scan.scores[i] = eq8_priority(&stats[i], &selected_freq, cfg);
+                scan.dirty[i] = false;
+            }
+            let f = scan.scores[i];
+            // Cheap filters first, the Eq. 9 condition only for a
+            // candidate that would actually take the lead — same outcome
+            // as the reference's condition-first order, since a filtered
+            // candidate never becomes the best either way.
+            if f <= 0.0
+                || !scan
+                    .best
+                    .is_none_or(|(bf, bid)| f > bf || (f == bf && PatternId(iu) < bid))
+            {
+                return;
+            }
+            if cfg.color_condition
+                && !color_condition_holds(
+                    &stats[i].pattern,
+                    &complete_colors,
+                    &selected_colors,
+                    cfg.capacity,
+                    remaining_after_this,
+                )
+            {
+                return; // priority forced to zero this round (Eq. 9)
+            }
+            scan.best = Some((f, PatternId(iu)));
+        };
+        // Seed: settle the highest cached bound first. It is the likeliest
+        // true maximum, and with the running best already near the top the
+        // sweep below skips nearly everyone on the one-compare bound test.
+        if let Some(seed) = next_seed {
+            if scan.scores[seed as usize] > 0.0 {
+                settle(&mut scan, seed);
+            }
+        }
+        // Sweep: a candidate whose cached bound does not beat the running
+        // best cannot win (exact ≤ cached); `<` plus the id comparison on
+        // equality mirrors the reference's tie-break exactly.
+        for &iu in &alive {
+            let i = iu as usize;
+            let skip = scan.scores[i] <= 0.0
+                || scan.best.is_some_and(|(bf, bid)| {
+                    scan.scores[i] < bf || (scan.scores[i] == bf && PatternId(iu) >= bid)
+                });
+            if skip {
+                continue;
+            }
+            settle(&mut scan, iu);
+        }
+        let best = scan.best;
+
+        match best {
+            Some((f, id)) => {
+                let winner = &stats[id.index()];
+                let chosen = winner.pattern;
+                for n in mps_patterns::BitIter::new(cover.row(id)) {
+                    selected_freq[n] += winner.node_freq[n];
+                }
+                selected_colors = selected_colors.union(&chosen.color_set());
+                selected.insert(chosen);
+                // One bookkeeping pass: delete the chosen pattern and all
+                // its subpatterns, mark dirty whatever shares a node with
+                // the winner (the only candidates whose balancing
+                // denominators moved; a bound ≤ 0 can never recover, so
+                // it needs no invalidation), and track the surviving
+                // maximum cached bound as the next round's seed.
+                cover.copy_row_into(id, &mut winner_row);
+                next_seed = None;
+                alive.retain(|&iu| {
+                    let i = iu as usize;
+                    if stats[i].pattern.is_subpattern_of(&chosen) {
+                        return false;
+                    }
+                    if scores[i] > 0.0 && cover.intersects(PatternId(iu), &winner_row) {
+                        dirty[i] = true;
+                    }
+                    if next_seed.is_none_or(|s| scores[i] > scores[s as usize]) {
+                        next_seed = Some(iu);
+                    }
+                    true
+                });
+                rounds.push(RoundInfo {
+                    chosen,
+                    priority: f,
+                    fabricated: false,
+                    candidates_alive: alive_count,
+                });
+            }
+            None => {
+                // Fabricate from uncovered colors (Fig. 7 line 3).
+                let mut slots: Vec<mps_dfg::Color> = complete_colors
+                    .difference(&selected_colors)
+                    .iter()
+                    .take(cfg.capacity)
+                    .collect();
+                if slots.is_empty() {
+                    // Everything is covered and no candidate adds value:
+                    // selecting more patterns cannot help. Stop early.
+                    break;
+                }
+                if cfg.pad_fabricated {
+                    pad_to_capacity(&mut slots, cfg.capacity, adfg);
+                }
+                let fab = Pattern::from_colors(slots);
+                selected_colors = selected_colors.union(&fab.color_set());
+                selected.insert(fab);
+                next_seed = None;
+                alive.retain(|&iu| {
+                    let i = iu as usize;
+                    if stats[i].pattern.is_subpattern_of(&fab) {
+                        return false;
+                    }
+                    if next_seed.is_none_or(|s| scores[i] > scores[s as usize]) {
+                        next_seed = Some(iu);
+                    }
+                    true
+                });
+                // A fabricated pattern has no antichains: `selected_freq`
+                // is unchanged and every cached score stays valid.
+                rounds.push(RoundInfo {
+                    chosen: fab,
+                    priority: 0.0,
+                    fabricated: true,
+                    candidates_alive: alive_count,
+                });
+            }
+        }
+    }
+
+    SelectionOutcome {
+        patterns: selected,
+        rounds,
+    }
+}
+
+/// The pre-cover-engine §5.2 loop: every round recomputes every alive
+/// candidate's priority with the dense per-node walk. Kept as the
+/// decision oracle for [`select_from_table`] and the selection-stage
+/// baseline of the `throughput` bench.
+pub fn select_from_table_reference(
     adfg: &AnalyzedDfg,
     table: &PatternTable,
     cfg: &SelectConfig,
@@ -176,7 +413,7 @@ fn pad_to_capacity(slots: &mut Vec<mps_dfg::Color>, capacity: usize, adfg: &Anal
 }
 
 /// Eq. 9: `|Ln(p̄)| ≥ |L| − |Ls| − C·(Pdef − |Ps| − 1)`.
-fn color_condition_holds(
+pub(crate) fn color_condition_holds(
     pattern: &Pattern,
     complete: &mps_dfg::ColorSet,
     selected: &mps_dfg::ColorSet,
@@ -190,7 +427,8 @@ fn color_condition_holds(
 }
 
 /// Enumerate antichains, classify them, and select `Pdef` patterns — the
-/// complete §5 algorithm.
+/// complete §5 algorithm (classification via the fast interned table
+/// build, selection via the cover engine).
 pub fn select_patterns(adfg: &AnalyzedDfg, cfg: &SelectConfig) -> SelectionOutcome {
     let table = PatternTable::build(adfg, cfg.enumerate_config());
     select_from_table(adfg, &table, cfg)
@@ -306,6 +544,51 @@ mod tests {
                 out.patterns.covers(&adfg.dfg().color_set()),
                 "limit={limit}"
             );
+        }
+    }
+
+    /// Cover engine vs reference, every toggle combination, both modes —
+    /// outcomes must match exactly, priorities bit-for-bit. (Random-DAG
+    /// coverage lives in the `prop_select_cover` suite.)
+    #[test]
+    fn engine_matches_reference_across_toggles() {
+        for dfg in [fig2(), fig4()] {
+            let adfg = AnalyzedDfg::new(dfg);
+            let table = PatternTable::build(
+                &adfg,
+                mps_patterns::EnumerateConfig {
+                    parallel: false,
+                    ..Default::default()
+                },
+            );
+            for pdef in [1usize, 2, 4, 6] {
+                for (size_bonus, balancing, color_condition, pad) in [
+                    (true, true, true, false),
+                    (false, true, true, false),
+                    (true, false, true, true),
+                    (true, true, false, false),
+                    (false, false, false, true),
+                ] {
+                    for parallel in [false, true] {
+                        let scfg = SelectConfig {
+                            pdef,
+                            size_bonus,
+                            balancing,
+                            color_condition,
+                            pad_fabricated: pad,
+                            parallel,
+                            ..Default::default()
+                        };
+                        let fast = select_from_table(&adfg, &table, &scfg);
+                        let slow = select_from_table_reference(&adfg, &table, &scfg);
+                        assert_eq!(
+                            fast, slow,
+                            "pdef={pdef} bonus={size_bonus} bal={balancing} \
+                             cond={color_condition} pad={pad} par={parallel}"
+                        );
+                    }
+                }
+            }
         }
     }
 }

@@ -21,10 +21,12 @@ fi
 run "$BIN_DIR/mps" list
 run "$BIN_DIR/mps" info fig2
 
-# Skewed stress graphs: their hub roots force the depth-1 branch splitter
-# onto the parallel table-build path (pinned counts checked below by
-# `throughput --smoke`).
+# Skewed stress graphs (pinned counts checked below by `throughput
+# --smoke`): star16/broom64 estimate below the parallel-work floor and pin
+# the sequential fallback, star32 estimates above it and drives the
+# depth-1 branch splitter + warmed split scheduling.
 run "$BIN_DIR/mps" info star16
+run "$BIN_DIR/mps" info star32
 run "$BIN_DIR/mps" info broom64
 
 # The paper's selection algorithm on the 5-point DFT with Pdef = 4.
