@@ -327,6 +327,77 @@ fn measure_skew() -> Vec<SkewRow> {
     rows
 }
 
+/// One row of the batch-compile scaling measure: the same fixed queue of
+/// kernels served through [`mps::Session::compile_batch_in`] at a pinned
+/// worker count, against the 1-worker sequential loop (identical code at
+/// `workers == 1`, so that row documents parity, not a speedup).
+struct BatchRow {
+    workers: usize,
+    graphs: usize,
+    batch_sec: f64,
+    sequential_sec: f64,
+}
+
+impl BatchRow {
+    fn graphs_per_sec(&self) -> f64 {
+        self.graphs as f64 / self.batch_sec
+    }
+
+    fn speedup_vs_sequential(&self) -> f64 {
+        self.sequential_sec / self.batch_sec
+    }
+}
+
+/// The batch queue: two copies each of eight mid-sized kernels — the
+/// serving shape (many independent graphs) with enough per-item weight
+/// (dct8 and dft5 classify hundreds of thousands of antichains at span 1)
+/// that the fan-out has real work to amortize its thread spawn against,
+/// and enough per-item variance that dynamic claiming matters.
+fn batch_queue() -> Vec<mps::prelude::Dfg> {
+    [
+        "dft5", "dct8", "fir16", "matmul3", "fft8", "horner8", "cordic8", "fig2",
+    ]
+    .iter()
+    .flat_map(|n| {
+        let d = mps::workloads::by_name(n).expect("known workload");
+        [d.clone(), d]
+    })
+    .collect()
+}
+
+fn measure_batch() -> Vec<BatchRow> {
+    use mps::{CompileConfig, Session};
+    let dfgs = batch_queue();
+    let cfg = CompileConfig {
+        select: SelectConfig {
+            span_limit: Some(1),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let (sequential_sec, baseline) = time_best_of(3, || Session::compile_batch_in(1, &dfgs, &cfg));
+    let mut rows = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let (batch_sec, results) =
+            time_best_of(3, || Session::compile_batch_in(workers, &dfgs, &cfg));
+        for (a, b) in results.iter().zip(&baseline) {
+            let (a, b) = (a.as_ref().expect("compiles"), b.as_ref().expect("compiles"));
+            assert_eq!(
+                (&a.selection, a.cycles),
+                (&b.selection, b.cycles),
+                "batch decisions must not depend on the worker count"
+            );
+        }
+        rows.push(BatchRow {
+            workers,
+            graphs: dfgs.len(),
+            batch_sec,
+            sequential_sec,
+        });
+    }
+    rows
+}
+
 fn span_str(limit: Option<u32>) -> String {
     match limit {
         Some(l) => l.to_string(),
@@ -334,7 +405,7 @@ fn span_str(limit: Option<u32>) -> String {
     }
 }
 
-fn print_json(rows: &[Row], select: &[SelectRow], skew: &[SkewRow], pr: u32) {
+fn print_json(rows: &[Row], select: &[SelectRow], skew: &[SkewRow], batch: &[BatchRow], pr: u32) {
     println!("{{");
     println!("  \"pr\": {pr},");
     println!("  \"bench\": \"enumeration+classification throughput\",");
@@ -429,11 +500,35 @@ fn print_json(rows: &[Row], select: &[SelectRow], skew: &[SkewRow], pr: u32) {
             comma
         );
     }
+    println!("  ],");
+    println!(
+        "  \"batch_note\": \"Session::compile_batch_in over a fixed 16-kernel queue (full \
+         compiles: analyze→enumerate span 1→Eq. 8 select→list schedule) at pinned worker \
+         counts vs the 1-worker sequential loop; workers == 1 runs identical code, so that \
+         row documents parity; speedups require real cores — compare workers to \
+         threads_available above\","
+    );
+    println!("  \"batch_rows\": [");
+    for (i, r) in batch.iter().enumerate() {
+        let comma = if i + 1 == batch.len() { "" } else { "," };
+        println!(
+            "    {{\"workload\": \"queue16\", \"workers\": {}, \"graphs\": {}, \
+             \"batch_sec\": {:.6}, \"sequential_sec\": {:.6}, \"graphs_per_sec\": {:.1}, \
+             \"batch_speedup_vs_sequential\": {:.2}}}{}",
+            r.workers,
+            r.graphs,
+            r.batch_sec,
+            r.sequential_sec,
+            r.graphs_per_sec(),
+            r.speedup_vs_sequential(),
+            comma
+        );
+    }
     println!("  ]");
     println!("}}");
 }
 
-fn print_table(rows: &[Row], select: &[SelectRow], skew: &[SkewRow]) {
+fn print_table(rows: &[Row], select: &[SelectRow], skew: &[SkewRow], batch: &[BatchRow]) {
     println!(
         "{:<9} {:>5} {:>9} {:>11} {:>9} {:>14} {:>14} {:>9}",
         "workload", "nodes", "span", "antichains", "patterns", "enum/s", "classify/s", "speedup"
@@ -493,6 +588,23 @@ fn print_table(rows: &[Row], select: &[SelectRow], skew: &[SkewRow]) {
             r.split_sec,
             r.root_granular_sec,
             r.speedup_vs_root_granular(),
+        );
+    }
+    println!();
+    println!(
+        "{:<10} {:>8} {:>7} {:>12} {:>16} {:>10} {:>9}",
+        "batch", "workers", "graphs", "batch_sec", "sequential_sec", "graphs/s", "speedup"
+    );
+    for r in batch {
+        println!(
+            "{:<10} {:>8} {:>7} {:>12.6} {:>16.6} {:>10.1} {:>8.2}x",
+            "queue16",
+            r.workers,
+            r.graphs,
+            r.batch_sec,
+            r.sequential_sec,
+            r.graphs_per_sec(),
+            r.speedup_vs_sequential(),
         );
     }
 }
@@ -560,9 +672,10 @@ fn main() {
     }
     let select = measure_select();
     let skew = measure_skew();
+    let batch = measure_batch();
     if json {
-        print_json(&rows, &select, &skew, pr);
+        print_json(&rows, &select, &skew, &batch, pr);
     } else {
-        print_table(&rows, &select, &skew);
+        print_table(&rows, &select, &skew, &batch);
     }
 }

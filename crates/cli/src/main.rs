@@ -5,11 +5,20 @@
 //! mps info <workload>                       # graph statistics and levels
 //! mps dot <workload>                        # Graphviz DOT on stdout
 //! mps schedule <workload> <patterns...>     # schedule with given patterns
-//! mps select <workload> [--pdef N] [--span S] [--trace]
+//! mps select <workload> [--pdef N] [--span S] [--trace] [--engine E]
 //!                                           # run the paper's full pipeline
+//! mps pipeline <workload> [--pdef N] [--span S] [--engine E] [--tp] [--json]
+//!                                           # software-pipeline a kernel
+//! mps patterns <workload> [--span S] [--dot]
 //! ```
+//!
+//! The table-driven subcommands (`select`, `pipeline`, `patterns`) run on
+//! [`mps::Session`] — one staged compile each, sharing the flag parser
+//! below — and `--engine` accepts every [`SelectEngine`] name.
 
 use mps::prelude::*;
+use mps::scheduler::ModuloConfig;
+use mps::{CompileConfig, MpsError};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,9 +40,14 @@ fn main() {
             eprintln!("  mps stats <workload>");
             eprintln!("  mps dot <workload>");
             eprintln!("  mps schedule <workload> <pattern> [pattern...]");
-            eprintln!("  mps select <workload> [--pdef N] [--span S] [--trace] [--engine cover|reference]");
-            eprintln!("  mps pipeline <workload> [--pdef N] [--tp]");
+            eprintln!("  mps select <workload> [--pdef N] [--span S] [--trace] [--engine E]");
+            eprintln!(
+                "  mps pipeline <workload> [--pdef N] [--span S] [--engine E] [--tp] [--json]"
+            );
             eprintln!("  mps patterns <workload> [--span S] [--dot]");
+            eprintln!("  engines (E): eq8 (alias cover), eq8-reference (alias reference),");
+            eprintln!("               node-cover, node-cover-reference, coverage,");
+            eprintln!("               coverage-reference, exhaustive, genetic, anneal, random");
             2
         }
     };
@@ -43,9 +57,9 @@ fn main() {
 /// Resolve a graph argument: first as a built-in workload name, then — if a
 /// file of that name exists — as a graph in the `mps_dfg::parse_text` text
 /// format (`node <name> <color>` / `edge <from> <to>` lines).
-fn load(name: &str) -> Option<AnalyzedDfg> {
+fn load(name: &str) -> Option<Dfg> {
     if let Some(d) = mps::workloads::by_name(name) {
-        return Some(AnalyzedDfg::new(d));
+        return Some(d);
     }
     if std::path::Path::new(name).exists() {
         let src = match std::fs::read_to_string(name) {
@@ -56,9 +70,9 @@ fn load(name: &str) -> Option<AnalyzedDfg> {
             }
         };
         return match mps::dfg::parse_text(&src) {
-            Ok(g) => Some(AnalyzedDfg::new(g)),
+            Ok(g) => Some(g),
             Err(e) => {
-                eprintln!("{name}: {e}");
+                eprintln!("{name}: {}", MpsError::from(e));
                 None
             }
         };
@@ -76,9 +90,106 @@ fn with_workload(args: &[String], min_len: usize, f: fn(&AnalyzedDfg) -> i32) ->
         return 2;
     }
     match load(&args[1]) {
-        Some(adfg) => f(&adfg),
+        Some(dfg) => f(&AnalyzedDfg::new(dfg)),
         None => 2,
     }
+}
+
+/// Flags shared by the table-driven subcommands. One parser replaces the
+/// three per-command `while i < args.len()` blocks this binary used to
+/// carry; each command states which flags it accepts and its defaults.
+struct Flags {
+    pdef: usize,
+    span: Option<u32>,
+    trace: bool,
+    tp: bool,
+    json: bool,
+    dot: bool,
+    engine: SelectEngine,
+}
+
+impl Flags {
+    fn defaults(span: Option<u32>) -> Flags {
+        Flags {
+            pdef: 4,
+            span,
+            trace: false,
+            tp: false,
+            json: false,
+            dot: false,
+            engine: SelectEngine::Eq8,
+        }
+    }
+}
+
+/// Parse `args[start..]` against the accepted flag list. Prints a
+/// diagnostic and returns `Err(2)` (the usage exit code) on an unknown or
+/// malformed flag.
+fn parse_flags(
+    args: &[String],
+    start: usize,
+    accepted: &[&str],
+    mut flags: Flags,
+) -> Result<Flags, i32> {
+    let mut i = start;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if !accepted.contains(&flag) {
+            eprintln!("unknown flag {flag} (accepted: {})", accepted.join(", "));
+            return Err(2);
+        }
+        match flag {
+            "--pdef" => {
+                i += 1;
+                flags.pdef = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--pdef takes a number, got {:?}", args.get(i));
+                        return Err(2);
+                    }
+                };
+            }
+            "--span" => {
+                i += 1;
+                flags.span = match args.get(i).map(String::as_str) {
+                    Some("none") => None,
+                    Some(s) => match s.parse().ok() {
+                        Some(n) => Some(n),
+                        None => {
+                            eprintln!("--span takes a number or 'none', got {s:?}");
+                            return Err(2);
+                        }
+                    },
+                    None => {
+                        eprintln!("--span takes a number or 'none'");
+                        return Err(2);
+                    }
+                };
+            }
+            "--engine" => {
+                i += 1;
+                match args.get(i).and_then(|s| SelectEngine::parse(s)) {
+                    Some(e) => flags.engine = e,
+                    None => {
+                        eprintln!(
+                            "--engine takes eq8|cover, eq8-reference|reference, node-cover, \
+                             node-cover-reference, coverage, coverage-reference, exhaustive, \
+                             genetic, anneal or random; got {:?}",
+                            args.get(i)
+                        );
+                        return Err(2);
+                    }
+                }
+            }
+            "--trace" => flags.trace = true,
+            "--tp" => flags.tp = true,
+            "--json" => flags.json = true,
+            "--dot" => flags.dot = true,
+            _ => unreachable!("accepted list covers every match arm"),
+        }
+        i += 1;
+    }
+    Ok(flags)
 }
 
 fn cmd_list() -> i32 {
@@ -128,7 +239,8 @@ fn cmd_schedule(args: &[String]) -> i32 {
         eprintln!("usage: mps schedule <workload> <pattern> [pattern...]");
         return 2;
     }
-    let Some(adfg) = load(&args[1]) else { return 2 };
+    let Some(dfg) = load(&args[1]) else { return 2 };
+    let adfg = AnalyzedDfg::new(dfg);
     let Some(patterns) = PatternSet::parse(&args[2..].join(" ")) else {
         eprintln!("could not parse patterns (use lowercase letters, e.g. aabcc)");
         return 2;
@@ -141,124 +253,292 @@ fn cmd_schedule(args: &[String]) -> i32 {
             0
         }
         Err(e) => {
-            eprintln!("scheduling failed: {e}");
+            eprintln!("scheduling failed: {}", MpsError::from(e));
             1
         }
     }
 }
 
-/// Software-pipeline a kernel: select patterns (Eq. 8 or the
-/// throughput-apportioned variant with `--tp`), then find the smallest
-/// initiation interval and print the steady-state reservation table.
-fn cmd_pipeline(args: &[String]) -> i32 {
+fn cmd_select(args: &[String]) -> i32 {
     if args.len() < 2 {
-        eprintln!("usage: mps pipeline <workload> [--pdef N] [--tp]");
+        eprintln!("usage: mps select <workload> [--pdef N] [--span S] [--trace] [--engine E]");
         return 2;
     }
-    let Some(adfg) = load(&args[1]) else { return 2 };
-    let mut pdef = 4usize;
-    let mut tp = false;
-    let mut i = 2;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--pdef" => {
-                i += 1;
-                pdef = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(pdef);
-            }
-            "--tp" => tp = true,
-            other => {
-                eprintln!("unknown flag {other}");
-                return 2;
-            }
-        }
-        i += 1;
-    }
+    let Some(dfg) = load(&args[1]) else { return 2 };
+    let flags = match parse_flags(
+        args,
+        2,
+        &["--pdef", "--span", "--trace", "--engine"],
+        Flags::defaults(Some(1)),
+    ) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
 
-    let patterns = if tp {
-        mps::select::select_for_throughput(&adfg, 5)
-    } else {
-        select_patterns(
-            &adfg,
-            &SelectConfig {
-                pdef,
-                span_limit: Some(2),
+    let sched = ScheduleEngine::List(MultiPatternConfig {
+        record_trace: flags.trace,
+        ..Default::default()
+    });
+    let mut session = Session::with_config(
+        dfg,
+        CompileConfig {
+            select: SelectConfig {
+                pdef: flags.pdef,
+                span_limit: flags.span,
                 ..Default::default()
             },
-        )
-        .patterns
+            engine: flags.engine,
+            schedule: sched,
+            tile: None,
+        },
+    );
+    let result = match session.compile() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
     };
-    println!("patterns: {patterns}");
+    let adfg = session.analyzed_dfg().expect("compile analyzed the graph");
 
-    let flat = match schedule_multi_pattern(&adfg, &patterns, MultiPatternConfig::default()) {
-        Ok(r) => r.schedule,
+    println!("selected patterns: {}", result.selection.patterns);
+    for (i, r) in result.selection.rounds.iter().enumerate() {
+        println!(
+            "  round {}: {{{}}} f={:.2}{}",
+            i + 1,
+            r.chosen,
+            r.priority,
+            if r.fabricated { " (fabricated)" } else { "" }
+        );
+    }
+    if let Some(t) = &result.trace {
+        print!("{}", t.render(adfg, &result.selection.patterns));
+    }
+    print!("{}", result.schedule);
+    let bound = mps::scheduler::bounds::lower_bound(adfg, &result.selection.patterns);
+    println!(
+        "{} cycles (lower bound {bound}), utilization {:.0}%",
+        result.cycles,
+        result
+            .schedule
+            .utilization(session.config().select.capacity)
+            * 100.0
+    );
+    0
+}
+
+/// Software-pipeline a kernel: select patterns (any `--engine`, or the
+/// throughput-apportioned variant with `--tp`), schedule flat for latency
+/// and modulo for throughput, and print the steady-state reservation
+/// table — or, with `--json`, a machine-readable report including the
+/// session's per-stage [`StageMetrics`].
+fn cmd_pipeline(args: &[String]) -> i32 {
+    if args.len() < 2 {
+        eprintln!(
+            "usage: mps pipeline <workload> [--pdef N] [--span S] [--engine E] [--tp] [--json]"
+        );
+        return 2;
+    }
+    let Some(dfg) = load(&args[1]) else { return 2 };
+    let flags = match parse_flags(
+        args,
+        2,
+        &["--pdef", "--span", "--engine", "--tp", "--json"],
+        Flags::defaults(Some(2)),
+    ) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+
+    // `--tp` bypasses the session's selection stage: the throughput
+    // selector is a single-pattern design-space heuristic, not a
+    // candidate-table engine — which also means there are no session
+    // stage metrics to report, so `--json` (whose contract includes
+    // them) is rejected rather than silently degraded to text.
+    if flags.tp {
+        if flags.json {
+            eprintln!("--tp and --json cannot be combined: the throughput selector bypasses the session, so there are no stage metrics to report");
+            return 2;
+        }
+        return pipeline_tp(dfg);
+    }
+
+    let mut session = Session::with_config(
+        dfg,
+        CompileConfig {
+            select: SelectConfig {
+                pdef: flags.pdef,
+                span_limit: flags.span,
+                ..Default::default()
+            },
+            engine: flags.engine,
+            ..Default::default()
+        },
+    );
+    // Two staged chains over one session: the flat (latency) schedule,
+    // then the modulo (throughput) schedule. The second chain re-selects
+    // over the *cached* pattern table — visible in the metrics as a
+    // table_cache_hits bump instead of a second build.
+    let flat = match session.compile() {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("flat scheduling failed: {e}");
             return 1;
         }
     };
-    let piped = match mps::scheduler::schedule_modulo(&adfg, &patterns, Default::default()) {
-        Ok(r) => r,
+    let cfg = session.config().clone();
+    let piped = match session
+        .analyze()
+        .enumerate(cfg.select.span_limit)
+        .select(&cfg.engine)
+        .schedule(&ScheduleEngine::Modulo(ModuloConfig::default()))
+    {
+        Ok(s) => s.finish(),
         Err(e) => {
             eprintln!("modulo scheduling failed: {e}");
             return 1;
         }
     };
-    println!(
-        "latency {} cycles; II = {} (resource bound {}); steady-state speedup {:.2}x",
-        flat.len(),
-        piped.ii,
-        piped.mii,
-        flat.len() as f64 / piped.ii as f64
+    let (ii, mii) = (
+        piped.ii.expect("modulo engine reports ii"),
+        piped.mii.expect("modulo engine reports mii"),
     );
-    for r in 0..piped.ii {
+
+    if flags.json {
+        print_pipeline_json(
+            &args[1],
+            cfg.engine.name(),
+            &flat.selection.patterns,
+            flat.cycles,
+            ii,
+            mii,
+            session.metrics(),
+        );
+        return 0;
+    }
+
+    println!("patterns: {}", flat.selection.patterns);
+    println!(
+        "latency {} cycles; II = {ii} (resource bound {mii}); steady-state speedup {:.2}x",
+        flat.cycles,
+        flat.cycles as f64 / ii as f64
+    );
+    let adfg = session.analyzed_dfg().expect("compile analyzed the graph");
+    let slots = piped.slot_patterns.as_deref().unwrap_or_default();
+    for (r, slot) in slots.iter().enumerate() {
         println!(
-            "  slot {r}: [{}] union bag {{{}}}",
-            piped.slot_patterns[r],
-            piped.slot_bag(&adfg, r)
+            "  slot {r}: [{slot}] union bag {{{}}}",
+            mps::scheduler::modulo_slot_bag(adfg, &piped.schedule, ii, r)
         );
     }
     0
 }
 
+/// The `--tp` variant of `mps pipeline`: one throughput-apportioned
+/// pattern, flat + modulo schedules directly through the engines.
+fn pipeline_tp(dfg: Dfg) -> i32 {
+    let adfg = AnalyzedDfg::new(dfg);
+    let patterns = mps::select::select_for_throughput(&adfg, 5);
+    println!("patterns: {patterns}");
+    let flat = match ScheduleEngine::default().run(&adfg, &patterns) {
+        Ok(r) => r.schedule,
+        Err(e) => {
+            eprintln!("flat scheduling failed: {}", MpsError::from(e));
+            return 1;
+        }
+    };
+    let piped = match ScheduleEngine::Modulo(ModuloConfig::default()).run(&adfg, &patterns) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("modulo scheduling failed: {}", MpsError::from(e));
+            return 1;
+        }
+    };
+    let (ii, mii) = (piped.ii.unwrap(), piped.mii.unwrap());
+    println!(
+        "latency {} cycles; II = {ii} (resource bound {mii}); steady-state speedup {:.2}x",
+        flat.len(),
+        flat.len() as f64 / ii as f64
+    );
+    let slots = piped.slot_patterns.as_deref().unwrap_or_default();
+    for (r, slot) in slots.iter().enumerate() {
+        println!(
+            "  slot {r}: [{slot}] union bag {{{}}}",
+            mps::scheduler::modulo_slot_bag(&adfg, &piped.schedule, ii, r)
+        );
+    }
+    0
+}
+
+/// Machine-readable `mps pipeline --json` report: the compile decisions
+/// plus the session's cumulative per-stage metrics.
+fn print_pipeline_json(
+    workload: &str,
+    engine: &str,
+    patterns: &PatternSet,
+    latency: usize,
+    ii: usize,
+    mii: usize,
+    m: &StageMetrics,
+) {
+    let pats: Vec<String> = patterns.iter().map(|p| format!("\"{p}\"")).collect();
+    // The workload argument may be an arbitrary file path: escape it.
+    // Pattern and engine names come from fixed safe alphabets.
+    let workload: String = workload
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    println!("{{");
+    println!("  \"workload\": \"{workload}\",");
+    println!("  \"engine\": \"{engine}\",");
+    println!("  \"patterns\": [{}],", pats.join(", "));
+    println!("  \"latency_cycles\": {latency},");
+    println!("  \"ii\": {ii},");
+    println!("  \"mii\": {mii},");
+    println!(
+        "  \"steady_state_speedup\": {:.4},",
+        latency as f64 / ii as f64
+    );
+    println!("  \"stage_metrics\": {{");
+    println!("    \"analyze_sec\": {:.6},", m.analyze_sec);
+    println!("    \"enumerate_sec\": {:.6},", m.enumerate_sec);
+    println!("    \"select_sec\": {:.6},", m.select_sec);
+    println!("    \"schedule_sec\": {:.6},", m.schedule_sec);
+    println!("    \"map_tile_sec\": {:.6},", m.map_tile_sec);
+    println!("    \"total_sec\": {:.6},", m.total_sec());
+    println!("    \"antichains\": {},", m.antichains);
+    println!("    \"table_patterns\": {},", m.table_patterns);
+    println!("    \"select_rounds\": {},", m.select_rounds);
+    println!("    \"cycles\": {},", m.cycles);
+    println!("    \"table_builds\": {},", m.table_builds);
+    println!("    \"table_cache_hits\": {}", m.table_cache_hits);
+    println!("  }}");
+    println!("}}");
+}
+
 /// Print a workload's candidate patterns (§5.1) with antichain counts,
 /// plus the subpattern lattice summary; `--dot` emits the Hasse diagram.
+/// Runs on the session's enumerate stage.
 fn cmd_patterns(args: &[String]) -> i32 {
     if args.len() < 2 {
         eprintln!("usage: mps patterns <workload> [--span S] [--dot]");
         return 2;
     }
-    let Some(adfg) = load(&args[1]) else { return 2 };
-    let mut span: Option<u32> = Some(1);
-    let mut dot = false;
-    let mut i = 2;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--span" => {
-                i += 1;
-                span = match args.get(i).map(String::as_str) {
-                    Some("none") => None,
-                    Some(s) => s.parse().ok(),
-                    None => span,
-                };
-            }
-            "--dot" => dot = true,
-            other => {
-                eprintln!("unknown flag {other}");
-                return 2;
-            }
-        }
-        i += 1;
-    }
+    let Some(dfg) = load(&args[1]) else { return 2 };
+    let flags = match parse_flags(args, 2, &["--span", "--dot"], Flags::defaults(Some(1))) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
 
-    let table = mps::patterns::PatternTable::build(
-        &adfg,
-        mps::patterns::EnumerateConfig {
-            span_limit: span,
-            ..Default::default()
-        },
-    );
+    let mut session = Session::new(dfg);
+    let enumerated = session.analyze().enumerate(flags.span);
+    let table = enumerated.table();
     let lattice = mps::patterns::SubpatternLattice::build(table.iter().map(|s| s.pattern));
-    if dot {
+    if flags.dot {
         print!("{}", lattice.to_dot("candidate subpattern lattice"));
         return 0;
     }
@@ -267,7 +547,7 @@ fn cmd_patterns(args: &[String]) -> i32 {
         "{} candidate patterns ({} antichains total, span limit {:?}):",
         table.len(),
         table.total_antichains(),
-        span
+        flags.span
     );
     let maximal = lattice.maximal();
     let mut stats: Vec<_> = table.iter().collect();
@@ -296,101 +576,4 @@ fn cmd_patterns(args: &[String]) -> i32 {
         lattice.height()
     );
     0
-}
-
-fn cmd_select(args: &[String]) -> i32 {
-    if args.len() < 2 {
-        eprintln!("usage: mps select <workload> [--pdef N] [--span S] [--trace] [--engine E]");
-        return 2;
-    }
-    let Some(adfg) = load(&args[1]) else { return 2 };
-    let mut pdef = 4usize;
-    let mut span: Option<u32> = Some(1);
-    let mut trace = false;
-    let mut reference = false;
-    let mut i = 2;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--pdef" => {
-                i += 1;
-                pdef = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(pdef);
-            }
-            "--span" => {
-                i += 1;
-                span = match args.get(i).map(String::as_str) {
-                    Some("none") => None,
-                    Some(s) => s.parse().ok(),
-                    None => span,
-                };
-            }
-            "--trace" => trace = true,
-            // `cover` (default) runs §5.2 on the CoverMatrix engine;
-            // `reference` runs the retained full-rescore oracle — the two
-            // are decision-identical, so this is an A/B switch for timing
-            // and for confidence-checking a surprising selection.
-            "--engine" => {
-                i += 1;
-                match args.get(i).map(String::as_str) {
-                    Some("cover") => reference = false,
-                    Some("reference") => reference = true,
-                    other => {
-                        eprintln!("--engine takes 'cover' or 'reference', got {other:?}");
-                        return 2;
-                    }
-                }
-            }
-            other => {
-                eprintln!("unknown flag {other}");
-                return 2;
-            }
-        }
-        i += 1;
-    }
-
-    let cfg = PipelineConfig {
-        select: SelectConfig {
-            pdef,
-            span_limit: span,
-            ..Default::default()
-        },
-        sched: MultiPatternConfig {
-            record_trace: trace,
-            ..Default::default()
-        },
-    };
-    let selection = if reference {
-        let table = mps::patterns::PatternTable::build(&adfg, cfg.select.enumerate_config());
-        mps::select::select_from_table_reference(&adfg, &table, &cfg.select)
-    } else {
-        select_patterns(&adfg, &cfg.select)
-    };
-    println!("selected patterns: {}", selection.patterns);
-    for (i, r) in selection.rounds.iter().enumerate() {
-        println!(
-            "  round {}: {{{}}} f={:.2}{}",
-            i + 1,
-            r.chosen,
-            r.priority,
-            if r.fabricated { " (fabricated)" } else { "" }
-        );
-    }
-    match schedule_multi_pattern(&adfg, &selection.patterns, cfg.sched) {
-        Ok(r) => {
-            if let Some(t) = &r.trace {
-                print!("{}", t.render(&adfg, &selection.patterns));
-            }
-            print!("{}", r.schedule);
-            let bound = mps::scheduler::bounds::lower_bound(&adfg, &selection.patterns);
-            println!(
-                "{} cycles (lower bound {bound}), utilization {:.0}%",
-                r.schedule.len(),
-                r.schedule.utilization(cfg.select.capacity) * 100.0
-            );
-            0
-        }
-        Err(e) => {
-            eprintln!("scheduling failed: {e}");
-            1
-        }
-    }
 }

@@ -1,0 +1,156 @@
+//! The facade's unified error type: every failure a staged compile can
+//! produce, wrapped with stage provenance.
+//!
+//! The member crates each keep their own focused error enums
+//! ([`DfgError`], [`ParseError`], [`ScheduleError`], [`MontiumError`]);
+//! [`MpsError`] wraps them so code driving the whole pipeline — the
+//! [`crate::Session`] stages, `compile_batch`, the CLI — can use one
+//! `Result` type end to end. `From` impls make `?` work on every member
+//! result, [`MpsError::stage`] names the pipeline stage that failed, and
+//! [`std::error::Error::source`] exposes the wrapped error for callers
+//! that match on the concrete cause.
+
+use mps_dfg::{DfgError, ParseError};
+use mps_montium::MontiumError;
+use mps_scheduler::ScheduleError;
+use std::fmt;
+
+/// The pipeline stage a failure originated in (see [`MpsError::stage`]).
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Graph construction, parsing, or DFG analysis.
+    Analyze,
+    /// Antichain enumeration / pattern-table construction.
+    Enumerate,
+    /// Pattern selection.
+    Select,
+    /// Scheduling.
+    Schedule,
+    /// Tile mapping / cycle-accurate replay.
+    MapTile,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Stage::Analyze => "analyze",
+            Stage::Enumerate => "enumerate",
+            Stage::Select => "select",
+            Stage::Schedule => "schedule",
+            Stage::MapTile => "map-tile",
+        })
+    }
+}
+
+/// Any failure of the staged compilation pipeline.
+///
+/// Marked `#[non_exhaustive]`: future stages may add variants without a
+/// breaking change, so downstream `match`es need a catch-all arm.
+#[non_exhaustive]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MpsError {
+    /// Building a graph failed (unknown node, self-loop, cycle, duplicate
+    /// edge) — the analyze stage.
+    Dfg(DfgError),
+    /// Parsing a graph from the text format failed — the analyze stage.
+    Parse(ParseError),
+    /// A scheduling engine failed (empty or non-covering pattern set, no
+    /// feasible initiation interval, validation) — the schedule stage.
+    Schedule(ScheduleError),
+    /// Mapping or replaying a schedule on the tile failed (configuration
+    /// store overflow, pattern wider than the tile, operand not ready) —
+    /// the map-tile stage.
+    Montium(MontiumError),
+}
+
+impl MpsError {
+    /// The pipeline stage the wrapped failure originated in.
+    pub fn stage(&self) -> Stage {
+        match self {
+            MpsError::Dfg(_) | MpsError::Parse(_) => Stage::Analyze,
+            MpsError::Schedule(_) => Stage::Schedule,
+            MpsError::Montium(_) => Stage::MapTile,
+        }
+    }
+}
+
+impl fmt::Display for MpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} stage: ", self.stage())?;
+        match self {
+            MpsError::Dfg(e) => e.fmt(f),
+            MpsError::Parse(e) => e.fmt(f),
+            MpsError::Schedule(e) => e.fmt(f),
+            MpsError::Montium(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for MpsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MpsError::Dfg(e) => Some(e),
+            MpsError::Parse(e) => Some(e),
+            MpsError::Schedule(e) => Some(e),
+            MpsError::Montium(e) => Some(e),
+        }
+    }
+}
+
+impl From<DfgError> for MpsError {
+    fn from(e: DfgError) -> MpsError {
+        MpsError::Dfg(e)
+    }
+}
+
+impl From<ParseError> for MpsError {
+    fn from(e: ParseError) -> MpsError {
+        MpsError::Parse(e)
+    }
+}
+
+impl From<ScheduleError> for MpsError {
+    fn from(e: ScheduleError) -> MpsError {
+        MpsError::Schedule(e)
+    }
+}
+
+impl From<MontiumError> for MpsError {
+    fn from(e: MontiumError) -> MpsError {
+        MpsError::Montium(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn stage_provenance_and_display() {
+        let e: MpsError = ScheduleError::NoPatterns.into();
+        assert_eq!(e.stage(), Stage::Schedule);
+        let msg = e.to_string();
+        assert!(msg.starts_with("schedule stage:"), "{msg}");
+        assert!(msg.contains("empty pattern set"), "{msg}");
+
+        let e: MpsError = DfgError::SelfLoop(mps_dfg::NodeId(3)).into();
+        assert_eq!(e.stage(), Stage::Analyze);
+        assert!(e.to_string().starts_with("analyze stage:"));
+
+        let e: MpsError = MontiumError::SlotOverflow { cycle: 2 }.into();
+        assert_eq!(e.stage(), Stage::MapTile);
+        assert!(e.to_string().starts_with("map-tile stage:"));
+    }
+
+    #[test]
+    fn source_chains_to_the_wrapped_error() {
+        let e: MpsError = ScheduleError::NoPatterns.into();
+        let src = e.source().expect("wrapped source");
+        assert_eq!(src.to_string(), ScheduleError::NoPatterns.to_string());
+        let e: MpsError = mps_dfg::parse_text("garbage line").unwrap_err().into();
+        assert_eq!(e.stage(), Stage::Analyze);
+        assert!(e.source().is_some());
+    }
+}

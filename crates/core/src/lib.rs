@@ -14,32 +14,45 @@
 //! | [`workloads`] | `mps-workloads` | the paper's Fig. 2/Fig. 4 graphs, DFT/FIR/IIR/DCT/matmul generators |
 //! | [`par`] | `mps-par` | crossbeam-based parallel-map substrate |
 //!
+//! The top-level API is [`Session`]: a staged compiler over one graph,
+//! with typed stage artifacts, a cached pattern table per span/policy,
+//! pluggable [`SelectEngine`]/[`ScheduleEngine`] strategies, one
+//! [`MpsError`] for every failure, and batch fan-out via
+//! [`Session::compile_batch`].
+//!
 //! # Quickstart
 //!
 //! ```
 //! use mps::prelude::*;
 //!
-//! // The paper's 3DFT graph (Fig. 2).
-//! let adfg = AnalyzedDfg::new(mps::workloads::fig2());
-//!
-//! // Select 4 patterns with the paper's algorithm (ε = 0.5, α = 20)…
-//! let cfg = PipelineConfig {
-//!     select: SelectConfig::with_pdef(4),
-//!     sched: MultiPatternConfig::default(),
-//! };
-//! let result = select_and_schedule(&adfg, &cfg).unwrap();
-//!
-//! // …and replay the schedule on a Montium tile.
-//! let report = mps::montium::execute(
-//!     &adfg,
-//!     &result.schedule,
-//!     &result.selection.patterns,
-//!     mps::montium::TileParams::default(),
-//! )
-//! .unwrap();
-//! assert_eq!(report.bindings.len(), 24);
+//! // A staged compile of the paper's 3DFT graph (Fig. 2): enumerate
+//! // span-limited antichains, select 4 patterns with the paper's Eq. 8
+//! // algorithm (ε = 0.5, α = 20), list-schedule, replay on a tile.
+//! let mut session = Session::new(mps::workloads::fig2());
+//! let result = session
+//!     .analyze()
+//!     .enumerate(None)
+//!     .select(&SelectEngine::Eq8)
+//!     .schedule(&ScheduleEngine::default())
+//!     .unwrap()
+//!     .map_tile(mps::montium::TileParams::default())
+//!     .unwrap()
+//!     .finish();
+//! assert_eq!(result.exec.as_ref().unwrap().bindings.len(), 24);
 //! assert!(result.cycles >= 5, "critical path of the 3DFT is 5 cycles");
+//!
+//! // Re-selecting over the same graph reuses the cached pattern table —
+//! // the expensive stage — which the metrics make observable.
+//! let again = session.compile().unwrap();
+//! assert_eq!(again.cycles, result.cycles);
+//! assert_eq!(session.metrics().table_builds, 1);
+//! assert_eq!(session.metrics().table_cache_hits, 1);
 //! ```
+//!
+//! The one-shot [`mps_select::select_and_schedule`] free function remains
+//! as a thin wrapper over the same pipeline for callers that need exactly
+//! one compile; [`Session`]-driven compiles are decision-identical to it
+//! (pinned by the `integration_session` suite).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,8 +65,22 @@ pub use mps_scheduler as scheduler;
 pub use mps_select as select;
 pub use mps_workloads as workloads;
 
+mod error;
+mod session;
+
+pub use error::{MpsError, Stage};
+pub use mps_scheduler::ScheduleEngine;
+pub use mps_select::SelectEngine;
+pub use session::{
+    Analysis, CompileConfig, CompileResult, Enumerated, Mapped, Scheduled, Selected, Session,
+    StageMetrics,
+};
+
 /// The most common imports in one place.
 pub mod prelude {
+    pub use crate::{
+        CompileConfig, CompileResult, MpsError, Session, Stage as MpsStage, StageMetrics,
+    };
     pub use mps_dfg::{
         AnalyzedDfg, Color, ColorSet, Dfg, DfgBuilder, Levels, NodeId, Reachability,
     };
@@ -62,10 +89,12 @@ pub mod prelude {
         PatternId, PatternSet, PatternTable,
     };
     pub use mps_scheduler::{
-        schedule_multi_pattern, MultiPatternConfig, PatternPriority, Schedule, TieBreak,
+        schedule_multi_pattern, MultiPatternConfig, PatternPriority, Schedule, ScheduleEngine,
+        TieBreak,
     };
     pub use mps_select::{
         random_baseline, select_and_schedule, select_patterns, PipelineConfig, SelectConfig,
+        SelectEngine,
     };
 }
 

@@ -1,0 +1,660 @@
+//! The staged compiler session: one graph, typed stage artifacts, cached
+//! pattern tables, pluggable engines, batch fan-out.
+//!
+//! [`Session`] is the top-level API of the reproduction-turned-compiler.
+//! Where [`mps_select::select_and_schedule`] runs the paper's pipeline
+//! once, front to back, a session exposes the pipeline as **stages** —
+//!
+//! ```text
+//! Session::new(dfg) → .analyze() → .enumerate(span) → .select(engine)
+//!                   → .schedule(engine) → .map_tile(params) → .finish()
+//! ```
+//!
+//! — each returning a typed artifact ([`Analysis`], [`Enumerated`],
+//! [`Selected`], [`Scheduled`], [`Mapped`]) that borrows the session, so
+//! stages can only run in order and intermediate results are inspectable
+//! at every step. The session caches each [`PatternTable`] it builds,
+//! keyed by span limit + capacity + worker policy: the dominant cost of a
+//! compile is the §5.1 enumeration, and repeated selects over the same
+//! graph (`Pdef` sweeps, engine comparisons, re-serving a hot kernel)
+//! skip it entirely — [`StageMetrics::table_cache_hits`] counts exactly
+//! when.
+//!
+//! [`Session::compile`] runs all stages per the session's
+//! [`CompileConfig`]; [`Session::compile_batch`] fans whole compiles over
+//! the [`mps_par`] substrate, one [`CompileResult`] (with per-stage wall
+//! times and counters) per input graph. Every failure anywhere in a
+//! session is one error type, [`MpsError`], tagged with its stage.
+
+use crate::error::MpsError;
+use mps_dfg::{AnalyzedDfg, Dfg};
+use mps_montium::{execute, ExecReport, TileParams};
+use mps_patterns::{EnumerateConfig, PatternSet, PatternTable};
+use mps_scheduler::{EngineSchedule, Schedule, ScheduleEngine, ScheduleTrace};
+use mps_select::{SelectConfig, SelectEngine, SelectionOutcome};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of a whole staged compile: selection parameters, the two
+/// engine choices, and the optional tile-replay stage.
+///
+/// The default is the paper's flow — Eq. 8 selection (cover engine), the
+/// Fig. 3 list scheduler, paper constants, no tile replay.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct CompileConfig {
+    /// Selection parameters (`Pdef`, capacity, span limit, Eq. 8
+    /// constants, parallelism policy). The span limit doubles as the
+    /// enumeration span of [`Session::compile`].
+    pub select: SelectConfig,
+    /// The pattern-selection strategy.
+    pub engine: SelectEngine,
+    /// The scheduling strategy.
+    pub schedule: ScheduleEngine,
+    /// When set, [`Session::compile`] finishes with a cycle-accurate
+    /// replay on this tile ([`CompileResult::exec`]).
+    pub tile: Option<TileParams>,
+}
+
+/// Per-compile instrumentation: wall time per stage plus the counters
+/// that describe what the stages did.
+///
+/// Each stage artifact carries the metrics of its own chain (returned in
+/// [`CompileResult::metrics`]); the [`Session`] additionally accumulates
+/// every chain into [`Session::metrics`], which is how the table cache
+/// is observable: a re-select over a cached table bumps
+/// [`StageMetrics::table_cache_hits`] instead of
+/// [`StageMetrics::table_builds`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StageMetrics {
+    /// Wall time of DFG analysis (ASAP/ALAP/height, reachability).
+    pub analyze_sec: f64,
+    /// Wall time of antichain enumeration + classification (zero when
+    /// the table came from the session cache).
+    pub enumerate_sec: f64,
+    /// Wall time of pattern selection.
+    pub select_sec: f64,
+    /// Wall time of scheduling.
+    pub schedule_sec: f64,
+    /// Wall time of tile mapping/replay.
+    pub map_tile_sec: f64,
+    /// Antichains classified into the (most recent) pattern table.
+    pub antichains: u64,
+    /// Distinct candidate patterns in the (most recent) table.
+    pub table_patterns: usize,
+    /// Selection rounds recorded by the (most recent) engine run.
+    pub select_rounds: usize,
+    /// Schedule length of the (most recent) schedule stage, in cycles.
+    pub cycles: usize,
+    /// Pattern tables built (cache misses).
+    pub table_builds: usize,
+    /// Enumerate stages served from the session's table cache.
+    pub table_cache_hits: usize,
+}
+
+impl StageMetrics {
+    /// Total wall time across all stages.
+    pub fn total_sec(&self) -> f64 {
+        self.analyze_sec
+            + self.enumerate_sec
+            + self.select_sec
+            + self.schedule_sec
+            + self.map_tile_sec
+    }
+}
+
+/// Cache key of one pattern table: everything
+/// [`PatternTable::build`]'s output depends on besides the graph. The
+/// worker policy is part of the key only to keep timing comparisons
+/// honest — parallel and sequential builds are bit-identical (the
+/// `prop_table` suite pins that), but a cached parallel table answering
+/// a sequential request would skew any measurement of the two paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct TableKey {
+    capacity: usize,
+    span: Option<u32>,
+    parallel: bool,
+}
+
+/// A staged, batch-capable compiler session over one data-flow graph.
+///
+/// See the crate-root quickstart for the stage flow. A session is cheap to
+/// create; everything expensive (analysis, each distinct pattern table)
+/// is computed once on first use and reused for the session's lifetime.
+///
+/// ```
+/// use mps::prelude::*;
+///
+/// let mut session = Session::new(mps::workloads::fig4());
+/// let result = session.compile().unwrap();
+/// assert_eq!(result.cycles, 3);
+/// // A second compile reuses the cached pattern table.
+/// let again = session.compile().unwrap();
+/// assert_eq!(again.cycles, 3);
+/// assert_eq!(session.metrics().table_builds, 1);
+/// assert_eq!(session.metrics().table_cache_hits, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Session {
+    /// The graph, pre-analysis (`None` once analyzed).
+    dfg: Option<Dfg>,
+    /// The analyzed graph (`None` until [`Session::analyze`]).
+    adfg: Option<AnalyzedDfg>,
+    cfg: CompileConfig,
+    /// Cached tables; a handful of entries at most, so a linear scan
+    /// beats hashing the key.
+    tables: Vec<(TableKey, Arc<PatternTable>)>,
+    metrics: StageMetrics,
+}
+
+impl Session {
+    /// A session over `dfg` with the default [`CompileConfig`] (the
+    /// paper's flow and constants).
+    pub fn new(dfg: Dfg) -> Session {
+        Session::with_config(dfg, CompileConfig::default())
+    }
+
+    /// A session over `dfg` with an explicit configuration.
+    pub fn with_config(dfg: Dfg, cfg: CompileConfig) -> Session {
+        Session {
+            dfg: Some(dfg),
+            adfg: None,
+            cfg,
+            tables: Vec::new(),
+            metrics: StageMetrics::default(),
+        }
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &CompileConfig {
+        &self.cfg
+    }
+
+    /// Replace the session's configuration. The analysis and every cached
+    /// table survive — they depend only on the graph (and, per table, on
+    /// the key parameters), so e.g. sweeping `Pdef` or switching engines
+    /// keeps the expensive artifacts.
+    pub fn set_config(&mut self, cfg: CompileConfig) {
+        self.cfg = cfg;
+    }
+
+    /// Cumulative metrics across every stage chain this session ran.
+    pub fn metrics(&self) -> &StageMetrics {
+        &self.metrics
+    }
+
+    /// Number of distinct pattern tables currently cached.
+    pub fn cached_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The analyzed graph, once [`Session::analyze`] has run.
+    pub fn analyzed_dfg(&self) -> Option<&AnalyzedDfg> {
+        self.adfg.as_ref()
+    }
+
+    /// Run (or re-enter) the analysis stage: ASAP/ALAP/height levels and
+    /// reachability. Idempotent — the analysis is computed once and
+    /// reused by every later chain.
+    pub fn analyze(&mut self) -> Analysis<'_> {
+        let mut metrics = StageMetrics::default();
+        if self.adfg.is_none() {
+            let t0 = Instant::now();
+            let dfg = self.dfg.take().expect("unanalyzed session holds its graph");
+            self.adfg = Some(AnalyzedDfg::new(dfg));
+            let dt = t0.elapsed().as_secs_f64();
+            metrics.analyze_sec += dt;
+            self.metrics.analyze_sec += dt;
+        }
+        Analysis {
+            session: self,
+            metrics,
+        }
+    }
+
+    /// Run the full staged pipeline per [`Session::config`]: analyze →
+    /// enumerate (at the config's span limit) → select → schedule →
+    /// optionally map onto the configured tile.
+    pub fn compile(&mut self) -> Result<CompileResult, MpsError> {
+        let cfg = self.cfg.clone();
+        let scheduled = self
+            .analyze()
+            .enumerate(cfg.select.span_limit)
+            .select(&cfg.engine)
+            .schedule(&cfg.schedule)?;
+        match cfg.tile {
+            Some(tile) => Ok(scheduled.map_tile(tile)?.finish()),
+            None => Ok(scheduled.finish()),
+        }
+    }
+
+    /// Compile every graph of a batch, fanning whole compiles out over
+    /// [`mps_par::par_map`] — the serving shape: many independent kernels,
+    /// one result (with per-item [`StageMetrics`]) each.
+    ///
+    /// Per-item *internal* parallelism is disabled (`select.parallel =
+    /// false` in each item's config): with the fan-out across graphs
+    /// already saturating the workers, nested thread pools only add spawn
+    /// cost. Decisions are unaffected — the parallel and sequential paths
+    /// of every stage are decision-identical (property-tested).
+    pub fn compile_batch(
+        dfgs: &[Dfg],
+        cfg: &CompileConfig,
+    ) -> Vec<Result<CompileResult, MpsError>> {
+        Self::compile_batch_in(mps_par::parallelism(), dfgs, cfg)
+    }
+
+    /// [`Session::compile_batch`] with an explicit worker count (`0` and
+    /// `1` both mean a sequential loop), for deterministic scaling
+    /// measurements.
+    pub fn compile_batch_in(
+        workers: usize,
+        dfgs: &[Dfg],
+        cfg: &CompileConfig,
+    ) -> Vec<Result<CompileResult, MpsError>> {
+        let item_cfg = CompileConfig {
+            select: SelectConfig {
+                parallel: false,
+                ..cfg.select
+            },
+            ..cfg.clone()
+        };
+        mps_par::par_map_in(workers, dfgs, |dfg| {
+            Session::with_config(dfg.clone(), item_cfg.clone()).compile()
+        })
+    }
+
+    /// The analyzed graph, if [`Session::analyze`] has run.
+    fn analyzed(&self) -> &AnalyzedDfg {
+        self.adfg.as_ref().expect("stage artifacts imply analysis")
+    }
+}
+
+/// Stage artifact: the analyzed graph (levels, reachability, spans).
+/// Produced by [`Session::analyze`].
+#[derive(Debug)]
+pub struct Analysis<'s> {
+    session: &'s mut Session,
+    metrics: StageMetrics,
+}
+
+impl<'s> Analysis<'s> {
+    /// The analyzed graph.
+    pub fn adfg(&self) -> &AnalyzedDfg {
+        self.session.analyzed()
+    }
+
+    /// Run the enumeration stage: build the span-limited §5.1 pattern
+    /// table (antichain classification with `h(p̄, n)` frequencies) — or
+    /// reuse the session's cached table for this `(capacity, span,
+    /// worker-policy)` key, which skips the pipeline's dominant cost.
+    pub fn enumerate(self, span: Option<u32>) -> Enumerated<'s> {
+        let Analysis {
+            session,
+            mut metrics,
+        } = self;
+        let key = TableKey {
+            capacity: session.cfg.select.capacity,
+            span,
+            parallel: session.cfg.select.parallel,
+        };
+        let table = match session.tables.iter().find(|(k, _)| *k == key) {
+            Some((_, table)) => {
+                metrics.table_cache_hits += 1;
+                session.metrics.table_cache_hits += 1;
+                Arc::clone(table)
+            }
+            None => {
+                let ecfg = EnumerateConfig {
+                    capacity: key.capacity,
+                    span_limit: key.span,
+                    parallel: key.parallel,
+                };
+                let t0 = Instant::now();
+                let table = Arc::new(PatternTable::build(session.analyzed(), ecfg));
+                let dt = t0.elapsed().as_secs_f64();
+                metrics.enumerate_sec += dt;
+                metrics.table_builds += 1;
+                session.metrics.enumerate_sec += dt;
+                session.metrics.table_builds += 1;
+                session.tables.push((key, Arc::clone(&table)));
+                table
+            }
+        };
+        metrics.antichains = table.total_antichains();
+        metrics.table_patterns = table.len();
+        session.metrics.antichains = metrics.antichains;
+        session.metrics.table_patterns = metrics.table_patterns;
+        Enumerated {
+            session,
+            metrics,
+            span,
+            table,
+        }
+    }
+}
+
+/// Stage artifact: the pattern table of one `(span, policy)` key.
+/// Produced by [`Analysis::enumerate`].
+#[derive(Debug)]
+pub struct Enumerated<'s> {
+    session: &'s mut Session,
+    metrics: StageMetrics,
+    span: Option<u32>,
+    table: Arc<PatternTable>,
+}
+
+impl<'s> Enumerated<'s> {
+    /// The pattern table this stage produced (or fetched from cache).
+    pub fn table(&self) -> &PatternTable {
+        &self.table
+    }
+
+    /// Run the selection stage with the given engine (Eq. 8 by default;
+    /// see [`SelectEngine`] for the full roster).
+    pub fn select(self, engine: &SelectEngine) -> Selected<'s> {
+        let Enumerated {
+            session,
+            mut metrics,
+            span,
+            table,
+        } = self;
+        let scfg = SelectConfig {
+            span_limit: span,
+            ..session.cfg.select
+        };
+        let sched = session.cfg.schedule.eval_config();
+        let t0 = Instant::now();
+        let selection = engine.run(session.analyzed(), &table, &scfg, sched);
+        let dt = t0.elapsed().as_secs_f64();
+        metrics.select_sec += dt;
+        metrics.select_rounds = selection.rounds.len();
+        session.metrics.select_sec += dt;
+        session.metrics.select_rounds = selection.rounds.len();
+        Selected {
+            session,
+            metrics,
+            selection,
+        }
+    }
+}
+
+/// Stage artifact: the selected pattern set (with per-round details for
+/// the engines that record them). Produced by [`Enumerated::select`].
+#[derive(Debug)]
+pub struct Selected<'s> {
+    session: &'s mut Session,
+    metrics: StageMetrics,
+    selection: SelectionOutcome,
+}
+
+impl<'s> Selected<'s> {
+    /// The selection outcome (patterns + rounds).
+    pub fn selection(&self) -> &SelectionOutcome {
+        &self.selection
+    }
+
+    /// The selected patterns.
+    pub fn patterns(&self) -> &PatternSet {
+        &self.selection.patterns
+    }
+
+    /// Run the scheduling stage with the given engine (the Fig. 3 list
+    /// scheduler by default; see [`ScheduleEngine`] for the roster).
+    pub fn schedule(self, engine: &ScheduleEngine) -> Result<Scheduled<'s>, MpsError> {
+        let Selected {
+            session,
+            mut metrics,
+            selection,
+        } = self;
+        let t0 = Instant::now();
+        let result = engine.run(session.analyzed(), &selection.patterns);
+        let dt = t0.elapsed().as_secs_f64();
+        metrics.schedule_sec += dt;
+        session.metrics.schedule_sec += dt;
+        let scheduled = result?;
+        metrics.cycles = scheduled.schedule.len();
+        session.metrics.cycles = metrics.cycles;
+        Ok(Scheduled {
+            session,
+            metrics,
+            selection,
+            scheduled,
+        })
+    }
+}
+
+/// Stage artifact: the schedule (plus engine extras — initiation
+/// interval, reconfiguration count). Produced by [`Selected::schedule`].
+#[derive(Debug)]
+pub struct Scheduled<'s> {
+    session: &'s mut Session,
+    metrics: StageMetrics,
+    selection: SelectionOutcome,
+    scheduled: EngineSchedule,
+}
+
+impl<'s> Scheduled<'s> {
+    /// The schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.scheduled.schedule
+    }
+
+    /// The selection that produced this schedule.
+    pub fn selection(&self) -> &SelectionOutcome {
+        &self.selection
+    }
+
+    /// Schedule length in cycles (the paper's metric).
+    pub fn cycles(&self) -> usize {
+        self.scheduled.schedule.len()
+    }
+
+    /// Run the tile-mapping stage: cycle-accurate replay of the schedule
+    /// on a Montium tile with the given parameters.
+    pub fn map_tile(self, params: TileParams) -> Result<Mapped<'s>, MpsError> {
+        let Scheduled {
+            session,
+            mut metrics,
+            selection,
+            scheduled,
+        } = self;
+        let t0 = Instant::now();
+        let result = execute(
+            session.analyzed(),
+            &scheduled.schedule,
+            &selection.patterns,
+            params,
+        );
+        let dt = t0.elapsed().as_secs_f64();
+        metrics.map_tile_sec += dt;
+        session.metrics.map_tile_sec += dt;
+        let report = result?;
+        Ok(Mapped {
+            _session: session,
+            metrics,
+            selection,
+            scheduled,
+            report,
+        })
+    }
+
+    /// Finish the chain without a tile stage.
+    pub fn finish(self) -> CompileResult {
+        CompileResult {
+            selection: self.selection,
+            cycles: self.scheduled.schedule.len(),
+            schedule: self.scheduled.schedule,
+            trace: self.scheduled.trace,
+            ii: self.scheduled.ii,
+            mii: self.scheduled.mii,
+            slot_patterns: self.scheduled.slot_patterns,
+            switches: self.scheduled.switches,
+            exec: None,
+            metrics: self.metrics,
+        }
+    }
+}
+
+/// Stage artifact: the tile replay report. Produced by
+/// [`Scheduled::map_tile`].
+#[derive(Debug)]
+pub struct Mapped<'s> {
+    _session: &'s mut Session,
+    metrics: StageMetrics,
+    selection: SelectionOutcome,
+    scheduled: EngineSchedule,
+    report: ExecReport,
+}
+
+impl Mapped<'_> {
+    /// The replay report (utilization, per-ALU busy counts,
+    /// configuration loads, bindings).
+    pub fn report(&self) -> &ExecReport {
+        &self.report
+    }
+
+    /// Finish the chain.
+    pub fn finish(self) -> CompileResult {
+        CompileResult {
+            selection: self.selection,
+            cycles: self.scheduled.schedule.len(),
+            schedule: self.scheduled.schedule,
+            trace: self.scheduled.trace,
+            ii: self.scheduled.ii,
+            mii: self.scheduled.mii,
+            slot_patterns: self.scheduled.slot_patterns,
+            switches: self.scheduled.switches,
+            exec: Some(self.report),
+            metrics: self.metrics,
+        }
+    }
+}
+
+/// Everything one staged compile produced.
+#[derive(Clone, Debug)]
+pub struct CompileResult {
+    /// The selection outcome (patterns + per-round details).
+    pub selection: SelectionOutcome,
+    /// The schedule.
+    pub schedule: Schedule,
+    /// Schedule length in cycles.
+    pub cycles: usize,
+    /// Per-cycle trace, when the list scheduler recorded one.
+    pub trace: Option<ScheduleTrace>,
+    /// Achieved initiation interval (modulo scheduling only).
+    pub ii: Option<usize>,
+    /// The pre-search lower bound on the interval (modulo only).
+    pub mii: Option<usize>,
+    /// Steady-state slot patterns (modulo only).
+    pub slot_patterns: Option<Vec<mps_patterns::Pattern>>,
+    /// Pattern reconfigurations (switch-aware scheduling only).
+    pub switches: Option<usize>,
+    /// Tile replay report, when the compile mapped onto a tile.
+    pub exec: Option<ExecReport>,
+    /// Per-stage wall times and counters of this compile.
+    pub metrics: StageMetrics,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_select::{select_and_schedule, PipelineConfig};
+    use mps_workloads::{fig2, fig4};
+
+    #[test]
+    fn staged_chain_matches_one_shot_pipeline() {
+        let mut session = Session::new(fig2());
+        let result = session.compile().unwrap();
+        let reference =
+            select_and_schedule(&AnalyzedDfg::new(fig2()), &PipelineConfig::default()).unwrap();
+        assert_eq!(result.selection, reference.selection);
+        assert_eq!(result.schedule, reference.schedule);
+        assert_eq!(result.cycles, reference.cycles);
+    }
+
+    #[test]
+    fn cache_hits_are_observable_and_bit_identical() {
+        let mut session = Session::new(fig2());
+        let cold = session.compile().unwrap();
+        assert_eq!(cold.metrics.table_builds, 1);
+        assert_eq!(cold.metrics.table_cache_hits, 0);
+        assert!(cold.metrics.enumerate_sec > 0.0);
+        let warm = session.compile().unwrap();
+        assert_eq!(warm.metrics.table_builds, 0);
+        assert_eq!(warm.metrics.table_cache_hits, 1);
+        assert_eq!(warm.selection, cold.selection);
+        assert_eq!(warm.schedule, cold.schedule);
+        assert_eq!(session.metrics().table_builds, 1);
+        assert_eq!(session.metrics().table_cache_hits, 1);
+        assert_eq!(session.cached_tables(), 1);
+        // A different span is a different key: a new build, not a hit.
+        let other = session.analyze().enumerate(Some(1));
+        assert!(other.table().len() <= session_table_len(&mut Session::new(fig2())));
+        assert_eq!(session.cached_tables(), 2);
+    }
+
+    fn session_table_len(session: &mut Session) -> usize {
+        session.analyze().enumerate(None).table().len()
+    }
+
+    #[test]
+    fn stage_artifacts_expose_intermediates() {
+        let mut session = Session::new(fig4());
+        let analysis = session.analyze();
+        assert_eq!(analysis.adfg().len(), 5);
+        let enumerated = analysis.enumerate(None);
+        assert_eq!(
+            enumerated.table().len(),
+            4,
+            "Fig. 4: {{a}},{{b}},{{aa}},{{bb}}"
+        );
+        assert_eq!(enumerated.table().total_antichains(), 8);
+        let selected = enumerated.select(&SelectEngine::Eq8);
+        assert_eq!(selected.patterns().len(), 2, "{{aa}}, {{bb}}");
+        let scheduled = selected.schedule(&ScheduleEngine::default()).unwrap();
+        assert_eq!(scheduled.cycles(), 3);
+        let mapped = scheduled.map_tile(TileParams::default()).unwrap();
+        assert_eq!(mapped.report().cycles, 3);
+        let result = mapped.finish();
+        assert!(result.exec.is_some());
+        assert!(result.metrics.total_sec() > 0.0);
+    }
+
+    #[test]
+    fn tile_errors_carry_map_tile_stage() {
+        let mut session = Session::with_config(
+            fig4(),
+            CompileConfig {
+                tile: Some(TileParams::with_alus(1)),
+                ..Default::default()
+            },
+        );
+        let err = session.compile().unwrap_err();
+        assert_eq!(err.stage(), crate::error::Stage::MapTile);
+    }
+
+    #[test]
+    fn batch_matches_sequential_compiles() {
+        let dfgs = vec![fig2(), fig4(), fig2()];
+        let cfg = CompileConfig::default();
+        let batch = Session::compile_batch(&dfgs, &cfg);
+        assert_eq!(batch.len(), 3);
+        for (dfg, item) in dfgs.iter().zip(&batch) {
+            let solo = Session::with_config(dfg.clone(), cfg.clone())
+                .compile()
+                .unwrap();
+            let item = item.as_ref().unwrap();
+            assert_eq!(item.selection, solo.selection);
+            assert_eq!(item.schedule, solo.schedule);
+        }
+        // Fixed worker counts agree with the heuristic fan-out.
+        for workers in [1usize, 2, 4] {
+            let pinned = Session::compile_batch_in(workers, &dfgs, &cfg);
+            for (a, b) in pinned.iter().zip(&batch) {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                assert_eq!(a.selection, b.selection);
+                assert_eq!(a.cycles, b.cycles);
+            }
+        }
+    }
+}

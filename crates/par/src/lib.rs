@@ -29,7 +29,7 @@
 //! thread-spawn latency for tiny inputs.
 //!
 //! The only `unsafe` in the crate is the disjoint-chunk output write in
-//! [`fill`]; everything else is `#[deny(unsafe_code)]`-clean.
+//! the `fill` module; everything else is `#[deny(unsafe_code)]`-clean.
 //!
 //! # Example
 //!
@@ -107,12 +107,33 @@ where
     par_map_indexed(items.len(), |i| f(&items[i]))
 }
 
+/// [`par_map`] with an explicit worker count instead of [`parallelism`]'s
+/// heuristic.
+///
+/// `workers` is clamped to the item count; `0` and `1` both mean
+/// sequential execution in slice order. Exposed so callers that sweep
+/// thread counts deterministically — batch-compile benches, scaling tests
+/// — can pin the fan-out without touching the `MPS_THREADS` environment.
+pub fn par_map_in<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let len = items.len();
+    let workers = workers.min(len.max(1));
+    if workers <= 1 || len < SEQUENTIAL_CUTOFF {
+        return items.iter().map(f).collect();
+    }
+    fill::fill_indexed(len, workers, chunk_size(len, workers), |i| f(&items[i]))
+}
+
 /// Parallel map over the index range `0..len`, preserving index order.
 ///
 /// This is the workhorse behind [`par_map`]; use it directly when the work
 /// items are described by an index rather than a slice element. Results are
-/// written straight into their final slots of the output vector (see
-/// [`fill`]), so the only coordination cost is one atomic increment per
+/// written straight into their final slots of the output vector (the
+/// `fill` module), so the only coordination cost is one atomic increment per
 /// claimed chunk.
 pub fn par_map_indexed<U, F>(len: usize, f: F) -> Vec<U>
 where
@@ -365,6 +386,17 @@ mod tests {
         let par = par_map_indexed(257, |i| i * i);
         let seq: Vec<usize> = (0..257).map(|i| i * i).collect();
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_map_in_matches_sequential_at_any_worker_count() {
+        let input: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = input.iter().map(|&x| x * 3 + 1).collect();
+        for workers in [0usize, 1, 2, 3, 8, 64] {
+            let out = par_map_in(workers, &input, |&x| x * 3 + 1);
+            assert_eq!(out, expect, "workers={workers}");
+        }
+        assert!(par_map_in(4, &[] as &[u32], |&x| x).is_empty());
     }
 
     #[test]

@@ -15,7 +15,7 @@ pub struct EnumerateConfig {
     /// `None` disables the limit.
     pub span_limit: Option<u32>,
     /// Process enumeration roots on multiple threads (only affects the
-    /// accumulating entry points in [`crate::table`]; the sequential
+    /// accumulating entry points in [`crate::PatternTable`]; the sequential
     /// visitors ignore it).
     pub parallel: bool,
 }

@@ -100,6 +100,76 @@ impl PatternKey {
     }
 }
 
+/// A [`Pattern`] in the nibble-packed `u128` encoding, for word-wide
+/// multiset algebra — the public face of this module's interner keys.
+///
+/// The payload layout is the key encoding above: bits `4c..4c+4` hold the
+/// multiplicity of color `c`, bits `104..` the bag size. Unlike the
+/// interner keys, a `PackedBag` is guaranteed **carry-free** (every
+/// multiplicity ≤ 15): [`Pattern::packed`] refuses the one bag shape that
+/// overflows a nibble (all [`MAX_PATTERN_SLOTS`] slots of a single color),
+/// so nibble-wise comparisons are exact.
+///
+/// The point of the type is [`PackedBag::is_subbag_of`]: multiset
+/// inclusion — the §5.2 candidate-deletion test `p̄ ⊑ chosen`, which the
+/// selection engines otherwise answer with a sorted-slice merge per alive
+/// candidate per round — in two `u128` operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PackedBag(u128);
+
+impl PackedBag {
+    /// Bit `4c` for every color boundary `c = 1..=26`: the lowest bit of
+    /// each nibble above the first, plus the bottom bit of the size field.
+    /// A borrow crossing any of these boundaries during `other - self`
+    /// means some multiplicity of `self` exceeded `other`'s.
+    const BOUNDARIES: u128 = {
+        let mut mask = 0u128;
+        let mut c = 1;
+        while c <= MAX_PACKED_COLOR {
+            mask |= 1 << (4 * c);
+            c += 1;
+        }
+        mask
+    };
+
+    /// Pack a pattern; `None` when any color is outside the packable
+    /// alphabet (index ≥ 26) or the bag is [`MAX_PATTERN_SLOTS`] slots of
+    /// one single color (its multiplicity would not fit a nibble).
+    /// Callers fall back to [`Pattern::is_subpattern_of`]'s merge.
+    pub(crate) fn pack(p: &Pattern) -> Option<PackedBag> {
+        let colors = p.colors();
+        if colors.len() == MAX_PATTERN_SLOTS && colors.first() == colors.last() {
+            return None; // 16 equal slots overflow their nibble
+        }
+        let mut key = 0u128;
+        for &c in colors {
+            key += PatternKey::delta(c)?;
+        }
+        Some(PackedBag(key))
+    }
+
+    /// Multiset inclusion in two word operations (SWAR): `self ⊑ other`
+    /// exactly when every per-color multiplicity of `self` is ≤ `other`'s
+    /// — the same relation as [`Pattern::is_subpattern_of`], which the
+    /// `prop_subbag` suite pins as the differential oracle.
+    ///
+    /// Subtracting the packed words nibble-wise cannot be done directly
+    /// (a borrow leaks into the neighbouring nibble), but the leak **is**
+    /// the signal: compute `d = other - self` over the whole `u128` and
+    /// recover the per-bit borrow-ins as `self ^ other ^ d` (subtraction
+    /// is XOR plus borrow propagation). A borrow enters the lowest bit of
+    /// some nibble — one of the `BOUNDARIES` mask bits — iff the
+    /// nibble below it went negative, i.e. some multiplicity of `self`
+    /// exceeded `other`'s. The size field needs no separate check: for
+    /// carry-free encodings it is the sum of the nibbles, so it can only
+    /// underflow after some nibble already has.
+    #[inline]
+    pub fn is_subbag_of(self, other: PackedBag) -> bool {
+        let d = other.0.wrapping_sub(self.0);
+        (self.0 ^ other.0 ^ d) & Self::BOUNDARIES == 0
+    }
+}
+
 /// Hasher for `u128` pattern keys: one splitmix64-style mix instead of
 /// SipHash. Keys are dense, well-distributed small integers produced by
 /// our own enumeration (not attacker-controlled), so a statistical mixer
@@ -270,6 +340,70 @@ mod tests {
                 MAX_PATTERN_SLOTS,
             )));
         }
+    }
+
+    /// Exhaustive SWAR-vs-merge check over every pair of bags of ≤ 3
+    /// slots from a 5-color alphabet (the `prop_subbag` suite covers
+    /// random larger bags).
+    #[test]
+    fn packed_subbag_matches_merge_exhaustively() {
+        let colors: Vec<Color> = (0..5).map(Color).collect();
+        let mut bags = vec![Pattern::empty()];
+        for &a in &colors {
+            bags.push(Pattern::from_colors([a]));
+            for &b in &colors {
+                bags.push(Pattern::from_colors([a, b]));
+                for &c in &colors {
+                    bags.push(Pattern::from_colors([a, b, c]));
+                }
+            }
+        }
+        for pa in &bags {
+            let ka = pa.packed().expect("small alphabet packs");
+            for pb in &bags {
+                let kb = pb.packed().expect("small alphabet packs");
+                assert_eq!(ka.is_subbag_of(kb), pa.is_subpattern_of(pb), "{pa} ⊑ {pb}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_refuses_unpackable_and_nibble_overflow_bags() {
+        // Colors outside a–z cannot pack.
+        assert!(Pattern::from_colors([Color(26)]).packed().is_none());
+        // 16 slots of one color overflow the nibble; one slot short, or
+        // 16 slots of mixed colors, still pack.
+        let full_a = Pattern::from_colors(std::iter::repeat_n(Color(0), MAX_PATTERN_SLOTS));
+        assert!(full_a.packed().is_none());
+        let almost = Pattern::from_colors(std::iter::repeat_n(Color(0), MAX_PATTERN_SLOTS - 1));
+        assert!(almost.packed().is_some());
+        let mixed = Pattern::from_colors(
+            std::iter::repeat_n(Color(0), MAX_PATTERN_SLOTS - 1).chain(std::iter::once(Color(1))),
+        );
+        assert!(mixed.packed().is_some());
+        // The near-overflow bags still compare correctly against each
+        // other and against small bags.
+        let (ka, km) = (almost.packed().unwrap(), mixed.packed().unwrap());
+        assert!(ka.is_subbag_of(km));
+        assert!(!km.is_subbag_of(ka));
+        let single = p("a").packed().unwrap();
+        assert!(single.is_subbag_of(ka));
+        assert!(!ka.is_subbag_of(single));
+    }
+
+    #[test]
+    fn subbag_multiplicity_matters() {
+        let sub = |a: &str, b: &str| p(a).packed().unwrap().is_subbag_of(p(b).packed().unwrap());
+        assert!(sub("a", "aa"));
+        assert!(sub("ab", "aabcc"));
+        assert!(sub("aabcc", "aabcc"));
+        assert!(!sub("aaa", "aabcc"));
+        assert!(!sub("d", "aabcc"));
+        assert!(!sub("aabcc", "ab"));
+        assert!(Pattern::empty()
+            .packed()
+            .unwrap()
+            .is_subbag_of(p("z").packed().unwrap()));
     }
 
     #[test]

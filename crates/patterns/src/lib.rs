@@ -56,7 +56,8 @@ pub use enumerate::{
     EnumerateConfig,
 };
 pub use hasse::SubpatternLattice;
-pub use pattern::Pattern;
+pub use key::PackedBag;
+pub use pattern::{Pattern, MAX_PATTERN_SLOTS};
 pub use pattern_set::PatternSet;
 pub use table::{span_histogram, PatternId, PatternStats, PatternTable, SpanHistogram};
 pub use width::{maximum_antichain, width};

@@ -133,6 +133,17 @@ impl Pattern {
     pub fn with_color(&self, c: Color) -> Pattern {
         Pattern::from_colors(self.colors().iter().copied().chain(std::iter::once(c)))
     }
+
+    /// The nibble-packed [`crate::PackedBag`] form of this bag, for
+    /// word-wide subpattern tests ([`crate::PackedBag::is_subbag_of`] —
+    /// two `u128` operations instead of this type's sorted-slice merge).
+    /// `None` when the bag cannot be packed exactly: a color outside the
+    /// `a`–`z` alphabet, or all [`MAX_PATTERN_SLOTS`] slots holding one
+    /// single color (the multiplicity would overflow its nibble); callers
+    /// then fall back to [`Pattern::is_subpattern_of`].
+    pub fn packed(&self) -> Option<crate::PackedBag> {
+        crate::PackedBag::pack(self)
+    }
 }
 
 impl fmt::Display for Pattern {

@@ -434,8 +434,8 @@ impl PatternTable {
     ///
     /// The hot path is allocation-free: each worker reuses one
     /// [`AntichainEnumerator`] and classifies every visited antichain into
-    /// a dense id-indexed [`LocalTable`] — via its transition cache in the
-    /// common case, via one packed-[`PatternKey`] interner probe on the
+    /// a dense id-indexed `LocalTable` — via its transition cache in the
+    /// common case, via one packed-`PatternKey` interner probe on the
     /// first sight of a pattern extension — and the per-worker tables
     /// merge once at the end. The merged table is identical whatever the
     /// worker count or split decisions: counts commute, and the final

@@ -1,0 +1,72 @@
+//! Differential property test for the SWAR subpattern test: on random
+//! color bags, [`Pattern::packed`] + [`PackedBag::is_subbag_of`] must
+//! agree with the sorted-slice merge [`Pattern::is_subpattern_of`] — the
+//! oracle the selection engines' candidate-deletion scans retain as their
+//! fallback — for every packable pair, including bags built as
+//! sub-multisets (the always-true direction) and near-nibble-overflow
+//! bags of 15 equal slots.
+
+use mps_dfg::Color;
+use mps_patterns::Pattern;
+use proptest::prelude::*;
+
+/// A random bag of ≤ 8 slots over the packable alphabet, biased toward
+/// repeated colors so multiplicities above 1 are common.
+fn bag_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..6, 0..8)
+}
+
+fn pattern_of(colors: &[u8]) -> Pattern {
+    Pattern::from_colors(colors.iter().map(|&c| Color(c)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Random pairs: SWAR ≡ merge, both directions.
+    #[test]
+    fn swar_matches_merge(a in bag_strategy(), b in bag_strategy()) {
+        let (pa, pb) = (pattern_of(&a), pattern_of(&b));
+        let (ka, kb) = (pa.packed().unwrap(), pb.packed().unwrap());
+        prop_assert_eq!(ka.is_subbag_of(kb), pa.is_subpattern_of(&pb), "{} ⊑ {}", pa, pb);
+        prop_assert_eq!(kb.is_subbag_of(ka), pb.is_subpattern_of(&pa), "{} ⊑ {}", pb, pa);
+    }
+
+    /// A sub-multiset drawn from a bag must always test as a subbag, and
+    /// a strict super-multiset never as one.
+    #[test]
+    fn constructed_submultisets_are_subbags(
+        b in proptest::collection::vec(0u8..6, 1..8),
+        keep in any::<u16>(),
+        extra in 0u8..6,
+    ) {
+        let sub: Vec<u8> = b
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep & (1 << i) != 0)
+            .map(|(_, &c)| c)
+            .collect();
+        let (psub, pb) = (pattern_of(&sub), pattern_of(&b));
+        prop_assert!(psub.packed().unwrap().is_subbag_of(pb.packed().unwrap()));
+        // Appending one more slot to the full bag breaks inclusion of the
+        // extended bag in the original.
+        let mut extended = b.clone();
+        extended.push(extra);
+        let pext = pattern_of(&extended);
+        prop_assert!(!pext.packed().unwrap().is_subbag_of(pb.packed().unwrap()));
+        prop_assert!(pb.packed().unwrap().is_subbag_of(pext.packed().unwrap()));
+    }
+
+    /// Nibble-saturating bags (15 equal slots plus a remainder) are the
+    /// borrow-chain worst case; SWAR must still agree with the merge.
+    #[test]
+    fn near_overflow_bags_agree(color in 0u8..26, other in 0u8..26, n in 1usize..16) {
+        let heavy: Vec<u8> = std::iter::repeat_n(color, 15).chain([other]).collect();
+        let light: Vec<u8> = std::iter::repeat_n(color, n).collect();
+        let (ph, pl) = (pattern_of(&heavy), pattern_of(&light));
+        if let (Some(kh), Some(kl)) = (ph.packed(), pl.packed()) {
+            prop_assert_eq!(kl.is_subbag_of(kh), pl.is_subpattern_of(&ph));
+            prop_assert_eq!(kh.is_subbag_of(kl), ph.is_subpattern_of(&pl));
+        }
+    }
+}

@@ -63,7 +63,7 @@ pub fn alap_schedule(adfg: &AnalyzedDfg) -> Schedule {
 ///
 /// Panics if `capacity == 0` on a non-empty graph; the synthesized
 /// per-cycle pattern is the bag of the issued colors (≤ capacity wide, and
-/// at most [`mps_patterns::MAX_PATTERN_SLOTS`]).
+/// at most [`mps_patterns::MAX_PATTERN_SLOTS`] wide).
 pub fn list_schedule_uniform(adfg: &AnalyzedDfg, capacity: usize) -> Schedule {
     if adfg.is_empty() {
         return Schedule::default();

@@ -1,0 +1,283 @@
+//! The unified scheduling-engine surface: every scheduler in this crate
+//! behind one enum, for `mps::Session` and the CLI.
+//!
+//! Each variant maps onto a concrete piece of the paper (or a baseline
+//! built around it):
+//!
+//! | variant | entry point | paper anchor |
+//! |---|---|---|
+//! | [`ScheduleEngine::List`] | [`schedule_multi_pattern`] | §4, Fig. 3 + Eq. 4–7 — the paper's multi-pattern list scheduler (Table 2 trace) |
+//! | [`ScheduleEngine::Modulo`] | [`schedule_modulo`] | software pipelining of the paper's loop kernels (throughput instead of latency) |
+//! | [`ScheduleEngine::Beam`] | [`schedule_beam`] | Fig. 3 with per-cycle pattern lookahead; never worse than the greedy |
+//! | [`ScheduleEngine::SwitchAware`] | [`schedule_switch_aware`] | Fig. 3 biased toward the incumbent configuration (Montium reconfiguration cost) |
+//! | [`ScheduleEngine::ForceDirected`] | [`force_directed`] | Paulin & Knight, the related-work baseline the paper cites in §2 |
+//!
+//! All engines produce a flat [`Schedule`] through one result type,
+//! [`EngineSchedule`], with the engine-specific extras (initiation
+//! interval, reconfiguration count) carried as optional fields.
+
+use crate::beam::{schedule_beam, BeamConfig};
+use crate::error::ScheduleError;
+use crate::force_directed::force_directed;
+use crate::modulo::{schedule_modulo, ModuloConfig};
+use crate::multi_pattern::{schedule_multi_pattern, MultiPatternConfig};
+use crate::schedule::Schedule;
+use crate::switch_aware::{schedule_switch_aware, SwitchAwareConfig};
+use crate::trace::ScheduleTrace;
+use mps_dfg::AnalyzedDfg;
+use mps_patterns::PatternSet;
+
+/// A scheduling strategy (see the module docs for the mapping to the
+/// paper's sections).
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ScheduleEngine {
+    /// The paper's Fig. 3 multi-pattern list scheduler — the default.
+    List(MultiPatternConfig),
+    /// Iterative modulo scheduling under pattern constraints; the flat
+    /// single-iteration schedule is returned, with the achieved
+    /// initiation interval in [`EngineSchedule::ii`].
+    Modulo(ModuloConfig),
+    /// Beam search over per-cycle pattern choices; falls back to the
+    /// greedy result when the beam does not improve on it.
+    Beam(BeamConfig),
+    /// Fig. 3 with an incumbent-pattern bias; the reconfiguration count
+    /// lands in [`EngineSchedule::switches`].
+    SwitchAware(SwitchAwareConfig),
+    /// Force-directed scheduling at a target latency (clamped up to the
+    /// critical path; `0` means "critical path"). A latency-constrained
+    /// baseline: it synthesizes per-cycle patterns instead of respecting
+    /// the selected set, so its schedules answer "what resources would a
+    /// classic HLS scheduler need", not "how fast is this pattern set".
+    ForceDirected {
+        /// Target latency in cycles (`0` = critical-path length).
+        latency: u32,
+    },
+}
+
+impl Default for ScheduleEngine {
+    fn default() -> ScheduleEngine {
+        ScheduleEngine::List(MultiPatternConfig::default())
+    }
+}
+
+/// What a [`ScheduleEngine`] produced: the flat schedule plus the
+/// engine-specific extras that exist only for some variants.
+#[derive(Clone, Debug)]
+pub struct EngineSchedule {
+    /// The schedule (single-iteration latency = `schedule.len()`).
+    pub schedule: Schedule,
+    /// Per-cycle trace, when the list scheduler was asked to record one.
+    pub trace: Option<ScheduleTrace>,
+    /// Achieved initiation interval ([`ScheduleEngine::Modulo`] only).
+    pub ii: Option<usize>,
+    /// The pre-search lower bound on the interval (modulo only; `ii ==
+    /// mii` means provably optimal).
+    pub mii: Option<usize>,
+    /// Pattern reconfigurations between consecutive cycles
+    /// ([`ScheduleEngine::SwitchAware`] only).
+    pub switches: Option<usize>,
+    /// Pattern configured in each steady-state slot (modulo only; index
+    /// `r` hosts every flat cycle `t ≡ r (mod ii)`).
+    pub slot_patterns: Option<Vec<mps_patterns::Pattern>>,
+}
+
+impl EngineSchedule {
+    fn plain(schedule: Schedule) -> EngineSchedule {
+        EngineSchedule {
+            schedule,
+            trace: None,
+            ii: None,
+            mii: None,
+            switches: None,
+            slot_patterns: None,
+        }
+    }
+}
+
+impl ScheduleEngine {
+    /// Stable machine-readable name (the same one
+    /// [`ScheduleEngine::parse`] accepts), for CLI output and metrics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScheduleEngine::List(_) => "list",
+            ScheduleEngine::Modulo(_) => "modulo",
+            ScheduleEngine::Beam(_) => "beam",
+            ScheduleEngine::SwitchAware(_) => "switch-aware",
+            ScheduleEngine::ForceDirected { .. } => "force-directed",
+        }
+    }
+
+    /// Parse an engine name with default parameters.
+    pub fn parse(s: &str) -> Option<ScheduleEngine> {
+        Some(match s {
+            "list" => ScheduleEngine::List(MultiPatternConfig::default()),
+            "modulo" => ScheduleEngine::Modulo(ModuloConfig::default()),
+            "beam" => ScheduleEngine::Beam(BeamConfig::default()),
+            "switch-aware" => ScheduleEngine::SwitchAware(SwitchAwareConfig::default()),
+            "force-directed" => ScheduleEngine::ForceDirected { latency: 0 },
+            _ => return None,
+        })
+    }
+
+    /// The [`MultiPatternConfig`] this engine evaluates schedules with —
+    /// its own for the Fig. 3 family, the default otherwise. Used by
+    /// callers that need a list-scheduler configuration consistent with
+    /// the chosen engine (e.g. the search-based selection engines).
+    pub fn eval_config(&self) -> MultiPatternConfig {
+        match self {
+            ScheduleEngine::List(cfg) => *cfg,
+            ScheduleEngine::Beam(cfg) => cfg.greedy,
+            ScheduleEngine::SwitchAware(cfg) => cfg.base,
+            _ => MultiPatternConfig::default(),
+        }
+    }
+
+    /// Schedule `adfg` with the given pattern set.
+    ///
+    /// Errors exactly when the underlying engine errors (empty pattern
+    /// set, a color no pattern provides, or no feasible initiation
+    /// interval). [`ScheduleEngine::ForceDirected`] ignores `patterns`
+    /// by design and never fails.
+    pub fn run(
+        &self,
+        adfg: &AnalyzedDfg,
+        patterns: &PatternSet,
+    ) -> Result<EngineSchedule, ScheduleError> {
+        match self {
+            ScheduleEngine::List(cfg) => {
+                let r = schedule_multi_pattern(adfg, patterns, *cfg)?;
+                Ok(EngineSchedule {
+                    trace: r.trace,
+                    ..EngineSchedule::plain(r.schedule)
+                })
+            }
+            ScheduleEngine::Modulo(cfg) => {
+                let r = schedule_modulo(adfg, patterns, *cfg)?;
+                Ok(EngineSchedule {
+                    ii: Some(r.ii),
+                    mii: Some(r.mii),
+                    slot_patterns: Some(r.slot_patterns),
+                    ..EngineSchedule::plain(r.schedule)
+                })
+            }
+            ScheduleEngine::Beam(cfg) => {
+                let r = schedule_beam(adfg, patterns, *cfg)?;
+                Ok(EngineSchedule::plain(r.schedule))
+            }
+            ScheduleEngine::SwitchAware(cfg) => {
+                let r = schedule_switch_aware(adfg, patterns, *cfg)?;
+                Ok(EngineSchedule {
+                    switches: Some(r.switches),
+                    ..EngineSchedule::plain(r.schedule)
+                })
+            }
+            ScheduleEngine::ForceDirected { latency } => Ok(EngineSchedule::plain(
+                force_directed(adfg, *latency).schedule,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::{Color, DfgBuilder};
+    use mps_patterns::Pattern;
+
+    /// Two parallel two-node chains, colors a→b twice.
+    fn adfg() -> AnalyzedDfg {
+        let mut b = DfgBuilder::new();
+        let a1 = b.add_node("a1", Color::from_char('a').unwrap());
+        let b1 = b.add_node("b1", Color::from_char('b').unwrap());
+        let a2 = b.add_node("a2", Color::from_char('a').unwrap());
+        let b2 = b.add_node("b2", Color::from_char('b').unwrap());
+        b.add_edge(a1, b1).unwrap();
+        b.add_edge(a2, b2).unwrap();
+        AnalyzedDfg::new(b.build().unwrap())
+    }
+
+    fn patterns() -> PatternSet {
+        PatternSet::from_patterns([Pattern::parse("aa").unwrap(), Pattern::parse("bb").unwrap()])
+    }
+
+    fn engines() -> Vec<ScheduleEngine> {
+        vec![
+            ScheduleEngine::default(),
+            ScheduleEngine::Modulo(ModuloConfig::default()),
+            ScheduleEngine::Beam(BeamConfig::default()),
+            ScheduleEngine::SwitchAware(SwitchAwareConfig::default()),
+            ScheduleEngine::ForceDirected { latency: 0 },
+        ]
+    }
+
+    #[test]
+    fn every_engine_schedules_every_node() {
+        let adfg = adfg();
+        for engine in engines() {
+            let r = engine.run(&adfg, &patterns()).expect("schedulable");
+            assert_eq!(
+                r.schedule.scheduled_nodes(),
+                adfg.len(),
+                "{}",
+                engine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn extras_appear_exactly_where_documented() {
+        let adfg = adfg();
+        let modulo = ScheduleEngine::Modulo(ModuloConfig::default())
+            .run(&adfg, &patterns())
+            .unwrap();
+        assert!(modulo.ii.is_some() && modulo.mii.is_some());
+        assert!(modulo.ii.unwrap() >= modulo.mii.unwrap());
+        let switchy = ScheduleEngine::SwitchAware(SwitchAwareConfig::default())
+            .run(&adfg, &patterns())
+            .unwrap();
+        assert!(switchy.switches.is_some());
+        let list = ScheduleEngine::default().run(&adfg, &patterns()).unwrap();
+        assert!(list.ii.is_none() && list.switches.is_none() && list.trace.is_none());
+        let traced = ScheduleEngine::List(MultiPatternConfig {
+            record_trace: true,
+            ..Default::default()
+        })
+        .run(&adfg, &patterns())
+        .unwrap();
+        assert!(traced.trace.is_some());
+    }
+
+    #[test]
+    fn pattern_constrained_engines_propagate_errors() {
+        let adfg = adfg();
+        let missing_b = PatternSet::from_patterns([Pattern::parse("aa").unwrap()]);
+        for engine in engines() {
+            let r = engine.run(&adfg, &missing_b);
+            if let ScheduleEngine::ForceDirected { .. } = engine {
+                assert!(r.is_ok(), "force-directed ignores patterns");
+            } else {
+                assert_eq!(
+                    r.unwrap_err(),
+                    ScheduleError::UncoveredColor(Color::from_char('b').unwrap()),
+                    "{}",
+                    engine.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for engine in engines() {
+            let reparsed = ScheduleEngine::parse(engine.name()).expect("name parses");
+            assert_eq!(reparsed.name(), engine.name());
+        }
+        assert!(ScheduleEngine::parse("bogus").is_none());
+        assert_eq!(ScheduleEngine::default().name(), "list");
+        assert_eq!(
+            ScheduleEngine::Beam(BeamConfig::default()).eval_config(),
+            MultiPatternConfig::default()
+        );
+    }
+}

@@ -34,6 +34,7 @@ pub mod classic;
 pub mod exact;
 pub mod force_directed;
 
+mod engine;
 mod error;
 mod gantt;
 mod modulo;
@@ -44,9 +45,12 @@ mod switch_aware;
 mod trace;
 
 pub use beam::{schedule_beam, BeamConfig, BeamResult};
+pub use engine::{EngineSchedule, ScheduleEngine};
 pub use error::ScheduleError;
 pub use gantt::render_gantt;
-pub use modulo::{modulo_mii, schedule_modulo, validate_modulo, ModuloConfig, ModuloResult};
+pub use modulo::{
+    modulo_mii, modulo_slot_bag, schedule_modulo, validate_modulo, ModuloConfig, ModuloResult,
+};
 pub use multi_pattern::{
     schedule_multi_pattern, selected_set, MultiPatternConfig, MultiPatternResult, PatternPriority,
     TieBreak,

@@ -70,15 +70,24 @@ impl ModuloResult {
     /// Steady-state color bag of one slot: every node of every cycle of
     /// the flat schedule that maps onto slot `r`.
     pub fn slot_bag(&self, adfg: &AnalyzedDfg, r: usize) -> Pattern {
-        Pattern::from_colors(
-            self.schedule
-                .cycles()
-                .iter()
-                .enumerate()
-                .filter(|(t, _)| t % self.ii == r)
-                .flat_map(|(_, cyc)| cyc.nodes.iter().map(|&n| adfg.dfg().color(n))),
-        )
+        modulo_slot_bag(adfg, &self.schedule, self.ii, r)
     }
+}
+
+/// Steady-state color bag of modulo slot `r` of any flat schedule pipelined
+/// at interval `ii`: the union of every cycle `t ≡ r (mod ii)`. The one
+/// definition behind [`ModuloResult::slot_bag`] and the callers (e.g. the
+/// CLI's reservation-table printout) that hold a flat [`Schedule`] + `ii`
+/// instead of a [`ModuloResult`].
+pub fn modulo_slot_bag(adfg: &AnalyzedDfg, schedule: &Schedule, ii: usize, r: usize) -> Pattern {
+    Pattern::from_colors(
+        schedule
+            .cycles()
+            .iter()
+            .enumerate()
+            .filter(|(t, _)| t % ii == r)
+            .flat_map(|(_, cyc)| cyc.nodes.iter().map(|&n| adfg.dfg().color(n))),
+    )
 }
 
 /// Resource lower bound on the initiation interval: color `c` occurs

@@ -32,6 +32,7 @@ pub fn coverage_greedy_from_table(
     let stats = table.stats();
     let complete = adfg.dfg().color_set();
     let mut selected = PatternSet::new();
+    let packed = crate::select::packed_keys(stats);
     let mut alive: Vec<u32> = (0..stats.len() as u32).collect();
 
     for round in 0..cfg.pdef {
@@ -56,7 +57,15 @@ pub fn coverage_greedy_from_table(
             Some((_, idx)) => {
                 let chosen = stats[idx as usize].pattern;
                 selected.insert(chosen);
-                alive.retain(|&i| !stats[i as usize].pattern.is_subpattern_of(&chosen));
+                let chosen_key = packed[idx as usize];
+                alive.retain(|&i| {
+                    !crate::select::deleted_by(
+                        &stats[i as usize].pattern,
+                        packed[i as usize],
+                        &chosen,
+                        chosen_key,
+                    )
+                });
             }
             None => {
                 let uncovered: Vec<mps_dfg::Color> = complete

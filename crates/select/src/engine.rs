@@ -1,0 +1,304 @@
+//! The unified selection-engine surface: every pattern-selection strategy
+//! in this crate behind one enum, for `mps::Session` and the CLI.
+//!
+//! Each variant maps onto a concrete piece of the paper (or of the repo's
+//! evaluation apparatus built around it):
+//!
+//! | variant | entry point | paper anchor |
+//! |---|---|---|
+//! | [`SelectEngine::Eq8`] | [`select_from_table`] | §5.2, Eq. 8/9, Fig. 7 — the paper's algorithm (cover engine) |
+//! | [`SelectEngine::Eq8Reference`] | [`select_from_table_reference`] | same algorithm, retained full-rescore oracle |
+//! | [`SelectEngine::NodeCover`] | [`node_cover_from_table`] | greedy node set-cover baseline (separates Eq. 8's "where" from its "how often") |
+//! | [`SelectEngine::NodeCoverReference`] | [`node_cover_from_table_reference`] | its dense-scan oracle |
+//! | [`SelectEngine::CoverageGreedy`] | [`coverage_greedy_from_table`] | raw max-antichain-count strawman Eq. 8 improves on (Table 7 context) |
+//! | [`SelectEngine::CoverageGreedyReference`] | [`coverage_greedy_from_table_reference`] | its dense-scan oracle |
+//! | [`SelectEngine::Exhaustive`] | [`exhaustive_best_from_table`] | exact optimum on tiny instances — the heuristic's optimality gap |
+//! | [`SelectEngine::Genetic`] | [`evolve_patterns`] seeded by Eq. 8 | population search against true cycles (the paper's "future work" on the priority function) |
+//! | [`SelectEngine::Anneal`] | [`anneal_patterns`] seeded by Eq. 8 | single-walker refinement against true cycles |
+//! | [`SelectEngine::Random`] | [`random_baseline`] | the paper's "Random" column (Table 7), best of `trials` draws |
+//!
+//! All engines run against a **prebuilt** [`PatternTable`], so a session
+//! can amortize one enumeration across many engine runs; all of them are
+//! deterministic (the stochastic ones per seed).
+
+use crate::anneal::{anneal_patterns, AnnealConfig};
+use crate::config::SelectConfig;
+use crate::coverage::{coverage_greedy_from_table, coverage_greedy_from_table_reference};
+use crate::exhaustive::exhaustive_best_from_table;
+use crate::genetic::{evolve_patterns, GeneticConfig};
+use crate::node_cover::{node_cover_from_table, node_cover_from_table_reference};
+use crate::pipeline::random_baseline;
+use crate::select::{select_from_table, select_from_table_reference, SelectionOutcome};
+use mps_dfg::AnalyzedDfg;
+use mps_patterns::{Pattern, PatternSet, PatternTable};
+use mps_scheduler::MultiPatternConfig;
+
+/// A pattern-selection strategy (see the module docs for the mapping to
+/// the paper's sections and tables).
+///
+/// The search-based engines (`Exhaustive`, `Genetic`, `Anneal`, `Random`)
+/// rank candidate sets by *true schedule length*, so they take the
+/// evaluation scheduler's [`MultiPatternConfig`] through
+/// [`SelectEngine::run`]; the greedy engines ignore it.
+#[non_exhaustive]
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum SelectEngine {
+    /// The paper's §5.2 greedy (Eq. 8 priority, Eq. 9 color condition,
+    /// Fig. 7 fabrication) on the lazy cover engine — the default.
+    #[default]
+    Eq8,
+    /// §5.2 via the retained full-rescore oracle loop; decision-identical
+    /// to [`SelectEngine::Eq8`], kept A/B-able for timing and confidence.
+    Eq8Reference,
+    /// Greedy node set-cover baseline (lazy-heap cover engine).
+    NodeCover,
+    /// Node set-cover via its dense-scan oracle.
+    NodeCoverReference,
+    /// Raw antichain-count greedy (no balancing, no size bonus) — the
+    /// strawman baseline.
+    CoverageGreedy,
+    /// Antichain-count greedy via its dense-scan oracle.
+    CoverageGreedyReference,
+    /// Exact search over candidate subsets, refusing pools larger than
+    /// `max_candidates` (falls back to [`SelectEngine::Eq8`] then, so a
+    /// pipeline never stalls on a big graph).
+    Exhaustive {
+        /// Candidate-pool cap; beyond it the engine degrades to Eq. 8.
+        max_candidates: usize,
+    },
+    /// Evolutionary refinement seeded with the Eq. 8 selection; never
+    /// worse than its seed (elitism).
+    Genetic(GeneticConfig),
+    /// Simulated-annealing refinement seeded with the Eq. 8 selection;
+    /// never worse than its seed.
+    Anneal(AnnealConfig),
+    /// The paper's Monte-Carlo random baseline: best covering draw out of
+    /// `trials`, deterministic per `seed`.
+    Random {
+        /// Independent random draws evaluated (the paper uses 10).
+        trials: usize,
+        /// RNG seed shared by all trials.
+        seed: u64,
+    },
+}
+
+impl SelectEngine {
+    /// Stable machine-readable name (the same one [`SelectEngine::parse`]
+    /// accepts), for CLI output and metrics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SelectEngine::Eq8 => "eq8",
+            SelectEngine::Eq8Reference => "eq8-reference",
+            SelectEngine::NodeCover => "node-cover",
+            SelectEngine::NodeCoverReference => "node-cover-reference",
+            SelectEngine::CoverageGreedy => "coverage",
+            SelectEngine::CoverageGreedyReference => "coverage-reference",
+            SelectEngine::Exhaustive { .. } => "exhaustive",
+            SelectEngine::Genetic(_) => "genetic",
+            SelectEngine::Anneal(_) => "anneal",
+            SelectEngine::Random { .. } => "random",
+        }
+    }
+
+    /// Parse an engine name as the CLI spells them, with default
+    /// parameters for the configurable variants. `cover` and `reference`
+    /// are accepted as aliases of `eq8` / `eq8-reference` (the historical
+    /// `mps select --engine` vocabulary).
+    pub fn parse(s: &str) -> Option<SelectEngine> {
+        Some(match s {
+            "eq8" | "cover" => SelectEngine::Eq8,
+            "eq8-reference" | "reference" => SelectEngine::Eq8Reference,
+            "node-cover" => SelectEngine::NodeCover,
+            "node-cover-reference" => SelectEngine::NodeCoverReference,
+            "coverage" => SelectEngine::CoverageGreedy,
+            "coverage-reference" => SelectEngine::CoverageGreedyReference,
+            "exhaustive" => SelectEngine::Exhaustive { max_candidates: 24 },
+            "genetic" => SelectEngine::Genetic(GeneticConfig::default()),
+            "anneal" => SelectEngine::Anneal(AnnealConfig::default()),
+            "random" => SelectEngine::Random {
+                trials: 10,
+                seed: 0x5eed,
+            },
+            _ => return None,
+        })
+    }
+
+    /// Run the engine against a prebuilt table.
+    ///
+    /// `sched` configures the evaluation scheduler of the search-based
+    /// engines. Engines that do not produce per-round details (everything
+    /// except the Eq. 8 and node-cover families) return an outcome with
+    /// empty `rounds`; all of them return a color-covering pattern set
+    /// whenever one exists within `cfg.pdef` patterns.
+    pub fn run(
+        &self,
+        adfg: &AnalyzedDfg,
+        table: &PatternTable,
+        cfg: &SelectConfig,
+        sched: MultiPatternConfig,
+    ) -> SelectionOutcome {
+        let from_set = |patterns: PatternSet| SelectionOutcome {
+            patterns,
+            rounds: Vec::new(),
+        };
+        match self {
+            SelectEngine::Eq8 => select_from_table(adfg, table, cfg),
+            SelectEngine::Eq8Reference => select_from_table_reference(adfg, table, cfg),
+            SelectEngine::NodeCover => node_cover_from_table(adfg, table, cfg),
+            SelectEngine::NodeCoverReference => node_cover_from_table_reference(adfg, table, cfg),
+            SelectEngine::CoverageGreedy => from_set(coverage_greedy_from_table(adfg, table, cfg)),
+            SelectEngine::CoverageGreedyReference => {
+                from_set(coverage_greedy_from_table_reference(adfg, table, cfg))
+            }
+            SelectEngine::Exhaustive { max_candidates } => {
+                match exhaustive_best_from_table(adfg, table, cfg, sched, *max_candidates) {
+                    Some(r) => from_set(r.patterns),
+                    None => select_from_table(adfg, table, cfg),
+                }
+            }
+            SelectEngine::Genetic(gcfg) => {
+                let seed = select_from_table(adfg, table, cfg);
+                let candidates: Vec<Pattern> = table.iter().map(|s| s.pattern).collect();
+                from_set(
+                    evolve_patterns(adfg, &[seed.patterns], &candidates, *gcfg, sched).patterns,
+                )
+            }
+            SelectEngine::Anneal(acfg) => {
+                let seed = select_from_table(adfg, table, cfg);
+                let candidates: Vec<Pattern> = table.iter().map(|s| s.pattern).collect();
+                from_set(anneal_patterns(adfg, &seed.patterns, &candidates, *acfg).patterns)
+            }
+            SelectEngine::Random { trials, seed } => from_set(
+                random_baseline(adfg, cfg.pdef, cfg.capacity, *trials, *seed, sched).best_patterns,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_workloads::{fig2, fig4};
+
+    fn cfg(pdef: usize) -> SelectConfig {
+        SelectConfig {
+            pdef,
+            parallel: false,
+            ..Default::default()
+        }
+    }
+
+    fn all_engines() -> Vec<SelectEngine> {
+        vec![
+            SelectEngine::Eq8,
+            SelectEngine::Eq8Reference,
+            SelectEngine::NodeCover,
+            SelectEngine::NodeCoverReference,
+            SelectEngine::CoverageGreedy,
+            SelectEngine::CoverageGreedyReference,
+            SelectEngine::Exhaustive { max_candidates: 64 },
+            SelectEngine::Genetic(GeneticConfig {
+                population: 4,
+                generations: 2,
+                ..Default::default()
+            }),
+            SelectEngine::Anneal(AnnealConfig {
+                iterations: 40,
+                ..Default::default()
+            }),
+            SelectEngine::Random { trials: 4, seed: 7 },
+        ]
+    }
+
+    #[test]
+    fn every_engine_yields_a_covering_deterministic_set() {
+        for dfg in [fig2(), fig4()] {
+            let adfg = AnalyzedDfg::new(dfg);
+            let table = PatternTable::build(
+                &adfg,
+                SelectConfig {
+                    parallel: false,
+                    ..Default::default()
+                }
+                .enumerate_config(),
+            );
+            for engine in all_engines() {
+                let sched = MultiPatternConfig::default();
+                let a = engine.run(&adfg, &table, &cfg(3), sched);
+                let b = engine.run(&adfg, &table, &cfg(3), sched);
+                assert_eq!(a, b, "{} must be deterministic", engine.name());
+                assert!(
+                    a.patterns.covers(&adfg.dfg().color_set()),
+                    "{} must cover all colors",
+                    engine.name()
+                );
+                assert!(a.patterns.len() <= 3, "{} respects Pdef", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn engine_families_match_their_references() {
+        let adfg = AnalyzedDfg::new(fig2());
+        let table = PatternTable::build(
+            &adfg,
+            SelectConfig {
+                parallel: false,
+                ..Default::default()
+            }
+            .enumerate_config(),
+        );
+        let sched = MultiPatternConfig::default();
+        for (fast, slow) in [
+            (SelectEngine::Eq8, SelectEngine::Eq8Reference),
+            (SelectEngine::NodeCover, SelectEngine::NodeCoverReference),
+            (
+                SelectEngine::CoverageGreedy,
+                SelectEngine::CoverageGreedyReference,
+            ),
+        ] {
+            assert_eq!(
+                fast.run(&adfg, &table, &cfg(4), sched),
+                slow.run(&adfg, &table, &cfg(4), sched),
+                "{} vs {}",
+                fast.name(),
+                slow.name()
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_falls_back_on_big_pools() {
+        let adfg = AnalyzedDfg::new(fig2());
+        let table = PatternTable::build(
+            &adfg,
+            SelectConfig {
+                parallel: false,
+                ..Default::default()
+            }
+            .enumerate_config(),
+        );
+        let tiny = SelectEngine::Exhaustive { max_candidates: 1 };
+        let sched = MultiPatternConfig::default();
+        assert_eq!(
+            tiny.run(&adfg, &table, &cfg(3), sched),
+            SelectEngine::Eq8.run(&adfg, &table, &cfg(3), sched),
+            "pool over the cap degrades to Eq. 8"
+        );
+    }
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for engine in all_engines() {
+            let reparsed = SelectEngine::parse(engine.name()).expect("name parses");
+            assert_eq!(reparsed.name(), engine.name());
+        }
+        assert_eq!(SelectEngine::parse("cover"), Some(SelectEngine::Eq8));
+        assert_eq!(
+            SelectEngine::parse("reference"),
+            Some(SelectEngine::Eq8Reference)
+        );
+        assert_eq!(SelectEngine::parse("bogus"), None);
+        assert_eq!(SelectEngine::default(), SelectEngine::Eq8);
+    }
+}

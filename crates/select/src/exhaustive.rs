@@ -35,10 +35,23 @@ pub fn exhaustive_best(
     sched: MultiPatternConfig,
     max_candidates: usize,
 ) -> Option<ExhaustiveResult> {
+    let table = PatternTable::build(adfg, cfg.enumerate_config());
+    exhaustive_best_from_table(adfg, &table, cfg, sched, max_candidates)
+}
+
+/// [`exhaustive_best`] against a prebuilt pattern table — the candidate
+/// pool is the table's patterns, so callers (e.g. `mps::Session`) can
+/// amortize one enumeration across many searches.
+pub fn exhaustive_best_from_table(
+    adfg: &AnalyzedDfg,
+    table: &PatternTable,
+    cfg: &SelectConfig,
+    sched: MultiPatternConfig,
+    max_candidates: usize,
+) -> Option<ExhaustiveResult> {
     /// Subsets scheduled per [`mps_par::par_map`] batch.
     const BATCH: usize = 1024;
 
-    let table = PatternTable::build(adfg, cfg.enumerate_config());
     let candidates: Vec<Pattern> = table.iter().map(|s| s.pattern).collect();
     if candidates.len() > max_candidates {
         return None;

@@ -31,6 +31,7 @@
 mod anneal;
 mod config;
 mod coverage;
+mod engine;
 mod exhaustive;
 mod genetic;
 mod merge;
@@ -48,7 +49,10 @@ pub use config::SelectConfig;
 pub use coverage::{
     coverage_greedy, coverage_greedy_from_table, coverage_greedy_from_table_reference,
 };
-pub use exhaustive::{exhaustive_best, exhaustive_best_reference, ExhaustiveResult};
+pub use engine::SelectEngine;
+pub use exhaustive::{
+    exhaustive_best, exhaustive_best_from_table, exhaustive_best_reference, ExhaustiveResult,
+};
 pub use genetic::{evolve_patterns, GeneticConfig, GeneticResult};
 pub use merge::{merge_pass, MergeOutcome};
 pub use multi_kernel::{select_joint, JointOutcome};

@@ -23,7 +23,9 @@
 //! original per-node scan as the decision oracle.
 
 use crate::config::SelectConfig;
-use crate::select::{color_condition_holds, RoundInfo, SelectionOutcome, PAR_SCORE_CUTOFF};
+use crate::select::{
+    color_condition_holds, deleted_by, packed_keys, RoundInfo, SelectionOutcome, PAR_SCORE_CUTOFF,
+};
 use mps_dfg::AnalyzedDfg;
 use mps_patterns::{Pattern, PatternId, PatternSet, PatternTable};
 
@@ -88,6 +90,7 @@ pub fn node_cover_from_table(
             id: i as u32,
         });
     }
+    let packed = packed_keys(stats);
     let mut dirty = vec![false; stats.len()];
     let mut dead = vec![false; stats.len()];
     let mut alive: Vec<u32> = (0..stats.len() as u32).collect();
@@ -134,8 +137,14 @@ pub fn node_cover_from_table(
                 cover.cover_with(id, &mut covered);
                 selected_colors = selected_colors.union(&chosen.color_set());
                 selected.insert(chosen);
+                let chosen_key = packed[id.index()];
                 alive.retain(|&i| {
-                    let gone = stats[i as usize].pattern.is_subpattern_of(&chosen);
+                    let gone = deleted_by(
+                        &stats[i as usize].pattern,
+                        packed[i as usize],
+                        &chosen,
+                        chosen_key,
+                    );
                     if gone {
                         dead[i as usize] = true;
                     }
@@ -166,8 +175,14 @@ pub fn node_cover_from_table(
                 let fab = Pattern::from_colors(slots);
                 selected_colors = selected_colors.union(&fab.color_set());
                 selected.insert(fab);
+                let fab_key = fab.packed();
                 alive.retain(|&i| {
-                    let gone = stats[i as usize].pattern.is_subpattern_of(&fab);
+                    let gone = deleted_by(
+                        &stats[i as usize].pattern,
+                        packed[i as usize],
+                        &fab,
+                        fab_key,
+                    );
                     if gone {
                         dead[i as usize] = true;
                     }

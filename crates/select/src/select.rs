@@ -20,7 +20,7 @@
 use crate::config::SelectConfig;
 use crate::priority::eq8_priority;
 use mps_dfg::AnalyzedDfg;
-use mps_patterns::{Pattern, PatternId, PatternSet, PatternStats, PatternTable};
+use mps_patterns::{PackedBag, Pattern, PatternId, PatternSet, PatternStats, PatternTable};
 
 /// What happened in one selection round.
 #[derive(Clone, Debug, PartialEq)]
@@ -50,6 +50,31 @@ impl SelectionOutcome {
     /// Number of fabricated patterns.
     pub fn fabricated_count(&self) -> usize {
         self.rounds.iter().filter(|r| r.fabricated).count()
+    }
+}
+
+/// Packed keys of every candidate pattern, computed once per selection
+/// run for the deletion scans of the fast engines.
+pub(crate) fn packed_keys(stats: &[PatternStats]) -> Vec<Option<PackedBag>> {
+    stats.iter().map(|s| s.pattern.packed()).collect()
+}
+
+/// The candidate-deletion test `candidate ⊑ chosen` of the fast engines:
+/// SWAR packed-nibble inclusion ([`PackedBag::is_subbag_of`], two `u128`
+/// operations) when both bags pack, the sorted-slice merge otherwise. The
+/// `*_reference` loops keep the merge unconditionally, so the
+/// decision-identity suites double as the SWAR differential oracle (the
+/// direct one is `mps-patterns`' `prop_subbag`).
+#[inline]
+pub(crate) fn deleted_by(
+    candidate: &Pattern,
+    candidate_key: Option<PackedBag>,
+    chosen: &Pattern,
+    chosen_key: Option<PackedBag>,
+) -> bool {
+    match (candidate_key, chosen_key) {
+        (Some(a), Some(b)) => a.is_subbag_of(b),
+        _ => candidate.is_subpattern_of(chosen),
     }
 }
 
@@ -103,6 +128,7 @@ pub fn select_from_table(
             .collect()
     };
     let mut dirty = vec![false; stats.len()];
+    let packed = packed_keys(stats);
     // Alive candidates, ascending (kept sorted by `retain`): scan order
     // matches the reference's, so "strict `>` keeps the earliest" applies
     // verbatim.
@@ -205,10 +231,11 @@ pub fn select_from_table(
                 // it needs no invalidation), and track the surviving
                 // maximum cached bound as the next round's seed.
                 cover.copy_row_into(id, &mut winner_row);
+                let chosen_key = packed[id.index()];
                 next_seed = None;
                 alive.retain(|&iu| {
                     let i = iu as usize;
-                    if stats[i].pattern.is_subpattern_of(&chosen) {
+                    if deleted_by(&stats[i].pattern, packed[i], &chosen, chosen_key) {
                         return false;
                     }
                     if scores[i] > 0.0 && cover.intersects(PatternId(iu), &winner_row) {
@@ -244,10 +271,11 @@ pub fn select_from_table(
                 let fab = Pattern::from_colors(slots);
                 selected_colors = selected_colors.union(&fab.color_set());
                 selected.insert(fab);
+                let fab_key = fab.packed();
                 next_seed = None;
                 alive.retain(|&iu| {
                     let i = iu as usize;
-                    if stats[i].pattern.is_subpattern_of(&fab) {
+                    if deleted_by(&stats[i].pattern, packed[i], &fab, fab_key) {
                         return false;
                     }
                     if next_seed.is_none_or(|s| scores[i] > scores[s as usize]) {

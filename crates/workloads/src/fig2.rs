@@ -17,7 +17,7 @@ use mps_dfg::{Dfg, DfgBuilder};
 ///    Table 1 omits. Their forced levels are ASAP = ALAP = 2, Height = 3.
 ///
 /// The reconstruction reproduces Table 1 **exactly** (asserted by tests)
-/// and, with [`mps_scheduler`]'s default `F2`/higher-id-tie-break
+/// and, with `mps-scheduler`'s default `F2`/higher-id-tie-break
 /// configuration, reproduces the Table 2 trace **exactly**.
 ///
 /// Node insertion order is `(letter, number)`-sorted — `a2, a4, a7, a8,

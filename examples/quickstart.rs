@@ -41,7 +41,25 @@ fn main() {
         level = next;
         li += 1;
     }
-    let adfg = AnalyzedDfg::new(builder.build().unwrap());
+    // A staged session: analyze, enumerate (the graph is perfectly
+    // level-aligned, so the strictest Theorem-1 span limit (0) gives the
+    // cleanest candidates), select 3 patterns with the paper's algorithm
+    // (ε = 0.5, α = 20), list-schedule, replay on the tile.
+    let mut session = Session::with_config(
+        builder.build().unwrap(),
+        mps::CompileConfig {
+            select: SelectConfig {
+                span_limit: Some(0),
+                ..SelectConfig::with_pdef(3)
+            },
+            tile: Some(mps::montium::TileParams::default()),
+            ..Default::default()
+        },
+    );
+    let result = session
+        .compile()
+        .expect("selection always covers the colors");
+    let adfg = session.analyzed_dfg().expect("compile analyzed the graph");
     println!(
         "graph: {} nodes, {} edges, critical path {} cycles",
         adfg.len(),
@@ -49,32 +67,12 @@ fn main() {
         adfg.levels().critical_path_len()
     );
 
-    // Select 3 patterns with the paper's algorithm (ε = 0.5, α = 20).
-    // The graph is perfectly level-aligned, so the strictest Theorem-1
-    // span limit (0) gives the cleanest candidate patterns.
-    let result = select_and_schedule(
-        &adfg,
-        &PipelineConfig {
-            select: SelectConfig {
-                span_limit: Some(0),
-                ..SelectConfig::with_pdef(3)
-            },
-            sched: MultiPatternConfig::default(),
-        },
-    )
-    .expect("selection always covers the colors");
-
     println!("selected patterns: {}", result.selection.patterns);
     print!("{}", result.schedule);
 
-    // Replay on the tile: proves the schedule actually executes.
-    let report = mps::montium::execute(
-        &adfg,
-        &result.schedule,
-        &result.selection.patterns,
-        mps::montium::TileParams::default(),
-    )
-    .expect("valid schedules replay cleanly");
+    // The tile replay (proof the schedule actually executes) came with
+    // the compile, because the session was configured with a tile.
+    let report = result.exec.as_ref().expect("tile stage ran");
     println!(
         "replayed on a 5-ALU tile: {} cycles, {:.0}% ALU utilization, {} config loads",
         report.cycles,
@@ -84,8 +82,8 @@ fn main() {
 
     // Compare against random patterns, the paper's baseline, and the
     // theoretical lower bound.
-    let random = random_baseline(&adfg, 3, 5, 10, 42, MultiPatternConfig::default());
-    let bound = mps::scheduler::bounds::lower_bound(&adfg, &result.selection.patterns);
+    let random = random_baseline(adfg, 3, 5, 10, 42, MultiPatternConfig::default());
+    let bound = mps::scheduler::bounds::lower_bound(adfg, &result.selection.patterns);
     println!(
         "random 3-pattern baseline over 10 trials: mean {:.1} cycles (best {}, worst {})",
         random.mean(),

@@ -2,8 +2,9 @@
 # Trend-diff two `throughput --json` snapshots (as produced by
 # scripts/bench_snapshot.sh and uploaded by CI as bench-snapshot.json):
 # compare every timing row present in both files and emit a GitHub Actions
-# `::warning::` annotation for each end-to-end metric that regressed by
-# more than the threshold (default 20%).
+# `::warning::` annotation for each metric that regressed by more than the
+# threshold (default 20%) — end-to-end rows, the selection-stage rows
+# (engine and reference sides), and the batch-compile rows alike.
 #
 # Usage:  scripts/bench_trend.sh PREV.json CURR.json [THRESHOLD_PCT]
 #
@@ -53,6 +54,21 @@ extract() {
           (.skew_rows[]? | {
               key: "skew_split/\(.workload)/workers=\(.workers)",
               sec: .split_sec
+          }),
+          (.select_rows[]? | {
+              key: "select_reference/\(.workload)/\(.strategy)/\(.config // "default")",
+              sec: .select_reference_sec
+          }),
+          (.batch_rows[]? | {
+              key: "batch/\(.workload)/workers=\(.workers)",
+              sec: .batch_sec
+          }),
+          # sequential_sec is one measurement repeated on every batch row,
+          # so extract it from the first row only (one comparison, one
+          # possible warning — not one per worker count).
+          ((.batch_rows // [])[0:1][] | {
+              key: "batch_sequential/\(.workload)",
+              sec: .sequential_sec
           })
         ]
         | .[] | select(.sec != null) | "\(.key)\t\(.sec)"
