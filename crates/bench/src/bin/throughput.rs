@@ -348,6 +348,82 @@ impl BatchRow {
     }
 }
 
+/// One row of the serving cold/warm comparison: a compile request driven
+/// through a real `mps-serve` loopback server, first against an empty
+/// artifact cache (`cold_sec`: full pipeline) and then repeated
+/// (`warm_sec`: a cache hit answered from the sharded artifact map). The
+/// ratio is the cache effect `BENCH_*.json` exists to record.
+struct ServeRow {
+    workload: &'static str,
+    config: &'static str,
+    capacity: usize,
+    pdef: usize,
+    cold_sec: f64,
+    warm_sec: f64,
+}
+
+impl ServeRow {
+    fn warm_speedup(&self) -> f64 {
+        self.cold_sec / self.warm_sec
+    }
+}
+
+/// Cold vs warm compile latency through the server, measured client-side
+/// over a real loopback socket (wire + parse + cache/pipeline + reply —
+/// the full serving path). One fresh server per row keeps cold honest;
+/// the cold shot is single-sample by nature (the second identical
+/// request is already warm), the warm side is best-of over repeats.
+fn measure_serve() -> Vec<ServeRow> {
+    use mps_serve::protocol::{Reply, Request};
+    use mps_serve::{spawn_loopback, Client, ServeOptions};
+
+    let mut rows = Vec::new();
+    for workload in ["fig2", "dft5"] {
+        for (config, capacity, pdef) in SELECT_CONFIGS {
+            let (addr, server) =
+                spawn_loopback(ServeOptions::default()).expect("bind loopback server");
+            let mut client = Client::connect(addr, 100, Duration::from_millis(20))
+                .expect("connect to loopback server");
+            let req = Request {
+                op: "compile".to_string(),
+                workload: Some(workload.to_string()),
+                pdef: Some(pdef),
+                capacity: Some(capacity),
+                ..Request::default()
+            };
+            let mut roundtrip = |expect_cached: bool| {
+                let t0 = Instant::now();
+                let reply = client.request(&req).expect("serve round trip");
+                let sec = t0.elapsed().as_secs_f64();
+                match reply {
+                    Reply::Compile(r) => assert_eq!(
+                        r.cached, expect_cached,
+                        "{workload}/{config}: unexpected cache state"
+                    ),
+                    other => panic!("{workload}/{config}: unexpected reply {other:?}"),
+                }
+                sec
+            };
+            let cold_sec = roundtrip(false);
+            let mut warm_sec = f64::INFINITY;
+            for _ in 0..50 {
+                warm_sec = warm_sec.min(roundtrip(true));
+            }
+            client.shutdown().expect("shutdown loopback server");
+            server.join().expect("server thread exits");
+            rows.push(ServeRow {
+                workload,
+                config,
+                capacity,
+                pdef,
+                cold_sec,
+                warm_sec,
+            });
+        }
+    }
+    rows
+}
+
 /// The batch queue: two copies each of eight mid-sized kernels — the
 /// serving shape (many independent graphs) with enough per-item weight
 /// (dct8 and dft5 classify hundreds of thousands of antichains at span 1)
@@ -405,7 +481,14 @@ fn span_str(limit: Option<u32>) -> String {
     }
 }
 
-fn print_json(rows: &[Row], select: &[SelectRow], skew: &[SkewRow], batch: &[BatchRow], pr: u32) {
+fn print_json(
+    rows: &[Row],
+    select: &[SelectRow],
+    skew: &[SkewRow],
+    batch: &[BatchRow],
+    serve: &[ServeRow],
+    pr: u32,
+) {
     println!("{{");
     println!("  \"pr\": {pr},");
     println!("  \"bench\": \"enumeration+classification throughput\",");
@@ -524,11 +607,40 @@ fn print_json(rows: &[Row], select: &[SelectRow], skew: &[SkewRow], batch: &[Bat
             comma
         );
     }
+    println!("  ],");
+    println!(
+        "  \"serve_note\": \"one compile request driven through an mps-serve loopback TCP \
+         server, measured client-side: cold_sec = first request (empty caches, full \
+         pipeline, single shot by nature), warm_sec = best-of-50 repeat of the identical \
+         request (artifact-cache hit); warm_speedup_vs_cold is the cache effect\","
+    );
+    println!("  \"serve_rows\": [");
+    for (i, r) in serve.iter().enumerate() {
+        let comma = if i + 1 == serve.len() { "" } else { "," };
+        println!(
+            "    {{\"workload\": \"{}\", \"config\": \"{}\", \"capacity\": {}, \"pdef\": {}, \
+             \"cold_sec\": {:.6}, \"warm_sec\": {:.9}, \"warm_speedup_vs_cold\": {:.1}}}{}",
+            r.workload,
+            r.config,
+            r.capacity,
+            r.pdef,
+            r.cold_sec,
+            r.warm_sec,
+            r.warm_speedup(),
+            comma
+        );
+    }
     println!("  ]");
     println!("}}");
 }
 
-fn print_table(rows: &[Row], select: &[SelectRow], skew: &[SkewRow], batch: &[BatchRow]) {
+fn print_table(
+    rows: &[Row],
+    select: &[SelectRow],
+    skew: &[SkewRow],
+    batch: &[BatchRow],
+    serve: &[ServeRow],
+) {
     println!(
         "{:<9} {:>5} {:>9} {:>11} {:>9} {:>14} {:>14} {:>9}",
         "workload", "nodes", "span", "antichains", "patterns", "enum/s", "classify/s", "speedup"
@@ -607,6 +719,23 @@ fn print_table(rows: &[Row], select: &[SelectRow], skew: &[SkewRow], batch: &[Ba
             r.speedup_vs_sequential(),
         );
     }
+    println!();
+    println!(
+        "{:<10} {:<9} {:>9} {:>6} {:>12} {:>12} {:>9}",
+        "serve", "config", "capacity", "pdef", "cold_sec", "warm_sec", "speedup"
+    );
+    for r in serve {
+        println!(
+            "{:<10} {:<9} {:>9} {:>6} {:>12.6} {:>12.9} {:>8.1}x",
+            r.workload,
+            r.config,
+            r.capacity,
+            r.pdef,
+            r.cold_sec,
+            r.warm_sec,
+            r.warm_speedup(),
+        );
+    }
 }
 
 fn smoke() -> i32 {
@@ -673,9 +802,10 @@ fn main() {
     let select = measure_select();
     let skew = measure_skew();
     let batch = measure_batch();
+    let serve = measure_serve();
     if json {
-        print_json(&rows, &select, &skew, &batch, pr);
+        print_json(&rows, &select, &skew, &batch, &serve, pr);
     } else {
-        print_table(&rows, &select, &skew, &batch);
+        print_table(&rows, &select, &skew, &batch, &serve);
     }
 }

@@ -10,15 +10,21 @@
 //! mps pipeline <workload> [--pdef N] [--span S] [--engine E] [--tp] [--json]
 //!                                           # software-pipeline a kernel
 //! mps patterns <workload> [--span S] [--dot]
+//! mps serve [--port P|--stdio] [--workers N] [--queue N] [--json]
+//! mps client [--port P] <compile <workload>|stats|ping|shutdown|raw '<json>'>
 //! ```
 //!
 //! The table-driven subcommands (`select`, `pipeline`, `patterns`) run on
 //! [`mps::Session`] — one staged compile each, sharing the flag parser
-//! below — and `--engine` accepts every [`SelectEngine`] name.
+//! below — and `--engine` accepts every [`SelectEngine`] name. `serve`
+//! and `client` are the `mps_serve` compile daemon and its driver (see
+//! `serve_cmd`).
 
 use mps::prelude::*;
 use mps::scheduler::ModuloConfig;
 use mps::{CompileConfig, MpsError};
+
+mod serve_cmd;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,8 +37,12 @@ fn main() {
         Some("select") => cmd_select(&args),
         Some("pipeline") => cmd_pipeline(&args),
         Some("patterns") => cmd_patterns(&args),
+        Some("serve") => serve_cmd::cmd_serve(&args),
+        Some("client") => serve_cmd::cmd_client(&args),
         _ => {
-            eprintln!("usage: mps <list|info|dot|schedule|select|pipeline|patterns> [args]");
+            eprintln!(
+                "usage: mps <list|info|dot|schedule|select|pipeline|patterns|serve|client> [args]"
+            );
             eprintln!("  (every <workload> argument also accepts a path to a");
             eprintln!("   graph file in the `node <name> <color>` text format)");
             eprintln!("  mps list");
@@ -45,6 +55,10 @@ fn main() {
                 "  mps pipeline <workload> [--pdef N] [--span S] [--engine E] [--tp] [--json]"
             );
             eprintln!("  mps patterns <workload> [--span S] [--dot]");
+            eprintln!("  mps serve [--port P|--stdio] [--workers N] [--queue N] [--json]");
+            eprintln!("  mps client [--port P] [--retries N] compile <workload> [--pdef N]");
+            eprintln!("             [--span S|none] [--capacity N] [--engine E] [--alus N]");
+            eprintln!("  mps client [--port P] <stats|ping|shutdown|raw '<json>'>");
             eprintln!("  engines (E): eq8 (alias cover), eq8-reference (alias reference),");
             eprintln!("               node-cover, node-cover-reference, coverage,");
             eprintln!("               coverage-reference, exhaustive, genetic, anneal, random");

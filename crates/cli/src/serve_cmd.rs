@@ -1,0 +1,238 @@
+//! The `mps serve` and `mps client` subcommands: the compile-server
+//! daemon and its line-oriented driver.
+//!
+//! ```text
+//! mps serve [--port P | --stdio] [--workers N] [--queue N] [--json]
+//! mps client [--port P] [--retries N] compile <workload|file> [--pdef N]
+//!            [--span S|none] [--capacity N] [--engine E] [--alus N] [--id N]
+//! mps client [--port P] (stats | ping | shutdown)
+//! mps client [--port P] raw '<json line>'
+//! ```
+//!
+//! `serve` listens on `127.0.0.1:<port>` (thread per connection) or, with
+//! `--stdio`, answers requests from stdin on stdout — handy behind
+//! `socat` or an init system. `--json` streams boot/compile/shutdown
+//! events as JSON lines on stdout (stderr in `--stdio` mode, where
+//! stdout carries replies). `client` prints the server's raw JSON reply
+//! line on stdout — pipe it to `jq` — and exits 0 on `ok:true`, 1 on an
+//! error reply.
+
+use mps_serve::protocol::{Reply, Request};
+use mps_serve::{Client, ServeOptions, Server};
+use std::net::TcpListener;
+use std::time::Duration;
+
+const DEFAULT_PORT: u16 = 7171;
+
+pub fn cmd_serve(args: &[String]) -> i32 {
+    let mut opts = ServeOptions::default();
+    let mut port = DEFAULT_PORT;
+    let mut stdio = false;
+    let mut json = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--stdio" => stdio = true,
+            "--json" => json = true,
+            "--port" | "--workers" | "--queue" => {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(value) = args.get(i).and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("{flag} needs an unsigned integer value");
+                    return 2;
+                };
+                match flag.as_str() {
+                    "--port" => match u16::try_from(value) {
+                        Ok(p) => port = p,
+                        Err(_) => {
+                            eprintln!("--port must fit in 16 bits");
+                            return 2;
+                        }
+                    },
+                    "--workers" => opts.workers = value.max(1),
+                    _ => opts.queue = value.max(1),
+                }
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other} (serve takes --port/--stdio/--workers/--queue/--json)"
+                );
+                return 2;
+            }
+        }
+        i += 1;
+    }
+
+    let server = Server::new(opts);
+    if stdio {
+        if json {
+            // stdout carries replies in stdio mode; log to stderr.
+            server.set_log(Box::new(std::io::stderr()));
+        }
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        if let Err(e) = server.run_stdio(&mut stdin.lock(), &mut stdout.lock()) {
+            eprintln!("serve: {e}");
+            return 1;
+        }
+    } else {
+        if json {
+            server.set_log(Box::new(std::io::stdout()));
+        }
+        let addr = format!("127.0.0.1:{port}");
+        let listener = match TcpListener::bind(&addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("serve: could not bind {addr}: {e}");
+                return 1;
+            }
+        };
+        eprintln!("mps serve: listening on {addr} ({} workers)", opts.workers);
+        if let Err(e) = server.run_tcp(listener) {
+            eprintln!("serve: {e}");
+            return 1;
+        }
+    }
+    server.finish();
+    0
+}
+
+pub fn cmd_client(args: &[String]) -> i32 {
+    let mut port = DEFAULT_PORT;
+    let mut retries = 50u32;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--port" | "--retries" => {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(value) = args.get(i).and_then(|v| v.parse::<u32>().ok()) else {
+                    eprintln!("{flag} needs an unsigned integer value");
+                    return 2;
+                };
+                if flag == "--port" {
+                    match u16::try_from(value) {
+                        Ok(p) => port = p,
+                        Err(_) => {
+                            eprintln!("--port must fit in 16 bits");
+                            return 2;
+                        }
+                    }
+                } else {
+                    retries = value;
+                }
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+    let Some(verb) = args.get(i) else {
+        eprintln!("client needs a verb: compile | stats | ping | shutdown | raw");
+        return 2;
+    };
+    let line = match verb.as_str() {
+        "stats" | "ping" | "shutdown" => Request::op(verb).to_line(),
+        "raw" => match args.get(i + 1) {
+            Some(raw) => raw.clone(),
+            None => {
+                eprintln!("raw needs one JSON line argument");
+                return 2;
+            }
+        },
+        "compile" => match compile_request(&args[i + 1..]) {
+            Ok(req) => req.to_line(),
+            Err(code) => return code,
+        },
+        other => {
+            eprintln!("unknown client verb '{other}' (compile | stats | ping | shutdown | raw)");
+            return 2;
+        }
+    };
+
+    let addr = ("127.0.0.1", port);
+    let mut client = match Client::connect(addr, retries, Duration::from_millis(100)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("client: could not connect to 127.0.0.1:{port}: {e}");
+            return 1;
+        }
+    };
+    let reply = match client.send_line(&line) {
+        Ok(reply) => reply,
+        Err(e) => {
+            eprintln!("client: {e}");
+            return 1;
+        }
+    };
+    println!("{reply}");
+    match Reply::from_line(&reply) {
+        Ok(Reply::Error(_)) => 1,
+        Ok(_) => 0,
+        Err(e) => {
+            eprintln!("client: undecodable reply: {e}");
+            1
+        }
+    }
+}
+
+/// Build a compile request from `compile <workload|file> [flags]`.
+///
+/// A graph argument naming an existing file is read and sent inline as
+/// `graph` text; anything else is sent as a registry `workload` name for
+/// the server to resolve.
+fn compile_request(args: &[String]) -> Result<Request, i32> {
+    let Some(target) = args.first() else {
+        eprintln!("compile needs a workload name or graph file");
+        return Err(2);
+    };
+    let mut req = Request::op("compile");
+    if std::path::Path::new(target).exists() {
+        match std::fs::read_to_string(target) {
+            Ok(text) => req.graph = Some(text),
+            Err(e) => {
+                eprintln!("could not read {target}: {e}");
+                return Err(2);
+            }
+        }
+    } else {
+        req.workload = Some(target.clone());
+    }
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let Some(value) = args.get(i) else {
+            eprintln!("{flag} needs a value");
+            return Err(2);
+        };
+        match flag {
+            "--span" if value == "none" => req.span = Some(None),
+            "--span" => match value.parse::<u32>() {
+                Ok(n) => req.span = Some(Some(n)),
+                Err(_) => {
+                    eprintln!("--span needs an unsigned integer or 'none'");
+                    return Err(2);
+                }
+            },
+            "--engine" => req.engine = Some(value.clone()),
+            "--pdef" | "--capacity" | "--alus" | "--id" => match value.parse::<u64>() {
+                Ok(n) => match flag {
+                    "--pdef" => req.pdef = Some(n as usize),
+                    "--capacity" => req.capacity = Some(n as usize),
+                    "--alus" => req.alus = Some(n as usize),
+                    _ => req.id = Some(n),
+                },
+                Err(_) => {
+                    eprintln!("{flag} needs an unsigned integer value");
+                    return Err(2);
+                }
+            },
+            other => {
+                eprintln!("unknown compile flag {other}");
+                return Err(2);
+            }
+        }
+        i += 1;
+    }
+    Ok(req)
+}

@@ -66,14 +66,16 @@ pub use mps_select as select;
 pub use mps_workloads as workloads;
 
 mod error;
+mod metrics;
 mod session;
 
 pub use error::{MpsError, Stage};
+pub use metrics::{SharedStageMetrics, StageMetrics};
 pub use mps_scheduler::ScheduleEngine;
 pub use mps_select::SelectEngine;
 pub use session::{
     Analysis, CompileConfig, CompileResult, Enumerated, Mapped, Scheduled, Selected, Session,
-    StageMetrics,
+    TableCache,
 };
 
 /// The most common imports in one place.

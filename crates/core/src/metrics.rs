@@ -1,0 +1,198 @@
+//! Per-compile instrumentation and its thread-safe aggregation.
+//!
+//! [`StageMetrics`] is carried by every stage chain and accumulated on the
+//! owning [`crate::Session`]. The serving layer aggregates metrics from
+//! *concurrent* compiles across many sessions, which single-ownership
+//! accumulation cannot express — that is what [`StageMetrics::merge`]
+//! (order-insensitive pairwise combination) and [`SharedStageMetrics`]
+//! (a lock-protected accumulator any thread can merge into) are for. The
+//! `concurrent_merges_equal_sequential_sum` property test below pins the
+//! contract: merging a set of metrics from racing threads produces exactly
+//! the sequential sum.
+
+use std::sync::Mutex;
+
+/// Per-compile instrumentation: wall time per stage plus the counters
+/// that describe what the stages did.
+///
+/// Each stage artifact carries the metrics of its own chain (returned in
+/// [`crate::CompileResult::metrics`]); the [`crate::Session`] additionally
+/// accumulates every chain into [`crate::Session::metrics`], which is how
+/// the table cache is observable: a re-select over a cached table bumps
+/// [`StageMetrics::table_cache_hits`] instead of
+/// [`StageMetrics::table_builds`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StageMetrics {
+    /// Wall time of DFG analysis (ASAP/ALAP/height, reachability).
+    pub analyze_sec: f64,
+    /// Wall time of antichain enumeration + classification (zero when
+    /// the table came from the session cache).
+    pub enumerate_sec: f64,
+    /// Wall time of pattern selection.
+    pub select_sec: f64,
+    /// Wall time of scheduling.
+    pub schedule_sec: f64,
+    /// Wall time of tile mapping/replay.
+    pub map_tile_sec: f64,
+    /// Antichains classified into the (most recent) pattern table.
+    pub antichains: u64,
+    /// Distinct candidate patterns in the (most recent) table.
+    pub table_patterns: usize,
+    /// Selection rounds recorded by the (most recent) engine run.
+    pub select_rounds: usize,
+    /// Schedule length of the (most recent) schedule stage, in cycles.
+    pub cycles: usize,
+    /// Pattern tables built (cache misses).
+    pub table_builds: usize,
+    /// Enumerate stages served from the session's table cache.
+    pub table_cache_hits: usize,
+}
+
+impl StageMetrics {
+    /// Total wall time across all stages.
+    pub fn total_sec(&self) -> f64 {
+        self.analyze_sec
+            + self.enumerate_sec
+            + self.select_sec
+            + self.schedule_sec
+            + self.map_tile_sec
+    }
+
+    /// Fold `other` into `self`, field by field: every wall time and
+    /// every counter is **summed**.
+    ///
+    /// This is the cross-compile aggregation operation (a server rolling
+    /// many compiles into one running total), so the fields a [`crate::Session`]
+    /// treats as "most recent" (`antichains`, `table_patterns`,
+    /// `select_rounds`, `cycles`) become totals here — an aggregate has no
+    /// meaningful "most recent" chain. Summation is commutative, so any
+    /// merge order over a set of metrics produces the same counters (and,
+    /// for wall times, the same value whenever the sums are exact —
+    /// see `SharedStageMetrics` for the concurrent contract).
+    pub fn merge(&mut self, other: &StageMetrics) {
+        self.analyze_sec += other.analyze_sec;
+        self.enumerate_sec += other.enumerate_sec;
+        self.select_sec += other.select_sec;
+        self.schedule_sec += other.schedule_sec;
+        self.map_tile_sec += other.map_tile_sec;
+        self.antichains += other.antichains;
+        self.table_patterns += other.table_patterns;
+        self.select_rounds += other.select_rounds;
+        self.cycles += other.cycles;
+        self.table_builds += other.table_builds;
+        self.table_cache_hits += other.table_cache_hits;
+    }
+}
+
+/// A thread-safe [`StageMetrics`] accumulator: concurrent compiles merge
+/// their per-chain metrics in with [`SharedStageMetrics::record`], readers
+/// take a consistent copy with [`SharedStageMetrics::snapshot`].
+///
+/// Every `record` merges under one lock, so no update is ever lost or
+/// torn; counters are exact under any interleaving. Wall-time fields are
+/// `f64` sums, so across *different merge orders* they agree exactly
+/// whenever the additions are exact (always within < 1 ULP otherwise —
+/// float addition is commutative, only association order varies).
+#[derive(Debug, Default)]
+pub struct SharedStageMetrics {
+    inner: Mutex<StageMetrics>,
+}
+
+impl SharedStageMetrics {
+    /// A fresh accumulator with all-zero totals.
+    pub fn new() -> SharedStageMetrics {
+        SharedStageMetrics::default()
+    }
+
+    /// Merge one compile's metrics into the running totals.
+    pub fn record(&self, metrics: &StageMetrics) {
+        self.inner
+            .lock()
+            .expect("metrics lock poisoned")
+            .merge(metrics);
+    }
+
+    /// A consistent copy of the current totals.
+    pub fn snapshot(&self) -> StageMetrics {
+        self.inner.lock().expect("metrics lock poisoned").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    fn sample(seed: u64) -> StageMetrics {
+        // Times are multiples of 0.25 with small magnitude: exactly
+        // representable, so f64 sums are exact in ANY association order
+        // and the concurrent-vs-sequential comparison below is legitimate
+        // equality, not an epsilon test.
+        let q = |k: u64| (seed.wrapping_mul(k) % 1000) as f64 * 0.25;
+        StageMetrics {
+            analyze_sec: q(3),
+            enumerate_sec: q(5),
+            select_sec: q(7),
+            schedule_sec: q(11),
+            map_tile_sec: q(13),
+            antichains: seed % 100_000,
+            table_patterns: (seed % 997) as usize,
+            select_rounds: (seed % 31) as usize,
+            cycles: (seed % 503) as usize,
+            table_builds: (seed % 5) as usize,
+            table_cache_hits: (seed % 7) as usize,
+        }
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let mut a = sample(17);
+        let b = sample(23);
+        let expect_total = a.total_sec() + b.total_sec();
+        let expect_antichains = a.antichains + b.antichains;
+        a.merge(&b);
+        assert_eq!(a.total_sec(), expect_total);
+        assert_eq!(a.antichains, expect_antichains);
+        // Merging the zero element is the identity.
+        let before = a.clone();
+        a.merge(&StageMetrics::default());
+        assert_eq!(a, before);
+    }
+
+    proptest! {
+        /// The satellite contract: N threads racing `record` on a shared
+        /// accumulator end at exactly the metrics a sequential merge of
+        /// the same set produces, regardless of interleaving.
+        #[test]
+        fn concurrent_merges_equal_sequential_sum(seeds in proptest::collection::vec(1u64..1_000_000, 1..40)) {
+            let mut sequential = StageMetrics::default();
+            for &s in &seeds {
+                sequential.merge(&sample(s));
+            }
+
+            let shared = Arc::new(SharedStageMetrics::new());
+            let threads = 4.min(seeds.len());
+            let chunks: Vec<Vec<u64>> = seeds
+                .chunks(seeds.len().div_ceil(threads))
+                .map(<[u64]>::to_vec)
+                .collect();
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || {
+                        for s in chunk {
+                            shared.record(&sample(s));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("recorder thread panicked");
+            }
+
+            prop_assert_eq!(shared.snapshot(), sequential);
+        }
+    }
+}

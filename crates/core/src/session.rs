@@ -27,12 +27,13 @@
 //! session is one error type, [`MpsError`], tagged with its stage.
 
 use crate::error::MpsError;
+pub use crate::metrics::StageMetrics;
 use mps_dfg::{AnalyzedDfg, Dfg};
 use mps_montium::{execute, ExecReport, TileParams};
 use mps_patterns::{EnumerateConfig, PatternSet, PatternTable};
 use mps_scheduler::{EngineSchedule, Schedule, ScheduleEngine, ScheduleTrace};
 use mps_select::{SelectConfig, SelectEngine, SelectionOutcome};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Configuration of a whole staged compile: selection parameters, the two
@@ -55,50 +56,26 @@ pub struct CompileConfig {
     pub tile: Option<TileParams>,
 }
 
-/// Per-compile instrumentation: wall time per stage plus the counters
-/// that describe what the stages did.
-///
-/// Each stage artifact carries the metrics of its own chain (returned in
-/// [`CompileResult::metrics`]); the [`Session`] additionally accumulates
-/// every chain into [`Session::metrics`], which is how the table cache
-/// is observable: a re-select over a cached table bumps
-/// [`StageMetrics::table_cache_hits`] instead of
-/// [`StageMetrics::table_builds`].
-#[derive(Clone, Debug, Default, PartialEq)]
-pub struct StageMetrics {
-    /// Wall time of DFG analysis (ASAP/ALAP/height, reachability).
-    pub analyze_sec: f64,
-    /// Wall time of antichain enumeration + classification (zero when
-    /// the table came from the session cache).
-    pub enumerate_sec: f64,
-    /// Wall time of pattern selection.
-    pub select_sec: f64,
-    /// Wall time of scheduling.
-    pub schedule_sec: f64,
-    /// Wall time of tile mapping/replay.
-    pub map_tile_sec: f64,
-    /// Antichains classified into the (most recent) pattern table.
-    pub antichains: u64,
-    /// Distinct candidate patterns in the (most recent) table.
-    pub table_patterns: usize,
-    /// Selection rounds recorded by the (most recent) engine run.
-    pub select_rounds: usize,
-    /// Schedule length of the (most recent) schedule stage, in cycles.
-    pub cycles: usize,
-    /// Pattern tables built (cache misses).
-    pub table_builds: usize,
-    /// Enumerate stages served from the session's table cache.
-    pub table_cache_hits: usize,
-}
-
-impl StageMetrics {
-    /// Total wall time across all stages.
-    pub fn total_sec(&self) -> f64 {
-        self.analyze_sec
-            + self.enumerate_sec
-            + self.select_sec
-            + self.schedule_sec
-            + self.map_tile_sec
+impl CompileConfig {
+    /// A stable 64-bit content hash of the whole configuration — every
+    /// selection parameter, both engine choices (including their nested
+    /// configs), and the tile stage.
+    ///
+    /// Together with [`mps_dfg::Dfg::content_hash`] this is the artifact
+    /// identity the serving layer caches compiles under: equal hashes ⇔
+    /// equal configs (modulo 64-bit collision). Implemented as FNV-1a
+    /// over the derived `Debug` rendering, which faithfully spells out
+    /// every field of every nested config — including `f64`s, which
+    /// `Debug` prints with shortest-round-trip precision, so distinct
+    /// values never collapse to one rendering.
+    pub fn content_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for b in format!("{self:?}").bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        h
     }
 }
 
@@ -113,6 +90,112 @@ struct TableKey {
     capacity: usize,
     span: Option<u32>,
     parallel: bool,
+}
+
+/// One [`TableCache`] entry: a single-flight slot. The first session to
+/// claim a key builds into the slot; concurrent sessions on the same key
+/// block on the condvar until the table lands instead of re-enumerating.
+#[derive(Debug, Default)]
+struct TableSlot {
+    ready: Mutex<Option<Arc<PatternTable>>>,
+    cv: Condvar,
+}
+
+impl TableSlot {
+    /// Block until the building session publishes the table.
+    fn wait(&self) -> Arc<PatternTable> {
+        let mut ready = self.ready.lock().expect("table slot poisoned");
+        loop {
+            if let Some(table) = ready.as_ref() {
+                return Arc::clone(table);
+            }
+            ready = self.cv.wait(ready).expect("table slot poisoned");
+        }
+    }
+
+    fn publish(&self, table: &Arc<PatternTable>) {
+        *self.ready.lock().expect("table slot poisoned") = Some(Arc::clone(table));
+        self.cv.notify_all();
+    }
+}
+
+/// A **process-wide**, single-flight pattern-table cache shared across
+/// sessions.
+///
+/// The per-[`Session`] cache dies with its session; a serving process
+/// compiles the same graph from many short-lived sessions on many
+/// threads, so the expensive artifact — the §5.1 [`PatternTable`] — must
+/// be shared wider. Entries are keyed exactly like the session cache
+/// (capacity, span, worker policy) plus the graph's
+/// [`content_hash`](mps_dfg::Dfg::content_hash), and population is
+/// **single-flight**: when N sessions race on one key, one builds and
+/// N−1 block until the table is published, so a burst of identical
+/// requests costs one enumeration ([`Session::metrics`] shows one
+/// `table_builds` total across them; the property is pinned by the
+/// serving integration tests).
+///
+/// Create with [`TableCache::new`], hand an `Arc` of it to
+/// [`Session::with_shared_tables`]. Eviction is deliberately absent:
+/// tables are the cache's whole point, and a serving deployment bounds
+/// them by bounding the workload set (see `mps-serve`).
+#[derive(Debug, Default)]
+pub struct TableCache {
+    /// Linear-scan entry list, like the session-local cache: the key
+    /// space is (graphs × a handful of policies), and lookups happen once
+    /// per enumerate stage, not in any inner loop.
+    entries: Mutex<Vec<CacheEntry>>,
+}
+
+/// One cached table: (graph content hash, table policy key) → slot.
+type CacheEntry = ((u64, TableKey), Arc<TableSlot>);
+
+impl TableCache {
+    /// An empty cache.
+    pub fn new() -> TableCache {
+        TableCache::default()
+    }
+
+    /// Number of tables (and in-flight builds) currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("table cache poisoned").len()
+    }
+
+    /// `true` if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch the table for `(graph, key)`, building it with `build` if
+    /// this is the first request for the key. Returns the table and
+    /// whether **this call** built it (`false` = served from cache or
+    /// from another session's in-flight build).
+    fn get_or_build(
+        &self,
+        graph: u64,
+        key: TableKey,
+        build: impl FnOnce() -> PatternTable,
+    ) -> (Arc<PatternTable>, bool) {
+        let (slot, claimed) = {
+            let mut entries = self.entries.lock().expect("table cache poisoned");
+            match entries.iter().find(|(k, _)| *k == (graph, key)) {
+                Some((_, slot)) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Arc::new(TableSlot::default());
+                    entries.push(((graph, key), Arc::clone(&slot)));
+                    (slot, true)
+                }
+            }
+        };
+        if !claimed {
+            // Wait outside the entries lock so other keys stay available.
+            return (slot.wait(), false);
+        }
+        // Build outside the entries lock: other keys stay available, and
+        // same-key sessions wait on the slot, not on the whole cache.
+        let table = Arc::new(build());
+        slot.publish(&table);
+        (table, true)
+    }
 }
 
 /// A staged, batch-capable compiler session over one data-flow graph.
@@ -143,6 +226,9 @@ pub struct Session {
     /// Cached tables; a handful of entries at most, so a linear scan
     /// beats hashing the key.
     tables: Vec<(TableKey, Arc<PatternTable>)>,
+    /// The process-wide table cache this session shares, if any, plus the
+    /// graph's content hash (computed once at construction).
+    shared: Option<(u64, Arc<TableCache>)>,
     metrics: StageMetrics,
 }
 
@@ -160,7 +246,28 @@ impl Session {
             adfg: None,
             cfg,
             tables: Vec::new(),
+            shared: None,
             metrics: StageMetrics::default(),
+        }
+    }
+
+    /// A session over `dfg` that additionally reads and populates a
+    /// **process-wide** [`TableCache`], keyed by the graph's
+    /// [`content_hash`](Dfg::content_hash) (computed here, once).
+    ///
+    /// The session-local cache still fronts it — a chain re-entering a
+    /// key this session already holds touches no locks — but first use of
+    /// a key consults `cache` before enumerating, so short-lived sessions
+    /// over recurring graphs (the serving shape) skip the dominant cost.
+    /// Metrics keep their meaning: a table served from the shared cache
+    /// counts as a [`StageMetrics::table_cache_hits`], an actual build as
+    /// a [`StageMetrics::table_builds`] — so N racing sessions over one
+    /// new key record exactly one build among them.
+    pub fn with_shared_tables(dfg: Dfg, cfg: CompileConfig, cache: Arc<TableCache>) -> Session {
+        let graph = dfg.content_hash();
+        Session {
+            shared: Some((graph, cache)),
+            ..Session::with_config(dfg, cfg)
         }
     }
 
@@ -310,12 +417,29 @@ impl<'s> Analysis<'s> {
                     parallel: key.parallel,
                 };
                 let t0 = Instant::now();
-                let table = Arc::new(PatternTable::build(session.analyzed(), ecfg));
+                // First use of this key in this session: build — unless
+                // the session shares a process-wide cache that already
+                // holds (or is concurrently building) the table.
+                let (table, built) = match &session.shared {
+                    Some((graph, cache)) => {
+                        let adfg = session.adfg.as_ref().expect("analysis ran");
+                        cache.get_or_build(*graph, key, || PatternTable::build(adfg, ecfg))
+                    }
+                    None => (
+                        Arc::new(PatternTable::build(session.analyzed(), ecfg)),
+                        true,
+                    ),
+                };
                 let dt = t0.elapsed().as_secs_f64();
                 metrics.enumerate_sec += dt;
-                metrics.table_builds += 1;
                 session.metrics.enumerate_sec += dt;
-                session.metrics.table_builds += 1;
+                if built {
+                    metrics.table_builds += 1;
+                    session.metrics.table_builds += 1;
+                } else {
+                    metrics.table_cache_hits += 1;
+                    session.metrics.table_cache_hits += 1;
+                }
                 session.tables.push((key, Arc::clone(&table)));
                 table
             }
@@ -631,6 +755,88 @@ mod tests {
         );
         let err = session.compile().unwrap_err();
         assert_eq!(err.stage(), crate::error::Stage::MapTile);
+    }
+
+    #[test]
+    fn shared_table_cache_spans_sessions() {
+        let cache = Arc::new(TableCache::new());
+        let cfg = CompileConfig::default();
+        let mut first = Session::with_shared_tables(fig2(), cfg.clone(), Arc::clone(&cache));
+        let cold = first.compile().unwrap();
+        assert_eq!(first.metrics().table_builds, 1);
+        assert_eq!(cache.len(), 1);
+
+        // A *new* session over the same graph+config: no local cache to
+        // hit, but the shared table serves it — zero builds, one hit.
+        let mut second = Session::with_shared_tables(fig2(), cfg.clone(), Arc::clone(&cache));
+        let warm = second.compile().unwrap();
+        assert_eq!(second.metrics().table_builds, 0);
+        assert_eq!(second.metrics().table_cache_hits, 1);
+        assert_eq!(warm.selection, cold.selection);
+        assert_eq!(warm.schedule, cold.schedule);
+        assert_eq!(cache.len(), 1);
+
+        // A different graph is a different key.
+        let mut other = Session::with_shared_tables(fig4(), cfg, Arc::clone(&cache));
+        other.compile().unwrap();
+        assert_eq!(other.metrics().table_builds, 1);
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn racing_sessions_build_each_table_once() {
+        // Single-flight: N threads × a cold shared cache on one graph key
+        // must record exactly one build among them, and every session's
+        // result must be bit-identical.
+        let cache = Arc::new(TableCache::new());
+        let cfg = CompileConfig::default();
+        let results: Vec<(CompileResult, StageMetrics)> = mps_par::par_map_in(4, &[(); 8], |_| {
+            let mut s = Session::with_shared_tables(fig2(), cfg.clone(), Arc::clone(&cache));
+            let r = s.compile().unwrap();
+            (r, s.metrics().clone())
+        });
+        let builds: usize = results.iter().map(|(_, m)| m.table_builds).sum();
+        let hits: usize = results.iter().map(|(_, m)| m.table_cache_hits).sum();
+        assert_eq!(builds, 1, "one enumeration for the whole burst");
+        assert_eq!(hits, results.len() - 1);
+        for (r, _) in &results[1..] {
+            assert_eq!(r.selection, results[0].0.selection);
+            assert_eq!(r.schedule, results[0].0.schedule);
+        }
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn compile_config_content_hash_separates_configs() {
+        let base = CompileConfig::default();
+        assert_eq!(base.content_hash(), CompileConfig::default().content_hash());
+        let pdef = CompileConfig {
+            select: SelectConfig {
+                pdef: 5,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert_ne!(base.content_hash(), pdef.content_hash());
+        let engine = CompileConfig {
+            engine: SelectEngine::NodeCover,
+            ..Default::default()
+        };
+        assert_ne!(base.content_hash(), engine.content_hash());
+        let eps = CompileConfig {
+            select: SelectConfig {
+                epsilon: 0.5000000001,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert_ne!(base.content_hash(), eps.content_hash(), "f64 fields count");
+        let tiled = CompileConfig {
+            tile: Some(TileParams::default()),
+            ..Default::default()
+        };
+        assert_ne!(base.content_hash(), tiled.content_hash());
     }
 
     #[test]

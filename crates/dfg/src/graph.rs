@@ -255,6 +255,37 @@ impl Dfg {
         hist
     }
 
+    /// A stable 64-bit content hash of the graph: node names, colors, and
+    /// edges, in insertion order. Two graphs hash equal iff they would
+    /// compare equal under `==` (modulo the astronomically unlikely
+    /// collision), independent of process, run, or platform — the identity
+    /// key the serving layer's artifact and table caches are built on.
+    pub fn content_hash(&self) -> u64 {
+        // FNV-1a, 64-bit: no std::hash dependence, so the value is stable
+        // across Rust versions (DefaultHasher makes no such promise).
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        };
+        eat(&(self.nodes.len() as u64).to_le_bytes());
+        for n in &self.nodes {
+            eat(n.name.as_bytes());
+            // NUL-terminate the name so ("ab", color 1) can never collide
+            // with ("a", …): node names come from identifiers and never
+            // contain NUL.
+            eat(&[0, n.color.0]);
+        }
+        for (u, v) in self.edges() {
+            eat(&u.0.to_le_bytes());
+            eat(&v.0.to_le_bytes());
+        }
+        h
+    }
+
     /// Find a node by name (linear scan; intended for tests and examples).
     pub fn find(&self, name: &str) -> Option<NodeId> {
         self.nodes
@@ -415,5 +446,40 @@ mod tests {
         let g = diamond();
         assert!(g.find("s").is_some());
         assert!(g.find("nope").is_none());
+    }
+
+    #[test]
+    fn content_hash_tracks_equality() {
+        let g = diamond();
+        assert_eq!(g.content_hash(), diamond().content_hash());
+        assert_eq!(g.content_hash(), g.clone().content_hash());
+
+        // Any structural difference — name, color, edge set — changes it.
+        let mut b = DfgBuilder::new();
+        let x = b.add_node("x", c('a'));
+        let y = b.add_node("y", c('b'));
+        b.add_edge(x, y).unwrap();
+        let with_edge = b.build().unwrap();
+        let mut b = DfgBuilder::new();
+        b.add_node("x", c('a'));
+        b.add_node("y", c('b'));
+        let without_edge = b.build().unwrap();
+        assert_ne!(with_edge.content_hash(), without_edge.content_hash());
+
+        let mut b = DfgBuilder::new();
+        b.add_node("x", c('a'));
+        b.add_node("y", c('c'));
+        let recolored = b.build().unwrap();
+        assert_ne!(without_edge.content_hash(), recolored.content_hash());
+
+        // The name/color boundary is unambiguous: ("ab", …) never hashes
+        // like ("a", …) with the following byte absorbed into the name.
+        let mut b = DfgBuilder::new();
+        b.add_node("ab", c('a'));
+        let joined = b.build().unwrap();
+        let mut b = DfgBuilder::new();
+        b.add_node("a", c('b'));
+        let split = b.build().unwrap();
+        assert_ne!(joined.content_hash(), split.content_hash());
     }
 }

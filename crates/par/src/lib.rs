@@ -22,7 +22,10 @@
 //!   claim.
 //! * [`par_reduce`] — parallel map + associative fold,
 //! * [`par_for_each`] — side-effecting variant,
-//! * [`parallelism`] — thread-count heuristic honouring `MPS_THREADS`.
+//! * [`parallelism`] — thread-count heuristic honouring `MPS_THREADS`,
+//! * [`BoundedQueue`] — a blocking bounded MPMC queue, the admission
+//!   primitive of the `mps-serve` daemon (backpressure on producers, clean
+//!   drain-on-close for consumers).
 //!
 //! All entry points fall back to straight sequential execution when the input
 //! is small or only one hardware thread is available, so callers never pay
@@ -46,7 +49,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 mod chunk;
 #[allow(unsafe_code)] // isolated disjoint-chunk writes; see module docs
 mod fill;
+mod queue;
 pub use chunk::chunk_ranges;
+pub use queue::{BoundedQueue, PushError};
 
 /// Inputs shorter than this are always processed sequentially. Two is the
 /// smallest input that can be split at all; anything at or above it may be

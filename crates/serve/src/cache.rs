@@ -1,0 +1,182 @@
+//! The sharded, single-flight artifact cache: compile results keyed by
+//! `(graph content hash, config content hash)`.
+//!
+//! This is the serving layer's second cache tier, above the process-wide
+//! [`mps::TableCache`]: the table cache deduplicates the expensive
+//! *enumeration* across configs that share a table, this one
+//! deduplicates *whole compiles* of identical requests — a hot request
+//! costs one hash lookup. Keys shard across independent locks so worker
+//! threads on different artifacts never contend, and population is
+//! single-flight like the table tier: N racing identical requests run
+//! one compile, N−1 block on the slot's condvar, and the whole burst
+//! records one `table_builds`.
+//!
+//! Failed compiles are cached too: the pipeline is deterministic, so an
+//! input that failed once fails identically forever, and re-running it
+//! per request would make error-storms expensive.
+
+use mps::{CompileResult, MpsError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What one compile produced (results are shared, errors cloned).
+pub type Outcome = Result<Arc<CompileResult>, MpsError>;
+
+/// Cache key: graph content hash × config content hash.
+pub type Key = (u64, u64);
+
+/// One in-flight-or-done artifact: single-flight slot, same shape as the
+/// table-cache slots in `mps::session`.
+#[derive(Debug, Default)]
+struct Slot {
+    ready: Mutex<Option<Outcome>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn wait(&self) -> Outcome {
+        let mut ready = self.ready.lock().expect("artifact slot poisoned");
+        loop {
+            if let Some(outcome) = ready.as_ref() {
+                return outcome.clone();
+            }
+            ready = self.cv.wait(ready).expect("artifact slot poisoned");
+        }
+    }
+
+    fn publish(&self, outcome: &Outcome) {
+        *self.ready.lock().expect("artifact slot poisoned") = Some(outcome.clone());
+        self.cv.notify_all();
+    }
+}
+
+/// A sharded, single-flight map from [`Key`] to compile [`Outcome`],
+/// with hit/miss counters.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    shards: Vec<Mutex<HashMap<Key, Arc<Slot>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// A cache with `shards` independent lock domains (clamped ≥ 1).
+    pub fn new(shards: usize) -> ArtifactCache {
+        ArtifactCache {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: Key) -> &Mutex<HashMap<Key, Arc<Slot>>> {
+        // The halves are already FNV hashes; folding them is plenty to
+        // spread shards.
+        let mix = key.0 ^ key.1.rotate_left(32);
+        &self.shards[(mix % self.shards.len() as u64) as usize]
+    }
+
+    /// Fetch the outcome for `key`, running `compute` if this is the
+    /// first request. Returns the outcome and whether it was a cache hit
+    /// (`true` = this call did not run `compute`; a hit may still block
+    /// briefly on another request's in-flight compute).
+    pub fn get_or_compute(&self, key: Key, compute: impl FnOnce() -> Outcome) -> (Outcome, bool) {
+        let (slot, claimed) = {
+            let mut shard = self.shard(key).lock().expect("artifact shard poisoned");
+            match shard.get(&key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Arc::new(Slot::default());
+                    shard.insert(key, Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        if !claimed {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (slot.wait(), true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let outcome = compute();
+        slot.publish(&outcome);
+        (outcome, false)
+    }
+
+    /// Requests answered from the cache (including waits on in-flight
+    /// computes).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that ran the compute.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct artifacts (including in-flight ones) currently held.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("artifact shard poisoned").len())
+            .sum()
+    }
+
+    /// `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps::Session;
+
+    fn compile_fig4() -> Outcome {
+        Session::new(mps::workloads::fig4()).compile().map(Arc::new)
+    }
+
+    #[test]
+    fn second_request_hits() {
+        let cache = ArtifactCache::new(4);
+        let (a, hit_a) = cache.get_or_compute((1, 2), compile_fig4);
+        let (b, hit_b) = cache.get_or_compute((1, 2), || panic!("must not recompute"));
+        assert!(!hit_a && hit_b);
+        assert!(Arc::ptr_eq(a.as_ref().unwrap(), b.as_ref().unwrap()));
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+        // A different key computes independently.
+        let (_, hit_c) = cache.get_or_compute((1, 3), compile_fig4);
+        assert!(!hit_c);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn errors_are_cached_outcomes_too() {
+        let cache = ArtifactCache::new(1);
+        let fail = || Err(MpsError::from(mps::scheduler::ScheduleError::NoPatterns));
+        let (a, _) = cache.get_or_compute((9, 9), fail);
+        let (b, hit) = cache.get_or_compute((9, 9), || panic!("must not recompute"));
+        assert!(a.is_err() && b.is_err() && hit);
+    }
+
+    #[test]
+    fn racing_identical_requests_compute_once() {
+        let cache = Arc::new(ArtifactCache::new(8));
+        let computes = Arc::new(AtomicU64::new(0));
+        let outcomes = mps::par::par_map_in(4, &[(); 8], |_| {
+            let (outcome, hit) = cache.get_or_compute((5, 5), || {
+                computes.fetch_add(1, Ordering::SeqCst);
+                compile_fig4()
+            });
+            (outcome.unwrap().cycles, hit)
+        });
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "single-flight");
+        assert_eq!(outcomes.iter().filter(|(_, hit)| !hit).count(), 1);
+        assert!(outcomes.iter().all(|(c, _)| *c == outcomes[0].0));
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 7);
+    }
+}

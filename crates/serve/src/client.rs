@@ -1,0 +1,90 @@
+//! A minimal line-oriented client for the serve protocol, used by
+//! `mps client`, the integration tests and the serving benches.
+
+use crate::protocol::{Reply, Request, StatsReply};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One connection to a compile server.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect, retrying `retries` times with `delay` between attempts —
+    /// the server may still be binding when a script races it up.
+    pub fn connect<A: ToSocketAddrs + Copy>(
+        addr: A,
+        retries: u32,
+        delay: Duration,
+    ) -> io::Result<Client> {
+        let mut last = None;
+        for attempt in 0..=retries {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    // Request/reply lines are tiny; without TCP_NODELAY the
+                    // Nagle/delayed-ACK interaction adds ~40 ms per round
+                    // trip, dwarfing a cache-hit compile.
+                    stream.set_nodelay(true)?;
+                    let reader = BufReader::new(stream.try_clone()?);
+                    return Ok(Client {
+                        writer: stream,
+                        reader,
+                    });
+                }
+                Err(e) => {
+                    last = Some(e);
+                    if attempt < retries {
+                        std::thread::sleep(delay);
+                    }
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("no connect attempt made")))
+    }
+
+    /// Send one raw request line, return the raw reply line.
+    pub fn send_line(&mut self, line: &str) -> io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(reply.trim_end().to_string())
+    }
+
+    /// Send a typed request, decode the typed reply.
+    pub fn request(&mut self, req: &Request) -> io::Result<Reply> {
+        let line = self.send_line(&req.to_line())?;
+        Reply::from_line(&line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// `stats` convenience.
+    pub fn stats(&mut self) -> io::Result<StatsReply> {
+        match self.request(&Request::op("stats"))? {
+            Reply::Stats(stats) => Ok(*stats),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected stats reply, got {other:?}"),
+            )),
+        }
+    }
+
+    /// `shutdown` convenience; the server acknowledges, then drains and
+    /// exits.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.request(&Request::op("shutdown"))? {
+            Reply::Shutdown(_) => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected shutdown ack, got {other:?}"),
+            )),
+        }
+    }
+}

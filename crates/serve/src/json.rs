@@ -1,0 +1,434 @@
+//! JSON text ↔ [`serde::Value`], for the newline-delimited wire protocol.
+//!
+//! The vendored `serde` is a value-tree stand-in with no text format of
+//! its own, so the serving layer carries one: a writer and a
+//! recursive-descent parser covering exactly the JSON subset the protocol
+//! needs. The mapping is the obvious one — [`Value::Unit`] ↔ `null`,
+//! [`Value::Map`] ↔ object (field order preserved), numbers classed on
+//! parse as unsigned / signed / float by shape. Round-tripping is pinned
+//! by the tests below; emitted text never contains a raw newline, which
+//! is what makes one-line-per-message framing safe.
+
+use serde::Value;
+use std::fmt::Write as _;
+
+/// Render a value as compact single-line JSON.
+///
+/// Strings escape `"`, `\` and all control characters (`\n`, `\t`, … and
+/// `\u00XX` for the rest), so the output is always newline-free. `NaN`
+/// and infinities have no JSON spelling; they render as `null`, like
+/// `serde_json` does.
+pub fn write(value: &Value) -> String {
+    let mut out = String::new();
+    write_into(&mut out, value);
+    out
+}
+
+fn write_into(out: &mut String, value: &Value) {
+    match value {
+        Value::Unit => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(x) => {
+            if x.is_finite() {
+                // `{x:?}` is shortest-round-trip and always keeps a `.0`
+                // or exponent on integral values, so the reader classes
+                // it back as a float.
+                let _ = write!(out, "{x:?}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_str(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_into(out, item);
+            }
+            out.push(']');
+        }
+        Value::Map(fields) => {
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_str(out, key);
+                out.push(':');
+                write_into(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse one JSON document into a [`Value`].
+///
+/// Numbers are classed by shape: a mantissa dot or exponent makes an
+/// [`Value::F64`], a leading minus an [`Value::I64`], anything else a
+/// [`Value::U64`]. Errors carry a byte offset and a short description.
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+/// A JSON syntax error: what went wrong and the byte offset it went
+/// wrong at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Short description of the failure.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Unit),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.seq(),
+            Some(b'{') => self.map(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn seq(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates don't occur in our own output;
+                            // map them to the replacement character
+                            // rather than rejecting foreign input.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar, not one byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unterminated string"))?;
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("raw control character in string"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut float = false;
+        if self.peek() == Some(b'.') {
+            float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        if float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| self.err("invalid number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|_| self.err("invalid number"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| self.err("invalid number"))
+        }
+    }
+}
+
+/// Field lookup on a parsed object, for hand-rolled decoders.
+pub fn field<'v>(value: &'v Value, name: &str) -> Option<&'v Value> {
+    match value {
+        Value::Map(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for (v, text) in [
+            (Value::Unit, "null"),
+            (Value::Bool(true), "true"),
+            (Value::Bool(false), "false"),
+            (Value::U64(42), "42"),
+            (Value::I64(-7), "-7"),
+            (Value::Str("a\"b\\c\nd".into()), r#""a\"b\\c\nd""#),
+        ] {
+            assert_eq!(write(&v), text);
+            assert_eq!(parse(text).unwrap(), v);
+        }
+        // Floats keep their float-ness through the round trip.
+        assert_eq!(write(&Value::F64(1.0)), "1.0");
+        assert_eq!(parse("1.0").unwrap(), Value::F64(1.0));
+        assert_eq!(parse("2.5e-3").unwrap(), Value::F64(0.0025));
+        assert_eq!(write(&Value::F64(f64::NAN)), "null");
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Value::Map(vec![
+            ("op".into(), Value::Str("compile".into())),
+            ("span".into(), Value::Unit),
+            (
+                "sizes".into(),
+                Value::Seq(vec![Value::U64(1), Value::U64(2)]),
+            ),
+            (
+                "nested".into(),
+                Value::Map(vec![("x".into(), Value::F64(0.25))]),
+            ),
+        ]);
+        let text = write(&v);
+        assert_eq!(
+            text,
+            r#"{"op":"compile","span":null,"sizes":[1,2],"nested":{"x":0.25}}"#
+        );
+        assert_eq!(parse(&text).unwrap(), v);
+        // Whitespace-tolerant on the way in.
+        let spaced = "{ \"op\" : \"compile\" ,\t\"span\": null , \"sizes\": [ 1 , 2 ] , \"nested\": { \"x\" : 0.25 } }";
+        assert_eq!(parse(spaced).unwrap(), v);
+    }
+
+    #[test]
+    fn output_is_single_line_even_for_wild_strings() {
+        let v = Value::Str("line1\nline2\r\tcontrol:\u{1}".into());
+        let text = write(&v);
+        assert!(!text.contains('\n') && !text.contains('\r'), "{text}");
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = parse("{\"a\": }").unwrap_err();
+        assert_eq!(e.offset, 6);
+        assert!(parse("").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("12 34").unwrap_err().message.contains("trailing"));
+        assert!(parse("\"\u{1}\"").is_err(), "raw control char rejected");
+    }
+
+    #[test]
+    fn derived_structs_serialize_through_to_value() {
+        #[derive(serde::Serialize)]
+        struct Probe {
+            name: String,
+            count: u64,
+            span: Option<u32>,
+        }
+        let text = write(&serde::to_value(&Probe {
+            name: "fig2".into(),
+            count: 3,
+            span: None,
+        }));
+        assert_eq!(text, r#"{"name":"fig2","count":3,"span":null}"#);
+    }
+
+    #[test]
+    fn field_lookup() {
+        let v = parse(r#"{"a":1,"b":"x"}"#).unwrap();
+        assert_eq!(field(&v, "a"), Some(&Value::U64(1)));
+        assert_eq!(field(&v, "b"), Some(&Value::Str("x".into())));
+        assert_eq!(field(&v, "c"), None);
+        assert_eq!(field(&Value::U64(1), "a"), None);
+    }
+}

@@ -1,0 +1,65 @@
+//! # mps-serve — a long-running compile server over [`mps::Session`]
+//!
+//! The batch compiler answers "compile these graphs once"; this crate
+//! answers "keep compiling graphs, fast, for as long as the process
+//! lives". A [`Server`] accepts newline-delimited JSON requests over a
+//! TCP socket (thread per connection) or stdin/stdout, admits compiles
+//! through a bounded queue, fans batches over [`mps::par`] workers, and
+//! layers two caches:
+//!
+//! * an **artifact cache** ([`cache::ArtifactCache`]): whole
+//!   [`mps::CompileResult`]s keyed by `(graph content hash, config
+//!   content hash)` — a repeated request is a hash lookup;
+//! * a process-wide **pattern-table cache** ([`mps::TableCache`])
+//!   underneath: different configs over one graph share the expensive
+//!   §5.1 enumeration.
+//!
+//! Both tiers are single-flight, so a burst of identical requests runs
+//! one compile. Per-stage latency histograms (p50/p90/p99, from
+//! [`mps::StageMetrics`]) and cache/request counters are served by the
+//! `stats` verb and, optionally, streamed as JSON event lines
+//! ([`Server::set_log`]). A `shutdown` request drains admitted compiles
+//! and stops cleanly.
+//!
+//! ## Protocol
+//!
+//! One JSON object per line, in and out (see [`protocol`]):
+//!
+//! ```text
+//! → {"op":"compile","workload":"fig2","span":1}
+//! ← {"ok":true,"op":"compile","cached":false,"cycles":5,...}
+//! → {"op":"compile","graph":"node a mul\n...","pdef":3}
+//! → {"op":"stats"}      → {"op":"ping"}      → {"op":"shutdown"}
+//! ```
+//!
+//! ## In-process use
+//!
+//! ```
+//! use mps_serve::{Server, ServeOptions, protocol::Reply};
+//!
+//! let server = Server::new(ServeOptions { workers: 1, ..Default::default() });
+//! let (line, _) = server.handle_line(r#"{"op":"compile","workload":"fig4"}"#);
+//! let Reply::Compile(reply) = Reply::from_line(&line).unwrap() else { panic!() };
+//! assert_eq!(reply.cycles, 3);
+//! // The same request again is answered from the artifact cache.
+//! let (line, _) = server.handle_line(r#"{"op":"compile","workload":"fig4"}"#);
+//! let Reply::Compile(reply) = Reply::from_line(&line).unwrap() else { panic!() };
+//! assert!(reply.cached);
+//! ```
+//!
+//! Over a real socket, [`spawn_loopback`] boots a server on an ephemeral
+//! port and [`Client`] drives it — the shape of the integration tests,
+//! the serving benches, and the `mps serve` / `mps client` subcommands.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+mod client;
+pub mod histogram;
+pub mod json;
+pub mod protocol;
+mod server;
+
+pub use client::Client;
+pub use server::{spawn_loopback, ServeOptions, Server};

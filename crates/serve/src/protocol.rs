@@ -1,0 +1,526 @@
+//! The NDJSON wire protocol: request/reply types and their line codecs.
+//!
+//! Every message is one JSON object on one line. Requests carry an `op`
+//! (`compile`, `stats`, `ping`, `shutdown`) plus op-specific fields; the
+//! decoder is deliberately tolerant — unknown fields are ignored, every
+//! field but `op` is optional — so clients can grow without breaking the
+//! server. Replies always carry `ok` and echo `op` (and the request `id`,
+//! when one was given), so a client multiplexing requests over one
+//! connection can correlate them; failures are [`ErrorReply`] rows whose
+//! `stage` field carries the [`mps::MpsError`] stage provenance when the
+//! failure came from the compile pipeline.
+//!
+//! A compile request names its graph either by registry `workload` name
+//! or inline as `graph` text in the [`mps::dfg::parse_text`] format
+//! (newlines and all — the JSON string escaping keeps the line framing
+//! intact). [`Request::compile_config`] is the **one** place a request
+//! becomes a [`CompileConfig`], shared by the server and by tests that
+//! pin server answers against direct [`mps::Session`] compiles.
+
+use crate::json;
+use mps::{CompileConfig, ScheduleEngine, SelectEngine};
+use serde::{Deserialize, Serialize, Value};
+
+use crate::histogram::Quantiles;
+
+/// A decoded request line.
+///
+/// Only `op` is required on the wire. `span` distinguishes "absent"
+/// (`None`: use the default, unlimited) from an explicit limit
+/// (`Some(Some(n))`) and an explicit "unlimited" (`Some(None)`, spelled
+/// `null` or `"none"` on the wire).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Request {
+    /// The operation: `compile`, `stats`, `ping` or `shutdown`.
+    pub op: String,
+    /// Optional client-chosen correlation id, echoed in the reply.
+    pub id: Option<u64>,
+    /// Registry workload name (`compile` only; exclusive with `graph`).
+    pub workload: Option<String>,
+    /// Inline graph in the `mps_dfg::parse_text` format (`compile` only).
+    pub graph: Option<String>,
+    /// Number of patterns to select (`Pdef`; default 4).
+    pub pdef: Option<usize>,
+    /// ALUs per tile (`C`; default 5).
+    pub capacity: Option<usize>,
+    /// Enumeration span limit; see the struct docs for the encoding.
+    pub span: Option<Option<u32>>,
+    /// Selection engine name, as [`SelectEngine::parse`] spells them.
+    pub engine: Option<String>,
+    /// Finish with cycle-accurate tile replay on a tile with this many
+    /// ALUs (`"alus": n` on the wire).
+    pub alus: Option<usize>,
+}
+
+impl Request {
+    /// A bare request with just an op, for the control verbs.
+    pub fn op(op: &str) -> Request {
+        Request {
+            op: op.to_string(),
+            ..Request::default()
+        }
+    }
+
+    /// Decode one request line. Errors are human-readable strings (sent
+    /// back verbatim in an [`ErrorReply`]).
+    pub fn from_line(line: &str) -> Result<Request, String> {
+        let value = json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        let Value::Map(_) = &value else {
+            return Err("request must be a JSON object".to_string());
+        };
+        let mut req = Request::default();
+        match json::field(&value, "op") {
+            Some(Value::Str(op)) => req.op = op.clone(),
+            Some(_) => return Err("\"op\" must be a string".to_string()),
+            None => return Err("missing \"op\" field".to_string()),
+        }
+        req.id = match json::field(&value, "id") {
+            Some(Value::U64(n)) => Some(*n),
+            None | Some(Value::Unit) => None,
+            Some(_) => return Err("\"id\" must be an unsigned integer".to_string()),
+        };
+        for (name, slot) in [("workload", &mut req.workload), ("graph", &mut req.graph)] {
+            *slot = match json::field(&value, name) {
+                Some(Value::Str(s)) => Some(s.clone()),
+                None | Some(Value::Unit) => None,
+                Some(_) => return Err(format!("\"{name}\" must be a string")),
+            };
+        }
+        for (name, slot) in [
+            ("pdef", &mut req.pdef),
+            ("capacity", &mut req.capacity),
+            ("alus", &mut req.alus),
+        ] {
+            *slot = match json::field(&value, name) {
+                Some(Value::U64(n)) => Some(*n as usize),
+                None | Some(Value::Unit) => None,
+                Some(_) => return Err(format!("\"{name}\" must be an unsigned integer")),
+            };
+        }
+        req.span = match json::field(&value, "span") {
+            None => None,
+            Some(Value::Unit) => Some(None),
+            Some(Value::Str(s)) if s == "none" => Some(None),
+            Some(Value::U64(n)) => Some(Some(*n as u32)),
+            Some(_) => {
+                return Err("\"span\" must be an unsigned integer, null or \"none\"".to_string())
+            }
+        };
+        req.engine = match json::field(&value, "engine") {
+            Some(Value::Str(s)) => Some(s.clone()),
+            None | Some(Value::Unit) => None,
+            Some(_) => return Err("\"engine\" must be a string".to_string()),
+        };
+        Ok(req)
+    }
+
+    /// Encode as one request line (set fields only, so lines stay short).
+    pub fn to_line(&self) -> String {
+        let mut fields = vec![("op".to_string(), Value::Str(self.op.clone()))];
+        if let Some(id) = self.id {
+            fields.push(("id".to_string(), Value::U64(id)));
+        }
+        if let Some(w) = &self.workload {
+            fields.push(("workload".to_string(), Value::Str(w.clone())));
+        }
+        if let Some(g) = &self.graph {
+            fields.push(("graph".to_string(), Value::Str(g.clone())));
+        }
+        for (name, v) in [
+            ("pdef", self.pdef),
+            ("capacity", self.capacity),
+            ("alus", self.alus),
+        ] {
+            if let Some(n) = v {
+                fields.push((name.to_string(), Value::U64(n as u64)));
+            }
+        }
+        match self.span {
+            None => {}
+            Some(None) => fields.push(("span".to_string(), Value::Str("none".to_string()))),
+            Some(Some(n)) => fields.push(("span".to_string(), Value::U64(u64::from(n)))),
+        }
+        if let Some(e) = &self.engine {
+            fields.push(("engine".to_string(), Value::Str(e.clone())));
+        }
+        json::write(&Value::Map(fields))
+    }
+
+    /// The [`CompileConfig`] this request describes — the single source
+    /// of truth for request → config, shared with the equivalence tests.
+    ///
+    /// Per-request enumeration runs **sequential** (`parallel = false`):
+    /// the server already fans out *across* requests, and nested
+    /// parallelism would oversubscribe the worker pool.
+    pub fn compile_config(&self) -> Result<CompileConfig, String> {
+        let engine = match &self.engine {
+            None => SelectEngine::default(),
+            Some(name) => {
+                SelectEngine::parse(name).ok_or_else(|| format!("unknown engine \"{name}\""))?
+            }
+        };
+        let mut cfg = CompileConfig {
+            engine,
+            schedule: ScheduleEngine::default(),
+            ..CompileConfig::default()
+        };
+        cfg.select.parallel = false;
+        if let Some(pdef) = self.pdef {
+            cfg.select.pdef = pdef;
+        }
+        if let Some(capacity) = self.capacity {
+            cfg.select.capacity = capacity;
+        }
+        if let Some(span) = self.span {
+            cfg.select.span_limit = span;
+        }
+        if let Some(alus) = self.alus {
+            cfg.tile = Some(mps::montium::TileParams::with_alus(alus));
+        }
+        Ok(cfg)
+    }
+}
+
+/// Successful `compile` reply: the result rendered in the same stable
+/// textual forms the CLI prints (patterns and schedule as strings), plus
+/// the cache identity and whether this request hit the artifact cache.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CompileReply {
+    /// Always `true`.
+    pub ok: bool,
+    /// Always `"compile"`.
+    pub op: String,
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// Workload name, or `"inline"` for `graph`-payload requests.
+    pub workload: String,
+    /// Graph content hash (hex), half of the artifact-cache key.
+    pub graph_hash: String,
+    /// Config content hash (hex), the other half.
+    pub config_hash: String,
+    /// Selection engine that ran.
+    pub engine: String,
+    /// `true` when the result came from the artifact cache.
+    pub cached: bool,
+    /// End-to-end server-side latency of this request, seconds.
+    pub latency_sec: f64,
+    /// Selected patterns, one rendered pattern per entry.
+    pub patterns: Vec<String>,
+    /// Schedule length in cycles.
+    pub cycles: u64,
+    /// The schedule, rendered one cycle per line.
+    pub schedule: String,
+    /// Achieved initiation interval (modulo scheduling only).
+    pub ii: Option<u64>,
+    /// Pattern reconfigurations (switch-aware scheduling only).
+    pub switches: Option<u64>,
+    /// Tile-replay cycle count, when the request asked for `alus`.
+    pub exec_cycles: Option<u64>,
+}
+
+/// `stats` reply: request/cache counters, aggregated compile metrics and
+/// per-stage latency quantiles since boot.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StatsReply {
+    /// Always `true`.
+    pub ok: bool,
+    /// Always `"stats"`.
+    pub op: String,
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// Seconds since the server booted.
+    pub uptime_sec: f64,
+    /// Total requests handled (control verbs included).
+    pub requests: u64,
+    /// Compile requests handled.
+    pub compiles: u64,
+    /// Requests answered with an error reply.
+    pub errors: u64,
+    /// Compile requests answered from the artifact cache.
+    pub artifact_cache_hits: u64,
+    /// Compile requests that ran the pipeline (including failures).
+    pub artifact_cache_misses: u64,
+    /// Distinct artifacts currently cached.
+    pub cached_artifacts: u64,
+    /// Distinct pattern tables in the shared table cache.
+    pub cached_tables: u64,
+    /// Pattern tables actually built (from aggregated [`mps::StageMetrics`]).
+    pub table_builds: u64,
+    /// Enumerate stages served from a table cache.
+    pub table_cache_hits: u64,
+    /// Worker threads compiling.
+    pub workers: u64,
+    /// Admission-queue capacity.
+    pub queue_capacity: u64,
+    /// Summed per-stage wall times across all actual compiles.
+    pub totals: MetricsTotals,
+    /// Per-stage latency quantiles.
+    pub latency: LatencyStats,
+}
+
+/// Wall-time sums over every actual (non-cached) compile, from the
+/// server's [`mps::SharedStageMetrics`] aggregate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsTotals {
+    /// Analysis, seconds.
+    pub analyze_sec: f64,
+    /// Enumeration, seconds.
+    pub enumerate_sec: f64,
+    /// Selection, seconds.
+    pub select_sec: f64,
+    /// Scheduling, seconds.
+    pub schedule_sec: f64,
+    /// Tile replay, seconds.
+    pub map_tile_sec: f64,
+    /// Antichains classified.
+    pub antichains: u64,
+}
+
+/// The four serving histograms, summarized.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// End-to-end compile-request latency (cache hits included).
+    pub total: Quantiles,
+    /// Enumeration stage of actual compiles.
+    pub enumerate: Quantiles,
+    /// Selection stage of actual compiles.
+    pub select: Quantiles,
+    /// Scheduling stage of actual compiles.
+    pub schedule: Quantiles,
+}
+
+/// `ping` reply.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PongReply {
+    /// Always `true`.
+    pub ok: bool,
+    /// Always `"ping"`.
+    pub op: String,
+    /// Echo of the request id.
+    pub id: Option<u64>,
+}
+
+/// `shutdown` acknowledgement — sent before the server drains and exits.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShutdownReply {
+    /// Always `true`.
+    pub ok: bool,
+    /// Always `"shutdown"`.
+    pub op: String,
+    /// Echo of the request id.
+    pub id: Option<u64>,
+}
+
+/// Any failure, from JSON syntax up through the compile pipeline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ErrorReply {
+    /// Always `false`.
+    pub ok: bool,
+    /// Echo of the request op (`"?"` when the line didn't decode).
+    pub op: String,
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// Human-readable failure description.
+    pub error: String,
+    /// Pipeline stage provenance (`"analyze"`, `"enumerate"`, `"select"`,
+    /// `"schedule"`, `"map-tile"`) when the failure was an
+    /// [`mps::MpsError`]; `null` for protocol-level failures.
+    pub stage: Option<String>,
+}
+
+impl ErrorReply {
+    /// A protocol-level error (no pipeline stage).
+    pub fn protocol(op: &str, id: Option<u64>, error: String) -> ErrorReply {
+        ErrorReply {
+            ok: false,
+            op: op.to_string(),
+            id,
+            error,
+            stage: None,
+        }
+    }
+
+    /// A pipeline error, carrying the [`mps::MpsError`] stage.
+    pub fn pipeline(op: &str, id: Option<u64>, error: &mps::MpsError) -> ErrorReply {
+        ErrorReply {
+            ok: false,
+            op: op.to_string(),
+            id,
+            error: error.to_string(),
+            stage: Some(error.stage().to_string()),
+        }
+    }
+}
+
+/// A decoded reply line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// A successful compile.
+    Compile(CompileReply),
+    /// A stats snapshot.
+    Stats(Box<StatsReply>),
+    /// A ping acknowledgement.
+    Pong(PongReply),
+    /// A shutdown acknowledgement.
+    Shutdown(ShutdownReply),
+    /// Any failure.
+    Error(ErrorReply),
+}
+
+impl Reply {
+    /// Decode one reply line into the matching typed reply.
+    pub fn from_line(line: &str) -> Result<Reply, String> {
+        let value = json::parse(line).map_err(|e| format!("invalid JSON reply: {e}"))?;
+        let ok = matches!(json::field(&value, "ok"), Some(Value::Bool(true)));
+        let op = match json::field(&value, "op") {
+            Some(Value::Str(op)) => op.clone(),
+            _ => return Err("reply missing \"op\"".to_string()),
+        };
+        let decode_err = |e: serde::ValueError| format!("malformed {op} reply: {e}");
+        if !ok {
+            return Ok(Reply::Error(serde::from_value(value).map_err(decode_err)?));
+        }
+        match op.as_str() {
+            "compile" => Ok(Reply::Compile(
+                serde::from_value(value).map_err(decode_err)?,
+            )),
+            "stats" => Ok(Reply::Stats(Box::new(
+                serde::from_value(value).map_err(decode_err)?,
+            ))),
+            "ping" => Ok(Reply::Pong(serde::from_value(value).map_err(decode_err)?)),
+            "shutdown" => Ok(Reply::Shutdown(
+                serde::from_value(value).map_err(decode_err)?,
+            )),
+            other => Err(format!("unknown reply op \"{other}\"")),
+        }
+    }
+}
+
+/// Encode any serializable reply as one line.
+pub fn encode<T: Serialize>(reply: &T) -> String {
+    json::write(&serde::to_value(reply))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_lines() {
+        let req = Request {
+            op: "compile".to_string(),
+            id: Some(7),
+            workload: Some("fig2".to_string()),
+            graph: None,
+            pdef: Some(3),
+            capacity: Some(5),
+            span: Some(Some(1)),
+            engine: Some("eq8".to_string()),
+            alus: None,
+        };
+        let line = req.to_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(Request::from_line(&line).unwrap(), req);
+
+        // span: "none" and span: null both decode as explicit-unlimited.
+        let r = Request::from_line(r#"{"op":"compile","span":"none"}"#).unwrap();
+        assert_eq!(r.span, Some(None));
+        let r = Request::from_line(r#"{"op":"compile","span":null}"#).unwrap();
+        assert_eq!(r.span, Some(None));
+        // Absent span stays absent.
+        let r = Request::from_line(r#"{"op":"compile"}"#).unwrap();
+        assert_eq!(r.span, None);
+    }
+
+    #[test]
+    fn decoder_is_tolerant_and_typed() {
+        // Unknown fields ignored.
+        let r = Request::from_line(r#"{"op":"ping","future_field":[1,2]}"#).unwrap();
+        assert_eq!(r.op, "ping");
+        // Missing op / wrong types rejected with useful messages.
+        assert!(Request::from_line(r#"{}"#).unwrap_err().contains("op"));
+        assert!(Request::from_line(r#"{"op":"compile","pdef":"three"}"#)
+            .unwrap_err()
+            .contains("pdef"));
+        assert!(Request::from_line("not json").unwrap_err().contains("JSON"));
+        assert!(Request::from_line("[1]").unwrap_err().contains("object"));
+    }
+
+    #[test]
+    fn graph_payload_with_newlines_stays_one_line() {
+        let req = Request {
+            op: "compile".to_string(),
+            graph: Some("node a red\nnode b red\nedge a b\n".to_string()),
+            ..Request::default()
+        };
+        let line = req.to_line();
+        assert!(!line.contains('\n'), "{line}");
+        assert_eq!(Request::from_line(&line).unwrap().graph, req.graph);
+    }
+
+    #[test]
+    fn compile_config_reflects_request_fields() {
+        let req = Request::from_line(
+            r#"{"op":"compile","workload":"fig2","pdef":3,"capacity":4,"span":2,"engine":"node-cover","alus":6}"#,
+        )
+        .unwrap();
+        let cfg = req.compile_config().unwrap();
+        assert_eq!(cfg.select.pdef, 3);
+        assert_eq!(cfg.select.capacity, 4);
+        assert_eq!(cfg.select.span_limit, Some(2));
+        assert!(
+            !cfg.select.parallel,
+            "per-request enumeration is sequential"
+        );
+        assert_eq!(cfg.engine, SelectEngine::NodeCover);
+        assert!(cfg.tile.is_some());
+
+        // Defaults when nothing is set.
+        let cfg = Request::op("compile").compile_config().unwrap();
+        assert_eq!(cfg.select.pdef, 4);
+        assert_eq!(cfg.select.span_limit, None);
+        assert_eq!(cfg.tile, None);
+
+        // Unknown engines are a decode-time error message.
+        let mut bad = Request::op("compile");
+        bad.engine = Some("quantum".to_string());
+        assert!(bad.compile_config().unwrap_err().contains("quantum"));
+    }
+
+    #[test]
+    fn replies_round_trip_and_decode_by_op() {
+        let reply = CompileReply {
+            ok: true,
+            op: "compile".to_string(),
+            id: Some(9),
+            workload: "fig2".to_string(),
+            graph_hash: "00ff".to_string(),
+            config_hash: "a0b1".to_string(),
+            engine: "eq8".to_string(),
+            cached: true,
+            latency_sec: 0.25,
+            patterns: vec!["{bb}".to_string(), "{a}".to_string()],
+            cycles: 5,
+            schedule: "cycle 0: ...".to_string(),
+            ii: None,
+            switches: None,
+            exec_cycles: Some(7),
+        };
+        let line = encode(&reply);
+        assert_eq!(Reply::from_line(&line).unwrap(), Reply::Compile(reply));
+
+        let err = ErrorReply::pipeline(
+            "compile",
+            None,
+            &mps::MpsError::from(mps::dfg::parse_text("garbage").unwrap_err()),
+        );
+        let line = encode(&err);
+        match Reply::from_line(&line).unwrap() {
+            Reply::Error(e) => {
+                assert_eq!(e.stage.as_deref(), Some("analyze"));
+                assert!(e.error.contains("analyze stage"));
+            }
+            other => panic!("expected error reply, got {other:?}"),
+        }
+    }
+}

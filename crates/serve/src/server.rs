@@ -1,0 +1,697 @@
+//! The compile server: bounded admission, worker fan-out, two cache
+//! tiers, and the TCP / stdio front-ends.
+//!
+//! One [`Server`] owns all serving state behind an `Arc`:
+//!
+//! * an [`ArtifactCache`] (whole compiles, sharded, single-flight),
+//! * a process-wide [`mps::TableCache`] underneath it (pattern tables
+//!   shared across *different* configs of one graph),
+//! * a [`BoundedQueue`] admitting compile requests — connection threads
+//!   block on `push` when the queue is full, which is the server's
+//!   backpressure,
+//! * one dispatcher thread that drains the queue in batches and fans
+//!   each batch over [`mps_par::par_map_in`] workers,
+//! * [`StageHistograms`] + [`mps::SharedStageMetrics`] feeding the
+//!   `stats` reply.
+//!
+//! Control verbs (`stats`, `ping`, `shutdown`) are answered inline by
+//! the connection thread — they must stay responsive while the queue is
+//! saturated. `shutdown` closes the queue, which gives clean draining
+//! for free: the dispatcher finishes everything already admitted, then
+//! exits; new compiles are refused with an error reply; the accept loop
+//! and connection threads notice the flag and wind down.
+
+use crate::cache::ArtifactCache;
+use crate::histogram::StageHistograms;
+use crate::protocol::{
+    encode, CompileReply, ErrorReply, LatencyStats, MetricsTotals, PongReply, Request,
+    ShutdownReply, StatsReply,
+};
+use mps::par::{par_map_in, BoundedQueue};
+use mps::{Session, SharedStageMetrics, TableCache};
+use serde::Value;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Serving knobs. The defaults fit the CI smoke test and the integration
+/// suite; a deployment mostly tunes `workers`.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Compile worker threads per dispatch batch (default: the
+    /// [`mps::par::parallelism`] policy, i.e. `MPS_THREADS` or the
+    /// machine).
+    pub workers: usize,
+    /// Admission-queue capacity; pushes beyond it block (default 64).
+    pub queue: usize,
+    /// Artifact-cache shards (default 8).
+    pub shards: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            workers: mps::par::parallelism(),
+            queue: 64,
+            shards: 8,
+        }
+    }
+}
+
+/// One admitted compile: the request plus the channel its reply line
+/// goes back on.
+struct Job {
+    req: Request,
+    reply: mpsc::Sender<String>,
+}
+
+/// All serving state, shared between the front-ends, the dispatcher and
+/// the workers.
+struct State {
+    opts: ServeOptions,
+    started: Instant,
+    tables: Arc<TableCache>,
+    artifacts: ArtifactCache,
+    metrics: SharedStageMetrics,
+    hist: StageHistograms,
+    queue: BoundedQueue<Job>,
+    requests: AtomicU64,
+    compiles: AtomicU64,
+    errors: AtomicU64,
+    shutdown: AtomicBool,
+    log: Mutex<Option<Box<dyn Write + Send>>>,
+}
+
+impl State {
+    /// Emit one JSON event line to the log sink, if one is installed.
+    fn log_event(&self, event: &str, fields: &[(&str, Value)]) {
+        let mut sink = self.log.lock().expect("log sink poisoned");
+        if let Some(w) = sink.as_mut() {
+            let mut map = vec![("event".to_string(), Value::Str(event.to_string()))];
+            map.extend(fields.iter().map(|(k, v)| (k.to_string(), v.clone())));
+            let _ = writeln!(w, "{}", crate::json::write(&Value::Map(map)));
+            let _ = w.flush();
+        }
+    }
+
+    /// Handle one request line end to end. Returns the reply line and
+    /// whether this request asked the server to shut down.
+    fn handle_line(self: &Arc<State>, line: &str) -> (String, bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let req = match Request::from_line(line) {
+            Ok(req) => req,
+            Err(error) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return (encode(&ErrorReply::protocol("?", None, error)), false);
+            }
+        };
+        match req.op.as_str() {
+            "ping" => (
+                encode(&PongReply {
+                    ok: true,
+                    op: "ping".to_string(),
+                    id: req.id,
+                }),
+                false,
+            ),
+            "stats" => (encode(&self.stats_reply(req.id)), false),
+            "shutdown" => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                self.queue.close();
+                self.log_event("shutdown", &[]);
+                (
+                    encode(&ShutdownReply {
+                        ok: true,
+                        op: "shutdown".to_string(),
+                        id: req.id,
+                    }),
+                    true,
+                )
+            }
+            "compile" => (self.admit_compile(req), false),
+            other => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                let error =
+                    format!("unknown op \"{other}\" (expected compile, stats, ping or shutdown)");
+                (encode(&ErrorReply::protocol(other, req.id, error)), false)
+            }
+        }
+    }
+
+    /// Admit a compile through the bounded queue and wait for its reply.
+    fn admit_compile(self: &Arc<State>, req: Request) -> String {
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        let id = req.id;
+        let (tx, rx) = mpsc::channel();
+        if self.queue.push(Job { req, reply: tx }).is_err() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            return encode(&ErrorReply::protocol(
+                "compile",
+                id,
+                "server is shutting down".to_string(),
+            ));
+        }
+        match rx.recv() {
+            Ok(line) => line,
+            Err(_) => {
+                // The dispatcher dropped the job without replying — only
+                // possible if it panicked.
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                encode(&ErrorReply::protocol(
+                    "compile",
+                    id,
+                    "compile worker died".to_string(),
+                ))
+            }
+        }
+    }
+
+    /// Run one compile request (on a worker thread) and render its reply.
+    fn compile_line(&self, req: &Request) -> String {
+        let t0 = Instant::now();
+        let (workload, dfg) = match self.resolve_graph(req) {
+            Ok(pair) => pair,
+            Err(reply) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.log_compile(req, t0, false, Some(&reply.error));
+                return encode(&reply);
+            }
+        };
+        let cfg = match req.compile_config() {
+            Ok(cfg) => cfg,
+            Err(error) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.log_compile(req, t0, false, Some(&error));
+                return encode(&ErrorReply::protocol("compile", req.id, error));
+            }
+        };
+        let engine = cfg.engine.name().to_string();
+        let key = (dfg.content_hash(), cfg.content_hash());
+        let (outcome, cached) = self.artifacts.get_or_compute(key, || {
+            let mut session = Session::with_shared_tables(dfg, cfg, Arc::clone(&self.tables));
+            let result = session.compile();
+            self.metrics.record(session.metrics());
+            if let Ok(result) = &result {
+                self.hist.record_stages(&result.metrics);
+            }
+            result.map(Arc::new)
+        });
+        let latency_sec = t0.elapsed().as_secs_f64();
+        self.hist.total.record(latency_sec);
+        match outcome {
+            Ok(result) => {
+                self.log_compile(req, t0, cached, None);
+                encode(&CompileReply {
+                    ok: true,
+                    op: "compile".to_string(),
+                    id: req.id,
+                    workload,
+                    graph_hash: format!("{:016x}", key.0),
+                    config_hash: format!("{:016x}", key.1),
+                    engine,
+                    cached,
+                    latency_sec,
+                    patterns: result
+                        .selection
+                        .patterns
+                        .iter()
+                        .map(|p| p.to_string())
+                        .collect(),
+                    cycles: result.cycles as u64,
+                    schedule: result.schedule.to_string(),
+                    ii: result.ii.map(|n| n as u64),
+                    switches: result.switches.map(|n| n as u64),
+                    exec_cycles: result.exec.as_ref().map(|e| e.cycles as u64),
+                })
+            }
+            Err(error) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.log_compile(req, t0, cached, Some(&error.to_string()));
+                encode(&ErrorReply::pipeline("compile", req.id, &error))
+            }
+        }
+    }
+
+    /// Resolve the request's graph source: registry name or inline text.
+    fn resolve_graph(&self, req: &Request) -> Result<(String, mps::dfg::Dfg), ErrorReply> {
+        match (&req.workload, &req.graph) {
+            (Some(_), Some(_)) => Err(ErrorReply::protocol(
+                "compile",
+                req.id,
+                "\"workload\" and \"graph\" are mutually exclusive".to_string(),
+            )),
+            (None, None) => Err(ErrorReply::protocol(
+                "compile",
+                req.id,
+                "compile needs a \"workload\" name or \"graph\" text".to_string(),
+            )),
+            (Some(name), None) => match mps::workloads::by_name(name) {
+                Some(dfg) => Ok((name.clone(), dfg)),
+                None => Err(ErrorReply::protocol(
+                    "compile",
+                    req.id,
+                    format!("unknown workload \"{name}\""),
+                )),
+            },
+            (None, Some(text)) => match mps::dfg::parse_text(text) {
+                Ok(dfg) => Ok(("inline".to_string(), dfg)),
+                // Parse failures are pipeline errors: they carry the
+                // analyze-stage provenance the wire promises.
+                Err(e) => Err(ErrorReply::pipeline("compile", req.id, &e.into())),
+            },
+        }
+    }
+
+    fn log_compile(&self, req: &Request, t0: Instant, cached: bool, error: Option<&str>) {
+        let workload = req.workload.clone().unwrap_or_else(|| "inline".to_string());
+        self.log_event(
+            "compile",
+            &[
+                ("workload", Value::Str(workload)),
+                ("cached", Value::Bool(cached)),
+                ("ok", Value::Bool(error.is_none())),
+                (
+                    "error",
+                    error.map_or(Value::Unit, |e| Value::Str(e.to_string())),
+                ),
+                ("latency_sec", Value::F64(t0.elapsed().as_secs_f64())),
+            ],
+        );
+    }
+
+    fn stats_reply(&self, id: Option<u64>) -> StatsReply {
+        let m = self.metrics.snapshot();
+        StatsReply {
+            ok: true,
+            op: "stats".to_string(),
+            id,
+            uptime_sec: self.started.elapsed().as_secs_f64(),
+            requests: self.requests.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            artifact_cache_hits: self.artifacts.hits(),
+            artifact_cache_misses: self.artifacts.misses(),
+            cached_artifacts: self.artifacts.len() as u64,
+            cached_tables: self.tables.len() as u64,
+            table_builds: m.table_builds as u64,
+            table_cache_hits: m.table_cache_hits as u64,
+            workers: self.opts.workers as u64,
+            queue_capacity: self.queue.capacity() as u64,
+            totals: MetricsTotals {
+                analyze_sec: m.analyze_sec,
+                enumerate_sec: m.enumerate_sec,
+                select_sec: m.select_sec,
+                schedule_sec: m.schedule_sec,
+                map_tile_sec: m.map_tile_sec,
+                antichains: m.antichains,
+            },
+            latency: LatencyStats {
+                total: self.hist.total.snapshot(),
+                enumerate: self.hist.enumerate.snapshot(),
+                select: self.hist.select.snapshot(),
+                schedule: self.hist.schedule.snapshot(),
+            },
+        }
+    }
+}
+
+/// A running compile server (dispatcher thread live, front-ends ready).
+///
+/// Drive it with [`Server::run_tcp`] / [`Server::run_stdio`], or call
+/// [`Server::handle_line`] directly for in-process use (tests, benches).
+/// Dropping the server closes the queue and joins the dispatcher.
+pub struct Server {
+    state: Arc<State>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Boot a server: allocates the caches and starts the dispatcher.
+    pub fn new(opts: ServeOptions) -> Server {
+        let state = Arc::new(State {
+            opts,
+            started: Instant::now(),
+            tables: Arc::new(TableCache::new()),
+            artifacts: ArtifactCache::new(opts.shards),
+            metrics: SharedStageMetrics::new(),
+            hist: StageHistograms::default(),
+            queue: BoundedQueue::new(opts.queue),
+            requests: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            log: Mutex::new(None),
+        });
+        let dispatcher = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                // Drain in batches: one blocking pop, then whatever else
+                // is already queued (bounded so replies keep flowing),
+                // fanned over the worker pool.
+                while let Some(first) = state.queue.pop() {
+                    let mut batch = vec![first];
+                    let cap = state.opts.workers.saturating_mul(2).max(1);
+                    while batch.len() < cap {
+                        match state.queue.try_pop() {
+                            Some(job) => batch.push(job),
+                            None => break,
+                        }
+                    }
+                    let replies = par_map_in(state.opts.workers, &batch, |job| {
+                        state.compile_line(&job.req)
+                    });
+                    for (job, line) in batch.iter().zip(replies) {
+                        // A receiver gone (client hung up) is not an error.
+                        let _ = job.reply.send(line);
+                    }
+                }
+            })
+        };
+        Server {
+            state,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Install a JSON-lines event log sink (`boot`, `compile`,
+    /// `shutdown` events; one object per line). Logs the `boot` event
+    /// immediately.
+    pub fn set_log(&self, sink: Box<dyn Write + Send>) {
+        *self.state.log.lock().expect("log sink poisoned") = Some(sink);
+        self.state.log_event(
+            "boot",
+            &[("workers", Value::U64(self.state.opts.workers as u64))],
+        );
+    }
+
+    /// Handle one request line, returning the reply line (no trailing
+    /// newline) and whether the request initiated shutdown.
+    pub fn handle_line(&self, line: &str) -> (String, bool) {
+        self.state.handle_line(line)
+    }
+
+    /// `true` once a `shutdown` request has been accepted.
+    pub fn is_shut_down(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// A current stats snapshot (same data as the `stats` verb).
+    pub fn stats(&self) -> StatsReply {
+        self.state.stats_reply(None)
+    }
+
+    /// Serve newline-delimited requests from `input` to `output` until
+    /// EOF or a `shutdown` request.
+    pub fn run_stdio(&self, input: &mut dyn BufRead, output: &mut dyn Write) -> io::Result<()> {
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (reply, quit) = self.handle_line(&line);
+            writeln!(output, "{reply}")?;
+            output.flush()?;
+            if quit {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Serve TCP connections on `listener` (thread per connection) until
+    /// a `shutdown` request arrives on any of them.
+    pub fn run_tcp(&self, listener: TcpListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    // Reply lines are small; avoid the Nagle/delayed-ACK
+                    // stall on the server side of each round trip too.
+                    let _ = stream.set_nodelay(true);
+                    let state = Arc::clone(&self.state);
+                    conns.push(std::thread::spawn(move || serve_conn(&state, stream)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if self.state.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+            // Reap finished connection threads so long-lived servers
+            // don't accumulate handles.
+            conns.retain(|h| !h.is_finished());
+        }
+        for conn in conns {
+            let _ = conn.join();
+        }
+        Ok(())
+    }
+
+    /// Shut down: close the queue (draining admitted compiles) and join
+    /// the dispatcher. Implied by drop; explicit for error visibility.
+    pub fn finish(mut self) {
+        self.shutdown_and_join();
+    }
+
+    fn shutdown_and_join(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.queue.close();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}
+
+/// One TCP connection: read request lines (with a poll timeout so the
+/// thread notices server shutdown while idle), answer each on the same
+/// stream.
+fn serve_conn(state: &Arc<State>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = io::BufWriter::new(write_half);
+    let mut reader = BufReader::new(stream);
+    let mut buf = String::new();
+    loop {
+        match reader.read_line(&mut buf) {
+            Ok(0) => break, // client hung up
+            Ok(_) => {
+                let line = std::mem::take(&mut buf);
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (reply, quit) = state.handle_line(line.trim_end());
+                if writeln!(writer, "{reply}")
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+                if quit {
+                    break;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle poll tick: partial data (if any) stays in `buf`.
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Boot a server on an ephemeral loopback port in a background thread —
+/// the in-process harness the integration tests and serving benches use.
+///
+/// Returns the bound address and the server thread's handle; the thread
+/// exits (and the handle resolves) after a `shutdown` request.
+pub fn spawn_loopback(opts: ServeOptions) -> io::Result<(SocketAddr, std::thread::JoinHandle<()>)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let handle = std::thread::spawn(move || {
+        let server = Server::new(opts);
+        let _ = server.run_tcp(listener);
+        server.finish();
+    });
+    Ok((addr, handle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Reply;
+
+    fn one_worker() -> ServeOptions {
+        ServeOptions {
+            workers: 1,
+            queue: 4,
+            shards: 2,
+        }
+    }
+
+    #[test]
+    fn handle_line_compiles_and_caches() {
+        let server = Server::new(one_worker());
+        let (reply, quit) = server.handle_line(r#"{"op":"compile","workload":"fig4"}"#);
+        assert!(!quit);
+        let Reply::Compile(first) = Reply::from_line(&reply).unwrap() else {
+            panic!("expected compile reply: {reply}");
+        };
+        assert!(!first.cached);
+        assert_eq!(first.cycles, 3, "fig4 schedules in 3 cycles");
+
+        let (reply, _) = server.handle_line(r#"{"op":"compile","workload":"fig4"}"#);
+        let Reply::Compile(second) = Reply::from_line(&reply).unwrap() else {
+            panic!("expected compile reply: {reply}");
+        };
+        assert!(second.cached, "identical request must hit the cache");
+        assert_eq!(second.patterns, first.patterns);
+        assert_eq!(second.schedule, first.schedule);
+        assert_eq!(second.graph_hash, first.graph_hash);
+
+        let stats = server.stats();
+        assert_eq!(stats.compiles, 2);
+        assert_eq!(stats.artifact_cache_hits, 1);
+        assert_eq!(stats.artifact_cache_misses, 1);
+        assert_eq!(stats.table_builds, 1);
+        assert_eq!(stats.latency.total.count, 2);
+    }
+
+    #[test]
+    fn control_verbs_answer_inline() {
+        let server = Server::new(one_worker());
+        let (reply, quit) = server.handle_line(r#"{"op":"ping","id":3}"#);
+        assert!(!quit);
+        assert!(matches!(
+            Reply::from_line(&reply).unwrap(),
+            Reply::Pong(p) if p.id == Some(3)
+        ));
+        let (reply, quit) = server.handle_line(r#"{"op":"shutdown"}"#);
+        assert!(quit && server.is_shut_down());
+        assert!(matches!(
+            Reply::from_line(&reply).unwrap(),
+            Reply::Shutdown(_)
+        ));
+        // Compiles after shutdown are refused, not queued.
+        let (reply, _) = server.handle_line(r#"{"op":"compile","workload":"fig4"}"#);
+        assert!(matches!(
+            Reply::from_line(&reply).unwrap(),
+            Reply::Error(e) if e.error.contains("shutting down")
+        ));
+    }
+
+    #[test]
+    fn errors_carry_stage_provenance() {
+        let server = Server::new(one_worker());
+        // Inline graph that fails to parse → analyze stage.
+        let (reply, _) = server.handle_line(
+            &Request {
+                op: "compile".to_string(),
+                graph: Some("this is not a dfg".to_string()),
+                ..Request::default()
+            }
+            .to_line(),
+        );
+        let Reply::Error(e) = Reply::from_line(&reply).unwrap() else {
+            panic!("expected error: {reply}");
+        };
+        assert_eq!(e.stage.as_deref(), Some("analyze"));
+
+        // pdef 0 selects nothing → schedule stage.
+        let (reply, _) = server.handle_line(r#"{"op":"compile","workload":"fig4","pdef":0}"#);
+        let Reply::Error(e) = Reply::from_line(&reply).unwrap() else {
+            panic!("expected error: {reply}");
+        };
+        assert_eq!(e.stage.as_deref(), Some("schedule"));
+
+        // Protocol-level failures have no stage.
+        let (reply, _) = server.handle_line(r#"{"op":"compile","workload":"no-such"}"#);
+        let Reply::Error(e) = Reply::from_line(&reply).unwrap() else {
+            panic!("expected error: {reply}");
+        };
+        assert_eq!(e.stage, None);
+        assert_eq!(server.stats().errors, 3);
+    }
+
+    #[test]
+    fn stdio_front_end_round_trips() {
+        let server = Server::new(one_worker());
+        let input = concat!(
+            r#"{"op":"ping"}"#,
+            "\n\n",
+            r#"{"op":"compile","workload":"fig2","span":1}"#,
+            "\n",
+            r#"{"op":"shutdown"}"#,
+            "\n",
+            r#"{"op":"ping"}"#, // after shutdown: never read
+            "\n",
+        );
+        let mut out = Vec::new();
+        server.run_stdio(&mut input.as_bytes(), &mut out).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 3, "blank skipped, post-shutdown unread");
+        assert!(matches!(
+            Reply::from_line(lines[0]).unwrap(),
+            Reply::Pong(_)
+        ));
+        assert!(matches!(
+            Reply::from_line(lines[1]).unwrap(),
+            Reply::Compile(_)
+        ));
+        assert!(matches!(
+            Reply::from_line(lines[2]).unwrap(),
+            Reply::Shutdown(_)
+        ));
+    }
+
+    #[test]
+    fn json_log_records_compiles() {
+        let server = Server::new(one_worker());
+        let log = Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct SharedSink(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedSink {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        server.set_log(Box::new(SharedSink(Arc::clone(&log))));
+        server.handle_line(r#"{"op":"compile","workload":"fig4"}"#);
+        server.handle_line(r#"{"op":"shutdown"}"#);
+        let text = String::from_utf8(log.lock().unwrap().clone()).unwrap();
+        let events: Vec<_> = text.lines().collect();
+        assert!(
+            events.iter().any(|l| l.contains("\"event\":\"compile\"")),
+            "{text}"
+        );
+        assert!(
+            events.last().unwrap().contains("\"event\":\"shutdown\""),
+            "{text}"
+        );
+        for line in events {
+            crate::json::parse(line).expect("every log line is valid JSON");
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Boot a compile server on an ephemeral loopback port, drive it as a
+//! client, and show the artifact cache at work.
+//!
+//! ```text
+//! cargo run --example serve_roundtrip
+//! ```
+
+use mps_serve::protocol::{Reply, Request};
+use mps_serve::{spawn_loopback, Client, ServeOptions};
+use std::time::Duration;
+
+fn main() -> std::io::Result<()> {
+    let (addr, server) = spawn_loopback(ServeOptions::default())?;
+    println!("server on {addr}");
+    let mut client = Client::connect(addr, 50, Duration::from_millis(20))?;
+
+    // Compile the paper's Fig. 2 graph twice: the first request runs
+    // the pipeline, the second is a cache hit.
+    for round in ["cold", "warm"] {
+        let req = Request {
+            op: "compile".to_string(),
+            workload: Some("fig2".to_string()),
+            span: Some(Some(1)),
+            ..Request::default()
+        };
+        match client.request(&req)? {
+            Reply::Compile(r) => println!(
+                "{round}: {} cycles, cached = {}, latency = {:.3} ms, patterns = [{}]",
+                r.cycles,
+                r.cached,
+                r.latency_sec * 1e3,
+                r.patterns.join(" ")
+            ),
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+
+    // An inline graph, straight from the text format.
+    let req = Request {
+        op: "compile".to_string(),
+        graph: Some("node a red\nnode b red\nnode c blue\nedge a c\nedge b c\n".to_string()),
+        pdef: Some(2),
+        ..Request::default()
+    };
+    if let Reply::Compile(r) = client.request(&req)? {
+        println!("inline: {} cycles in [{}]", r.cycles, r.patterns.join(" "));
+    }
+
+    let stats = client.stats()?;
+    println!(
+        "stats: {} compiles, {} artifact hit(s), {} table build(s), p99 = {:.3} ms",
+        stats.compiles,
+        stats.artifact_cache_hits,
+        stats.table_builds,
+        stats.latency.total.p99_sec * 1e3
+    );
+
+    client.shutdown()?;
+    server.join().expect("server thread");
+    println!("server drained and exited");
+    Ok(())
+}

@@ -69,6 +69,14 @@ extract() {
           ((.batch_rows // [])[0:1][] | {
               key: "batch_sequential/\(.workload)",
               sec: .sequential_sec
+          }),
+          (.serve_rows[]? | {
+              key: "serve_cold/\(.workload)/\(.config // "default")",
+              sec: .cold_sec
+          }),
+          (.serve_rows[]? | {
+              key: "serve_warm/\(.workload)/\(.config // "default")",
+              sec: .warm_sec
           })
         ]
         | .[] | select(.sec != null) | "\(.key)\t\(.sec)"

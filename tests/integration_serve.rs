@@ -1,0 +1,291 @@
+//! Golden suite for the serving layer: a compile answered over the wire
+//! must be identical to one run directly on [`mps::Session`], the
+//! artifact and table caches must deduplicate concurrent identical
+//! requests down to one compile, malformed requests must answer with
+//! [`mps::MpsError`] stage provenance, and `shutdown` must drain.
+
+use mps::{SelectEngine, Session};
+use mps_serve::protocol::{Reply, Request};
+use mps_serve::{spawn_loopback, Client, ServeOptions, Server};
+use std::time::Duration;
+
+/// The same registry slice the session golden suite sweeps.
+const WORKLOADS: [&str; 12] = [
+    "fig2", "fig4", "dft3", "dft5", "fir8", "iir2", "dct8", "matmul2", "fft4", "horner4", "star16",
+    "broom64",
+];
+
+fn connect(addr: std::net::SocketAddr) -> Client {
+    Client::connect(addr, 100, Duration::from_millis(20)).expect("loopback connect")
+}
+
+fn compile_reply(client: &mut Client, req: &Request) -> mps_serve::protocol::CompileReply {
+    match client.request(req).expect("request round trip") {
+        Reply::Compile(reply) => reply,
+        other => panic!("expected compile reply for {req:?}, got {other:?}"),
+    }
+}
+
+/// The tentpole equivalence: for every registry workload, the reply that
+/// comes back over a real socket renders exactly the patterns, cycle
+/// count and schedule of a direct `Session::compile` under the config
+/// the request maps to ([`Request::compile_config`] is shared, so this
+/// also pins that mapping).
+#[test]
+fn wire_replies_equal_direct_session_compiles() {
+    let (addr, server) = spawn_loopback(ServeOptions {
+        workers: 2,
+        ..Default::default()
+    })
+    .expect("bind loopback");
+    let mut client = connect(addr);
+
+    for name in WORKLOADS {
+        let req = Request {
+            op: "compile".to_string(),
+            workload: Some(name.to_string()),
+            span: Some(Some(1)),
+            ..Request::default()
+        };
+        let reply = compile_reply(&mut client, &req);
+
+        let cfg = req.compile_config().expect("valid request config");
+        let dfg = mps::workloads::by_name(name).expect("registry workload");
+        let direct = Session::with_config(dfg, cfg)
+            .compile()
+            .expect("direct compile");
+
+        let direct_patterns: Vec<String> = direct
+            .selection
+            .patterns
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        assert_eq!(reply.patterns, direct_patterns, "{name}: patterns differ");
+        assert_eq!(
+            reply.cycles as usize, direct.cycles,
+            "{name}: cycles differ"
+        );
+        assert_eq!(
+            reply.schedule,
+            direct.schedule.to_string(),
+            "{name}: schedule differs"
+        );
+        assert!(!reply.cached, "{name}: first request cannot be cached");
+    }
+
+    // The whole sweep again: every reply now comes from the artifact
+    // cache and is still identical.
+    for name in WORKLOADS {
+        let req = Request {
+            op: "compile".to_string(),
+            workload: Some(name.to_string()),
+            span: Some(Some(1)),
+            ..Request::default()
+        };
+        let reply = compile_reply(&mut client, &req);
+        assert!(reply.cached, "{name}: repeat request must hit the cache");
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.compiles, 24);
+    assert_eq!(stats.artifact_cache_misses, 12);
+    assert_eq!(stats.artifact_cache_hits, 12);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.latency.total.count, 24);
+
+    client.shutdown().expect("shutdown ack");
+    server.join().expect("server thread exits after shutdown");
+}
+
+/// Engine and parameter fields travel the wire: a non-default request
+/// matches the equivalent direct compile too.
+#[test]
+fn non_default_configs_travel_the_wire() {
+    let (addr, server) = spawn_loopback(ServeOptions {
+        workers: 1,
+        ..Default::default()
+    })
+    .expect("bind loopback");
+    let mut client = connect(addr);
+
+    let req = Request {
+        op: "compile".to_string(),
+        workload: Some("dft3".to_string()),
+        pdef: Some(3),
+        capacity: Some(4),
+        span: Some(Some(2)),
+        engine: Some("node-cover".to_string()),
+        alus: Some(4),
+        ..Request::default()
+    };
+    let reply = compile_reply(&mut client, &req);
+    assert_eq!(reply.engine, SelectEngine::NodeCover.name());
+
+    let cfg = req.compile_config().expect("valid config");
+    assert_eq!(cfg.tile.map(|t| t.alus), Some(4));
+    let dfg = mps::workloads::by_name("dft3").unwrap();
+    let direct = Session::with_config(dfg, req.compile_config().unwrap())
+        .compile()
+        .expect("direct compile");
+    assert_eq!(reply.cycles as usize, direct.cycles);
+    assert_eq!(reply.schedule, direct.schedule.to_string());
+    assert_eq!(
+        reply.exec_cycles.map(|c| c as usize),
+        direct.exec.as_ref().map(|e| e.cycles),
+        "tile replay travels the wire"
+    );
+
+    client.shutdown().expect("shutdown ack");
+    server.join().expect("server thread");
+}
+
+/// Concurrent identical requests from many connections compile once:
+/// one artifact-cache miss, one `table_builds`, N−1 hits — the
+/// single-flight contract end to end over real sockets.
+#[test]
+fn concurrent_identical_requests_compile_once() {
+    const CLIENTS: usize = 8;
+    let (addr, server) = spawn_loopback(ServeOptions {
+        workers: 4,
+        ..Default::default()
+    })
+    .expect("bind loopback");
+
+    let replies: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = connect(addr);
+                    let req = Request {
+                        op: "compile".to_string(),
+                        workload: Some("star16".to_string()),
+                        span: Some(Some(1)),
+                        ..Request::default()
+                    };
+                    compile_reply(&mut client, &req)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    assert!(replies.iter().all(|r| r.cycles == replies[0].cycles));
+    assert!(replies.iter().all(|r| r.schedule == replies[0].schedule));
+
+    let mut client = connect(addr);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.compiles, CLIENTS as u64);
+    assert_eq!(stats.artifact_cache_misses, 1, "exactly one compile ran");
+    assert_eq!(stats.artifact_cache_hits, (CLIENTS - 1) as u64);
+    assert_eq!(stats.table_builds, 1, "exactly one table was enumerated");
+    assert_eq!(stats.cached_artifacts, 1);
+    assert_eq!(stats.cached_tables, 1);
+
+    client.shutdown().expect("shutdown ack");
+    server.join().expect("server thread");
+}
+
+/// Error replies carry stage provenance exactly as `MpsError` assigns
+/// it, and protocol-level junk is rejected without one.
+#[test]
+fn malformed_requests_answer_with_stage_provenance() {
+    let (addr, server) = spawn_loopback(ServeOptions {
+        workers: 1,
+        ..Default::default()
+    })
+    .expect("bind loopback");
+    let mut client = connect(addr);
+
+    let expect_error = |client: &mut Client, line: &str| -> mps_serve::protocol::ErrorReply {
+        let reply = client.send_line(line).expect("round trip");
+        match Reply::from_line(&reply).expect("decodable reply") {
+            Reply::Error(e) => e,
+            other => panic!("expected error for {line}, got {other:?}"),
+        }
+    };
+
+    // Unparseable inline graph → analyze stage, message matches the
+    // direct MpsError rendering.
+    let bad_graph = Request {
+        op: "compile".to_string(),
+        graph: Some("definitely not a dfg".to_string()),
+        ..Request::default()
+    };
+    let e = expect_error(&mut client, &bad_graph.to_line());
+    assert_eq!(e.stage.as_deref(), Some("analyze"));
+    let direct = mps::MpsError::from(mps::dfg::parse_text("definitely not a dfg").unwrap_err());
+    assert_eq!(e.error, direct.to_string());
+
+    // pdef 0 → empty selection → schedule stage.
+    let e = expect_error(
+        &mut client,
+        r#"{"op":"compile","workload":"fig4","pdef":0}"#,
+    );
+    assert_eq!(e.stage.as_deref(), Some("schedule"));
+
+    // A 1-ALU tile cannot host fig4's patterns → map-tile stage.
+    let e = expect_error(
+        &mut client,
+        r#"{"op":"compile","workload":"fig4","alus":1}"#,
+    );
+    assert_eq!(e.stage.as_deref(), Some("map-tile"));
+
+    // Protocol-level failures: no stage, still one line, still ok:false.
+    for line in [
+        "not json at all",
+        r#"{"op":"compile"}"#,
+        r#"{"op":"compile","workload":"zzz"}"#,
+        r#"{"op":"teleport"}"#,
+        r#"{"op":"compile","workload":"fig2","engine":"quantum"}"#,
+    ] {
+        let e = expect_error(&mut client, line);
+        assert_eq!(e.stage, None, "no stage for protocol error on {line}");
+        assert!(!e.error.is_empty());
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.errors, 8);
+
+    client.shutdown().expect("shutdown ack");
+    server.join().expect("server thread");
+}
+
+/// Shutdown drains: requests admitted before the shutdown verb still get
+/// real replies, new compiles after it are refused, and the server
+/// thread (and its dispatcher) exits.
+#[test]
+fn shutdown_drains_and_refuses_new_work() {
+    let server = Server::new(ServeOptions {
+        workers: 2,
+        queue: 16,
+        shards: 2,
+    });
+    // Seed work through the queue, then shut down: the in-flight compile
+    // completed before the shutdown reply by construction of
+    // handle_line (admission waits for the reply), so the observable
+    // contract is: everything admitted answers, everything after is
+    // refused.
+    let (reply, _) = server.handle_line(r#"{"op":"compile","workload":"fig2","span":1}"#);
+    assert!(matches!(
+        Reply::from_line(&reply).unwrap(),
+        Reply::Compile(_)
+    ));
+    let (reply, quit) = server.handle_line(r#"{"op":"shutdown"}"#);
+    assert!(quit);
+    assert!(matches!(
+        Reply::from_line(&reply).unwrap(),
+        Reply::Shutdown(_)
+    ));
+    let (reply, _) = server.handle_line(r#"{"op":"compile","workload":"fig2","span":1}"#);
+    match Reply::from_line(&reply).unwrap() {
+        Reply::Error(e) => assert!(e.error.contains("shutting down"), "{}", e.error),
+        other => panic!("expected refusal, got {other:?}"),
+    }
+    // finish() joins the dispatcher; hanging here would fail the test by
+    // timeout.
+    server.finish();
+}
