@@ -424,6 +424,147 @@ fn measure_serve() -> Vec<ServeRow> {
     rows
 }
 
+/// One row of the load-shedding comparison: eight clients storm a
+/// deliberately tiny server (1 worker, queue of 2, an injected stage
+/// delay standing in for heavy compiles). A shed is answered in
+/// microseconds while an accepted compile pays the full queue+pipeline
+/// latency — `shed_reply_sec` vs `accepted_sec` is the fast-fail margin
+/// the admission queue buys, and `warm_unloaded_sec` anchors what the
+/// same request costs once the storm has drained into the cache.
+struct ShedRow {
+    workload: &'static str,
+    clients: usize,
+    requests: u64,
+    sheds: u64,
+    shed_reply_sec: f64,
+    accepted_sec: f64,
+    warm_unloaded_sec: f64,
+}
+
+impl ShedRow {
+    fn accepted_to_shed_ratio(&self) -> f64 {
+        if self.shed_reply_sec > 0.0 {
+            self.accepted_sec / self.shed_reply_sec
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Storm a small loopback server until every client lands one accepted
+/// compile, recording the best-observed shed and accepted latencies
+/// client-side (wire included), then the warm unloaded repeat.
+fn measure_shed() -> Vec<ShedRow> {
+    use mps::Stage;
+    use mps_serve::protocol::{Reply, Request};
+    use mps_serve::{spawn_loopback, Client, FaultPlan, ServeOptions};
+
+    const CLIENTS: usize = 8;
+    const DELAY_MS: u64 = 20;
+    let (addr, server) = spawn_loopback(ServeOptions {
+        workers: 1,
+        queue: 2,
+        shards: 2,
+        faults: FaultPlan {
+            delay_stage: Some((Stage::Select, DELAY_MS)),
+            ..FaultPlan::default()
+        },
+        ..Default::default()
+    })
+    .expect("bind loopback server");
+
+    // Distinct workloads so the artifact cache cannot single-flight the
+    // storm away: all eight must really compile through the one worker.
+    let workloads = [
+        "fig2", "fig4", "dft3", "fir8", "iir2", "dct8", "horner4", "matmul2",
+    ];
+    let barrier = std::sync::Barrier::new(CLIENTS);
+    let samples: Vec<(f64, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr, 100, Duration::from_millis(20))
+                        .expect("connect to loopback server");
+                    let req = Request {
+                        op: "compile".to_string(),
+                        workload: Some(w.to_string()),
+                        span: Some(Some(1)),
+                        ..Request::default()
+                    };
+                    barrier.wait();
+                    let mut shed_best = f64::INFINITY;
+                    loop {
+                        let t0 = Instant::now();
+                        let reply = client.request(&req).expect("serve round trip");
+                        let sec = t0.elapsed().as_secs_f64();
+                        match reply {
+                            Reply::Compile(_) => return (shed_best, sec),
+                            Reply::Error(e) if e.code.as_deref() == Some("overloaded") => {
+                                shed_best = shed_best.min(sec);
+                                let hint = e.retry_after_ms.unwrap_or(5).clamp(1, 50);
+                                std::thread::sleep(Duration::from_millis(hint));
+                            }
+                            other => panic!("{w}: unexpected reply under load: {other:?}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shed client thread"))
+            .collect()
+    });
+
+    let mut client =
+        Client::connect(addr, 100, Duration::from_millis(20)).expect("connect to loopback server");
+    let warm_req = Request {
+        op: "compile".to_string(),
+        workload: Some("fig2".to_string()),
+        span: Some(Some(1)),
+        ..Request::default()
+    };
+    let mut warm_unloaded_sec = f64::INFINITY;
+    for _ in 0..20 {
+        let t0 = Instant::now();
+        match client.request(&warm_req).expect("warm round trip") {
+            Reply::Compile(r) => assert!(r.cached, "storm left fig2 cached"),
+            other => panic!("unexpected warm reply {other:?}"),
+        }
+        warm_unloaded_sec = warm_unloaded_sec.min(t0.elapsed().as_secs_f64());
+    }
+    let stats = client.stats().expect("stats");
+    client.shutdown().expect("shutdown loopback server");
+    server.join().expect("server thread exits");
+
+    let shed_reply_sec = samples
+        .iter()
+        .map(|(s, _)| *s)
+        .filter(|s| s.is_finite())
+        .fold(f64::INFINITY, f64::min);
+    let accepted_sec = samples
+        .iter()
+        .map(|(_, a)| *a)
+        .fold(f64::INFINITY, f64::min);
+    vec![ShedRow {
+        workload: "mixed8",
+        clients: CLIENTS,
+        requests: stats.requests,
+        sheds: stats.sheds,
+        // A storm that somehow never shed (huge machine) reports 0.0
+        // rather than poisoning the JSON with inf.
+        shed_reply_sec: if shed_reply_sec.is_finite() {
+            shed_reply_sec
+        } else {
+            0.0
+        },
+        accepted_sec,
+        warm_unloaded_sec,
+    }]
+}
+
 /// The batch queue: two copies each of eight mid-sized kernels — the
 /// serving shape (many independent graphs) with enough per-item weight
 /// (dct8 and dft5 classify hundreds of thousands of antichains at span 1)
@@ -487,6 +628,7 @@ fn print_json(
     skew: &[SkewRow],
     batch: &[BatchRow],
     serve: &[ServeRow],
+    shed: &[ShedRow],
     pr: u32,
 ) {
     println!("{{");
@@ -630,6 +772,33 @@ fn print_json(
             comma
         );
     }
+    println!("  ],");
+    println!(
+        "  \"shed_note\": \"8 clients storm a 1-worker/queue-2 loopback server with a 20ms \
+         injected stage delay until each lands one accepted compile: shed_reply_sec = \
+         best-observed latency of a structured overloaded reply (the fast-fail the \
+         admission queue buys), accepted_sec = best accepted compile under the storm, \
+         warm_unloaded_sec = best-of-20 cache-hit repeat after the storm drains; sheds \
+         and requests come from the server's own counters\","
+    );
+    println!("  \"shed_rows\": [");
+    for (i, r) in shed.iter().enumerate() {
+        let comma = if i + 1 == shed.len() { "" } else { "," };
+        println!(
+            "    {{\"workload\": \"{}\", \"clients\": {}, \"requests\": {}, \"sheds\": {}, \
+             \"shed_reply_sec\": {:.9}, \"accepted_sec\": {:.6}, \
+             \"warm_unloaded_sec\": {:.9}, \"accepted_to_shed_ratio\": {:.1}}}{}",
+            r.workload,
+            r.clients,
+            r.requests,
+            r.sheds,
+            r.shed_reply_sec,
+            r.accepted_sec,
+            r.warm_unloaded_sec,
+            r.accepted_to_shed_ratio(),
+            comma
+        );
+    }
     println!("  ]");
     println!("}}");
 }
@@ -640,6 +809,7 @@ fn print_table(
     skew: &[SkewRow],
     batch: &[BatchRow],
     serve: &[ServeRow],
+    shed: &[ShedRow],
 ) {
     println!(
         "{:<9} {:>5} {:>9} {:>11} {:>9} {:>14} {:>14} {:>9}",
@@ -736,6 +906,31 @@ fn print_table(
             r.warm_speedup(),
         );
     }
+    println!();
+    println!(
+        "{:<10} {:>7} {:>8} {:>6} {:>14} {:>12} {:>14} {:>7}",
+        "shed",
+        "clients",
+        "requests",
+        "sheds",
+        "shed_reply_sec",
+        "accepted_sec",
+        "warm_sec",
+        "ratio"
+    );
+    for r in shed {
+        println!(
+            "{:<10} {:>7} {:>8} {:>6} {:>14.9} {:>12.6} {:>14.9} {:>6.1}x",
+            r.workload,
+            r.clients,
+            r.requests,
+            r.sheds,
+            r.shed_reply_sec,
+            r.accepted_sec,
+            r.warm_unloaded_sec,
+            r.accepted_to_shed_ratio(),
+        );
+    }
 }
 
 fn smoke() -> i32 {
@@ -803,9 +998,10 @@ fn main() {
     let skew = measure_skew();
     let batch = measure_batch();
     let serve = measure_serve();
+    let shed = measure_shed();
     if json {
-        print_json(&rows, &select, &skew, &batch, &serve, pr);
+        print_json(&rows, &select, &skew, &batch, &serve, &shed, pr);
     } else {
-        print_table(&rows, &select, &skew, &batch, &serve);
+        print_table(&rows, &select, &skew, &batch, &serve, &shed);
     }
 }

@@ -3,8 +3,12 @@
 //!
 //! ```text
 //! mps serve [--port P | --stdio] [--workers N] [--queue N] [--json]
-//! mps client [--port P] [--retries N] compile <workload|file> [--pdef N]
-//!            [--span S|none] [--capacity N] [--engine E] [--alus N] [--id N]
+//!           [--max-artifacts N] [--max-artifact-bytes N] [--max-tables N]
+//!           [--max-table-bytes N] [--max-line-bytes N] [--max-conns N]
+//!           [--read-timeout-ms N]
+//! mps client [--port P] [--retries N] [--timeout-ms N] [--backoff-ms N]
+//!            compile <workload|file> [--pdef N] [--span S|none]
+//!            [--capacity N] [--engine E] [--alus N] [--id N] [--deadline-ms N]
 //! mps client [--port P] (stats | ping | shutdown)
 //! mps client [--port P] raw '<json line>'
 //! ```
@@ -13,12 +17,18 @@
 //! `--stdio`, answers requests from stdin on stdout — handy behind
 //! `socat` or an init system. `--json` streams boot/compile/shutdown
 //! events as JSON lines on stdout (stderr in `--stdio` mode, where
-//! stdout carries replies). `client` prints the server's raw JSON reply
-//! line on stdout — pipe it to `jq` — and exits 0 on `ok:true`, 1 on an
-//! error reply.
+//! stdout carries replies). The cache budgets, line bound, connection
+//! cap and read deadline map straight onto [`ServeOptions`]; fault
+//! injection is armed from `MPS_FAULT_*` environment variables (see
+//! [`mps_serve::FaultPlan::from_env`]). `client` prints the server's raw
+//! JSON reply line on stdout — pipe it to `jq` — and exits 0 on
+//! `ok:true`, 1 on an error reply. `--timeout-ms` bounds each reply
+//! read; `--backoff-ms` retries `overloaded` sheds (honoring the
+//! server's `retry_after_ms` hint) instead of failing on the first one.
 
 use mps_serve::protocol::{Reply, Request};
-use mps_serve::{Client, ServeOptions, Server};
+use mps_serve::{Client, FaultPlan, ServeOptions, Server};
+use std::io;
 use std::net::TcpListener;
 use std::time::Duration;
 
@@ -34,7 +44,16 @@ pub fn cmd_serve(args: &[String]) -> i32 {
         match args[i].as_str() {
             "--stdio" => stdio = true,
             "--json" => json = true,
-            "--port" | "--workers" | "--queue" => {
+            "--port"
+            | "--workers"
+            | "--queue"
+            | "--max-artifacts"
+            | "--max-artifact-bytes"
+            | "--max-tables"
+            | "--max-table-bytes"
+            | "--max-line-bytes"
+            | "--max-conns"
+            | "--read-timeout-ms" => {
                 let flag = args[i].clone();
                 i += 1;
                 let Some(value) = args.get(i).and_then(|v| v.parse::<usize>().ok()) else {
@@ -50,17 +69,31 @@ pub fn cmd_serve(args: &[String]) -> i32 {
                         }
                     },
                     "--workers" => opts.workers = value.max(1),
-                    _ => opts.queue = value.max(1),
+                    "--queue" => opts.queue = value.max(1),
+                    "--max-artifacts" => opts.max_artifacts = Some(value),
+                    "--max-artifact-bytes" => opts.max_artifact_bytes = Some(value),
+                    "--max-tables" => opts.max_tables = Some(value),
+                    "--max-table-bytes" => opts.max_table_bytes = Some(value),
+                    "--max-line-bytes" => opts.max_line_bytes = value.max(64),
+                    "--max-conns" => opts.max_conns = value.max(1),
+                    _ => opts.read_timeout_ms = value as u64,
                 }
             }
             other => {
                 eprintln!(
-                    "unknown flag {other} (serve takes --port/--stdio/--workers/--queue/--json)"
+                    "unknown flag {other} (serve takes --port/--stdio/--workers/--queue/--json/\
+                     --max-artifacts/--max-artifact-bytes/--max-tables/--max-table-bytes/\
+                     --max-line-bytes/--max-conns/--read-timeout-ms)"
                 );
                 return 2;
             }
         }
         i += 1;
+    }
+
+    opts.faults = FaultPlan::from_env();
+    if opts.faults.is_active() {
+        eprintln!("mps serve: fault injection armed from MPS_FAULT_* environment");
     }
 
     let server = Server::new(opts);
@@ -100,26 +133,29 @@ pub fn cmd_serve(args: &[String]) -> i32 {
 pub fn cmd_client(args: &[String]) -> i32 {
     let mut port = DEFAULT_PORT;
     let mut retries = 50u32;
+    let mut timeout_ms: Option<u64> = None;
+    let mut backoff_ms: Option<u64> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
-            "--port" | "--retries" => {
+            "--port" | "--retries" | "--timeout-ms" | "--backoff-ms" => {
                 let flag = args[i].clone();
                 i += 1;
                 let Some(value) = args.get(i).and_then(|v| v.parse::<u32>().ok()) else {
                     eprintln!("{flag} needs an unsigned integer value");
                     return 2;
                 };
-                if flag == "--port" {
-                    match u16::try_from(value) {
+                match flag.as_str() {
+                    "--port" => match u16::try_from(value) {
                         Ok(p) => port = p,
                         Err(_) => {
                             eprintln!("--port must fit in 16 bits");
                             return 2;
                         }
-                    }
-                } else {
-                    retries = value;
+                    },
+                    "--retries" => retries = value,
+                    "--timeout-ms" => timeout_ms = Some(u64::from(value.max(1))),
+                    _ => backoff_ms = Some(u64::from(value.max(1))),
                 }
                 i += 1;
             }
@@ -157,7 +193,17 @@ pub fn cmd_client(args: &[String]) -> i32 {
             return 1;
         }
     };
-    let reply = match client.send_line(&line) {
+    if let Some(ms) = timeout_ms {
+        if let Err(e) = client.set_timeout(Some(Duration::from_millis(ms))) {
+            eprintln!("client: could not set timeout: {e}");
+            return 1;
+        }
+    }
+    let sent = match backoff_ms {
+        Some(ms) => send_with_backoff(&mut client, &line, 10, Duration::from_millis(ms)),
+        None => client.send_line(&line),
+    };
+    let reply = match sent {
         Ok(reply) => reply,
         Err(e) => {
             eprintln!("client: {e}");
@@ -173,6 +219,45 @@ pub fn cmd_client(args: &[String]) -> i32 {
             1
         }
     }
+}
+
+/// Retry `overloaded` sheds and cut connections with doubling backoff,
+/// honoring the server's `retry_after_ms` hint. Any other reply —
+/// success or error — is returned on the first delivery.
+fn send_with_backoff(
+    client: &mut Client,
+    line: &str,
+    attempts: u32,
+    backoff: Duration,
+) -> io::Result<String> {
+    let mut wait = backoff;
+    let mut last_err: Option<io::Error> = None;
+    for attempt in 0..attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(wait);
+            wait = wait.saturating_mul(2);
+        }
+        match client.send_line(line) {
+            Ok(reply) => {
+                if let Ok(Reply::Error(e)) = Reply::from_line(&reply) {
+                    if e.code.as_deref() == Some("overloaded") {
+                        if let Some(hint) = e.retry_after_ms {
+                            wait = Duration::from_millis(hint.max(1));
+                        }
+                        eprintln!("client: overloaded, retrying in {wait:?}");
+                        last_err = Some(io::Error::other("server overloaded"));
+                        continue;
+                    }
+                }
+                return Ok(reply);
+            }
+            Err(e) => {
+                last_err = Some(e);
+                let _ = client.reconnect();
+            }
+        }
+    }
+    Err(last_err.unwrap_or_else(|| io::Error::other("no request attempt made")))
 }
 
 /// Build a compile request from `compile <workload|file> [flags]`.
@@ -215,18 +300,21 @@ fn compile_request(args: &[String]) -> Result<Request, i32> {
                 }
             },
             "--engine" => req.engine = Some(value.clone()),
-            "--pdef" | "--capacity" | "--alus" | "--id" => match value.parse::<u64>() {
-                Ok(n) => match flag {
-                    "--pdef" => req.pdef = Some(n as usize),
-                    "--capacity" => req.capacity = Some(n as usize),
-                    "--alus" => req.alus = Some(n as usize),
-                    _ => req.id = Some(n),
-                },
-                Err(_) => {
-                    eprintln!("{flag} needs an unsigned integer value");
-                    return Err(2);
+            "--pdef" | "--capacity" | "--alus" | "--id" | "--deadline-ms" => {
+                match value.parse::<u64>() {
+                    Ok(n) => match flag {
+                        "--pdef" => req.pdef = Some(n as usize),
+                        "--capacity" => req.capacity = Some(n as usize),
+                        "--alus" => req.alus = Some(n as usize),
+                        "--deadline-ms" => req.deadline_ms = Some(n),
+                        _ => req.id = Some(n),
+                    },
+                    Err(_) => {
+                        eprintln!("{flag} needs an unsigned integer value");
+                        return Err(2);
+                    }
                 }
-            },
+            }
             other => {
                 eprintln!("unknown compile flag {other}");
                 return Err(2);

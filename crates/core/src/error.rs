@@ -62,15 +62,51 @@ pub enum MpsError {
     /// store overflow, pattern wider than the tile, operand not ready) —
     /// the map-tile stage.
     Montium(MontiumError),
+    /// The compile's [`mps_par::CancelToken`] was explicitly cancelled;
+    /// `stage` is the stage boundary (or in-stage claim loop) that
+    /// observed the cancellation.
+    Cancelled {
+        /// Where the cancellation was observed.
+        stage: Stage,
+    },
+    /// The compile's deadline passed; `stage` is the stage boundary (or
+    /// in-stage claim loop) that observed the expiry.
+    DeadlineExceeded {
+        /// Where the expiry was observed.
+        stage: Stage,
+    },
 }
 
 impl MpsError {
-    /// The pipeline stage the wrapped failure originated in.
+    /// The pipeline stage the wrapped failure originated in (for
+    /// cancellations and deadline expiries: the stage that observed the
+    /// signal).
     pub fn stage(&self) -> Stage {
         match self {
             MpsError::Dfg(_) | MpsError::Parse(_) => Stage::Analyze,
             MpsError::Schedule(_) => Stage::Schedule,
             MpsError::Montium(_) => Stage::MapTile,
+            MpsError::Cancelled { stage } | MpsError::DeadlineExceeded { stage } => *stage,
+        }
+    }
+
+    /// Whether this error reflects the *request* rather than the
+    /// *program*: cancellations and deadline expiries would not recur on
+    /// a retry with a fresh budget, so caches must never memoize them
+    /// the way they memoize deterministic pipeline failures.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            MpsError::Cancelled { .. } | MpsError::DeadlineExceeded { .. }
+        )
+    }
+
+    /// Translate a fired [`mps_par::CancelToken`]'s kind into the
+    /// matching error, stamped with the stage that observed it.
+    pub fn from_cancel(kind: mps_par::CancelKind, stage: Stage) -> MpsError {
+        match kind {
+            mps_par::CancelKind::Cancelled => MpsError::Cancelled { stage },
+            mps_par::CancelKind::DeadlineExceeded => MpsError::DeadlineExceeded { stage },
         }
     }
 }
@@ -83,6 +119,8 @@ impl fmt::Display for MpsError {
             MpsError::Parse(e) => e.fmt(f),
             MpsError::Schedule(e) => e.fmt(f),
             MpsError::Montium(e) => e.fmt(f),
+            MpsError::Cancelled { .. } => f.write_str("compile cancelled"),
+            MpsError::DeadlineExceeded { .. } => f.write_str("deadline exceeded"),
         }
     }
 }
@@ -94,6 +132,7 @@ impl std::error::Error for MpsError {
             MpsError::Parse(e) => Some(e),
             MpsError::Schedule(e) => Some(e),
             MpsError::Montium(e) => Some(e),
+            MpsError::Cancelled { .. } | MpsError::DeadlineExceeded { .. } => None,
         }
     }
 }
@@ -142,6 +181,35 @@ mod tests {
         let e: MpsError = MontiumError::SlotOverflow { cycle: 2 }.into();
         assert_eq!(e.stage(), Stage::MapTile);
         assert!(e.to_string().starts_with("map-tile stage:"));
+    }
+
+    #[test]
+    fn cancellation_errors_carry_stage_and_are_transient() {
+        let e = MpsError::from_cancel(mps_par::CancelKind::DeadlineExceeded, Stage::Enumerate);
+        assert_eq!(
+            e,
+            MpsError::DeadlineExceeded {
+                stage: Stage::Enumerate
+            }
+        );
+        assert_eq!(e.stage(), Stage::Enumerate);
+        assert!(e.is_transient());
+        assert_eq!(e.to_string(), "enumerate stage: deadline exceeded");
+        assert!(e.source().is_none());
+
+        let e = MpsError::from_cancel(mps_par::CancelKind::Cancelled, Stage::Select);
+        assert_eq!(
+            e,
+            MpsError::Cancelled {
+                stage: Stage::Select
+            }
+        );
+        assert!(e.is_transient());
+        assert_eq!(e.to_string(), "select stage: compile cancelled");
+
+        // Deterministic pipeline failures are NOT transient: caching them
+        // is correct because a retry reproduces them.
+        assert!(!MpsError::from(ScheduleError::NoPatterns).is_transient());
     }
 
     #[test]

@@ -68,15 +68,18 @@ pub use mps_workloads as workloads;
 mod error;
 mod metrics;
 mod session;
+mod size;
 
 pub use error::{MpsError, Stage};
 pub use metrics::{SharedStageMetrics, StageMetrics};
+pub use mps_par::{CancelKind, CancelToken};
 pub use mps_scheduler::ScheduleEngine;
 pub use mps_select::SelectEngine;
 pub use session::{
     Analysis, CompileConfig, CompileResult, Enumerated, Mapped, Scheduled, Selected, Session,
-    TableCache,
+    StageProbe, TableCache,
 };
+pub use size::{approx_result_bytes, approx_table_bytes};
 
 /// The most common imports in one place.
 pub mod prelude {

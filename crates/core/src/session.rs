@@ -26,15 +26,18 @@
 //! times and counters) per input graph. Every failure anywhere in a
 //! session is one error type, [`MpsError`], tagged with its stage.
 
-use crate::error::MpsError;
+use crate::error::{MpsError, Stage};
 pub use crate::metrics::StageMetrics;
 use mps_dfg::{AnalyzedDfg, Dfg};
 use mps_montium::{execute, ExecReport, TileParams};
+use mps_par::CancelToken;
 use mps_patterns::{EnumerateConfig, PatternSet, PatternTable};
 use mps_scheduler::{EngineSchedule, Schedule, ScheduleEngine, ScheduleTrace};
 use mps_select::{SelectConfig, SelectEngine, SelectionOutcome};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of a whole staged compile: selection parameters, the two
 /// engine choices, and the optional tile-replay stage.
@@ -92,29 +95,77 @@ struct TableKey {
     parallel: bool,
 }
 
+/// What a [`TableSlot`] currently holds.
+#[derive(Debug, Default)]
+enum TableState {
+    /// The claiming session is still building.
+    #[default]
+    Pending,
+    /// The table landed; waiters take a clone.
+    Ready(Arc<PatternTable>),
+    /// The build was cancelled or panicked and the entry was removed:
+    /// waiters loop back and re-claim the key.
+    Abandoned,
+}
+
 /// One [`TableCache`] entry: a single-flight slot. The first session to
 /// claim a key builds into the slot; concurrent sessions on the same key
 /// block on the condvar until the table lands instead of re-enumerating.
+/// A build that dies — cancelled, deadline-expired, or panicked — marks
+/// the slot [`TableState::Abandoned`] instead of leaving it pending
+/// forever, so waiters wake and retry rather than deadlock.
 #[derive(Debug, Default)]
 struct TableSlot {
-    ready: Mutex<Option<Arc<PatternTable>>>,
+    state: Mutex<TableState>,
     cv: Condvar,
 }
 
+/// How a [`TableSlot::wait`] ended.
+enum TableWait {
+    Ready(Arc<PatternTable>),
+    /// The builder abandoned the slot; re-claim the key.
+    Abandoned,
+    /// The *waiter's own* cancel token fired while waiting.
+    Cancelled(mps_par::CancelKind),
+}
+
 impl TableSlot {
-    /// Block until the building session publishes the table.
-    fn wait(&self) -> Arc<PatternTable> {
-        let mut ready = self.ready.lock().expect("table slot poisoned");
+    /// Block until the building session publishes or abandons, polling
+    /// the waiter's own `cancel` token (if any) so a deadline-bound
+    /// waiter gives up instead of outwaiting its budget.
+    fn wait(&self, cancel: Option<&CancelToken>) -> TableWait {
+        let mut state = self.state.lock().expect("table slot poisoned");
         loop {
-            if let Some(table) = ready.as_ref() {
-                return Arc::clone(table);
+            match &*state {
+                TableState::Ready(table) => return TableWait::Ready(Arc::clone(table)),
+                TableState::Abandoned => return TableWait::Abandoned,
+                TableState::Pending => {}
             }
-            ready = self.cv.wait(ready).expect("table slot poisoned");
+            match cancel {
+                Some(token) => {
+                    if let Some(kind) = token.cancel_kind() {
+                        return TableWait::Cancelled(kind);
+                    }
+                    // Bounded sleep so the token is re-polled even if no
+                    // notify arrives.
+                    state = self
+                        .cv
+                        .wait_timeout(state, Duration::from_millis(20))
+                        .expect("table slot poisoned")
+                        .0;
+                }
+                None => state = self.cv.wait(state).expect("table slot poisoned"),
+            }
         }
     }
 
     fn publish(&self, table: &Arc<PatternTable>) {
-        *self.ready.lock().expect("table slot poisoned") = Some(Arc::clone(table));
+        *self.state.lock().expect("table slot poisoned") = TableState::Ready(Arc::clone(table));
+        self.cv.notify_all();
+    }
+
+    fn abandon(&self) {
+        *self.state.lock().expect("table slot poisoned") = TableState::Abandoned;
         self.cv.notify_all();
     }
 }
@@ -132,27 +183,79 @@ impl TableSlot {
 /// N−1 block until the table is published, so a burst of identical
 /// requests costs one enumeration ([`Session::metrics`] shows one
 /// `table_builds` total across them; the property is pinned by the
-/// serving integration tests).
+/// serving integration tests). A build that is cancelled or panics
+/// *abandons* its slot — the entry is removed, waiters wake and one of
+/// them re-claims — so a failed first flight never poisons the key.
 ///
-/// Create with [`TableCache::new`], hand an `Arc` of it to
-/// [`Session::with_shared_tables`]. Eviction is deliberately absent:
-/// tables are the cache's whole point, and a serving deployment bounds
-/// them by bounding the workload set (see `mps-serve`).
+/// Create with [`TableCache::new`] (unbounded) or
+/// [`TableCache::with_budget`], and hand an `Arc` of it to
+/// [`Session::with_shared_tables`]. Budgets apply to *ready* tables:
+/// when an admission pushes the cache over its entry or byte budget
+/// (bytes per [`crate::size::approx_table_bytes`]), least-recently-used
+/// ready tables are evicted until it fits — in-flight builds are never
+/// evicted, and sessions already holding an `Arc` keep their table.
 #[derive(Debug, Default)]
 pub struct TableCache {
     /// Linear-scan entry list, like the session-local cache: the key
     /// space is (graphs × a handful of policies), and lookups happen once
     /// per enumerate stage, not in any inner loop.
     entries: Mutex<Vec<CacheEntry>>,
+    /// Max *ready* entries, `None` = unbounded.
+    max_entries: Option<usize>,
+    /// Max total approximate bytes across ready entries, `None` = unbounded.
+    max_bytes: Option<usize>,
+    /// Monotone LRU clock; entries stamp themselves on every touch.
+    clock: AtomicU64,
+    /// Ready tables evicted to stay within budget, ever.
+    evictions: AtomicU64,
 }
 
-/// One cached table: (graph content hash, table policy key) → slot.
-type CacheEntry = ((u64, TableKey), Arc<TableSlot>);
+/// One cached table keyed by (graph content hash, table policy key).
+#[derive(Debug)]
+struct CacheEntry {
+    key: (u64, TableKey),
+    slot: Arc<TableSlot>,
+    /// Approximate size; `0` while the build is in flight.
+    bytes: usize,
+    /// LRU clock value at the last hit or admission.
+    stamp: u64,
+    /// Whether the slot holds a ready table (only ready entries count
+    /// toward budgets or are evictable).
+    ready: bool,
+}
+
+/// Removes the claimed entry and wakes waiters if the build never
+/// publishes — the drop path is what runs when `build` panics, which is
+/// exactly when a pending slot would otherwise deadlock every waiter.
+struct AbandonOnDrop<'a> {
+    cache: &'a TableCache,
+    key: (u64, TableKey),
+    armed: bool,
+}
+
+impl Drop for AbandonOnDrop<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.cache.abandon(self.key);
+        }
+    }
+}
 
 impl TableCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> TableCache {
         TableCache::default()
+    }
+
+    /// An empty cache with eviction budgets: at most `max_entries` ready
+    /// tables and/or `max_bytes` total approximate bytes (`None` =
+    /// unbounded in that dimension).
+    pub fn with_budget(max_entries: Option<usize>, max_bytes: Option<usize>) -> TableCache {
+        TableCache {
+            max_entries,
+            max_bytes,
+            ..TableCache::default()
+        }
     }
 
     /// Number of tables (and in-flight builds) currently cached.
@@ -165,36 +268,131 @@ impl TableCache {
         self.len() == 0
     }
 
+    /// Ready tables evicted to stay within budget since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Fetch the table for `(graph, key)`, building it with `build` if
     /// this is the first request for the key. Returns the table and
     /// whether **this call** built it (`false` = served from cache or
     /// from another session's in-flight build).
+    ///
+    /// `cancel` is the *caller's* budget: it bounds both waiting on
+    /// another session's in-flight build and (via `build` itself) the
+    /// caller's own build. A build that returns `Err` abandons the slot,
+    /// so waiters re-claim with their own budgets instead of inheriting
+    /// this one's failure.
     fn get_or_build(
         &self,
         graph: u64,
         key: TableKey,
-        build: impl FnOnce() -> PatternTable,
-    ) -> (Arc<PatternTable>, bool) {
-        let (slot, claimed) = {
-            let mut entries = self.entries.lock().expect("table cache poisoned");
-            match entries.iter().find(|(k, _)| *k == (graph, key)) {
-                Some((_, slot)) => (Arc::clone(slot), false),
-                None => {
-                    let slot = Arc::new(TableSlot::default());
-                    entries.push(((graph, key), Arc::clone(&slot)));
-                    (slot, true)
+        cancel: Option<&CancelToken>,
+        build: impl FnOnce() -> Result<PatternTable, MpsError>,
+    ) -> Result<(Arc<PatternTable>, bool), MpsError> {
+        // `build` runs at most once per call: the claiming arm consumes
+        // it and always returns; the waiting arm only loops back to
+        // claim after an abandonment.
+        let mut build = Some(build);
+        loop {
+            let (slot, claimed) = {
+                let mut entries = self.entries.lock().expect("table cache poisoned");
+                let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+                match entries.iter_mut().find(|e| e.key == (graph, key)) {
+                    Some(entry) => {
+                        entry.stamp = stamp;
+                        (Arc::clone(&entry.slot), false)
+                    }
+                    None => {
+                        let slot = Arc::new(TableSlot::default());
+                        entries.push(CacheEntry {
+                            key: (graph, key),
+                            slot: Arc::clone(&slot),
+                            bytes: 0,
+                            stamp,
+                            ready: false,
+                        });
+                        (slot, true)
+                    }
+                }
+            };
+            if !claimed {
+                // Wait outside the entries lock so other keys stay available.
+                match slot.wait(cancel) {
+                    TableWait::Ready(table) => return Ok((table, false)),
+                    TableWait::Abandoned => continue,
+                    TableWait::Cancelled(kind) => {
+                        return Err(MpsError::from_cancel(kind, Stage::Enumerate))
+                    }
                 }
             }
-        };
-        if !claimed {
-            // Wait outside the entries lock so other keys stay available.
-            return (slot.wait(), false);
+            // Build outside the entries lock: other keys stay available,
+            // and same-key sessions wait on the slot, not the whole cache.
+            let mut guard = AbandonOnDrop {
+                cache: self,
+                key: (graph, key),
+                armed: true,
+            };
+            let built = (build.take().expect("claim happens at most once"))();
+            return match built {
+                Ok(table) => {
+                    let table = Arc::new(table);
+                    guard.armed = false;
+                    slot.publish(&table);
+                    self.admit(graph, key, crate::size::approx_table_bytes(&table));
+                    Ok((table, true))
+                }
+                // The guard abandons on drop; waiters retry-claim.
+                Err(e) => Err(e),
+            };
         }
-        // Build outside the entries lock: other keys stay available, and
-        // same-key sessions wait on the slot, not on the whole cache.
-        let table = Arc::new(build());
-        slot.publish(&table);
-        (table, true)
+    }
+
+    /// Remove a pending entry whose build died and wake its waiters.
+    fn abandon(&self, key: (u64, TableKey)) {
+        let slot = {
+            let mut entries = self.entries.lock().expect("table cache poisoned");
+            match entries.iter().position(|e| e.key == key && !e.ready) {
+                Some(i) => entries.remove(i).slot,
+                None => return,
+            }
+        };
+        slot.abandon();
+    }
+
+    /// Mark a freshly published entry ready and enforce the budgets.
+    fn admit(&self, graph: u64, key: TableKey, bytes: usize) {
+        let mut entries = self.entries.lock().expect("table cache poisoned");
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        if let Some(entry) = entries.iter_mut().find(|e| e.key == (graph, key)) {
+            entry.ready = true;
+            entry.bytes = bytes;
+            entry.stamp = stamp;
+        }
+        loop {
+            let ready_count = entries.iter().filter(|e| e.ready).count();
+            let ready_bytes: usize = entries.iter().filter(|e| e.ready).map(|e| e.bytes).sum();
+            let over = self.max_entries.is_some_and(|m| ready_count > m)
+                || self.max_bytes.is_some_and(|m| ready_bytes > m);
+            if !over {
+                break;
+            }
+            // Evict the least-recently-used ready table. The entry just
+            // admitted carries the freshest stamp, so it goes last — and
+            // if it alone busts the byte budget it is evicted too;
+            // holders of its `Arc` are unaffected.
+            let Some(idx) = entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.ready)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            entries.remove(idx);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -229,7 +427,38 @@ pub struct Session {
     /// The process-wide table cache this session shares, if any, plus the
     /// graph's content hash (computed once at construction).
     shared: Option<(u64, Arc<TableCache>)>,
+    /// Deadline/cancellation budget honored by [`Session::compile`] at
+    /// every stage boundary and inside the enumeration claim loops.
+    cancel: Option<CancelToken>,
+    /// Stage-boundary hook for fault injection (see [`StageProbe`]).
+    probe: Option<StageProbe>,
     metrics: StageMetrics,
+}
+
+/// A hook [`Session::compile`] runs at every stage boundary, before the
+/// stage executes. Built for fault injection — the serving layer's chaos
+/// harness uses it to delay or fail compiles at a chosen stage — but any
+/// cross-cutting per-stage policy fits. Returning `Err` aborts the
+/// compile with that error.
+#[derive(Clone)]
+pub struct StageProbe(Arc<dyn Fn(Stage) -> Result<(), MpsError> + Send + Sync>);
+
+impl StageProbe {
+    /// Wrap a callable run with each stage about to execute.
+    pub fn new(f: impl Fn(Stage) -> Result<(), MpsError> + Send + Sync + 'static) -> StageProbe {
+        StageProbe(Arc::new(f))
+    }
+
+    /// Run the probe for one stage boundary.
+    pub fn check(&self, stage: Stage) -> Result<(), MpsError> {
+        (self.0)(stage)
+    }
+}
+
+impl fmt::Debug for StageProbe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("StageProbe(..)")
+    }
 }
 
 impl Session {
@@ -247,6 +476,8 @@ impl Session {
             cfg,
             tables: Vec::new(),
             shared: None,
+            cancel: None,
+            probe: None,
             metrics: StageMetrics::default(),
         }
     }
@@ -282,6 +513,32 @@ impl Session {
     /// keeps the expensive artifacts.
     pub fn set_config(&mut self, cfg: CompileConfig) {
         self.cfg = cfg;
+    }
+
+    /// Give the session a cancellation/deadline budget.
+    /// [`Session::compile`] checks it before every stage and threads it
+    /// into the enumeration claim loops (the pipeline's dominant cost),
+    /// failing with [`MpsError::Cancelled`] or
+    /// [`MpsError::DeadlineExceeded`] — stamped with the stage that
+    /// observed the signal — once it fires. The fluent per-stage methods
+    /// ([`Session::analyze`], [`Analysis::enumerate`], …) deliberately
+    /// ignore it: the caller driving stages by hand is its own budget
+    /// authority.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// The session's cancellation budget, if one was set.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Install a stage-boundary hook run by [`Session::compile`] before
+    /// each stage — and before the cancellation check at the same
+    /// boundary, so a probe-injected delay that blows the deadline is
+    /// observed immediately at that very stage.
+    pub fn set_stage_probe(&mut self, probe: StageProbe) {
+        self.probe = Some(probe);
     }
 
     /// Cumulative metrics across every stage chain this session ran.
@@ -321,15 +578,44 @@ impl Session {
     /// Run the full staged pipeline per [`Session::config`]: analyze →
     /// enumerate (at the config's span limit) → select → schedule →
     /// optionally map onto the configured tile.
+    ///
+    /// When the session carries a [`CancelToken`]
+    /// ([`Session::set_cancel_token`]), every stage boundary checks it —
+    /// and the enumeration stage additionally polls it inside its claim
+    /// loops — so a cancelled or deadline-expired compile stops within
+    /// one in-flight work unit and fails with [`MpsError::Cancelled`] /
+    /// [`MpsError::DeadlineExceeded`] carrying the observing stage. A
+    /// [`StageProbe`], when installed, runs before each boundary check.
     pub fn compile(&mut self) -> Result<CompileResult, MpsError> {
         let cfg = self.cfg.clone();
-        let scheduled = self
-            .analyze()
-            .enumerate(cfg.select.span_limit)
-            .select(&cfg.engine)
-            .schedule(&cfg.schedule)?;
+        let cancel = self.cancel.clone();
+        let probe = self.probe.clone();
+        // The gate captures only clones, so it stays callable while the
+        // stage artifacts hold the session borrow.
+        let gate = |stage: Stage| -> Result<(), MpsError> {
+            if let Some(p) = &probe {
+                p.check(stage)?;
+            }
+            if let Some(t) = &cancel {
+                if let Some(kind) = t.cancel_kind() {
+                    return Err(MpsError::from_cancel(kind, stage));
+                }
+            }
+            Ok(())
+        };
+        gate(Stage::Analyze)?;
+        let analysis = self.analyze();
+        gate(Stage::Enumerate)?;
+        let enumerated = analysis.enumerate_impl(cfg.select.span_limit, cancel.as_ref())?;
+        gate(Stage::Select)?;
+        let selected = enumerated.select(&cfg.engine);
+        gate(Stage::Schedule)?;
+        let scheduled = selected.schedule(&cfg.schedule)?;
         match cfg.tile {
-            Some(tile) => Ok(scheduled.map_tile(tile)?.finish()),
+            Some(tile) => {
+                gate(Stage::MapTile)?;
+                Ok(scheduled.map_tile(tile)?.finish())
+            }
             None => Ok(scheduled.finish()),
         }
     }
@@ -394,7 +680,25 @@ impl<'s> Analysis<'s> {
     /// table (antichain classification with `h(p̄, n)` frequencies) — or
     /// reuse the session's cached table for this `(capacity, span,
     /// worker-policy)` key, which skips the pipeline's dominant cost.
+    ///
+    /// This fluent entry ignores any session [`CancelToken`] — the
+    /// caller driving stages by hand budgets itself. [`Session::compile`]
+    /// takes the cancellable path instead.
     pub fn enumerate(self, span: Option<u32>) -> Enumerated<'s> {
+        self.enumerate_impl(span, None)
+            .expect("enumeration without a cancel token cannot fail")
+    }
+
+    /// [`Analysis::enumerate`] with an optional cancellation budget: the
+    /// token bounds both the build's claim loops (via
+    /// [`PatternTable::build_with_cancel`]) and, when the session shares
+    /// a [`TableCache`], the wait on another session's in-flight build.
+    /// With `cancel = None` this cannot fail.
+    fn enumerate_impl(
+        self,
+        span: Option<u32>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Enumerated<'s>, MpsError> {
         let Analysis {
             session,
             mut metrics,
@@ -416,6 +720,13 @@ impl<'s> Analysis<'s> {
                     span_limit: key.span,
                     parallel: key.parallel,
                 };
+                let build_one = |adfg: &AnalyzedDfg| -> Result<PatternTable, MpsError> {
+                    match cancel {
+                        Some(token) => PatternTable::build_with_cancel(adfg, ecfg, token)
+                            .map_err(|kind| MpsError::from_cancel(kind, Stage::Enumerate)),
+                        None => Ok(PatternTable::build(adfg, ecfg)),
+                    }
+                };
                 let t0 = Instant::now();
                 // First use of this key in this session: build — unless
                 // the session shares a process-wide cache that already
@@ -423,12 +734,9 @@ impl<'s> Analysis<'s> {
                 let (table, built) = match &session.shared {
                     Some((graph, cache)) => {
                         let adfg = session.adfg.as_ref().expect("analysis ran");
-                        cache.get_or_build(*graph, key, || PatternTable::build(adfg, ecfg))
+                        cache.get_or_build(*graph, key, cancel, || build_one(adfg))?
                     }
-                    None => (
-                        Arc::new(PatternTable::build(session.analyzed(), ecfg)),
-                        true,
-                    ),
+                    None => (Arc::new(build_one(session.analyzed())?), true),
                 };
                 let dt = t0.elapsed().as_secs_f64();
                 metrics.enumerate_sec += dt;
@@ -448,12 +756,12 @@ impl<'s> Analysis<'s> {
         metrics.table_patterns = table.len();
         session.metrics.antichains = metrics.antichains;
         session.metrics.table_patterns = metrics.table_patterns;
-        Enumerated {
+        Ok(Enumerated {
             session,
             metrics,
             span,
             table,
-        }
+        })
     }
 }
 
@@ -805,6 +1113,193 @@ mod tests {
             assert_eq!(r.schedule, results[0].0.schedule);
         }
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn compile_honors_cancel_and_deadline() {
+        use crate::error::Stage;
+        // A generous deadline changes nothing.
+        let mut ok = Session::new(fig4());
+        ok.set_cancel_token(CancelToken::with_deadline(Duration::from_secs(3600)));
+        let budgeted = ok.compile().unwrap();
+        let plain = Session::new(fig4()).compile().unwrap();
+        assert_eq!(budgeted.selection, plain.selection);
+        assert_eq!(budgeted.schedule, plain.schedule);
+
+        // A pre-cancelled token fails at the first gate, stage-stamped.
+        let mut cancelled = Session::new(fig4());
+        let token = CancelToken::new();
+        token.cancel();
+        cancelled.set_cancel_token(token);
+        assert_eq!(
+            cancelled.compile().unwrap_err(),
+            MpsError::Cancelled {
+                stage: Stage::Analyze
+            }
+        );
+
+        // An expired deadline reports DeadlineExceeded instead.
+        let mut expired = Session::new(fig4());
+        expired.set_cancel_token(CancelToken::with_deadline(Duration::from_millis(0)));
+        assert_eq!(
+            expired.compile().unwrap_err(),
+            MpsError::DeadlineExceeded {
+                stage: Stage::Analyze
+            }
+        );
+    }
+
+    #[test]
+    fn stage_probe_runs_in_order_and_can_fail() {
+        use crate::error::Stage;
+        use std::sync::Mutex as StdMutex;
+        let seen = Arc::new(StdMutex::new(Vec::new()));
+        let log = Arc::clone(&seen);
+        let mut session = Session::with_config(
+            fig4(),
+            CompileConfig {
+                tile: Some(TileParams::default()),
+                ..Default::default()
+            },
+        );
+        session.set_stage_probe(StageProbe::new(move |stage| {
+            log.lock().unwrap().push(stage);
+            Ok(())
+        }));
+        session.compile().unwrap();
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![
+                Stage::Analyze,
+                Stage::Enumerate,
+                Stage::Select,
+                Stage::Schedule,
+                Stage::MapTile
+            ]
+        );
+
+        // A probe that fails a chosen stage aborts the compile with its
+        // error — the fault-injection contract.
+        let mut faulty = Session::new(fig4());
+        faulty.set_stage_probe(StageProbe::new(|stage| {
+            if stage == Stage::Select {
+                return Err(MpsError::Cancelled { stage });
+            }
+            Ok(())
+        }));
+        assert_eq!(
+            faulty.compile().unwrap_err(),
+            MpsError::Cancelled {
+                stage: Stage::Select
+            }
+        );
+    }
+
+    #[test]
+    fn cancelled_shared_build_abandons_its_slot() {
+        // A cancelled compile must not leave a pending slot behind: the
+        // next session over the same key re-claims and builds, rather
+        // than waiting forever on a build that will never publish.
+        let cache = Arc::new(TableCache::new());
+        let cfg = CompileConfig::default();
+        let mut doomed = Session::with_shared_tables(fig2(), cfg.clone(), Arc::clone(&cache));
+        let token = CancelToken::new();
+        token.cancel();
+        doomed.set_cancel_token(token);
+        assert!(doomed.compile().unwrap_err().is_transient());
+        assert_eq!(cache.len(), 0, "abandoned entry must be removed");
+
+        let mut fresh = Session::with_shared_tables(fig2(), cfg, Arc::clone(&cache));
+        fresh.compile().unwrap();
+        assert_eq!(fresh.metrics().table_builds, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn panicked_build_clears_slot_and_wakes_waiters() {
+        let cache = Arc::new(TableCache::new());
+        let key = TableKey {
+            capacity: 5,
+            span: None,
+            parallel: false,
+        };
+        // First flight panics mid-build; the drop guard must remove the
+        // pending entry and wake waiters.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_build(7, key, None, || panic!("injected build failure"))
+        }));
+        assert!(panicked.is_err());
+        assert_eq!(cache.len(), 0, "panicked entry must be removed");
+
+        // A concurrent waiter + a failing builder: the waiter must end up
+        // recomputing, not deadlocking. The builder claims first, fails;
+        // the waiter re-claims and builds for real.
+        let adfg = AnalyzedDfg::new(fig4());
+        let barrier = std::sync::Barrier::new(2);
+        let built = std::thread::scope(|scope| {
+            let claimer = scope.spawn(|| {
+                let r = cache.get_or_build(7, key, None, || {
+                    barrier.wait(); // waiter is about to look up the key
+                    std::thread::sleep(Duration::from_millis(30));
+                    Err(MpsError::Cancelled {
+                        stage: Stage::Enumerate,
+                    })
+                });
+                assert!(r.is_err());
+            });
+            barrier.wait();
+            let (table, built) = cache
+                .get_or_build(7, key, None, || {
+                    Ok(PatternTable::build(&adfg, EnumerateConfig::default()))
+                })
+                .expect("waiter recomputes after abandonment");
+            assert!(!table.is_empty());
+            claimer.join().unwrap();
+            built
+        });
+        assert!(built, "the waiter's own build must have run");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn table_cache_entry_budget_evicts_lru() {
+        let cache = Arc::new(TableCache::with_budget(Some(1), None));
+        let cfg = CompileConfig::default();
+        Session::with_shared_tables(fig2(), cfg.clone(), Arc::clone(&cache))
+            .compile()
+            .unwrap();
+        assert_eq!((cache.len(), cache.evictions()), (1, 0));
+        // A second graph pushes the first out.
+        Session::with_shared_tables(fig4(), cfg.clone(), Arc::clone(&cache))
+            .compile()
+            .unwrap();
+        assert_eq!((cache.len(), cache.evictions()), (1, 1));
+        // The evicted graph rebuilds — and is correct — on return.
+        let mut back = Session::with_shared_tables(fig2(), cfg.clone(), Arc::clone(&cache));
+        let again = back.compile().unwrap();
+        assert_eq!(back.metrics().table_builds, 1);
+        let direct = Session::with_config(fig2(), cfg).compile().unwrap();
+        assert_eq!(again.schedule, direct.schedule);
+        assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn table_cache_byte_budget_evicts() {
+        // A byte budget smaller than any real table: every admission
+        // immediately evicts, so the cache never retains more than the
+        // in-flight entry and the counter climbs.
+        let cache = Arc::new(TableCache::with_budget(None, Some(1)));
+        let cfg = CompileConfig::default();
+        Session::with_shared_tables(fig2(), cfg.clone(), Arc::clone(&cache))
+            .compile()
+            .unwrap();
+        assert_eq!(cache.len(), 0, "over-budget admission evicts itself");
+        assert_eq!(cache.evictions(), 1);
+        // Correctness is unaffected: the compile still succeeded above,
+        // and the next one rebuilds.
+        let mut s = Session::with_shared_tables(fig2(), cfg, Arc::clone(&cache));
+        s.compile().unwrap();
+        assert_eq!(s.metrics().table_builds, 1);
     }
 
     #[test]

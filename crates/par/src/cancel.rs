@@ -1,0 +1,160 @@
+//! Cooperative cancellation for long-running parallel work.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle carrying two stop
+//! signals: an explicit flag ([`CancelToken::cancel`]) and an optional
+//! wall-clock deadline fixed at construction. Work loops poll
+//! [`CancelToken::is_cancelled`] at claim boundaries — a poll is one
+//! relaxed atomic load plus (when a deadline is set) one `Instant::now()`
+//! — and bail out early, discarding partial results. Both signals are
+//! sticky: once a token reports cancelled it reports cancelled forever,
+//! so a check made *after* a work loop finishes subsumes every check the
+//! loop skipped.
+//!
+//! The token deliberately knows nothing about *why* beyond
+//! [`CancelKind`]: explicit cancellation vs. deadline expiry. Callers
+//! (the `mps` session layer) translate that into their own error types
+//! with stage provenance.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a [`CancelToken`] fired: an explicit [`CancelToken::cancel`] call
+/// or its construction-time deadline passing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelKind {
+    /// [`CancelToken::cancel`] was called.
+    Cancelled,
+    /// The token's deadline passed.
+    DeadlineExceeded,
+}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation handle: an explicit stop flag plus an
+/// optional deadline. All clones share the same state, so cancelling any
+/// clone cancels them all.
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A token with no deadline; fires only on [`CancelToken::cancel`].
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that fires once `timeout` has elapsed from now (or on an
+    /// explicit cancel, whichever comes first).
+    pub fn with_deadline(timeout: Duration) -> CancelToken {
+        CancelToken::deadline_at(Instant::now() + timeout)
+    }
+
+    /// A token that fires once the wall clock reaches `deadline`.
+    pub fn deadline_at(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Trip the explicit stop flag. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Has either signal fired?
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel_kind().is_some()
+    }
+
+    /// Which signal fired, if any. The explicit flag is checked first,
+    /// so a token that was both cancelled and expired reports
+    /// [`CancelKind::Cancelled`].
+    pub fn cancel_kind(&self) -> Option<CancelKind> {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return Some(CancelKind::Cancelled);
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => Some(CancelKind::DeadlineExceeded),
+            _ => None,
+        }
+    }
+
+    /// The construction-time deadline, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Time left until the deadline (`None` when no deadline is set;
+    /// zero once it has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.cancel_kind(), None);
+        assert_eq!(t.deadline(), None);
+        assert_eq!(t.remaining(), None);
+    }
+
+    #[test]
+    fn explicit_cancel_is_sticky_and_shared() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        clone.cancel();
+        assert_eq!(t.cancel_kind(), Some(CancelKind::Cancelled));
+        assert!(t.is_cancelled());
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_fires_after_expiry() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        // A zero timeout has already passed by the first check.
+        assert_eq!(t.cancel_kind(), Some(CancelKind::DeadlineExceeded));
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_deadline_stays_live() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn explicit_cancel_wins_over_expired_deadline() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        t.cancel();
+        assert_eq!(t.cancel_kind(), Some(CancelKind::Cancelled));
+    }
+}

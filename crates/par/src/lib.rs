@@ -25,7 +25,12 @@
 //! * [`parallelism`] — thread-count heuristic honouring `MPS_THREADS`,
 //! * [`BoundedQueue`] — a blocking bounded MPMC queue, the admission
 //!   primitive of the `mps-serve` daemon (backpressure on producers, clean
-//!   drain-on-close for consumers).
+//!   drain-on-close for consumers; [`BoundedQueue::try_push`] for
+//!   shed-instead-of-block admission),
+//! * [`CancelToken`] — a cooperative stop flag with an optional deadline,
+//!   polled by [`par_fold_irregular_cancel_in`]'s claim loops so a
+//!   cancelled enumeration stops claiming work instead of running to
+//!   completion.
 //!
 //! All entry points fall back to straight sequential execution when the input
 //! is small or only one hardware thread is available, so callers never pay
@@ -46,10 +51,12 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+mod cancel;
 mod chunk;
 #[allow(unsafe_code)] // isolated disjoint-chunk writes; see module docs
 mod fill;
 mod queue;
+pub use cancel::{CancelKind, CancelToken};
 pub use chunk::chunk_ranges;
 pub use queue::{BoundedQueue, PushError};
 
@@ -280,11 +287,46 @@ where
     F: Fn(&mut A, &T) + Sync,
     R: Fn(A, A) -> A,
 {
+    par_fold_irregular_cancel_in(workers, heavy, light, None, make, fold, merge)
+}
+
+/// [`par_fold_irregular_in`] with cooperative cancellation.
+///
+/// When `cancel` is `Some`, every claim trip — one per heavy item, one
+/// per light chunk (and one per item on the sequential path) — polls the
+/// token first and stops claiming once it fires, so workers drain within
+/// one in-flight item of the cancellation instead of running the list to
+/// completion. The merged accumulator is returned either way, but after
+/// a cancellation it covers only the items folded before the token
+/// fired: **callers must treat the result as garbage whenever
+/// `cancel.is_cancelled()` holds afterwards**. Because the token is
+/// sticky, that single post-hoc check subsumes every per-claim poll a
+/// worker might have raced past.
+pub fn par_fold_irregular_cancel_in<T, A, M, F, R>(
+    workers: usize,
+    heavy: &[T],
+    light: &[T],
+    cancel: Option<&CancelToken>,
+    make: M,
+    fold: F,
+    merge: R,
+) -> A
+where
+    T: Sync,
+    A: Send,
+    M: Fn() -> A + Sync,
+    F: Fn(&mut A, &T) + Sync,
+    R: Fn(A, A) -> A,
+{
+    let fired = || cancel.is_some_and(|t| t.is_cancelled());
     let len = heavy.len() + light.len();
     let workers = workers.min(len.max(1));
     if workers <= 1 || len < SEQUENTIAL_CUTOFF {
         let mut acc = make();
         for item in heavy.iter().chain(light.iter()) {
+            if fired() {
+                break;
+            }
             fold(&mut acc, item);
         }
         return acc;
@@ -296,9 +338,13 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let (heavy_next, light_next, make, fold) = (&heavy_next, &light_next, &make, &fold);
+                let fired = &fired;
                 scope.spawn(move |_| {
                     let mut acc = make();
                     loop {
+                        if fired() {
+                            return acc;
+                        }
                         let i = heavy_next.fetch_add(1, Ordering::Relaxed);
                         if i >= heavy.len() {
                             break;
@@ -306,6 +352,9 @@ where
                         fold(&mut acc, &heavy[i]);
                     }
                     loop {
+                        if fired() {
+                            return acc;
+                        }
                         let start = light_next.fetch_add(light_chunk, Ordering::Relaxed);
                         if start >= light.len() {
                             break;
@@ -577,6 +626,82 @@ mod tests {
         let (h, l) = irregular_claim_sizes(300, 4000, 8);
         assert_eq!(h, 1);
         assert_eq!(l, 4000 / (8 * CHUNKS_PER_WORKER));
+    }
+
+    #[test]
+    fn cancelled_irregular_fold_stops_claiming() {
+        // A token cancelled from inside the fold stops the remaining
+        // items from ever being folded: the accumulator stays well short
+        // of the full sum and the caller can tell by re-checking the
+        // token.
+        use std::sync::atomic::AtomicU64;
+        let light: Vec<u64> = (0..100_000).collect();
+        for workers in [1usize, 4] {
+            let token = CancelToken::new();
+            let folded = AtomicU64::new(0);
+            let tok = &token;
+            par_fold_irregular_cancel_in(
+                workers,
+                &[] as &[u64],
+                &light,
+                Some(tok),
+                || (),
+                |_, _| {
+                    if folded.fetch_add(1, Ordering::Relaxed) == 10 {
+                        tok.cancel();
+                    }
+                },
+                |a, _| a,
+            );
+            assert!(token.is_cancelled());
+            let seen = folded.load(Ordering::Relaxed);
+            // Workers stop at the next claim; in-flight chunks may finish,
+            // but nothing close to the full list runs.
+            assert!(
+                seen < light.len() as u64 / 2,
+                "workers={workers}: folded {seen} items after cancel"
+            );
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_fold_returns_neutral() {
+        let token = CancelToken::new();
+        token.cancel();
+        let heavy: Vec<u64> = (0..5).collect();
+        let light: Vec<u64> = (0..500).collect();
+        for workers in [1usize, 4] {
+            let sum = par_fold_irregular_cancel_in(
+                workers,
+                &heavy,
+                &light,
+                Some(&token),
+                || 0u64,
+                |a, &x| *a += x,
+                |a, b| a + b,
+            );
+            assert_eq!(sum, 0, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn live_token_does_not_change_results() {
+        let token = CancelToken::with_deadline(std::time::Duration::from_secs(3600));
+        let heavy: Vec<u64> = (0..3).map(|i| 1000 + i).collect();
+        let light: Vec<u64> = (0..777).collect();
+        let expect: u64 = heavy.iter().chain(light.iter()).sum();
+        for workers in [1usize, 2, 8] {
+            let sum = par_fold_irregular_cancel_in(
+                workers,
+                &heavy,
+                &light,
+                Some(&token),
+                || 0u64,
+                |a, &x| *a += x,
+                |a, b| a + b,
+            );
+            assert_eq!(sum, expect, "workers={workers}");
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::enumerate::{
 use crate::key::{KeyInterner, PatternKey};
 use crate::pattern::Pattern;
 use mps_dfg::{AnalyzedDfg, Antichain, NodeId};
+use mps_par::{CancelKind, CancelToken};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -482,11 +483,52 @@ impl PatternTable {
         Self::build_impl(adfg, cfg, workers, false)
     }
 
+    /// [`PatternTable::build`] with cooperative cancellation: the claim
+    /// loops distributing enumeration roots poll `cancel` (see
+    /// [`mps_par::par_fold_irregular_cancel_in`]), so a cancelled or
+    /// deadline-expired build stops within one in-flight work unit and
+    /// returns `Err` with the [`mps_par::CancelKind`] that fired instead
+    /// of a partial table. A token that never fires changes nothing: the
+    /// result is bit-identical to [`PatternTable::build`].
+    ///
+    /// The unpackable-color fallback ([`PatternTable::build_reference`])
+    /// is not instrumented — those graphs run to completion and are only
+    /// discarded by the final token check; they are outside the hot path
+    /// this exists for.
+    pub fn build_with_cancel(
+        adfg: &AnalyzedDfg,
+        cfg: EnumerateConfig,
+        cancel: &CancelToken,
+    ) -> Result<PatternTable, CancelKind> {
+        let workers = if cfg.parallel {
+            mps_par::parallelism()
+        } else {
+            1
+        };
+        let table = Self::build_impl_cancel(adfg, cfg, workers, true, Some(cancel));
+        // Sticky token: if it fired at any point during the build the
+        // table may be partial, so one final check decides the result.
+        match cancel.cancel_kind() {
+            Some(kind) => Err(kind),
+            None => Ok(table),
+        }
+    }
+
     fn build_impl(
         adfg: &AnalyzedDfg,
         cfg: EnumerateConfig,
         workers: usize,
         split: bool,
+    ) -> PatternTable {
+        Self::build_impl_cancel(adfg, cfg, workers, split, None)
+    }
+
+    fn build_impl_cancel(
+        adfg: &AnalyzedDfg,
+        cfg: EnumerateConfig,
+        workers: usize,
+        split: bool,
+        cancel: Option<&CancelToken>,
     ) -> PatternTable {
         let Some((colors, deltas)) = packed_inputs(adfg) else {
             return Self::build_reference(adfg, cfg);
@@ -520,10 +562,11 @@ impl PatternTable {
             (Vec::new(), roots)
         };
         let proto = &proto;
-        mps_par::par_fold_irregular_in(
+        mps_par::par_fold_irregular_cancel_in(
             workers,
             &heavy,
             &light,
+            cancel,
             || {
                 (
                     AntichainEnumerator::new(adfg, cfg),
@@ -961,6 +1004,34 @@ mod tests {
         assert_tables_equal(&table, &reference, "exotic colors");
         let pair = Pattern::from_colors([Color(30), Color(30)]);
         assert_eq!(table.get(&pair).unwrap().antichain_count, 1, "{{n1,n2}}");
+    }
+
+    /// A live token leaves `build_with_cancel` bit-identical to `build`;
+    /// a pre-fired token (expired deadline or explicit cancel) yields
+    /// `Err` with the right kind instead of a partial table.
+    #[test]
+    fn cancellable_build_matches_and_aborts() {
+        use mps_par::{CancelKind, CancelToken};
+        use std::time::Duration;
+        let adfg = fig4();
+        let cfg = cfg_seq();
+
+        let live = CancelToken::with_deadline(Duration::from_secs(3600));
+        let table = PatternTable::build_with_cancel(&adfg, cfg, &live).expect("live token");
+        assert_tables_equal(&table, &PatternTable::build(&adfg, cfg), "live token");
+
+        let expired = CancelToken::with_deadline(Duration::from_millis(0));
+        assert_eq!(
+            PatternTable::build_with_cancel(&adfg, cfg, &expired).unwrap_err(),
+            CancelKind::DeadlineExceeded
+        );
+
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        assert_eq!(
+            PatternTable::build_with_cancel(&adfg, cfg, &cancelled).unwrap_err(),
+            CancelKind::Cancelled
+        );
     }
 
     #[test]

@@ -13,12 +13,33 @@
 //!
 //! Failed compiles are cached too: the pipeline is deterministic, so an
 //! input that failed once fails identically forever, and re-running it
-//! per request would make error-storms expensive.
+//! per request would make error-storms expensive. The exception is
+//! *transient* outcomes ([`mps::MpsError::is_transient`]) — a compile
+//! that died on one request's deadline says nothing about the next
+//! request, so those abandon the slot instead of publishing, and any
+//! waiters re-claim with their own budgets.
+//!
+//! Three overload-proofing mechanisms round out the tier:
+//!
+//! - **Abandonment**: a compute that panics or returns a transient
+//!   error abandons its slot (via a drop guard, so panics can't leak a
+//!   pending slot). Waiters wake, observe the abandonment, and retry
+//!   the claim — nobody blocks forever on a corpse.
+//! - **Budgets**: optional entry and byte caps ([`CacheBudget`]) over
+//!   the *published* outcomes, enforced by least-recently-used
+//!   eviction at admission. In-flight computes are never evicted, and
+//!   eviction only unmaps the key — requests already holding the `Arc`
+//!   keep their result.
+//! - **Deadline waits**: a waiter passes its request deadline to
+//!   [`ArtifactCache::get_or_compute`]; if the in-flight compute
+//!   outlives it, the wait returns [`WaitTimedOut`] instead of
+//!   blocking past the point where the reply could matter.
 
 use mps::{CompileResult, MpsError};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// What one compile produced (results are shared, errors cloned).
 pub type Outcome = Result<Arc<CompileResult>, MpsError>;
@@ -26,49 +47,150 @@ pub type Outcome = Result<Arc<CompileResult>, MpsError>;
 /// Cache key: graph content hash × config content hash.
 pub type Key = (u64, u64);
 
-/// One in-flight-or-done artifact: single-flight slot, same shape as the
-/// table-cache slots in `mps::session`.
+/// Charged bytes for a cached error outcome: small, but non-zero so an
+/// error-storm still pushes real results out of a byte-bounded cache
+/// rather than accumulating rent-free.
+const ERR_OUTCOME_BYTES: usize = 256;
+
+/// The caller's deadline passed while an identical compile was in
+/// flight on another request. Distinct from
+/// [`mps::MpsError::DeadlineExceeded`] because no pipeline stage of
+/// *this* request observed the expiry — it never ran one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimedOut;
+
+/// Optional entry/byte caps on published outcomes (`None` = unbounded).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheBudget {
+    /// Maximum published outcomes resident at once.
+    pub max_entries: Option<usize>,
+    /// Maximum total [`mps::approx_result_bytes`] resident at once.
+    pub max_bytes: Option<usize>,
+}
+
+/// Where one in-flight-or-done artifact stands.
+#[derive(Debug, Default)]
+enum SlotState {
+    /// A claimant is computing; waiters block on the condvar.
+    #[default]
+    Pending,
+    /// The outcome is published and cacheable.
+    Ready(Outcome),
+    /// The claimant panicked or hit a transient error; waiters must
+    /// re-claim. The slot is already unmapped from its shard.
+    Abandoned,
+}
+
+/// One single-flight slot, same shape as the table-cache slots in
+/// `mps::session` but with deadline-aware waits.
 #[derive(Debug, Default)]
 struct Slot {
-    ready: Mutex<Option<Outcome>>,
+    state: Mutex<SlotState>,
     cv: Condvar,
 }
 
+/// What a waiter observed.
+enum SlotWait {
+    Ready(Outcome),
+    Abandoned,
+    TimedOut,
+}
+
 impl Slot {
-    fn wait(&self) -> Outcome {
-        let mut ready = self.ready.lock().expect("artifact slot poisoned");
+    fn wait(&self, deadline: Option<Instant>) -> SlotWait {
+        let mut state = self.state.lock().expect("artifact slot poisoned");
         loop {
-            if let Some(outcome) = ready.as_ref() {
-                return outcome.clone();
+            match &*state {
+                SlotState::Ready(outcome) => return SlotWait::Ready(outcome.clone()),
+                SlotState::Abandoned => return SlotWait::Abandoned,
+                SlotState::Pending => {}
             }
-            ready = self.cv.wait(ready).expect("artifact slot poisoned");
+            state = match deadline {
+                None => self.cv.wait(state).expect("artifact slot poisoned"),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return SlotWait::TimedOut;
+                    }
+                    self.cv
+                        .wait_timeout(state, d - now)
+                        .expect("artifact slot poisoned")
+                        .0
+                }
+            };
         }
     }
 
     fn publish(&self, outcome: &Outcome) {
-        *self.ready.lock().expect("artifact slot poisoned") = Some(outcome.clone());
+        *self.state.lock().expect("artifact slot poisoned") = SlotState::Ready(outcome.clone());
+        self.cv.notify_all();
+    }
+
+    fn abandon(&self) {
+        *self.state.lock().expect("artifact slot poisoned") = SlotState::Abandoned;
         self.cv.notify_all();
     }
 }
 
+/// LRU bookkeeping for one published outcome.
+#[derive(Debug)]
+struct AcctEntry {
+    key: Key,
+    bytes: usize,
+    stamp: u64,
+}
+
+/// Unmaps and abandons a claimed slot unless disarmed — the safety net
+/// that keeps a panicking compute from wedging its waiters forever.
+struct AbandonGuard<'a> {
+    cache: &'a ArtifactCache,
+    key: Key,
+    slot: &'a Arc<Slot>,
+    armed: bool,
+}
+
+impl Drop for AbandonGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.cache.abandon_slot(self.key, self.slot);
+        }
+    }
+}
+
 /// A sharded, single-flight map from [`Key`] to compile [`Outcome`],
-/// with hit/miss counters.
+/// with hit/miss/eviction counters and optional budgets.
 #[derive(Debug)]
 pub struct ArtifactCache {
     shards: Vec<Mutex<HashMap<Key, Arc<Slot>>>>,
+    /// Published outcomes only, for budget enforcement. Lock order:
+    /// `acct` may take a shard lock (eviction); never the reverse.
+    acct: Mutex<Vec<AcctEntry>>,
+    budget: CacheBudget,
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl ArtifactCache {
-    /// A cache with `shards` independent lock domains (clamped ≥ 1).
+    /// An unbounded cache with `shards` independent lock domains
+    /// (clamped ≥ 1).
     pub fn new(shards: usize) -> ArtifactCache {
+        ArtifactCache::with_budget(shards, CacheBudget::default())
+    }
+
+    /// A cache with `shards` lock domains and the given caps.
+    pub fn with_budget(shards: usize, budget: CacheBudget) -> ArtifactCache {
         ArtifactCache {
             shards: (0..shards.max(1))
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
+            acct: Mutex::new(Vec::new()),
+            budget,
+            clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -79,30 +201,126 @@ impl ArtifactCache {
         &self.shards[(mix % self.shards.len() as u64) as usize]
     }
 
-    /// Fetch the outcome for `key`, running `compute` if this is the
-    /// first request. Returns the outcome and whether it was a cache hit
-    /// (`true` = this call did not run `compute`; a hit may still block
-    /// briefly on another request's in-flight compute).
-    pub fn get_or_compute(&self, key: Key, compute: impl FnOnce() -> Outcome) -> (Outcome, bool) {
-        let (slot, claimed) = {
-            let mut shard = self.shard(key).lock().expect("artifact shard poisoned");
-            match shard.get(&key) {
-                Some(slot) => (Arc::clone(slot), false),
-                None => {
-                    let slot = Arc::new(Slot::default());
-                    shard.insert(key, Arc::clone(&slot));
-                    (slot, true)
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Fetch the outcome for `key`, running `compute` if no published or
+    /// in-flight outcome exists. Returns the outcome and whether it was
+    /// a cache hit (`true` = this call did not run `compute`; a hit may
+    /// still block briefly on another request's in-flight compute).
+    ///
+    /// `deadline` bounds only the *wait* on someone else's compute —
+    /// a call that claims the slot runs `compute` to completion (the
+    /// compute itself is expected to watch the same deadline via its
+    /// [`mps::CancelToken`]). `Err(WaitTimedOut)` counts neither a hit
+    /// nor a miss: the call neither computed nor was served.
+    pub fn get_or_compute(
+        &self,
+        key: Key,
+        deadline: Option<Instant>,
+        compute: impl FnOnce() -> Outcome,
+    ) -> Result<(Outcome, bool), WaitTimedOut> {
+        // `compute` is FnOnce but the claim can need retries after an
+        // abandonment; the take() proves each call runs it at most once.
+        let mut compute = Some(compute);
+        loop {
+            let (slot, claimed) = {
+                let mut shard = self.shard(key).lock().expect("artifact shard poisoned");
+                match shard.get(&key) {
+                    Some(slot) => (Arc::clone(slot), false),
+                    None => {
+                        let slot = Arc::new(Slot::default());
+                        shard.insert(key, Arc::clone(&slot));
+                        (slot, true)
+                    }
+                }
+            };
+            if !claimed {
+                match slot.wait(deadline) {
+                    SlotWait::Ready(outcome) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.touch(key);
+                        return Ok((outcome, true));
+                    }
+                    SlotWait::Abandoned => continue,
+                    SlotWait::TimedOut => return Err(WaitTimedOut),
                 }
             }
-        };
-        if !claimed {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return (slot.wait(), true);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let mut guard = AbandonGuard {
+                cache: self,
+                key,
+                slot: &slot,
+                armed: true,
+            };
+            let outcome = (compute.take().expect("claim happens at most once"))();
+            match &outcome {
+                // Transient outcomes reflect this request's budget, not
+                // the program: abandon so the next request recomputes.
+                Err(e) if e.is_transient() => drop(guard),
+                _ => {
+                    guard.armed = false;
+                    slot.publish(&outcome);
+                    self.admit(key, approx_outcome_bytes(&outcome));
+                }
+            }
+            return Ok((outcome, false));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let outcome = compute();
-        slot.publish(&outcome);
-        (outcome, false)
+    }
+
+    /// Unmap `slot` (if it is still the mapped one) and wake its
+    /// waiters into a retry.
+    fn abandon_slot(&self, key: Key, slot: &Arc<Slot>) {
+        {
+            let mut shard = self.shard(key).lock().expect("artifact shard poisoned");
+            if shard.get(&key).is_some_and(|s| Arc::ptr_eq(s, slot)) {
+                shard.remove(&key);
+            }
+        }
+        slot.abandon();
+    }
+
+    /// Record a published outcome and evict least-recently-used entries
+    /// until the budget holds again. The just-admitted entry carries
+    /// the freshest stamp, so it is evicted last — though a single
+    /// outcome larger than the whole byte budget does evict itself
+    /// (requests already holding the `Arc` are unaffected).
+    fn admit(&self, key: Key, bytes: usize) {
+        let mut acct = self.acct.lock().expect("artifact acct poisoned");
+        let stamp = self.tick();
+        acct.push(AcctEntry { key, bytes, stamp });
+        loop {
+            let over_entries = self.budget.max_entries.is_some_and(|max| acct.len() > max);
+            let over_bytes = self
+                .budget
+                .max_bytes
+                .is_some_and(|max| acct.iter().map(|e| e.bytes).sum::<usize>() > max);
+            if !over_entries && !over_bytes {
+                return;
+            }
+            let victim = acct
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("over budget implies a resident entry");
+            let victim = acct.swap_remove(victim);
+            self.shard(victim.key)
+                .lock()
+                .expect("artifact shard poisoned")
+                .remove(&victim.key);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Refresh `key`'s LRU stamp (no-op if it was already evicted).
+    fn touch(&self, key: Key) {
+        let mut acct = self.acct.lock().expect("artifact acct poisoned");
+        let stamp = self.tick();
+        if let Some(entry) = acct.iter_mut().find(|e| e.key == key) {
+            entry.stamp = stamp;
+        }
     }
 
     /// Requests answered from the cache (including waits on in-flight
@@ -114,6 +332,21 @@ impl ArtifactCache {
     /// Requests that ran the compute.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Published outcomes pushed out by the budget since startup.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Total charged bytes of the published outcomes currently held.
+    pub fn resident_bytes(&self) -> usize {
+        self.acct
+            .lock()
+            .expect("artifact acct poisoned")
+            .iter()
+            .map(|e| e.bytes)
+            .sum()
     }
 
     /// Distinct artifacts (including in-flight ones) currently held.
@@ -130,10 +363,20 @@ impl ArtifactCache {
     }
 }
 
+/// Charged bytes of one outcome: the shared result's estimated
+/// footprint, or a small flat tariff for a cached error.
+fn approx_outcome_bytes(outcome: &Outcome) -> usize {
+    match outcome {
+        Ok(result) => mps::approx_result_bytes(result),
+        Err(_) => ERR_OUTCOME_BYTES,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use mps::Session;
+    use std::time::Duration;
 
     fn compile_fig4() -> Outcome {
         Session::new(mps::workloads::fig4()).compile().map(Arc::new)
@@ -142,13 +385,15 @@ mod tests {
     #[test]
     fn second_request_hits() {
         let cache = ArtifactCache::new(4);
-        let (a, hit_a) = cache.get_or_compute((1, 2), compile_fig4);
-        let (b, hit_b) = cache.get_or_compute((1, 2), || panic!("must not recompute"));
+        let (a, hit_a) = cache.get_or_compute((1, 2), None, compile_fig4).unwrap();
+        let (b, hit_b) = cache
+            .get_or_compute((1, 2), None, || panic!("must not recompute"))
+            .unwrap();
         assert!(!hit_a && hit_b);
         assert!(Arc::ptr_eq(a.as_ref().unwrap(), b.as_ref().unwrap()));
         assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
         // A different key computes independently.
-        let (_, hit_c) = cache.get_or_compute((1, 3), compile_fig4);
+        let (_, hit_c) = cache.get_or_compute((1, 3), None, compile_fig4).unwrap();
         assert!(!hit_c);
         assert_eq!(cache.len(), 2);
     }
@@ -157,8 +402,10 @@ mod tests {
     fn errors_are_cached_outcomes_too() {
         let cache = ArtifactCache::new(1);
         let fail = || Err(MpsError::from(mps::scheduler::ScheduleError::NoPatterns));
-        let (a, _) = cache.get_or_compute((9, 9), fail);
-        let (b, hit) = cache.get_or_compute((9, 9), || panic!("must not recompute"));
+        let (a, _) = cache.get_or_compute((9, 9), None, fail).unwrap();
+        let (b, hit) = cache
+            .get_or_compute((9, 9), None, || panic!("must not recompute"))
+            .unwrap();
         assert!(a.is_err() && b.is_err() && hit);
     }
 
@@ -167,10 +414,12 @@ mod tests {
         let cache = Arc::new(ArtifactCache::new(8));
         let computes = Arc::new(AtomicU64::new(0));
         let outcomes = mps::par::par_map_in(4, &[(); 8], |_| {
-            let (outcome, hit) = cache.get_or_compute((5, 5), || {
-                computes.fetch_add(1, Ordering::SeqCst);
-                compile_fig4()
-            });
+            let (outcome, hit) = cache
+                .get_or_compute((5, 5), None, || {
+                    computes.fetch_add(1, Ordering::SeqCst);
+                    compile_fig4()
+                })
+                .unwrap();
             (outcome.unwrap().cycles, hit)
         });
         assert_eq!(computes.load(Ordering::SeqCst), 1, "single-flight");
@@ -178,5 +427,140 @@ mod tests {
         assert!(outcomes.iter().all(|(c, _)| *c == outcomes[0].0));
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 7);
+    }
+
+    #[test]
+    fn transient_outcomes_are_not_cached() {
+        let cache = ArtifactCache::new(2);
+        let transient = || {
+            Err(MpsError::DeadlineExceeded {
+                stage: mps::Stage::Enumerate,
+            })
+        };
+        let (a, hit_a) = cache.get_or_compute((4, 4), None, transient).unwrap();
+        assert!(a.is_err() && !hit_a);
+        assert_eq!(cache.len(), 0, "transient outcomes must not be cached");
+        // The next request with a fresh budget recomputes — and its
+        // success is cached normally.
+        let (b, hit_b) = cache.get_or_compute((4, 4), None, compile_fig4).unwrap();
+        assert!(b.is_ok() && !hit_b);
+        assert_eq!((cache.misses(), cache.len()), (2, 1));
+    }
+
+    #[test]
+    fn panicked_compute_abandons_and_waiters_recover() {
+        let cache = Arc::new(ArtifactCache::new(2));
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = cache.get_or_compute((7, 7), None, || panic!("chaos"));
+        }));
+        assert!(panicked.is_err());
+        assert_eq!(cache.len(), 0, "panicked compute must clear its slot");
+
+        // Concurrent shape: a claimer panics while a waiter blocks; the
+        // waiter must wake, re-claim, and compute for real.
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        std::thread::scope(|s| {
+            let claimer = {
+                let (cache, barrier) = (Arc::clone(&cache), Arc::clone(&barrier));
+                s.spawn(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let _ = cache.get_or_compute((7, 7), None, || {
+                            barrier.wait();
+                            std::thread::sleep(Duration::from_millis(30));
+                            panic!("chaos mid-flight")
+                        });
+                    }));
+                    assert!(result.is_err());
+                })
+            };
+            barrier.wait();
+            let (outcome, hit) = cache.get_or_compute((7, 7), None, compile_fig4).unwrap();
+            assert!(outcome.is_ok());
+            assert!(!hit, "the waiter re-claims after the abandonment");
+            claimer.join().unwrap();
+        });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn waiter_deadline_times_out() {
+        let cache = Arc::new(ArtifactCache::new(2));
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        std::thread::scope(|s| {
+            let claimer = {
+                let (cache, barrier) = (Arc::clone(&cache), Arc::clone(&barrier));
+                s.spawn(move || {
+                    cache
+                        .get_or_compute((3, 3), None, || {
+                            barrier.wait();
+                            std::thread::sleep(Duration::from_millis(60));
+                            compile_fig4()
+                        })
+                        .unwrap()
+                })
+            };
+            barrier.wait();
+            let deadline = Some(Instant::now() + Duration::from_millis(5));
+            let timed_out = cache.get_or_compute((3, 3), deadline, || {
+                panic!("the slot is claimed; the waiter must not compute")
+            });
+            assert!(matches!(timed_out, Err(WaitTimedOut)));
+            let (outcome, _) = claimer.join().unwrap();
+            assert!(outcome.is_ok());
+        });
+        // The timed-out wait counted neither hit nor miss; the slot
+        // published normally behind it.
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 1, 1));
+        let (_, hit) = cache
+            .get_or_compute((3, 3), None, || panic!("published — must not recompute"))
+            .unwrap();
+        assert!(hit);
+    }
+
+    #[test]
+    fn entry_budget_evicts_least_recently_used() {
+        let cache = ArtifactCache::with_budget(
+            4,
+            CacheBudget {
+                max_entries: Some(2),
+                max_bytes: None,
+            },
+        );
+        let (_, _) = cache.get_or_compute((1, 1), None, compile_fig4).unwrap();
+        let (_, _) = cache.get_or_compute((2, 2), None, compile_fig4).unwrap();
+        // Touch (1,1) so (2,2) becomes the LRU victim.
+        let (_, hit) = cache
+            .get_or_compute((1, 1), None, || panic!("cached"))
+            .unwrap();
+        assert!(hit);
+        let (_, _) = cache.get_or_compute((3, 3), None, compile_fig4).unwrap();
+        assert_eq!((cache.len(), cache.evictions()), (2, 1));
+        // The touched key survived the eviction; the stale one did not
+        // (and recomputing it evicts again — the budget always holds).
+        let (_, hit) = cache
+            .get_or_compute((1, 1), None, || panic!("cached"))
+            .unwrap();
+        assert!(hit, "(1,1) was touched and must survive");
+        let (_, hit) = cache.get_or_compute((2, 2), None, compile_fig4).unwrap();
+        assert!(!hit, "(2,2) was evicted as least recently used");
+        assert_eq!((cache.len(), cache.evictions()), (2, 2));
+    }
+
+    #[test]
+    fn byte_budget_bounds_resident_bytes() {
+        let one_result = approx_outcome_bytes(&compile_fig4());
+        // Room for one fig4 result but not two.
+        let cache = ArtifactCache::with_budget(
+            2,
+            CacheBudget {
+                max_entries: None,
+                max_bytes: Some(one_result + one_result / 2),
+            },
+        );
+        let (_, _) = cache.get_or_compute((1, 1), None, compile_fig4).unwrap();
+        assert_eq!(cache.resident_bytes(), one_result);
+        let (_, _) = cache.get_or_compute((2, 2), None, compile_fig4).unwrap();
+        assert_eq!((cache.len(), cache.evictions()), (1, 1));
+        assert!(cache.resident_bytes() <= one_result + one_result / 2);
     }
 }

@@ -1,0 +1,159 @@
+//! Fault injection for chaos testing the serving layer.
+//!
+//! A [`FaultPlan`] describes deliberate misbehavior — delay or fail
+//! compiles at a chosen pipeline stage, drop connections mid-reply,
+//! stall reads — that the chaos integration tests and the CI
+//! `chaos-smoke` job switch on to prove the daemon's overload story:
+//! every request is answered or shed, nothing hangs, and no
+//! single-flight slot leaks. Plans come from [`crate::ServeOptions`]
+//! directly (tests) or from `MPS_FAULT_*` environment variables
+//! ([`FaultPlan::from_env`], for exercising a stock binary):
+//!
+//! | variable | effect |
+//! |---|---|
+//! | `MPS_FAULT_DELAY_STAGE` + `MPS_FAULT_DELAY_MS` | sleep that long when a compile reaches the stage |
+//! | `MPS_FAULT_FAIL_STAGE` | fail compiles at the stage with a transient [`mps::MpsError::Cancelled`] |
+//! | `MPS_FAULT_DROP_REPLY_EVERY` | cut the connection mid-reply on every Nth compile reply |
+//! | `MPS_FAULT_SLOW_READ_MS` | stall that long before handling each request line |
+//!
+//! Stage names are the wire spellings: `analyze`, `enumerate`,
+//! `select`, `schedule`, `map-tile`.
+//!
+//! Injected stage failures are deliberately *transient* errors so the
+//! caches refuse to memoize them ([`mps::MpsError::is_transient`]) —
+//! chaos must not poison the artifact or table tier for later healthy
+//! requests. The delay runs *before* the server's deadline check at
+//! the same stage boundary, so a delayed compile under a tight
+//! deadline deterministically reports `DeadlineExceeded` at that
+//! stage.
+
+use mps::{MpsError, Stage, StageProbe};
+use std::time::Duration;
+
+/// A chaos recipe: which faults to inject, all off by default.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Sleep this many milliseconds when a compile reaches the stage.
+    pub delay_stage: Option<(Stage, u64)>,
+    /// Fail compiles reaching this stage with a transient error.
+    pub fail_stage: Option<Stage>,
+    /// Cut the connection mid-reply on every Nth compile reply
+    /// (1 = every reply; counted across all connections).
+    pub drop_reply_every: Option<u64>,
+    /// Stall this many milliseconds before handling each request line.
+    pub slow_read_ms: Option<u64>,
+}
+
+impl FaultPlan {
+    /// `true` when any fault is armed.
+    pub fn is_active(&self) -> bool {
+        *self != FaultPlan::default()
+    }
+
+    /// Read a plan from the `MPS_FAULT_*` environment variables
+    /// (unset, empty or unparsable variables leave that fault off).
+    pub fn from_env() -> FaultPlan {
+        let ms = |name: &str| -> Option<u64> {
+            std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+        };
+        let stage = |name: &str| -> Option<Stage> {
+            std::env::var(name).ok().and_then(|v| parse_stage(v.trim()))
+        };
+        FaultPlan {
+            delay_stage: stage("MPS_FAULT_DELAY_STAGE")
+                .zip(Some(ms("MPS_FAULT_DELAY_MS").unwrap_or(50))),
+            fail_stage: stage("MPS_FAULT_FAIL_STAGE"),
+            drop_reply_every: ms("MPS_FAULT_DROP_REPLY_EVERY").filter(|&n| n > 0),
+            slow_read_ms: ms("MPS_FAULT_SLOW_READ_MS"),
+        }
+    }
+
+    /// The [`StageProbe`] realizing the in-pipeline faults, or `None`
+    /// when neither stage fault is armed.
+    pub fn stage_probe(&self) -> Option<StageProbe> {
+        let (delay, fail) = (self.delay_stage, self.fail_stage);
+        if delay.is_none() && fail.is_none() {
+            return None;
+        }
+        Some(StageProbe::new(move |stage| {
+            if let Some((at, ms)) = delay {
+                if at == stage {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+            }
+            match fail {
+                Some(at) if at == stage => Err(MpsError::Cancelled { stage }),
+                _ => Ok(()),
+            }
+        }))
+    }
+}
+
+/// Parse a wire-spelled stage name.
+pub fn parse_stage(name: &str) -> Option<Stage> {
+    match name {
+        "analyze" => Some(Stage::Analyze),
+        "enumerate" => Some(Stage::Enumerate),
+        "select" => Some(Stage::Select),
+        "schedule" => Some(Stage::Schedule),
+        "map-tile" => Some(Stage::MapTile),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        assert!(plan.stage_probe().is_none());
+    }
+
+    #[test]
+    fn stage_names_parse_like_the_wire() {
+        for stage in [
+            Stage::Analyze,
+            Stage::Enumerate,
+            Stage::Select,
+            Stage::Schedule,
+            Stage::MapTile,
+        ] {
+            assert_eq!(parse_stage(&stage.to_string()), Some(stage));
+        }
+        assert_eq!(parse_stage("compile"), None);
+    }
+
+    #[test]
+    fn probe_delays_and_fails_at_the_chosen_stages() {
+        let plan = FaultPlan {
+            delay_stage: Some((Stage::Select, 30)),
+            fail_stage: Some(Stage::Schedule),
+            ..FaultPlan::default()
+        };
+        let probe = plan.stage_probe().expect("two faults armed");
+
+        let t0 = Instant::now();
+        probe.check(Stage::Select).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(30), "delay injected");
+
+        let t0 = Instant::now();
+        probe.check(Stage::Analyze).unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_millis(30),
+            "other stages free"
+        );
+
+        let err = probe.check(Stage::Schedule).unwrap_err();
+        assert_eq!(
+            err,
+            MpsError::Cancelled {
+                stage: Stage::Schedule
+            }
+        );
+        assert!(err.is_transient(), "injected failures must not be cached");
+    }
+}

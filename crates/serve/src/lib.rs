@@ -15,7 +15,15 @@
 //!   §5.1 enumeration.
 //!
 //! Both tiers are single-flight, so a burst of identical requests runs
-//! one compile. Per-stage latency histograms (p50/p90/p99, from
+//! one compile — and both are overload-proof: optional entry/byte
+//! budgets with LRU eviction, abandonment (a panicked or cancelled
+//! compute wakes its waiters instead of wedging them), and no caching
+//! of transient (deadline/cancel) outcomes. Requests may carry a
+//! `deadline_ms`; a full admission queue **sheds** with a structured
+//! `overloaded` reply and retry hint rather than blocking, and a
+//! [`FaultPlan`] can inject stage delays/failures, dropped replies and
+//! slow reads for chaos testing. Per-stage latency histograms
+//! (p50/p90/p99, from
 //! [`mps::StageMetrics`]) and cache/request counters are served by the
 //! `stats` verb and, optionally, streamed as JSON event lines
 //! ([`Server::set_log`]). A `shutdown` request drains admitted compiles
@@ -56,10 +64,12 @@
 
 pub mod cache;
 mod client;
+pub mod fault;
 pub mod histogram;
 pub mod json;
 pub mod protocol;
 mod server;
 
 pub use client::Client;
+pub use fault::FaultPlan;
 pub use server::{spawn_loopback, ServeOptions, Server};

@@ -50,6 +50,11 @@ pub struct Request {
     /// Finish with cycle-accurate tile replay on a tile with this many
     /// ALUs (`"alus": n` on the wire).
     pub alus: Option<usize>,
+    /// Compile deadline in milliseconds from receipt (`compile` only).
+    /// The server refuses the request at admission if it would expire
+    /// in the queue, and cancels the pipeline at the first stage
+    /// boundary past the deadline.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Request {
@@ -97,6 +102,11 @@ impl Request {
                 Some(_) => return Err(format!("\"{name}\" must be an unsigned integer")),
             };
         }
+        req.deadline_ms = match json::field(&value, "deadline_ms") {
+            Some(Value::U64(n)) => Some(*n),
+            None | Some(Value::Unit) => None,
+            Some(_) => return Err("\"deadline_ms\" must be an unsigned integer".to_string()),
+        };
         req.span = match json::field(&value, "span") {
             None => None,
             Some(Value::Unit) => Some(None),
@@ -134,6 +144,9 @@ impl Request {
             if let Some(n) = v {
                 fields.push((name.to_string(), Value::U64(n as u64)));
             }
+        }
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms".to_string(), Value::U64(ms)));
         }
         match self.span {
             None => {}
@@ -248,6 +261,17 @@ pub struct StatsReply {
     pub table_builds: u64,
     /// Enumerate stages served from a table cache.
     pub table_cache_hits: u64,
+    /// Compile requests shed because the admission queue was full.
+    pub sheds: u64,
+    /// Requests that ran out of deadline (at admission, waiting on an
+    /// in-flight identical compile, or inside the pipeline).
+    pub deadline_exceeded: u64,
+    /// Artifact-cache entries evicted by the budget since boot.
+    pub artifact_evictions: u64,
+    /// Pattern-table cache entries evicted by the budget since boot.
+    pub table_evictions: u64,
+    /// Compile requests sitting in the admission queue right now.
+    pub queue_depth: u64,
     /// Worker threads compiling.
     pub workers: u64,
     /// Admission-queue capacity.
@@ -289,7 +313,7 @@ pub struct LatencyStats {
     pub schedule: Quantiles,
 }
 
-/// `ping` reply.
+/// `ping` reply: liveness plus a cheap health gauge.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PongReply {
     /// Always `true`.
@@ -298,6 +322,10 @@ pub struct PongReply {
     pub op: String,
     /// Echo of the request id.
     pub id: Option<u64>,
+    /// Seconds since the server booted.
+    pub uptime_sec: f64,
+    /// Compile requests sitting in the admission queue right now.
+    pub queue_depth: u64,
 }
 
 /// `shutdown` acknowledgement — sent before the server drains and exits.
@@ -326,6 +354,16 @@ pub struct ErrorReply {
     /// `"schedule"`, `"map-tile"`) when the failure was an
     /// [`mps::MpsError`]; `null` for protocol-level failures.
     pub stage: Option<String>,
+    /// Machine-readable failure class, when one applies:
+    /// `"overloaded"` (shed at admission — retry after
+    /// `retry_after_ms`), `"deadline"` (the request's `deadline_ms`
+    /// ran out), `"cancelled"` (the compile was cancelled mid-flight),
+    /// `"internal"` (a worker panicked). `null` for ordinary protocol
+    /// and pipeline errors.
+    pub code: Option<String>,
+    /// For `"overloaded"` sheds: a hint in milliseconds after which a
+    /// retry has a decent chance of being admitted.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ErrorReply {
@@ -337,17 +375,69 @@ impl ErrorReply {
             id,
             error,
             stage: None,
+            code: None,
+            retry_after_ms: None,
         }
     }
 
-    /// A pipeline error, carrying the [`mps::MpsError`] stage.
+    /// A pipeline error, carrying the [`mps::MpsError`] stage (and the
+    /// `"deadline"` / `"cancelled"` code for the transient variants).
     pub fn pipeline(op: &str, id: Option<u64>, error: &mps::MpsError) -> ErrorReply {
+        let code = match error {
+            mps::MpsError::DeadlineExceeded { .. } => Some("deadline".to_string()),
+            mps::MpsError::Cancelled { .. } => Some("cancelled".to_string()),
+            _ => None,
+        };
         ErrorReply {
             ok: false,
             op: op.to_string(),
             id,
             error: error.to_string(),
             stage: Some(error.stage().to_string()),
+            code,
+            retry_after_ms: None,
+        }
+    }
+
+    /// A load shed: the admission queue is full. Carries the retry
+    /// hint; the client backoff honors it.
+    pub fn overloaded(op: &str, id: Option<u64>, retry_after_ms: u64) -> ErrorReply {
+        ErrorReply {
+            ok: false,
+            op: op.to_string(),
+            id,
+            error: "server overloaded; retry later".to_string(),
+            stage: None,
+            code: Some("overloaded".to_string()),
+            retry_after_ms: Some(retry_after_ms),
+        }
+    }
+
+    /// A deadline failure outside the pipeline (expired in the queue,
+    /// or while waiting on an identical in-flight compile).
+    pub fn deadline(op: &str, id: Option<u64>, error: String) -> ErrorReply {
+        ErrorReply {
+            ok: false,
+            op: op.to_string(),
+            id,
+            error,
+            stage: None,
+            code: Some("deadline".to_string()),
+            retry_after_ms: None,
+        }
+    }
+
+    /// An internal server failure (a worker panicked); the request is
+    /// answered rather than left hanging.
+    pub fn internal(op: &str, id: Option<u64>, error: String) -> ErrorReply {
+        ErrorReply {
+            ok: false,
+            op: op.to_string(),
+            id,
+            error,
+            stage: None,
+            code: Some("internal".to_string()),
+            retry_after_ms: None,
         }
     }
 }
@@ -417,6 +507,7 @@ mod tests {
             span: Some(Some(1)),
             engine: Some("eq8".to_string()),
             alus: None,
+            deadline_ms: Some(250),
         };
         let line = req.to_line();
         assert!(!line.contains('\n'));
@@ -442,6 +533,11 @@ mod tests {
         assert!(Request::from_line(r#"{"op":"compile","pdef":"three"}"#)
             .unwrap_err()
             .contains("pdef"));
+        assert!(
+            Request::from_line(r#"{"op":"compile","deadline_ms":"soon"}"#)
+                .unwrap_err()
+                .contains("deadline_ms")
+        );
         assert!(Request::from_line("not json").unwrap_err().contains("JSON"));
         assert!(Request::from_line("[1]").unwrap_err().contains("object"));
     }
@@ -519,8 +615,47 @@ mod tests {
             Reply::Error(e) => {
                 assert_eq!(e.stage.as_deref(), Some("analyze"));
                 assert!(e.error.contains("analyze stage"));
+                assert_eq!(e.code, None, "ordinary pipeline errors have no code");
             }
             other => panic!("expected error reply, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn structured_failure_codes_round_trip() {
+        let shed = ErrorReply::overloaded("compile", Some(4), 120);
+        let line = encode(&shed);
+        match Reply::from_line(&line).unwrap() {
+            Reply::Error(e) => {
+                assert_eq!(e.code.as_deref(), Some("overloaded"));
+                assert_eq!(e.retry_after_ms, Some(120));
+                assert_eq!(e.id, Some(4));
+            }
+            other => panic!("expected shed reply, got {other:?}"),
+        }
+
+        // Transient pipeline failures carry both a stage and a code.
+        let err = ErrorReply::pipeline(
+            "compile",
+            None,
+            &mps::MpsError::DeadlineExceeded {
+                stage: mps::Stage::Enumerate,
+            },
+        );
+        assert_eq!(err.code.as_deref(), Some("deadline"));
+        assert_eq!(err.stage.as_deref(), Some("enumerate"));
+        let err = ErrorReply::pipeline(
+            "compile",
+            None,
+            &mps::MpsError::Cancelled {
+                stage: mps::Stage::Select,
+            },
+        );
+        assert_eq!(err.code.as_deref(), Some("cancelled"));
+
+        let err = ErrorReply::deadline("compile", None, "expired in queue".to_string());
+        assert_eq!((err.code.as_deref(), err.stage), (Some("deadline"), None));
+        let err = ErrorReply::internal("compile", Some(1), "worker panicked".to_string());
+        assert_eq!(err.code.as_deref(), Some("internal"));
     }
 }

@@ -3,16 +3,30 @@
 //!
 //! One [`Server`] owns all serving state behind an `Arc`:
 //!
-//! * an [`ArtifactCache`] (whole compiles, sharded, single-flight),
+//! * an [`ArtifactCache`] (whole compiles, sharded, single-flight,
+//!   optionally budgeted with LRU eviction),
 //! * a process-wide [`mps::TableCache`] underneath it (pattern tables
-//!   shared across *different* configs of one graph),
-//! * a [`BoundedQueue`] admitting compile requests — connection threads
-//!   block on `push` when the queue is full, which is the server's
-//!   backpressure,
+//!   shared across *different* configs of one graph, same budgeting),
+//! * a [`BoundedQueue`] admitting compile requests — a full queue
+//!   **sheds** (structured `overloaded` reply with a retry hint)
+//!   instead of blocking the connection thread, so overload degrades
+//!   into fast refusals rather than pile-ups,
 //! * one dispatcher thread that drains the queue in batches and fans
-//!   each batch over [`mps_par::par_map_in`] workers,
+//!   each batch over [`mps_par::par_map_in`] workers (worker panics are
+//!   contained per request and answered as `internal` errors),
 //! * [`StageHistograms`] + [`mps::SharedStageMetrics`] feeding the
 //!   `stats` reply.
+//!
+//! Requests may carry a `deadline_ms`; the server refuses them at
+//! admission once expired, drops them from the dispatch batch if they
+//! expired in the queue, bounds waits on identical in-flight compiles,
+//! and cancels the pipeline itself at stage boundaries via
+//! [`mps::CancelToken`]. Connection hygiene is enforced per connection:
+//! request lines over `max_line_bytes` are refused, a client stalled
+//! mid-line is disconnected after `read_timeout_ms`, and at most
+//! `max_conns` connections are served at once (excess connections get
+//! one `overloaded` line and are closed). A [`FaultPlan`] can inject
+//! stage delays/failures, reply drops and slow reads for chaos tests.
 //!
 //! Control verbs (`stats`, `ping`, `shutdown`) are answered inline by
 //! the connection thread — they must stay responsive while the queue is
@@ -21,14 +35,15 @@
 //! exits; new compiles are refused with an error reply; the accept loop
 //! and connection threads notice the flag and wind down.
 
-use crate::cache::ArtifactCache;
+use crate::cache::{ArtifactCache, CacheBudget, WaitTimedOut};
+use crate::fault::FaultPlan;
 use crate::histogram::StageHistograms;
 use crate::protocol::{
     encode, CompileReply, ErrorReply, LatencyStats, MetricsTotals, PongReply, Request,
     ShutdownReply, StatsReply,
 };
-use mps::par::{par_map_in, BoundedQueue};
-use mps::{Session, SharedStageMetrics, TableCache};
+use mps::par::{par_map_in, BoundedQueue, PushError};
+use mps::{CancelToken, Session, SharedStageMetrics, StageProbe, TableCache};
 use serde::Value;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -37,17 +52,38 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Serving knobs. The defaults fit the CI smoke test and the integration
-/// suite; a deployment mostly tunes `workers`.
+/// suite; a deployment mostly tunes `workers` and the cache budgets.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeOptions {
     /// Compile worker threads per dispatch batch (default: the
     /// [`mps::par::parallelism`] policy, i.e. `MPS_THREADS` or the
     /// machine).
     pub workers: usize,
-    /// Admission-queue capacity; pushes beyond it block (default 64).
+    /// Admission-queue capacity; pushes beyond it shed (default 64).
     pub queue: usize,
     /// Artifact-cache shards (default 8).
     pub shards: usize,
+    /// Artifact-cache entry budget (default unbounded).
+    pub max_artifacts: Option<usize>,
+    /// Artifact-cache byte budget, in [`mps::approx_result_bytes`]
+    /// units (default unbounded).
+    pub max_artifact_bytes: Option<usize>,
+    /// Pattern-table cache entry budget (default unbounded).
+    pub max_tables: Option<usize>,
+    /// Pattern-table cache byte budget, in [`mps::approx_table_bytes`]
+    /// units (default unbounded).
+    pub max_table_bytes: Option<usize>,
+    /// Longest accepted request line in bytes (default 1 MiB); longer
+    /// lines get a protocol error and the connection is closed.
+    pub max_line_bytes: usize,
+    /// Most simultaneous TCP connections served (default 256); excess
+    /// connections get one `overloaded` line and are closed.
+    pub max_conns: usize,
+    /// How long a connection may stall mid-line before it is dropped,
+    /// in milliseconds (default 10 000).
+    pub read_timeout_ms: u64,
+    /// Chaos faults to inject (default: none).
+    pub faults: FaultPlan,
 }
 
 impl Default for ServeOptions {
@@ -56,14 +92,23 @@ impl Default for ServeOptions {
             workers: mps::par::parallelism(),
             queue: 64,
             shards: 8,
+            max_artifacts: None,
+            max_artifact_bytes: None,
+            max_tables: None,
+            max_table_bytes: None,
+            max_line_bytes: 1 << 20,
+            max_conns: 256,
+            read_timeout_ms: 10_000,
+            faults: FaultPlan::default(),
         }
     }
 }
 
-/// One admitted compile: the request plus the channel its reply line
-/// goes back on.
+/// One admitted compile: the request, its deadline (absolute, fixed at
+/// admission) and the channel its reply line goes back on.
 struct Job {
     req: Request,
+    deadline: Option<Instant>,
     reply: mpsc::Sender<String>,
 }
 
@@ -74,12 +119,16 @@ struct State {
     started: Instant,
     tables: Arc<TableCache>,
     artifacts: ArtifactCache,
+    probe: Option<StageProbe>,
     metrics: SharedStageMetrics,
     hist: StageHistograms,
     queue: BoundedQueue<Job>,
     requests: AtomicU64,
     compiles: AtomicU64,
     errors: AtomicU64,
+    sheds: AtomicU64,
+    deadline_hits: AtomicU64,
+    replies: AtomicU64,
     shutdown: AtomicBool,
     log: Mutex<Option<Box<dyn Write + Send>>>,
 }
@@ -113,6 +162,8 @@ impl State {
                     ok: true,
                     op: "ping".to_string(),
                     id: req.id,
+                    uptime_sec: self.started.elapsed().as_secs_f64(),
+                    queue_depth: self.queue.len() as u64,
                 }),
                 false,
             ),
@@ -140,26 +191,67 @@ impl State {
         }
     }
 
-    /// Admit a compile through the bounded queue and wait for its reply.
+    /// How long a shed client should wait before retrying: the current
+    /// backlog's estimated drain time at the observed median compile
+    /// latency (with a coarse floor before any latency is observed).
+    fn retry_after_hint(&self) -> u64 {
+        let p50 = self.hist.total.snapshot().p50_sec;
+        let per_compile = if p50 > 0.0 { p50 } else { 0.05 };
+        let backlog = self.queue.len().max(1) as f64;
+        let workers = self.opts.workers.max(1) as f64;
+        ((backlog / workers) * per_compile * 1000.0)
+            .ceil()
+            .max(10.0) as u64
+    }
+
+    /// Admit a compile through the bounded queue and wait for its
+    /// reply. A full queue sheds with an `overloaded` reply; a request
+    /// whose deadline already passed is refused without queueing.
     fn admit_compile(self: &Arc<State>, req: Request) -> String {
         self.compiles.fetch_add(1, Ordering::Relaxed);
         let id = req.id;
-        let (tx, rx) = mpsc::channel();
-        if self.queue.push(Job { req, reply: tx }).is_err() {
+        let deadline = req
+            .deadline_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            self.deadline_hits.fetch_add(1, Ordering::Relaxed);
             self.errors.fetch_add(1, Ordering::Relaxed);
-            return encode(&ErrorReply::protocol(
+            return encode(&ErrorReply::deadline(
                 "compile",
                 id,
-                "server is shutting down".to_string(),
+                "deadline expired before admission".to_string(),
             ));
+        }
+        let (tx, rx) = mpsc::channel();
+        match self.queue.try_push(Job {
+            req,
+            deadline,
+            reply: tx,
+        }) {
+            Ok(()) => {}
+            Err(PushError::Full(_)) => {
+                self.sheds.fetch_add(1, Ordering::Relaxed);
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                let hint = self.retry_after_hint();
+                self.log_event("shed", &[("retry_after_ms", Value::U64(hint))]);
+                return encode(&ErrorReply::overloaded("compile", id, hint));
+            }
+            Err(PushError::Closed(_)) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return encode(&ErrorReply::protocol(
+                    "compile",
+                    id,
+                    "server is shutting down".to_string(),
+                ));
+            }
         }
         match rx.recv() {
             Ok(line) => line,
             Err(_) => {
                 // The dispatcher dropped the job without replying — only
-                // possible if it panicked.
+                // possible if it died outright.
                 self.errors.fetch_add(1, Ordering::Relaxed);
-                encode(&ErrorReply::protocol(
+                encode(&ErrorReply::internal(
                     "compile",
                     id,
                     "compile worker died".to_string(),
@@ -168,15 +260,42 @@ impl State {
         }
     }
 
+    /// Produce the reply for one dequeued job (on a worker thread):
+    /// fast-fail jobs that expired in the queue, contain worker panics
+    /// so the client always gets an answer.
+    fn reply_for_job(&self, job: &Job) -> String {
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.deadline_hits.fetch_add(1, Ordering::Relaxed);
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            return encode(&ErrorReply::deadline(
+                "compile",
+                job.req.id,
+                "deadline expired in the admission queue".to_string(),
+            ));
+        }
+        let run = std::panic::AssertUnwindSafe(|| self.compile_line(&job.req, job.deadline));
+        match std::panic::catch_unwind(run) {
+            Ok(line) => line,
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                encode(&ErrorReply::internal(
+                    "compile",
+                    job.req.id,
+                    "compile worker panicked".to_string(),
+                ))
+            }
+        }
+    }
+
     /// Run one compile request (on a worker thread) and render its reply.
-    fn compile_line(&self, req: &Request) -> String {
+    fn compile_line(&self, req: &Request, deadline: Option<Instant>) -> String {
         let t0 = Instant::now();
         let (workload, dfg) = match self.resolve_graph(req) {
             Ok(pair) => pair,
             Err(reply) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
                 self.log_compile(req, t0, false, Some(&reply.error));
-                return encode(&reply);
+                return encode(&*reply);
             }
         };
         let cfg = match req.compile_config() {
@@ -189,8 +308,14 @@ impl State {
         };
         let engine = cfg.engine.name().to_string();
         let key = (dfg.content_hash(), cfg.content_hash());
-        let (outcome, cached) = self.artifacts.get_or_compute(key, || {
+        let fetched = self.artifacts.get_or_compute(key, deadline, || {
             let mut session = Session::with_shared_tables(dfg, cfg, Arc::clone(&self.tables));
+            if let Some(d) = deadline {
+                session.set_cancel_token(CancelToken::deadline_at(d));
+            }
+            if let Some(probe) = &self.probe {
+                session.set_stage_probe(probe.clone());
+            }
             let result = session.compile();
             self.metrics.record(session.metrics());
             if let Ok(result) = &result {
@@ -198,6 +323,16 @@ impl State {
             }
             result.map(Arc::new)
         });
+        let (outcome, cached) = match fetched {
+            Ok(pair) => pair,
+            Err(WaitTimedOut) => {
+                self.deadline_hits.fetch_add(1, Ordering::Relaxed);
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                let error = "deadline exceeded waiting on an identical in-flight compile";
+                self.log_compile(req, t0, false, Some(error));
+                return encode(&ErrorReply::deadline("compile", req.id, error.to_string()));
+            }
+        };
         let latency_sec = t0.elapsed().as_secs_f64();
         self.hist.total.record(latency_sec);
         match outcome {
@@ -227,6 +362,9 @@ impl State {
                 })
             }
             Err(error) => {
+                if matches!(error, mps::MpsError::DeadlineExceeded { .. }) {
+                    self.deadline_hits.fetch_add(1, Ordering::Relaxed);
+                }
                 self.errors.fetch_add(1, Ordering::Relaxed);
                 self.log_compile(req, t0, cached, Some(&error.to_string()));
                 encode(&ErrorReply::pipeline("compile", req.id, &error))
@@ -235,31 +373,31 @@ impl State {
     }
 
     /// Resolve the request's graph source: registry name or inline text.
-    fn resolve_graph(&self, req: &Request) -> Result<(String, mps::dfg::Dfg), ErrorReply> {
+    fn resolve_graph(&self, req: &Request) -> Result<(String, mps::dfg::Dfg), Box<ErrorReply>> {
         match (&req.workload, &req.graph) {
-            (Some(_), Some(_)) => Err(ErrorReply::protocol(
+            (Some(_), Some(_)) => Err(Box::new(ErrorReply::protocol(
                 "compile",
                 req.id,
                 "\"workload\" and \"graph\" are mutually exclusive".to_string(),
-            )),
-            (None, None) => Err(ErrorReply::protocol(
+            ))),
+            (None, None) => Err(Box::new(ErrorReply::protocol(
                 "compile",
                 req.id,
                 "compile needs a \"workload\" name or \"graph\" text".to_string(),
-            )),
+            ))),
             (Some(name), None) => match mps::workloads::by_name(name) {
                 Some(dfg) => Ok((name.clone(), dfg)),
-                None => Err(ErrorReply::protocol(
+                None => Err(Box::new(ErrorReply::protocol(
                     "compile",
                     req.id,
                     format!("unknown workload \"{name}\""),
-                )),
+                ))),
             },
             (None, Some(text)) => match mps::dfg::parse_text(text) {
                 Ok(dfg) => Ok(("inline".to_string(), dfg)),
                 // Parse failures are pipeline errors: they carry the
                 // analyze-stage provenance the wire promises.
-                Err(e) => Err(ErrorReply::pipeline("compile", req.id, &e.into())),
+                Err(e) => Err(Box::new(ErrorReply::pipeline("compile", req.id, &e.into()))),
             },
         }
     }
@@ -297,6 +435,11 @@ impl State {
             cached_tables: self.tables.len() as u64,
             table_builds: m.table_builds as u64,
             table_cache_hits: m.table_cache_hits as u64,
+            sheds: self.sheds.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_hits.load(Ordering::Relaxed),
+            artifact_evictions: self.artifacts.evictions(),
+            table_evictions: self.tables.evictions(),
+            queue_depth: self.queue.len() as u64,
             workers: self.opts.workers as u64,
             queue_capacity: self.queue.capacity() as u64,
             totals: MetricsTotals {
@@ -328,19 +471,33 @@ pub struct Server {
 }
 
 impl Server {
-    /// Boot a server: allocates the caches and starts the dispatcher.
+    /// Boot a server: allocates the (optionally budgeted) caches and
+    /// starts the dispatcher.
     pub fn new(opts: ServeOptions) -> Server {
         let state = Arc::new(State {
             opts,
             started: Instant::now(),
-            tables: Arc::new(TableCache::new()),
-            artifacts: ArtifactCache::new(opts.shards),
+            tables: Arc::new(TableCache::with_budget(
+                opts.max_tables,
+                opts.max_table_bytes,
+            )),
+            artifacts: ArtifactCache::with_budget(
+                opts.shards,
+                CacheBudget {
+                    max_entries: opts.max_artifacts,
+                    max_bytes: opts.max_artifact_bytes,
+                },
+            ),
+            probe: opts.faults.stage_probe(),
             metrics: SharedStageMetrics::new(),
             hist: StageHistograms::default(),
             queue: BoundedQueue::new(opts.queue),
             requests: AtomicU64::new(0),
             compiles: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            deadline_hits: AtomicU64::new(0),
+            replies: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             log: Mutex::new(None),
         });
@@ -359,9 +516,8 @@ impl Server {
                             None => break,
                         }
                     }
-                    let replies = par_map_in(state.opts.workers, &batch, |job| {
-                        state.compile_line(&job.req)
-                    });
+                    let replies =
+                        par_map_in(state.opts.workers, &batch, |job| state.reply_for_job(job));
                     for (job, line) in batch.iter().zip(replies) {
                         // A receiver gone (client hung up) is not an error.
                         let _ = job.reply.send(line);
@@ -375,7 +531,7 @@ impl Server {
         }
     }
 
-    /// Install a JSON-lines event log sink (`boot`, `compile`,
+    /// Install a JSON-lines event log sink (`boot`, `compile`, `shed`,
     /// `shutdown` events; one object per line). Logs the `boot` event
     /// immediately.
     pub fn set_log(&self, sink: Box<dyn Write + Send>) {
@@ -420,17 +576,33 @@ impl Server {
         Ok(())
     }
 
-    /// Serve TCP connections on `listener` (thread per connection) until
-    /// a `shutdown` request arrives on any of them.
+    /// Serve TCP connections on `listener` (thread per connection, at
+    /// most `max_conns` at once) until a `shutdown` request arrives on
+    /// any of them.
     pub fn run_tcp(&self, listener: TcpListener) -> io::Result<()> {
         listener.set_nonblocking(true)?;
         let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
         loop {
             match listener.accept() {
                 Ok((stream, _addr)) => {
+                    // Reap finished connection threads so long-lived
+                    // servers don't accumulate handles, and so the
+                    // connection gate counts only live connections.
+                    conns.retain(|h| !h.is_finished());
                     // Reply lines are small; avoid the Nagle/delayed-ACK
                     // stall on the server side of each round trip too.
                     let _ = stream.set_nodelay(true);
+                    if conns.len() >= self.state.opts.max_conns {
+                        self.state.sheds.fetch_add(1, Ordering::Relaxed);
+                        let hint = self.state.retry_after_hint();
+                        let mut stream = stream;
+                        let _ = writeln!(
+                            stream,
+                            "{}",
+                            encode(&ErrorReply::overloaded("?", None, hint))
+                        );
+                        continue; // dropped: over the connection cap
+                    }
                     let state = Arc::clone(&self.state);
                     conns.push(std::thread::spawn(move || serve_conn(&state, stream)));
                 }
@@ -439,12 +611,10 @@ impl Server {
                         break;
                     }
                     std::thread::sleep(Duration::from_millis(10));
+                    conns.retain(|h| !h.is_finished());
                 }
                 Err(e) => return Err(e),
             }
-            // Reap finished connection threads so long-lived servers
-            // don't accumulate handles.
-            conns.retain(|h| !h.is_finished());
         }
         for conn in conns {
             let _ = conn.join();
@@ -475,7 +645,9 @@ impl Drop for Server {
 
 /// One TCP connection: read request lines (with a poll timeout so the
 /// thread notices server shutdown while idle), answer each on the same
-/// stream.
+/// stream. Hygiene: lines over `max_line_bytes` and clients stalled
+/// mid-line for longer than `read_timeout_ms` get the connection
+/// closed (the former with a protocol error first).
 fn serve_conn(state: &Arc<State>, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let Ok(write_half) = stream.try_clone() else {
@@ -484,15 +656,45 @@ fn serve_conn(state: &Arc<State>, stream: TcpStream) {
     let mut writer = io::BufWriter::new(write_half);
     let mut reader = BufReader::new(stream);
     let mut buf = String::new();
+    let max_line = state.opts.max_line_bytes.max(1);
+    let stall = Duration::from_millis(state.opts.read_timeout_ms.max(1));
+    let mut line_started: Option<Instant> = None;
+    let overlong = |writer: &mut io::BufWriter<TcpStream>| {
+        state.errors.fetch_add(1, Ordering::Relaxed);
+        let reply = encode(&ErrorReply::protocol(
+            "?",
+            None,
+            format!("request line exceeds {max_line} bytes"),
+        ));
+        let _ = writeln!(writer, "{reply}");
+        let _ = writer.flush();
+    };
     loop {
         match reader.read_line(&mut buf) {
             Ok(0) => break, // client hung up
             Ok(_) => {
                 let line = std::mem::take(&mut buf);
+                line_started = None;
+                if line.len() > max_line {
+                    overlong(&mut writer);
+                    break;
+                }
                 if line.trim().is_empty() {
                     continue;
                 }
+                if let Some(ms) = state.opts.faults.slow_read_ms {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
                 let (reply, quit) = state.handle_line(line.trim_end());
+                if let Some(every) = state.opts.faults.drop_reply_every {
+                    let nth = state.replies.fetch_add(1, Ordering::Relaxed) + 1;
+                    if nth.is_multiple_of(every) {
+                        // Chaos: cut the connection mid-reply.
+                        let _ = writer.write_all(&reply.as_bytes()[..reply.len() / 2]);
+                        let _ = writer.flush();
+                        break;
+                    }
+                }
                 if writeln!(writer, "{reply}")
                     .and_then(|()| writer.flush())
                     .is_err()
@@ -512,6 +714,18 @@ fn serve_conn(state: &Arc<State>, stream: TcpStream) {
                 // Idle poll tick: partial data (if any) stays in `buf`.
                 if state.shutdown.load(Ordering::SeqCst) {
                     break;
+                }
+                if buf.is_empty() {
+                    line_started = None;
+                } else {
+                    if buf.len() > max_line {
+                        overlong(&mut writer);
+                        break;
+                    }
+                    let started = *line_started.get_or_insert_with(Instant::now);
+                    if started.elapsed() > stall {
+                        break; // client stalled mid-line
+                    }
                 }
             }
             Err(_) => break,
@@ -545,6 +759,7 @@ mod tests {
             workers: 1,
             queue: 4,
             shards: 2,
+            ..ServeOptions::default()
         }
     }
 
@@ -574,6 +789,7 @@ mod tests {
         assert_eq!(stats.artifact_cache_misses, 1);
         assert_eq!(stats.table_builds, 1);
         assert_eq!(stats.latency.total.count, 2);
+        assert_eq!((stats.sheds, stats.deadline_exceeded), (0, 0));
     }
 
     #[test]
@@ -583,7 +799,7 @@ mod tests {
         assert!(!quit);
         assert!(matches!(
             Reply::from_line(&reply).unwrap(),
-            Reply::Pong(p) if p.id == Some(3)
+            Reply::Pong(p) if p.id == Some(3) && p.uptime_sec >= 0.0 && p.queue_depth == 0
         ));
         let (reply, quit) = server.handle_line(r#"{"op":"shutdown"}"#);
         assert!(quit && server.is_shut_down());
@@ -630,6 +846,48 @@ mod tests {
         };
         assert_eq!(e.stage, None);
         assert_eq!(server.stats().errors, 3);
+    }
+
+    #[test]
+    fn expired_deadline_is_refused_at_admission() {
+        let server = Server::new(one_worker());
+        let (reply, _) =
+            server.handle_line(r#"{"op":"compile","workload":"fig4","deadline_ms":0,"id":11}"#);
+        let Reply::Error(e) = Reply::from_line(&reply).unwrap() else {
+            panic!("expected deadline refusal: {reply}");
+        };
+        assert_eq!(e.code.as_deref(), Some("deadline"));
+        assert_eq!(e.id, Some(11));
+        let stats = server.stats();
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert_eq!(stats.errors, 1);
+        // A generous deadline compiles normally.
+        let (reply, _) =
+            server.handle_line(r#"{"op":"compile","workload":"fig4","deadline_ms":60000}"#);
+        assert!(matches!(
+            Reply::from_line(&reply).unwrap(),
+            Reply::Compile(_)
+        ));
+    }
+
+    #[test]
+    fn injected_stage_failure_answers_and_does_not_poison() {
+        let opts = ServeOptions {
+            faults: FaultPlan {
+                fail_stage: Some(mps::Stage::Select),
+                ..FaultPlan::default()
+            },
+            ..one_worker()
+        };
+        let server = Server::new(opts);
+        let (reply, _) = server.handle_line(r#"{"op":"compile","workload":"fig4"}"#);
+        let Reply::Error(e) = Reply::from_line(&reply).unwrap() else {
+            panic!("expected injected failure: {reply}");
+        };
+        assert_eq!(e.code.as_deref(), Some("cancelled"));
+        assert_eq!(e.stage.as_deref(), Some("select"));
+        // Transient: not cached, so the cache holds nothing.
+        assert_eq!(server.stats().cached_artifacts, 0);
     }
 
     #[test]

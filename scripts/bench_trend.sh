@@ -77,6 +77,20 @@ extract() {
           (.serve_rows[]? | {
               key: "serve_warm/\(.workload)/\(.config // "default")",
               sec: .warm_sec
+          }),
+          # shed_reply_sec can legitimately be 0.0 (no shed observed on a
+          # huge runner); the awk pass already skips p <= 0 pairs.
+          (.shed_rows[]? | {
+              key: "shed_reply/\(.workload)/clients=\(.clients)",
+              sec: .shed_reply_sec
+          }),
+          (.shed_rows[]? | {
+              key: "shed_accepted/\(.workload)/clients=\(.clients)",
+              sec: .accepted_sec
+          }),
+          (.shed_rows[]? | {
+              key: "shed_warm_unloaded/\(.workload)/clients=\(.clients)",
+              sec: .warm_unloaded_sec
           })
         ]
         | .[] | select(.sec != null) | "\(.key)\t\(.sec)"

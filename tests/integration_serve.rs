@@ -263,6 +263,7 @@ fn shutdown_drains_and_refuses_new_work() {
         workers: 2,
         queue: 16,
         shards: 2,
+        ..Default::default()
     });
     // Seed work through the queue, then shut down: the in-flight compile
     // completed before the shutdown reply by construction of
