@@ -565,6 +565,105 @@ fn measure_shed() -> Vec<ShedRow> {
     }]
 }
 
+/// One row of the warm-start comparison: the same compile request
+/// driven through a `--cache-dir` server twice — once against an empty
+/// cache directory (`cold_sec`: full pipeline + persist), then again as
+/// the *first* request of a freshly restarted server on the same
+/// directory (`restart_warm_sec`: answered from the artifact loaded at
+/// boot, zero table builds). The ratio is what persistence buys across
+/// process restarts — the cross-restart analogue of `serve_rows`'
+/// in-process cache effect.
+struct WarmStartRow {
+    workload: &'static str,
+    cold_sec: f64,
+    restart_warm_sec: f64,
+    artifacts_loaded: u64,
+}
+
+impl WarmStartRow {
+    fn restart_speedup(&self) -> f64 {
+        self.cold_sec / self.restart_warm_sec
+    }
+}
+
+/// Cold vs restarted-warm compile latency through a persistent-cache
+/// server, measured client-side over loopback. Each row boots a server
+/// on a fresh cache directory, compiles once (cold, persists), shuts it
+/// down, boots a second server on the same directory and measures the
+/// identical request (best-of over repeats — every one must be a cache
+/// hit with zero table builds, or the warm start did not happen).
+fn measure_warm_start() -> Vec<WarmStartRow> {
+    use mps_serve::protocol::{Reply, Request};
+    use mps_serve::{spawn_loopback, Client, ServeOptions};
+
+    let mut rows = Vec::new();
+    for workload in ["fig2", "star16"] {
+        let dir = std::env::temp_dir().join(format!(
+            "mps-bench-warm-start-{}-{workload}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = ServeOptions {
+            cache_dir: Some(dir.clone()),
+            ..ServeOptions::default()
+        };
+        let req = Request {
+            op: "compile".to_string(),
+            workload: Some(workload.to_string()),
+            ..Request::default()
+        };
+
+        // Cold boot: empty directory, full pipeline, artifact persisted.
+        let (addr, server) = spawn_loopback(opts.clone()).expect("bind loopback server");
+        let mut client = Client::connect(addr, 100, Duration::from_millis(20))
+            .expect("connect to loopback server");
+        let t0 = Instant::now();
+        match client.request(&req).expect("cold round trip") {
+            Reply::Compile(r) => assert!(!r.cached, "{workload}: cold boot must compile"),
+            other => panic!("{workload}: unexpected cold reply {other:?}"),
+        }
+        let cold_sec = t0.elapsed().as_secs_f64();
+        client.shutdown().expect("shutdown cold server");
+        server.join().expect("cold server thread exits");
+
+        // Restart on the same directory: every request is a disk-warmed hit.
+        let (addr, server) = spawn_loopback(opts).expect("bind restarted server");
+        let mut client = Client::connect(addr, 100, Duration::from_millis(20))
+            .expect("connect to restarted server");
+        let mut restart_warm_sec = f64::INFINITY;
+        for _ in 0..20 {
+            let t0 = Instant::now();
+            match client.request(&req).expect("warm round trip") {
+                Reply::Compile(r) => {
+                    assert!(r.cached, "{workload}: restart must answer from disk")
+                }
+                other => panic!("{workload}: unexpected warm reply {other:?}"),
+            }
+            restart_warm_sec = restart_warm_sec.min(t0.elapsed().as_secs_f64());
+        }
+        let stats = client.stats().expect("stats");
+        assert_eq!(
+            stats.table_builds, 0,
+            "{workload}: a warm-started server must not rebuild tables"
+        );
+        assert!(
+            stats.artifacts_loaded >= 1,
+            "{workload}: restart loaded no artifacts"
+        );
+        client.shutdown().expect("shutdown restarted server");
+        server.join().expect("restarted server thread exits");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        rows.push(WarmStartRow {
+            workload,
+            cold_sec,
+            restart_warm_sec,
+            artifacts_loaded: stats.artifacts_loaded,
+        });
+    }
+    rows
+}
+
 /// The batch queue: two copies each of eight mid-sized kernels — the
 /// serving shape (many independent graphs) with enough per-item weight
 /// (dct8 and dft5 classify hundreds of thousands of antichains at span 1)
@@ -622,15 +721,28 @@ fn span_str(limit: Option<u32>) -> String {
     }
 }
 
-fn print_json(
-    rows: &[Row],
-    select: &[SelectRow],
-    skew: &[SkewRow],
-    batch: &[BatchRow],
-    serve: &[ServeRow],
-    shed: &[ShedRow],
-    pr: u32,
-) {
+/// Every measured section, bundled so the printers take one argument
+/// instead of a parameter per table.
+struct Sections {
+    rows: Vec<Row>,
+    select: Vec<SelectRow>,
+    skew: Vec<SkewRow>,
+    batch: Vec<BatchRow>,
+    serve: Vec<ServeRow>,
+    shed: Vec<ShedRow>,
+    warm_start: Vec<WarmStartRow>,
+}
+
+fn print_json(s: &Sections, pr: u32) {
+    let Sections {
+        rows,
+        select,
+        skew,
+        batch,
+        serve,
+        shed,
+        warm_start,
+    } = s;
     println!("{{");
     println!("  \"pr\": {pr},");
     println!("  \"bench\": \"enumeration+classification throughput\",");
@@ -799,18 +911,43 @@ fn print_json(
             comma
         );
     }
+    println!("  ],");
+    println!(
+        "  \"warm_start_note\": \"one compile through a --cache-dir loopback server, then \
+         the identical request as the first answer of a *restarted* server on the same \
+         directory (best-of-20, every repeat must be a cache hit with table_builds == 0): \
+         cold_sec = fresh-directory compile + persist, restart_warm_sec = disk-warmed \
+         reply after a full process restart; restart_speedup_vs_cold is what the \
+         persistent artifact tier buys across restarts\","
+    );
+    println!("  \"warm_start_rows\": [");
+    for (i, r) in warm_start.iter().enumerate() {
+        let comma = if i + 1 == warm_start.len() { "" } else { "," };
+        println!(
+            "    {{\"workload\": \"{}\", \"cold_sec\": {:.6}, \"restart_warm_sec\": {:.9}, \
+             \"artifacts_loaded\": {}, \"restart_speedup_vs_cold\": {:.1}}}{}",
+            r.workload,
+            r.cold_sec,
+            r.restart_warm_sec,
+            r.artifacts_loaded,
+            r.restart_speedup(),
+            comma
+        );
+    }
     println!("  ]");
     println!("}}");
 }
 
-fn print_table(
-    rows: &[Row],
-    select: &[SelectRow],
-    skew: &[SkewRow],
-    batch: &[BatchRow],
-    serve: &[ServeRow],
-    shed: &[ShedRow],
-) {
+fn print_table(s: &Sections) {
+    let Sections {
+        rows,
+        select,
+        skew,
+        batch,
+        serve,
+        shed,
+        warm_start,
+    } = s;
     println!(
         "{:<9} {:>5} {:>9} {:>11} {:>9} {:>14} {:>14} {:>9}",
         "workload", "nodes", "span", "antichains", "patterns", "enum/s", "classify/s", "speedup"
@@ -931,6 +1068,21 @@ fn print_table(
             r.accepted_to_shed_ratio(),
         );
     }
+    println!();
+    println!(
+        "{:<10} {:>12} {:>18} {:>10} {:>9}",
+        "warmstart", "cold_sec", "restart_warm_sec", "artifacts", "speedup"
+    );
+    for r in warm_start {
+        println!(
+            "{:<10} {:>12.6} {:>18.9} {:>10} {:>8.1}x",
+            r.workload,
+            r.cold_sec,
+            r.restart_warm_sec,
+            r.artifacts_loaded,
+            r.restart_speedup(),
+        );
+    }
 }
 
 fn smoke() -> i32 {
@@ -994,14 +1146,18 @@ fn main() {
             rows.push(measure(name, &adfg, limit));
         }
     }
-    let select = measure_select();
-    let skew = measure_skew();
-    let batch = measure_batch();
-    let serve = measure_serve();
-    let shed = measure_shed();
+    let sections = Sections {
+        rows,
+        select: measure_select(),
+        skew: measure_skew(),
+        batch: measure_batch(),
+        serve: measure_serve(),
+        shed: measure_shed(),
+        warm_start: measure_warm_start(),
+    };
     if json {
-        print_json(&rows, &select, &skew, &batch, &serve, &shed, pr);
+        print_json(&sections, pr);
     } else {
-        print_table(&rows, &select, &skew, &batch, &serve, &shed);
+        print_table(&sections);
     }
 }

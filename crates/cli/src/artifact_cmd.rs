@@ -1,0 +1,195 @@
+//! The `mps artifact` subcommand: dump and diff persistent compile
+//! artifacts (see [`mps::artifact`]).
+//!
+//! ```text
+//! mps artifact dump <workload> [--pdef N] [--span S|none] [--engine E] [--out FILE]
+//! mps artifact diff <a.json> <b.json>
+//! ```
+//!
+//! `dump` compiles a workload (or graph file) with the same defaults the
+//! compile server uses and prints the versioned artifact envelope —
+//! exactly the bytes `mps serve --cache-dir` would persist, so a dumped
+//! file dropped into a cache directory warm-starts the server. `diff`
+//! decodes two artifact files and compares them **structurally**:
+//! envelope keys, selected pattern sets, cycle counts, II/MII, switch
+//! counts, schedules and executed cycles — per-stage wall times are
+//! deliberately ignored, since two runs of one compile never agree on
+//! those. Exit codes: 0 identical, 1 different, 2 usage/decode error.
+
+use mps::artifact::{decode_result, encode_result};
+use mps::{CompileResult, Session};
+use mps_serve::protocol::Request;
+
+pub fn cmd_artifact(args: &[String]) -> i32 {
+    match args.get(1).map(String::as_str) {
+        Some("dump") => cmd_dump(&args[2..]),
+        Some("diff") => cmd_diff(&args[2..]),
+        _ => {
+            eprintln!(
+                "usage: mps artifact dump <workload> [--pdef N] [--span S|none] [--engine E] [--out FILE]"
+            );
+            eprintln!("       mps artifact diff <a.json> <b.json>");
+            2
+        }
+    }
+}
+
+/// Compile one workload and emit its artifact envelope to stdout or
+/// `--out FILE`.
+fn cmd_dump(args: &[String]) -> i32 {
+    let Some(target) = args.first() else {
+        eprintln!("artifact dump needs a workload name or graph file");
+        return 2;
+    };
+    // Build the compile config through the wire-request path so the
+    // artifact key matches what `mps serve` computes for the same
+    // request — a dumped file dropped into a cache directory must hit.
+    let mut req = Request::op("compile");
+    let mut out: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let Some(value) = args.get(i) else {
+            eprintln!("{flag} needs a value");
+            return 2;
+        };
+        match flag {
+            "--pdef" => match value.parse() {
+                Ok(n) => req.pdef = Some(n),
+                Err(_) => {
+                    eprintln!("--pdef needs an unsigned integer");
+                    return 2;
+                }
+            },
+            "--span" if value == "none" => req.span = Some(None),
+            "--span" => match value.parse() {
+                Ok(n) => req.span = Some(Some(n)),
+                Err(_) => {
+                    eprintln!("--span needs an unsigned integer or 'none'");
+                    return 2;
+                }
+            },
+            "--engine" => req.engine = Some(value.clone()),
+            "--out" => out = Some(value.clone()),
+            other => {
+                eprintln!("unknown flag {other} (dump takes --pdef/--span/--engine/--out)");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    let cfg = match req.compile_config() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let Some(dfg) = crate::load(target) else {
+        return 2;
+    };
+    let key = (dfg.content_hash(), cfg.content_hash());
+    let mut session = Session::with_config(dfg, cfg);
+    let result = match session.compile() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let text = encode_result(key, &result);
+    match out {
+        Some(path) => {
+            // Writing into a directory uses the cache-store file name, so
+            // `--out <cache-dir>` seeds a server's warm-start directly.
+            let p = std::path::Path::new(&path);
+            let dest = if p.is_dir() {
+                p.join(format!("cr-{:016x}-{:016x}.json", key.0, key.1))
+            } else {
+                p.to_path_buf()
+            };
+            if let Err(e) = std::fs::write(&dest, text + "\n") {
+                eprintln!("could not write {}: {e}", dest.display());
+                return 1;
+            }
+            println!("{}", dest.display());
+            0
+        }
+        None => {
+            println!("{text}");
+            0
+        }
+    }
+}
+
+/// Decode two artifact files and report structural differences.
+fn cmd_diff(args: &[String]) -> i32 {
+    let (Some(a_path), Some(b_path)) = (args.first(), args.get(1)) else {
+        eprintln!("artifact diff needs two artifact files");
+        return 2;
+    };
+    let decode = |path: &String| -> Result<((u64, u64), CompileResult), i32> {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("could not read {path}: {e}");
+            2
+        })?;
+        decode_result(&text, None).map_err(|e| {
+            eprintln!("{path}: {e}");
+            2
+        })
+    };
+    let (ka, a) = match decode(a_path) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let (kb, b) = match decode(b_path) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+
+    let mut differs = false;
+    let mut row = |name: &str, left: String, right: String| {
+        if left != right {
+            differs = true;
+            println!("{name}: {left} != {right}");
+        }
+    };
+    let opt = |v: Option<usize>| v.map_or("-".to_string(), |n| n.to_string());
+    row(
+        "graph_hash",
+        format!("{:016x}", ka.0),
+        format!("{:016x}", kb.0),
+    );
+    row(
+        "config_hash",
+        format!("{:016x}", ka.1),
+        format!("{:016x}", kb.1),
+    );
+    row(
+        "patterns",
+        a.selection.patterns.to_string(),
+        b.selection.patterns.to_string(),
+    );
+    row("cycles", a.cycles.to_string(), b.cycles.to_string());
+    row("ii", opt(a.ii), opt(b.ii));
+    row("mii", opt(a.mii), opt(b.mii));
+    row("switches", opt(a.switches), opt(b.switches));
+    row(
+        "exec_cycles",
+        opt(a.exec.as_ref().map(|e| e.cycles)),
+        opt(b.exec.as_ref().map(|e| e.cycles)),
+    );
+    if a.schedule != b.schedule {
+        differs = true;
+        println!("schedules differ:");
+        print!("--- {a_path}\n{}", a.schedule);
+        print!("+++ {b_path}\n{}", b.schedule);
+    }
+    if differs {
+        1
+    } else {
+        println!("artifacts are structurally identical");
+        0
+    }
+}

@@ -10,7 +10,10 @@
 //! mps pipeline <workload> [--pdef N] [--span S] [--engine E] [--tp] [--json]
 //!                                           # software-pipeline a kernel
 //! mps patterns <workload> [--span S] [--dot]
+//! mps artifact dump <workload> [--pdef N] [--span S] [--engine E] [--out F]
+//! mps artifact diff <a.json> <b.json>
 //! mps serve [--port P|--stdio] [--workers N] [--queue N] [--json]
+//!           [--cache-dir DIR]
 //! mps client [--port P] <compile <workload>|stats|ping|shutdown|raw '<json>'>
 //! ```
 //!
@@ -24,6 +27,7 @@ use mps::prelude::*;
 use mps::scheduler::ModuloConfig;
 use mps::{CompileConfig, MpsError};
 
+mod artifact_cmd;
 mod serve_cmd;
 
 fn main() {
@@ -37,11 +41,12 @@ fn main() {
         Some("select") => cmd_select(&args),
         Some("pipeline") => cmd_pipeline(&args),
         Some("patterns") => cmd_patterns(&args),
+        Some("artifact") => artifact_cmd::cmd_artifact(&args),
         Some("serve") => serve_cmd::cmd_serve(&args),
         Some("client") => serve_cmd::cmd_client(&args),
         _ => {
             eprintln!(
-                "usage: mps <list|info|dot|schedule|select|pipeline|patterns|serve|client> [args]"
+                "usage: mps <list|info|dot|schedule|select|pipeline|patterns|artifact|serve|client> [args]"
             );
             eprintln!("  (every <workload> argument also accepts a path to a");
             eprintln!("   graph file in the `node <name> <color>` text format)");
@@ -55,7 +60,12 @@ fn main() {
                 "  mps pipeline <workload> [--pdef N] [--span S] [--engine E] [--tp] [--json]"
             );
             eprintln!("  mps patterns <workload> [--span S] [--dot]");
+            eprintln!(
+                "  mps artifact dump <workload> [--pdef N] [--span S] [--engine E] [--out F]"
+            );
+            eprintln!("  mps artifact diff <a.json> <b.json>");
             eprintln!("  mps serve [--port P|--stdio] [--workers N] [--queue N] [--json]");
+            eprintln!("            [--cache-dir DIR]   # persistent artifacts, warm-start on boot");
             eprintln!("  mps client [--port P] [--retries N] compile <workload> [--pdef N]");
             eprintln!("             [--span S|none] [--capacity N] [--engine E] [--alus N]");
             eprintln!("  mps client [--port P] <stats|ping|shutdown|raw '<json>'>");

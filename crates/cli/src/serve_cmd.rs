@@ -5,7 +5,7 @@
 //! mps serve [--port P | --stdio] [--workers N] [--queue N] [--json]
 //!           [--max-artifacts N] [--max-artifact-bytes N] [--max-tables N]
 //!           [--max-table-bytes N] [--max-line-bytes N] [--max-conns N]
-//!           [--read-timeout-ms N]
+//!           [--read-timeout-ms N] [--cache-dir DIR]
 //! mps client [--port P] [--retries N] [--timeout-ms N] [--backoff-ms N]
 //!            compile <workload|file> [--pdef N] [--span S|none]
 //!            [--capacity N] [--engine E] [--alus N] [--id N] [--deadline-ms N]
@@ -18,7 +18,9 @@
 //! `socat` or an init system. `--json` streams boot/compile/shutdown
 //! events as JSON lines on stdout (stderr in `--stdio` mode, where
 //! stdout carries replies). The cache budgets, line bound, connection
-//! cap and read deadline map straight onto [`ServeOptions`]; fault
+//! cap and read deadline map straight onto [`ServeOptions`];
+//! `--cache-dir DIR` persists compile artifacts across restarts (see
+//! [`mps::artifact`]) and warm-starts the cache on boot; fault
 //! injection is armed from `MPS_FAULT_*` environment variables (see
 //! [`mps_serve::FaultPlan::from_env`]). `client` prints the server's raw
 //! JSON reply line on stdout — pipe it to `jq` — and exits 0 on
@@ -44,6 +46,14 @@ pub fn cmd_serve(args: &[String]) -> i32 {
         match args[i].as_str() {
             "--stdio" => stdio = true,
             "--json" => json = true,
+            "--cache-dir" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--cache-dir needs a directory path");
+                    return 2;
+                };
+                opts.cache_dir = Some(dir.into());
+            }
             "--port"
             | "--workers"
             | "--queue"
@@ -83,7 +93,7 @@ pub fn cmd_serve(args: &[String]) -> i32 {
                 eprintln!(
                     "unknown flag {other} (serve takes --port/--stdio/--workers/--queue/--json/\
                      --max-artifacts/--max-artifact-bytes/--max-tables/--max-table-bytes/\
-                     --max-line-bytes/--max-conns/--read-timeout-ms)"
+                     --max-line-bytes/--max-conns/--read-timeout-ms/--cache-dir)"
                 );
                 return 2;
             }
@@ -96,6 +106,7 @@ pub fn cmd_serve(args: &[String]) -> i32 {
         eprintln!("mps serve: fault injection armed from MPS_FAULT_* environment");
     }
 
+    let workers = opts.workers;
     let server = Server::new(opts);
     if stdio {
         if json {
@@ -120,7 +131,7 @@ pub fn cmd_serve(args: &[String]) -> i32 {
                 return 1;
             }
         };
-        eprintln!("mps serve: listening on {addr} ({} workers)", opts.workers);
+        eprintln!("mps serve: listening on {addr} ({workers} workers)");
         if let Err(e) = server.run_tcp(listener) {
             eprintln!("serve: {e}");
             return 1;

@@ -1,0 +1,510 @@
+//! Versioned on-disk artifacts: compile results that survive a restart.
+//!
+//! The pipeline is deterministic, so a [`CompileResult`] is fully
+//! described by what produced it: the graph's
+//! [`Dfg::content_hash`](mps_dfg::Dfg::content_hash) and the
+//! [`CompileConfig::content_hash`](crate::CompileConfig::content_hash).
+//! This module turns that determinism into restartable state — each
+//! artifact is one single-line JSON file (written through
+//! [`crate::json`], serialized through the vendored `serde` value tree)
+//! wrapped in a small envelope that is **verified, never trusted**:
+//!
+//! ```text
+//! {"magic":"mps-artifact","format_version":1,"toolchain":"mps/0.1.0",
+//!  "kind":"compile-result","graph_hash":"16-hex","config_hash":"16-hex",
+//!  "payload":{…}}
+//! ```
+//!
+//! A file whose magic, [`FORMAT_VERSION`], [`toolchain`] stamp, kind, or
+//! content hashes disagree — or that is truncated, unparseable, or
+//! structurally invalid — is *rejected* with an [`ArtifactError`]; the
+//! serving layer counts rejects and recompiles instead of crashing or
+//! serving a stale answer. [`PatternTable`]s share the same envelope
+//! (`kind: "pattern-table"`) so table snapshots can travel the same way.
+//!
+//! [`ArtifactStore`] is the directory tier: `save_result` writes
+//! temp-then-rename so a kill mid-write can never leave a bad file under
+//! an artifact name, `load_results` sweeps the directory at boot (bad
+//! files counted, not fatal), and `enforce_budget` applies the same
+//! entry/byte LRU discipline the in-memory caches use, evicting
+//! least-recently-touched files first.
+
+use crate::json;
+use crate::session::CompileResult;
+use mps_patterns::PatternTable;
+use serde::Value;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Version of the artifact envelope and payload encoding. Bump on any
+/// change to either; readers reject every other version.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// The toolchain stamp embedded in (and required of) every artifact.
+///
+/// Payloads are only portable between identical builds of this
+/// workspace — a `Debug`-derived config hash or a changed struct layout
+/// silently changes meaning across versions — so the stamp ties each
+/// file to the crate version that wrote it.
+pub fn toolchain() -> &'static str {
+    concat!("mps/", env!("CARGO_PKG_VERSION"))
+}
+
+/// The identity of an artifact: `(graph content hash, config content
+/// hash)` — the same key the serving caches use.
+pub type ArtifactKey = (u64, u64);
+
+/// Why an artifact file was rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArtifactError {
+    /// The file could not be read.
+    Io(String),
+    /// The text is not valid JSON.
+    Parse(json::ParseError),
+    /// The JSON is missing envelope fields, carries the wrong magic, or
+    /// the payload does not decode as the expected type.
+    Malformed(String),
+    /// The envelope's `format_version` is not [`FORMAT_VERSION`].
+    VersionMismatch {
+        /// Version found in the file.
+        found: u64,
+    },
+    /// The envelope's `toolchain` stamp is not [`toolchain`]'s.
+    ToolchainMismatch {
+        /// Stamp found in the file.
+        found: String,
+    },
+    /// The envelope's `kind` is not the kind being decoded.
+    KindMismatch {
+        /// Kind found in the file.
+        found: String,
+    },
+    /// The envelope's content hashes disagree with the expected key
+    /// (e.g. the file name it was stored under).
+    KeyMismatch {
+        /// Key found in the envelope.
+        found: ArtifactKey,
+        /// Key the caller expected.
+        expected: ArtifactKey,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact unreadable: {e}"),
+            ArtifactError::Parse(e) => write!(f, "artifact is not valid JSON: {e}"),
+            ArtifactError::Malformed(e) => write!(f, "artifact malformed: {e}"),
+            ArtifactError::VersionMismatch { found } => write!(
+                f,
+                "artifact format version {found} (this build reads {FORMAT_VERSION})"
+            ),
+            ArtifactError::ToolchainMismatch { found } => write!(
+                f,
+                "artifact written by toolchain {found:?} (this build is {:?})",
+                toolchain()
+            ),
+            ArtifactError::KindMismatch { found } => {
+                write!(f, "artifact kind {found:?} is not the kind requested")
+            }
+            ArtifactError::KeyMismatch { found, expected } => write!(
+                f,
+                "artifact keyed {:016x}-{:016x}, expected {:016x}-{:016x}",
+                found.0, found.1, expected.0, expected.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+const MAGIC: &str = "mps-artifact";
+const KIND_RESULT: &str = "compile-result";
+const KIND_TABLE: &str = "pattern-table";
+
+fn encode(kind: &str, key: ArtifactKey, payload: Value) -> String {
+    json::write(&Value::Map(vec![
+        ("magic".into(), Value::Str(MAGIC.into())),
+        ("format_version".into(), Value::U64(FORMAT_VERSION)),
+        ("toolchain".into(), Value::Str(toolchain().into())),
+        ("kind".into(), Value::Str(kind.into())),
+        ("graph_hash".into(), Value::Str(format!("{:016x}", key.0))),
+        ("config_hash".into(), Value::Str(format!("{:016x}", key.1))),
+        ("payload".into(), payload),
+    ]))
+}
+
+fn str_field(doc: &Value, name: &str) -> Result<String, ArtifactError> {
+    match json::field(doc, name) {
+        Some(Value::Str(s)) => Ok(s.clone()),
+        Some(other) => Err(ArtifactError::Malformed(format!(
+            "field `{name}` should be a string, is {other:?}"
+        ))),
+        None => Err(ArtifactError::Malformed(format!("missing field `{name}`"))),
+    }
+}
+
+fn hash_field(doc: &Value, name: &str) -> Result<u64, ArtifactError> {
+    let hex = str_field(doc, name)?;
+    u64::from_str_radix(&hex, 16)
+        .map_err(|_| ArtifactError::Malformed(format!("field `{name}` is not a 64-bit hex hash")))
+}
+
+/// Decode the envelope, verifying magic, version, toolchain and kind in
+/// that order (so the error names the *first* reason a foreign file is
+/// untrustworthy), and hand back the key and the raw payload.
+fn decode_envelope(text: &str, kind: &str) -> Result<(ArtifactKey, Value), ArtifactError> {
+    let doc = json::parse(text).map_err(ArtifactError::Parse)?;
+    if str_field(&doc, "magic")? != MAGIC {
+        return Err(ArtifactError::Malformed("wrong magic".into()));
+    }
+    match json::field(&doc, "format_version") {
+        Some(Value::U64(v)) if *v == FORMAT_VERSION => {}
+        Some(Value::U64(v)) => return Err(ArtifactError::VersionMismatch { found: *v }),
+        _ => {
+            return Err(ArtifactError::Malformed(
+                "missing or non-integer `format_version`".into(),
+            ))
+        }
+    }
+    let stamp = str_field(&doc, "toolchain")?;
+    if stamp != toolchain() {
+        return Err(ArtifactError::ToolchainMismatch { found: stamp });
+    }
+    let found_kind = str_field(&doc, "kind")?;
+    if found_kind != kind {
+        return Err(ArtifactError::KindMismatch { found: found_kind });
+    }
+    let key = (
+        hash_field(&doc, "graph_hash")?,
+        hash_field(&doc, "config_hash")?,
+    );
+    let payload = json::field(&doc, "payload")
+        .cloned()
+        .ok_or_else(|| ArtifactError::Malformed("missing field `payload`".into()))?;
+    Ok((key, payload))
+}
+
+/// Encode a compile result as one artifact line.
+pub fn encode_result(key: ArtifactKey, result: &CompileResult) -> String {
+    encode(KIND_RESULT, key, serde::to_value(result))
+}
+
+/// Decode a compile-result artifact, verifying the full envelope. Pass
+/// `expected` (e.g. the key implied by the file's name) to additionally
+/// reject an artifact stored under the wrong identity.
+pub fn decode_result(
+    text: &str,
+    expected: Option<ArtifactKey>,
+) -> Result<(ArtifactKey, CompileResult), ArtifactError> {
+    let (key, payload) = decode_envelope(text, KIND_RESULT)?;
+    if let Some(expected) = expected {
+        if key != expected {
+            return Err(ArtifactError::KeyMismatch {
+                found: key,
+                expected,
+            });
+        }
+    }
+    let result: CompileResult =
+        serde::from_value(payload).map_err(|e| ArtifactError::Malformed(e.to_string()))?;
+    Ok((key, result))
+}
+
+/// Encode a pattern table as one artifact line. The key's second
+/// component is the hash of whatever configuration shaped the table
+/// (span, policy) — the caller owns that convention.
+pub fn encode_table(key: ArtifactKey, table: &PatternTable) -> String {
+    encode(KIND_TABLE, key, serde::to_value(table))
+}
+
+/// Decode a pattern-table artifact, verifying the full envelope (and the
+/// expected key, when given). The table's derived structures are rebuilt
+/// and re-validated by [`PatternTable::from_stats`].
+pub fn decode_table(
+    text: &str,
+    expected: Option<ArtifactKey>,
+) -> Result<(ArtifactKey, PatternTable), ArtifactError> {
+    let (key, payload) = decode_envelope(text, KIND_TABLE)?;
+    if let Some(expected) = expected {
+        if key != expected {
+            return Err(ArtifactError::KeyMismatch {
+                found: key,
+                expected,
+            });
+        }
+    }
+    let table: PatternTable =
+        serde::from_value(payload).map_err(|e| ArtifactError::Malformed(e.to_string()))?;
+    Ok((key, table))
+}
+
+/// What a boot-time directory sweep found.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// Artifacts that survived every envelope check, with their keys.
+    pub loaded: Vec<(ArtifactKey, CompileResult)>,
+    /// Files that failed any check (truncated, corrupt, wrong version /
+    /// toolchain / key) and were skipped.
+    pub rejected: usize,
+}
+
+/// A directory of persisted compile-result artifacts.
+///
+/// One file per artifact, named `cr-<graph_hash>-<config_hash>.json`, so
+/// the identity is visible in a directory listing and an artifact
+/// renamed onto the wrong key is caught at load. Writes go through a
+/// same-directory temp file and an atomic rename; leftover `*.tmp-*`
+/// files from a killed writer are swept out at the next boot.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Open (creating if needed) the store at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ArtifactStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ArtifactStore { dir })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file an artifact with this key lives at.
+    pub fn result_path(&self, key: ArtifactKey) -> PathBuf {
+        self.dir
+            .join(format!("cr-{:016x}-{:016x}.json", key.0, key.1))
+    }
+
+    /// Persist one compile result: encode, write to a temp file in the
+    /// same directory, flush, then rename onto the artifact name — so a
+    /// kill at any instant leaves either the old file, no file, or the
+    /// complete new file, never a torn one.
+    pub fn save_result(&self, key: ArtifactKey, result: &CompileResult) -> io::Result<PathBuf> {
+        let path = self.result_path(key);
+        let tmp = self.dir.join(format!(
+            "cr-{:016x}-{:016x}.tmp-{}",
+            key.0,
+            key.1,
+            std::process::id()
+        ));
+        let text = encode_result(key, result);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.write_all(b"\n")?;
+            f.sync_all()?;
+        }
+        match fs::rename(&tmp, &path) {
+            Ok(()) => Ok(path),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Sweep the directory: decode every `cr-*.json`, verifying the
+    /// envelope *and* that the embedded key matches the file name. Bad
+    /// files are counted in [`LoadReport::rejected`] and left in place
+    /// (they may be diagnosable); stale temp files are deleted. I/O
+    /// trouble on the directory itself yields an empty report rather
+    /// than an error — a missing cache is a cold start, not a failure.
+    pub fn load_results(&self) -> LoadReport {
+        let mut report = LoadReport::default();
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(_) => return report,
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.contains(".tmp-") {
+                let _ = fs::remove_file(entry.path());
+                continue;
+            }
+            let Some(expected) = parse_result_name(name) else {
+                continue;
+            };
+            let decoded = fs::read_to_string(entry.path())
+                .map_err(|e| ArtifactError::Io(e.to_string()))
+                .and_then(|text| decode_result(text.trim_end(), Some(expected)));
+            match decoded {
+                Ok((key, result)) => report.loaded.push((key, result)),
+                Err(_) => report.rejected += 1,
+            }
+        }
+        // Deterministic order for callers that admit into LRU caches.
+        report.loaded.sort_by_key(|(key, _)| *key);
+        report
+    }
+
+    /// Apply entry/byte budgets to the directory, deleting
+    /// least-recently-modified artifacts first until both bounds hold.
+    /// Returns how many files were evicted.
+    pub fn enforce_budget(
+        &self,
+        max_entries: Option<usize>,
+        max_bytes: Option<usize>,
+    ) -> io::Result<usize> {
+        let mut files: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
+        for entry in fs::read_dir(&self.dir)?.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if parse_result_name(name).is_none() {
+                continue;
+            }
+            if let Ok(meta) = entry.metadata() {
+                let modified = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                files.push((entry.path(), meta.len(), modified));
+            }
+        }
+        files.sort_by_key(|(_, _, modified)| *modified);
+        let mut total: u64 = files.iter().map(|(_, len, _)| len).sum();
+        let mut count = files.len();
+        let mut evicted = 0;
+        for (path, len, _) in files {
+            let over_entries = max_entries.is_some_and(|m| count > m);
+            let over_bytes = max_bytes.is_some_and(|m| total > m as u64);
+            if !over_entries && !over_bytes {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                evicted += 1;
+                count -= 1;
+                total -= len;
+            }
+        }
+        Ok(evicted)
+    }
+}
+
+/// Parse `cr-<16 hex>-<16 hex>.json` back into its key.
+fn parse_result_name(name: &str) -> Option<ArtifactKey> {
+    let rest = name.strip_prefix("cr-")?.strip_suffix(".json")?;
+    if rest.len() != 33 || !rest.is_char_boundary(16) || rest.as_bytes()[16] != b'-' {
+        return None;
+    }
+    Some((
+        u64::from_str_radix(&rest[..16], 16).ok()?,
+        u64::from_str_radix(&rest[17..], 16).ok()?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{CompileConfig, Session};
+
+    fn sample() -> (ArtifactKey, CompileResult) {
+        let dfg = mps_workloads::fig4();
+        let cfg = CompileConfig::default();
+        let key = (dfg.content_hash(), cfg.content_hash());
+        let result = Session::with_config(dfg, cfg).compile().unwrap();
+        (key, result)
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mps-artifact-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn result_round_trips_through_text() {
+        let (key, result) = sample();
+        let text = encode_result(key, &result);
+        assert!(!text.contains('\n'), "artifacts are single-line");
+        let (got_key, got) = decode_result(&text, Some(key)).unwrap();
+        assert_eq!(got_key, key);
+        assert_eq!(got, result);
+    }
+
+    #[test]
+    fn table_round_trips_through_text() {
+        let adfg = mps_dfg::AnalyzedDfg::new(mps_workloads::fig2());
+        let table = PatternTable::build(&adfg, mps_patterns::EnumerateConfig::default());
+        let key = (adfg.dfg().content_hash(), 7);
+        let (got_key, got) = decode_table(&encode_table(key, &table), Some(key)).unwrap();
+        assert_eq!(got_key, key);
+        assert_eq!(got, table);
+    }
+
+    #[test]
+    fn foreign_envelopes_are_rejected_first() {
+        let (key, result) = sample();
+        let text = encode_result(key, &result);
+        // Wrong version.
+        let worse = text.replace("\"format_version\":1", "\"format_version\":999");
+        assert!(matches!(
+            decode_result(&worse, None),
+            Err(ArtifactError::VersionMismatch { found: 999 })
+        ));
+        // Wrong toolchain stamp.
+        let worse = text.replace(toolchain(), "mps/0.0.0-elsewhere");
+        assert!(matches!(
+            decode_result(&worse, None),
+            Err(ArtifactError::ToolchainMismatch { .. })
+        ));
+        // Wrong kind.
+        assert!(matches!(
+            decode_table(&text, None),
+            Err(ArtifactError::KindMismatch { .. })
+        ));
+        // Wrong key.
+        assert!(matches!(
+            decode_result(&text, Some((key.0 ^ 1, key.1))),
+            Err(ArtifactError::KeyMismatch { .. })
+        ));
+        // Truncation.
+        assert!(matches!(
+            decode_result(&text[..text.len() / 2], None),
+            Err(ArtifactError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn store_saves_atomically_and_reloads() {
+        let dir = tmp_dir("reload");
+        let store = ArtifactStore::open(&dir).unwrap();
+        let (key, result) = sample();
+        let path = store.save_result(key, &result).unwrap();
+        assert_eq!(path, store.result_path(key));
+        // A stale temp file from a "killed" writer is swept, not loaded.
+        fs::write(dir.join("cr-0000000000000000-0000000000000000.tmp-1"), "{").unwrap();
+        let report = store.load_results();
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.loaded.len(), 1);
+        assert_eq!(report.loaded[0].0, key);
+        assert_eq!(report.loaded[0].1, result);
+        assert!(!dir
+            .join("cr-0000000000000000-0000000000000000.tmp-1")
+            .exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_evicts_oldest_files() {
+        let dir = tmp_dir("budget");
+        let store = ArtifactStore::open(&dir).unwrap();
+        let (key, result) = sample();
+        for i in 0..4u64 {
+            store
+                .save_result((key.0, key.1.wrapping_add(i)), &result)
+                .unwrap();
+        }
+        let evicted = store.enforce_budget(Some(2), None).unwrap();
+        assert_eq!(evicted, 2);
+        assert_eq!(store.load_results().loaded.len(), 2);
+        let evicted = store.enforce_budget(None, Some(1)).unwrap();
+        assert_eq!(evicted, 2, "a 1-byte budget clears the directory");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,13 +1,35 @@
-//! JSON text ↔ [`serde::Value`], for the newline-delimited wire protocol.
+//! JSON text ↔ [`serde::Value`] — the workspace's one text codec.
 //!
 //! The vendored `serde` is a value-tree stand-in with no text format of
-//! its own, so the serving layer carries one: a writer and a
-//! recursive-descent parser covering exactly the JSON subset the protocol
-//! needs. The mapping is the obvious one — [`Value::Unit`] ↔ `null`,
-//! [`Value::Map`] ↔ object (field order preserved), numbers classed on
-//! parse as unsigned / signed / float by shape. Round-tripping is pinned
-//! by the tests below; emitted text never contains a raw newline, which
-//! is what makes one-line-per-message framing safe.
+//! its own, so this module carries one: a writer and a recursive-descent
+//! parser covering exactly the JSON subset the workspace needs. It
+//! started life inside `mps-serve` as the wire codec for the
+//! newline-delimited protocol; persistent artifacts (see
+//! [`crate::artifact`]) travel through the same parser, which is why it
+//! now lives here in core where both layers can reach it. The mapping is
+//! the obvious one — [`Value::Unit`] ↔ `null`, [`Value::Map`] ↔ object
+//! (field order preserved), numbers classed on parse as unsigned /
+//! signed / float by shape. Round-tripping is pinned by the tests below;
+//! emitted text never contains a raw newline, which is what makes
+//! one-line-per-message framing safe.
+//!
+//! ## Number overflow policy
+//!
+//! Artifact files are parsed on trust boundaries (a cache directory
+//! surviving across builds), so out-of-range numbers are **rejected with
+//! a [`ParseError`], never silently wrapped or saturated**:
+//!
+//! * `18446744073709551616` (one past `u64::MAX`) and any other
+//!   unsigned-shaped literal too large for `u64` → error;
+//! * `-9223372036854775809` (one past `i64::MIN`) → error;
+//! * float-shaped literals whose magnitude overflows `f64` (`1e400`) →
+//!   error — Rust's `str::parse::<f64>` would happily return `inf`,
+//!   which this writer cannot even re-emit (non-finite renders as
+//!   `null`), so it is refused on the way in;
+//! * `-0` is signed-shaped and parses to [`Value::I64`]`(0)` — the sign
+//!   is not preserved (integers have no negative zero);
+//! * tiny magnitudes are *not* errors: `1e-400` underflows gracefully to
+//!   `0.0`, exactly as `str::parse::<f64>` defines it.
 
 use serde::Value;
 use std::fmt::Write as _;
@@ -92,7 +114,9 @@ fn write_str(out: &mut String, s: &str) {
 ///
 /// Numbers are classed by shape: a mantissa dot or exponent makes an
 /// [`Value::F64`], a leading minus an [`Value::I64`], anything else a
-/// [`Value::U64`]. Errors carry a byte offset and a short description.
+/// [`Value::U64`]. Out-of-range literals are a [`ParseError`], never a
+/// silent wrap — see the module docs for the exact policy. Errors carry
+/// a byte offset and a short description.
 pub fn parse(text: &str) -> Result<Value, ParseError> {
     let mut p = Parser {
         bytes: text.as_bytes(),
@@ -317,17 +341,23 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
         if float {
-            text.parse::<f64>()
-                .map(Value::F64)
-                .map_err(|_| self.err("invalid number"))
+            // `str::parse::<f64>` accepts overflowing literals and hands
+            // back ±inf; that would wrap silently through this codec
+            // (the writer spells non-finite as null), so refuse it here.
+            // Graceful underflow to 0.0 stays accepted.
+            match text.parse::<f64>() {
+                Ok(x) if x.is_finite() => Ok(Value::F64(x)),
+                Ok(_) => Err(self.err("number overflows f64")),
+                Err(_) => Err(self.err("invalid number")),
+            }
         } else if text.starts_with('-') {
             text.parse::<i64>()
                 .map(Value::I64)
-                .map_err(|_| self.err("invalid number"))
+                .map_err(|_| self.err("number out of range for i64"))
         } else {
             text.parse::<u64>()
                 .map(Value::U64)
-                .map_err(|_| self.err("invalid number"))
+                .map_err(|_| self.err("number out of range for u64"))
         }
     }
 }
@@ -405,6 +435,38 @@ mod tests {
         assert!(parse("[1, 2").is_err());
         assert!(parse("12 34").unwrap_err().message.contains("trailing"));
         assert!(parse("\"\u{1}\"").is_err(), "raw control char rejected");
+    }
+
+    #[test]
+    fn out_of_range_integers_are_rejected_not_wrapped() {
+        // Exactly representable extremes still parse…
+        assert_eq!(parse("18446744073709551615").unwrap(), Value::U64(u64::MAX));
+        assert_eq!(parse("-9223372036854775808").unwrap(), Value::I64(i64::MIN));
+        // …one past them is a ParseError, not a silent wrap.
+        let e = parse("18446744073709551616").unwrap_err();
+        assert!(e.message.contains("u64"), "{e}");
+        let e = parse("-9223372036854775809").unwrap_err();
+        assert!(e.message.contains("i64"), "{e}");
+        // Inside a document, the offset points at the bad literal's end.
+        assert!(parse(r#"{"n":18446744073709551616}"#).is_err());
+    }
+
+    #[test]
+    fn overflowing_floats_are_rejected_tiny_ones_underflow() {
+        // 1e400 parses to inf via str::parse::<f64>; the codec refuses it.
+        let e = parse("1e400").unwrap_err();
+        assert!(e.message.contains("overflows"), "{e}");
+        assert!(parse("-1e400").is_err());
+        assert!(parse(r#"[1.0,1e999]"#).is_err());
+        // Large *negative* exponents underflow gracefully to zero.
+        assert_eq!(parse("1e-400").unwrap(), Value::F64(0.0));
+        // -0 is signed-shaped: the sign is dropped on an integer zero.
+        assert_eq!(parse("-0").unwrap(), Value::I64(0));
+        // -0.0 keeps the float sign bit (floats do have negative zero).
+        match parse("-0.0").unwrap() {
+            Value::F64(x) => assert!(x == 0.0 && x.is_sign_negative()),
+            other => panic!("expected F64, got {other:?}"),
+        }
     }
 
     #[test]

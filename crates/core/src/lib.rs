@@ -64,12 +64,19 @@ pub use mps_patterns as patterns;
 pub use mps_scheduler as scheduler;
 pub use mps_select as select;
 pub use mps_workloads as workloads;
+// The vendored serde shim, re-exported so dependents can name the
+// `Value` tree that [`json`] and [`artifact`] traffic in without
+// depending on the vendor path themselves.
+pub use serde;
 
+pub mod artifact;
 mod error;
+pub mod json;
 mod metrics;
 mod session;
 mod size;
 
+pub use artifact::{ArtifactError, ArtifactStore, LoadReport};
 pub use error::{MpsError, Stage};
 pub use metrics::{SharedStageMetrics, StageMetrics};
 pub use mps_par::{CancelKind, CancelToken};

@@ -21,7 +21,7 @@ use std::sync::Mutex;
 /// the table cache is observable: a re-select over a cached table bumps
 /// [`StageMetrics::table_cache_hits`] instead of
 /// [`StageMetrics::table_builds`].
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct StageMetrics {
     /// Wall time of DFG analysis (ASAP/ALAP/height, reachability).
     pub analyze_sec: f64,

@@ -963,7 +963,12 @@ impl Mapped<'_> {
 }
 
 /// Everything one staged compile produced.
-#[derive(Clone, Debug)]
+///
+/// `Serialize`/`Deserialize` route through the vendored `serde` value
+/// tree — this is the payload of the persistent artifact format (see
+/// [`crate::artifact`]); `PartialEq` is what lets the round-trip tests
+/// pin `load(save(r)) == r` field-for-field.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CompileResult {
     /// The selection outcome (patterns + per-round details).
     pub selection: SelectionOutcome,

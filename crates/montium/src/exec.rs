@@ -6,9 +6,10 @@ use crate::tile::TileParams;
 use mps_dfg::{AnalyzedDfg, NodeId};
 use mps_patterns::PatternSet;
 use mps_scheduler::Schedule;
+use serde::{Deserialize, Serialize};
 
 /// Binding of one node to one ALU in one cycle.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AluSlot {
     /// Cycle index (0-based).
     pub cycle: usize,
@@ -19,7 +20,7 @@ pub struct AluSlot {
 }
 
 /// Replay statistics.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ExecReport {
     /// Total cycles executed.
     pub cycles: usize,

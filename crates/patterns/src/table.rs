@@ -11,12 +11,13 @@ use crate::key::{KeyInterner, PatternKey};
 use crate::pattern::Pattern;
 use mps_dfg::{AnalyzedDfg, Antichain, NodeId};
 use mps_par::{CancelKind, CancelToken};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Statistics of one candidate pattern: how many antichains realize it and
 /// how often each node participates.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PatternStats {
     /// The pattern (color bag of its antichains).
     pub pattern: Pattern,
@@ -57,12 +58,45 @@ impl PatternId {
 /// §5.2's priority function needs nothing else; the raw antichain lists are
 /// exponential and available via [`crate::enumerate_antichains`] when truly
 /// needed (e.g. to print the paper's Table 4).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PatternTable {
     stats: Vec<PatternStats>,
     index: HashMap<Pattern, usize>,
     num_nodes: usize,
     cover: CoverMatrix,
+}
+
+/// Serialized as `{num_nodes, stats}` only: the index and cover matrix
+/// are derived data, rebuilt on load by [`PatternTable::from_stats`] so a
+/// file can never smuggle in an inconsistent triple.
+impl Serialize for PatternTable {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(serde::Value::Map(vec![
+            ("num_nodes".to_string(), serde::to_value(&self.num_nodes)),
+            ("stats".to_string(), serde::to_value(&self.stats)),
+        ]))
+    }
+}
+
+/// The inverse of the [`Serialize`] impl, routed through
+/// [`PatternTable::from_stats`] so every invariant is re-validated.
+impl<'de> Deserialize<'de> for PatternTable {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error as _;
+        let serde::Value::Map(mut fields) = deserializer.take_value()? else {
+            return Err(D::Error::custom("expected map for PatternTable"));
+        };
+        let mut take = |name: &str| {
+            let pos = fields.iter().position(|(k, _)| k == name).ok_or_else(|| {
+                D::Error::custom(format!("missing field `{name}` in PatternTable"))
+            })?;
+            Ok(fields.swap_remove(pos).1)
+        };
+        let num_nodes: usize = serde::from_value(take("num_nodes")?).map_err(D::Error::custom)?;
+        let stats: Vec<PatternStats> =
+            serde::from_value(take("stats")?).map_err(D::Error::custom)?;
+        PatternTable::from_stats(num_nodes, stats).map_err(D::Error::custom)
+    }
 }
 
 /// "No child interned yet" sentinel in the transition cache.
@@ -424,6 +458,47 @@ fn warm_prototype(
 }
 
 impl PatternTable {
+    /// Rebuild a table from its aggregate rows — the deserialization path
+    /// of the persistent artifact format (`mps::artifact`).
+    ///
+    /// The builders guarantee by construction what this has to check on
+    /// input that crossed a disk boundary: every frequency row spans
+    /// exactly `num_nodes` nodes and no pattern appears twice. Rows are
+    /// re-sorted into canonical pattern order and the cover matrix and
+    /// index are derived exactly as the enumeration builders derive
+    /// them, so a round-tripped table is `PartialEq`-identical to its
+    /// source.
+    pub fn from_stats(
+        num_nodes: usize,
+        mut stats: Vec<PatternStats>,
+    ) -> Result<PatternTable, String> {
+        for s in &stats {
+            if s.node_freq.len() != num_nodes {
+                return Err(format!(
+                    "pattern {:?} carries {} node frequencies, table spans {num_nodes} nodes",
+                    s.pattern,
+                    s.node_freq.len()
+                ));
+            }
+        }
+        stats.sort_by_key(|s| s.pattern);
+        if let Some(dup) = stats.windows(2).find(|w| w[0].pattern == w[1].pattern) {
+            return Err(format!("duplicate pattern row {:?}", dup[0].pattern));
+        }
+        let cover = CoverMatrix::from_stats(num_nodes, &stats);
+        let index = stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.pattern, i))
+            .collect();
+        Ok(PatternTable {
+            stats,
+            index,
+            num_nodes,
+            cover,
+        })
+    }
+
     /// Enumerate all antichains of `adfg` under `cfg` and classify them by
     /// pattern. When `cfg.parallel`, work is distributed at *(root,
     /// depth-1 branch)* granularity: skewed roots — whose search tree

@@ -2,10 +2,11 @@
 
 use mps_dfg::{AnalyzedDfg, NodeId};
 use mps_patterns::PatternSet;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One row of the scheduling trace: the state of one clock cycle.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceRow {
     /// 1-based clock cycle.
     pub cycle: usize,
@@ -19,7 +20,7 @@ pub struct TraceRow {
 }
 
 /// A full scheduling trace.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScheduleTrace {
     rows: Vec<TraceRow>,
 }

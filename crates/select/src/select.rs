@@ -21,9 +21,10 @@ use crate::config::SelectConfig;
 use crate::priority::eq8_priority;
 use mps_dfg::AnalyzedDfg;
 use mps_patterns::{PackedBag, Pattern, PatternId, PatternSet, PatternStats, PatternTable};
+use serde::{Deserialize, Serialize};
 
 /// What happened in one selection round.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RoundInfo {
     /// The pattern chosen this round.
     pub chosen: Pattern,
@@ -37,7 +38,7 @@ pub struct RoundInfo {
 }
 
 /// Result of pattern selection.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SelectionOutcome {
     /// The selected patterns, in selection order (≤ `Pdef`; fewer only if
     /// the candidate pool ran dry *and* every color was already covered).

@@ -269,6 +269,29 @@ impl ArtifactCache {
         }
     }
 
+    /// Insert an already-computed outcome — the boot-time warm-start
+    /// path, fed from [`mps::artifact::ArtifactStore::load_results`].
+    /// An existing slot (published *or* in-flight) wins and the seed is
+    /// dropped, so seeding can never clobber live serving state; an
+    /// inserted seed is admitted through the same budget/LRU discipline
+    /// as a computed outcome (and may evict, or be the eviction victim,
+    /// accordingly). Returns `true` if the outcome was inserted. Counts
+    /// neither a hit nor a miss: no request was served.
+    pub fn seed(&self, key: Key, outcome: Outcome) -> bool {
+        let slot = {
+            let mut shard = self.shard(key).lock().expect("artifact shard poisoned");
+            if shard.contains_key(&key) {
+                return false;
+            }
+            let slot = Arc::new(Slot::default());
+            shard.insert(key, Arc::clone(&slot));
+            slot
+        };
+        slot.publish(&outcome);
+        self.admit(key, approx_outcome_bytes(&outcome));
+        true
+    }
+
     /// Unmap `slot` (if it is still the mapped one) and wake its
     /// waiters into a retry.
     fn abandon_slot(&self, key: Key, slot: &Arc<Slot>) {
@@ -544,6 +567,33 @@ mod tests {
         let (_, hit) = cache.get_or_compute((2, 2), None, compile_fig4).unwrap();
         assert!(!hit, "(2,2) was evicted as least recently used");
         assert_eq!((cache.len(), cache.evictions()), (2, 2));
+    }
+
+    #[test]
+    fn seeding_warm_starts_without_clobbering_or_busting_budgets() {
+        let cache = ArtifactCache::with_budget(
+            2,
+            CacheBudget {
+                max_entries: Some(2),
+                max_bytes: None,
+            },
+        );
+        let seed = compile_fig4();
+        assert!(cache.seed((1, 1), seed.clone()));
+        // A seeded key serves without recomputing and counts as a hit.
+        let (outcome, hit) = cache
+            .get_or_compute((1, 1), None, || panic!("seeded — must not recompute"))
+            .unwrap();
+        assert!(hit && outcome.is_ok());
+        // Seeding an occupied key is refused, live state wins.
+        assert!(!cache.seed((1, 1), compile_fig4()));
+        // Seeds are budget-admitted like computed outcomes: the third
+        // seed evicts the least recently used entry.
+        assert!(cache.seed((2, 2), compile_fig4()));
+        assert!(cache.seed((3, 3), compile_fig4()));
+        assert_eq!((cache.len(), cache.evictions()), (2, 1));
+        // Neither seeding nor refusal counted requests.
+        assert_eq!((cache.hits(), cache.misses()), (1, 0));
     }
 
     #[test]

@@ -110,6 +110,11 @@ pub struct StageHistograms {
     /// End-to-end compile-request latency (cache hits included — that is
     /// the point: hits pull the tail in).
     pub total: LatencyHistogram,
+    /// End-to-end latency of **accepted** (non-cached) compiles only.
+    /// This is the population the shed retry hint must be derived from:
+    /// under warm-hit-heavy traffic the total histogram's p50 collapses
+    /// to microseconds and would tell shed clients to retry immediately.
+    pub accepted: LatencyHistogram,
     /// Enumeration stage of actual compiles.
     pub enumerate: LatencyHistogram,
     /// Selection stage of actual compiles.

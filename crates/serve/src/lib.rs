@@ -66,9 +66,14 @@ pub mod cache;
 mod client;
 pub mod fault;
 pub mod histogram;
-pub mod json;
 pub mod protocol;
 mod server;
+
+/// Re-export of the JSON codec, which moved to `mps::json` so the core
+/// crate's persistent artifact format ([`mps::artifact`]) can share it.
+/// Kept at this path for compatibility with existing `mps_serve::json`
+/// users (wire protocol, log parsing).
+pub use mps::json;
 
 pub use client::Client;
 pub use fault::FaultPlan;

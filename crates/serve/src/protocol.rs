@@ -266,6 +266,14 @@ pub struct StatsReply {
     /// Requests that ran out of deadline (at admission, waiting on an
     /// in-flight identical compile, or inside the pipeline).
     pub deadline_exceeded: u64,
+    /// Artifacts loaded from the `--cache-dir` store at boot (0 without
+    /// a cache directory).
+    pub artifacts_loaded: u64,
+    /// Artifacts persisted to the `--cache-dir` store since boot.
+    pub artifacts_persisted: u64,
+    /// Cache-dir files rejected at boot (corrupt, truncated, version or
+    /// key mismatch) and skipped.
+    pub load_rejected: u64,
     /// Artifact-cache entries evicted by the budget since boot.
     pub artifact_evictions: u64,
     /// Pattern-table cache entries evicted by the budget since boot.
@@ -300,11 +308,14 @@ pub struct MetricsTotals {
     pub antichains: u64,
 }
 
-/// The four serving histograms, summarized.
+/// The serving histograms, summarized.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct LatencyStats {
     /// End-to-end compile-request latency (cache hits included).
     pub total: Quantiles,
+    /// End-to-end latency of accepted (non-cached) compiles only — the
+    /// population the shed `retry_after_ms` hint is derived from.
+    pub accepted: Quantiles,
     /// Enumeration stage of actual compiles.
     pub enumerate: Quantiles,
     /// Selection stage of actual compiles.

@@ -42,18 +42,20 @@ use crate::protocol::{
     encode, CompileReply, ErrorReply, LatencyStats, MetricsTotals, PongReply, Request,
     ShutdownReply, StatsReply,
 };
+use mps::artifact::ArtifactStore;
 use mps::par::{par_map_in, BoundedQueue, PushError};
 use mps::{CancelToken, Session, SharedStageMetrics, StageProbe, TableCache};
 use serde::Value;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Serving knobs. The defaults fit the CI smoke test and the integration
 /// suite; a deployment mostly tunes `workers` and the cache budgets.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// Compile worker threads per dispatch batch (default: the
     /// [`mps::par::parallelism`] policy, i.e. `MPS_THREADS` or the
@@ -82,6 +84,14 @@ pub struct ServeOptions {
     /// How long a connection may stall mid-line before it is dropped,
     /// in milliseconds (default 10 000).
     pub read_timeout_ms: u64,
+    /// Directory for persistent artifacts (default: none). When set,
+    /// successful compiles are persisted (write-temp-then-rename) and
+    /// surviving artifacts are loaded back at boot, so a restarted
+    /// server answers previously compiled requests without building a
+    /// single table. The disk tier reuses `max_artifacts` /
+    /// `max_artifact_bytes` as its entry/byte budgets (file sizes,
+    /// least-recently-written evicted first).
+    pub cache_dir: Option<PathBuf>,
     /// Chaos faults to inject (default: none).
     pub faults: FaultPlan,
 }
@@ -99,6 +109,7 @@ impl Default for ServeOptions {
             max_line_bytes: 1 << 20,
             max_conns: 256,
             read_timeout_ms: 10_000,
+            cache_dir: None,
             faults: FaultPlan::default(),
         }
     }
@@ -123,12 +134,17 @@ struct State {
     metrics: SharedStageMetrics,
     hist: StageHistograms,
     queue: BoundedQueue<Job>,
+    /// The persistent artifact tier, present when `cache_dir` is set.
+    store: Option<ArtifactStore>,
     requests: AtomicU64,
     compiles: AtomicU64,
     errors: AtomicU64,
     sheds: AtomicU64,
     deadline_hits: AtomicU64,
     replies: AtomicU64,
+    artifacts_loaded: AtomicU64,
+    artifacts_persisted: AtomicU64,
+    load_rejected: AtomicU64,
     shutdown: AtomicBool,
     log: Mutex<Option<Box<dyn Write + Send>>>,
 }
@@ -192,10 +208,14 @@ impl State {
     }
 
     /// How long a shed client should wait before retrying: the current
-    /// backlog's estimated drain time at the observed median compile
-    /// latency (with a coarse floor before any latency is observed).
+    /// backlog's estimated drain time at the observed median **accepted**
+    /// compile latency (with a coarse floor before any compile has been
+    /// accepted). The total histogram would be wrong here: it includes
+    /// cache hits, so under warm-hit-heavy traffic its p50 collapses to
+    /// microseconds and shed clients would be told to retry immediately,
+    /// defeating the backoff.
     fn retry_after_hint(&self) -> u64 {
-        let p50 = self.hist.total.snapshot().p50_sec;
+        let p50 = self.hist.accepted.snapshot().p50_sec;
         let per_compile = if p50 > 0.0 { p50 } else { 0.05 };
         let backlog = self.queue.len().max(1) as f64;
         let workers = self.opts.workers.max(1) as f64;
@@ -335,8 +355,14 @@ impl State {
         };
         let latency_sec = t0.elapsed().as_secs_f64();
         self.hist.total.record(latency_sec);
+        if !cached {
+            self.hist.accepted.record(latency_sec);
+        }
         match outcome {
             Ok(result) => {
+                if !cached {
+                    self.persist_artifact(key, result.as_ref());
+                }
                 self.log_compile(req, t0, cached, None);
                 encode(&CompileReply {
                     ok: true,
@@ -450,12 +476,35 @@ impl State {
                 map_tile_sec: m.map_tile_sec,
                 antichains: m.antichains,
             },
+            artifacts_loaded: self.artifacts_loaded.load(Ordering::Relaxed),
+            artifacts_persisted: self.artifacts_persisted.load(Ordering::Relaxed),
+            load_rejected: self.load_rejected.load(Ordering::Relaxed),
             latency: LatencyStats {
                 total: self.hist.total.snapshot(),
+                accepted: self.hist.accepted.snapshot(),
                 enumerate: self.hist.enumerate.snapshot(),
                 select: self.hist.select.snapshot(),
                 schedule: self.hist.schedule.snapshot(),
             },
+        }
+    }
+
+    /// Persist one freshly compiled result to the disk tier, if one is
+    /// configured. Persistence failures are logged and otherwise ignored:
+    /// serving must not degrade because the disk is full or read-only.
+    fn persist_artifact(&self, key: (u64, u64), result: &mps::CompileResult) {
+        let Some(store) = &self.store else { return };
+        match store.save_result(key, result) {
+            Ok(_) => {
+                self.artifacts_persisted.fetch_add(1, Ordering::Relaxed);
+                // Keep the disk tier inside the same budgets as the
+                // memory tier; eviction failure is as benign as any
+                // other disk hiccup here.
+                let _ = store.enforce_budget(self.opts.max_artifacts, self.opts.max_artifact_bytes);
+            }
+            Err(e) => {
+                self.log_event("persist_error", &[("error", Value::Str(e.to_string()))]);
+            }
         }
     }
 }
@@ -474,32 +523,64 @@ impl Server {
     /// Boot a server: allocates the (optionally budgeted) caches and
     /// starts the dispatcher.
     pub fn new(opts: ServeOptions) -> Server {
+        let artifacts = ArtifactCache::with_budget(
+            opts.shards,
+            CacheBudget {
+                max_entries: opts.max_artifacts,
+                max_bytes: opts.max_artifact_bytes,
+            },
+        );
+        // Warm-start: open the persistent tier (if configured) and seed
+        // every artifact that survives verification into the memory
+        // cache. An unopenable directory degrades to serving without
+        // persistence rather than refusing to boot.
+        let mut store = None;
+        let mut loaded = 0u64;
+        let mut rejected = 0u64;
+        if let Some(dir) = &opts.cache_dir {
+            match ArtifactStore::open(dir) {
+                Ok(s) => {
+                    let report = s.load_results();
+                    rejected = report.rejected as u64;
+                    for (key, result) in report.loaded {
+                        if artifacts.seed(key, Ok(Arc::new(result))) {
+                            loaded += 1;
+                        }
+                    }
+                    store = Some(s);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "mps-serve: cache dir {} unusable ({e}); persistence disabled",
+                        dir.display()
+                    );
+                }
+            }
+        }
         let state = Arc::new(State {
-            opts,
             started: Instant::now(),
             tables: Arc::new(TableCache::with_budget(
                 opts.max_tables,
                 opts.max_table_bytes,
             )),
-            artifacts: ArtifactCache::with_budget(
-                opts.shards,
-                CacheBudget {
-                    max_entries: opts.max_artifacts,
-                    max_bytes: opts.max_artifact_bytes,
-                },
-            ),
+            artifacts,
             probe: opts.faults.stage_probe(),
             metrics: SharedStageMetrics::new(),
             hist: StageHistograms::default(),
             queue: BoundedQueue::new(opts.queue),
+            store,
             requests: AtomicU64::new(0),
             compiles: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             sheds: AtomicU64::new(0),
             deadline_hits: AtomicU64::new(0),
             replies: AtomicU64::new(0),
+            artifacts_loaded: AtomicU64::new(loaded),
+            artifacts_persisted: AtomicU64::new(0),
+            load_rejected: AtomicU64::new(rejected),
             shutdown: AtomicBool::new(false),
             log: Mutex::new(None),
+            opts,
         });
         let dispatcher = {
             let state = Arc::clone(&state);
@@ -790,6 +871,122 @@ mod tests {
         assert_eq!(stats.table_builds, 1);
         assert_eq!(stats.latency.total.count, 2);
         assert_eq!((stats.sheds, stats.deadline_exceeded), (0, 0));
+    }
+
+    /// Fresh scratch directory for persistence tests.
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mps-serve-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn retry_hint_tracks_accepted_latency_not_cache_hits() {
+        // Regression: the shed retry hint used to be derived from the
+        // *total* latency histogram. Under warm-hit-heavy traffic the
+        // total p50 collapses to microseconds (hits dominate), so shed
+        // clients were told to retry almost immediately. The hint must
+        // track the accepted (non-cached) compile latency instead.
+        let opts = ServeOptions {
+            faults: FaultPlan {
+                // Make the one real compile measurably slow (~40 ms).
+                delay_stage: Some((mps::Stage::Select, 40)),
+                ..FaultPlan::default()
+            },
+            ..one_worker()
+        };
+        let server = Server::new(opts);
+        server.handle_line(r#"{"op":"compile","workload":"fig4"}"#); // cold
+        for _ in 0..50 {
+            server.handle_line(r#"{"op":"compile","workload":"fig4"}"#); // warm
+        }
+        let stats = server.stats();
+        assert_eq!(stats.latency.total.count, 51);
+        assert_eq!(stats.latency.accepted.count, 1);
+        let accepted_p50_ms = stats.latency.accepted.p50_sec * 1000.0;
+        assert!(
+            accepted_p50_ms >= 40.0,
+            "injected delay must dominate accepted p50: {accepted_p50_ms} ms"
+        );
+        assert!(
+            stats.latency.total.p50_sec < stats.latency.accepted.p50_sec,
+            "cache hits must pull the total median below the accepted one"
+        );
+        let hint = server.state.retry_after_hint();
+        assert!(
+            hint as f64 >= accepted_p50_ms,
+            "hint {hint} ms must cover the accepted p50 {accepted_p50_ms} ms"
+        );
+    }
+
+    #[test]
+    fn warm_start_answers_from_disk_without_table_builds() {
+        let dir = scratch_dir("warm");
+        let opts = ServeOptions {
+            cache_dir: Some(dir.clone()),
+            ..one_worker()
+        };
+        let first_reply;
+        {
+            let server = Server::new(opts.clone());
+            let (reply, _) = server.handle_line(r#"{"op":"compile","workload":"fig4"}"#);
+            first_reply = reply;
+            let stats = server.stats();
+            assert_eq!(stats.artifacts_persisted, 1);
+            assert_eq!(stats.artifacts_loaded, 0);
+        } // drop = kill
+        let server = Server::new(opts);
+        let stats = server.stats();
+        assert_eq!(stats.artifacts_loaded, 1, "persisted artifact reloads");
+        assert_eq!(stats.load_rejected, 0);
+        let (reply, _) = server.handle_line(r#"{"op":"compile","workload":"fig4"}"#);
+        let Reply::Compile(warm) = Reply::from_line(&reply).unwrap() else {
+            panic!("expected compile reply: {reply}");
+        };
+        assert!(warm.cached, "warm-start request must be a cache hit");
+        let Reply::Compile(cold) = Reply::from_line(&first_reply).unwrap() else {
+            panic!("expected compile reply: {first_reply}");
+        };
+        // Byte-identical up to the measured latency (and the cached flag).
+        assert_eq!(warm.patterns, cold.patterns);
+        assert_eq!(warm.schedule, cold.schedule);
+        assert_eq!(warm.cycles, cold.cycles);
+        assert_eq!(warm.graph_hash, cold.graph_hash);
+        assert_eq!(warm.config_hash, cold.config_hash);
+        let stats = server.stats();
+        assert_eq!(stats.table_builds, 0, "no table rebuilt after restart");
+        assert_eq!(stats.artifacts_persisted, 0, "hits are not re-persisted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_files_degrade_to_recompile() {
+        let dir = scratch_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A well-named file full of junk must be skipped, not fatal.
+        std::fs::write(
+            dir.join(format!("cr-{:016x}-{:016x}.json", 1u64, 2u64)),
+            b"{\"magic\":\"mps-artifact\",\"format_ver",
+        )
+        .unwrap();
+        let server = Server::new(ServeOptions {
+            cache_dir: Some(dir.clone()),
+            ..one_worker()
+        });
+        let stats = server.stats();
+        assert_eq!(stats.artifacts_loaded, 0);
+        assert_eq!(stats.load_rejected, 1);
+        // Serving proceeds: a real request compiles fresh.
+        let (reply, _) = server.handle_line(r#"{"op":"compile","workload":"fig4"}"#);
+        assert!(matches!(
+            Reply::from_line(&reply).unwrap(),
+            Reply::Compile(r) if !r.cached
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

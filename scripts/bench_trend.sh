@@ -91,6 +91,14 @@ extract() {
           (.shed_rows[]? | {
               key: "shed_warm_unloaded/\(.workload)/clients=\(.clients)",
               sec: .warm_unloaded_sec
+          }),
+          (.warm_start_rows[]? | {
+              key: "warm_start_cold/\(.workload)",
+              sec: .cold_sec
+          }),
+          (.warm_start_rows[]? | {
+              key: "warm_start_restart/\(.workload)",
+              sec: .restart_warm_sec
           })
         ]
         | .[] | select(.sec != null) | "\(.key)\t\(.sec)"
@@ -108,18 +116,26 @@ extract "$CURR" > "$curr_tsv"
 awk -F'\t' -v t="$PCT" '
     NR == FNR { prev[$1] = $2; next }
     $1 in prev {
-        compared++
         p = prev[$1] + 0
         c = $2 + 0
-        if (p > 0 && c > p * (1 + t / 100)) {
+        # A 0.0 baseline cannot anchor a percentage: skip the comparison
+        # but say so, instead of silently pretending the metric was
+        # checked (a snapshot full of zeros used to "pass" every diff).
+        if (p <= 0) {
+            skipped++
+            printf "bench_trend: note: %s skipped (zero-second baseline %s)\n", $1, prev[$1]
+            next
+        }
+        compared++
+        if (c > p * (1 + t / 100)) {
             regressions++
             printf "::warning title=bench regression::%s: %ss -> %ss (+%.0f%%)\n", \
                 $1, prev[$1], $2, (c / p - 1) * 100
         }
     }
     END {
-        printf "bench_trend: compared %d metric(s), %d over the %s%% threshold\n", \
-            compared, regressions, t
+        printf "bench_trend: compared %d metric(s), %d over the %s%% threshold, %d skipped on zero baselines\n", \
+            compared, regressions, t, skipped + 0
     }
 ' "$prev_tsv" "$curr_tsv"
 exit 0

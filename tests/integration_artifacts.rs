@@ -1,0 +1,209 @@
+//! Persistence suite for the [`mps::artifact`] format: the on-disk
+//! artifact codec must be a lossless round trip for compile results and
+//! pattern tables over *random* inputs (not just the curated registry),
+//! and the [`ArtifactStore`] directory sweep must treat every flavor of
+//! damage — truncation, version skew, a file renamed onto the wrong
+//! key, plain junk — as "skip and count", never as a crash and never as
+//! trusted data.
+
+use mps::artifact::{
+    decode_result, decode_table, encode_result, encode_table, ArtifactError, ArtifactStore,
+};
+use mps::prelude::*;
+use mps::workloads::{random_layered_dag, RandomDagConfig};
+use mps::CompileConfig;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+const SPANS: [Option<u32>; 3] = [None, Some(1), Some(3)];
+
+fn config(span: Option<u32>, pdef: usize) -> CompileConfig {
+    CompileConfig {
+        select: SelectConfig {
+            span_limit: span,
+            pdef,
+            parallel: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// A fresh scratch directory under the system temp root, unique per
+/// test, removed by the caller when the assertion survives.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mps-artifact-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Compile a random layered DAG, push the result through the text
+    /// codec and a real file in an [`ArtifactStore`], and demand the
+    /// reloaded result equal the original bit-for-bit (`CompileResult`
+    /// is `PartialEq`, and the JSON float writer is shortest-round-trip,
+    /// so even the stage timings must survive).
+    #[test]
+    fn compile_results_round_trip_through_disk(
+        seed in any::<u64>(),
+        layers in 2usize..5,
+        colors in 2u8..5,
+        span_idx in 0usize..SPANS.len(),
+        pdef in 2usize..6,
+    ) {
+        let dfg = random_layered_dag(&RandomDagConfig {
+            layers,
+            width: (2, 5),
+            colors,
+            seed,
+            ..Default::default()
+        });
+        let cfg = config(SPANS[span_idx], pdef);
+        let key = (dfg.content_hash(), cfg.content_hash());
+        let mut session = Session::with_config(dfg, cfg);
+        let result = session.compile().expect("random layered DAGs compile");
+
+        // Text-level round trip.
+        let text = encode_result(key, &result);
+        let (decoded_key, decoded) = decode_result(&text, Some(key)).expect("decodes");
+        prop_assert_eq!(decoded_key, key);
+        prop_assert_eq!(&decoded, &result);
+
+        // Disk-level round trip through the store sweep.
+        let dir = scratch("rt");
+        let store = ArtifactStore::open(&dir).expect("open store");
+        store.save_result(key, &result).expect("save");
+        let report = store.load_results();
+        prop_assert_eq!(report.rejected, 0);
+        prop_assert_eq!(report.loaded.len(), 1);
+        let (loaded_key, loaded) = &report.loaded[0];
+        prop_assert_eq!(*loaded_key, key);
+        prop_assert_eq!(loaded, &result);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Pattern tables rebuild their derived structures (cover matrix,
+    /// index) on decode; the reloaded table must still compare equal.
+    #[test]
+    fn pattern_tables_round_trip_through_text(
+        seed in any::<u64>(),
+        layers in 2usize..5,
+        colors in 2u8..5,
+        span_idx in 0usize..SPANS.len(),
+    ) {
+        let dfg = random_layered_dag(&RandomDagConfig {
+            layers,
+            width: (2, 5),
+            colors,
+            seed,
+            ..Default::default()
+        });
+        let adfg = AnalyzedDfg::new(dfg);
+        let table = PatternTable::build(
+            &adfg,
+            mps::patterns::EnumerateConfig {
+                span_limit: SPANS[span_idx],
+                ..Default::default()
+            },
+        );
+        let key = (adfg.dfg().content_hash(), 0);
+        let text = encode_table(key, &table);
+        let (decoded_key, decoded) = decode_table(&text, Some(key)).expect("decodes");
+        prop_assert_eq!(decoded_key, key);
+        prop_assert_eq!(&decoded, &table);
+    }
+}
+
+/// One compiled fig4 result and its key, for the damage tests.
+fn sample() -> ((u64, u64), mps::CompileResult) {
+    let dfg = mps::workloads::fig4();
+    let cfg = CompileConfig::default();
+    let key = (dfg.content_hash(), cfg.content_hash());
+    let mut session = Session::with_config(dfg, cfg);
+    (key, session.compile().expect("fig4 compiles"))
+}
+
+#[test]
+fn truncated_artifacts_are_rejected_with_counter() {
+    let dir = scratch("trunc");
+    let store = ArtifactStore::open(&dir).expect("open store");
+    let (key, result) = sample();
+    let path = store.save_result(key, &result).expect("save");
+    // Chop the file at every interesting boundary: each prefix must be
+    // rejected (decode error), never panic, never load.
+    let full = std::fs::read_to_string(&path).expect("read back");
+    for cut in [0, 1, full.len() / 4, full.len() / 2, full.len() - 2] {
+        std::fs::write(&path, &full[..cut]).expect("truncate");
+        let report = store.load_results();
+        assert_eq!(
+            (report.loaded.len(), report.rejected),
+            (0, 1),
+            "prefix of {cut} bytes must be skipped-and-counted"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_skewed_artifacts_are_rejected() {
+    let dir = scratch("ver");
+    let store = ArtifactStore::open(&dir).expect("open store");
+    let (key, result) = sample();
+    let path = store.save_result(key, &result).expect("save");
+    let text = std::fs::read_to_string(&path).expect("read back");
+    // A future format version must be refused outright…
+    let bumped = text.replacen("\"format_version\":1", "\"format_version\":2", 1);
+    assert_ne!(bumped, text, "envelope carries the version field");
+    std::fs::write(&path, &bumped).expect("rewrite");
+    let report = store.load_results();
+    assert_eq!((report.loaded.len(), report.rejected), (0, 1));
+    // …and the direct decoder names the failure precisely.
+    match decode_result(bumped.trim_end(), None) {
+        Err(ArtifactError::VersionMismatch { found }) => assert_eq!(found, 2),
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn artifacts_renamed_onto_the_wrong_key_are_rejected() {
+    let dir = scratch("rename");
+    let store = ArtifactStore::open(&dir).expect("open store");
+    let (key, result) = sample();
+    let path = store.save_result(key, &result).expect("save");
+    // Simulate an operator copying a cache file onto another identity:
+    // the embedded key no longer matches the file name.
+    let wrong = store.result_path((key.0 ^ 1, key.1));
+    std::fs::rename(&path, &wrong).expect("rename");
+    let report = store.load_results();
+    assert_eq!((report.loaded.len(), report.rejected), (0, 1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_and_stale_files_are_ignored_or_swept() {
+    let dir = scratch("foreign");
+    let store = ArtifactStore::open(&dir).expect("open store");
+    let (key, result) = sample();
+    store.save_result(key, &result).expect("save");
+    // Files that are not artifacts at all (no `cr-` name) are ignored,
+    // not counted as rejects; a stale temp file from a killed writer is
+    // deleted by the sweep.
+    std::fs::write(dir.join("README.txt"), b"not an artifact").unwrap();
+    let stale = dir.join(format!("cr-{:016x}-{:016x}.tmp-99999", key.0, key.1));
+    std::fs::write(&stale, b"partial write").unwrap();
+    let report = store.load_results();
+    assert_eq!((report.loaded.len(), report.rejected), (1, 0));
+    assert!(!stale.exists(), "sweep deletes stale temp files");
+    assert!(
+        dir.join("README.txt").exists(),
+        "unrelated files are left alone"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

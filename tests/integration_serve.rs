@@ -98,6 +98,119 @@ fn wire_replies_equal_direct_session_compiles() {
     server.join().expect("server thread exits after shutdown");
 }
 
+/// The persistence contract, end to end over a real socket: a server
+/// killed and restarted on the same `cache_dir` answers previously
+/// compiled requests **byte-identically** — the reply line is compared
+/// as a string after normalizing the two fields that legitimately
+/// change (`cached`, which flips to true, and `latency_sec`, a fresh
+/// measurement) — with zero table builds; and a corrupted cache file
+/// degrades that one key to a recompile, never a crash.
+#[test]
+fn restarted_server_answers_byte_identically_from_disk() {
+    let dir = std::env::temp_dir().join(format!("mps-serve-it-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = ServeOptions {
+        workers: 2,
+        cache_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+    let sweep: Vec<Request> = ["fig2", "star16", "dft3"]
+        .iter()
+        .map(|name| Request {
+            op: "compile".to_string(),
+            workload: Some(name.to_string()),
+            span: Some(Some(1)),
+            id: Some(7),
+            ..Request::default()
+        })
+        .collect();
+
+    // `latency_sec` is a fresh measurement each run and `cached` flips
+    // on the warm side: normalize both, keep every other byte.
+    fn normalize(line: &str) -> String {
+        let value = mps_serve::json::parse(line).expect("reply parses");
+        let mps::serde::Value::Map(fields) = value else {
+            panic!("reply is an object: {line}");
+        };
+        let fields = fields
+            .into_iter()
+            .map(|(k, v)| match k.as_str() {
+                "latency_sec" => (k, mps::serde::Value::F64(0.0)),
+                "cached" => (k, mps::serde::Value::Bool(false)),
+                _ => (k, v),
+            })
+            .collect();
+        mps_serve::json::write(&mps::serde::Value::Map(fields))
+    }
+
+    let mut cold_lines = Vec::new();
+    {
+        let (addr, server) = spawn_loopback(opts.clone()).expect("bind cold server");
+        let mut client = connect(addr);
+        for req in &sweep {
+            let line = client
+                .send_line(&req.to_line())
+                .expect("cold request round trip");
+            assert!(
+                matches!(Reply::from_line(&line), Ok(Reply::Compile(r)) if !r.cached),
+                "cold compile: {line}"
+            );
+            cold_lines.push(line);
+        }
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.artifacts_persisted, sweep.len() as u64);
+        client.shutdown().expect("shutdown cold server");
+        server.join().expect("cold server exits");
+    }
+
+    // Corrupt one artifact in place: that key recompiles, the rest warm.
+    let victim = {
+        let mut files: Vec<_> = std::fs::read_dir(&dir)
+            .expect("cache dir listable")
+            .flatten()
+            .map(|e| e.path())
+            .collect();
+        files.sort();
+        assert_eq!(files.len(), sweep.len(), "one artifact per compile");
+        files.remove(0)
+    };
+    std::fs::write(&victim, b"{\"magic\":\"mps-artifact\",\"forma").expect("corrupt artifact");
+
+    let (addr, server) = spawn_loopback(opts).expect("bind restarted server");
+    let mut client = connect(addr);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.artifacts_loaded, sweep.len() as u64 - 1);
+    assert_eq!(stats.load_rejected, 1);
+
+    let mut warm_hits = 0;
+    for (req, cold_line) in sweep.iter().zip(&cold_lines) {
+        let line = client
+            .send_line(&req.to_line())
+            .expect("warm request round trip");
+        let Ok(Reply::Compile(reply)) = Reply::from_line(&line) else {
+            panic!("warm compile: {line}");
+        };
+        warm_hits += reply.cached as u32;
+        assert_eq!(
+            normalize(&line),
+            normalize(cold_line),
+            "restart must answer byte-identically (modulo latency/cached)"
+        );
+    }
+    assert_eq!(
+        warm_hits, 2,
+        "surviving artifacts hit, the corrupted one recompiled"
+    );
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.table_builds, 1,
+        "only the corrupted key rebuilds a table after restart"
+    );
+    client.shutdown().expect("shutdown restarted server");
+    server.join().expect("restarted server exits");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Engine and parameter fields travel the wire: a non-default request
 /// matches the equivalent direct compile too.
 #[test]
