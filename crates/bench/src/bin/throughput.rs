@@ -664,6 +664,137 @@ fn measure_warm_start() -> Vec<WarmStartRow> {
     rows
 }
 
+/// One row of the fleet routing comparison: the same request measured
+/// through a real 2-daemon rendezvous ring, from the member that does
+/// *not* own the key. `forwarded_hit_sec` pays one extra loopback hop
+/// (non-owner → owner cache hit); `local_hit_sec` is the owner answering
+/// directly (the hop's baseline); `failover_recompute_sec` is the
+/// non-owner surviving a dead owner — dial failure plus a full local
+/// compile, the price of the fault-tolerance path.
+struct FleetRow {
+    workload: &'static str,
+    forwarded_hit_sec: f64,
+    local_hit_sec: f64,
+    failover_recompute_sec: f64,
+}
+
+impl FleetRow {
+    fn forward_overhead(&self) -> f64 {
+        self.forwarded_hit_sec / self.local_hit_sec
+    }
+}
+
+/// Forwarded-hit vs local-hit vs failover-recompute latency through a
+/// 2-member fleet on loopback, measured client-side. One fresh fleet per
+/// row; the failover shot is single-sample by nature (the recompute
+/// leaves a replica, so every repeat would be a warm local hit).
+fn measure_fleet() -> Vec<FleetRow> {
+    use mps_serve::protocol::{Reply, Request};
+    use mps_serve::{spawn_on, Client, ServeOptions};
+    use std::net::TcpListener;
+
+    let mut rows = Vec::new();
+    for workload in ["fig2", "dft5"] {
+        let bound: Vec<(std::net::SocketAddr, TcpListener)> = (0..2)
+            .map(|_| {
+                let l = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+                (l.local_addr().expect("local addr"), l)
+            })
+            .collect();
+        let members: Vec<std::net::SocketAddr> = bound.iter().map(|(a, _)| *a).collect();
+        let handles: Vec<_> = bound
+            .into_iter()
+            .map(|(addr, listener)| {
+                let opts = ServeOptions {
+                    advertise: addr.to_string(),
+                    peers: members
+                        .iter()
+                        .filter(|m| **m != addr)
+                        .map(|m| m.to_string())
+                        .collect(),
+                    probe_interval_ms: 200,
+                    forward_timeout_ms: 1_000,
+                    ..ServeOptions::default()
+                };
+                spawn_on(listener, opts)
+            })
+            .collect();
+
+        let req = Request {
+            op: "compile".to_string(),
+            workload: Some(workload.to_string()),
+            span: Some(Some(1)),
+            ..Request::default()
+        };
+        let connect = |addr: std::net::SocketAddr| {
+            Client::connect(addr, 100, Duration::from_millis(20)).expect("connect to member")
+        };
+
+        // Which member owns this key? Measure from the other one.
+        let owner: std::net::SocketAddr = {
+            let mut ask = req.clone();
+            ask.op = "peers".to_string();
+            match connect(members[0]).request(&ask).expect("peers reply") {
+                Reply::Peers(p) => p
+                    .owner
+                    .expect("compile-shaped peers request names an owner")
+                    .parse()
+                    .expect("owner is a socket address"),
+                other => panic!("{workload}: unexpected peers reply {other:?}"),
+            }
+        };
+        let non_owner = *members.iter().find(|m| **m != owner).expect("2 members");
+
+        let roundtrip = |addr: std::net::SocketAddr, expect_cached: bool| {
+            let mut client = connect(addr);
+            let t0 = Instant::now();
+            let reply = client.request(&req).expect("fleet round trip");
+            let sec = t0.elapsed().as_secs_f64();
+            match reply {
+                Reply::Compile(r) => assert_eq!(
+                    r.cached, expect_cached,
+                    "{workload}: unexpected cache state"
+                ),
+                other => panic!("{workload}: unexpected reply {other:?}"),
+            }
+            sec
+        };
+
+        // Warm the owner through the ring, then measure the two hit paths.
+        roundtrip(non_owner, false);
+        let mut forwarded_hit_sec = f64::INFINITY;
+        let mut local_hit_sec = f64::INFINITY;
+        for _ in 0..50 {
+            forwarded_hit_sec = forwarded_hit_sec.min(roundtrip(non_owner, true));
+            local_hit_sec = local_hit_sec.min(roundtrip(owner, true));
+        }
+
+        // Kill the owner: the next request through the non-owner pays a
+        // refused dial plus a full local compile.
+        connect(owner).shutdown().expect("owner shutdown ack");
+        let failover_recompute_sec = roundtrip(non_owner, false);
+        let stats = connect(non_owner).stats().expect("stats");
+        assert!(
+            stats.peer_failovers >= 1,
+            "{workload}: the dead owner must be survived by failover"
+        );
+
+        connect(non_owner)
+            .shutdown()
+            .expect("survivor shutdown ack");
+        for handle in handles {
+            handle.join().expect("member thread exits");
+        }
+        rows.push(FleetRow {
+            workload,
+            forwarded_hit_sec,
+            local_hit_sec,
+            failover_recompute_sec,
+        });
+    }
+    rows
+}
+
 /// The batch queue: two copies each of eight mid-sized kernels — the
 /// serving shape (many independent graphs) with enough per-item weight
 /// (dct8 and dft5 classify hundreds of thousands of antichains at span 1)
@@ -731,6 +862,7 @@ struct Sections {
     serve: Vec<ServeRow>,
     shed: Vec<ShedRow>,
     warm_start: Vec<WarmStartRow>,
+    fleet: Vec<FleetRow>,
 }
 
 fn print_json(s: &Sections, pr: u32) {
@@ -742,6 +874,7 @@ fn print_json(s: &Sections, pr: u32) {
         serve,
         shed,
         warm_start,
+        fleet,
     } = s;
     println!("{{");
     println!("  \"pr\": {pr},");
@@ -934,6 +1067,30 @@ fn print_json(s: &Sections, pr: u32) {
             comma
         );
     }
+    println!("  ],");
+    println!(
+        "  \"fleet_note\": \"one request through a 2-daemon rendezvous ring on loopback, \
+         measured client-side from the key's *non-owner*: forwarded_hit_sec = best-of-50 \
+         hop to the owner's artifact cache, local_hit_sec = best-of-50 asking the owner \
+         directly (the hop's baseline; their ratio is the forward overhead), \
+         failover_recompute_sec = single-shot survival of a killed owner (refused dial + \
+         full local compile — the price of the fault-tolerance path)\","
+    );
+    println!("  \"fleet_rows\": [");
+    for (i, r) in fleet.iter().enumerate() {
+        let comma = if i + 1 == fleet.len() { "" } else { "," };
+        println!(
+            "    {{\"workload\": \"{}\", \"forwarded_hit_sec\": {:.9}, \
+             \"local_hit_sec\": {:.9}, \"forward_overhead_vs_local\": {:.2}, \
+             \"failover_recompute_sec\": {:.6}}}{}",
+            r.workload,
+            r.forwarded_hit_sec,
+            r.local_hit_sec,
+            r.forward_overhead(),
+            r.failover_recompute_sec,
+            comma
+        );
+    }
     println!("  ]");
     println!("}}");
 }
@@ -947,6 +1104,7 @@ fn print_table(s: &Sections) {
         serve,
         shed,
         warm_start,
+        fleet,
     } = s;
     println!(
         "{:<9} {:>5} {:>9} {:>11} {:>9} {:>14} {:>14} {:>9}",
@@ -1083,6 +1241,21 @@ fn print_table(s: &Sections) {
             r.restart_speedup(),
         );
     }
+    println!();
+    println!(
+        "{:<10} {:>16} {:>14} {:>10} {:>16}",
+        "fleet", "forwarded_hit", "local_hit", "overhead", "failover_sec"
+    );
+    for r in fleet {
+        println!(
+            "{:<10} {:>16.9} {:>14.9} {:>9.2}x {:>16.6}",
+            r.workload,
+            r.forwarded_hit_sec,
+            r.local_hit_sec,
+            r.forward_overhead(),
+            r.failover_recompute_sec,
+        );
+    }
 }
 
 fn smoke() -> i32 {
@@ -1154,6 +1327,7 @@ fn main() {
         serve: measure_serve(),
         shed: measure_shed(),
         warm_start: measure_warm_start(),
+        fleet: measure_fleet(),
     };
     if json {
         print_json(&sections, pr);

@@ -13,8 +13,8 @@
 //! mps artifact dump <workload> [--pdef N] [--span S] [--engine E] [--out F]
 //! mps artifact diff <a.json> <b.json>
 //! mps serve [--port P|--stdio] [--workers N] [--queue N] [--json]
-//!           [--cache-dir DIR]
-//! mps client [--port P] <compile <workload>|stats|ping|shutdown|raw '<json>'>
+//!           [--cache-dir DIR] [--peer ADDR]... [--advertise ADDR]
+//! mps client [--port P] <compile <workload>|stats|ping|peers|shutdown|raw '<json>'>
 //! ```
 //!
 //! The table-driven subcommands (`select`, `pipeline`, `patterns`) run on
@@ -66,9 +66,14 @@ fn main() {
             eprintln!("  mps artifact diff <a.json> <b.json>");
             eprintln!("  mps serve [--port P|--stdio] [--workers N] [--queue N] [--json]");
             eprintln!("            [--cache-dir DIR]   # persistent artifacts, warm-start on boot");
+            eprintln!("            [--peer ADDR]... [--advertise ADDR]   # fleet of daemons");
+            eprintln!("            [--probe-interval-ms N] [--forward-timeout-ms N]");
             eprintln!("  mps client [--port P] [--retries N] compile <workload> [--pdef N]");
             eprintln!("             [--span S|none] [--capacity N] [--engine E] [--alus N]");
             eprintln!("  mps client [--port P] <stats|ping|shutdown|raw '<json>'>");
+            eprintln!(
+                "  mps client [--port P] peers [<workload> [compile flags]]  # fleet health/owner"
+            );
             eprintln!("  engines (E): eq8 (alias cover), eq8-reference (alias reference),");
             eprintln!("               node-cover, node-cover-reference, coverage,");
             eprintln!("               coverage-reference, exhaustive, genetic, anneal, random");

@@ -6,10 +6,13 @@
 //!           [--max-artifacts N] [--max-artifact-bytes N] [--max-tables N]
 //!           [--max-table-bytes N] [--max-line-bytes N] [--max-conns N]
 //!           [--read-timeout-ms N] [--cache-dir DIR]
+//!           [--peer ADDR]... [--advertise ADDR]
+//!           [--probe-interval-ms N] [--forward-timeout-ms N]
 //! mps client [--port P] [--retries N] [--timeout-ms N] [--backoff-ms N]
 //!            compile <workload|file> [--pdef N] [--span S|none]
 //!            [--capacity N] [--engine E] [--alus N] [--id N] [--deadline-ms N]
 //! mps client [--port P] (stats | ping | shutdown)
+//! mps client [--port P] peers [<workload|file> [compile flags]]
 //! mps client [--port P] raw '<json line>'
 //! ```
 //!
@@ -22,11 +25,23 @@
 //! `--cache-dir DIR` persists compile artifacts across restarts (see
 //! [`mps::artifact`]) and warm-starts the cache on boot; fault
 //! injection is armed from `MPS_FAULT_*` environment variables (see
-//! [`mps_serve::FaultPlan::from_env`]). `client` prints the server's raw
+//! [`mps_serve::FaultPlan::from_env`]).
+//!
+//! Repeating `--peer ADDR` forms a fleet: compiles are routed to their
+//! rendezvous-hash owner, with health-checked failover and artifact
+//! handoff (see the crate docs' *Fleet* section). `--advertise ADDR` is
+//! mandatory with peers — it is this daemon's name in the ring and must
+//! match how the peers list it. `--probe-interval-ms` paces the health
+//! prober; `--forward-timeout-ms` bounds one forward hop.
+//!
+//! `client` prints the server's raw
 //! JSON reply line on stdout — pipe it to `jq` — and exits 0 on
 //! `ok:true`, 1 on an error reply. `--timeout-ms` bounds each reply
 //! read; `--backoff-ms` retries `overloaded` sheds (honoring the
 //! server's `retry_after_ms` hint) instead of failing on the first one.
+//! `peers` dumps fleet membership and health; given a workload argument
+//! (plus any `compile` flags) the reply also names the member that owns
+//! that key — how a script finds the daemon to drain or kill.
 
 use mps_serve::protocol::{Reply, Request};
 use mps_serve::{Client, FaultPlan, ServeOptions, Server};
@@ -53,6 +68,35 @@ pub fn cmd_serve(args: &[String]) -> i32 {
                     return 2;
                 };
                 opts.cache_dir = Some(dir.into());
+            }
+            "--peer" => {
+                i += 1;
+                let Some(addr) = args.get(i) else {
+                    eprintln!("--peer needs a host:port address");
+                    return 2;
+                };
+                opts.peers.push(addr.clone());
+            }
+            "--advertise" => {
+                i += 1;
+                let Some(addr) = args.get(i) else {
+                    eprintln!("--advertise needs a host:port address");
+                    return 2;
+                };
+                opts.advertise = addr.clone();
+            }
+            "--probe-interval-ms" | "--forward-timeout-ms" => {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(value) = args.get(i).and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("{flag} needs an unsigned integer value");
+                    return 2;
+                };
+                if flag == "--probe-interval-ms" {
+                    opts.probe_interval_ms = value.max(1);
+                } else {
+                    opts.forward_timeout_ms = value.max(1);
+                }
             }
             "--port"
             | "--workers"
@@ -93,12 +137,26 @@ pub fn cmd_serve(args: &[String]) -> i32 {
                 eprintln!(
                     "unknown flag {other} (serve takes --port/--stdio/--workers/--queue/--json/\
                      --max-artifacts/--max-artifact-bytes/--max-tables/--max-table-bytes/\
-                     --max-line-bytes/--max-conns/--read-timeout-ms/--cache-dir)"
+                     --max-line-bytes/--max-conns/--read-timeout-ms/--cache-dir/--peer/\
+                     --advertise/--probe-interval-ms/--forward-timeout-ms)"
                 );
                 return 2;
             }
         }
         i += 1;
+    }
+
+    if !opts.peers.is_empty() && opts.advertise.is_empty() {
+        eprintln!(
+            "--peer needs --advertise HOST:PORT: the ring hashes member \
+             addresses, so this daemon must know its own name in its \
+             peers' --peer lists"
+        );
+        return 2;
+    }
+    if opts.peers.is_empty() && !opts.advertise.is_empty() {
+        eprintln!("--advertise only makes sense with at least one --peer");
+        return 2;
     }
 
     opts.faults = FaultPlan::from_env();
@@ -174,11 +232,21 @@ pub fn cmd_client(args: &[String]) -> i32 {
         }
     }
     let Some(verb) = args.get(i) else {
-        eprintln!("client needs a verb: compile | stats | ping | shutdown | raw");
+        eprintln!("client needs a verb: compile | stats | ping | peers | shutdown | raw");
         return 2;
     };
     let line = match verb.as_str() {
         "stats" | "ping" | "shutdown" => Request::op(verb).to_line(),
+        // Bare `peers` dumps membership and health; with a workload (and
+        // any compile flags) the server also names the key's owner.
+        "peers" if args.len() <= i + 1 => Request::op("peers").to_line(),
+        "peers" => match compile_request(&args[i + 1..]) {
+            Ok(mut req) => {
+                req.op = "peers".to_string();
+                req.to_line()
+            }
+            Err(code) => return code,
+        },
         "raw" => match args.get(i + 1) {
             Some(raw) => raw.clone(),
             None => {
@@ -191,7 +259,9 @@ pub fn cmd_client(args: &[String]) -> i32 {
             Err(code) => return code,
         },
         other => {
-            eprintln!("unknown client verb '{other}' (compile | stats | ping | shutdown | raw)");
+            eprintln!(
+                "unknown client verb '{other}' (compile | stats | ping | peers | shutdown | raw)"
+            );
             return 2;
         }
     };

@@ -30,7 +30,7 @@
 //! least-recently-touched files first.
 
 use crate::json;
-use crate::session::CompileResult;
+use crate::session::{CompileResult, TableKey};
 use mps_patterns::PatternTable;
 use serde::Value;
 use std::fmt;
@@ -241,6 +241,84 @@ pub fn decode_table(
     Ok((key, table))
 }
 
+/// Encode one persistent table-tier entry: a pattern table *plus* the
+/// exact [`TableKey`] it was built under, so a loader can seed a
+/// [`crate::TableCache`] without guessing the build parameters back out
+/// of a hash. The envelope key is `(graph_hash,
+/// [`TableKey::content_hash`])`.
+pub fn encode_table_entry(graph: u64, key: &TableKey, table: &PatternTable) -> String {
+    let payload = Value::Map(vec![
+        ("capacity".into(), Value::U64(key.capacity as u64)),
+        (
+            "span".into(),
+            key.span.map_or(Value::Unit, |s| Value::U64(u64::from(s))),
+        ),
+        ("parallel".into(), Value::Bool(key.parallel)),
+        ("table".into(), serde::to_value(table)),
+    ]);
+    encode(KIND_TABLE, (graph, key.content_hash()), payload)
+}
+
+/// Decode a table-tier entry, verifying the envelope, that the embedded
+/// [`TableKey`] hashes to the envelope's `config_hash` (so a file whose
+/// parameters were tampered with is rejected, not trusted), and the
+/// table payload itself (revalidated by `PatternTable::from_stats`).
+pub fn decode_table_entry(
+    text: &str,
+    expected: Option<ArtifactKey>,
+) -> Result<(u64, TableKey, PatternTable), ArtifactError> {
+    let (envelope_key, payload) = decode_envelope(text, KIND_TABLE)?;
+    if let Some(expected) = expected {
+        if envelope_key != expected {
+            return Err(ArtifactError::KeyMismatch {
+                found: envelope_key,
+                expected,
+            });
+        }
+    }
+    let capacity = match json::field(&payload, "capacity") {
+        Some(Value::U64(n)) => *n as usize,
+        _ => {
+            return Err(ArtifactError::Malformed(
+                "table payload missing integer `capacity`".into(),
+            ))
+        }
+    };
+    let span = match json::field(&payload, "span") {
+        None | Some(Value::Unit) => None,
+        Some(Value::U64(n)) => Some(*n as u32),
+        _ => {
+            return Err(ArtifactError::Malformed(
+                "table payload `span` must be an integer or null".into(),
+            ))
+        }
+    };
+    let parallel = match json::field(&payload, "parallel") {
+        Some(Value::Bool(b)) => *b,
+        _ => {
+            return Err(ArtifactError::Malformed(
+                "table payload missing boolean `parallel`".into(),
+            ))
+        }
+    };
+    let key = TableKey {
+        capacity,
+        span,
+        parallel,
+    };
+    if key.content_hash() != envelope_key.1 {
+        return Err(ArtifactError::Malformed(
+            "table key parameters do not hash to the envelope's config_hash".into(),
+        ));
+    }
+    let table_value = json::field(&payload, "table")
+        .cloned()
+        .ok_or_else(|| ArtifactError::Malformed("table payload missing `table`".into()))?;
+    let table: PatternTable =
+        serde::from_value(table_value).map_err(|e| ArtifactError::Malformed(e.to_string()))?;
+    Ok((envelope_key.0, key, table))
+}
+
 /// What a boot-time directory sweep found.
 #[derive(Debug, Default)]
 pub struct LoadReport {
@@ -251,6 +329,16 @@ pub struct LoadReport {
     pub rejected: usize,
 }
 
+/// What a boot-time sweep of the pattern-table tier found.
+#[derive(Debug, Default)]
+pub struct TableLoadReport {
+    /// Tables that survived every check: graph content hash, the exact
+    /// [`TableKey`] they were built under, and the revalidated table.
+    pub loaded: Vec<(u64, TableKey, PatternTable)>,
+    /// Files that failed any check and were skipped.
+    pub rejected: usize,
+}
+
 /// A directory of persisted compile-result artifacts.
 ///
 /// One file per artifact, named `cr-<graph_hash>-<config_hash>.json`, so
@@ -258,7 +346,7 @@ pub struct LoadReport {
 /// renamed onto the wrong key is caught at load. Writes go through a
 /// same-directory temp file and an atomic rename; leftover `*.tmp-*`
 /// files from a killed writer are swept out at the next boot.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ArtifactStore {
     dir: PathBuf,
 }
@@ -282,19 +370,41 @@ impl ArtifactStore {
             .join(format!("cr-{:016x}-{:016x}.json", key.0, key.1))
     }
 
+    /// The file a table artifact with this identity lives at.
+    pub fn table_path(&self, graph: u64, key: &TableKey) -> PathBuf {
+        self.dir.join(format!(
+            "pt-{:016x}-{:016x}.json",
+            graph,
+            key.content_hash()
+        ))
+    }
+
     /// Persist one compile result: encode, write to a temp file in the
     /// same directory, flush, then rename onto the artifact name — so a
     /// kill at any instant leaves either the old file, no file, or the
     /// complete new file, never a torn one.
     pub fn save_result(&self, key: ArtifactKey, result: &CompileResult) -> io::Result<PathBuf> {
-        let path = self.result_path(key);
-        let tmp = self.dir.join(format!(
-            "cr-{:016x}-{:016x}.tmp-{}",
-            key.0,
-            key.1,
-            std::process::id()
-        ));
-        let text = encode_result(key, result);
+        let stem = format!("cr-{:016x}-{:016x}", key.0, key.1);
+        self.save_line(&stem, &encode_result(key, result))
+    }
+
+    /// Persist one pattern table under its `(graph, key-hash)` identity,
+    /// with the same temp-then-rename discipline as [`Self::save_result`].
+    pub fn save_table(
+        &self,
+        graph: u64,
+        key: &TableKey,
+        table: &PatternTable,
+    ) -> io::Result<PathBuf> {
+        let stem = format!("pt-{:016x}-{:016x}", graph, key.content_hash());
+        self.save_line(&stem, &encode_table_entry(graph, key, table))
+    }
+
+    /// Write `text` to `<stem>.json` via a same-directory temp file and
+    /// an atomic rename.
+    fn save_line(&self, stem: &str, text: &str) -> io::Result<PathBuf> {
+        let path = self.dir.join(format!("{stem}.json"));
+        let tmp = self.dir.join(format!("{stem}.tmp-{}", std::process::id()));
         {
             let mut f = fs::File::create(&tmp)?;
             f.write_all(text.as_bytes())?;
@@ -345,9 +455,48 @@ impl ArtifactStore {
         report
     }
 
-    /// Apply entry/byte budgets to the directory, deleting
-    /// least-recently-modified artifacts first until both bounds hold.
-    /// Returns how many files were evicted.
+    /// Sweep the pattern-table tier: decode every `pt-*.json`, verifying
+    /// the envelope, the key-parameter hash, and the file-name identity.
+    /// Same degradation contract as [`Self::load_results`]: bad files are
+    /// counted and skipped, directory trouble is a cold start.
+    pub fn load_tables(&self) -> TableLoadReport {
+        let mut report = TableLoadReport::default();
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(_) => return report,
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.contains(".tmp-") {
+                let _ = fs::remove_file(entry.path());
+                continue;
+            }
+            let Some(expected) = parse_keyed_name("pt-", name) else {
+                continue;
+            };
+            let decoded = fs::read_to_string(entry.path())
+                .map_err(|e| ArtifactError::Io(e.to_string()))
+                .and_then(|text| decode_table_entry(text.trim_end(), Some(expected)));
+            match decoded {
+                Ok((graph, key, table)) => report.loaded.push((graph, key, table)),
+                Err(_) => report.rejected += 1,
+            }
+        }
+        report
+            .loaded
+            .sort_by_key(|(graph, key, _)| (*graph, key.content_hash()));
+        report
+    }
+
+    /// Apply entry/byte budgets to the directory (both the `cr-` result
+    /// tier and the `pt-` table tier), deleting least-recently-modified
+    /// artifacts first until both bounds hold. Identical modification
+    /// times break ties by file name, so two stores sweeping the same
+    /// directory pick the same victims. A file whose mtime changed
+    /// between the listing and the delete was just republished by a
+    /// concurrent writer — it is skipped, never deleted out from under
+    /// its publisher. Returns how many files were evicted.
     pub fn enforce_budget(
         &self,
         max_entries: Option<usize>,
@@ -357,7 +506,7 @@ impl ArtifactStore {
         for entry in fs::read_dir(&self.dir)?.flatten() {
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
-            if parse_result_name(name).is_none() {
+            if parse_keyed_name("cr-", name).is_none() && parse_keyed_name("pt-", name).is_none() {
                 continue;
             }
             if let Ok(meta) = entry.metadata() {
@@ -365,15 +514,25 @@ impl ArtifactStore {
                 files.push((entry.path(), meta.len(), modified));
             }
         }
-        files.sort_by_key(|(_, _, modified)| *modified);
+        files.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
         let mut total: u64 = files.iter().map(|(_, len, _)| len).sum();
         let mut count = files.len();
         let mut evicted = 0;
-        for (path, len, _) in files {
+        for (path, len, listed_mtime) in files {
             let over_entries = max_entries.is_some_and(|m| count > m);
             let over_bytes = max_bytes.is_some_and(|m| total > m as u64);
             if !over_entries && !over_bytes {
                 break;
+            }
+            // Re-stat: a concurrent save may have renamed fresh content
+            // onto this path since the listing. Deleting it would throw
+            // away a just-published artifact, so skip it this sweep.
+            let republished = fs::metadata(&path)
+                .and_then(|m| m.modified())
+                .map(|m| m != listed_mtime)
+                .unwrap_or(true);
+            if republished {
+                continue;
             }
             if fs::remove_file(&path).is_ok() {
                 evicted += 1;
@@ -387,7 +546,12 @@ impl ArtifactStore {
 
 /// Parse `cr-<16 hex>-<16 hex>.json` back into its key.
 fn parse_result_name(name: &str) -> Option<ArtifactKey> {
-    let rest = name.strip_prefix("cr-")?.strip_suffix(".json")?;
+    parse_keyed_name("cr-", name)
+}
+
+/// Parse `<prefix><16 hex>-<16 hex>.json` back into its key pair.
+fn parse_keyed_name(prefix: &str, name: &str) -> Option<ArtifactKey> {
+    let rest = name.strip_prefix(prefix)?.strip_suffix(".json")?;
     if rest.len() != 33 || !rest.is_char_boundary(16) || rest.as_bytes()[16] != b'-' {
         return None;
     }

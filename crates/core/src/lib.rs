@@ -84,7 +84,7 @@ pub use mps_scheduler::ScheduleEngine;
 pub use mps_select::SelectEngine;
 pub use session::{
     Analysis, CompileConfig, CompileResult, Enumerated, Mapped, Scheduled, Selected, Session,
-    StageProbe, TableCache,
+    StageProbe, TableBuildHook, TableCache, TableKey,
 };
 pub use size::{approx_result_bytes, approx_table_bytes};
 

@@ -88,11 +88,37 @@ impl CompileConfig {
 /// honest — parallel and sequential builds are bit-identical (the
 /// `prop_table` suite pins that), but a cached parallel table answering
 /// a sequential request would skew any measurement of the two paths.
+///
+/// Public because the persistent table tier ([`crate::artifact`]) names
+/// each `pt-*.json` file by the graph hash plus
+/// [`TableKey::content_hash`], and seeding a [`TableCache`] from disk
+/// needs to reconstruct the exact key.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct TableKey {
-    capacity: usize,
-    span: Option<u32>,
-    parallel: bool,
+pub struct TableKey {
+    /// ALUs per tile (`C`), bounding pattern size during enumeration.
+    pub capacity: usize,
+    /// Enumeration span limit (`None` = unlimited).
+    pub span: Option<u32>,
+    /// Whether the build fans out over workers (decision-identical to
+    /// sequential; in the key only to keep timing comparisons honest).
+    pub parallel: bool,
+}
+
+impl TableKey {
+    /// A stable 64-bit content hash of the key — FNV-1a over the derived
+    /// `Debug` rendering, the same recipe as
+    /// [`CompileConfig::content_hash`]. This is the second half of a
+    /// persistent table artifact's identity (the first is the graph's
+    /// [`content_hash`](mps_dfg::Dfg::content_hash)).
+    pub fn content_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for b in format!("{self:?}").bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        h
+    }
 }
 
 /// What a [`TableSlot`] currently holds.
@@ -208,6 +234,26 @@ pub struct TableCache {
     clock: AtomicU64,
     /// Ready tables evicted to stay within budget, ever.
     evictions: AtomicU64,
+    /// Post-publish hook for freshly built tables (persistence).
+    hook: BuildHookSlot,
+}
+
+/// Hook run after a freshly *built* table is published — not on cache
+/// hits, and not on seeds (those came from persistence in the first
+/// place). Receives the graph content hash, the table's [`TableKey`] and
+/// the published table. Must not call back into the cache.
+pub type TableBuildHook = Arc<dyn Fn(u64, TableKey, &Arc<PatternTable>) + Send + Sync>;
+
+/// The hook storage, newtyped so [`TableCache`] keeps its derived
+/// `Debug`/`Default` despite holding a closure.
+#[derive(Default)]
+struct BuildHookSlot(Mutex<Option<TableBuildHook>>);
+
+impl fmt::Debug for BuildHookSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let installed = self.0.lock().map(|guard| guard.is_some()).unwrap_or(false);
+        write!(f, "BuildHookSlot(installed: {installed})")
+    }
 }
 
 /// One cached table keyed by (graph content hash, table policy key).
@@ -271,6 +317,39 @@ impl TableCache {
     /// Ready tables evicted to stay within budget since construction.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Install (or replace) the post-build hook. The serving layer uses
+    /// this to persist freshly built tables; hits and seeds don't fire
+    /// it, so a table loaded from disk is never re-persisted.
+    pub fn set_build_hook(&self, hook: TableBuildHook) {
+        *self.hook.0.lock().expect("table hook poisoned") = Some(hook);
+    }
+
+    /// Insert an already-built table — the warm-start path, fed from
+    /// [`crate::artifact::ArtifactStore::load_tables`]. An existing
+    /// entry (ready *or* in-flight) wins and the seed is dropped, so
+    /// seeding never clobbers live state; an inserted seed goes through
+    /// the same budget/LRU discipline as a built table. Returns `true`
+    /// if the table was inserted.
+    pub fn seed(&self, graph: u64, key: TableKey, table: Arc<PatternTable>) -> bool {
+        let bytes = crate::size::approx_table_bytes(&table);
+        let slot = Arc::new(TableSlot::default());
+        slot.publish(&table);
+        let mut entries = self.entries.lock().expect("table cache poisoned");
+        if entries.iter().any(|e| e.key == (graph, key)) {
+            return false;
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        entries.push(CacheEntry {
+            key: (graph, key),
+            slot,
+            bytes,
+            stamp,
+            ready: true,
+        });
+        self.enforce_budget(&mut entries);
+        true
     }
 
     /// Fetch the table for `(graph, key)`, building it with `build` if
@@ -340,6 +419,10 @@ impl TableCache {
                     guard.armed = false;
                     slot.publish(&table);
                     self.admit(graph, key, crate::size::approx_table_bytes(&table));
+                    let hook = self.hook.0.lock().expect("table hook poisoned").clone();
+                    if let Some(hook) = hook {
+                        hook(graph, key, &table);
+                    }
                     Ok((table, true))
                 }
                 // The guard abandons on drop; waiters retry-claim.
@@ -369,6 +452,11 @@ impl TableCache {
             entry.bytes = bytes;
             entry.stamp = stamp;
         }
+        self.enforce_budget(&mut entries);
+    }
+
+    /// Evict least-recently-used ready entries until the budgets hold.
+    fn enforce_budget(&self, entries: &mut Vec<CacheEntry>) {
         loop {
             let ready_count = entries.iter().filter(|e| e.ready).count();
             let ready_bytes: usize = entries.iter().filter(|e| e.ready).map(|e| e.bytes).sum();

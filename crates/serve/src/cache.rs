@@ -292,6 +292,22 @@ impl ArtifactCache {
         true
     }
 
+    /// Non-blocking peek: the published *successful* result for `key`,
+    /// if one is resident. In-flight computes, cached errors and absent
+    /// keys all answer `None`; the LRU stamp is not refreshed (peeks are
+    /// bookkeeping — peer handoff, `artifact_get` — not serving traffic).
+    pub fn peek(&self, key: Key) -> Option<Arc<CompileResult>> {
+        let slot = {
+            let shard = self.shard(key).lock().expect("artifact shard poisoned");
+            Arc::clone(shard.get(&key)?)
+        };
+        let state = slot.state.lock().expect("artifact slot poisoned");
+        match &*state {
+            SlotState::Ready(Ok(result)) => Some(Arc::clone(result)),
+            _ => None,
+        }
+    }
+
     /// Unmap `slot` (if it is still the mapped one) and wake its
     /// waiters into a retry.
     fn abandon_slot(&self, key: Key, slot: &Arc<Slot>) {

@@ -45,6 +45,13 @@ impl Client {
         Err(last.unwrap_or_else(|| io::Error::other("no connect attempt made")))
     }
 
+    /// Connect with a per-dial timeout and no retries — the fleet
+    /// forwarding path, where a dead peer must fail fast rather than
+    /// hang a compile behind the OS connect timeout.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> io::Result<Client> {
+        Client::from_stream(TcpStream::connect_timeout(addr, timeout)?)
+    }
+
     fn from_stream(stream: TcpStream) -> io::Result<Client> {
         // Request/reply lines are tiny; without TCP_NODELAY the
         // Nagle/delayed-ACK interaction adds ~40 ms per round
@@ -118,17 +125,40 @@ impl Client {
     /// failures (connection cut mid-reply, read timeout) reconnect
     /// before retrying. Any other reply — success *or* error — is
     /// returned as-is; only the transient conditions retry.
+    ///
+    /// When the request carries a `deadline_ms`, the whole retry loop
+    /// shares that wall-clock budget: backoff sleeps are clipped to the
+    /// time remaining and retries stop once the budget is spent, so a
+    /// client never sleeps past the moment the answer stopped
+    /// mattering. (Before this, `attempts` × exponential backoff could
+    /// keep a 250 ms-deadline caller waiting for many seconds.) A loop
+    /// that dies on the budget while holding a shed reply returns that
+    /// reply rather than an I/O error — the server *did* answer, and
+    /// its structured `overloaded` verdict (with the retry hint) is the
+    /// caller's most informative outcome.
     pub fn request_with_backoff(
         &mut self,
         req: &Request,
         attempts: u32,
         backoff: Duration,
     ) -> io::Result<Reply> {
+        let expiry = req
+            .deadline_ms
+            .map(|ms| std::time::Instant::now() + Duration::from_millis(ms));
         let mut wait = backoff.max(Duration::from_millis(1));
         let mut last_err: Option<io::Error> = None;
+        let mut last_shed: Option<Reply> = None;
         for attempt in 0..attempts.max(1) {
             if attempt > 0 {
-                std::thread::sleep(self.jittered(wait));
+                let mut sleep = self.jittered(wait);
+                if let Some(expiry) = expiry {
+                    let left = expiry.saturating_duration_since(std::time::Instant::now());
+                    if left.is_zero() {
+                        break;
+                    }
+                    sleep = sleep.min(left);
+                }
+                std::thread::sleep(sleep);
                 wait = wait.saturating_mul(2);
             }
             match self.request(req) {
@@ -140,6 +170,7 @@ impl Client {
                         "server overloaded after {} attempts",
                         attempt + 1
                     )));
+                    last_shed = Some(Reply::Error(e));
                 }
                 Ok(reply) => return Ok(reply),
                 Err(e) => {
@@ -148,6 +179,11 @@ impl Client {
                     last_err = Some(e);
                     let _ = self.reconnect();
                 }
+            }
+        }
+        if expiry.is_some() {
+            if let Some(reply) = last_shed {
+                return Ok(reply);
             }
         }
         Err(last_err.unwrap_or_else(|| io::Error::other("no request attempt made")))

@@ -15,6 +15,9 @@
 //! | `MPS_FAULT_FAIL_STAGE` | fail compiles at the stage with a transient [`mps::MpsError::Cancelled`] |
 //! | `MPS_FAULT_DROP_REPLY_EVERY` | cut the connection mid-reply on every Nth compile reply |
 //! | `MPS_FAULT_SLOW_READ_MS` | stall that long before handling each request line |
+//! | `MPS_FAULT_PEER_DOWN` | treat peers whose address contains this substring as unreachable |
+//! | `MPS_FAULT_PEER_SLOW_MS` | stall that long before every peer forward (deterministic forward-deadline failover) |
+//! | `MPS_FAULT_PEER_FLAP_EVERY` | fail every Nth peer forward (flapping membership) |
 //!
 //! Stage names are the wire spellings: `analyze`, `enumerate`,
 //! `select`, `schedule`, `map-tile`.
@@ -31,7 +34,7 @@ use mps::{MpsError, Stage, StageProbe};
 use std::time::Duration;
 
 /// A chaos recipe: which faults to inject, all off by default.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Sleep this many milliseconds when a compile reaches the stage.
     pub delay_stage: Option<(Stage, u64)>,
@@ -42,6 +45,17 @@ pub struct FaultPlan {
     pub drop_reply_every: Option<u64>,
     /// Stall this many milliseconds before handling each request line.
     pub slow_read_ms: Option<u64>,
+    /// Treat fleet peers whose address contains this substring as
+    /// unreachable: forwards to them fail before dialing, as a refused
+    /// connection would.
+    pub peer_down: Option<String>,
+    /// Stall this many milliseconds before every peer forward — long
+    /// enough a stall deterministically blows the forward deadline and
+    /// exercises the failover path.
+    pub peer_slow_ms: Option<u64>,
+    /// Fail every Nth peer forward (1 = every forward; counted across
+    /// all peers), simulating a flapping link.
+    pub peer_flap_every: Option<u64>,
 }
 
 impl FaultPlan {
@@ -65,6 +79,12 @@ impl FaultPlan {
             fail_stage: stage("MPS_FAULT_FAIL_STAGE"),
             drop_reply_every: ms("MPS_FAULT_DROP_REPLY_EVERY").filter(|&n| n > 0),
             slow_read_ms: ms("MPS_FAULT_SLOW_READ_MS"),
+            peer_down: std::env::var("MPS_FAULT_PEER_DOWN")
+                .ok()
+                .map(|v| v.trim().to_string())
+                .filter(|v| !v.is_empty()),
+            peer_slow_ms: ms("MPS_FAULT_PEER_SLOW_MS"),
+            peer_flap_every: ms("MPS_FAULT_PEER_FLAP_EVERY").filter(|&n| n > 0),
         }
     }
 

@@ -58,6 +58,23 @@
 //! Over a real socket, [`spawn_loopback`] boots a server on an ephemeral
 //! port and [`Client`] drives it — the shape of the integration tests,
 //! the serving benches, and the `mps serve` / `mps client` subcommands.
+//!
+//! ## Fleet
+//!
+//! Daemons started with `--peer` form a coordination-free **fleet**:
+//! every member builds the same rendezvous-hash ring ([`ring::PeerRing`])
+//! over the membership, so they all agree which member *owns* each
+//! compile key. A compile arriving at a non-owner is forwarded one hop
+//! to its owner (the `forwarded` wire flag makes a second hop
+//! impossible); if the owner is unreachable, shedding past one courtesy
+//! retry, or past the forward deadline, the receiving daemon **fails
+//! over** — computes locally, answers the client, and pushes the
+//! finished artifact to the owner (hinted handoff) so the ring converges
+//! back to one authoritative copy. Peer health is tracked per member by
+//! [`peer::PeerTable`] (Healthy → Probation → Ejected with jittered
+//! backoff re-probes), fed by in-band forward results and a background
+//! ping prober. The `peers` verb and `peer_*` stats counters expose all
+//! of it; `artifact_put` / `artifact_get` are the replication verbs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -66,7 +83,9 @@ pub mod cache;
 mod client;
 pub mod fault;
 pub mod histogram;
+pub mod peer;
 pub mod protocol;
+pub mod ring;
 mod server;
 
 /// Re-export of the JSON codec, which moved to `mps::json` so the core
@@ -77,4 +96,6 @@ pub use mps::json;
 
 pub use client::Client;
 pub use fault::FaultPlan;
-pub use server::{spawn_loopback, ServeOptions, Server};
+pub use peer::{PeerState, PeerTable};
+pub use ring::{Owner, PeerRing};
+pub use server::{spawn_loopback, spawn_on, ServeOptions, Server};

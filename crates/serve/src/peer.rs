@@ -1,0 +1,288 @@
+//! Health-checked peer table.
+//!
+//! Each remote member of the fleet gets a tiny per-peer state machine:
+//!
+//! ```text
+//!            failure                 failures >= EJECT_AFTER
+//! Healthy ───────────► Probation ───────────────────────────► Ejected
+//!    ▲                    │  ▲                                   │
+//!    └────── success ─────┘  └───── probe failure (backoff) ─────┘
+//! ```
+//!
+//! * **Healthy** peers are forwarded to.
+//! * **Probation** peers have failed recently but are still dialed — a single
+//!   success restores them, further failures eject them.
+//! * **Ejected** peers are never forwarded to; a background prober re-pings
+//!   them on a jittered doubling backoff and a success revives them straight
+//!   to Healthy.
+//!
+//! State transitions are fed by both in-band results (forward attempts) and
+//! out-of-band `ping` probes; the table itself never performs I/O.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Consecutive failures at which a peer moves Probation → Ejected.
+const EJECT_AFTER: u32 = 3;
+/// First re-probe delay after ejection; doubles per subsequent failure.
+const BACKOFF_BASE_MS: u64 = 200;
+/// Re-probe delay ceiling.
+const BACKOFF_MAX_MS: u64 = 5_000;
+
+/// Health classification of a peer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeerState {
+    /// Forwardable; no recent failures.
+    Healthy,
+    /// Failed recently; still forwardable, one success restores it.
+    Probation,
+    /// Repeatedly failed; not forwardable until a probe succeeds.
+    Ejected,
+}
+
+impl PeerState {
+    /// Wire/stat label for the state.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PeerState::Healthy => "healthy",
+            PeerState::Probation => "probation",
+            PeerState::Ejected => "ejected",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct PeerEntry {
+    state: PeerState,
+    /// Consecutive failures since the last success.
+    failures: u32,
+    /// Lifetime totals, surfaced in `stats`.
+    total_failures: u64,
+    total_successes: u64,
+    /// When an ejected peer becomes due for a re-probe.
+    next_probe: Instant,
+}
+
+/// Point-in-time view of one peer, for `stats`/`peers` replies.
+#[derive(Clone, Debug)]
+pub struct PeerSnapshot {
+    /// Peer address as configured via `--peer`.
+    pub addr: String,
+    /// Current health state.
+    pub state: PeerState,
+    /// Consecutive failures since the last success.
+    pub consecutive_failures: u32,
+    /// Lifetime failed dials/requests.
+    pub total_failures: u64,
+    /// Lifetime successful dials/requests.
+    pub total_successes: u64,
+}
+
+/// Thread-safe table of peer health state machines.
+pub struct PeerTable {
+    peers: Mutex<BTreeMap<String, PeerEntry>>,
+    /// splitmix64 state for probe-backoff jitter.
+    jitter: Mutex<u64>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl PeerTable {
+    /// Build a table with every listed peer starting Healthy.
+    pub fn new<S: AsRef<str>>(addrs: &[S], jitter_seed: u64) -> Self {
+        let now = Instant::now();
+        let peers = addrs
+            .iter()
+            .map(|a| {
+                (
+                    a.as_ref().to_string(),
+                    PeerEntry {
+                        state: PeerState::Healthy,
+                        failures: 0,
+                        total_failures: 0,
+                        total_successes: 0,
+                        next_probe: now,
+                    },
+                )
+            })
+            .collect();
+        PeerTable {
+            peers: Mutex::new(peers),
+            jitter: Mutex::new(jitter_seed | 1),
+        }
+    }
+
+    /// Is `addr` currently forwardable (Healthy or Probation)?
+    pub fn is_forwardable(&self, addr: &str) -> bool {
+        self.peers
+            .lock()
+            .unwrap()
+            .get(addr)
+            .map(|e| e.state != PeerState::Ejected)
+            .unwrap_or(false)
+    }
+
+    /// Current state of `addr`, if it is a known peer.
+    pub fn state_of(&self, addr: &str) -> Option<PeerState> {
+        self.peers.lock().unwrap().get(addr).map(|e| e.state)
+    }
+
+    /// Record a successful dial/request/probe: restores the peer to Healthy
+    /// and clears its failure streak.
+    pub fn record_success(&self, addr: &str) {
+        let mut peers = self.peers.lock().unwrap();
+        if let Some(e) = peers.get_mut(addr) {
+            e.state = PeerState::Healthy;
+            e.failures = 0;
+            e.total_successes += 1;
+        }
+    }
+
+    /// Record a failed dial/request/probe. First failure demotes Healthy →
+    /// Probation; `EJECT_AFTER` consecutive failures eject the peer and
+    /// schedule its next probe on a jittered doubling backoff.
+    pub fn record_failure(&self, addr: &str) {
+        let mut peers = self.peers.lock().unwrap();
+        if let Some(e) = peers.get_mut(addr) {
+            e.failures = e.failures.saturating_add(1);
+            e.total_failures += 1;
+            e.state = if e.failures >= EJECT_AFTER {
+                PeerState::Ejected
+            } else {
+                PeerState::Probation
+            };
+            if e.state == PeerState::Ejected {
+                // Doubling backoff keyed to how far past ejection we are,
+                // capped, with ±25% jitter so a fleet restarting together
+                // does not re-probe in lockstep.
+                let exp = (e.failures - EJECT_AFTER).min(16);
+                let base = (BACKOFF_BASE_MS << exp).min(BACKOFF_MAX_MS);
+                let jitter = {
+                    let mut seed = self.jitter.lock().unwrap();
+                    splitmix64(&mut seed) % (base / 2 + 1)
+                };
+                let delay = base - base / 4 + jitter;
+                e.next_probe = Instant::now() + Duration::from_millis(delay);
+            }
+        }
+    }
+
+    /// Ejected peers whose backoff has elapsed — the prober should ping them.
+    /// Healthy/Probation peers are always due so routine probes keep their
+    /// streaks honest.
+    pub fn due_for_probe(&self, now: Instant) -> Vec<String> {
+        self.peers
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|(_, e)| e.state != PeerState::Ejected || e.next_probe <= now)
+            .map(|(a, _)| a.clone())
+            .collect()
+    }
+
+    /// Snapshot every peer for `stats`/`peers` replies (address-sorted).
+    pub fn snapshot(&self) -> Vec<PeerSnapshot> {
+        self.peers
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(addr, e)| PeerSnapshot {
+                addr: addr.clone(),
+                state: e.state,
+                consecutive_failures: e.failures,
+                total_failures: e.total_failures,
+                total_successes: e.total_successes,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_healthy_and_forwardable() {
+        let t = PeerTable::new(&["h:2", "h:3"], 7);
+        assert_eq!(t.state_of("h:2"), Some(PeerState::Healthy));
+        assert!(t.is_forwardable("h:2"));
+        assert!(
+            !t.is_forwardable("h:9"),
+            "unknown peers are not forwardable"
+        );
+    }
+
+    #[test]
+    fn failure_path_demotes_then_ejects() {
+        let t = PeerTable::new(&["h:2"], 7);
+        t.record_failure("h:2");
+        assert_eq!(t.state_of("h:2"), Some(PeerState::Probation));
+        assert!(t.is_forwardable("h:2"), "probation still forwardable");
+        t.record_failure("h:2");
+        assert_eq!(t.state_of("h:2"), Some(PeerState::Probation));
+        t.record_failure("h:2");
+        assert_eq!(t.state_of("h:2"), Some(PeerState::Ejected));
+        assert!(!t.is_forwardable("h:2"));
+    }
+
+    #[test]
+    fn success_revives_from_any_state() {
+        let t = PeerTable::new(&["h:2"], 7);
+        for _ in 0..5 {
+            t.record_failure("h:2");
+        }
+        assert_eq!(t.state_of("h:2"), Some(PeerState::Ejected));
+        t.record_success("h:2");
+        assert_eq!(t.state_of("h:2"), Some(PeerState::Healthy));
+        let snap = &t.snapshot()[0];
+        assert_eq!(snap.consecutive_failures, 0);
+        assert_eq!(snap.total_failures, 5);
+        assert_eq!(snap.total_successes, 1);
+    }
+
+    #[test]
+    fn ejected_peer_backs_off_probes() {
+        let t = PeerTable::new(&["h:2", "h:3"], 7);
+        for _ in 0..3 {
+            t.record_failure("h:2");
+        }
+        let now = Instant::now();
+        let due = t.due_for_probe(now);
+        // Healthy h:3 is always due; freshly ejected h:2 is backing off.
+        assert!(due.contains(&"h:3".to_string()));
+        assert!(!due.contains(&"h:2".to_string()));
+        // Far in the future the backoff has elapsed (cap is 5s + jitter).
+        let later = now + Duration::from_secs(30);
+        assert!(t.due_for_probe(later).contains(&"h:2".to_string()));
+    }
+
+    #[test]
+    fn backoff_grows_with_repeated_failures() {
+        let t = PeerTable::new(&["h:2"], 7);
+        for _ in 0..3 {
+            t.record_failure("h:2");
+        }
+        let first_due = {
+            // Find roughly when it becomes due by probing instants.
+            let now = Instant::now();
+            (0..200)
+                .map(|i| now + Duration::from_millis(i * 25))
+                .find(|t2| !t.due_for_probe(*t2).is_empty())
+        };
+        assert!(first_due.is_some(), "ejected peer eventually due");
+        // More failures ⇒ later (or equal, due to cap/jitter) next_probe.
+        for _ in 0..4 {
+            t.record_failure("h:2");
+        }
+        let now = Instant::now();
+        assert!(t.due_for_probe(now).is_empty());
+        assert!(!t.due_for_probe(now + Duration::from_secs(30)).is_empty());
+    }
+}

@@ -55,6 +55,16 @@ pub struct Request {
     /// in the queue, and cancels the pipeline at the first stage
     /// boundary past the deadline.
     pub deadline_ms: Option<u64>,
+    /// `true` when this compile was forwarded by a fleet peer. A
+    /// forwarded request is always computed by its receiver — never
+    /// re-forwarded — so a ring of daemons can never loop a request.
+    pub forwarded: bool,
+    /// The artifact envelope line being pushed (`artifact_put` only).
+    pub artifact: Option<String>,
+    /// Graph content hash, 16 hex digits (`artifact_get` only).
+    pub graph_hash: Option<String>,
+    /// Config content hash, 16 hex digits (`artifact_get` only).
+    pub config_hash: Option<String>,
 }
 
 impl Request {
@@ -84,7 +94,18 @@ impl Request {
             None | Some(Value::Unit) => None,
             Some(_) => return Err("\"id\" must be an unsigned integer".to_string()),
         };
-        for (name, slot) in [("workload", &mut req.workload), ("graph", &mut req.graph)] {
+        req.forwarded = match json::field(&value, "forwarded") {
+            Some(Value::Bool(b)) => *b,
+            None | Some(Value::Unit) => false,
+            Some(_) => return Err("\"forwarded\" must be a boolean".to_string()),
+        };
+        for (name, slot) in [
+            ("workload", &mut req.workload),
+            ("graph", &mut req.graph),
+            ("artifact", &mut req.artifact),
+            ("graph_hash", &mut req.graph_hash),
+            ("config_hash", &mut req.config_hash),
+        ] {
             *slot = match json::field(&value, name) {
                 Some(Value::Str(s)) => Some(s.clone()),
                 None | Some(Value::Unit) => None,
@@ -135,6 +156,18 @@ impl Request {
         }
         if let Some(g) = &self.graph {
             fields.push(("graph".to_string(), Value::Str(g.clone())));
+        }
+        if self.forwarded {
+            fields.push(("forwarded".to_string(), Value::Bool(true)));
+        }
+        for (name, v) in [
+            ("artifact", &self.artifact),
+            ("graph_hash", &self.graph_hash),
+            ("config_hash", &self.config_hash),
+        ] {
+            if let Some(s) = v {
+                fields.push((name.to_string(), Value::Str(s.clone())));
+            }
         }
         for (name, v) in [
             ("pdef", self.pdef),
@@ -284,6 +317,21 @@ pub struct StatsReply {
     pub workers: u64,
     /// Admission-queue capacity.
     pub queue_capacity: u64,
+    /// Pattern tables persisted to the `--cache-dir` store since boot.
+    pub tables_persisted: u64,
+    /// Pattern tables loaded from the `--cache-dir` store at boot.
+    pub tables_loaded: u64,
+    /// Compiles forwarded to their fleet owner and answered by it.
+    pub peer_forwards: u64,
+    /// Compiles computed locally because their owner was down, past the
+    /// forward deadline, or still shedding after its retry hint.
+    pub peer_failovers: u64,
+    /// Completed non-owned compiles pushed to their owner post-reply.
+    pub peer_handoffs: u64,
+    /// Artifacts accepted from fleet peers via `artifact_put`.
+    pub peer_handoffs_received: u64,
+    /// Per-peer health, address-sorted (empty without `--peer`).
+    pub peers: Vec<PeerInfo>,
     /// Summed per-stage wall times across all actual compiles.
     pub totals: MetricsTotals,
     /// Per-stage latency quantiles.
@@ -337,6 +385,76 @@ pub struct PongReply {
     pub uptime_sec: f64,
     /// Compile requests sitting in the admission queue right now.
     pub queue_depth: u64,
+}
+
+/// One fleet peer's health, as `stats` and `peers` report it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PeerInfo {
+    /// Peer address as configured via `--peer`.
+    pub addr: String,
+    /// Health state: `"healthy"`, `"probation"` or `"ejected"`.
+    pub state: String,
+    /// Consecutive failures since the peer's last success.
+    pub consecutive_failures: u64,
+    /// Lifetime failed dials/requests/probes.
+    pub total_failures: u64,
+    /// Lifetime successful dials/requests/probes.
+    pub total_successes: u64,
+}
+
+/// `peers` reply: the fleet as this daemon sees it. When the request
+/// carries compile-shaped fields (`workload`/`graph` and config knobs),
+/// the reply also names the rendezvous **owner** of that key — how a
+/// script finds which daemon to warm, kill, or blame.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PeersReply {
+    /// Always `true`.
+    pub ok: bool,
+    /// Always `"peers"`.
+    pub op: String,
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// The address this daemon advertises to its peers (empty when the
+    /// daemon runs fleetless).
+    pub advertise: String,
+    /// Per-peer health, address-sorted.
+    pub peers: Vec<PeerInfo>,
+    /// Rendezvous owner of the requested key, when one was asked about.
+    pub owner: Option<String>,
+    /// Graph content hash of the requested key (hex), when asked.
+    pub graph_hash: Option<String>,
+    /// Config content hash of the requested key (hex), when asked.
+    pub config_hash: Option<String>,
+}
+
+/// `artifact_put` acknowledgement: whether the pushed artifact was
+/// seeded (false = the receiver already held that key).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArtifactPutReply {
+    /// Always `true` (a rejected envelope is an [`ErrorReply`]).
+    pub ok: bool,
+    /// Always `"artifact_put"`.
+    pub op: String,
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// `true` when the artifact was admitted into the receiver's cache.
+    pub stored: bool,
+}
+
+/// `artifact_get` reply: the artifact envelope line for a key, if the
+/// server holds it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArtifactGetReply {
+    /// Always `true` (missing keys are `found: false`, not errors).
+    pub ok: bool,
+    /// Always `"artifact_get"`.
+    pub op: String,
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// Whether the server holds a successful result for the key.
+    pub found: bool,
+    /// The full artifact envelope line, when found.
+    pub artifact: Option<String>,
 }
 
 /// `shutdown` acknowledgement — sent before the server drains and exits.
@@ -438,6 +556,22 @@ impl ErrorReply {
         }
     }
 
+    /// The server is draining after a `shutdown` and no longer admits
+    /// compiles. Carries a machine-readable code so a forwarding fleet
+    /// member can distinguish "this peer is going away" (fail over)
+    /// from an ordinary compile error (return verbatim).
+    pub fn shutting_down(op: &str, id: Option<u64>) -> ErrorReply {
+        ErrorReply {
+            ok: false,
+            op: op.to_string(),
+            id,
+            error: "server is shutting down".to_string(),
+            stage: None,
+            code: Some("shutting_down".to_string()),
+            retry_after_ms: None,
+        }
+    }
+
     /// An internal server failure (a worker panicked); the request is
     /// answered rather than left hanging.
     pub fn internal(op: &str, id: Option<u64>, error: String) -> ErrorReply {
@@ -462,6 +596,12 @@ pub enum Reply {
     Stats(Box<StatsReply>),
     /// A ping acknowledgement.
     Pong(PongReply),
+    /// A fleet membership / key-ownership snapshot.
+    Peers(PeersReply),
+    /// An artifact push acknowledgement.
+    ArtifactPut(ArtifactPutReply),
+    /// An artifact fetch result.
+    ArtifactGet(ArtifactGetReply),
     /// A shutdown acknowledgement.
     Shutdown(ShutdownReply),
     /// Any failure.
@@ -489,6 +629,13 @@ impl Reply {
                 serde::from_value(value).map_err(decode_err)?,
             ))),
             "ping" => Ok(Reply::Pong(serde::from_value(value).map_err(decode_err)?)),
+            "peers" => Ok(Reply::Peers(serde::from_value(value).map_err(decode_err)?)),
+            "artifact_put" => Ok(Reply::ArtifactPut(
+                serde::from_value(value).map_err(decode_err)?,
+            )),
+            "artifact_get" => Ok(Reply::ArtifactGet(
+                serde::from_value(value).map_err(decode_err)?,
+            )),
             "shutdown" => Ok(Reply::Shutdown(
                 serde::from_value(value).map_err(decode_err)?,
             )),
@@ -519,10 +666,30 @@ mod tests {
             engine: Some("eq8".to_string()),
             alus: None,
             deadline_ms: Some(250),
+            forwarded: false,
+            artifact: None,
+            graph_hash: None,
+            config_hash: None,
         };
         let line = req.to_line();
         assert!(!line.contains('\n'));
         assert_eq!(Request::from_line(&line).unwrap(), req);
+
+        // The forwarded flag survives the wire, and an unset flag is
+        // omitted so old daemons keep parsing new clients.
+        let fwd = Request {
+            forwarded: true,
+            ..req.clone()
+        };
+        let line = fwd.to_line();
+        assert!(line.contains("\"forwarded\":true"));
+        assert_eq!(Request::from_line(&line).unwrap(), fwd);
+        assert!(!req.to_line().contains("forwarded"));
+        let r = Request::from_line(r#"{"op":"compile","forwarded":null}"#).unwrap();
+        assert!(!r.forwarded);
+        assert!(Request::from_line(r#"{"op":"compile","forwarded":3}"#)
+            .unwrap_err()
+            .contains("forwarded"));
 
         // span: "none" and span: null both decode as explicit-unlimited.
         let r = Request::from_line(r#"{"op":"compile","span":"none"}"#).unwrap();
@@ -630,6 +797,47 @@ mod tests {
             }
             other => panic!("expected error reply, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn fleet_replies_round_trip_and_decode_by_op() {
+        let peers = PeersReply {
+            ok: true,
+            op: "peers".to_string(),
+            id: Some(3),
+            advertise: "127.0.0.1:9001".to_string(),
+            peers: vec![PeerInfo {
+                addr: "127.0.0.1:9002".to_string(),
+                state: "probation".to_string(),
+                consecutive_failures: 1,
+                total_failures: 4,
+                total_successes: 120,
+            }],
+            owner: Some("127.0.0.1:9002".to_string()),
+            graph_hash: Some("00ff00ff00ff00ff".to_string()),
+            config_hash: Some("a0b1a0b1a0b1a0b1".to_string()),
+        };
+        let line = encode(&peers);
+        assert_eq!(Reply::from_line(&line).unwrap(), Reply::Peers(peers));
+
+        let put = ArtifactPutReply {
+            ok: true,
+            op: "artifact_put".to_string(),
+            id: None,
+            stored: true,
+        };
+        let line = encode(&put);
+        assert_eq!(Reply::from_line(&line).unwrap(), Reply::ArtifactPut(put));
+
+        let get = ArtifactGetReply {
+            ok: true,
+            op: "artifact_get".to_string(),
+            id: Some(8),
+            found: false,
+            artifact: None,
+        };
+        let line = encode(&get);
+        assert_eq!(Reply::from_line(&line).unwrap(), Reply::ArtifactGet(get));
     }
 
     #[test]

@@ -28,30 +28,42 @@
 //! one `overloaded` line and are closed). A [`FaultPlan`] can inject
 //! stage delays/failures, reply drops and slow reads for chaos tests.
 //!
-//! Control verbs (`stats`, `ping`, `shutdown`) are answered inline by
-//! the connection thread — they must stay responsive while the queue is
-//! saturated. `shutdown` closes the queue, which gives clean draining
-//! for free: the dispatcher finishes everything already admitted, then
-//! exits; new compiles are refused with an error reply; the accept loop
-//! and connection threads notice the flag and wind down.
+//! Control verbs (`stats`, `ping`, `peers`, `shutdown`) are answered
+//! inline by the connection thread — they must stay responsive while
+//! the queue is saturated. `shutdown` closes the queue, which gives
+//! clean draining for free: the dispatcher finishes everything already
+//! admitted, then exits; new compiles are refused with an error reply;
+//! the accept loop and connection threads notice the flag and wind down.
+//!
+//! With `peers` configured the server is one member of a **fleet**: a
+//! [`PeerRing`] routes each compile to its rendezvous owner (see
+//! [`crate::ring`]), a [`PeerTable`] tracks per-peer health fed by
+//! forwards and a background prober, and `artifact_put`/`artifact_get`
+//! replicate finished artifacts — including hinted handoff of results a
+//! non-owner computed while the owner was down. Owner unusable ⇒ the
+//! receiving daemon computes locally (`peer_failovers`) so the client
+//! is answered either way.
 
 use crate::cache::{ArtifactCache, CacheBudget, WaitTimedOut};
+use crate::client::Client;
 use crate::fault::FaultPlan;
 use crate::histogram::StageHistograms;
+use crate::peer::{PeerState, PeerTable};
 use crate::protocol::{
-    encode, CompileReply, ErrorReply, LatencyStats, MetricsTotals, PongReply, Request,
-    ShutdownReply, StatsReply,
+    encode, ArtifactGetReply, ArtifactPutReply, CompileReply, ErrorReply, LatencyStats,
+    MetricsTotals, PeerInfo, PeersReply, PongReply, Reply, Request, ShutdownReply, StatsReply,
 };
+use crate::ring::{Owner, PeerRing};
 use mps::artifact::ArtifactStore;
 use mps::par::{par_map_in, BoundedQueue, PushError};
 use mps::{CancelToken, Session, SharedStageMetrics, StageProbe, TableCache};
 use serde::Value;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Serving knobs. The defaults fit the CI smoke test and the integration
 /// suite; a deployment mostly tunes `workers` and the cache budgets.
@@ -92,6 +104,23 @@ pub struct ServeOptions {
     /// `max_artifact_bytes` as its entry/byte budgets (file sizes,
     /// least-recently-written evicted first).
     pub cache_dir: Option<PathBuf>,
+    /// Fleet peers, as `host:port` addresses (default: none). With at
+    /// least one peer, compiles are routed by rendezvous hash: each key
+    /// is owned by exactly one member and non-owners forward to it,
+    /// failing over to local compute (plus a hinted artifact handoff)
+    /// when the owner is unusable.
+    pub peers: Vec<String>,
+    /// The address *this* daemon is known by in its peers' `--peer`
+    /// lists. Must be set (and spelled identically everywhere) when
+    /// `peers` is non-empty — the ring hashes member addresses, so all
+    /// members must score this daemon under the same name.
+    pub advertise: String,
+    /// Milliseconds between peer health-probe rounds (default 1000).
+    pub probe_interval_ms: u64,
+    /// Budget for one forward hop — dial plus the peer's reply — in
+    /// milliseconds (default 2000). Tighter of this and the request's
+    /// own deadline; a forward past it fails over to local compute.
+    pub forward_timeout_ms: u64,
     /// Chaos faults to inject (default: none).
     pub faults: FaultPlan,
 }
@@ -110,9 +139,43 @@ impl Default for ServeOptions {
             max_conns: 256,
             read_timeout_ms: 10_000,
             cache_dir: None,
+            peers: Vec::new(),
+            advertise: String::new(),
+            probe_interval_ms: 1_000,
+            forward_timeout_ms: 2_000,
             faults: FaultPlan::default(),
         }
     }
+}
+
+/// Most artifact pushes parked for an unreachable owner; beyond this
+/// the oldest is dropped (the owner recompiles on demand — handoff is
+/// an optimization, not a durability promise).
+const PENDING_HANDOFFS_MAX: usize = 64;
+
+/// Fleet state, present only when the server was started with peers:
+/// the rendezvous ring, the per-peer health table, and the hinted
+/// handoffs waiting for their owner to come back.
+struct Fleet {
+    ring: PeerRing,
+    table: PeerTable,
+    /// `(owner address, artifact line)` pushes that failed because the
+    /// owner was unreachable; the prober flushes them when it next sees
+    /// the owner healthy, so a restarted peer re-warms from the fleet.
+    pending: Mutex<Vec<(String, String)>>,
+}
+
+/// One forward attempt's outcome, as the failover policy needs it
+/// split: a usable reply line, a shed (peer alive, just saturated), or
+/// a dead/unintelligible peer.
+enum Forwarded {
+    /// The owner answered — success or an ordinary compile error, both
+    /// returned to the client verbatim.
+    Line(String),
+    /// The owner shed the request and suggested this retry delay.
+    Shed(u64),
+    /// Dial/read failed, timed out, or the reply was not protocol.
+    Down(String),
 }
 
 /// One admitted compile: the request, its deadline (absolute, fixed at
@@ -136,6 +199,8 @@ struct State {
     queue: BoundedQueue<Job>,
     /// The persistent artifact tier, present when `cache_dir` is set.
     store: Option<ArtifactStore>,
+    /// The fleet, present when `peers` is non-empty.
+    fleet: Option<Fleet>,
     requests: AtomicU64,
     compiles: AtomicU64,
     errors: AtomicU64,
@@ -145,6 +210,17 @@ struct State {
     artifacts_loaded: AtomicU64,
     artifacts_persisted: AtomicU64,
     load_rejected: AtomicU64,
+    tables_loaded: AtomicU64,
+    /// Shared with the table cache's build hook, which outlives no one
+    /// but must not hold the whole `State` (that would cycle the `Arc`).
+    tables_persisted: Arc<AtomicU64>,
+    peer_forwards: AtomicU64,
+    peer_failovers: AtomicU64,
+    peer_handoffs: AtomicU64,
+    peer_handoffs_received: AtomicU64,
+    /// Forward attempts counted only to drive the `peer_flap_every`
+    /// fault; not surfaced in stats.
+    forward_attempts: AtomicU64,
     shutdown: AtomicBool,
     log: Mutex<Option<Box<dyn Write + Send>>>,
 }
@@ -197,11 +273,16 @@ impl State {
                     true,
                 )
             }
-            "compile" => (self.admit_compile(req), false),
+            "compile" => (self.fleet_compile(req), false),
+            "peers" => (self.peers_reply(&req), false),
+            "artifact_put" => (self.artifact_put(&req), false),
+            "artifact_get" => (self.artifact_get(&req), false),
             other => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
-                let error =
-                    format!("unknown op \"{other}\" (expected compile, stats, ping or shutdown)");
+                let error = format!(
+                    "unknown op \"{other}\" (expected compile, stats, ping, peers, \
+                     artifact_put, artifact_get or shutdown)"
+                );
                 (encode(&ErrorReply::protocol(other, req.id, error)), false)
             }
         }
@@ -258,11 +339,7 @@ impl State {
             }
             Err(PushError::Closed(_)) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
-                return encode(&ErrorReply::protocol(
-                    "compile",
-                    id,
-                    "server is shutting down".to_string(),
-                ));
+                return encode(&ErrorReply::shutting_down("compile", id));
             }
         }
         match rx.recv() {
@@ -278,6 +355,392 @@ impl State {
                 ))
             }
         }
+    }
+
+    /// Route one compile through the fleet: forward it to its rendezvous
+    /// owner, or compute locally (degenerate fleet, local ownership,
+    /// warm local replica, forwarded hop, or failover).
+    ///
+    /// Failover policy, in order: an **ejected** owner is not dialed at
+    /// all; a **down** owner (dial/read failure, forward deadline,
+    /// draining for shutdown) is
+    /// recorded against its health and failed over; a **shedding** owner
+    /// gets one courtesy retry after its `retry_after_ms` hint, then
+    /// fails over (it is alive — its health is *not* dinged). Every
+    /// failover computes locally, answers the client, and owes the owner
+    /// a copy of the artifact ([`State::handoff`]).
+    fn fleet_compile(self: &Arc<State>, req: Request) -> String {
+        let Some(fleet) = &self.fleet else {
+            return self.admit_compile(req);
+        };
+        if req.forwarded {
+            // One hop max: a forwarded compile is computed here, always.
+            return self.admit_compile(req);
+        }
+        let Some(key) = self.compile_key(&req) else {
+            // Malformed compiles take the local path for its error replies.
+            return self.admit_compile(req);
+        };
+        let Owner::Peer(owner) = fleet.ring.owner_of(key) else {
+            return self.admit_compile(req);
+        };
+        if self.artifacts.peek(key).is_some() {
+            // A replica already lives here (earlier failover or handoff):
+            // answering locally beats a forward hop.
+            return self.admit_compile(req);
+        }
+        let deadline = req
+            .deadline_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        if fleet.table.is_forwardable(&owner) {
+            let mut fwd = req.clone();
+            fwd.forwarded = true;
+            let line = fwd.to_line();
+            let mut outcome = self.forward_once(&owner, &line, deadline);
+            if let Forwarded::Shed(hint) = outcome {
+                // The owner is alive but saturated: honor its hint once,
+                // clipped to the deadline, then stop camping on it.
+                fleet.table.record_success(&owner);
+                let mut wait = Duration::from_millis(hint.clamp(1, 1_000));
+                if let Some(d) = deadline {
+                    wait = wait.min(d.saturating_duration_since(Instant::now()));
+                }
+                std::thread::sleep(wait);
+                outcome = self.forward_once(&owner, &line, deadline);
+            }
+            match outcome {
+                Forwarded::Line(reply) => {
+                    fleet.table.record_success(&owner);
+                    self.peer_forwards.fetch_add(1, Ordering::Relaxed);
+                    return reply;
+                }
+                Forwarded::Shed(_) => {
+                    // Still shedding after the courtesy wait; the peer is
+                    // healthy, we just stop waiting for it.
+                    fleet.table.record_success(&owner);
+                }
+                Forwarded::Down(error) => {
+                    fleet.table.record_failure(&owner);
+                    self.log_event(
+                        "peer_down",
+                        &[
+                            ("peer", Value::Str(owner.clone())),
+                            ("error", Value::Str(error)),
+                        ],
+                    );
+                }
+            }
+        }
+        self.peer_failovers.fetch_add(1, Ordering::Relaxed);
+        let reply = self.admit_compile(req);
+        self.handoff(key, &owner);
+        reply
+    }
+
+    /// The artifact-cache key a compile request resolves to, or `None`
+    /// when the request is malformed (wrong workload, bad config — the
+    /// local compile path renders those errors properly).
+    fn compile_key(&self, req: &Request) -> Option<(u64, u64)> {
+        let (_workload, dfg) = self.resolve_graph(req).ok()?;
+        let cfg = req.compile_config().ok()?;
+        Some((dfg.content_hash(), cfg.content_hash()))
+    }
+
+    /// One forward attempt against `addr`: dial, send, classify the
+    /// reply. Injected peer faults fire before any real I/O.
+    fn forward_once(&self, addr: &str, line: &str, deadline: Option<Instant>) -> Forwarded {
+        if let Some(ms) = self.opts.faults.peer_slow_ms {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        if let Some(every) = self.opts.faults.peer_flap_every {
+            let nth = self.forward_attempts.fetch_add(1, Ordering::Relaxed) + 1;
+            if nth.is_multiple_of(every) {
+                return Forwarded::Down(format!("injected fault: peer link flapped ({nth})"));
+            }
+        }
+        if let Some(error) = self.injected_peer_fault(addr) {
+            return Forwarded::Down(error);
+        }
+        let mut timeout = Duration::from_millis(self.opts.forward_timeout_ms.max(1));
+        if let Some(d) = deadline {
+            let left = d.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Forwarded::Down("forward window exhausted by the deadline".to_string());
+            }
+            timeout = timeout.min(left);
+        }
+        let reply = (|| -> io::Result<String> {
+            let mut client = dial_peer(addr, timeout)?;
+            client.send_line(line)
+        })();
+        match reply {
+            Err(e) => Forwarded::Down(e.to_string()),
+            Ok(reply) => match Reply::from_line(&reply) {
+                Ok(Reply::Error(e)) if e.code.as_deref() == Some("overloaded") => {
+                    Forwarded::Shed(e.retry_after_ms.unwrap_or(25))
+                }
+                // A draining peer still answers the wire but admits
+                // nothing; treat it as down so the compile fails over
+                // instead of bouncing the drain error to the client.
+                Ok(Reply::Error(e)) if e.code.as_deref() == Some("shutting_down") => {
+                    Forwarded::Down("peer is draining for shutdown".to_string())
+                }
+                Ok(_) => Forwarded::Line(reply),
+                Err(e) => Forwarded::Down(format!("unintelligible peer reply: {e}")),
+            },
+        }
+    }
+
+    /// The `MPS_FAULT_PEER_DOWN` substring fault, applied to forwards,
+    /// probes and handoff pushes alike (it simulates a partition, and a
+    /// partition does not care why you dialed).
+    fn injected_peer_fault(&self, addr: &str) -> Option<String> {
+        let sub = self.opts.faults.peer_down.as_deref()?;
+        addr.contains(sub)
+            .then(|| format!("injected fault: peer {addr} is down"))
+    }
+
+    /// Hinted handoff: after locally computing a key owned by `owner`,
+    /// push the finished artifact to it — immediately if it looks
+    /// usable, else parked until the prober sees it healthy. Failed
+    /// compiles are never replicated.
+    fn handoff(&self, key: (u64, u64), owner: &str) {
+        let Some(fleet) = &self.fleet else { return };
+        let Some(result) = self.artifacts.peek(key) else {
+            return;
+        };
+        let artifact = mps::artifact::encode_result(key, &result);
+        if fleet.table.is_forwardable(owner) && self.push_artifact(owner, &artifact) {
+            self.peer_handoffs.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.park_handoff(owner, artifact);
+        }
+    }
+
+    /// One `artifact_put` push to `addr`; `true` on an acknowledged put.
+    fn push_artifact(&self, addr: &str, artifact: &str) -> bool {
+        if self.injected_peer_fault(addr).is_some() {
+            return false;
+        }
+        let timeout = Duration::from_millis(self.opts.forward_timeout_ms.max(1));
+        let req = Request {
+            op: "artifact_put".to_string(),
+            artifact: Some(artifact.to_string()),
+            ..Request::default()
+        };
+        (|| -> io::Result<bool> {
+            let mut client = dial_peer(addr, timeout)?;
+            let line = client.send_line(&req.to_line())?;
+            Ok(matches!(Reply::from_line(&line), Ok(Reply::ArtifactPut(_))))
+        })()
+        .unwrap_or(false)
+    }
+
+    /// Park an artifact push for later (bounded; oldest dropped first —
+    /// handoff is an optimization, the owner can always recompute).
+    fn park_handoff(&self, owner: &str, artifact: String) {
+        let Some(fleet) = &self.fleet else { return };
+        let mut pending = fleet.pending.lock().expect("handoff buffer poisoned");
+        if pending.len() >= PENDING_HANDOFFS_MAX {
+            pending.remove(0);
+            self.log_event(
+                "handoff_dropped",
+                &[("peer", Value::Str(owner.to_string()))],
+            );
+        }
+        pending.push((owner.to_string(), artifact));
+    }
+
+    /// Push every parked handoff owed to `addr` (called by the prober
+    /// right after a successful probe); failures re-park.
+    fn flush_handoffs(&self, addr: &str) {
+        let Some(fleet) = &self.fleet else { return };
+        let owed: Vec<String> = {
+            let mut pending = fleet.pending.lock().expect("handoff buffer poisoned");
+            let mut owed = Vec::new();
+            pending.retain(|(owner, artifact)| {
+                if owner == addr {
+                    owed.push(artifact.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            owed
+        };
+        for artifact in owed {
+            if self.push_artifact(addr, &artifact) {
+                self.peer_handoffs.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.park_handoff(addr, artifact);
+            }
+        }
+    }
+
+    /// One probe round: ping every peer the health table says is due,
+    /// feed the results back, and flush parked handoffs to peers seen
+    /// alive.
+    fn probe_peers(&self) {
+        let Some(fleet) = &self.fleet else { return };
+        for addr in fleet.table.due_for_probe(Instant::now()) {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            match self.ping_peer(&addr) {
+                Ok(()) => {
+                    let revived = fleet.table.state_of(&addr) == Some(PeerState::Ejected);
+                    fleet.table.record_success(&addr);
+                    if revived {
+                        self.log_event("peer_revived", &[("peer", Value::Str(addr.clone()))]);
+                    }
+                    self.flush_handoffs(&addr);
+                }
+                Err(error) => {
+                    let was_ejected = fleet.table.state_of(&addr) == Some(PeerState::Ejected);
+                    fleet.table.record_failure(&addr);
+                    let now_ejected = fleet.table.state_of(&addr) == Some(PeerState::Ejected);
+                    if now_ejected && !was_ejected {
+                        self.log_event(
+                            "peer_ejected",
+                            &[
+                                ("peer", Value::Str(addr.clone())),
+                                ("error", Value::Str(error)),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// One health probe: dial and `ping`, bounded well under the probe
+    /// interval so a dead peer cannot stall the round.
+    fn ping_peer(&self, addr: &str) -> Result<(), String> {
+        if let Some(error) = self.injected_peer_fault(addr) {
+            return Err(error);
+        }
+        let timeout = Duration::from_millis(self.opts.forward_timeout_ms.max(1))
+            .min(Duration::from_millis(500));
+        (|| -> io::Result<()> {
+            let mut client = dial_peer(addr, timeout)?;
+            let line = client.send_line(&Request::op("ping").to_line())?;
+            match Reply::from_line(&line) {
+                Ok(Reply::Pong(_)) => Ok(()),
+                other => Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected probe reply: {other:?}"),
+                )),
+            }
+        })()
+        .map_err(|e| e.to_string())
+    }
+
+    /// The `peers` verb: fleet membership and health, plus — when the
+    /// request carries compile-shaped fields — which member owns that
+    /// key (how the CI smoke test finds the daemon to kill).
+    fn peers_reply(&self, req: &Request) -> String {
+        let (advertise, peers) = match &self.fleet {
+            Some(fleet) => (fleet.ring.advertise().to_string(), peer_infos(&fleet.table)),
+            None => (String::new(), Vec::new()),
+        };
+        let mut owner = None;
+        let mut graph_hash = None;
+        let mut config_hash = None;
+        if req.workload.is_some() || req.graph.is_some() {
+            if let Some(key) = self.compile_key(req) {
+                graph_hash = Some(format!("{:016x}", key.0));
+                config_hash = Some(format!("{:016x}", key.1));
+                owner = Some(match &self.fleet {
+                    Some(fleet) => match fleet.ring.owner_of(key) {
+                        Owner::Local => fleet.ring.advertise().to_string(),
+                        Owner::Peer(addr) => addr,
+                    },
+                    None => "local".to_string(),
+                });
+            }
+        }
+        encode(&PeersReply {
+            ok: true,
+            op: "peers".to_string(),
+            id: req.id,
+            advertise,
+            peers,
+            owner,
+            graph_hash,
+            config_hash,
+        })
+    }
+
+    /// The `artifact_put` verb: verify the pushed envelope and seed it
+    /// into the caches — the receiving half of hinted handoff.
+    fn artifact_put(&self, req: &Request) -> String {
+        let Some(text) = &req.artifact else {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            return encode(&ErrorReply::protocol(
+                "artifact_put",
+                req.id,
+                "artifact_put needs an \"artifact\" envelope line".to_string(),
+            ));
+        };
+        match mps::artifact::decode_result(text, None) {
+            Ok((key, result)) => {
+                let result = Arc::new(result);
+                let stored = self.artifacts.seed(key, Ok(Arc::clone(&result)));
+                if stored {
+                    self.peer_handoffs_received.fetch_add(1, Ordering::Relaxed);
+                    // A handed-off artifact is as durable as a local one.
+                    self.persist_artifact(key, &result);
+                }
+                encode(&ArtifactPutReply {
+                    ok: true,
+                    op: "artifact_put".to_string(),
+                    id: req.id,
+                    stored,
+                })
+            }
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                encode(&ErrorReply::protocol(
+                    "artifact_put",
+                    req.id,
+                    format!("rejected artifact: {e}"),
+                ))
+            }
+        }
+    }
+
+    /// The `artifact_get` verb: return the artifact envelope for a key
+    /// if this daemon holds a successful result for it.
+    fn artifact_get(&self, req: &Request) -> String {
+        let key = match (
+            req.graph_hash
+                .as_deref()
+                .map(|h| u64::from_str_radix(h, 16)),
+            req.config_hash
+                .as_deref()
+                .map(|h| u64::from_str_radix(h, 16)),
+        ) {
+            (Some(Ok(g)), Some(Ok(c))) => (g, c),
+            _ => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return encode(&ErrorReply::protocol(
+                    "artifact_get",
+                    req.id,
+                    "artifact_get needs hex \"graph_hash\" and \"config_hash\"".to_string(),
+                ));
+            }
+        };
+        let artifact = self
+            .artifacts
+            .peek(key)
+            .map(|result| mps::artifact::encode_result(key, &result));
+        encode(&ArtifactGetReply {
+            ok: true,
+            op: "artifact_get".to_string(),
+            id: req.id,
+            found: artifact.is_some(),
+            artifact,
+        })
     }
 
     /// Produce the reply for one dequeued job (on a worker thread):
@@ -479,6 +942,16 @@ impl State {
             artifacts_loaded: self.artifacts_loaded.load(Ordering::Relaxed),
             artifacts_persisted: self.artifacts_persisted.load(Ordering::Relaxed),
             load_rejected: self.load_rejected.load(Ordering::Relaxed),
+            tables_persisted: self.tables_persisted.load(Ordering::Relaxed),
+            tables_loaded: self.tables_loaded.load(Ordering::Relaxed),
+            peer_forwards: self.peer_forwards.load(Ordering::Relaxed),
+            peer_failovers: self.peer_failovers.load(Ordering::Relaxed),
+            peer_handoffs: self.peer_handoffs.load(Ordering::Relaxed),
+            peer_handoffs_received: self.peer_handoffs_received.load(Ordering::Relaxed),
+            peers: self
+                .fleet
+                .as_ref()
+                .map_or_else(Vec::new, |fleet| peer_infos(&fleet.table)),
             latency: LatencyStats {
                 total: self.hist.total.snapshot(),
                 accepted: self.hist.accepted.snapshot(),
@@ -509,6 +982,35 @@ impl State {
     }
 }
 
+/// Render the health table for the wire.
+fn peer_infos(table: &PeerTable) -> Vec<PeerInfo> {
+    table
+        .snapshot()
+        .into_iter()
+        .map(|s| PeerInfo {
+            addr: s.addr,
+            state: s.state.as_str().to_string(),
+            consecutive_failures: u64::from(s.consecutive_failures),
+            total_failures: s.total_failures,
+            total_successes: s.total_successes,
+        })
+        .collect()
+}
+
+/// Dial a peer with `timeout` bounding the connect *and* every read —
+/// the fleet never lets a dead peer hold a thread past its budget.
+fn dial_peer(addr: &str, timeout: Duration) -> io::Result<Client> {
+    let sockaddr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("peer address {addr} resolves to nothing"),
+        )
+    })?;
+    let mut client = Client::connect_timeout(&sockaddr, timeout)?;
+    client.set_timeout(Some(timeout))?;
+    Ok(client)
+}
+
 /// A running compile server (dispatcher thread live, front-ends ready).
 ///
 /// Drive it with [`Server::run_tcp`] / [`Server::run_stdio`], or call
@@ -517,6 +1019,7 @@ impl State {
 pub struct Server {
     state: Arc<State>,
     dispatcher: Option<std::thread::JoinHandle<()>>,
+    prober: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -530,13 +1033,18 @@ impl Server {
                 max_bytes: opts.max_artifact_bytes,
             },
         );
+        let tables = Arc::new(TableCache::with_budget(
+            opts.max_tables,
+            opts.max_table_bytes,
+        ));
         // Warm-start: open the persistent tier (if configured) and seed
-        // every artifact that survives verification into the memory
-        // cache. An unopenable directory degrades to serving without
-        // persistence rather than refusing to boot.
+        // every artifact and pattern table that survives verification
+        // into the memory caches. An unopenable directory degrades to
+        // serving without persistence rather than refusing to boot.
         let mut store = None;
         let mut loaded = 0u64;
         let mut rejected = 0u64;
+        let mut tables_seeded = 0u64;
         if let Some(dir) = &opts.cache_dir {
             match ArtifactStore::open(dir) {
                 Ok(s) => {
@@ -545,6 +1053,13 @@ impl Server {
                     for (key, result) in report.loaded {
                         if artifacts.seed(key, Ok(Arc::new(result))) {
                             loaded += 1;
+                        }
+                    }
+                    let report = s.load_tables();
+                    rejected += report.rejected as u64;
+                    for (graph, key, table) in report.loaded {
+                        if tables.seed(graph, key, Arc::new(table)) {
+                            tables_seeded += 1;
                         }
                     }
                     store = Some(s);
@@ -557,13 +1072,36 @@ impl Server {
                 }
             }
         }
+        // Persist the table tier as it grows: every fresh table build
+        // lands on disk too, so the *next* boot skips it even for
+        // configs whose whole-compile artifact was never cached.
+        let tables_persisted = Arc::new(AtomicU64::new(0));
+        if let Some(s) = &store {
+            let store = s.clone();
+            let persisted = Arc::clone(&tables_persisted);
+            let (max_entries, max_bytes) = (opts.max_artifacts, opts.max_artifact_bytes);
+            tables.set_build_hook(Arc::new(move |graph, key, table| {
+                if store.save_table(graph, &key, table).is_ok() {
+                    persisted.fetch_add(1, Ordering::Relaxed);
+                    let _ = store.enforce_budget(max_entries, max_bytes);
+                }
+            }));
+        }
+        let fleet = (!opts.peers.is_empty()).then(|| {
+            let jitter = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map_or(0x9e37_79b9, |d| u64::from(d.subsec_nanos()) ^ d.as_secs());
+            Fleet {
+                ring: PeerRing::new(&opts.advertise, &opts.peers),
+                table: PeerTable::new(&opts.peers, jitter),
+                pending: Mutex::new(Vec::new()),
+            }
+        });
         let state = Arc::new(State {
             started: Instant::now(),
-            tables: Arc::new(TableCache::with_budget(
-                opts.max_tables,
-                opts.max_table_bytes,
-            )),
+            tables,
             artifacts,
+            fleet,
             probe: opts.faults.stage_probe(),
             metrics: SharedStageMetrics::new(),
             hist: StageHistograms::default(),
@@ -578,6 +1116,13 @@ impl Server {
             artifacts_loaded: AtomicU64::new(loaded),
             artifacts_persisted: AtomicU64::new(0),
             load_rejected: AtomicU64::new(rejected),
+            tables_loaded: AtomicU64::new(tables_seeded),
+            tables_persisted,
+            peer_forwards: AtomicU64::new(0),
+            peer_failovers: AtomicU64::new(0),
+            peer_handoffs: AtomicU64::new(0),
+            peer_handoffs_received: AtomicU64::new(0),
+            forward_attempts: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             log: Mutex::new(None),
             opts,
@@ -606,9 +1151,27 @@ impl Server {
                 }
             })
         };
+        // The prober keeps peer health honest while traffic is idle and
+        // flushes parked handoffs the moment a dead peer comes back.
+        let prober = state.fleet.is_some().then(|| {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                let interval = Duration::from_millis(state.opts.probe_interval_ms.max(20));
+                let mut next_round = Instant::now();
+                while !state.shutdown.load(Ordering::SeqCst) {
+                    if Instant::now() >= next_round {
+                        state.probe_peers();
+                        next_round = Instant::now() + interval;
+                    }
+                    // Short ticks so shutdown is noticed promptly.
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            })
+        });
         Server {
             state,
             dispatcher: Some(dispatcher),
+            prober,
         }
     }
 
@@ -713,6 +1276,9 @@ impl Server {
         self.state.shutdown.store(true, Ordering::SeqCst);
         self.state.queue.close();
         if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.prober.take() {
             let _ = handle.join();
         }
     }
@@ -822,12 +1388,20 @@ fn serve_conn(state: &Arc<State>, stream: TcpStream) {
 pub fn spawn_loopback(opts: ServeOptions) -> io::Result<(SocketAddr, std::thread::JoinHandle<()>)> {
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?;
-    let handle = std::thread::spawn(move || {
+    Ok((addr, spawn_on(listener, opts)))
+}
+
+/// Boot a server on an already-bound listener in a background thread.
+///
+/// The fleet tests bind every member's port *first*, then boot each
+/// daemon with the full membership list — which needs the bind and the
+/// boot split apart like this.
+pub fn spawn_on(listener: TcpListener, opts: ServeOptions) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
         let server = Server::new(opts);
         let _ = server.run_tcp(listener);
         server.finish();
-    });
-    Ok((addr, handle))
+    })
 }
 
 #[cfg(test)]
@@ -1004,12 +1578,90 @@ mod tests {
             Reply::from_line(&reply).unwrap(),
             Reply::Shutdown(_)
         ));
-        // Compiles after shutdown are refused, not queued.
+        // Compiles after shutdown are refused, not queued — with the
+        // structured code a forwarding fleet member keys failover on.
         let (reply, _) = server.handle_line(r#"{"op":"compile","workload":"fig4"}"#);
         assert!(matches!(
             Reply::from_line(&reply).unwrap(),
             Reply::Error(e) if e.error.contains("shutting down")
+                && e.code.as_deref() == Some("shutting_down")
         ));
+    }
+
+    /// A draining peer answers forwards with `shutting_down` errors; the
+    /// forwarding side must fail over to local compute rather than bounce
+    /// the drain error to its client.
+    #[test]
+    fn draining_owner_fails_over_to_local_compute() {
+        // A stub "draining owner": answers every line (pings included)
+        // with a canned `shutting_down` error, like a real server whose
+        // admission queue has closed but whose listener is still up.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind stub owner");
+        let owner_addr = listener.local_addr().expect("stub addr");
+        let stop = Arc::new(AtomicBool::new(false));
+        let stub = {
+            let stop = Arc::clone(&stop);
+            listener.set_nonblocking(true).expect("nonblocking stub");
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                            let mut stream = stream;
+                            let mut line = String::new();
+                            while reader.read_line(&mut line).is_ok_and(|n| n > 0) {
+                                let _ = writeln!(
+                                    stream,
+                                    "{}",
+                                    encode(&ErrorReply::shutting_down("compile", None))
+                                );
+                                line.clear();
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+
+        let non_owner = Server::new(ServeOptions {
+            peers: vec![owner_addr.to_string()],
+            advertise: "127.0.0.1:7071".to_string(),
+            probe_interval_ms: 3_600_000,
+            forward_timeout_ms: 500,
+            ..one_worker()
+        });
+        // Find a request the draining stub owns from the ring's view.
+        let fleet = non_owner.state.fleet.as_ref().expect("fleet configured");
+        let req = (1..=16)
+            .map(|pdef| Request {
+                op: "compile".to_string(),
+                workload: Some("fig4".to_string()),
+                pdef: Some(pdef),
+                ..Request::default()
+            })
+            .find(|req| {
+                let key = non_owner.state.compile_key(req).expect("valid request");
+                matches!(fleet.ring.owner_of(key), Owner::Peer(_))
+            })
+            .expect("some pdef hashes to the peer");
+        let (reply, _) = non_owner.handle_line(&req.to_line());
+        assert!(
+            matches!(
+                Reply::from_line(&reply).unwrap(),
+                Reply::Compile(r) if !r.cached
+            ),
+            "drain error must not bounce to the client: {reply}"
+        );
+        assert_eq!(non_owner.stats().peer_failovers, 1);
+
+        stop.store(true, Ordering::SeqCst);
+        stub.join().expect("stub owner exits");
+        non_owner.handle_line(r#"{"op":"shutdown"}"#);
+        non_owner.finish();
     }
 
     #[test]
@@ -1116,6 +1768,222 @@ mod tests {
             Reply::from_line(lines[2]).unwrap(),
             Reply::Shutdown(_)
         ));
+    }
+
+    /// A one-peer fleet whose peer is unroutable and faulted down, so no
+    /// test ever really dials it. Returns the options and a compile
+    /// request whose key the *peer* owns (found by walking `pdef` values
+    /// through the same ring the server builds — deterministic, since
+    /// content hashes are).
+    fn downed_peer_fleet() -> (ServeOptions, Request) {
+        let peer = "10.255.255.1:9".to_string();
+        let advertise = "127.0.0.1:7070".to_string();
+        let opts = ServeOptions {
+            peers: vec![peer.clone()],
+            advertise: advertise.clone(),
+            // One probe round at boot, then quiet for the test's life.
+            probe_interval_ms: 3_600_000,
+            faults: FaultPlan {
+                peer_down: Some(peer.clone()),
+                ..FaultPlan::default()
+            },
+            ..one_worker()
+        };
+        let ring = crate::ring::PeerRing::new(&advertise, &[peer]);
+        let graph = mps::workloads::fig4().content_hash();
+        let req = (1..=16)
+            .map(|pdef| {
+                let mut r = Request::op("compile");
+                r.workload = Some("fig4".to_string());
+                r.pdef = Some(pdef);
+                r
+            })
+            .find(|r| {
+                let key = (graph, r.compile_config().unwrap().content_hash());
+                matches!(ring.owner_of(key), crate::ring::Owner::Peer(_))
+            })
+            .expect("some pdef between 1 and 16 must be peer-owned");
+        (opts, req)
+    }
+
+    #[test]
+    fn owner_down_fails_over_to_local_compute() {
+        let (opts, req) = downed_peer_fleet();
+        let server = Server::new(opts);
+        let (reply, _) = server.handle_line(&req.to_line());
+        let Reply::Compile(first) = Reply::from_line(&reply).unwrap() else {
+            panic!("failover must still answer: {reply}");
+        };
+        assert!(!first.cached);
+        let stats = server.stats();
+        assert_eq!(stats.peer_failovers, 1, "down owner forces a failover");
+        assert_eq!(stats.peer_forwards, 0, "nothing was actually forwarded");
+        assert_eq!(stats.peers.len(), 1);
+
+        // The failover left a local replica: the same request again is a
+        // plain cache hit, not another failover.
+        let (reply, _) = server.handle_line(&req.to_line());
+        let Reply::Compile(second) = Reply::from_line(&reply).unwrap() else {
+            panic!("expected compile reply: {reply}");
+        };
+        assert!(second.cached);
+        assert_eq!(second.schedule, first.schedule);
+        assert_eq!(server.stats().peer_failovers, 1);
+    }
+
+    #[test]
+    fn forwarded_requests_always_compute_locally() {
+        // The one-hop guarantee: a request carrying `forwarded: true`
+        // never consults the ring, even when a peer owns its key.
+        let (opts, mut req) = downed_peer_fleet();
+        req.forwarded = true;
+        let server = Server::new(opts);
+        let (reply, _) = server.handle_line(&req.to_line());
+        assert!(matches!(
+            Reply::from_line(&reply).unwrap(),
+            Reply::Compile(r) if !r.cached
+        ));
+        let stats = server.stats();
+        assert_eq!((stats.peer_failovers, stats.peer_forwards), (0, 0));
+    }
+
+    #[test]
+    fn peers_verb_reports_health_and_ownership() {
+        let (opts, req) = downed_peer_fleet();
+        let peer_addr = opts.peers[0].clone();
+        let advertise = opts.advertise.clone();
+        let server = Server::new(opts);
+        let mut ask = req.clone();
+        ask.op = "peers".to_string();
+        ask.id = Some(5);
+        let (reply, _) = server.handle_line(&ask.to_line());
+        let Reply::Peers(p) = Reply::from_line(&reply).unwrap() else {
+            panic!("expected peers reply: {reply}");
+        };
+        assert_eq!(p.id, Some(5));
+        assert_eq!(p.advertise, advertise);
+        assert_eq!(p.peers.len(), 1);
+        assert_eq!(p.peers[0].addr, peer_addr);
+        assert_eq!(
+            p.owner.as_deref(),
+            Some(peer_addr.as_str()),
+            "the request was chosen to be peer-owned"
+        );
+        assert!(p.graph_hash.is_some() && p.config_hash.is_some());
+
+        // Fleetless daemons still answer: they own everything.
+        let server = Server::new(one_worker());
+        let (reply, _) = server.handle_line(r#"{"op":"peers","workload":"fig4"}"#);
+        let Reply::Peers(p) = Reply::from_line(&reply).unwrap() else {
+            panic!("expected peers reply: {reply}");
+        };
+        assert_eq!(p.advertise, "");
+        assert!(p.peers.is_empty());
+        assert_eq!(p.owner.as_deref(), Some("local"));
+    }
+
+    #[test]
+    fn artifact_put_and_get_replicate_between_servers() {
+        let donor = Server::new(one_worker());
+        let (reply, _) = donor.handle_line(r#"{"op":"compile","workload":"fig4"}"#);
+        let Reply::Compile(compiled) = Reply::from_line(&reply).unwrap() else {
+            panic!("expected compile reply: {reply}");
+        };
+        let (reply, _) = donor.handle_line(&format!(
+            r#"{{"op":"artifact_get","graph_hash":"{}","config_hash":"{}"}}"#,
+            compiled.graph_hash, compiled.config_hash
+        ));
+        let Reply::ArtifactGet(got) = Reply::from_line(&reply).unwrap() else {
+            panic!("expected artifact_get reply: {reply}");
+        };
+        assert!(got.found);
+        let artifact = got.artifact.expect("found implies an artifact line");
+
+        // Push it into a cold server: first put seeds, second is a no-op,
+        // and the compile that follows is a pure cache hit.
+        let receiver = Server::new(one_worker());
+        let mut put = Request::op("artifact_put");
+        put.artifact = Some(artifact.clone());
+        let (reply, _) = receiver.handle_line(&put.to_line());
+        assert!(matches!(
+            Reply::from_line(&reply).unwrap(),
+            Reply::ArtifactPut(p) if p.stored
+        ));
+        let (reply, _) = receiver.handle_line(&put.to_line());
+        assert!(matches!(
+            Reply::from_line(&reply).unwrap(),
+            Reply::ArtifactPut(p) if !p.stored
+        ));
+        let stats = receiver.stats();
+        assert_eq!(stats.peer_handoffs_received, 1, "second put seeds nothing");
+        let (reply, _) = receiver.handle_line(r#"{"op":"compile","workload":"fig4"}"#);
+        let Reply::Compile(warm) = Reply::from_line(&reply).unwrap() else {
+            panic!("expected compile reply: {reply}");
+        };
+        assert!(warm.cached, "handed-off artifact must serve the compile");
+        assert_eq!(warm.schedule, compiled.schedule);
+        assert_eq!(receiver.stats().table_builds, 0);
+
+        // A missing key is found:false, not an error.
+        let (reply, _) = receiver.handle_line(
+            r#"{"op":"artifact_get","graph_hash":"00000000000000aa","config_hash":"00000000000000bb"}"#,
+        );
+        assert!(matches!(
+            Reply::from_line(&reply).unwrap(),
+            Reply::ArtifactGet(g) if !g.found && g.artifact.is_none()
+        ));
+
+        // Garbage envelopes and missing fields are structured errors.
+        let (reply, _) =
+            receiver.handle_line(r#"{"op":"artifact_put","artifact":"{\"magic\":\"nope\"}"}"#);
+        assert!(matches!(
+            Reply::from_line(&reply).unwrap(),
+            Reply::Error(e) if e.error.contains("rejected artifact")
+        ));
+        let (reply, _) = receiver.handle_line(r#"{"op":"artifact_get"}"#);
+        assert!(matches!(
+            Reply::from_line(&reply).unwrap(),
+            Reply::Error(e) if e.error.contains("graph_hash")
+        ));
+    }
+
+    #[test]
+    fn table_tier_persists_and_warm_starts_new_configs() {
+        // The pattern table is shared across configs of one graph, so
+        // persisting it lets a *restarted* server skip the expensive
+        // enumeration even for configs it has never answered before.
+        let dir = scratch_dir("tables");
+        let opts = ServeOptions {
+            cache_dir: Some(dir.clone()),
+            ..one_worker()
+        };
+        {
+            let server = Server::new(opts.clone());
+            let (reply, _) = server.handle_line(r#"{"op":"compile","workload":"fig4","pdef":3}"#);
+            assert!(matches!(
+                Reply::from_line(&reply).unwrap(),
+                Reply::Compile(_)
+            ));
+            let stats = server.stats();
+            assert_eq!(stats.table_builds, 1);
+            assert_eq!(stats.tables_persisted, 1, "built table lands on disk");
+        } // drop = kill
+        let server = Server::new(opts);
+        let stats = server.stats();
+        assert_eq!(stats.tables_loaded, 1, "persisted table reloads");
+        // pdef 2 is a *different* artifact key over the *same* table key.
+        let (reply, _) = server.handle_line(r#"{"op":"compile","workload":"fig4","pdef":2}"#);
+        let Reply::Compile(fresh) = Reply::from_line(&reply).unwrap() else {
+            panic!("expected compile reply: {reply}");
+        };
+        assert!(!fresh.cached, "new config misses the artifact cache");
+        let stats = server.stats();
+        assert_eq!(
+            stats.table_builds, 0,
+            "the compile must reuse the reloaded table"
+        );
+        assert_eq!(stats.table_cache_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -99,6 +99,18 @@ extract() {
           (.warm_start_rows[]? | {
               key: "warm_start_restart/\(.workload)",
               sec: .restart_warm_sec
+          }),
+          (.fleet_rows[]? | {
+              key: "fleet_forwarded_hit/\(.workload)",
+              sec: .forwarded_hit_sec
+          }),
+          (.fleet_rows[]? | {
+              key: "fleet_local_hit/\(.workload)",
+              sec: .local_hit_sec
+          }),
+          (.fleet_rows[]? | {
+              key: "fleet_failover_recompute/\(.workload)",
+              sec: .failover_recompute_sec
           })
         ]
         | .[] | select(.sec != null) | "\(.key)\t\(.sec)"

@@ -187,6 +187,147 @@ fn artifacts_renamed_onto_the_wrong_key_are_rejected() {
 }
 
 #[test]
+fn table_entries_round_trip_through_disk_and_reject_tampered_parameters() {
+    let dir = scratch("pt");
+    let store = ArtifactStore::open(&dir).expect("open store");
+    let dfg = mps::workloads::fig2();
+    let graph = dfg.content_hash();
+    let adfg = AnalyzedDfg::new(dfg);
+    let key = mps::TableKey {
+        capacity: 4,
+        span: Some(2),
+        parallel: false,
+    };
+    let table = PatternTable::build(
+        &adfg,
+        mps::patterns::EnumerateConfig {
+            span_limit: key.span,
+            ..Default::default()
+        },
+    );
+    let path = store.save_table(graph, &key, &table).expect("save table");
+    assert_eq!(path, store.table_path(graph, &key));
+
+    let report = store.load_tables();
+    assert_eq!((report.loaded.len(), report.rejected), (1, 0));
+    let (got_graph, got_key, got_table) = &report.loaded[0];
+    assert_eq!(*got_graph, graph);
+    assert_eq!(got_key, &key, "build parameters survive the disk trip");
+    assert_eq!(got_table, &table);
+
+    // Tampering with an embedded build parameter breaks the envelope's
+    // config-hash check: the file is counted and skipped, never loaded
+    // under the wrong key.
+    let text = std::fs::read_to_string(&path).expect("read back");
+    let tampered = text.replacen("\"capacity\":4", "\"capacity\":5", 1);
+    assert_ne!(tampered, text, "payload carries the capacity field");
+    std::fs::write(&path, &tampered).expect("rewrite");
+    let report = store.load_tables();
+    assert_eq!((report.loaded.len(), report.rejected), (0, 1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Build a directory of `n` same-sized artifacts whose mtimes are all
+/// forced to one instant, saved in the order `order` visits the keys.
+fn identical_mtime_store(tag: &str, n: u64, order: impl Iterator<Item = u64>) -> ArtifactStore {
+    let dir = scratch(tag);
+    let store = ArtifactStore::open(&dir).expect("open store");
+    let (key, result) = sample();
+    let stamp = std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1_000_000);
+    for i in order {
+        assert!(i < n);
+        let path = store
+            .save_result((key.0, i), &result)
+            .expect("save artifact");
+        std::fs::File::options()
+            .write(true)
+            .open(path)
+            .expect("reopen artifact")
+            .set_modified(stamp)
+            .expect("set mtime");
+    }
+    store
+}
+
+#[test]
+fn identical_mtime_eviction_breaks_ties_by_name_deterministically() {
+    // Two stores built with the same four keys but opposite write
+    // orders, every file stamped with one shared mtime: the budget sweep
+    // must pick the same victims in both (lexicographically smallest
+    // names first), so replicas sweeping a shared directory agree.
+    let forward = identical_mtime_store("tie-fwd", 4, 0..4);
+    let reverse = identical_mtime_store("tie-rev", 4, (0..4).rev());
+    for store in [&forward, &reverse] {
+        let evicted = store.enforce_budget(Some(2), None).expect("sweep");
+        assert_eq!(evicted, 2);
+        let survivors: Vec<u64> = store
+            .load_results()
+            .loaded
+            .iter()
+            .map(|((_, cfg), _)| *cfg)
+            .collect();
+        assert_eq!(
+            survivors,
+            vec![2, 3],
+            "ties must fall to the lexicographically smallest names"
+        );
+    }
+    for store in [forward, reverse] {
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}
+
+#[test]
+fn budget_sweep_races_concurrent_republication_without_losing_writes() {
+    // A writer republishing one key (write-temp → rename) races a
+    // sweeper whose budget is zero — the most hostile setting, every
+    // sweep wants the file gone. The re-stat-before-delete discipline
+    // means neither side ever errors and the store never holds a torn
+    // file; after the dust settles a final publish is fully readable.
+    let dir = scratch("race");
+    let store = ArtifactStore::open(&dir).expect("open store");
+    let (key, result) = sample();
+    let writer = {
+        let store = store.clone();
+        let result = result.clone();
+        std::thread::spawn(move || {
+            for _ in 0..200 {
+                store
+                    .save_result(key, &result)
+                    .expect("publish never fails");
+            }
+        })
+    };
+    let sweeper = {
+        let store = store.clone();
+        std::thread::spawn(move || {
+            let mut evicted = 0;
+            while !store.dir().join("done").exists() {
+                evicted += store
+                    .enforce_budget(Some(0), None)
+                    .expect("sweep never fails");
+            }
+            evicted
+        })
+    };
+    writer.join().expect("writer survived");
+    std::fs::write(dir.join("done"), b"").expect("stop flag");
+    let evicted = sweeper.join().expect("sweeper survived");
+    assert!(evicted >= 1, "a zero budget must evict at least once");
+
+    let path = store.save_result(key, &result).expect("final publish");
+    let report = store.load_results();
+    assert_eq!(
+        (report.loaded.len(), report.rejected),
+        (1, 0),
+        "the republished artifact is intact, never torn"
+    );
+    assert_eq!(report.loaded[0].1, result);
+    assert!(path.exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn foreign_and_stale_files_are_ignored_or_swept() {
     let dir = scratch("foreign");
     let store = ArtifactStore::open(&dir).expect("open store");

@@ -25,9 +25,11 @@ fn compile_req(workload: &str, deadline_ms: Option<u64>) -> Request {
 
 /// The acceptance storm: stage delays + entry budgets of 2 + a queue of
 /// 2 + 8 concurrent clients at mixed deadlines. Every request resolves
-/// to a compile reply or a structured `deadline`/`cancelled` error, the
-/// stats counters prove sheds/evictions/deadline-expiries all fired,
-/// both cache budgets hold, and the server drains on shutdown.
+/// to a compile reply or a structured error — `deadline`/`cancelled`
+/// from the server, or the last `overloaded` shed when the client's
+/// deadline budget ran out before the queue had room — the stats
+/// counters prove sheds/evictions/deadline-expiries all fired, both
+/// cache budgets hold, and the server drains on shutdown.
 #[test]
 fn overload_storm_sheds_answers_and_drains() {
     const CLIENTS: usize = 8;
@@ -72,8 +74,14 @@ fn overload_storm_sheds_answers_and_drains() {
                     }
                     Reply::Error(e) => {
                         assert!(tight, "{workload}: generous compile failed: {}", e.error);
+                        // `overloaded` is the budget-expired outcome: the
+                        // retry loop stops at the deadline and surfaces
+                        // the server's last shed verdict.
                         assert!(
-                            matches!(e.code.as_deref(), Some("deadline") | Some("cancelled")),
+                            matches!(
+                                e.code.as_deref(),
+                                Some("deadline") | Some("cancelled") | Some("overloaded")
+                            ),
                             "failures must be structured, got {e:?}"
                         );
                     }

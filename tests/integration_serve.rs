@@ -104,7 +104,9 @@ fn wire_replies_equal_direct_session_compiles() {
 /// as a string after normalizing the two fields that legitimately
 /// change (`cached`, which flips to true, and `latency_sec`, a fresh
 /// measurement) — with zero table builds; and a corrupted cache file
-/// degrades that one key to a recompile, never a crash.
+/// degrades that one key to a recompile, never a crash — a recompile
+/// that still skips its table build, because the pattern-table tier
+/// (`pt-` artifacts) persists independently of the result tier.
 #[test]
 fn restarted_server_answers_byte_identically_from_disk() {
     let dir = std::env::temp_dir().join(format!("mps-serve-it-restart-{}", std::process::id()));
@@ -165,14 +167,35 @@ fn restarted_server_answers_byte_identically_from_disk() {
 
     // Corrupt one artifact in place: that key recompiles, the rest warm.
     let victim = {
-        let mut files: Vec<_> = std::fs::read_dir(&dir)
+        let files: Vec<_> = std::fs::read_dir(&dir)
             .expect("cache dir listable")
             .flatten()
             .map(|e| e.path())
             .collect();
-        files.sort();
-        assert_eq!(files.len(), sweep.len(), "one artifact per compile");
-        files.remove(0)
+        let tier = |prefix: &str| {
+            let mut tier: Vec<_> = files
+                .iter()
+                .filter(|p| {
+                    p.file_name()
+                        .is_some_and(|n| n.to_string_lossy().starts_with(prefix))
+                })
+                .cloned()
+                .collect();
+            tier.sort();
+            tier
+        };
+        let results = tier("cr-");
+        assert_eq!(
+            results.len(),
+            sweep.len(),
+            "one result artifact per compile"
+        );
+        assert_eq!(
+            tier("pt-").len(),
+            sweep.len(),
+            "one table artifact per distinct graph"
+        );
+        results.into_iter().next().expect("a result artifact")
     };
     std::fs::write(&victim, b"{\"magic\":\"mps-artifact\",\"forma").expect("corrupt artifact");
 
@@ -203,8 +226,13 @@ fn restarted_server_answers_byte_identically_from_disk() {
     );
     let stats = client.stats().expect("stats");
     assert_eq!(
-        stats.table_builds, 1,
-        "only the corrupted key rebuilds a table after restart"
+        stats.table_builds, 0,
+        "even the corrupted key's recompile reuses its persisted pattern table"
+    );
+    assert_eq!(
+        stats.tables_loaded,
+        sweep.len() as u64,
+        "the pt- tier reloads every persisted table"
     );
     client.shutdown().expect("shutdown restarted server");
     server.join().expect("restarted server exits");
