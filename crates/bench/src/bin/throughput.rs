@@ -854,6 +854,64 @@ fn span_str(limit: Option<u32>) -> String {
 
 /// Every measured section, bundled so the printers take one argument
 /// instead of a parameter per table.
+/// One row of the fabric-partition section: a full fabric compile
+/// (analyze → enumerate → select → partition → schedule → map_tile) of
+/// one workload on one fabric spec, timed end to end. The 1-tile row is
+/// the subsystem's equivalence oracle — its decisions are pinned against
+/// the plain single-tile pipeline by the `integration_fabric` suite, so
+/// here it serves as the baseline the multi-tile rows are compared to.
+struct PartitionRow {
+    workload: &'static str,
+    fabric: &'static str,
+    tiles: usize,
+    transfers: usize,
+    total_cycles: u64,
+    critical_path: u32,
+    compile_sec: f64,
+    partition_sec: f64,
+}
+
+/// Fabric compiles across 1-, 2- and 4-tile fabrics, sequential, one
+/// fresh session per timing iteration (the pattern table is rebuilt each
+/// time, so rows are comparable across fabric specs).
+fn measure_partition() -> Vec<PartitionRow> {
+    let mut rows = Vec::new();
+    for (workload, dfg) in [
+        ("fig2", mps::workloads::fig2()),
+        ("fft8", mps::workloads::fft_radix2(8)),
+    ] {
+        for fabric in ["1", "2@1", "4:3,16@2"] {
+            let params = FabricParams::parse(fabric).expect("bench fabric spec parses");
+            let capacity = params.min_alus();
+            let make_cfg = || {
+                let mut cfg = CompileConfig::default();
+                cfg.select.parallel = false;
+                cfg.select.span_limit = Some(1);
+                cfg.select.capacity = capacity;
+                cfg.fabric = Some(params.clone());
+                cfg
+            };
+            let (compile_sec, (result, metrics)) = time_per_iter(|| {
+                let mut session = Session::with_config(dfg.clone(), make_cfg());
+                let result = session.compile().expect("fabric compile");
+                (result, session.metrics().clone())
+            });
+            let mapping = result.fabric.expect("fabric compile carries a mapping");
+            rows.push(PartitionRow {
+                workload,
+                fabric,
+                tiles: mapping.tile_count(),
+                transfers: mapping.transfer_count(),
+                total_cycles: mapping.total_cycles,
+                critical_path: mapping.critical_path,
+                compile_sec,
+                partition_sec: metrics.partition_sec,
+            });
+        }
+    }
+    rows
+}
+
 struct Sections {
     rows: Vec<Row>,
     select: Vec<SelectRow>,
@@ -863,6 +921,7 @@ struct Sections {
     shed: Vec<ShedRow>,
     warm_start: Vec<WarmStartRow>,
     fleet: Vec<FleetRow>,
+    partition: Vec<PartitionRow>,
 }
 
 fn print_json(s: &Sections, pr: u32) {
@@ -875,6 +934,7 @@ fn print_json(s: &Sections, pr: u32) {
         shed,
         warm_start,
         fleet,
+        partition,
     } = s;
     println!("{{");
     println!("  \"pr\": {pr},");
@@ -1091,6 +1151,31 @@ fn print_json(s: &Sections, pr: u32) {
             comma
         );
     }
+    println!("  ],");
+    println!(
+        "  \"partition_note\": \"one fabric compile (full pipeline incl. the partition \
+         stage and per-tile replay) per row, sequential, span 1, fresh session every \
+         iteration; fabric=1 is the single-tile equivalence baseline, the multi-tile rows \
+         add graph cutting, release-aware per-tile scheduling and transfer accounting\","
+    );
+    println!("  \"partition_rows\": [");
+    for (i, r) in partition.iter().enumerate() {
+        let comma = if i + 1 == partition.len() { "" } else { "," };
+        println!(
+            "    {{\"workload\": \"{}\", \"fabric\": \"{}\", \"tiles\": {}, \
+             \"transfers\": {}, \"total_cycles\": {}, \"critical_path\": {}, \
+             \"compile_sec\": {:.6}, \"partition_sec\": {:.9}}}{}",
+            r.workload,
+            r.fabric,
+            r.tiles,
+            r.transfers,
+            r.total_cycles,
+            r.critical_path,
+            r.compile_sec,
+            r.partition_sec,
+            comma
+        );
+    }
     println!("  ]");
     println!("}}");
 }
@@ -1105,6 +1190,7 @@ fn print_table(s: &Sections) {
         shed,
         warm_start,
         fleet,
+        partition,
     } = s;
     println!(
         "{:<9} {:>5} {:>9} {:>11} {:>9} {:>14} {:>14} {:>9}",
@@ -1256,6 +1342,31 @@ fn print_table(s: &Sections) {
             r.failover_recompute_sec,
         );
     }
+    println!();
+    println!(
+        "{:<10} {:<10} {:>6} {:>10} {:>8} {:>9} {:>12} {:>14}",
+        "workload",
+        "fabric",
+        "tiles",
+        "transfers",
+        "cycles",
+        "critpath",
+        "compile_sec",
+        "partition_sec"
+    );
+    for r in partition {
+        println!(
+            "{:<10} {:<10} {:>6} {:>10} {:>8} {:>9} {:>12.6} {:>14.9}",
+            r.workload,
+            r.fabric,
+            r.tiles,
+            r.transfers,
+            r.total_cycles,
+            r.critical_path,
+            r.compile_sec,
+            r.partition_sec,
+        );
+    }
 }
 
 fn smoke() -> i32 {
@@ -1328,6 +1439,7 @@ fn main() {
         shed: measure_shed(),
         warm_start: measure_warm_start(),
         fleet: measure_fleet(),
+        partition: measure_partition(),
     };
     if json {
         print_json(&sections, pr);

@@ -10,6 +10,8 @@
 //! mps pipeline <workload> [--pdef N] [--span S] [--engine E] [--tp] [--json]
 //!                                           # software-pipeline a kernel
 //! mps patterns <workload> [--span S] [--dot]
+//! mps partition <workload> [--fabric SPEC] [--pdef N] [--span S] [--engine E]
+//!                                           # map onto a multi-tile fabric
 //! mps artifact dump <workload> [--pdef N] [--span S] [--engine E] [--out F]
 //! mps artifact diff <a.json> <b.json>
 //! mps serve [--port P|--stdio] [--workers N] [--queue N] [--json]
@@ -41,12 +43,13 @@ fn main() {
         Some("select") => cmd_select(&args),
         Some("pipeline") => cmd_pipeline(&args),
         Some("patterns") => cmd_patterns(&args),
+        Some("partition") => cmd_partition(&args),
         Some("artifact") => artifact_cmd::cmd_artifact(&args),
         Some("serve") => serve_cmd::cmd_serve(&args),
         Some("client") => serve_cmd::cmd_client(&args),
         _ => {
             eprintln!(
-                "usage: mps <list|info|dot|schedule|select|pipeline|patterns|artifact|serve|client> [args]"
+                "usage: mps <list|info|dot|schedule|select|pipeline|patterns|partition|artifact|serve|client> [args]"
             );
             eprintln!("  (every <workload> argument also accepts a path to a");
             eprintln!("   graph file in the `node <name> <color>` text format)");
@@ -61,6 +64,10 @@ fn main() {
             );
             eprintln!("  mps patterns <workload> [--span S] [--dot]");
             eprintln!(
+                "  mps partition <workload> [--fabric SPEC] [--pdef N] [--span S] [--engine E]"
+            );
+            eprintln!("            (SPEC: N, N:alus,configs or alus,configs+... with @latency)");
+            eprintln!(
                 "  mps artifact dump <workload> [--pdef N] [--span S] [--engine E] [--out F]"
             );
             eprintln!("  mps artifact diff <a.json> <b.json>");
@@ -69,7 +76,7 @@ fn main() {
             eprintln!("            [--peer ADDR]... [--advertise ADDR]   # fleet of daemons");
             eprintln!("            [--probe-interval-ms N] [--forward-timeout-ms N]");
             eprintln!("  mps client [--port P] [--retries N] compile <workload> [--pdef N]");
-            eprintln!("             [--span S|none] [--capacity N] [--engine E] [--alus N]");
+            eprintln!("             [--span S|none] [--capacity N] [--engine E] [--alus N] [--fabric SPEC]");
             eprintln!("  mps client [--port P] <stats|ping|shutdown|raw '<json>'>");
             eprintln!(
                 "  mps client [--port P] peers [<workload> [compile flags]]  # fleet health/owner"
@@ -135,6 +142,7 @@ struct Flags {
     json: bool,
     dot: bool,
     engine: SelectEngine,
+    fabric: Option<String>,
 }
 
 impl Flags {
@@ -147,6 +155,7 @@ impl Flags {
             json: false,
             dot: false,
             engine: SelectEngine::Eq8,
+            fabric: None,
         }
     }
 }
@@ -206,6 +215,16 @@ fn parse_flags(
                              genetic, anneal or random; got {:?}",
                             args.get(i)
                         );
+                        return Err(2);
+                    }
+                }
+            }
+            "--fabric" => {
+                i += 1;
+                match args.get(i) {
+                    Some(s) => flags.fabric = Some(s.clone()),
+                    None => {
+                        eprintln!("--fabric takes a spec like 2, 4:3,16 or 2,8+3,16@2");
                         return Err(2);
                     }
                 }
@@ -319,6 +338,7 @@ fn cmd_select(args: &[String]) -> i32 {
             engine: flags.engine,
             schedule: sched,
             tile: None,
+            fabric: None,
         },
     );
     let result = match session.compile() {
@@ -352,6 +372,97 @@ fn cmd_select(args: &[String]) -> i32 {
             .schedule
             .utilization(session.config().select.capacity)
             * 100.0
+    );
+    0
+}
+
+/// Map a workload onto a multi-tile fabric: run the partition pipeline
+/// (`analyze → enumerate → select → partition → schedule → map_tile`)
+/// and print the per-tile plans, the inter-tile transfers and the
+/// fabric-level accounting.
+fn cmd_partition(args: &[String]) -> i32 {
+    if args.len() < 2 {
+        eprintln!(
+            "usage: mps partition <workload> [--fabric SPEC] [--pdef N] [--span S] [--engine E]"
+        );
+        return 2;
+    }
+    let Some(dfg) = load(&args[1]) else { return 2 };
+    let flags = match parse_flags(
+        args,
+        2,
+        &["--fabric", "--pdef", "--span", "--engine"],
+        Flags::defaults(Some(1)),
+    ) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let spec = flags.fabric.as_deref().unwrap_or("2");
+    let Some(params) = FabricParams::parse(spec) else {
+        eprintln!("invalid fabric spec {spec:?} (try 2, 4:3,16 or 2,8+3,16@2)");
+        return 2;
+    };
+    // Selected patterns run on every tile, so they must fit the
+    // narrowest one.
+    let capacity = params.min_alus();
+    let mut session = Session::with_config(
+        dfg,
+        CompileConfig {
+            select: SelectConfig {
+                pdef: flags.pdef,
+                span_limit: flags.span,
+                capacity,
+                ..Default::default()
+            },
+            engine: flags.engine,
+            schedule: ScheduleEngine::default(),
+            tile: None,
+            fabric: Some(params),
+        },
+    );
+    let result = match session.compile() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let mapping = result.fabric.expect("fabric compile carries a mapping");
+    let adfg = session.analyzed_dfg().expect("compile analyzed the graph");
+    let g = adfg.dfg();
+
+    println!("fabric: {}", mapping.params);
+    println!("selected patterns: {}", result.selection.patterns);
+    for (t, plan) in mapping.tiles.iter().enumerate() {
+        let members = mapping.tile_of.iter().filter(|&&x| x == t).count();
+        println!(
+            "tile {t} ({} ALUs, {} configs): {members} nodes, {} issue cycles, {} config loads",
+            plan.params.alus,
+            plan.params.max_configs,
+            plan.schedule.len(),
+            plan.exec.config_loads
+        );
+        for (c, gcycle) in plan.schedule.cycles().iter().zip(&plan.global_cycles) {
+            let names: Vec<&str> = c.nodes.iter().map(|&n| g.name(n)).collect();
+            println!("  cycle {gcycle}: [{}] {{{}}}", c.pattern, names.join(","));
+        }
+    }
+    for tr in &mapping.transfers {
+        println!(
+            "transfer {} -> {} (tile {} -> {}): departs {}, arrives {}",
+            g.name(tr.from),
+            g.name(tr.to),
+            tr.from_tile,
+            tr.to_tile,
+            tr.depart,
+            tr.arrive
+        );
+    }
+    println!(
+        "total {} cycles (critical path {}), {} inter-tile transfers",
+        mapping.total_cycles,
+        mapping.critical_path,
+        mapping.transfers.len()
     );
     0
 }
@@ -536,6 +647,7 @@ fn print_pipeline_json(
     println!("    \"analyze_sec\": {:.6},", m.analyze_sec);
     println!("    \"enumerate_sec\": {:.6},", m.enumerate_sec);
     println!("    \"select_sec\": {:.6},", m.select_sec);
+    println!("    \"partition_sec\": {:.6},", m.partition_sec);
     println!("    \"schedule_sec\": {:.6},", m.schedule_sec);
     println!("    \"map_tile_sec\": {:.6},", m.map_tile_sec);
     println!("    \"total_sec\": {:.6},", m.total_sec());

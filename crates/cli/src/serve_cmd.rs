@@ -10,7 +10,8 @@
 //!           [--probe-interval-ms N] [--forward-timeout-ms N]
 //! mps client [--port P] [--retries N] [--timeout-ms N] [--backoff-ms N]
 //!            compile <workload|file> [--pdef N] [--span S|none]
-//!            [--capacity N] [--engine E] [--alus N] [--id N] [--deadline-ms N]
+//!            [--capacity N] [--engine E] [--alus N] [--fabric SPEC]
+//!            [--id N] [--deadline-ms N]
 //! mps client [--port P] (stats | ping | shutdown)
 //! mps client [--port P] peers [<workload|file> [compile flags]]
 //! mps client [--port P] raw '<json line>'
@@ -381,6 +382,7 @@ fn compile_request(args: &[String]) -> Result<Request, i32> {
                 }
             },
             "--engine" => req.engine = Some(value.clone()),
+            "--fabric" => req.fabric = Some(value.clone()),
             "--pdef" | "--capacity" | "--alus" | "--id" | "--deadline-ms" => {
                 match value.parse::<u64>() {
                     Ok(n) => match flag {

@@ -11,6 +11,7 @@
 //! that match on the concrete cause.
 
 use mps_dfg::{DfgError, ParseError};
+use mps_fabric::FabricError;
 use mps_montium::MontiumError;
 use mps_scheduler::ScheduleError;
 use std::fmt;
@@ -25,6 +26,8 @@ pub enum Stage {
     Enumerate,
     /// Pattern selection.
     Select,
+    /// DFG partitioning across a multi-tile fabric.
+    Partition,
     /// Scheduling.
     Schedule,
     /// Tile mapping / cycle-accurate replay.
@@ -37,6 +40,7 @@ impl fmt::Display for Stage {
             Stage::Analyze => "analyze",
             Stage::Enumerate => "enumerate",
             Stage::Select => "select",
+            Stage::Partition => "partition",
             Stage::Schedule => "schedule",
             Stage::MapTile => "map-tile",
         })
@@ -62,6 +66,11 @@ pub enum MpsError {
     /// store overflow, pattern wider than the tile, operand not ready) —
     /// the map-tile stage.
     Montium(MontiumError),
+    /// A multi-tile fabric compile failed: a degenerate fabric or an
+    /// unsupported engine (the partition stage), a per-tile scheduling
+    /// failure (the schedule stage), or a per-tile replay failure (the
+    /// map-tile stage).
+    Fabric(FabricError),
     /// The compile's [`mps_par::CancelToken`] was explicitly cancelled;
     /// `stage` is the stage boundary (or in-stage claim loop) that
     /// observed the cancellation.
@@ -86,6 +95,9 @@ impl MpsError {
             MpsError::Dfg(_) | MpsError::Parse(_) => Stage::Analyze,
             MpsError::Schedule(_) => Stage::Schedule,
             MpsError::Montium(_) => Stage::MapTile,
+            MpsError::Fabric(FabricError::Schedule { .. }) => Stage::Schedule,
+            MpsError::Fabric(FabricError::Montium { .. }) => Stage::MapTile,
+            MpsError::Fabric(_) => Stage::Partition,
             MpsError::Cancelled { stage } | MpsError::DeadlineExceeded { stage } => *stage,
         }
     }
@@ -119,6 +131,7 @@ impl fmt::Display for MpsError {
             MpsError::Parse(e) => e.fmt(f),
             MpsError::Schedule(e) => e.fmt(f),
             MpsError::Montium(e) => e.fmt(f),
+            MpsError::Fabric(e) => e.fmt(f),
             MpsError::Cancelled { .. } => f.write_str("compile cancelled"),
             MpsError::DeadlineExceeded { .. } => f.write_str("deadline exceeded"),
         }
@@ -132,6 +145,7 @@ impl std::error::Error for MpsError {
             MpsError::Parse(e) => Some(e),
             MpsError::Schedule(e) => Some(e),
             MpsError::Montium(e) => Some(e),
+            MpsError::Fabric(e) => Some(e),
             MpsError::Cancelled { .. } | MpsError::DeadlineExceeded { .. } => None,
         }
     }
@@ -161,6 +175,12 @@ impl From<MontiumError> for MpsError {
     }
 }
 
+impl From<FabricError> for MpsError {
+    fn from(e: FabricError) -> MpsError {
+        MpsError::Fabric(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +201,29 @@ mod tests {
         let e: MpsError = MontiumError::SlotOverflow { cycle: 2 }.into();
         assert_eq!(e.stage(), Stage::MapTile);
         assert!(e.to_string().starts_with("map-tile stage:"));
+    }
+
+    #[test]
+    fn fabric_errors_map_to_the_stage_that_failed() {
+        let e: MpsError = FabricError::EmptyFabric.into();
+        assert_eq!(e.stage(), Stage::Partition);
+        assert!(e.to_string().starts_with("partition stage:"), "{e}");
+
+        let e: MpsError = FabricError::Schedule {
+            tile: 1,
+            source: ScheduleError::NoPatterns,
+        }
+        .into();
+        assert_eq!(e.stage(), Stage::Schedule);
+        assert!(e.source().is_some());
+
+        let e: MpsError = FabricError::Montium {
+            tile: 0,
+            source: MontiumError::SlotOverflow { cycle: 2 },
+        }
+        .into();
+        assert_eq!(e.stage(), Stage::MapTile);
+        assert!(!e.is_transient());
     }
 
     #[test]

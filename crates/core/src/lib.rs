@@ -11,6 +11,7 @@
 //! | [`scheduler`] | `mps-scheduler` | multi-pattern list scheduling, classic + force-directed baselines |
 //! | [`select`] | `mps-select` | the Eq. 8 pattern selection algorithm and its baselines |
 //! | [`montium`] | `mps-montium` | 5-ALU / 32-config tile model with cycle-accurate replay |
+//! | [`fabric`] | `mps-fabric` | multi-tile fabric descriptions, DFG partitioning, transfer-aware mapping |
 //! | [`workloads`] | `mps-workloads` | the paper's Fig. 2/Fig. 4 graphs, DFT/FIR/IIR/DCT/matmul generators |
 //! | [`par`] | `mps-par` | crossbeam-based parallel-map substrate |
 //!
@@ -58,6 +59,7 @@
 #![warn(missing_docs)]
 
 pub use mps_dfg as dfg;
+pub use mps_fabric as fabric;
 pub use mps_montium as montium;
 pub use mps_par as par;
 pub use mps_patterns as patterns;
@@ -79,19 +81,21 @@ mod size;
 pub use artifact::{ArtifactError, ArtifactStore, LoadReport};
 pub use error::{MpsError, Stage};
 pub use metrics::{SharedStageMetrics, StageMetrics};
+pub use mps_fabric::{FabricError, FabricMapping, FabricParams, Interconnect};
 pub use mps_par::{CancelKind, CancelToken};
 pub use mps_scheduler::ScheduleEngine;
 pub use mps_select::SelectEngine;
 pub use session::{
-    Analysis, CompileConfig, CompileResult, Enumerated, Mapped, Scheduled, Selected, Session,
-    StageProbe, TableBuildHook, TableCache, TableKey,
+    Analysis, CompileConfig, CompileResult, Enumerated, FabricMapped, FabricScheduled, Mapped,
+    Partitioned, Scheduled, Selected, Session, StageProbe, TableBuildHook, TableCache, TableKey,
 };
 pub use size::{approx_result_bytes, approx_table_bytes};
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use crate::{
-        CompileConfig, CompileResult, MpsError, Session, Stage as MpsStage, StageMetrics,
+        CompileConfig, CompileResult, FabricMapping, FabricParams, MpsError, Session,
+        Stage as MpsStage, StageMetrics,
     };
     pub use mps_dfg::{
         AnalyzedDfg, Color, ColorSet, Dfg, DfgBuilder, Levels, NodeId, Reachability,

@@ -30,6 +30,11 @@ pub struct StageMetrics {
     pub enumerate_sec: f64,
     /// Wall time of pattern selection.
     pub select_sec: f64,
+    /// Wall time of the fabric partition stage (zero on single-tile
+    /// compiles, which never run it). Late addition: `default` keeps
+    /// pre-fabric serialized metrics decodable.
+    #[serde(default)]
+    pub partition_sec: f64,
     /// Wall time of scheduling.
     pub schedule_sec: f64,
     /// Wall time of tile mapping/replay.
@@ -54,6 +59,7 @@ impl StageMetrics {
         self.analyze_sec
             + self.enumerate_sec
             + self.select_sec
+            + self.partition_sec
             + self.schedule_sec
             + self.map_tile_sec
     }
@@ -73,6 +79,7 @@ impl StageMetrics {
         self.analyze_sec += other.analyze_sec;
         self.enumerate_sec += other.enumerate_sec;
         self.select_sec += other.select_sec;
+        self.partition_sec += other.partition_sec;
         self.schedule_sec += other.schedule_sec;
         self.map_tile_sec += other.map_tile_sec;
         self.antichains += other.antichains;
@@ -134,6 +141,7 @@ mod tests {
             analyze_sec: q(3),
             enumerate_sec: q(5),
             select_sec: q(7),
+            partition_sec: q(17),
             schedule_sec: q(11),
             map_tile_sec: q(13),
             antichains: seed % 100_000,

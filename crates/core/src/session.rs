@@ -29,6 +29,7 @@
 use crate::error::{MpsError, Stage};
 pub use crate::metrics::StageMetrics;
 use mps_dfg::{AnalyzedDfg, Dfg};
+use mps_fabric::{FabricError, FabricMapping, FabricParams};
 use mps_montium::{execute, ExecReport, TileParams};
 use mps_par::CancelToken;
 use mps_patterns::{EnumerateConfig, PatternSet, PatternTable};
@@ -55,8 +56,15 @@ pub struct CompileConfig {
     /// The scheduling strategy.
     pub schedule: ScheduleEngine,
     /// When set, [`Session::compile`] finishes with a cycle-accurate
-    /// replay on this tile ([`CompileResult::exec`]).
+    /// replay on this tile ([`CompileResult::exec`]). Ignored when
+    /// `fabric` is set — a fabric compile replays every tile.
     pub tile: Option<TileParams>,
+    /// When set, [`Session::compile`] runs the multi-tile pipeline:
+    /// `… select → partition → schedule → map-tile`, cutting the graph
+    /// across the fabric's tiles, scheduling each slice on its own tile
+    /// (transfer-aware), and replaying all of them into
+    /// [`CompileResult::fabric`]. Requires the list scheduling engine.
+    pub fabric: Option<FabricParams>,
 }
 
 impl CompileConfig {
@@ -71,11 +79,23 @@ impl CompileConfig {
     /// every field of every nested config — including `f64`s, which
     /// `Debug` prints with shortest-round-trip precision, so distinct
     /// values never collapse to one rendering.
+    ///
+    /// The `fabric` field only enters the rendering when it is `Some`:
+    /// a `fabric: None` config hashes exactly as it did before the field
+    /// existed, so every pre-fabric artifact on disk (keyed by this
+    /// hash) stays addressable. Pinned by the `pre_fabric_*` fixtures.
     pub fn content_hash(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let rendered = match &self.fabric {
+            None => format!(
+                "CompileConfig {{ select: {:?}, engine: {:?}, schedule: {:?}, tile: {:?} }}",
+                self.select, self.engine, self.schedule, self.tile
+            ),
+            Some(_) => format!("{self:?}"),
+        };
         let mut h = OFFSET;
-        for b in format!("{self:?}").bytes() {
+        for b in rendered.bytes() {
             h = (h ^ u64::from(b)).wrapping_mul(PRIME);
         }
         h
@@ -665,7 +685,11 @@ impl Session {
 
     /// Run the full staged pipeline per [`Session::config`]: analyze →
     /// enumerate (at the config's span limit) → select → schedule →
-    /// optionally map onto the configured tile.
+    /// optionally map onto the configured tile. With a
+    /// [`CompileConfig::fabric`] the back half becomes the multi-tile
+    /// flow instead: select → **partition** → schedule (each tile's
+    /// slice, transfer-aware) → map-tile (replay every tile), producing
+    /// [`CompileResult::fabric`].
     ///
     /// When the session carries a [`CancelToken`]
     /// ([`Session::set_cancel_token`]), every stage boundary checks it —
@@ -697,6 +721,14 @@ impl Session {
         let enumerated = analysis.enumerate_impl(cfg.select.span_limit, cancel.as_ref())?;
         gate(Stage::Select)?;
         let selected = enumerated.select(&cfg.engine);
+        if let Some(fabric) = &cfg.fabric {
+            gate(Stage::Partition)?;
+            let partitioned = selected.partition(fabric)?;
+            gate(Stage::Schedule)?;
+            let scheduled = partitioned.schedule_fabric(&cfg.schedule)?;
+            gate(Stage::MapTile)?;
+            return Ok(scheduled.map_fabric()?.finish());
+        }
         gate(Stage::Schedule)?;
         let scheduled = selected.schedule(&cfg.schedule)?;
         match cfg.tile {
@@ -941,6 +973,193 @@ impl<'s> Selected<'s> {
             scheduled,
         })
     }
+
+    /// Run the fabric partition stage: validate the architecture
+    /// description and cut the graph into per-tile node sets
+    /// ([`mps_fabric::partition`]). The multi-tile counterpart of going
+    /// straight to [`Selected::schedule`].
+    pub fn partition(self, params: &FabricParams) -> Result<Partitioned<'s>, MpsError> {
+        let Selected {
+            session,
+            mut metrics,
+            selection,
+        } = self;
+        let t0 = Instant::now();
+        let result = params
+            .validate()
+            .map(|()| mps_fabric::partition(session.analyzed().dfg(), params));
+        let dt = t0.elapsed().as_secs_f64();
+        metrics.partition_sec += dt;
+        session.metrics.partition_sec += dt;
+        let partition = result?;
+        Ok(Partitioned {
+            session,
+            metrics,
+            selection,
+            params: params.clone(),
+            partition,
+        })
+    }
+}
+
+/// Stage artifact: the per-tile partition of the graph. Produced by
+/// [`Selected::partition`].
+#[derive(Debug)]
+pub struct Partitioned<'s> {
+    session: &'s mut Session,
+    metrics: StageMetrics,
+    selection: SelectionOutcome,
+    params: FabricParams,
+    partition: mps_fabric::Partition,
+}
+
+impl<'s> Partitioned<'s> {
+    /// The partition (tile assignment per node, cut edges).
+    pub fn partition(&self) -> &mps_fabric::Partition {
+        &self.partition
+    }
+
+    /// The selection that feeds every tile's scheduler.
+    pub fn selection(&self) -> &SelectionOutcome {
+        &self.selection
+    }
+
+    /// Run the fabric scheduling stage: every tile's slice against its
+    /// own parameters on a shared global clock, consumers of cut edges
+    /// released only once their transfer arrives. Only the list engine
+    /// has a release-aware variant — any other engine fails with
+    /// [`mps_fabric::FabricError::UnsupportedEngine`].
+    pub fn schedule_fabric(self, engine: &ScheduleEngine) -> Result<FabricScheduled<'s>, MpsError> {
+        let Partitioned {
+            session,
+            mut metrics,
+            selection,
+            params,
+            partition,
+        } = self;
+        let config = match engine {
+            ScheduleEngine::List(config) => *config,
+            other => {
+                return Err(FabricError::UnsupportedEngine {
+                    engine: other.name().to_string(),
+                }
+                .into())
+            }
+        };
+        let t0 = Instant::now();
+        let result = mps_fabric::schedule_partitioned(
+            session.analyzed(),
+            &selection.patterns,
+            config,
+            &params,
+            partition,
+        );
+        let dt = t0.elapsed().as_secs_f64();
+        metrics.schedule_sec += dt;
+        session.metrics.schedule_sec += dt;
+        let fabric = result?;
+        metrics.cycles = fabric.tiles.iter().map(|t| t.schedule.len()).sum();
+        session.metrics.cycles = metrics.cycles;
+        Ok(FabricScheduled {
+            session,
+            metrics,
+            selection,
+            fabric,
+        })
+    }
+}
+
+/// Stage artifact: every tile scheduled on the shared global clock.
+/// Produced by [`Partitioned::schedule_fabric`].
+#[derive(Debug)]
+pub struct FabricScheduled<'s> {
+    session: &'s mut Session,
+    metrics: StageMetrics,
+    selection: SelectionOutcome,
+    fabric: mps_fabric::FabricSchedule,
+}
+
+impl<'s> FabricScheduled<'s> {
+    /// The per-tile schedules (local ids, global cycles).
+    pub fn fabric_schedule(&self) -> &mps_fabric::FabricSchedule {
+        &self.fabric
+    }
+
+    /// Run the fabric map-tile stage: replay every tile cycle-accurately
+    /// and merge the plans, transfers, and makespan into a validated
+    /// [`FabricMapping`].
+    pub fn map_fabric(self) -> Result<FabricMapped<'s>, MpsError> {
+        let FabricScheduled {
+            session,
+            mut metrics,
+            selection,
+            fabric,
+        } = self;
+        let t0 = Instant::now();
+        let result = mps_fabric::replay_fabric(&fabric, &selection.patterns).and_then(|mapping| {
+            mapping.validate(session.analyzed().dfg())?;
+            Ok(mapping)
+        });
+        let dt = t0.elapsed().as_secs_f64();
+        metrics.map_tile_sec += dt;
+        session.metrics.map_tile_sec += dt;
+        let mapping = result?;
+        Ok(FabricMapped {
+            _session: session,
+            metrics,
+            selection,
+            mapping,
+        })
+    }
+}
+
+/// Stage artifact: the replayed, validated fabric mapping. Produced by
+/// [`FabricScheduled::map_fabric`].
+#[derive(Debug)]
+pub struct FabricMapped<'s> {
+    _session: &'s mut Session,
+    metrics: StageMetrics,
+    selection: SelectionOutcome,
+    mapping: FabricMapping,
+}
+
+impl FabricMapped<'_> {
+    /// The fabric mapping (per-tile plans, transfers, makespan).
+    pub fn mapping(&self) -> &FabricMapping {
+        &self.mapping
+    }
+
+    /// Finish the chain. [`CompileResult::schedule`] is the per-tile
+    /// schedules concatenated in fabric order (global node ids) and
+    /// [`CompileResult::cycles`] its length; [`CompileResult::exec`] is
+    /// set only for one-tile fabrics, where it equals the plain
+    /// pipeline's replay bit for bit.
+    pub fn finish(self) -> CompileResult {
+        let schedule = Schedule::from_cycles(
+            self.mapping
+                .tiles
+                .iter()
+                .flat_map(|t| t.schedule.cycles().iter().cloned())
+                .collect(),
+        );
+        let exec = match &self.mapping.tiles[..] {
+            [only] => Some(only.exec.clone()),
+            _ => None,
+        };
+        CompileResult {
+            selection: self.selection,
+            cycles: schedule.len(),
+            schedule,
+            trace: None,
+            ii: None,
+            mii: None,
+            slot_patterns: None,
+            switches: None,
+            exec,
+            fabric: Some(self.mapping),
+            metrics: self.metrics,
+        }
+    }
 }
 
 /// Stage artifact: the schedule (plus engine extras — initiation
@@ -1010,6 +1229,7 @@ impl<'s> Scheduled<'s> {
             slot_patterns: self.scheduled.slot_patterns,
             switches: self.scheduled.switches,
             exec: None,
+            fabric: None,
             metrics: self.metrics,
         }
     }
@@ -1045,6 +1265,7 @@ impl Mapped<'_> {
             slot_patterns: self.scheduled.slot_patterns,
             switches: self.scheduled.switches,
             exec: Some(self.report),
+            fabric: None,
             metrics: self.metrics,
         }
     }
@@ -1074,8 +1295,14 @@ pub struct CompileResult {
     pub slot_patterns: Option<Vec<mps_patterns::Pattern>>,
     /// Pattern reconfigurations (switch-aware scheduling only).
     pub switches: Option<usize>,
-    /// Tile replay report, when the compile mapped onto a tile.
+    /// Tile replay report, when the compile mapped onto a tile (for
+    /// fabric compiles: set only on one-tile fabrics, where it equals
+    /// the plain pipeline's replay bit for bit).
     pub exec: Option<ExecReport>,
+    /// The multi-tile mapping, when the compile targeted a fabric. Late
+    /// addition: `default` keeps pre-fabric artifacts decodable.
+    #[serde(default)]
+    pub fabric: Option<FabricMapping>,
     /// Per-stage wall times and counters of this compile.
     pub metrics: StageMetrics,
 }
@@ -1425,6 +1652,106 @@ mod tests {
             ..Default::default()
         };
         assert_ne!(base.content_hash(), tiled.content_hash());
+        let fabric = CompileConfig {
+            fabric: Some(FabricParams::uniform(2, TileParams::default())),
+            ..Default::default()
+        };
+        assert_ne!(base.content_hash(), fabric.content_hash());
+        let one_tile_fabric = CompileConfig {
+            fabric: Some(FabricParams::default()),
+            ..Default::default()
+        };
+        assert_ne!(
+            base.content_hash(),
+            one_tile_fabric.content_hash(),
+            "an explicit fabric is a distinct artifact identity even with one tile"
+        );
+        assert_ne!(fabric.content_hash(), one_tile_fabric.content_hash());
+    }
+
+    #[test]
+    fn fabric_compile_single_tile_is_bit_identical_to_plain() {
+        let plain = Session::with_config(
+            fig2(),
+            CompileConfig {
+                tile: Some(TileParams::default()),
+                ..Default::default()
+            },
+        )
+        .compile()
+        .unwrap();
+        let fabric = Session::with_config(
+            fig2(),
+            CompileConfig {
+                fabric: Some(FabricParams::default()),
+                ..Default::default()
+            },
+        )
+        .compile()
+        .unwrap();
+        assert_eq!(fabric.selection, plain.selection);
+        assert_eq!(fabric.schedule, plain.schedule);
+        assert_eq!(fabric.cycles, plain.cycles);
+        assert_eq!(fabric.exec, plain.exec);
+        let mapping = fabric.fabric.expect("fabric compile carries its mapping");
+        assert_eq!(mapping.tile_count(), 1);
+        assert_eq!(mapping.transfer_count(), 0);
+        assert_eq!(mapping.total_cycles, plain.cycles as u64);
+    }
+
+    #[test]
+    fn fabric_compile_runs_the_partition_stage() {
+        use crate::error::Stage;
+        use std::sync::Mutex as StdMutex;
+        let seen = Arc::new(StdMutex::new(Vec::new()));
+        let log = Arc::clone(&seen);
+        let mut session = Session::with_config(
+            fig2(),
+            CompileConfig {
+                fabric: Some(FabricParams::uniform(2, TileParams::default())),
+                ..Default::default()
+            },
+        );
+        session.set_stage_probe(StageProbe::new(move |stage| {
+            log.lock().unwrap().push(stage);
+            Ok(())
+        }));
+        let result = session.compile().unwrap();
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![
+                Stage::Analyze,
+                Stage::Enumerate,
+                Stage::Select,
+                Stage::Partition,
+                Stage::Schedule,
+                Stage::MapTile
+            ]
+        );
+        let mapping = result.fabric.unwrap();
+        assert_eq!(mapping.tile_count(), 2);
+        assert!(result.metrics.partition_sec > 0.0);
+    }
+
+    #[test]
+    fn fabric_compile_rejects_non_list_engines() {
+        let mut session = Session::with_config(
+            fig2(),
+            CompileConfig {
+                fabric: Some(FabricParams::default()),
+                schedule: ScheduleEngine::parse("beam").unwrap(),
+                ..Default::default()
+            },
+        );
+        let err = session.compile().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MpsError::Fabric(mps_fabric::FabricError::UnsupportedEngine { .. })
+            ),
+            "{err}"
+        );
+        assert_eq!(err.stage(), crate::error::Stage::Partition);
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Multi-tile fabric: architecture descriptions, DFG partitioning, and
+//! fabric mapping.
+//!
+//! The paper maps one data-flow graph onto one Montium tile. A real
+//! reconfigurable part is a *fabric* of such tiles behind an
+//! interconnect, and mapping onto it adds one pipeline stage: **cut the
+//! graph across tiles** before scheduling each piece. This crate owns
+//! that stage:
+//!
+//! * [`FabricParams`] — the architecture description: N tiles, each with
+//!   its own ALU count and configuration-store size
+//!   ([`mps_montium::TileParams`]), plus an [`Interconnect`] model (the
+//!   extra cycles a value spends crossing between tiles);
+//! * [`partition`] — a deterministic topological-contiguity heuristic
+//!   that cuts the graph into per-tile node sets while minimizing the
+//!   edges severed at each boundary, with a naive
+//!   [`partition_reference`] oracle (the repo's engine + `*_reference`
+//!   convention: decision-identical, property-tested);
+//! * [`map_fabric`] and its staged halves ([`schedule_fabric`],
+//!   [`replay_fabric`]) — schedule every partition against its own tile
+//!   on a shared global clock (consumers of cut edges are *released*
+//!   only once the transfer arrives), replay each tile cycle-accurately,
+//!   and merge the per-tile schedules plus explicit [`Transfer`]s into a
+//!   [`FabricMapping`] with total-latency and critical-path accounting.
+//!
+//! The subsystem's built-in correctness oracle: a **single-tile fabric
+//! reproduces the plain single-tile pipeline bit-identically** — the
+//! partition is trivial, no releases fire, and the release-aware
+//! scheduler with all-zero releases is decision-identical to the plain
+//! Fig. 3 loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod map;
+mod mapping;
+mod params;
+mod partition;
+
+pub use error::FabricError;
+pub use map::{
+    map_fabric, replay_fabric, schedule_fabric, schedule_partitioned, FabricSchedule, TileSchedule,
+};
+pub use mapping::{FabricMapping, TilePlan, Transfer};
+pub use params::{FabricParams, Interconnect};
+pub use partition::{partition, partition_reference, Partition};

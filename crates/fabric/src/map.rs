@@ -1,0 +1,338 @@
+//! Fabric mapping: partition, per-tile release-aware scheduling, and
+//! cycle-accurate replay merged into a [`FabricMapping`].
+//!
+//! The stage is split in two so a pipeline can time (and gate) them
+//! separately:
+//!
+//! 1. [`schedule_fabric`] — partition the graph, then schedule each
+//!    tile's slice in fabric order on a shared global clock. Consumers
+//!    of cut edges are *released* only once their transfer arrives, so
+//!    a later tile's schedule opens idle gaps instead of violating the
+//!    interconnect. The result ([`FabricSchedule`]) carries each tile's
+//!    local graph and compact schedule.
+//! 2. [`replay_fabric`] — replay every tile on its own
+//!    [`mps_montium::TileParams`] model, remap the local node ids back
+//!    to global ones, synthesize one [`Transfer`] per cut edge, and
+//!    account the fabric makespan.
+//!
+//! [`map_fabric`] composes both. With a one-tile fabric the partition
+//! is trivial and no releases fire, so the result is bit-identical to
+//! `schedule_multi_pattern` + `execute` on the whole graph — the
+//! subsystem's built-in oracle, pinned by the tests below.
+
+use crate::error::FabricError;
+use crate::mapping::{FabricMapping, TilePlan, Transfer};
+use crate::params::FabricParams;
+use crate::partition::{partition, Partition};
+use mps_dfg::{induced_subgraph, AnalyzedDfg, NodeId};
+use mps_montium::{execute, AluSlot, TileParams};
+use mps_patterns::PatternSet;
+use mps_scheduler::{
+    schedule_multi_pattern_released, MultiPatternConfig, Schedule, ScheduledCycle,
+};
+
+/// One tile's scheduled slice, before replay. Local node id `i` is
+/// global node `keep[i]`.
+#[derive(Clone, Debug)]
+pub struct TileSchedule {
+    /// The tile's architecture parameters.
+    pub params: TileParams,
+    /// Global node id of each local node, in local-id order.
+    pub keep: Vec<NodeId>,
+    /// The tile's slice of the graph, re-analyzed in local ids.
+    pub adfg: AnalyzedDfg,
+    /// The tile's compact schedule, in **local** node ids.
+    pub schedule: Schedule,
+    /// Global fabric cycle of each compact row (strictly increasing).
+    pub global_cycles: Vec<u64>,
+}
+
+/// Every tile scheduled against the shared global clock — the output of
+/// [`schedule_fabric`] and the input of [`replay_fabric`].
+#[derive(Clone, Debug)]
+pub struct FabricSchedule {
+    /// The architecture being mapped onto.
+    pub params: FabricParams,
+    /// The partition the schedules follow.
+    pub partition: Partition,
+    /// Per-tile schedules, in fabric order.
+    pub tiles: Vec<TileSchedule>,
+    /// Global cycle each node executes at (indexed by `NodeId::index`).
+    pub node_gcycle: Vec<u64>,
+    /// The graph's critical-path length in nodes.
+    pub critical_path: u32,
+}
+
+/// Partition `adfg` across the fabric and schedule every tile's slice
+/// on the shared global clock.
+///
+/// Tiles are scheduled in fabric order; because the partition is
+/// tile-monotone, every producer of a cut edge is scheduled before its
+/// consumer's tile runs, so the consumer's release cycle
+/// (`producer + 1 + transfer_latency`) is known exactly.
+pub fn schedule_fabric(
+    adfg: &AnalyzedDfg,
+    patterns: &PatternSet,
+    config: MultiPatternConfig,
+    params: &FabricParams,
+) -> Result<FabricSchedule, FabricError> {
+    params.validate()?;
+    let part = partition(adfg.dfg(), params);
+    schedule_partitioned(adfg, patterns, config, params, part)
+}
+
+/// [`schedule_fabric`] for a caller that already ran (and timed, and
+/// gated) the partition stage itself. `part` must be a partition of
+/// `adfg` under `params` (as produced by [`partition`]).
+pub fn schedule_partitioned(
+    adfg: &AnalyzedDfg,
+    patterns: &PatternSet,
+    config: MultiPatternConfig,
+    params: &FabricParams,
+    part: Partition,
+) -> Result<FabricSchedule, FabricError> {
+    let n = adfg.len();
+    let latency = params.interconnect.transfer_latency;
+
+    let mut releases = vec![0u64; n];
+    let mut gcycle = vec![0u64; n];
+    let mut tiles = Vec::with_capacity(params.tiles.len());
+    for (t, &tile_params) in params.tiles.iter().enumerate() {
+        let keep = part.members(t);
+        let (local_dfg, _) = induced_subgraph(adfg.dfg(), &keep);
+        let local_adfg = AnalyzedDfg::new(local_dfg);
+        let local_releases: Vec<u64> = keep.iter().map(|&g| releases[g.index()]).collect();
+        let released =
+            schedule_multi_pattern_released(&local_adfg, patterns, config, &local_releases)
+                .map_err(|source| FabricError::Schedule { tile: t, source })?;
+
+        for (row, &gc) in released
+            .schedule
+            .cycles()
+            .iter()
+            .zip(&released.global_cycles)
+        {
+            for &local in &row.nodes {
+                gcycle[keep[local.index()].index()] = gc;
+            }
+        }
+        // Open the consumers of this tile's cut edges no earlier than
+        // their transfer's arrival.
+        for &(u, v) in &part.cuts {
+            if part.tile_of[u.index()] == t {
+                let arrive = gcycle[u.index()] + 1 + latency;
+                releases[v.index()] = releases[v.index()].max(arrive);
+            }
+        }
+        tiles.push(TileSchedule {
+            params: tile_params,
+            keep,
+            adfg: local_adfg,
+            schedule: released.schedule,
+            global_cycles: released.global_cycles,
+        });
+    }
+
+    Ok(FabricSchedule {
+        params: params.clone(),
+        partition: part,
+        tiles,
+        node_gcycle: gcycle,
+        critical_path: adfg.levels().critical_path_len(),
+    })
+}
+
+/// Replay every tile of `fs` cycle-accurately and merge the results —
+/// per-tile plans in global node ids, one [`Transfer`] per cut edge,
+/// and the fabric makespan — into a validated-shape [`FabricMapping`].
+pub fn replay_fabric(
+    fs: &FabricSchedule,
+    patterns: &PatternSet,
+) -> Result<FabricMapping, FabricError> {
+    let mut tiles = Vec::with_capacity(fs.tiles.len());
+    for (t, ts) in fs.tiles.iter().enumerate() {
+        let mut exec = execute(&ts.adfg, &ts.schedule, patterns, ts.params)
+            .map_err(|source| FabricError::Montium { tile: t, source })?;
+        exec.bindings = exec
+            .bindings
+            .iter()
+            .map(|b| AluSlot {
+                node: ts.keep[b.node.index()],
+                ..*b
+            })
+            .collect();
+        let schedule = Schedule::from_cycles(
+            ts.schedule
+                .cycles()
+                .iter()
+                .map(|c| ScheduledCycle {
+                    pattern: c.pattern,
+                    nodes: c.nodes.iter().map(|&l| ts.keep[l.index()]).collect(),
+                })
+                .collect(),
+        );
+        tiles.push(TilePlan {
+            params: ts.params,
+            schedule,
+            global_cycles: ts.global_cycles.clone(),
+            exec,
+        });
+    }
+
+    let latency = fs.params.interconnect.transfer_latency;
+    let transfers = fs
+        .partition
+        .cuts
+        .iter()
+        .map(|&(u, v)| {
+            let depart = fs.node_gcycle[u.index()] + 1;
+            Transfer {
+                from: u,
+                to: v,
+                from_tile: fs.partition.tile_of[u.index()],
+                to_tile: fs.partition.tile_of[v.index()],
+                depart,
+                arrive: depart + latency,
+            }
+        })
+        .collect();
+
+    Ok(FabricMapping {
+        params: fs.params.clone(),
+        tile_of: fs.partition.tile_of.clone(),
+        tiles,
+        transfers,
+        total_cycles: fs.node_gcycle.iter().map(|&g| g + 1).max().unwrap_or(0),
+        critical_path: fs.critical_path,
+    })
+}
+
+/// The whole fabric stage in one call: [`schedule_fabric`] then
+/// [`replay_fabric`].
+pub fn map_fabric(
+    adfg: &AnalyzedDfg,
+    patterns: &PatternSet,
+    config: MultiPatternConfig,
+    params: &FabricParams,
+) -> Result<FabricMapping, FabricError> {
+    let fs = schedule_fabric(adfg, patterns, config, params)?;
+    replay_fabric(&fs, patterns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::{Color, Dfg, DfgBuilder};
+    use mps_scheduler::schedule_multi_pattern;
+
+    fn c(ch: char) -> Color {
+        Color::from_char(ch).unwrap()
+    }
+
+    /// A two-level graph: four independent 'a' producers each feeding
+    /// one of four 'b' consumers.
+    fn fan_graph() -> Dfg {
+        let mut b = DfgBuilder::new();
+        let prods: Vec<NodeId> = (0..4)
+            .map(|i| b.add_node(format!("p{i}"), c('a')))
+            .collect();
+        for (i, &p) in prods.iter().enumerate() {
+            let q = b.add_node(format!("q{i}"), c('b'));
+            b.add_edge(p, q).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_tile_fabric_matches_the_plain_pipeline() {
+        let adfg = AnalyzedDfg::new(fan_graph());
+        let patterns = PatternSet::parse("aab ab b").unwrap();
+        let config = MultiPatternConfig::default();
+        let plain = schedule_multi_pattern(&adfg, &patterns, config).unwrap();
+        let plain_exec = execute(&adfg, &plain.schedule, &patterns, TileParams::default()).unwrap();
+
+        let mapping = map_fabric(&adfg, &patterns, config, &FabricParams::default()).unwrap();
+        mapping.validate(adfg.dfg()).unwrap();
+        assert_eq!(mapping.tiles.len(), 1);
+        assert_eq!(mapping.tiles[0].schedule, plain.schedule);
+        assert_eq!(mapping.tiles[0].exec, plain_exec);
+        assert_eq!(
+            mapping.tiles[0].global_cycles,
+            (0..plain.schedule.len() as u64).collect::<Vec<_>>()
+        );
+        assert!(mapping.transfers.is_empty());
+        assert_eq!(mapping.total_cycles, plain.schedule.len() as u64);
+    }
+
+    #[test]
+    fn cut_edges_delay_consumers_by_the_transfer_latency() {
+        let adfg = AnalyzedDfg::new(fan_graph());
+        let patterns = PatternSet::parse("aab ab b bb aa").unwrap();
+        let mut params = FabricParams::parse("2@3").unwrap();
+        params.interconnect.transfer_latency = 3;
+        let mapping = map_fabric(&adfg, &patterns, MultiPatternConfig::default(), &params).unwrap();
+        mapping.validate(adfg.dfg()).unwrap();
+        assert!(
+            !mapping.transfers.is_empty(),
+            "a fan split across two tiles must cut at least one edge"
+        );
+        for tr in &mapping.transfers {
+            assert_eq!(tr.arrive - tr.depart, 3);
+            assert!(tr.from_tile < tr.to_tile, "partition is tile-monotone");
+        }
+    }
+
+    #[test]
+    fn replay_reports_bind_global_ids() {
+        let adfg = AnalyzedDfg::new(fan_graph());
+        let patterns = PatternSet::parse("aab ab b bb aa").unwrap();
+        let params = FabricParams::parse("2").unwrap();
+        let mapping = map_fabric(&adfg, &patterns, MultiPatternConfig::default(), &params).unwrap();
+        let mut seen: Vec<NodeId> = mapping
+            .tiles
+            .iter()
+            .flat_map(|t| t.exec.bindings.iter().map(|b| b.node))
+            .collect();
+        seen.sort_by_key(|id| id.index());
+        let all: Vec<NodeId> = adfg.dfg().node_ids().collect();
+        assert_eq!(seen, all, "every global node bound exactly once");
+    }
+
+    #[test]
+    fn degenerate_fabrics_are_rejected() {
+        let adfg = AnalyzedDfg::new(fan_graph());
+        let patterns = PatternSet::parse("ab").unwrap();
+        let empty = FabricParams {
+            tiles: vec![],
+            interconnect: Default::default(),
+        };
+        assert_eq!(
+            map_fabric(&adfg, &patterns, MultiPatternConfig::default(), &empty).unwrap_err(),
+            FabricError::EmptyFabric
+        );
+    }
+
+    #[test]
+    fn tile_schedule_errors_name_the_tile() {
+        // 'b' consumers land on tile 1 but no pattern covers 'b'.
+        let adfg = AnalyzedDfg::new(fan_graph());
+        let patterns = PatternSet::parse("aa").unwrap();
+        let params = FabricParams::parse("2").unwrap();
+        let err = map_fabric(&adfg, &patterns, MultiPatternConfig::default(), &params).unwrap_err();
+        assert!(
+            matches!(err, FabricError::Schedule { .. }),
+            "expected a schedule error, got {err}"
+        );
+    }
+
+    #[test]
+    fn empty_graph_maps_to_an_empty_fabric_plan() {
+        let adfg = AnalyzedDfg::new(DfgBuilder::new().build().unwrap());
+        let patterns = PatternSet::new();
+        let params = FabricParams::parse("2").unwrap();
+        let mapping = map_fabric(&adfg, &patterns, MultiPatternConfig::default(), &params).unwrap();
+        mapping.validate(adfg.dfg()).unwrap();
+        assert_eq!(mapping.total_cycles, 0);
+        assert!(mapping.transfers.is_empty());
+    }
+}

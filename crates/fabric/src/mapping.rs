@@ -1,0 +1,199 @@
+//! The fabric mapping: per-tile plans, explicit transfers, and the
+//! whole-fabric accounting.
+
+use crate::error::FabricError;
+use crate::params::FabricParams;
+use mps_dfg::{Dfg, NodeId};
+use mps_montium::ExecReport;
+use mps_scheduler::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// One value crossing the interconnect: the cut edge it serves and its
+/// departure/arrival cycles on the global fabric clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Producing node (on `from_tile`).
+    pub from: NodeId,
+    /// Consuming node (on `to_tile`).
+    pub to: NodeId,
+    /// Tile the value leaves.
+    pub from_tile: usize,
+    /// Tile the value reaches.
+    pub to_tile: usize,
+    /// Global cycle the value enters the interconnect (the cycle after
+    /// its producer executes).
+    pub depart: u64,
+    /// Global cycle the value is available on `to_tile`:
+    /// `depart + transfer_latency`. The consumer issues at this cycle or
+    /// later.
+    pub arrive: u64,
+}
+
+/// One tile's slice of the fabric mapping.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TilePlan {
+    /// The tile's architecture parameters.
+    pub params: mps_montium::TileParams,
+    /// The tile's compact schedule, in **global** node ids.
+    pub schedule: Schedule,
+    /// Global fabric cycle of each compact schedule row (strictly
+    /// increasing, parallel to `schedule.cycles()`).
+    pub global_cycles: Vec<u64>,
+    /// Cycle-accurate replay report (bindings in global node ids; the
+    /// `cycle` of each binding indexes the compact schedule rows).
+    pub exec: ExecReport,
+}
+
+/// A whole compile mapped across a fabric: the partition, every tile's
+/// plan and replay report, the inter-tile transfers, and the
+/// total-latency / critical-path accounting.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FabricMapping {
+    /// The architecture this mapping targets.
+    pub params: FabricParams,
+    /// Tile index per node (indexed by `NodeId::index`).
+    pub tile_of: Vec<usize>,
+    /// Per-tile plans, in fabric order.
+    pub tiles: Vec<TilePlan>,
+    /// One transfer per cut edge, in the graph's canonical edge order.
+    pub transfers: Vec<Transfer>,
+    /// Parallel makespan: the cycle after the last node executes on the
+    /// global fabric clock (≥ any single tile's span).
+    pub total_cycles: u64,
+    /// The graph's critical-path length in nodes — the latency floor no
+    /// fabric can beat.
+    pub critical_path: u32,
+}
+
+impl FabricMapping {
+    /// Number of tiles in the mapping.
+    pub fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Number of inter-tile transfers.
+    pub fn transfer_count(&self) -> usize {
+        self.transfers.len()
+    }
+
+    /// Global cycle of every node (indexed by `NodeId::index`), read
+    /// back off the per-tile plans.
+    fn node_cycles(&self, n: usize) -> Result<Vec<Option<u64>>, FabricError> {
+        let mut gcycle: Vec<Option<u64>> = vec![None; n];
+        for (t, plan) in self.tiles.iter().enumerate() {
+            if plan.schedule.len() != plan.global_cycles.len() {
+                return Err(FabricError::InvalidMapping(format!(
+                    "tile {t}: {} schedule rows but {} global cycles",
+                    plan.schedule.len(),
+                    plan.global_cycles.len()
+                )));
+            }
+            for (row, &gc) in plan.schedule.cycles().iter().zip(&plan.global_cycles) {
+                for &node in &row.nodes {
+                    if node.index() >= n {
+                        return Err(FabricError::InvalidMapping(format!(
+                            "tile {t} schedules unknown node {node:?}"
+                        )));
+                    }
+                    if self.tile_of[node.index()] != t {
+                        return Err(FabricError::InvalidMapping(format!(
+                            "node {node:?} scheduled on tile {t}, assigned to {}",
+                            self.tile_of[node.index()]
+                        )));
+                    }
+                    if gcycle[node.index()].replace(gc).is_some() {
+                        return Err(FabricError::InvalidMapping(format!(
+                            "node {node:?} scheduled twice"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(gcycle)
+    }
+
+    /// Validate the mapping against its graph: every node scheduled
+    /// exactly once on its assigned tile, per-tile clocks strictly
+    /// increasing, every dependency satisfied (with transfer latency
+    /// across tiles), cut edges carrying exactly one transfer each and
+    /// intra-tile edges none, replay reports consistent with the tile
+    /// parameters, and the makespan accounted.
+    pub fn validate(&self, dfg: &Dfg) -> Result<(), FabricError> {
+        let n = dfg.len();
+        let bad = |msg: String| Err(FabricError::InvalidMapping(msg));
+        if self.tile_of.len() != n {
+            return bad(format!(
+                "tile_of covers {} nodes, graph has {}",
+                self.tile_of.len(),
+                n
+            ));
+        }
+        if self.tiles.len() != self.params.tiles.len() {
+            return bad(format!(
+                "{} tile plans for {} tiles",
+                self.tiles.len(),
+                self.params.tiles.len()
+            ));
+        }
+        let gcycle = self.node_cycles(n)?;
+        if let Some(i) = gcycle.iter().position(Option::is_none) {
+            return bad(format!("node {i} never scheduled"));
+        }
+        let gc = |id: NodeId| gcycle[id.index()].expect("checked above");
+
+        for (t, plan) in self.tiles.iter().enumerate() {
+            if !plan.global_cycles.windows(2).all(|w| w[0] < w[1]) {
+                return bad(format!("tile {t}: global cycles not strictly increasing"));
+            }
+            if plan.exec.cycles != plan.schedule.len() {
+                return bad(format!("tile {t}: replay ran a different schedule"));
+            }
+            if plan.exec.alu_busy.len() != plan.params.alus {
+                return bad(format!("tile {t}: replay saw a different ALU count"));
+            }
+            if plan.exec.config_loads > plan.params.max_configs {
+                return bad(format!(
+                    "tile {t}: {} configurations exceed the {}-entry store",
+                    plan.exec.config_loads, plan.params.max_configs
+                ));
+            }
+        }
+
+        let latency = self.params.interconnect.transfer_latency;
+        let mut expected_transfers = Vec::new();
+        for (u, v) in dfg.edges() {
+            let (tu, tv) = (self.tile_of[u.index()], self.tile_of[v.index()]);
+            if tu == tv {
+                if gc(u) >= gc(v) {
+                    return bad(format!("intra-tile edge {u:?} -> {v:?} not ordered"));
+                }
+            } else {
+                if gc(v) < gc(u) + 1 + latency {
+                    return bad(format!(
+                        "cut edge {u:?} -> {v:?} consumed before its transfer arrives"
+                    ));
+                }
+                expected_transfers.push(Transfer {
+                    from: u,
+                    to: v,
+                    from_tile: tu,
+                    to_tile: tv,
+                    depart: gc(u) + 1,
+                    arrive: gc(u) + 1 + latency,
+                });
+            }
+        }
+        if self.transfers != expected_transfers {
+            return bad("transfers differ from one-per-cut-edge in canonical order".to_string());
+        }
+
+        let makespan = (0..n).map(|i| gcycle[i].expect("scheduled") + 1).max();
+        if self.total_cycles != makespan.unwrap_or(0) {
+            return bad(format!(
+                "total_cycles {} but latest node finishes at {:?}",
+                self.total_cycles, makespan
+            ));
+        }
+        Ok(())
+    }
+}

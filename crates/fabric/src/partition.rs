@@ -1,0 +1,292 @@
+//! The DFG partitioning stage: cut a graph into per-tile node sets.
+//!
+//! The heuristic is **topological contiguity**: nodes are laid out in
+//! the graph's (deterministic) topological order and each tile receives
+//! one contiguous slice — so every edge flows from a tile to itself or a
+//! *later* tile, the quotient graph is acyclic by construction, and
+//! tiles can be scheduled in fabric order with all producer cycles
+//! known. Boundary placement is a two-step heuristic:
+//!
+//! 1. **Balance**: initial boundaries split the order proportionally to
+//!    each tile's share of the fabric's ALUs (a 5-ALU tile gets ~5/8 of
+//!    the nodes next to a 3-ALU tile).
+//! 2. **Min-cut refinement**: each boundary slides inside a bounded
+//!    window around its initial position to the split point crossed by
+//!    the fewest edges (ties: the smallest position), left to right.
+//!
+//! [`partition`] counts boundary crossings for *all* candidate positions
+//! at once with a difference array over the edge intervals — O(V + E)
+//! total; [`partition_reference`] rescans every edge per candidate
+//! position — O(E) per candidate. Both are deterministic and
+//! **decision-identical** (property-tested in the fabric suites).
+
+use crate::params::FabricParams;
+use mps_dfg::{Dfg, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A tile assignment for every node, plus the severed edges.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Tile index per node (indexed by `NodeId::index`). Edges only ever
+    /// flow toward equal-or-higher tiles.
+    pub tile_of: Vec<usize>,
+    /// The cut edges `(producer, consumer)`, in the graph's canonical
+    /// edge order; each needs one inter-tile transfer.
+    pub cuts: Vec<(NodeId, NodeId)>,
+}
+
+impl Partition {
+    /// Nodes assigned to `tile`, in insertion (id) order.
+    pub fn members(&self, tile: usize) -> Vec<NodeId> {
+        self.tile_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t == tile)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Check the partition against its graph and fabric: every node
+    /// mapped to a real tile, every edge tile-monotone, and `cuts`
+    /// exactly the tile-crossing edges in canonical order.
+    pub fn validate(&self, dfg: &Dfg, params: &FabricParams) -> Result<(), String> {
+        if self.tile_of.len() != dfg.len() {
+            return Err(format!(
+                "tile_of covers {} nodes, graph has {}",
+                self.tile_of.len(),
+                dfg.len()
+            ));
+        }
+        if let Some(&t) = self.tile_of.iter().find(|&&t| t >= params.tiles.len()) {
+            return Err(format!(
+                "node assigned to tile {t}, fabric has {}",
+                params.tiles.len()
+            ));
+        }
+        let mut expected_cuts = Vec::new();
+        for (u, v) in dfg.edges() {
+            let (tu, tv) = (self.tile_of[u.index()], self.tile_of[v.index()]);
+            if tu > tv {
+                return Err(format!(
+                    "edge {u:?} -> {v:?} flows backward (tile {tu} -> {tv})"
+                ));
+            }
+            if tu != tv {
+                expected_cuts.push((u, v));
+            }
+        }
+        if self.cuts != expected_cuts {
+            return Err("cuts differ from the tile-crossing edges".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Partition `dfg` across the fabric's tiles (the engine: difference
+/// array over edge intervals, one pass). See the module docs for the
+/// heuristic; `params` must hold at least one tile.
+pub fn partition(dfg: &Dfg, params: &FabricParams) -> Partition {
+    let pos = positions(dfg);
+    // crossings[p] = number of edges (u, v) with pos[u] < p <= pos[v]:
+    // each edge contributes 1 to every p in [pos[u]+1, pos[v]], which a
+    // difference array accumulates in O(1) per edge.
+    let mut diff = vec![0i64; dfg.len() + 2];
+    for (u, v) in dfg.edges() {
+        diff[pos[u.index()] + 1] += 1;
+        diff[pos[v.index()] + 1] -= 1;
+    }
+    let mut crossings = vec![0i64; dfg.len() + 1];
+    let mut acc = 0i64;
+    for (p, slot) in crossings.iter_mut().enumerate() {
+        acc += diff[p];
+        *slot = acc;
+    }
+    from_boundaries(dfg, params, |p| crossings[p] as usize)
+}
+
+/// The partitioning oracle: same balance + refinement walk, but each
+/// candidate boundary rescans every edge. Decision-identical to
+/// [`partition`]; kept as the reference for the property tests.
+pub fn partition_reference(dfg: &Dfg, params: &FabricParams) -> Partition {
+    let pos = positions(dfg);
+    let crossing = |p: usize| -> usize {
+        dfg.edges()
+            .filter(|&(u, v)| pos[u.index()] < p && p <= pos[v.index()])
+            .count()
+    };
+    from_boundaries(dfg, params, crossing)
+}
+
+/// Topological position of every node (indexed by `NodeId::index`).
+fn positions(dfg: &Dfg) -> Vec<usize> {
+    let mut pos = vec![0usize; dfg.len()];
+    for (i, &id) in dfg.topo_order().iter().enumerate() {
+        pos[id.index()] = i;
+    }
+    pos
+}
+
+/// Shared boundary placement + assignment, parameterized over the
+/// crossing counter (the only part the engine and the reference differ
+/// in — and only in *how* they compute it, never in the value).
+fn from_boundaries(
+    dfg: &Dfg,
+    params: &FabricParams,
+    crossing: impl Fn(usize) -> usize,
+) -> Partition {
+    let n = dfg.len();
+    let t_count = params.tiles.len().max(1);
+    let total_alus = params.total_alus().max(1);
+
+    // Initial boundaries: cumulative-ALU-proportional split points.
+    // b[t]..b[t+1] is tile t's slice of the topological order.
+    let mut cum = 0usize;
+    let mut b: Vec<usize> = Vec::with_capacity(t_count + 1);
+    b.push(0);
+    for tile in &params.tiles {
+        cum += tile.alus;
+        b.push(n * cum / total_alus);
+    }
+    b[t_count] = n;
+
+    // Refinement: slide each internal boundary within a window around
+    // its initial position to the least-crossed split point; ties go to
+    // the smallest position. Left to right, clamped to keep boundaries
+    // monotone (and tiles non-empty wherever the initial split managed
+    // to be).
+    let window = (n / (4 * t_count)).max(1);
+    for t in 1..t_count {
+        let lo = (b[t - 1] + 1).max(b[t].saturating_sub(window));
+        let hi = (b[t] + window).min(b[t + 1].saturating_sub(1));
+        if lo > hi {
+            continue;
+        }
+        let best = (lo..=hi)
+            .min_by_key(|&p| (crossing(p), p))
+            .expect("non-empty window");
+        b[t] = best;
+    }
+
+    let topo = dfg.topo_order();
+    let mut tile_of = vec![0usize; n];
+    for t in 0..t_count {
+        for i in b[t]..b[t + 1] {
+            tile_of[topo[i].index()] = t;
+        }
+    }
+    let cuts = dfg
+        .edges()
+        .filter(|&(u, v)| tile_of[u.index()] != tile_of[v.index()])
+        .collect();
+    Partition { tile_of, cuts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dfg::{Color, DfgBuilder};
+    use mps_montium::TileParams;
+
+    fn chain(n: usize) -> Dfg {
+        let mut b = DfgBuilder::new();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| b.add_node(format!("n{i}"), Color(0)))
+            .collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_tile_partition_is_trivial() {
+        let g = chain(7);
+        let p = partition(&g, &FabricParams::default());
+        assert_eq!(p.tile_of, vec![0; 7]);
+        assert!(p.cuts.is_empty());
+        p.validate(&g, &FabricParams::default()).unwrap();
+    }
+
+    #[test]
+    fn chain_splits_contiguously_with_one_cut_per_boundary() {
+        let g = chain(8);
+        let params = FabricParams::uniform(2, TileParams::default());
+        let p = partition(&g, &params);
+        p.validate(&g, &params).unwrap();
+        assert_eq!(p.cuts.len(), 1, "a chain crosses each boundary once");
+        assert_eq!(p.members(0).len() + p.members(1).len(), 8);
+    }
+
+    #[test]
+    fn heterogeneous_tiles_split_proportionally() {
+        // 6 ALUs vs 2 ALUs over 8 independent nodes: the initial split
+        // lands at 6; with no edges the refinement window cannot move it
+        // by more than `window`.
+        let mut b = DfgBuilder::new();
+        for i in 0..8 {
+            b.add_node(format!("n{i}"), Color(0));
+        }
+        let g = b.build().unwrap();
+        let params = FabricParams::parse("6,32+2,32").unwrap();
+        let p = partition(&g, &params);
+        p.validate(&g, &params).unwrap();
+        let big = p.members(0).len();
+        assert!(big >= 5, "6-of-8-ALUs tile got {big} of 8 nodes");
+    }
+
+    #[test]
+    fn refinement_prefers_the_narrow_waist() {
+        // A 3-fan collapsing into `m1 -> m2` then fanning back out: the
+        // only 1-edge waist is the bridge edge between the two middles.
+        let mut b = DfgBuilder::new();
+        let a: Vec<NodeId> = (0..3)
+            .map(|i| b.add_node(format!("a{i}"), Color(0)))
+            .collect();
+        let m1 = b.add_node("m1", Color(0));
+        let m2 = b.add_node("m2", Color(0));
+        let c: Vec<NodeId> = (0..3)
+            .map(|i| b.add_node(format!("c{i}"), Color(0)))
+            .collect();
+        for &x in &a {
+            b.add_edge(x, m1).unwrap();
+        }
+        b.add_edge(m1, m2).unwrap();
+        for &y in &c {
+            b.add_edge(m2, y).unwrap();
+        }
+        let g = b.build().unwrap();
+        let params = FabricParams::uniform(2, TileParams::default());
+        let p = partition(&g, &params);
+        p.validate(&g, &params).unwrap();
+        assert_eq!(p.cuts.len(), 1, "{:?}", p.cuts);
+    }
+
+    #[test]
+    fn engine_matches_reference_on_random_dags() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(1..40);
+            let mut b = DfgBuilder::new();
+            let ids: Vec<NodeId> = (0..n)
+                .map(|i| b.add_node(format!("n{i}"), Color(rng.gen_range(0..3))))
+                .collect();
+            for j in 1..n {
+                for i in 0..j {
+                    if rng.gen_bool(0.15) {
+                        b.add_edge(ids[i], ids[j]).unwrap();
+                    }
+                }
+            }
+            let g = b.build().unwrap();
+            for spec in ["1", "2", "3:2", "5,32+3,16", "4:2,8"] {
+                let params = FabricParams::parse(spec).unwrap();
+                let engine = partition(&g, &params);
+                let reference = partition_reference(&g, &params);
+                assert_eq!(engine, reference, "seed {seed}, fabric {spec}");
+                engine.validate(&g, &params).unwrap();
+            }
+        }
+    }
+}

@@ -52,8 +52,8 @@ pub use modulo::{
     modulo_mii, modulo_slot_bag, schedule_modulo, validate_modulo, ModuloConfig, ModuloResult,
 };
 pub use multi_pattern::{
-    schedule_multi_pattern, selected_set, MultiPatternConfig, MultiPatternResult, PatternPriority,
-    TieBreak,
+    schedule_multi_pattern, schedule_multi_pattern_released, selected_set, MultiPatternConfig,
+    MultiPatternResult, PatternPriority, ReleasedScheduleResult, TieBreak,
 };
 pub use priority::{NodePriorities, PriorityWeights};
 pub use schedule::{Schedule, ScheduledCycle};

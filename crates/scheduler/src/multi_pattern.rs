@@ -58,6 +58,21 @@ pub struct MultiPatternResult {
     pub trace: Option<ScheduleTrace>,
 }
 
+/// Output of the release-aware scheduler variant
+/// ([`schedule_multi_pattern_released`]): the compact schedule plus the
+/// global clock cycle each compact row landed on.
+#[derive(Clone, Debug)]
+pub struct ReleasedScheduleResult {
+    /// The compact schedule (idle global cycles produce no row).
+    pub schedule: Schedule,
+    /// Global clock cycle of each compact row, strictly increasing and
+    /// parallel to `schedule.cycles()`. With all-zero releases this is
+    /// `0, 1, 2, …` — no idle gaps.
+    pub global_cycles: Vec<u64>,
+    /// Per-cycle trace, when requested (row numbers are compact).
+    pub trace: Option<ScheduleTrace>,
+}
+
 /// Compute the *selected set* `S(p, CL)` (paper §4): walk the candidate
 /// list in priority order and greedily take each node whose color still
 /// has a free slot in the pattern.
@@ -94,10 +109,42 @@ pub fn schedule_multi_pattern(
     patterns: &PatternSet,
     config: MultiPatternConfig,
 ) -> Result<MultiPatternResult, ScheduleError> {
+    let releases = vec![0u64; adfg.len()];
+    let released = schedule_multi_pattern_released(adfg, patterns, config, &releases)?;
+    Ok(MultiPatternResult {
+        schedule: released.schedule,
+        trace: released.trace,
+    })
+}
+
+/// The Fig. 3 loop against a **global clock with per-node release
+/// cycles**: node `n` may not issue before global cycle `releases[n]`.
+///
+/// This is the fabric-mapping primitive: a node consuming a value from
+/// another tile is released only once the inter-tile transfer has
+/// arrived. Cycles where no candidate is released are idle — the clock
+/// jumps forward and no schedule row is emitted, so the returned
+/// [`Schedule`] stays compact while
+/// [`ReleasedScheduleResult::global_cycles`] records where each row sits
+/// on the shared fabric clock.
+///
+/// With `releases` all zero this is **decision-identical** to
+/// [`schedule_multi_pattern`] (which is a thin wrapper over this
+/// function): every candidate is always eligible, the clock never jumps,
+/// and the sort key is a total order, so filtering cannot perturb any
+/// tie-break.
+pub fn schedule_multi_pattern_released(
+    adfg: &AnalyzedDfg,
+    patterns: &PatternSet,
+    config: MultiPatternConfig,
+    releases: &[u64],
+) -> Result<ReleasedScheduleResult, ScheduleError> {
     let n = adfg.len();
+    assert_eq!(releases.len(), n, "one release cycle per node");
     if n == 0 {
-        return Ok(MultiPatternResult {
+        return Ok(ReleasedScheduleResult {
             schedule: Schedule::default(),
+            global_cycles: Vec::new(),
             trace: config.record_trace.then(ScheduleTrace::default),
         });
     }
@@ -139,22 +186,41 @@ pub fn schedule_multi_pattern(
         .collect();
 
     let mut cycles: Vec<ScheduledCycle> = Vec::new();
+    let mut global_cycles: Vec<u64> = Vec::new();
     let mut trace_rows: Vec<TraceRow> = Vec::new();
     let mut remaining = n;
+    let mut clock: u64 = 0;
 
     while remaining > 0 {
         debug_assert!(
             !candidates.is_empty(),
             "acyclic graph always has candidates"
         );
-        // Sort by descending priority (then tie-break).
-        candidates.sort_by_key(|&x| std::cmp::Reverse(sort_key(x)));
+        // Only released candidates compete this cycle; an empty eligible
+        // set is an idle gap — jump the clock to the earliest release.
+        let mut eligible: Vec<NodeId> = candidates
+            .iter()
+            .copied()
+            .filter(|&v| releases[v.index()] <= clock)
+            .collect();
+        if eligible.is_empty() {
+            clock = candidates
+                .iter()
+                .map(|&v| releases[v.index()])
+                .min()
+                .expect("non-empty candidate list");
+            continue;
+        }
+        // Sort by descending priority (then tie-break). The key chain
+        // ends in the node id, so the order is total and independent of
+        // the pre-sort arrangement.
+        eligible.sort_by_key(|&x| std::cmp::Reverse(sort_key(x)));
 
         // Evaluate every pattern on the sorted candidate list.
         let mut best: Option<(u128, usize, Vec<NodeId>)> = None;
         let mut per_pattern: Vec<Vec<NodeId>> = Vec::with_capacity(patterns.len());
         for (pi, pat) in patterns.iter().enumerate() {
-            let sel = selected_set(adfg, pat, &candidates);
+            let sel = selected_set(adfg, pat, &eligible);
             let value: u128 = match config.pattern_priority {
                 PatternPriority::F1 => sel.len() as u128,
                 PatternPriority::F2 => sel.iter().map(|&x| prio.f(x) as u128).sum(),
@@ -177,7 +243,7 @@ pub fn schedule_multi_pattern(
         if config.record_trace {
             trace_rows.push(TraceRow {
                 cycle: cycles.len() + 1,
-                candidates: candidates.clone(),
+                candidates: eligible.clone(),
                 per_pattern,
                 chosen: chosen_idx,
             });
@@ -199,10 +265,13 @@ pub fn schedule_multi_pattern(
             pattern: *patterns.patterns().get(chosen_idx).expect("chosen pattern"),
             nodes: chosen_nodes,
         });
+        global_cycles.push(clock);
+        clock += 1;
     }
 
-    Ok(MultiPatternResult {
+    Ok(ReleasedScheduleResult {
         schedule: Schedule::from_cycles(cycles),
+        global_cycles,
         trace: config.record_trace.then(|| ScheduleTrace::new(trace_rows)),
     })
 }
@@ -369,6 +438,68 @@ mod tests {
             assert_eq!(row.per_pattern.len(), patterns.len());
             assert!(row.chosen < patterns.len());
         }
+    }
+
+    #[test]
+    fn zero_releases_match_the_plain_scheduler_exactly() {
+        let mut b = DfgBuilder::new();
+        let x = b.add_node("x", c('a'));
+        let y = b.add_node("y", c('b'));
+        let z = b.add_node("z", c('a'));
+        b.add_edge(x, y).unwrap();
+        b.add_edge(x, z).unwrap();
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        let patterns = PatternSet::parse("ab a").unwrap();
+        let cfg = MultiPatternConfig {
+            record_trace: true,
+            ..Default::default()
+        };
+        let plain = schedule_multi_pattern(&adfg, &patterns, cfg).unwrap();
+        let released = schedule_multi_pattern_released(&adfg, &patterns, cfg, &[0, 0, 0]).unwrap();
+        assert_eq!(released.schedule, plain.schedule);
+        assert_eq!(released.global_cycles, vec![0, 1]);
+        assert_eq!(
+            released.trace.unwrap().rows().len(),
+            plain.trace.unwrap().rows().len()
+        );
+    }
+
+    #[test]
+    fn releases_open_idle_gaps_in_the_global_clock() {
+        // Two independent 'a' nodes, one slot per cycle; the second is
+        // held back to global cycle 5 — the clock must jump, the compact
+        // schedule must stay gap-free.
+        let mut b = DfgBuilder::new();
+        let first = b.add_node("first", c('a'));
+        let second = b.add_node("second", c('a'));
+        let adfg = AnalyzedDfg::new(b.build().unwrap());
+        let patterns = PatternSet::parse("a").unwrap();
+        let r = schedule_multi_pattern_released(
+            &adfg,
+            &patterns,
+            MultiPatternConfig::default(),
+            &[0, 5],
+        )
+        .unwrap();
+        assert_eq!(r.schedule.len(), 2);
+        assert_eq!(r.global_cycles, vec![0, 5]);
+        assert_eq!(r.schedule.cycles()[0].nodes, vec![first]);
+        assert_eq!(r.schedule.cycles()[1].nodes, vec![second]);
+    }
+
+    #[test]
+    fn release_on_every_node_defers_the_whole_schedule() {
+        let adfg = flat_graph();
+        let patterns = PatternSet::parse("aab").unwrap();
+        let r = schedule_multi_pattern_released(
+            &adfg,
+            &patterns,
+            MultiPatternConfig::default(),
+            &[3, 3, 3, 3, 3],
+        )
+        .unwrap();
+        assert_eq!(r.schedule.len(), 2);
+        assert_eq!(r.global_cycles, vec![3, 4]);
     }
 
     #[test]

@@ -50,6 +50,11 @@ pub struct Request {
     /// Finish with cycle-accurate tile replay on a tile with this many
     /// ALUs (`"alus": n` on the wire).
     pub alus: Option<usize>,
+    /// Multi-tile fabric spec, as [`mps::FabricParams::parse`] spells
+    /// them (`N[:alus,configs][@latency]` or per-tile `a,c+a,c[@latency]`).
+    /// When set the compile runs the partition pipeline and `alus` is
+    /// ignored (a fabric compile replays every tile).
+    pub fabric: Option<String>,
     /// Compile deadline in milliseconds from receipt (`compile` only).
     /// The server refuses the request at admission if it would expire
     /// in the queue, and cancels the pipeline at the first stage
@@ -102,6 +107,7 @@ impl Request {
         for (name, slot) in [
             ("workload", &mut req.workload),
             ("graph", &mut req.graph),
+            ("fabric", &mut req.fabric),
             ("artifact", &mut req.artifact),
             ("graph_hash", &mut req.graph_hash),
             ("config_hash", &mut req.config_hash),
@@ -161,6 +167,7 @@ impl Request {
             fields.push(("forwarded".to_string(), Value::Bool(true)));
         }
         for (name, v) in [
+            ("fabric", &self.fabric),
             ("artifact", &self.artifact),
             ("graph_hash", &self.graph_hash),
             ("config_hash", &self.config_hash),
@@ -223,6 +230,12 @@ impl Request {
         if let Some(alus) = self.alus {
             cfg.tile = Some(mps::montium::TileParams::with_alus(alus));
         }
+        if let Some(spec) = &self.fabric {
+            cfg.fabric = Some(
+                mps::FabricParams::parse(spec)
+                    .ok_or_else(|| format!("invalid fabric spec \"{spec}\""))?,
+            );
+        }
         Ok(cfg)
     }
 }
@@ -262,6 +275,15 @@ pub struct CompileReply {
     pub switches: Option<u64>,
     /// Tile-replay cycle count, when the request asked for `alus`.
     pub exec_cycles: Option<u64>,
+    /// Tiles in the fabric mapping (fabric compiles only).
+    #[serde(default)]
+    pub fabric_tiles: Option<u64>,
+    /// Inter-tile transfers in the fabric mapping (fabric compiles only).
+    #[serde(default)]
+    pub fabric_transfers: Option<u64>,
+    /// Fabric makespan on the shared global clock (fabric compiles only).
+    #[serde(default)]
+    pub fabric_cycles: Option<u64>,
 }
 
 /// `stats` reply: request/cache counters, aggregated compile metrics and
@@ -330,6 +352,23 @@ pub struct StatsReply {
     pub peer_handoffs: u64,
     /// Artifacts accepted from fleet peers via `artifact_put`.
     pub peer_handoffs_received: u64,
+    /// Fleet ring size this daemon budgets for (1 when standalone) —
+    /// the divisor behind the `effective_*` fields.
+    #[serde(default)]
+    pub ring_size: u64,
+    /// Fleet-scaled artifact-cache entry budget actually enforced
+    /// (`--max-artifacts` ÷ ring, ceiling; `None` = unbounded).
+    #[serde(default)]
+    pub effective_max_artifacts: Option<u64>,
+    /// Fleet-scaled artifact-cache byte budget actually enforced.
+    #[serde(default)]
+    pub effective_artifact_bytes: Option<u64>,
+    /// Fleet-scaled pattern-table entry budget actually enforced.
+    #[serde(default)]
+    pub effective_max_tables: Option<u64>,
+    /// Fleet-scaled pattern-table byte budget actually enforced.
+    #[serde(default)]
+    pub effective_table_bytes: Option<u64>,
     /// Per-peer health, address-sorted (empty without `--peer`).
     pub peers: Vec<PeerInfo>,
     /// Summed per-stage wall times across all actual compiles.
@@ -348,6 +387,9 @@ pub struct MetricsTotals {
     pub enumerate_sec: f64,
     /// Selection, seconds.
     pub select_sec: f64,
+    /// Fabric partitioning, seconds.
+    #[serde(default)]
+    pub partition_sec: f64,
     /// Scheduling, seconds.
     pub schedule_sec: f64,
     /// Tile replay, seconds.
@@ -665,6 +707,7 @@ mod tests {
             span: Some(Some(1)),
             engine: Some("eq8".to_string()),
             alus: None,
+            fabric: Some("2:5,32@1".to_string()),
             deadline_ms: Some(250),
             forwarded: false,
             artifact: None,
@@ -748,6 +791,18 @@ mod tests {
         );
         assert_eq!(cfg.engine, SelectEngine::NodeCover);
         assert!(cfg.tile.is_some());
+        assert_eq!(cfg.fabric, None);
+
+        // A fabric spec flows into the config; a bad one is an error.
+        let req =
+            Request::from_line(r#"{"op":"compile","workload":"fig2","fabric":"3@2"}"#).unwrap();
+        let cfg = req.compile_config().unwrap();
+        let fabric = cfg.fabric.expect("fabric parsed");
+        assert_eq!(fabric.tile_count(), 3);
+        assert_eq!(fabric.interconnect.transfer_latency, 2);
+        let mut bad = Request::op("compile");
+        bad.fabric = Some("0".to_string());
+        assert!(bad.compile_config().unwrap_err().contains("fabric"));
 
         // Defaults when nothing is set.
         let cfg = Request::op("compile").compile_config().unwrap();
@@ -779,6 +834,9 @@ mod tests {
             ii: None,
             switches: None,
             exec_cycles: Some(7),
+            fabric_tiles: Some(2),
+            fabric_transfers: Some(3),
+            fabric_cycles: Some(11),
         };
         let line = encode(&reply);
         assert_eq!(Reply::from_line(&line).unwrap(), Reply::Compile(reply));

@@ -125,6 +125,22 @@ pub struct ServeOptions {
     pub faults: FaultPlan,
 }
 
+impl ServeOptions {
+    /// How many daemons share the keyspace: this one plus its peers
+    /// (1 when standalone).
+    pub fn ring_size(&self) -> usize {
+        self.peers.len() + 1
+    }
+
+    /// A budget's fleet-fair share: the rendezvous ring hands each
+    /// member ~1/ring of the keys, so a cache budget sized for the whole
+    /// corpus is split by the ring size (ceiling division, never below
+    /// 1). Standalone servers keep the budget verbatim.
+    pub fn effective_budget(&self, budget: Option<usize>) -> Option<usize> {
+        budget.map(|n| n.div_ceil(self.ring_size()).max(1))
+    }
+}
+
 impl Default for ServeOptions {
     fn default() -> ServeOptions {
         ServeOptions {
@@ -848,6 +864,9 @@ impl State {
                     ii: result.ii.map(|n| n as u64),
                     switches: result.switches.map(|n| n as u64),
                     exec_cycles: result.exec.as_ref().map(|e| e.cycles as u64),
+                    fabric_tiles: result.fabric.as_ref().map(|m| m.tile_count() as u64),
+                    fabric_transfers: result.fabric.as_ref().map(|m| m.transfer_count() as u64),
+                    fabric_cycles: result.fabric.as_ref().map(|m| m.total_cycles),
                 })
             }
             Err(error) => {
@@ -935,10 +954,28 @@ impl State {
                 analyze_sec: m.analyze_sec,
                 enumerate_sec: m.enumerate_sec,
                 select_sec: m.select_sec,
+                partition_sec: m.partition_sec,
                 schedule_sec: m.schedule_sec,
                 map_tile_sec: m.map_tile_sec,
                 antichains: m.antichains,
             },
+            ring_size: self.opts.ring_size() as u64,
+            effective_max_artifacts: self
+                .opts
+                .effective_budget(self.opts.max_artifacts)
+                .map(|n| n as u64),
+            effective_artifact_bytes: self
+                .opts
+                .effective_budget(self.opts.max_artifact_bytes)
+                .map(|n| n as u64),
+            effective_max_tables: self
+                .opts
+                .effective_budget(self.opts.max_tables)
+                .map(|n| n as u64),
+            effective_table_bytes: self
+                .opts
+                .effective_budget(self.opts.max_table_bytes)
+                .map(|n| n as u64),
             artifacts_loaded: self.artifacts_loaded.load(Ordering::Relaxed),
             artifacts_persisted: self.artifacts_persisted.load(Ordering::Relaxed),
             load_rejected: self.load_rejected.load(Ordering::Relaxed),
@@ -973,7 +1010,10 @@ impl State {
                 // Keep the disk tier inside the same budgets as the
                 // memory tier; eviction failure is as benign as any
                 // other disk hiccup here.
-                let _ = store.enforce_budget(self.opts.max_artifacts, self.opts.max_artifact_bytes);
+                let _ = store.enforce_budget(
+                    self.opts.effective_budget(self.opts.max_artifacts),
+                    self.opts.effective_budget(self.opts.max_artifact_bytes),
+                );
             }
             Err(e) => {
                 self.log_event("persist_error", &[("error", Value::Str(e.to_string()))]);
@@ -1026,16 +1066,19 @@ impl Server {
     /// Boot a server: allocates the (optionally budgeted) caches and
     /// starts the dispatcher.
     pub fn new(opts: ServeOptions) -> Server {
+        // Fleet-aware budgets: the configured budgets describe the whole
+        // corpus, but a ring member only owns ~1/ring of the keys — so
+        // every cache tier enforces the ring-scaled share.
         let artifacts = ArtifactCache::with_budget(
             opts.shards,
             CacheBudget {
-                max_entries: opts.max_artifacts,
-                max_bytes: opts.max_artifact_bytes,
+                max_entries: opts.effective_budget(opts.max_artifacts),
+                max_bytes: opts.effective_budget(opts.max_artifact_bytes),
             },
         );
         let tables = Arc::new(TableCache::with_budget(
-            opts.max_tables,
-            opts.max_table_bytes,
+            opts.effective_budget(opts.max_tables),
+            opts.effective_budget(opts.max_table_bytes),
         ));
         // Warm-start: open the persistent tier (if configured) and seed
         // every artifact and pattern table that survives verification
@@ -1079,7 +1122,10 @@ impl Server {
         if let Some(s) = &store {
             let store = s.clone();
             let persisted = Arc::clone(&tables_persisted);
-            let (max_entries, max_bytes) = (opts.max_artifacts, opts.max_artifact_bytes);
+            let (max_entries, max_bytes) = (
+                opts.effective_budget(opts.max_artifacts),
+                opts.effective_budget(opts.max_artifact_bytes),
+            );
             tables.set_build_hook(Arc::new(move |graph, key, table| {
                 if store.save_table(graph, &key, table).is_ok() {
                     persisted.fetch_add(1, Ordering::Relaxed);
@@ -1445,6 +1491,107 @@ mod tests {
         assert_eq!(stats.table_builds, 1);
         assert_eq!(stats.latency.total.count, 2);
         assert_eq!((stats.sheds, stats.deadline_exceeded), (0, 0));
+    }
+
+    #[test]
+    fn fabric_compiles_flow_over_the_wire() {
+        let server = Server::new(one_worker());
+        // A 4-tile fabric compile reports the mapping shape on the wire.
+        let (reply, _) = server.handle_line(r#"{"op":"compile","workload":"fig2","fabric":"4@2"}"#);
+        let Reply::Compile(multi) = Reply::from_line(&reply).unwrap() else {
+            panic!("expected compile reply: {reply}");
+        };
+        assert_eq!(multi.fabric_tiles, Some(4));
+        assert!(
+            multi.fabric_transfers.unwrap() >= 1,
+            "4 tiles must cut the 3DFT somewhere"
+        );
+        assert!(multi.fabric_cycles.unwrap() >= 1, "makespan is non-trivial");
+
+        // A 1-tile fabric decides exactly like the plain tile path.
+        let (reply, _) = server.handle_line(r#"{"op":"compile","workload":"fig2","fabric":"1"}"#);
+        let Reply::Compile(single) = Reply::from_line(&reply).unwrap() else {
+            panic!("expected compile reply: {reply}");
+        };
+        let (reply, _) = server.handle_line(r#"{"op":"compile","workload":"fig2","alus":5}"#);
+        let Reply::Compile(plain) = Reply::from_line(&reply).unwrap() else {
+            panic!("expected compile reply: {reply}");
+        };
+        assert_eq!(single.patterns, plain.patterns);
+        assert_eq!(single.schedule, plain.schedule);
+        assert_eq!(single.cycles, plain.cycles);
+        assert_eq!(single.exec_cycles, plain.exec_cycles);
+        assert_eq!(single.fabric_tiles, Some(1));
+        assert_eq!(single.fabric_transfers, Some(0));
+        assert_ne!(
+            single.config_hash, plain.config_hash,
+            "fabric configs cache under their own key"
+        );
+
+        // Distinct fabrics are distinct cache keys; a repeat hits.
+        let (reply, _) = server.handle_line(r#"{"op":"compile","workload":"fig2","fabric":"4@2"}"#);
+        let Reply::Compile(again) = Reply::from_line(&reply).unwrap() else {
+            panic!("expected compile reply: {reply}");
+        };
+        assert!(again.cached);
+        assert_eq!(again.fabric_transfers, multi.fabric_transfers);
+
+        // A bad spec is a protocol-level error, not a panic.
+        let (reply, _) = server.handle_line(r#"{"op":"compile","workload":"fig2","fabric":"0"}"#);
+        let Reply::Error(err) = Reply::from_line(&reply).unwrap() else {
+            panic!("expected error reply: {reply}");
+        };
+        assert!(err.error.contains("fabric"));
+    }
+
+    #[test]
+    fn cache_budgets_scale_by_ring_size() {
+        // Standalone: budgets pass through verbatim.
+        let opts = ServeOptions {
+            max_artifacts: Some(10),
+            max_table_bytes: Some(1 << 20),
+            ..one_worker()
+        };
+        assert_eq!(opts.ring_size(), 1);
+        let server = Server::new(opts);
+        let stats = server.stats();
+        assert_eq!(stats.ring_size, 1);
+        assert_eq!(stats.effective_max_artifacts, Some(10));
+        assert_eq!(stats.effective_table_bytes, Some(1 << 20));
+        assert_eq!(
+            stats.effective_max_tables, None,
+            "unbounded stays unbounded"
+        );
+
+        // A 4-member ring owns ~1/4 of the keyspace each: every tier's
+        // enforced share is the ceiling quarter.
+        let opts = ServeOptions {
+            max_artifacts: Some(10),
+            max_artifact_bytes: Some(1 << 20),
+            max_tables: Some(2),
+            max_table_bytes: Some(3),
+            peers: vec![
+                "127.0.0.1:19001".to_string(),
+                "127.0.0.1:19002".to_string(),
+                "127.0.0.1:19003".to_string(),
+            ],
+            advertise: "127.0.0.1:19000".to_string(),
+            // Keep the health prober from dialing the fake peers.
+            probe_interval_ms: 3_600_000,
+            ..one_worker()
+        };
+        assert_eq!(opts.ring_size(), 4);
+        assert_eq!(opts.effective_budget(Some(10)), Some(3));
+        assert_eq!(opts.effective_budget(Some(2)), Some(1));
+        assert_eq!(opts.effective_budget(Some(3)), Some(1), "never below 1");
+        assert_eq!(opts.effective_budget(None), None);
+        let server = Server::new(opts);
+        let stats = server.stats();
+        assert_eq!(stats.ring_size, 4);
+        assert_eq!(stats.effective_max_artifacts, Some(3));
+        assert_eq!(stats.effective_artifact_bytes, Some(1 << 18));
+        assert_eq!(stats.effective_max_tables, Some(1));
+        assert_eq!(stats.effective_table_bytes, Some(1));
     }
 
     /// Fresh scratch directory for persistence tests.

@@ -1,0 +1,70 @@
+//! Fabric sweeps: turn one workload into a *family* of scenarios — the
+//! same kernel compiled against a ladder of multi-tile fabrics.
+//!
+//! The single-tile rung reproduces the plain pipeline bit-identically
+//! (the fabric subsystem's built-in oracle), so a sweep's first row
+//! doubles as its baseline.
+
+use mps_dfg::Dfg;
+use mps_fabric::FabricParams;
+
+/// The standard fabric ladder for design-space sweeps: the single-tile
+/// baseline, uniform 2- and 4-tile fabrics, and a heterogeneous trio
+/// (narrow/medium/full tiles) that exercises per-tile capacity and
+/// config-store bounds.
+pub fn fabric_ladder() -> Vec<FabricParams> {
+    ["1", "2@1", "4@2", "2,8+3,16+5,32@2"]
+        .iter()
+        .map(|s| FabricParams::parse(s).expect("ladder specs parse"))
+        .collect()
+}
+
+/// One workload across every rung of [`fabric_ladder`]: `(graph, fabric)`
+/// pairs ready for `CompileConfig.fabric`, or `None` for an unknown
+/// workload name. The narrowest tile of each fabric bounds the pattern
+/// capacity a caller should select with ([`FabricParams::min_alus`]).
+pub fn fabric_sweep(name: &str) -> Option<Vec<(Dfg, FabricParams)>> {
+    let dfg = crate::by_name(name)?;
+    Some(
+        fabric_ladder()
+            .into_iter()
+            .map(|p| (dfg.clone(), p))
+            .collect(),
+    )
+}
+
+/// [`fabric_sweep`] against caller-chosen specs instead of the standard
+/// ladder. `None` when the workload is unknown or any spec fails to
+/// parse.
+pub fn fabric_sweep_with(name: &str, specs: &[&str]) -> Option<Vec<(Dfg, FabricParams)>> {
+    let dfg = crate::by_name(name)?;
+    specs
+        .iter()
+        .map(|s| FabricParams::parse(s).map(|p| (dfg.clone(), p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_ladder_starts_at_the_single_tile_baseline() {
+        let ladder = fabric_ladder();
+        assert_eq!(ladder[0].tile_count(), 1);
+        assert!(ladder.iter().skip(1).all(|p| p.tile_count() > 1));
+    }
+
+    #[test]
+    fn sweeps_pair_the_same_graph_with_every_rung() {
+        let sweep = fabric_sweep("fig2").expect("fig2 exists");
+        assert_eq!(sweep.len(), fabric_ladder().len());
+        assert!(sweep.iter().all(|(g, _)| g.len() == sweep[0].0.len()));
+        assert!(fabric_sweep("no-such-workload").is_none());
+
+        let custom = fabric_sweep_with("fig4", &["2", "3:4,16@2"]).expect("specs parse");
+        assert_eq!(custom.len(), 2);
+        assert_eq!(custom[1].1.tile_count(), 3);
+        assert!(fabric_sweep_with("fig4", &["bogus"]).is_none());
+    }
+}

@@ -25,6 +25,7 @@ mod conv2d;
 mod cordic;
 mod dct;
 mod dft;
+mod fabric_sweep;
 mod fft_radix2;
 mod fig2;
 mod fig4;
@@ -45,6 +46,7 @@ pub use conv2d::conv2d;
 pub use cordic::cordic;
 pub use dct::dct8;
 pub use dft::{dft, dft3, dft5, DftStyle};
+pub use fabric_sweep::{fabric_ladder, fabric_sweep, fabric_sweep_with};
 pub use fft_radix2::fft_radix2;
 pub use fig2::fig2;
 pub use fig4::fig4;

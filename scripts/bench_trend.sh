@@ -111,6 +111,14 @@ extract() {
           (.fleet_rows[]? | {
               key: "fleet_failover_recompute/\(.workload)",
               sec: .failover_recompute_sec
+          }),
+          (.partition_rows[]? | {
+              key: "partition_compile/\(.workload)/fabric=\(.fabric)",
+              sec: .compile_sec
+          }),
+          (.partition_rows[]? | {
+              key: "partition_stage/\(.workload)/fabric=\(.fabric)",
+              sec: .partition_sec
           })
         ]
         | .[] | select(.sec != null) | "\(.key)\t\(.sec)"

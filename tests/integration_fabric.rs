@@ -1,0 +1,353 @@
+//! Integration tests for the multi-tile fabric subsystem (PR 10).
+//!
+//! Covers the ISSUE acceptance gates end to end:
+//!
+//! * pre-fabric artifact fixtures (committed before `CompileConfig.fabric`
+//!   existed) still decode, and a `fabric: None` config hashes to the same
+//!   pinned values — the legacy-compat contract;
+//! * a 1-tile fabric compile is bit-identical to the plain single-tile
+//!   pipeline, both on the full workload registry and on random DAGs;
+//! * every cut edge gets exactly one transfer and no intra-tile edge gets
+//!   any, across 2/3/4-tile fabrics;
+//! * per-tile config-store bounds hold for heterogeneous tiles;
+//! * a multi-tile `FabricMapping` round-trips through the artifact
+//!   envelope.
+
+use mps::artifact::{decode_result, encode_result};
+use mps::prelude::*;
+use mps::workloads::{self, random_layered_dag, RandomDagConfig};
+use mps::{SelectEngine, Session};
+use proptest::prelude::*;
+
+/// The config `mps artifact dump` (serve path) uses when no flags are
+/// given: library defaults, single-threaded selection.
+fn serve_default_config() -> CompileConfig {
+    let mut cfg = CompileConfig::default();
+    cfg.select.parallel = false;
+    cfg
+}
+
+/// The tuned fixture's config: `--pdef 3 --span 2 --engine node-cover`.
+fn tuned_config() -> CompileConfig {
+    let mut cfg = serve_default_config();
+    cfg.select.pdef = 3;
+    cfg.select.span_limit = Some(2);
+    cfg.engine = SelectEngine::NodeCover;
+    cfg
+}
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/../../tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+/// Strip the fields a fabric compile is allowed to differ in (wall-clock
+/// metrics, the mapping itself) so the rest can be compared bit-for-bit.
+#[allow(clippy::type_complexity)]
+fn decision_fields(
+    r: &CompileResult,
+) -> (
+    &mps::select::SelectionOutcome,
+    &Schedule,
+    usize,
+    Option<&mps::scheduler::ScheduleTrace>,
+    Option<usize>,
+    Option<usize>,
+    Option<&Vec<Pattern>>,
+    Option<usize>,
+    Option<&mps::montium::ExecReport>,
+) {
+    (
+        &r.selection,
+        &r.schedule,
+        r.cycles,
+        r.trace.as_ref(),
+        r.ii,
+        r.mii,
+        r.slot_patterns.as_ref(),
+        r.switches,
+        r.exec.as_ref(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 2: pre-fabric artifact backward compatibility.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pre_fabric_fixtures_decode_and_the_legacy_hashes_hold() {
+    let graph_hash = workloads::fig2().content_hash();
+    for (name, cfg) in [
+        ("pre_fabric_fig2.json", serve_default_config()),
+        ("pre_fabric_fig2_tuned.json", tuned_config()),
+    ] {
+        let text = fixture(name);
+        let (key, result) =
+            decode_result(&text, None).unwrap_or_else(|e| panic!("decoding {name}: {e}"));
+        assert_eq!(key.0, graph_hash, "{name}: graph hash drifted");
+        assert_eq!(
+            key.1,
+            cfg.content_hash(),
+            "{name}: a fabric-less config must hash exactly as it did before \
+             CompileConfig grew the fabric field"
+        );
+        // Decoding a pre-fabric payload must default the new field.
+        assert!(
+            result.fabric.is_none(),
+            "{name}: fabric should default to None"
+        );
+
+        // And a fresh compile with the reconstructed config must still
+        // reproduce the committed decisions.
+        let mut session = Session::with_config(workloads::fig2(), cfg);
+        let fresh = session.compile().expect("fig2 compiles");
+        assert_eq!(
+            decision_fields(&fresh),
+            decision_fields(&result),
+            "{name}: recompile drifted from the committed artifact"
+        );
+    }
+}
+
+#[test]
+fn pre_fabric_fixture_reencodes_byte_identically() {
+    // Encoding the decoded fixture must give back the original text:
+    // `fabric: None` is skipped-on-None nowhere — it must serialize the
+    // same shape the fixture was written without.
+    for name in ["pre_fabric_fig2.json", "pre_fabric_fig2_tuned.json"] {
+        let text = fixture(name);
+        let (key, result) = decode_result(&text, None).unwrap();
+        let reencoded = encode_result(key, &result);
+        let (key2, result2) = decode_result(&reencoded, Some(key)).unwrap();
+        assert_eq!(key, key2);
+        assert_eq!(result, result2, "{name}: re-encode round trip drifted");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: 1-tile fabric ≡ plain pipeline on the whole registry.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn single_tile_fabric_matches_plain_compile_on_every_registry_workload() {
+    let names = [
+        "fig2",
+        "fig4",
+        "dft3",
+        "dft4",
+        "dft5",
+        "fir8",
+        "fir8-chain",
+        "dct8",
+        "matmul3",
+        "iir3",
+        "fft8",
+        "random42",
+    ];
+    for name in names {
+        let dfg = workloads::by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+        let mut plain_cfg = CompileConfig::default();
+        plain_cfg.select.parallel = false;
+        plain_cfg.tile = Some(mps::montium::TileParams::default());
+        let mut fabric_cfg = plain_cfg.clone();
+        fabric_cfg.tile = None;
+        fabric_cfg.fabric = Some(FabricParams::single(mps::montium::TileParams::default()));
+
+        let plain = Session::with_config(dfg.clone(), plain_cfg)
+            .compile()
+            .unwrap_or_else(|e| panic!("{name}: plain compile failed: {e}"));
+        let fab = Session::with_config(dfg, fabric_cfg)
+            .compile()
+            .unwrap_or_else(|e| panic!("{name}: fabric compile failed: {e}"));
+
+        assert_eq!(
+            decision_fields(&plain),
+            decision_fields(&fab),
+            "{name}: 1-tile fabric diverged from the plain pipeline"
+        );
+        let mapping = fab
+            .fabric
+            .as_ref()
+            .expect("fabric compile carries a mapping");
+        assert_eq!(mapping.tile_count(), 1);
+        assert_eq!(
+            mapping.transfer_count(),
+            0,
+            "{name}: 1 tile cannot cut edges"
+        );
+        assert_eq!(mapping.total_cycles as usize, plain.cycles, "{name}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tile: artifact envelope round trip with real transfers.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn multi_tile_mapping_round_trips_through_the_artifact_envelope() {
+    let dfg = workloads::fig2();
+    let mut cfg = CompileConfig::default();
+    cfg.select.parallel = false;
+    cfg.fabric = FabricParams::parse("4@2");
+    assert!(cfg.fabric.is_some(), "spec parses");
+
+    let key = (dfg.content_hash(), cfg.content_hash());
+    let result = Session::with_config(dfg.clone(), cfg).compile().unwrap();
+    let mapping = result.fabric.as_ref().expect("mapping present");
+    assert_eq!(mapping.tile_count(), 4);
+    assert!(
+        mapping.transfer_count() >= 1,
+        "a 4-tile cut of the 3DFT must sever at least one edge"
+    );
+    mapping.validate(&dfg).expect("mapping validates");
+
+    let text = encode_result(key, &result);
+    let (key2, decoded) = decode_result(&text, Some(key)).expect("decode");
+    assert_eq!(key, key2);
+    assert_eq!(
+        decoded, result,
+        "fabric payload drifted across the envelope"
+    );
+    decoded
+        .fabric
+        .as_ref()
+        .unwrap()
+        .validate(&dfg)
+        .expect("decoded mapping validates");
+}
+
+// ---------------------------------------------------------------------------
+// Proptests (satellite 3).
+// ---------------------------------------------------------------------------
+
+fn random_dag(seed: u64, layers: usize, colors: u8) -> Dfg {
+    random_layered_dag(&RandomDagConfig {
+        layers,
+        width: (1, 4),
+        edge_prob: 0.55,
+        long_edge_prob: 0.15,
+        colors,
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// (3a) A 1-tile fabric reproduces today's `map_tile` output exactly on
+    /// random DAGs — selection, schedule, cycles, and replay report.
+    #[test]
+    fn prop_single_tile_fabric_is_identical_on_random_dags(
+        seed in 0u64..1_000_000,
+        layers in 2usize..6,
+        colors in 1u8..4,
+    ) {
+        let dfg = random_dag(seed, layers, colors);
+        let mut plain_cfg = CompileConfig::default();
+        plain_cfg.select.parallel = false;
+        plain_cfg.tile = Some(mps::montium::TileParams::default());
+        let mut fabric_cfg = plain_cfg.clone();
+        fabric_cfg.tile = None;
+        fabric_cfg.fabric = Some(FabricParams::single(mps::montium::TileParams::default()));
+
+        let plain = Session::with_config(dfg.clone(), plain_cfg).compile();
+        let fab = Session::with_config(dfg, fabric_cfg).compile();
+        match (plain, fab) {
+            (Ok(p), Ok(f)) => {
+                prop_assert_eq!(decision_fields(&p), decision_fields(&f));
+                let m = f.fabric.as_ref().unwrap();
+                prop_assert_eq!(m.tile_count(), 1);
+                prop_assert_eq!(m.transfer_count(), 0);
+            }
+            (Err(_), Err(_)) => {}
+            (p, f) => prop_assert!(
+                false,
+                "pipelines disagreed on fallibility: plain={:?} fabric={:?}",
+                p.is_ok(), f.is_ok()
+            ),
+        }
+    }
+
+    /// (3b) Every cut edge gets exactly one transfer; no intra-tile edge
+    /// gets any. Exercised on 2/3/4-tile fabrics over random DAGs.
+    #[test]
+    fn prop_transfers_cover_cut_edges_exactly(
+        seed in 0u64..1_000_000,
+        layers in 3usize..7,
+        tiles in 2usize..5,
+        latency in 0u64..4,
+    ) {
+        let dfg = random_dag(seed, layers, 2);
+        let mut cfg = CompileConfig::default();
+        cfg.select.parallel = false;
+        cfg.fabric = FabricParams::parse(&format!("{tiles}@{latency}"));
+        prop_assert!(cfg.fabric.is_some());
+
+        // Selection can legitimately fail on degenerate graphs; the
+        // 1-tile equivalence test already pins fallibility parity.
+        if let Ok(result) = Session::with_config(dfg.clone(), cfg).compile() {
+            let m = result.fabric.as_ref().unwrap();
+            m.validate(&dfg).expect("mapping validates");
+
+            // Cross-check transfers against the edge list independently of
+            // `validate`: one transfer per cut edge, none elsewhere.
+            let mut cut = Vec::new();
+            let mut intra = Vec::new();
+            for (u, v) in dfg.edges() {
+                if m.tile_of[u.index()] == m.tile_of[v.index()] {
+                    intra.push((u, v));
+                } else {
+                    cut.push((u, v));
+                }
+            }
+            prop_assert_eq!(m.transfers.len(), cut.len());
+            for t in &m.transfers {
+                prop_assert!(cut.contains(&(t.from, t.to)));
+                prop_assert!(!intra.contains(&(t.from, t.to)));
+                prop_assert_eq!(t.from_tile, m.tile_of[t.from.index()]);
+                prop_assert_eq!(t.to_tile, m.tile_of[t.to.index()]);
+                prop_assert_eq!(t.arrive, t.depart + latency);
+            }
+            // Exactly one transfer per cut edge (no duplicates).
+            let mut seen: Vec<(NodeId, NodeId)> =
+                m.transfers.iter().map(|t| (t.from, t.to)).collect();
+            seen.sort();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), m.transfers.len());
+        }
+    }
+
+    /// (3c) Per-tile configuration-store bounds hold on heterogeneous
+    /// fabrics: each tile's replay loads no more configurations than its
+    /// own store admits.
+    #[test]
+    fn prop_heterogeneous_tiles_respect_their_config_stores(
+        seed in 0u64..1_000_000,
+        layers in 3usize..6,
+        spec_ix in 0usize..3,
+    ) {
+        let spec = ["2,16+3,8", "3,8+2,12+4,16", "2,8+2,8+3,12+5,32"][spec_ix];
+        let params = FabricParams::parse(spec).expect("spec parses");
+        let dfg = random_dag(seed, layers, 2);
+        let mut cfg = CompileConfig::default();
+        cfg.select.parallel = false;
+        // Patterns must fit the narrowest tile: bound selection capacity by
+        // the minimum ALU count across the fabric.
+        cfg.select.capacity = params.min_alus();
+        cfg.fabric = Some(params.clone());
+
+        if let Ok(result) = Session::with_config(dfg.clone(), cfg).compile() {
+            let m = result.fabric.as_ref().unwrap();
+            m.validate(&dfg).expect("mapping validates");
+            prop_assert_eq!(m.tiles.len(), params.tiles.len());
+            for (t, plan) in m.tiles.iter().enumerate() {
+                prop_assert!(
+                    plan.exec.config_loads <= plan.params.max_configs,
+                    "tile {} loaded {} configs into a {}-entry store",
+                    t, plan.exec.config_loads, plan.params.max_configs
+                );
+                prop_assert_eq!(plan.exec.alu_busy.len(), plan.params.alus);
+            }
+        }
+    }
+}

@@ -155,6 +155,7 @@ fn all_engine_combinations_compile() {
                         engine: se.clone(),
                         schedule: *sched,
                         tile: None,
+                        fabric: None,
                     },
                 );
                 let result = session

@@ -439,6 +439,23 @@ pub mod __private {
         from_value(v).map_err(|e| E::custom(format!("field `{name}` of {strct}: {e}")))
     }
 
+    /// Extract an *optional* named field from a struct's map
+    /// representation — the `#[serde(default)]` path of the derive. A
+    /// missing key yields `T::default()` instead of an error, which is
+    /// what lets a struct grow new fields without invalidating payloads
+    /// encoded before the field existed.
+    pub fn opt_field<T: DeserializeOwned + Default, E: de::Error>(
+        map: &mut Vec<(String, Value)>,
+        strct: &str,
+        name: &str,
+    ) -> Result<T, E> {
+        let Some(pos) = map.iter().position(|(k, _)| k == name) else {
+            return Ok(T::default());
+        };
+        let (_, v) = map.swap_remove(pos);
+        from_value(v).map_err(|e| E::custom(format!("field `{name}` of {strct}: {e}")))
+    }
+
     /// Unwrap a [`Value::Map`], or error with the struct name.
     pub fn expect_map<E: de::Error>(value: Value, strct: &str) -> Result<Vec<(String, Value)>, E> {
         match value {

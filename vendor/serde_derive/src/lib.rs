@@ -3,8 +3,12 @@
 //! Hand-rolled derive macros (no `syn`/`quote` — the build environment has
 //! no registry access) covering exactly the shapes this workspace derives
 //! on: non-generic structs with named fields and tuple structs. Enums,
-//! generics, and `#[serde(...)]` attributes are rejected with a clear
-//! compile error rather than silently mis-handled.
+//! generics, and unsupported `#[serde(...)]` attributes are rejected with
+//! a clear compile error rather than silently mis-handled. The one
+//! supported field attribute is `#[serde(default)]`: on deserialize a
+//! missing key falls back to `Default::default()` instead of erroring,
+//! which is how payload structs grow fields without breaking decode of
+//! artifacts written before the field existed.
 //!
 //! The generated code targets the value-tree data model of the sibling
 //! `serde` stub: named structs become [`Value::Map`]s keyed by field name,
@@ -13,10 +17,17 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field: its identifier and whether it carries
+/// `#[serde(default)]`.
+struct NamedField {
+    name: String,
+    default: bool,
+}
+
 /// The derivable shape of a struct.
 enum Shape {
-    /// `struct S { a: T, b: U }` — the listed field names.
-    Named(Vec<String>),
+    /// `struct S { a: T, b: U }` — the listed fields.
+    Named(Vec<NamedField>),
     /// `struct S(T, U);` — the field count.
     Tuple(usize),
 }
@@ -27,7 +38,7 @@ struct Input {
 }
 
 /// Derive `serde::Serialize` for a plain struct.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let input = parse_struct(input, "Serialize");
     let body = match &input.shape {
@@ -35,6 +46,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let pairs: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!("(::std::string::String::from(\"{f}\"), ::serde::to_value(&self.{f}))")
                 })
                 .collect();
@@ -68,7 +80,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derive `serde::Deserialize` for a plain struct.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let input = parse_struct(input, "Deserialize");
     let name = &input.name;
@@ -77,8 +89,11 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             let inits: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    // `#[serde(default)]` fields tolerate a missing key.
+                    let extract = if f.default { "opt_field" } else { "field" };
+                    let f = &f.name;
                     format!(
-                        "{f}: ::serde::__private::field::<_, __D::Error>(&mut __map, \"{name}\", \"{f}\")?"
+                        "{f}: ::serde::__private::{extract}::<_, __D::Error>(&mut __map, \"{name}\", \"{f}\")?"
                     )
                 })
                 .collect();
@@ -175,17 +190,26 @@ fn parse_struct(input: TokenStream, derive: &str) -> Input {
     }
 }
 
-/// Collect field names from the body of a braced struct.
-fn named_fields(body: TokenStream) -> Vec<String> {
+/// Collect field names (and their `#[serde(default)]` markers) from the
+/// body of a braced struct.
+fn named_fields(body: TokenStream) -> Vec<NamedField> {
     let mut fields = Vec::new();
     let mut tokens = body.into_iter().peekable();
     loop {
-        // Skip attributes (incl. doc comments) and visibility before the name.
+        // Walk attributes (incl. doc comments) and visibility before the
+        // name, noting `#[serde(default)]` and rejecting any other
+        // `#[serde(...)]` the stub does not implement.
+        let mut default = false;
         loop {
             match tokens.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     tokens.next();
-                    tokens.next();
+                    match tokens.next() {
+                        Some(TokenTree::Group(g)) => default |= serde_default_attr(g.stream()),
+                        other => {
+                            panic!("offline serde derive: expected [attr] after #, found {other:?}")
+                        }
+                    }
                 }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     tokens.next();
@@ -199,7 +223,10 @@ fn named_fields(body: TokenStream) -> Vec<String> {
             }
         }
         match tokens.next() {
-            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(TokenTree::Ident(id)) => fields.push(NamedField {
+                name: id.to_string(),
+                default,
+            }),
             None => break,
             other => panic!("offline serde derive: expected field name, found {other:?}"),
         }
@@ -219,6 +246,29 @@ fn named_fields(body: TokenStream) -> Vec<String> {
         }
     }
     fields
+}
+
+/// Inspect one attribute's `[...]` body: `true` iff it is exactly
+/// `serde(default)`. Non-serde attributes (docs, cfgs) pass through
+/// silently; any *other* serde attribute panics — the stub refuses to
+/// silently ignore semantics it does not implement.
+fn serde_default_attr(attr: TokenStream) -> bool {
+    let mut tokens = attr.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    let Some(TokenTree::Group(args)) = tokens.next() else {
+        panic!("offline serde derive: bare #[serde] attribute is not supported")
+    };
+    let args: Vec<String> = args.stream().into_iter().map(|t| t.to_string()).collect();
+    if args == ["default"] {
+        return true;
+    }
+    panic!(
+        "offline serde derive: unsupported #[serde({})] (only #[serde(default)] is implemented)",
+        args.join("")
+    )
 }
 
 /// Count the fields of a tuple struct body.
